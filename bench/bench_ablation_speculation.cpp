@@ -1,0 +1,47 @@
+// Section 5.2 ablation — the value of data speculation.
+//
+// The selected loops run TMS-scheduled with speculation enabled (memory
+// dependences tracked by the MDT, rolled back on violation) and disabled
+// (every inter-thread memory dependence synchronised: consumers wait for
+// the producing thread's store). The paper reports that without
+// speculation the gain of the equake loop drops by ~19% and fma3d's by
+// ~21.4%.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "support/table.hpp"
+
+using namespace tms;
+
+int main(int argc, char** argv) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const std::int64_t iters = bench::iterations_arg(argc, argv, 2000);
+  std::printf("=== Ablation: data speculation on vs off (selected loops, %lld iters) ===\n\n",
+              static_cast<long long>(iters));
+
+  const std::vector<bench::LoopEval> sel = bench::schedule_selected(mach, cfg);
+
+  support::TextTable t({"Loop", "spec on (cycles)", "spec off (cycles)", "slowdown w/o spec",
+                        "gain-vs-single lost"});
+  using TT = support::TextTable;
+  std::uint64_t seed = 11;
+  for (const bench::LoopEval& e : sel) {
+    const spmt::SpmtStats on = bench::simulate_tms(e, cfg, iters, seed, false);
+    const spmt::SpmtStats off = bench::simulate_tms(e, cfg, iters, seed, true);
+    const std::int64_t single = bench::simulate_single(e, mach, cfg, iters, seed);
+    ++seed;
+    const double slowdown = 100.0 * (static_cast<double>(off.total_cycles) /
+                                         static_cast<double>(on.total_cycles) -
+                                     1.0);
+    const double gain_on = static_cast<double>(single) / static_cast<double>(on.total_cycles) - 1.0;
+    const double gain_off =
+        static_cast<double>(single) / static_cast<double>(off.total_cycles) - 1.0;
+    const double lost = gain_on > 0.0 ? 100.0 * (gain_on - gain_off) / gain_on : 0.0;
+    t.add_row({e.loop->name(), std::to_string(on.total_cycles),
+               std::to_string(off.total_cycles), TT::pct(slowdown), TT::pct(lost)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper: without speculation the loop gain drops ~19%% (equake), ~21.4%% (fma3d)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation sweeps over the design parameters the paper motivates:
+//   - core count (TLP headroom changes the II/C_delay trade-off),
+//   - register-communication latency C_reg_com (the ring's speed is what
+//     makes fine-grain threads viable at all),
+//   - P_max (speculation aggressiveness of Fig. 3's C2).
+// Run on the Figure-1 motivating loop and the equake selected loop.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "support/table.hpp"
+#include "workloads/doacross.hpp"
+#include "workloads/figure1.hpp"
+
+using namespace tms;
+
+namespace {
+
+void sweep_loop(const char* title, const ir::Loop& loop, const machine::MachineModel& mach,
+                std::int64_t iters) {
+  std::printf("--- %s ---\n", title);
+  using TT = support::TextTable;
+
+  {
+    support::TextTable t({"ncore", "TMS II", "TMS C_delay", "cycles", "cycles/iter"});
+    for (const int ncore : {1, 2, 4, 8}) {
+      machine::SpmtConfig cfg;
+      cfg.ncore = ncore;
+      bench::LoopEval e = bench::schedule_loop("sweep", loop, mach, cfg);
+      const spmt::SpmtStats s = bench::simulate_tms(e, cfg, iters, 3);
+      t.add_row({std::to_string(ncore), std::to_string(e.m_tms.ii),
+                 std::to_string(e.m_tms.c_delay), std::to_string(s.total_cycles),
+                 TT::num(static_cast<double>(s.total_cycles) / static_cast<double>(iters), 2)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  {
+    support::TextTable t({"C_reg_com", "TMS II", "TMS C_delay", "cycles/iter"});
+    for (const int comm : {1, 3, 6}) {
+      machine::SpmtConfig cfg;
+      cfg.c_reg_com = comm;
+      cfg.send_cycles = 0;
+      cfg.hop_cycles = comm - 1;
+      cfg.recv_cycles = 1;
+      if (comm == 1) {
+        cfg.send_cycles = 0;
+        cfg.hop_cycles = 1;
+        cfg.recv_cycles = 0;
+      }
+      bench::LoopEval e = bench::schedule_loop("sweep", loop, mach, cfg);
+      const spmt::SpmtStats s = bench::simulate_tms(e, cfg, iters, 3);
+      t.add_row({std::to_string(comm), std::to_string(e.m_tms.ii),
+                 std::to_string(e.m_tms.c_delay),
+                 TT::num(static_cast<double>(s.total_cycles) / static_cast<double>(iters), 2)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  {
+    support::TextTable t({"P_max", "TMS II", "TMS C_delay", "P_M", "misspec freq", "cycles/iter"});
+    for (const double pmax : {0.0001, 0.01, 0.1, 1.0}) {
+      machine::SpmtConfig cfg;
+      sched::TmsOptions opts;
+      opts.p_max_values = {pmax};
+      auto tms = sched::tms_schedule(loop, mach, cfg, opts);
+      if (!tms.has_value()) {
+        t.add_row({TT::num(pmax, 4), "-", "-", "-", "-", "unschedulable"});
+        continue;
+      }
+      bench::LoopEval e;
+      e.benchmark = "sweep";
+      e.loop = std::make_unique<ir::Loop>(loop);
+      // Re-schedule against the owned copy so the schedule's loop pointer
+      // stays valid.
+      e.tms = sched::tms_schedule(*e.loop, mach, cfg, opts);
+      e.sms = sched::sms_schedule(*e.loop, mach);
+      e.m_tms = sched::measure(e.tms->schedule, cfg);
+      const spmt::SpmtStats s = bench::simulate_tms(e, cfg, iters, 3);
+      t.add_row({TT::num(pmax, 4), std::to_string(e.m_tms.ii), std::to_string(e.m_tms.c_delay),
+                 TT::num(e.tms->misspec_probability, 4),
+                 TT::pct(100.0 * s.misspec_frequency(), 3),
+                 TT::num(static_cast<double>(s.total_cycles) / static_cast<double>(iters), 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t iters = bench::iterations_arg(argc, argv, 1500);
+  std::printf("=== Ablation sweeps: ncore, C_reg_com, P_max ===\n\n");
+
+  sweep_loop("Figure-1 motivating loop", workloads::figure1_loop(), workloads::figure1_machine(),
+             iters);
+  machine::MachineModel mach;
+  auto sel = workloads::doacross_selected_loops();
+  sweep_loop("equake selected loop", sel[4].loop, mach, iters);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation — thread granularity via loop unrolling (the paper's stated
+// future work, Section 6).
+//
+// Unrolling by u makes each thread execute u source iterations: most
+// distance-1 dependences become intra-thread (less communication), while
+// threads get coarser (II grows ~u-fold, so fewer of them overlap). The
+// sweet spot depends on how communication-bound the loop is.
+#include <cstdio>
+
+#include "codegen/kernel_program.hpp"
+#include "harness.hpp"
+#include "ir/unroll.hpp"
+#include "sched/postpass.hpp"
+#include "support/table.hpp"
+#include "workloads/doacross.hpp"
+#include "workloads/figure1.hpp"
+
+using namespace tms;
+
+namespace {
+
+void sweep(const char* title, const ir::Loop& base, const machine::MachineModel& mach,
+           std::int64_t src_iters) {
+  machine::SpmtConfig cfg;
+  std::printf("--- %s (%lld source iterations) ---\n", title, (long long)src_iters);
+  support::TextTable t({"unroll", "II", "II/src-iter", "C_delay", "pairs/src-iter",
+                        "cycles", "cycles/src-iter"});
+  using TT = support::TextTable;
+  for (const int u : {1, 2, 4}) {
+    const ir::Loop lu = ir::unroll(base, u);
+    bench::LoopEval e = bench::schedule_loop("unroll", lu, mach, cfg);
+    const sched::CommPlan plan = sched::plan_communication(e.tms->schedule);
+    const std::int64_t iters = src_iters / u;
+    const spmt::SpmtStats s = bench::simulate_tms(e, cfg, iters, 17);
+    t.add_row({std::to_string(u), std::to_string(e.m_tms.ii),
+               TT::num(static_cast<double>(e.m_tms.ii) / u, 1),
+               std::to_string(e.m_tms.c_delay),
+               TT::num(static_cast<double>(plan.comm_pairs_per_iter) / u, 2),
+               std::to_string(s.total_cycles),
+               TT::num(static_cast<double>(s.total_cycles) / static_cast<double>(src_iters), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t iters = bench::iterations_arg(argc, argv, 2000);
+  std::printf("=== Ablation: thread granularity via unrolling ===\n\n");
+  sweep("Figure-1 motivating loop", workloads::figure1_loop(), workloads::figure1_machine(),
+        iters);
+  machine::MachineModel mach;
+  auto sel = workloads::doacross_selected_loops();
+  sweep("art selected loop", sel[0].loop, mach, iters);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Baseline comparison — SMS vs IMS (Codina, Llosa, Gonzalez, ICS'02).
+//
+// The paper builds TMS on SMS "since SMS finds the best schedules in
+// general [3]". This bench reproduces that comparison on the synthetic
+// suite: achieved II relative to MII, MaxLive, and scheduling attempts,
+// for both classic schedulers.
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+#include "sched/ims.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "workloads/spec_suite.hpp"
+
+using namespace tms;
+
+int main() {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  std::printf("=== Baseline comparison: SMS vs IMS (778 synthetic loops) ===\n\n");
+
+  struct Agg {
+    support::RunningStat ii_ratio_sms, ii_ratio_ims, ml_sms, ml_ims;
+    int sms_wins = 0, ims_wins = 0, ties = 0, n = 0;
+  };
+  std::map<std::string, Agg> per_bench;
+  std::vector<std::string> order;
+
+  for (const workloads::BenchmarkSpec& spec : workloads::spec_fp2000_suite()) {
+    for (ir::Loop& loop : workloads::generate_benchmark(spec)) {
+      const auto sms = sched::sms_schedule(loop, mach);
+      const auto ims = sched::ims_schedule(loop, mach);
+      if (!sms || !ims) continue;
+      if (per_bench.find(spec.name) == per_bench.end()) order.push_back(spec.name);
+      Agg& a = per_bench[spec.name];
+      ++a.n;
+      a.ii_ratio_sms.add(static_cast<double>(sms->schedule.ii()) / sms->mii);
+      a.ii_ratio_ims.add(static_cast<double>(ims->schedule.ii()) / ims->mii);
+      a.ml_sms.add(sms->schedule.max_live());
+      a.ml_ims.add(ims->schedule.max_live());
+      if (sms->schedule.ii() < ims->schedule.ii()) {
+        ++a.sms_wins;
+      } else if (ims->schedule.ii() < sms->schedule.ii()) {
+        ++a.ims_wins;
+      } else {
+        ++a.ties;
+      }
+    }
+  }
+
+  support::TextTable t({"Benchmark", "SMS II/MII", "IMS II/MII", "SMS MaxLive", "IMS MaxLive",
+                        "SMS wins", "IMS wins", "ties"});
+  using TT = support::TextTable;
+  Agg total;
+  for (const std::string& name : order) {
+    const Agg& a = per_bench[name];
+    t.add_row({name, TT::num(a.ii_ratio_sms.mean(), 2), TT::num(a.ii_ratio_ims.mean(), 2),
+               TT::num(a.ml_sms.mean()), TT::num(a.ml_ims.mean()), std::to_string(a.sms_wins),
+               std::to_string(a.ims_wins), std::to_string(a.ties)});
+    total.ii_ratio_sms.merge(a.ii_ratio_sms);
+    total.ii_ratio_ims.merge(a.ii_ratio_ims);
+    total.ml_sms.merge(a.ml_sms);
+    total.ml_ims.merge(a.ml_ims);
+    total.sms_wins += a.sms_wins;
+    total.ims_wins += a.ims_wins;
+    total.ties += a.ties;
+  }
+  t.add_row({"(all)", TT::num(total.ii_ratio_sms.mean(), 2), TT::num(total.ii_ratio_ims.mean(), 2),
+             TT::num(total.ml_sms.mean()), TT::num(total.ml_ims.mean()),
+             std::to_string(total.sms_wins), std::to_string(total.ims_wins),
+             std::to_string(total.ties)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Codina et al.'s finding (the paper's rationale for building TMS on SMS) is that\n"
+      "SMS combines near-MII IIs with lower register pressure. In this reproduction the\n"
+      "register-pressure half holds clearly (SMS MaxLive is ~half of IMS's), while our\n"
+      "backtracking IMS reaches MII more often than our SMS — i.e. the II gap of our\n"
+      "SMS implementation (EXPERIMENTS.md, fidelity gap 1) is a property of the\n"
+      "heuristic, not of the workloads or the MII computation.\n");
+  return 0;
+}

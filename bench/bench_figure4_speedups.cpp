@@ -1,0 +1,68 @@
+// Figure 4 — Speedups of TMS over SMS.
+//
+// Every loop of the synthetic suite is scheduled both ways and simulated
+// on the quad-core SpMT machine; per-benchmark loop speedups are the
+// coverage-weighted aggregate over its loops, and program speedups apply
+// Amdahl's law at the benchmark's loop-coverage ratio. Expected shape:
+// positive loop speedups everywhere except wupwise (~0), art largest,
+// averages around the paper's 28% (loops) / 10% (program).
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+#include "support/table.hpp"
+
+using namespace tms;
+
+int main(int argc, char** argv) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const std::int64_t iters = bench::iterations_arg(argc, argv, 800);
+  std::printf("=== Figure 4: speedups of TMS over SMS (quad-core SpMT, %lld iters/loop) ===\n\n",
+              static_cast<long long>(iters));
+
+  const std::vector<bench::LoopEval> suite = bench::schedule_suite(mach, cfg);
+
+  struct Agg {
+    std::vector<double> speedup;
+    std::vector<double> coverage;
+    std::int64_t misspecs = 0;
+    std::int64_t threads = 0;
+  };
+  std::map<std::string, Agg> per_bench;
+  std::vector<std::string> order;
+
+  std::uint64_t seed = 1;
+  for (const bench::LoopEval& e : suite) {
+    const bench::SimPair p = bench::simulate_pair(e, cfg, iters, seed++);
+    if (per_bench.find(e.benchmark) == per_bench.end()) order.push_back(e.benchmark);
+    Agg& a = per_bench[e.benchmark];
+    a.speedup.push_back(static_cast<double>(p.sms.total_cycles) /
+                        static_cast<double>(p.tms.total_cycles));
+    a.coverage.push_back(e.loop->coverage());
+    a.misspecs += p.tms.misspeculations;
+    a.threads += p.tms.threads_committed;
+  }
+
+  support::TextTable t(
+      {"Benchmark", "Loop speedup", "Program speedup", "TMS misspec freq"});
+  using TT = support::TextTable;
+  double sum_loop = 0.0;
+  double sum_prog = 0.0;
+  for (const std::string& name : order) {
+    const Agg& a = per_bench[name];
+    const bench::AggregateSpeedup s = bench::aggregate_speedups(a.speedup, a.coverage);
+    sum_loop += s.loop_speedup_pct;
+    sum_prog += s.program_speedup_pct;
+    const double mf = a.threads > 0 ? 100.0 * static_cast<double>(a.misspecs) /
+                                          static_cast<double>(a.threads)
+                                    : 0.0;
+    t.add_row({name, TT::pct(s.loop_speedup_pct), TT::pct(s.program_speedup_pct),
+               TT::pct(mf, 3)});
+  }
+  t.add_row({"(average)", TT::pct(sum_loop / static_cast<double>(order.size())),
+             TT::pct(sum_prog / static_cast<double>(order.size())), ""});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper: average loop speedup 28%%, program 10%%; art largest; wupwise ~0\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Classic kernel comparison: SMS vs TMS vs single-threaded on the
+// Livermore-style kernel collection — recognisable loops complementing
+// the calibrated synthetic suite. Shows where modulo scheduling on SpMT
+// pays off (DOALL, wide expression trees, sliding windows, speculative
+// scatter) and where recurrences cap it (prefix sum, tridiagonal).
+#include <cstdio>
+
+#include "harness.hpp"
+#include "ir/unroll.hpp"
+#include "support/table.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace tms;
+
+int main(int argc, char** argv) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const std::int64_t iters = bench::iterations_arg(argc, argv, 2000);
+  std::printf("=== Classic kernels: SMS vs TMS vs single-threaded (%lld iters) ===\n\n",
+              static_cast<long long>(iters));
+
+  support::TextTable t({"kernel", "MII", "SMS II/Cd", "TMS II/Cd", "single c/i", "SMS c/i",
+                        "TMS c/i", "TMSx4 c/i", "TMS vs SMS", "TMSx4 vs single"});
+  using TT = support::TextTable;
+  std::uint64_t seed = 1001;
+  for (workloads::Kernel& k : workloads::classic_kernels()) {
+    // The paper unrolls its smallest loops 4x before scheduling ("two
+    // selected loops in art ... are thus unrolled four times"): at these
+    // kernel sizes the per-iteration communication floor would otherwise
+    // dominate. Report both granularities.
+    const ir::Loop unrolled = ir::unroll(k.loop, 4);
+    bench::LoopEval e = bench::schedule_loop("kernels", std::move(k.loop), mach, cfg);
+    bench::LoopEval e4 = bench::schedule_loop("kernels", unrolled, mach, cfg);
+    const bench::SimPair p = bench::simulate_pair(e, cfg, iters, seed);
+    const spmt::SpmtStats t4 = bench::simulate_tms(e4, cfg, iters / 4, seed);
+    const std::int64_t single = bench::simulate_single(e, mach, cfg, iters, seed);
+    ++seed;
+    const double di = static_cast<double>(iters);
+    const double tms4_ci = static_cast<double>(t4.total_cycles) / (di / 4.0 * 4.0);
+    t.add_row({e.loop->name(), std::to_string(e.m_sms.mii),
+               std::to_string(e.m_sms.ii) + "/" + std::to_string(e.m_sms.c_delay),
+               std::to_string(e.m_tms.ii) + "/" + std::to_string(e.m_tms.c_delay),
+               TT::num(static_cast<double>(single) / di, 2),
+               TT::num(static_cast<double>(p.sms.total_cycles) / di, 2),
+               TT::num(static_cast<double>(p.tms.total_cycles) / di, 2),
+               TT::num(tms4_ci, 2),
+               TT::pct(100.0 * (static_cast<double>(p.sms.total_cycles) /
+                                    static_cast<double>(p.tms.total_cycles) -
+                                1.0)),
+               TT::pct(100.0 * (static_cast<double>(single) / di / tms4_ci - 1.0))});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "reading: at 5-12 instructions the per-thread communication floor dominates, so\n"
+      "un-unrolled kernels lose to a dynamic single core — exactly why the paper unrolls\n"
+      "its smallest art loops 4x. Unrolling recovers the window/speculation kernels\n"
+      "(fir4, scatter); pure recurrences (first_sum, tridiag) remain bounded by RecII\n"
+      "and belong on one core (or need the outer-loop strategies of src/nest). TMS\n"
+      "still beats SMS nearly everywhere — the paper's actual claim.\n");
+  return 0;
+}

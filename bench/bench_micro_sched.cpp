@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) of the compiler-side components:
+// MII computation, SMS node ordering, full SMS and TMS scheduling, and
+// the SpMT simulator's per-iteration throughput.
+#include <benchmark/benchmark.h>
+
+#include "codegen/kernel_program.hpp"
+#include "sched/mii.hpp"
+#include "sched/order.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/sim.hpp"
+#include "spmt/single_core.hpp"
+#include "workloads/builder.hpp"
+#include "workloads/figure1.hpp"
+
+namespace {
+
+using namespace tms;
+
+ir::Loop sized_loop(int instrs, std::uint64_t seed) {
+  workloads::LoopShape s;
+  s.name = "micro";
+  s.target_instrs = instrs;
+  s.rec_circuit_delay = instrs / 4;
+  s.rec_circuit_len = 4;
+  s.accumulators = 2;
+  s.feeders = 2;
+  s.mem_deps = 2;
+  s.seed = seed;
+  return workloads::build_loop(s);
+}
+
+void BM_MinII(benchmark::State& state) {
+  const ir::Loop loop = sized_loop(static_cast<int>(state.range(0)), 42);
+  const machine::MachineModel mach;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::min_ii(loop, mach));
+  }
+}
+BENCHMARK(BM_MinII)->Arg(16)->Arg(64)->Arg(160);
+
+void BM_NodeOrder(benchmark::State& state) {
+  const ir::Loop loop = sized_loop(static_cast<int>(state.range(0)), 43);
+  const machine::MachineModel mach;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::sms_node_order(loop, mach));
+  }
+}
+BENCHMARK(BM_NodeOrder)->Arg(16)->Arg(64)->Arg(160);
+
+void BM_SmsSchedule(benchmark::State& state) {
+  const ir::Loop loop = sized_loop(static_cast<int>(state.range(0)), 44);
+  const machine::MachineModel mach;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::sms_schedule(loop, mach));
+  }
+}
+BENCHMARK(BM_SmsSchedule)->Arg(16)->Arg(64)->Arg(160);
+
+void BM_TmsSchedule(benchmark::State& state) {
+  const ir::Loop loop = sized_loop(static_cast<int>(state.range(0)), 45);
+  const machine::MachineModel mach;
+  const machine::SpmtConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::tms_schedule(loop, mach, cfg));
+  }
+}
+BENCHMARK(BM_TmsSchedule)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_TmsFixedThresholds(benchmark::State& state) {
+  const ir::Loop loop = sized_loop(static_cast<int>(state.range(0)), 46);
+  const machine::MachineModel mach;
+  const machine::SpmtConfig cfg;
+  const int mii = sched::min_ii(loop, mach);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::tms_try_thresholds(loop, mach, cfg, mii + 4, 2 * cfg.min_c_delay(), 1.0));
+  }
+}
+BENCHMARK(BM_TmsFixedThresholds)->Arg(16)->Arg(64)->Arg(160);
+
+void BM_SpmtSimulate(benchmark::State& state) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  const machine::SpmtConfig cfg;
+  const auto sms = sched::sms_schedule(loop, mach);
+  const auto kp = codegen::lower_kernel(sms->schedule, cfg);
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 42);
+  spmt::SpmtOptions opts;
+  opts.iterations = state.range(0);
+  opts.keep_memory = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmt::run_spmt(loop, kp, cfg, streams, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpmtSimulate)->Arg(1000)->Arg(10000);
+
+void BM_SingleCore(benchmark::State& state) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach;
+  const machine::SpmtConfig cfg;
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spmt::run_single_threaded(loop, mach, cfg, streams, state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SingleCore)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

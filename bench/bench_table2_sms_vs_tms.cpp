@@ -1,0 +1,73 @@
+// Table 2 — SMS and TMS compared using traditional modulo-scheduling
+// metrics over the 778 loops of the synthetic SPECfp2000 suite.
+//
+// Columns mirror the paper: per-benchmark loop count, average instruction
+// count, average MII, then (II, MaxLive, C_delay) for SMS and for TMS.
+// Expected shape: TMS trades a larger II for a much smaller C_delay with
+// slightly larger MaxLive.
+#include <cstdio>
+#include <map>
+
+#include "harness.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace tms;
+
+int main() {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  std::printf("=== Table 2: SMS vs TMS, traditional metrics (778 synthetic loops) ===\n\n");
+
+  const std::vector<bench::LoopEval> suite = bench::schedule_suite(mach, cfg);
+
+  struct Agg {
+    support::RunningStat inst, mii, ii_s, ml_s, cd_s, ii_t, ml_t, cd_t;
+    int n = 0;
+  };
+  std::map<std::string, Agg> per_bench;
+  std::vector<std::string> order;
+  for (const bench::LoopEval& e : suite) {
+    if (per_bench.find(e.benchmark) == per_bench.end()) order.push_back(e.benchmark);
+    Agg& a = per_bench[e.benchmark];
+    ++a.n;
+    a.inst.add(e.m_sms.num_instrs);
+    a.mii.add(e.m_sms.mii);
+    a.ii_s.add(e.m_sms.ii);
+    a.ml_s.add(e.m_sms.max_live);
+    a.cd_s.add(e.m_sms.c_delay);
+    a.ii_t.add(e.m_tms.ii);
+    a.ml_t.add(e.m_tms.max_live);
+    a.cd_t.add(e.m_tms.c_delay);
+  }
+
+  support::TextTable t({"Benchmark", "#Loops", "AVG #Inst", "AVG MII", "SMS II", "SMS MaxLive",
+                        "SMS Cdelay", "TMS II", "TMS MaxLive", "TMS Cdelay"});
+  using TT = support::TextTable;
+  Agg total;
+  for (const std::string& name : order) {
+    const Agg& a = per_bench[name];
+    t.add_row({name, std::to_string(a.n), TT::num(a.inst.mean()), TT::num(a.mii.mean()),
+               TT::num(a.ii_s.mean()), TT::num(a.ml_s.mean()), TT::num(a.cd_s.mean()),
+               TT::num(a.ii_t.mean()), TT::num(a.ml_t.mean()), TT::num(a.cd_t.mean())});
+    total.n += a.n;
+    total.inst.merge(a.inst);
+    total.mii.merge(a.mii);
+    total.ii_s.merge(a.ii_s);
+    total.ml_s.merge(a.ml_s);
+    total.cd_s.merge(a.cd_s);
+    total.ii_t.merge(a.ii_t);
+    total.ml_t.merge(a.ml_t);
+    total.cd_t.merge(a.cd_t);
+  }
+  t.add_row({"(all)", std::to_string(total.n), TT::num(total.inst.mean()),
+             TT::num(total.mii.mean()), TT::num(total.ii_s.mean()), TT::num(total.ml_s.mean()),
+             TT::num(total.cd_s.mean()), TT::num(total.ii_t.mean()), TT::num(total.ml_t.mean()),
+             TT::num(total.cd_t.mean())});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("shape checks: TMS II >= SMS II: %s;  TMS C_delay << SMS C_delay: %s\n",
+              total.ii_t.mean() >= total.ii_s.mean() ? "yes" : "NO",
+              total.cd_t.mean() < 0.6 * total.cd_s.mean() ? "yes" : "NO");
+  return 0;
+}

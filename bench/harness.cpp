@@ -1,0 +1,112 @@
+#include "harness.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "codegen/kernel_program.hpp"
+#include "spmt/address.hpp"
+#include "support/assert.hpp"
+#include "workloads/doacross.hpp"
+#include "workloads/spec_suite.hpp"
+
+namespace tms::bench {
+
+LoopEval schedule_loop(std::string benchmark, ir::Loop loop, const machine::MachineModel& mach,
+                       const machine::SpmtConfig& cfg) {
+  LoopEval e;
+  e.benchmark = std::move(benchmark);
+  e.loop = std::make_unique<ir::Loop>(std::move(loop));
+  e.sms = sched::sms_schedule(*e.loop, mach);
+  TMS_ASSERT_MSG(e.sms.has_value(), "SMS failed on a workload loop");
+  e.tms = sched::tms_schedule(*e.loop, mach, cfg);
+  TMS_ASSERT_MSG(e.tms.has_value(), "TMS failed on a workload loop");
+  e.m_sms = sched::measure(e.sms->schedule, cfg);
+  e.m_tms = sched::measure(e.tms->schedule, cfg);
+  return e;
+}
+
+std::vector<LoopEval> schedule_suite(const machine::MachineModel& mach,
+                                     const machine::SpmtConfig& cfg) {
+  std::vector<LoopEval> out;
+  for (const workloads::BenchmarkSpec& spec : workloads::spec_fp2000_suite()) {
+    for (ir::Loop& loop : workloads::generate_benchmark(spec)) {
+      out.push_back(schedule_loop(spec.name, std::move(loop), mach, cfg));
+    }
+  }
+  return out;
+}
+
+std::vector<LoopEval> schedule_selected(const machine::MachineModel& mach,
+                                        const machine::SpmtConfig& cfg) {
+  std::vector<LoopEval> out;
+  for (workloads::SelectedLoop& sel : workloads::doacross_selected_loops()) {
+    out.push_back(schedule_loop(sel.benchmark, std::move(sel.loop), mach, cfg));
+  }
+  return out;
+}
+
+namespace {
+
+spmt::SpmtStats simulate(const ir::Loop& loop, const sched::Schedule& sched,
+                         const machine::SpmtConfig& cfg, std::int64_t iterations,
+                         std::uint64_t stream_seed, bool disable_speculation) {
+  const spmt::AddressStreams streams = spmt::default_streams(loop, stream_seed);
+  const codegen::KernelProgram kp = codegen::lower_kernel(sched, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = iterations;
+  opts.keep_memory = false;
+  opts.disable_speculation = disable_speculation;
+  return spmt::run_spmt(loop, kp, cfg, streams, opts).stats;
+}
+
+}  // namespace
+
+SimPair simulate_pair(const LoopEval& e, const machine::SpmtConfig& cfg,
+                      std::int64_t iterations, std::uint64_t stream_seed) {
+  SimPair p;
+  p.sms = simulate(*e.loop, e.sms->schedule, cfg, iterations, stream_seed, false);
+  p.tms = simulate(*e.loop, e.tms->schedule, cfg, iterations, stream_seed, false);
+  return p;
+}
+
+spmt::SpmtStats simulate_tms(const LoopEval& e, const machine::SpmtConfig& cfg,
+                             std::int64_t iterations, std::uint64_t stream_seed,
+                             bool disable_speculation) {
+  return simulate(*e.loop, e.tms->schedule, cfg, iterations, stream_seed, disable_speculation);
+}
+
+std::int64_t simulate_single(const LoopEval& e, const machine::MachineModel& mach,
+                             const machine::SpmtConfig& cfg, std::int64_t iterations,
+                             std::uint64_t stream_seed) {
+  const spmt::AddressStreams streams = spmt::default_streams(*e.loop, stream_seed);
+  return spmt::run_single_threaded(*e.loop, mach, cfg, streams, iterations).total_cycles;
+}
+
+AggregateSpeedup aggregate_speedups(const std::vector<double>& speedup,
+                                    const std::vector<double>& coverage) {
+  TMS_ASSERT(speedup.size() == coverage.size());
+  double cov_total = 0.0;
+  double scaled = 0.0;  // sum of cov_i / s_i: the loops' share of time after
+  for (std::size_t i = 0; i < speedup.size(); ++i) {
+    TMS_ASSERT(speedup[i] > 0.0);
+    cov_total += coverage[i];
+    scaled += coverage[i] / speedup[i];
+  }
+  AggregateSpeedup out;
+  if (cov_total > 0.0 && scaled > 0.0) {
+    out.loop_speedup_pct = (cov_total / scaled - 1.0) * 100.0;
+    out.program_speedup_pct = (1.0 / ((1.0 - cov_total) + scaled) - 1.0) * 100.0;
+  }
+  return out;
+}
+
+std::int64_t iterations_arg(int argc, char** argv, std::int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--iterations") == 0) {
+      return std::atoll(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace tms::bench

@@ -1,0 +1,81 @@
+// Shared evaluation harness for the benchmark binaries.
+//
+// Wraps the full pipeline (schedule with SMS and TMS -> lower -> simulate
+// on the SpMT machine -> aggregate per benchmark) the way Section 5 of
+// the paper evaluates: per-loop metrics like Table 2/3, simulated loop
+// speedups weighted by loop coverage, and program speedups via Amdahl's
+// law over the benchmark's coverage.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "machine/spmt_config.hpp"
+#include "sched/postpass.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/sim.hpp"
+#include "spmt/single_core.hpp"
+
+namespace tms::bench {
+
+/// One loop scheduled both ways. The loop is heap-owned so Schedule's
+/// internal pointer stays valid as LoopEvals move around.
+struct LoopEval {
+  std::string benchmark;
+  std::unique_ptr<ir::Loop> loop;
+  std::optional<sched::SmsResult> sms;
+  std::optional<sched::TmsResult> tms;
+  sched::LoopMetrics m_sms;
+  sched::LoopMetrics m_tms;
+};
+
+LoopEval schedule_loop(std::string benchmark, ir::Loop loop, const machine::MachineModel& mach,
+                       const machine::SpmtConfig& cfg);
+
+/// Schedules the full 13-benchmark synthetic SPECfp2000 suite (778 loops).
+std::vector<LoopEval> schedule_suite(const machine::MachineModel& mach,
+                                     const machine::SpmtConfig& cfg);
+
+/// Schedules the seven selected DOACROSS loops of Table 3.
+std::vector<LoopEval> schedule_selected(const machine::MachineModel& mach,
+                                        const machine::SpmtConfig& cfg);
+
+struct SimPair {
+  spmt::SpmtStats sms;
+  spmt::SpmtStats tms;
+};
+
+/// Simulates both schedules of a loop on the SpMT machine.
+SimPair simulate_pair(const LoopEval& e, const machine::SpmtConfig& cfg,
+                      std::int64_t iterations, std::uint64_t stream_seed);
+
+/// Simulates one schedule (by reference to its LoopEval).
+spmt::SpmtStats simulate_tms(const LoopEval& e, const machine::SpmtConfig& cfg,
+                             std::int64_t iterations, std::uint64_t stream_seed,
+                             bool disable_speculation = false);
+
+/// Single-threaded baseline cycles for the loop.
+std::int64_t simulate_single(const LoopEval& e, const machine::MachineModel& mach,
+                             const machine::SpmtConfig& cfg, std::int64_t iterations,
+                             std::uint64_t stream_seed);
+
+/// Coverage-weighted aggregation of per-loop speedups into a benchmark
+/// loop speedup and a whole-program speedup (Amdahl). `speedup[i]` is the
+/// per-loop time ratio base/new; `coverage[i]` the loop's share of
+/// program time.
+struct AggregateSpeedup {
+  double loop_speedup_pct = 0.0;     ///< aggregated over the loops only
+  double program_speedup_pct = 0.0;  ///< over the whole program
+};
+AggregateSpeedup aggregate_speedups(const std::vector<double>& speedup,
+                                    const std::vector<double>& coverage);
+
+/// Parses an optional "--iterations N" / env-style argv override used by
+/// the bench binaries; returns `fallback` when absent.
+std::int64_t iterations_arg(int argc, char** argv, std::int64_t fallback);
+
+}  // namespace tms::bench

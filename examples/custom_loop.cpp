@@ -1,0 +1,104 @@
+// Example: bring your own loop.
+//
+// Shows the full public API surface end to end on a hand-written loop —
+// the kind a compiler front-end would hand to this library:
+//
+//   for (i = 0; i < N; i++) {
+//     t    = a[i] * coef;        // load, fmul
+//     s    = s + t;              // fadd accumulator (cross-iteration)
+//     b[i] = t - b[i-1]_approx;  // speculated dependence on b's store
+//   }
+//
+// Builds the DDG, validates it, schedules with SMS and TMS, inspects the
+// kernel, and runs both on the simulated SpMT quad-core, checking the
+// committed memory image against the sequential reference interpreter.
+#include <cstdio>
+
+#include "codegen/kernel_program.hpp"
+#include "ir/graph.hpp"
+#include "sched/mii.hpp"
+#include "sched/postpass.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/reference.hpp"
+#include "spmt/sim.hpp"
+
+using namespace tms;
+
+int main() {
+  // --- 1. Build the loop IR -------------------------------------------
+  ir::Loop loop("custom");
+  const ir::NodeId i_var = loop.add_instr(ir::Opcode::kIAdd, "i++");
+  loop.add_reg_flow(i_var, i_var, 1);
+  loop.mark_live_in(i_var);
+
+  const ir::NodeId ld_a = loop.add_instr(ir::Opcode::kLoad, "load a[i]");
+  loop.add_reg_flow(i_var, ld_a, 0);
+
+  const ir::NodeId mul = loop.add_instr(ir::Opcode::kFMul, "t = a[i]*coef");
+  loop.add_reg_flow(ld_a, mul, 0);
+
+  const ir::NodeId acc = loop.add_instr(ir::Opcode::kFAdd, "s += t");
+  loop.add_reg_flow(mul, acc, 0);
+  loop.add_reg_flow(acc, acc, 1);  // the DOACROSS dependence
+  loop.mark_live_in(acc);
+
+  const ir::NodeId ld_b = loop.add_instr(ir::Opcode::kLoad, "load b[i-1]");
+  loop.add_reg_flow(i_var, ld_b, 0);
+  const ir::NodeId sub = loop.add_instr(ir::Opcode::kFSub, "t - b[i-1]");
+  loop.add_reg_flow(mul, sub, 0);
+  loop.add_reg_flow(ld_b, sub, 0);
+  const ir::NodeId st_b = loop.add_instr(ir::Opcode::kStore, "store b[i]");
+  loop.add_reg_flow(sub, st_b, 0);
+  loop.add_reg_flow(i_var, st_b, 0);
+  // Profiled: b[i-1] loads hit last iteration's store ~30% of the time.
+  loop.add_mem_flow(st_b, ld_b, 1, 0.3);
+
+  if (const auto err = loop.validate()) {
+    std::fprintf(stderr, "invalid loop: %s\n", err->c_str());
+    return 1;
+  }
+
+  // --- 2. Inspect the DDG ---------------------------------------------
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  std::printf("loop '%s': %d instructions, %zu dependences\n", loop.name().c_str(),
+              loop.num_instrs(), loop.deps().size());
+  std::printf("ResII=%d RecII=%d MII=%d LDP=%d, %d non-trivial SCCs\n",
+              sched::res_ii(loop, mach), sched::rec_ii(loop, mach), sched::min_ii(loop, mach),
+              ir::longest_dependence_path(loop, mach.latencies(loop)),
+              ir::count_nontrivial_sccs(loop));
+
+  // --- 3. Schedule ------------------------------------------------------
+  const auto sms = sched::sms_schedule(loop, mach);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  if (!sms || !tms) return 1;
+  const auto show = [&](const char* tag, const sched::Schedule& s) {
+    const sched::LoopMetrics m = sched::measure(s, cfg);
+    std::printf("%s: II=%d stages=%d MaxLive=%d C_delay=%d P_M=%.3f\n", tag, m.ii, m.stages,
+                m.max_live, m.c_delay, m.misspec_probability);
+    for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+      std::printf("    row %2d stage %d  %s\n", s.row(v), s.stage(v),
+                  loop.instr(v).name.c_str());
+    }
+  };
+  show("SMS", sms->schedule);
+  show("TMS", tms->schedule);
+
+  // --- 4. Simulate and check semantics ---------------------------------
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 99);
+  spmt::SpmtOptions opts;
+  opts.iterations = 1000;
+  opts.keep_memory = true;
+  const auto sim =
+      spmt::run_spmt(loop, codegen::lower_kernel(tms->schedule, cfg), cfg, streams, opts);
+  const auto ref = spmt::run_reference(loop, streams, opts.iterations);
+
+  std::printf("\nTMS on 4 cores: %lld cycles for %lld iterations (%lld misspeculations)\n",
+              (long long)sim.stats.total_cycles, (long long)opts.iterations,
+              (long long)sim.stats.misspeculations);
+  const bool ok = sim.value_fingerprint == ref.value_fingerprint && sim.memory == ref.memory;
+  std::printf("committed state equals sequential semantics: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

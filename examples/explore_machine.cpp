@@ -1,0 +1,65 @@
+// Example: architectural exploration.
+//
+// How do core count and interconnect latency change what the scheduler
+// should do? This sweeps the SpMT configuration for one loop and prints
+// the schedule TMS picks (II, C_delay) together with the cost model's
+// prediction and the simulator's measurement — the two should track each
+// other, which is the whole premise of Section 4.2.
+//
+//   ./build/examples/explore_machine
+#include <cstdio>
+
+#include "codegen/kernel_program.hpp"
+#include "cost/cost_model.hpp"
+#include "sched/postpass.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/sim.hpp"
+#include "support/table.hpp"
+#include "workloads/figure1.hpp"
+
+using namespace tms;
+
+int main() {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  const std::int64_t iters = 4000;
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 5);
+
+  std::printf("Figure-1 loop on varying SpMT machines (%lld iterations)\n\n", (long long)iters);
+  support::TextTable t({"ncore", "C_reg_com", "TMS II", "TMS C_delay", "model cyc/iter",
+                        "measured cyc/iter"});
+  using TT = support::TextTable;
+
+  for (const int ncore : {2, 4, 8}) {
+    for (const int comm : {1, 3, 6}) {
+      machine::SpmtConfig cfg;
+      cfg.ncore = ncore;
+      cfg.c_reg_com = comm;
+      cfg.send_cycles = comm >= 3 ? 1 : 0;
+      cfg.recv_cycles = comm >= 2 ? 1 : 0;
+      cfg.hop_cycles = comm - cfg.send_cycles - cfg.recv_cycles;
+      const auto tms = sched::tms_schedule(loop, mach, cfg);
+      if (!tms) continue;
+      const int cd = tms->schedule.c_delay(cfg);
+      const double model = cost::per_iter_nomiss(tms->schedule.ii(), cd, cfg) +
+                           cost::misspec_penalty(tms->schedule.ii(), cd, cfg) *
+                               tms->schedule.misspec_probability(cfg);
+      spmt::SpmtOptions opts;
+      opts.iterations = iters;
+      opts.keep_memory = false;
+      const auto sim =
+          spmt::run_spmt(loop, codegen::lower_kernel(tms->schedule, cfg), cfg, streams, opts);
+      const double measured =
+          static_cast<double>(sim.stats.total_cycles) / static_cast<double>(iters);
+      t.add_row({std::to_string(ncore), std::to_string(comm), std::to_string(tms->schedule.ii()),
+                 std::to_string(cd), TT::num(model, 2), TT::num(measured, 2)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nreading: more cores shift the optimum toward larger II / smaller C_delay;\n"
+      "slower interconnect (C_reg_com) raises the floor under C_delay, eroding TLP —\n"
+      "the paper's case for fast on-chip scalar operand networks.\n");
+  return 0;
+}

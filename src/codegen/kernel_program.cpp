@@ -1,0 +1,100 @@
+#include "codegen/kernel_program.hpp"
+
+#include <algorithm>
+
+#include "ir/graph.hpp"
+#include "support/assert.hpp"
+
+namespace tms::codegen {
+
+KernelProgram lower_kernel(const sched::Schedule& sched, const machine::SpmtConfig& cfg) {
+  TMS_ASSERT(sched.complete());
+  TMS_ASSERT_MSG(!sched.validate().has_value(), "cannot lower an invalid schedule");
+  const ir::Loop& loop = sched.loop();
+  const machine::MachineModel& mach = sched.machine();
+
+  KernelProgram kp;
+  kp.ii = sched.ii();
+  kp.stage_count = sched.stage_count();
+
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    const ir::Opcode op = loop.instr(v).op;
+    KernelOp ko;
+    ko.node = v;
+    ko.row = sched.row(v);
+    ko.stage = sched.stage(v);
+    ko.latency = mach.latency(op);
+    ko.is_load = (op == ir::Opcode::kLoad);
+    ko.is_store = (op == ir::Opcode::kStore);
+    if (ko.is_store) ++kp.stores_per_iter;
+    kp.ops.push_back(ko);
+  }
+  // Issue order within a thread: by row, and inside one row in program
+  // order — higher stage first (its instance belongs to an older source
+  // iteration), then topological rank. This guarantees that a same-row
+  // store/load pair related by a speculated dependence (kernel distance
+  // 0 after the zero-delay constraint) executes in program order, so
+  // local store-buffer forwarding is always correct.
+  const std::vector<ir::NodeId> topo = ir::topo_order_intra(loop);
+  std::vector<int> rank(static_cast<std::size_t>(loop.num_instrs()), 0);
+  for (std::size_t r = 0; r < topo.size(); ++r) {
+    rank[static_cast<std::size_t>(topo[r])] = static_cast<int>(r);
+  }
+  std::sort(kp.ops.begin(), kp.ops.end(), [&rank](const KernelOp& a, const KernelOp& b) {
+    if (a.row != b.row) return a.row < b.row;
+    if (a.stage != b.stage) return a.stage > b.stage;
+    return rank[static_cast<std::size_t>(a.node)] < rank[static_cast<std::size_t>(b.node)];
+  });
+
+  for (const std::size_t ei : sched.reg_dep_set()) {
+    const ir::DepEdge& e = loop.dep(ei);
+    CrossThreadInput in;
+    in.edge = ei;
+    in.producer = e.src;
+    in.consumer = e.dst;
+    in.d_ker = sched.kernel_distance(e);
+    in.producer_complete_row = sched.row(e.src) + mach.latency(loop.instr(e.src).op);
+    in.consumer_row = sched.row(e.dst);
+    kp.inputs.push_back(in);
+  }
+  std::sort(kp.inputs.begin(), kp.inputs.end(),
+            [](const CrossThreadInput& a, const CrossThreadInput& b) {
+              if (a.consumer_row != b.consumer_row) return a.consumer_row < b.consumer_row;
+              return a.edge < b.edge;
+            });
+
+  kp.reg_operands.resize(static_cast<std::size_t>(loop.num_instrs()));
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    for (const std::size_t ei : loop.in_edges(v)) {
+      const ir::DepEdge& e = loop.dep(ei);
+      if (!e.is_register_flow()) continue;
+      kp.reg_operands[static_cast<std::size_t>(v)].push_back(
+          OperandRef{ei, e.src, e.distance, sched.kernel_distance(e)});
+    }
+    // in_edges is already in edge-index order; keep it that way so the
+    // value fold matches the reference interpreter exactly.
+    std::sort(kp.reg_operands[static_cast<std::size_t>(v)].begin(),
+              kp.reg_operands[static_cast<std::size_t>(v)].end(),
+              [](const OperandRef& a, const OperandRef& b) { return a.edge < b.edge; });
+  }
+
+  for (const std::size_t ei : sched.mem_dep_set()) {
+    const ir::DepEdge& e = loop.dep(ei);
+    CrossThreadInput in;
+    in.edge = ei;
+    in.producer = e.src;
+    in.consumer = e.dst;
+    in.d_ker = sched.kernel_distance(e);
+    in.producer_complete_row = sched.row(e.src) + mach.latency(loop.instr(e.src).op);
+    in.consumer_row = sched.row(e.dst);
+    kp.mem_inputs.push_back(in);
+  }
+
+  const sched::CommPlan plan = sched::plan_communication(sched);
+  kp.comm_pairs_per_iter = plan.comm_pairs_per_iter;
+  kp.copies_per_iter = plan.copies_per_iter;
+  (void)cfg;
+  return kp;
+}
+
+}  // namespace tms::codegen

@@ -1,0 +1,73 @@
+// Kernel lowering: from a modulo schedule to the per-thread program the
+// SpMT machine executes.
+//
+// Execution model (Section 3): thread k executes kernel iteration k — for
+// every node v, the instance of v belonging to source iteration
+// k - stage(v), guarded so that prologue/epilogue threads simply skip
+// instances whose source iteration falls outside [0, N). Threads are
+// spawned round-robin over the ring; a register dependence with kernel
+// distance d_ker is satisfied by the value produced in thread k - d_ker,
+// forwarded hop-by-hop (the post-pass copy chain) at C_reg_com per hop.
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/spmt_config.hpp"
+#include "sched/postpass.hpp"
+#include "sched/schedule.hpp"
+
+namespace tms::codegen {
+
+/// One instruction slot of the kernel, in issue order.
+struct KernelOp {
+  ir::NodeId node = ir::kInvalidNode;
+  int row = 0;    ///< issue cycle within the kernel iteration
+  int stage = 0;  ///< source iteration of this instance is k - stage
+  int latency = 0;
+  bool is_load = false;
+  bool is_store = false;
+};
+
+/// A register value consumed from an earlier thread.
+struct CrossThreadInput {
+  std::size_t edge = 0;       ///< index into Loop::deps()
+  ir::NodeId producer = ir::kInvalidNode;
+  ir::NodeId consumer = ir::kInvalidNode;
+  int d_ker = 0;              ///< threads between producer and consumer (>= 1)
+  int producer_complete_row = 0;  ///< producer's issue row + latency
+  int consumer_row = 0;
+};
+
+/// A register operand of a node: value produced by `src` in thread
+/// k - d_ker (same thread when d_ker == 0).
+struct OperandRef {
+  std::size_t edge = 0;
+  ir::NodeId src = ir::kInvalidNode;
+  int distance = 0;  ///< source-iteration distance d(e)
+  int d_ker = 0;     ///< thread distance in the kernel
+};
+
+struct KernelProgram {
+  int ii = 0;
+  int stage_count = 0;
+  std::vector<KernelOp> ops;  ///< sorted by (row, node id)
+  std::vector<CrossThreadInput> inputs;
+  /// Register flow operands per node, in dependence-edge index order (the
+  /// same fold order the reference interpreter uses).
+  std::vector<std::vector<OperandRef>> reg_operands;
+  /// Inter-thread memory flow dependences (d_ker >= 1): the speculated
+  /// dependences, or the ones to synchronise when speculation is off.
+  std::vector<CrossThreadInput> mem_inputs;
+  /// SEND/RECV pairs a steady-state thread executes (copy-chain hops).
+  int comm_pairs_per_iter = 0;
+  /// Register copies per iteration from the post-pass.
+  int copies_per_iter = 0;
+  /// Stores executed per steady-state thread (speculation buffer sizing).
+  int stores_per_iter = 0;
+};
+
+/// Lowers a complete, normalised schedule.
+KernelProgram lower_kernel(const sched::Schedule& sched, const machine::SpmtConfig& cfg);
+
+}  // namespace tms::codegen

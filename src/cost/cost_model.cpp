@@ -1,0 +1,40 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tms::cost {
+
+double thread_lower_bound(int ii, int c_delay, const machine::SpmtConfig& cfg) {
+  return static_cast<double>(ii + cfg.c_ci + std::max(cfg.c_spn, c_delay));
+}
+
+double per_iter_nomiss(int ii, int c_delay, const machine::SpmtConfig& cfg) {
+  TMS_ASSERT(ii >= 1);
+  const double serial = static_cast<double>(std::max({cfg.c_spn, cfg.c_ci, c_delay}));
+  const double throughput = thread_lower_bound(ii, c_delay, cfg) / cfg.ncore;
+  return std::max(serial, throughput);
+}
+
+double t_nomiss(int ii, int c_delay, const machine::SpmtConfig& cfg, long long n_iters) {
+  return per_iter_nomiss(ii, c_delay, cfg) * static_cast<double>(n_iters);
+}
+
+double misspec_penalty(int ii, int c_delay, const machine::SpmtConfig& cfg) {
+  return static_cast<double>(ii + cfg.c_inv) -
+         std::max(0.0, static_cast<double>(c_delay - cfg.c_spn));
+}
+
+double t_mis_spec(int ii, int c_delay, double p_m, const machine::SpmtConfig& cfg,
+                  long long n_iters) {
+  TMS_ASSERT(p_m >= 0.0 && p_m <= 1.0);
+  return misspec_penalty(ii, c_delay, cfg) * p_m * static_cast<double>(n_iters);
+}
+
+double estimate_execution_time(int ii, int c_delay, double p_m, const machine::SpmtConfig& cfg,
+                               long long n_iters) {
+  return t_nomiss(ii, c_delay, cfg, n_iters) + t_mis_spec(ii, c_delay, p_m, cfg, n_iters);
+}
+
+}  // namespace tms::cost

@@ -1,0 +1,40 @@
+// The TMS cost model (Section 4.2).
+//
+// Execution time of a modulo-scheduled loop of N iterations on an SpMT
+// machine is T = T_nomiss + T_mis_spec with
+//
+//   T_lb      = II + C_ci + max(C_spn, C_delay)                (per thread)
+//   T_nomiss  = max(C_spn, C_ci, C_delay, T_lb / ncore) * N       (Eq. 2)
+//   P_M       = 1 - prod_{e in M} (1 - p_e)                       (Eq. 3)
+//   T_misspec = (II + C_inv - max(0, C_delay - C_spn)) * P_M * N
+//
+// where M is the set of non-preserved inter-thread memory dependences.
+// These are pure arithmetic on the schedule's summary numbers; the
+// schedule-dependent inputs (C_delay, P_M) come from sched::Schedule.
+#pragma once
+
+#include "machine/spmt_config.hpp"
+
+namespace tms::cost {
+
+/// Lower bound on one thread's wall-clock occupancy of its core.
+double thread_lower_bound(int ii, int c_delay, const machine::SpmtConfig& cfg);
+
+/// F(II, C_delay) of Fig. 3 line 4: the misspeculation-free execution time
+/// *per iteration* (T_nomiss / N).
+double per_iter_nomiss(int ii, int c_delay, const machine::SpmtConfig& cfg);
+
+double t_nomiss(int ii, int c_delay, const machine::SpmtConfig& cfg, long long n_iters);
+
+/// Penalty of a single misspeculation: the squashed thread's II plus the
+/// invalidation, minus the sync stall the re-execution no longer pays.
+double misspec_penalty(int ii, int c_delay, const machine::SpmtConfig& cfg);
+
+double t_mis_spec(int ii, int c_delay, double p_m, const machine::SpmtConfig& cfg,
+                  long long n_iters);
+
+/// Full model: T = T_nomiss + T_mis_spec.
+double estimate_execution_time(int ii, int c_delay, double p_m, const machine::SpmtConfig& cfg,
+                               long long n_iters);
+
+}  // namespace tms::cost

@@ -1,0 +1,191 @@
+#include "ir/graph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tms::ir {
+namespace {
+
+/// Iterative Tarjan to avoid deep recursion on the largest synthetic loops.
+struct TarjanState {
+  const Loop& loop;
+  std::vector<int> index;
+  std::vector<int> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<NodeId> stack;
+  int next_index = 0;
+  SccResult result;
+
+  explicit TarjanState(const Loop& l)
+      : loop(l),
+        index(static_cast<std::size_t>(l.num_instrs()), -1),
+        lowlink(static_cast<std::size_t>(l.num_instrs()), -1),
+        on_stack(static_cast<std::size_t>(l.num_instrs()), false) {
+    result.component.assign(static_cast<std::size_t>(l.num_instrs()), -1);
+  }
+
+  void run(NodeId root) {
+    struct Frame {
+      NodeId v;
+      std::size_t edge_pos;
+    };
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& outs = loop.out_edges(f.v);
+      if (f.edge_pos < outs.size()) {
+        const DepEdge& e = loop.dep(outs[f.edge_pos++]);
+        const NodeId w = e.dst;
+        if (index[static_cast<std::size_t>(w)] < 0) {
+          index[static_cast<std::size_t>(w)] = lowlink[static_cast<std::size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(f.v)] =
+              std::min(lowlink[static_cast<std::size_t>(f.v)], index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        const NodeId v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          const NodeId parent = frames.back().v;
+          lowlink[static_cast<std::size_t>(parent)] =
+              std::min(lowlink[static_cast<std::size_t>(parent)], lowlink[static_cast<std::size_t>(v)]);
+        }
+        if (lowlink[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+          std::vector<NodeId> members;
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            result.component[static_cast<std::size_t>(w)] =
+                static_cast<int>(result.sccs.size());
+            members.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(members.begin(), members.end());
+          result.sccs.push_back(std::move(members));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool SccResult::is_trivial(int comp) const {
+  const auto c = static_cast<std::size_t>(comp);
+  if (sccs[c].size() > 1) return false;
+  return self_loops.empty() || !self_loops[c];
+}
+
+SccResult strongly_connected_components(const Loop& loop) {
+  TarjanState st(loop);
+  for (NodeId v = 0; v < loop.num_instrs(); ++v) {
+    if (st.index[static_cast<std::size_t>(v)] < 0) st.run(v);
+  }
+  // Record which single-node components carry a self-loop (distance >= 1).
+  st.result.self_loops.assign(st.result.sccs.size(), false);
+  for (const DepEdge& e : loop.deps()) {
+    if (e.src == e.dst) {
+      st.result.self_loops[static_cast<std::size_t>(
+          st.result.component[static_cast<std::size_t>(e.src)])] = true;
+    }
+  }
+  return st.result;
+}
+
+int count_nontrivial_sccs(const Loop& loop) {
+  const SccResult scc = strongly_connected_components(loop);
+  int n = 0;
+  for (int c = 0; c < scc.num_components(); ++c) {
+    if (!scc.is_trivial(c)) ++n;
+  }
+  return n;
+}
+
+std::vector<NodeId> topo_order_intra(const Loop& loop) {
+  const auto n = static_cast<std::size_t>(loop.num_instrs());
+  std::vector<int> indeg(n, 0);
+  for (const DepEdge& e : loop.deps()) {
+    if (e.distance == 0) ++indeg[static_cast<std::size_t>(e.dst)];
+  }
+  // Min-id-first worklist keeps ordering deterministic.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < loop.num_instrs(); ++v) {
+    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const NodeId v = *it;
+    ready.erase(it);
+    order.push_back(v);
+    for (std::size_t ei : loop.out_edges(v)) {
+      const DepEdge& e = loop.dep(ei);
+      if (e.distance != 0) continue;
+      if (--indeg[static_cast<std::size_t>(e.dst)] == 0) ready.push_back(e.dst);
+    }
+  }
+  TMS_ASSERT_MSG(order.size() == n, "distance-0 subgraph must be acyclic");
+  return order;
+}
+
+int longest_dependence_path(const Loop& loop, const std::vector<int>& latency) {
+  const std::vector<NodeId> order = topo_order_intra(loop);
+  std::vector<int> finish(static_cast<std::size_t>(loop.num_instrs()), 0);
+  int best = 0;
+  for (const NodeId v : order) {
+    int start = 0;
+    for (std::size_t ei : loop.in_edges(v)) {
+      const DepEdge& e = loop.dep(ei);
+      if (e.distance != 0) continue;
+      start = std::max(start, finish[static_cast<std::size_t>(e.src)]);
+    }
+    finish[static_cast<std::size_t>(v)] = start + latency[static_cast<std::size_t>(v)];
+    best = std::max(best, finish[static_cast<std::size_t>(v)]);
+  }
+  return best;
+}
+
+std::vector<int> node_heights(const Loop& loop, const std::vector<int>& latency) {
+  const std::vector<NodeId> order = topo_order_intra(loop);
+  std::vector<int> height(static_cast<std::size_t>(loop.num_instrs()), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    int below = 0;
+    for (std::size_t ei : loop.out_edges(v)) {
+      const DepEdge& e = loop.dep(ei);
+      if (e.distance != 0) continue;
+      below = std::max(below, height[static_cast<std::size_t>(e.dst)]);
+    }
+    height[static_cast<std::size_t>(v)] = below + latency[static_cast<std::size_t>(v)];
+  }
+  return height;
+}
+
+std::vector<int> node_depths(const Loop& loop, const std::vector<int>& latency) {
+  const std::vector<NodeId> order = topo_order_intra(loop);
+  std::vector<int> depth(static_cast<std::size_t>(loop.num_instrs()), 0);
+  for (const NodeId v : order) {
+    int above = 0;
+    for (std::size_t ei : loop.in_edges(v)) {
+      const DepEdge& e = loop.dep(ei);
+      if (e.distance != 0) continue;
+      above = std::max(above,
+                       depth[static_cast<std::size_t>(e.src)] + latency[static_cast<std::size_t>(e.src)]);
+    }
+    depth[static_cast<std::size_t>(v)] = above;
+  }
+  return depth;
+}
+
+}  // namespace tms::ir

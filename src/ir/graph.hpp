@@ -1,0 +1,55 @@
+// Graph analyses over the DDG: strongly connected components (Tarjan),
+// condensation topological order, and the longest dependence path (LDP).
+//
+// The LDP of a loop (Section 5 of the paper) is the longest latency-weighted
+// path through one iteration, i.e. over distance-0 edges only; together with
+// MII it delineates the range of IIs at which ILP is exploitable.
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace tms::ir {
+
+/// Result of SCC decomposition. Components are numbered in reverse
+/// topological order of the condensation (Tarjan's natural output order):
+/// component(u) > component(v) implies there is no condensation path
+/// v -> u.
+struct SccResult {
+  std::vector<int> component;               ///< node -> component id
+  std::vector<std::vector<NodeId>> sccs;    ///< component id -> members
+  std::vector<bool> self_loops;             ///< component id -> has a self-loop edge
+  int num_components() const { return static_cast<int>(sccs.size()); }
+
+  bool same_component(NodeId a, NodeId b) const {
+    return component[static_cast<std::size_t>(a)] == component[static_cast<std::size_t>(b)];
+  }
+  bool is_trivial(int comp) const;  ///< single node without a self-loop
+};
+
+/// Tarjan SCC over all DDG edges (any distance): an SCC with more than one
+/// node, or a self-looping node, is a recurrence.
+SccResult strongly_connected_components(const Loop& loop);
+
+/// Number of non-trivial SCCs (recurrences) — the "#SCC" column of Table 3.
+int count_nontrivial_sccs(const Loop& loop);
+
+/// Longest latency-weighted path over distance-0 edges. `latency[v]` is the
+/// latency of node v. Returns path length in cycles including the last
+/// node's latency (so a single 4-cycle instruction has LDP 4).
+int longest_dependence_path(const Loop& loop, const std::vector<int>& latency);
+
+/// Topological order of nodes over distance-0 edges (ties broken by node
+/// id). Precondition: Loop::validate() passed (distance-0 subgraph acyclic).
+std::vector<NodeId> topo_order_intra(const Loop& loop);
+
+/// Per-node height: longest latency-weighted distance-0 path starting at
+/// the node (inclusive of its own latency). Used by priority heuristics.
+std::vector<int> node_heights(const Loop& loop, const std::vector<int>& latency);
+
+/// Per-node depth: longest latency-weighted distance-0 path ending just
+/// before the node (exclusive of its own latency).
+std::vector<int> node_depths(const Loop& loop, const std::vector<int>& latency);
+
+}  // namespace tms::ir

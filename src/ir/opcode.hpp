@@ -1,0 +1,137 @@
+// Instruction opcodes and functional-unit classes for the loop IR.
+//
+// The IR is deliberately small: modulo scheduling only needs to know an
+// instruction's latency and which functional unit it occupies, plus whether
+// it touches memory (for speculation) or is a communication/bookkeeping op
+// inserted by the post-pass (COPY, SEND, RECV).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tms::ir {
+
+enum class Opcode : std::uint8_t {
+  // Integer ALU
+  kIAdd,
+  kISub,
+  kIMul,
+  kShift,
+  kLogic,
+  kCmp,
+  kCMov,  // conditional move (if-converted branches, per GCC 4.1.1 SMS)
+  // Floating point
+  kFAdd,
+  kFSub,
+  kFMul,
+  kFDiv,
+  kFSqrt,
+  kFCmp,
+  kFCvt,
+  // Memory
+  kLoad,
+  kStore,
+  // Address generation (folds into IALU)
+  kLea,
+  // Inserted by the post-pass / runtime, never present in source loops
+  kCopy,
+  kSend,
+  kRecv,
+  kSpawn,
+  kNop,
+};
+
+/// Functional unit classes of the simulated core (Table 1: 4-wide
+/// out-of-order issue). The FU mix is part of MachineModel; the class of
+/// each opcode is fixed here.
+enum class FuClass : std::uint8_t {
+  kIAlu,
+  kFpAdd,
+  kFpMul,   // also executes divides/sqrts (non-pipelined occupancy)
+  kMem,
+  kComm,    // SEND/RECV port onto the ring
+  kNone,    // zero-resource ops (NOP, SPAWN handled by the sequencer)
+};
+
+constexpr std::string_view to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kIAdd: return "iadd";
+    case Opcode::kISub: return "isub";
+    case Opcode::kIMul: return "imul";
+    case Opcode::kShift: return "shift";
+    case Opcode::kLogic: return "logic";
+    case Opcode::kCmp: return "cmp";
+    case Opcode::kCMov: return "cmov";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFSub: return "fsub";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFDiv: return "fdiv";
+    case Opcode::kFSqrt: return "fsqrt";
+    case Opcode::kFCmp: return "fcmp";
+    case Opcode::kFCvt: return "fcvt";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kLea: return "lea";
+    case Opcode::kCopy: return "copy";
+    case Opcode::kSend: return "send";
+    case Opcode::kRecv: return "recv";
+    case Opcode::kSpawn: return "spawn";
+    case Opcode::kNop: return "nop";
+  }
+  return "?";
+}
+
+constexpr bool is_memory(Opcode op) { return op == Opcode::kLoad || op == Opcode::kStore; }
+constexpr bool is_comm(Opcode op) { return op == Opcode::kSend || op == Opcode::kRecv; }
+
+/// FU class an opcode executes on. Latency and occupancy live in
+/// MachineModel so alternative machines can be modelled.
+constexpr FuClass fu_class(Opcode op) {
+  switch (op) {
+    case Opcode::kIAdd:
+    case Opcode::kISub:
+    case Opcode::kIMul:
+    case Opcode::kShift:
+    case Opcode::kLogic:
+    case Opcode::kCmp:
+    case Opcode::kCMov:
+    case Opcode::kLea:
+    case Opcode::kCopy:
+      return FuClass::kIAlu;
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFCmp:
+    case Opcode::kFCvt:
+      return FuClass::kFpAdd;
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+    case Opcode::kFSqrt:
+      return FuClass::kFpMul;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return FuClass::kMem;
+    case Opcode::kSend:
+    case Opcode::kRecv:
+      return FuClass::kComm;
+    case Opcode::kSpawn:
+    case Opcode::kNop:
+      return FuClass::kNone;
+  }
+  return FuClass::kNone;
+}
+
+constexpr int kNumFuClasses = 6;
+
+constexpr std::string_view to_string(FuClass c) {
+  switch (c) {
+    case FuClass::kIAlu: return "ialu";
+    case FuClass::kFpAdd: return "fpadd";
+    case FuClass::kFpMul: return "fpmul";
+    case FuClass::kMem: return "mem";
+    case FuClass::kComm: return "comm";
+    case FuClass::kNone: return "none";
+  }
+  return "?";
+}
+
+}  // namespace tms::ir

@@ -1,0 +1,146 @@
+#include "ir/textio.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace tms::ir {
+namespace {
+
+const std::map<std::string, Opcode>& opcode_names() {
+  static const std::map<std::string, Opcode> names = {
+      {"iadd", Opcode::kIAdd},   {"isub", Opcode::kISub}, {"imul", Opcode::kIMul},
+      {"shift", Opcode::kShift}, {"logic", Opcode::kLogic}, {"cmp", Opcode::kCmp},
+      {"cmov", Opcode::kCMov},   {"fadd", Opcode::kFAdd}, {"fsub", Opcode::kFSub},
+      {"fmul", Opcode::kFMul},   {"fdiv", Opcode::kFDiv}, {"fsqrt", Opcode::kFSqrt},
+      {"fcmp", Opcode::kFCmp},   {"fcvt", Opcode::kFCvt}, {"load", Opcode::kLoad},
+      {"store", Opcode::kStore}, {"lea", Opcode::kLea},   {"copy", Opcode::kCopy},
+      {"nop", Opcode::kNop},
+  };
+  return names;
+}
+
+bool parse_dep_type(const std::string& word, DepType& out) {
+  if (word == "flow") {
+    out = DepType::kFlow;
+  } else if (word == "anti") {
+    out = DepType::kAnti;
+  } else if (word == "output") {
+    out = DepType::kOutput;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::variant<Loop, ParseError> parse_loop(std::istream& in) {
+  Loop loop;
+  std::map<std::string, NodeId> ids;
+  bool named = false;
+  std::string line;
+  int lineno = 0;
+
+  auto fail = [&](const std::string& msg) { return ParseError{lineno, msg}; };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;  // blank line
+
+    if (kw == "loop") {
+      std::string name;
+      if (!(ls >> name)) return fail("'loop' requires a name");
+      loop.set_name(name);
+      named = true;
+    } else if (kw == "coverage") {
+      double c = 0.0;
+      if (!(ls >> c) || c < 0.0 || c > 1.0) return fail("'coverage' requires a value in [0,1]");
+      loop.set_coverage(c);
+    } else if (kw == "instr") {
+      std::string name;
+      std::string opname;
+      if (!(ls >> name >> opname)) return fail("'instr' requires: name opcode");
+      if (ids.count(name) != 0) return fail("duplicate instruction name '" + name + "'");
+      const auto it = opcode_names().find(opname);
+      if (it == opcode_names().end()) return fail("unknown opcode '" + opname + "'");
+      ids[name] = loop.add_instr(it->second, name);
+    } else if (kw == "reg" || kw == "mem") {
+      std::string src;
+      std::string dst;
+      int distance = 0;
+      if (!(ls >> src >> dst >> distance)) {
+        return fail("'" + kw + "' requires: src dst distance");
+      }
+      if (ids.count(src) == 0) return fail("unknown instruction '" + src + "'");
+      if (ids.count(dst) == 0) return fail("unknown instruction '" + dst + "'");
+      if (distance < 0) return fail("distance must be >= 0");
+      double probability = 1.0;
+      if (kw == "mem" && !(ls >> probability)) {
+        return fail("'mem' requires a probability after the distance");
+      }
+      if (probability <= 0.0 || probability > 1.0) {
+        return fail("probability must be in (0,1]");
+      }
+      DepType type = DepType::kFlow;
+      std::string tw;
+      if (ls >> tw && !parse_dep_type(tw, type)) {
+        return fail("unknown dependence type '" + tw + "'");
+      }
+      loop.add_dep(ids[src], ids[dst], kw == "reg" ? DepKind::kRegister : DepKind::kMemory,
+                   type, distance, probability);
+    } else if (kw == "livein") {
+      std::string name;
+      if (!(ls >> name)) return fail("'livein' requires an instruction name");
+      if (ids.count(name) == 0) return fail("unknown instruction '" + name + "'");
+      loop.mark_live_in(ids[name]);
+    } else {
+      return fail("unknown keyword '" + kw + "'");
+    }
+  }
+  if (!named) {
+    lineno = 0;
+    return fail("missing 'loop <name>' header");
+  }
+  if (const auto err = loop.validate()) {
+    lineno = 0;
+    return fail("invalid loop: " + *err);
+  }
+  return loop;
+}
+
+std::variant<Loop, ParseError> parse_loop_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_loop(in);
+}
+
+std::string serialise_loop(const Loop& loop) {
+  std::ostringstream os;
+  os << "loop " << loop.name() << "\n";
+  if (loop.coverage() > 0.0) os << "coverage " << loop.coverage() << "\n";
+  for (const Instr& ins : loop.instrs()) {
+    os << "instr " << ins.name << " " << to_string(ins.op) << "\n";
+  }
+  for (const DepEdge& e : loop.deps()) {
+    const char* type = e.type == DepType::kFlow    ? "flow"
+                       : e.type == DepType::kAnti ? "anti"
+                                                  : "output";
+    if (e.kind == DepKind::kRegister) {
+      os << "reg " << loop.instr(e.src).name << " " << loop.instr(e.dst).name << " "
+         << e.distance << " " << type << "\n";
+    } else {
+      os << "mem " << loop.instr(e.src).name << " " << loop.instr(e.dst).name << " "
+         << e.distance << " " << e.probability << " " << type << "\n";
+    }
+  }
+  for (const NodeId v : loop.live_ins()) {
+    os << "livein " << loop.instr(v).name << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tms::ir

@@ -1,0 +1,49 @@
+#include "ir/unroll.hpp"
+
+#include "support/assert.hpp"
+
+namespace tms::ir {
+
+Loop unroll(const Loop& loop, int factor) {
+  TMS_ASSERT(factor >= 1);
+  TMS_ASSERT_MSG(!loop.validate().has_value(), "unroll requires a well-formed loop");
+  Loop out(loop.name() + "_x" + std::to_string(factor));
+
+  for (int k = 0; k < factor; ++k) {
+    for (NodeId v = 0; v < loop.num_instrs(); ++v) {
+      const NodeId id = out.add_instr(loop.instr(v).op,
+                                      loop.instr(v).name + "#" + std::to_string(k));
+      TMS_ASSERT(id == unrolled_id(loop, v, k));
+    }
+  }
+
+  for (int k = 0; k < factor; ++k) {
+    for (const DepEdge& e : loop.deps()) {
+      // Consumer copy k of iteration j consumes the producer instance of
+      // source iteration j*factor + k - d; decompose into (iteration
+      // delta, copy).
+      const int off = k - e.distance;
+      int copy = off % factor;
+      int jd = off / factor;
+      if (copy < 0) {
+        copy += factor;
+        jd -= 1;
+      }
+      const int new_distance = -jd;
+      TMS_ASSERT(new_distance >= 0);
+      out.add_dep(unrolled_id(loop, e.src, copy), unrolled_id(loop, e.dst, k), e.kind, e.type,
+                  new_distance, e.probability);
+    }
+  }
+
+  for (const NodeId v : loop.live_ins()) {
+    // Values from before the loop feed (at most) the first few copies,
+    // but conservatively every copy that can see distance >= 1 edges.
+    for (int k = 0; k < factor; ++k) out.mark_live_in(unrolled_id(loop, v, k));
+  }
+  out.set_coverage(loop.coverage());
+  TMS_ASSERT_MSG(!out.validate().has_value(), "unroll produced a malformed loop");
+  return out;
+}
+
+}  // namespace tms::ir

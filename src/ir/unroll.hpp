@@ -1,0 +1,27 @@
+// Loop unrolling — the paper's "future work" extension.
+//
+// Section 6: "We are working on incorporating loop unrolling into TMS to
+// allow us to tradeoff between communication and parallelism by varying
+// thread granularities." Unrolling by u makes each thread execute u
+// source iterations: cross-iteration dependences with distance < u become
+// intra-body (no communication), at the cost of a u-times larger II per
+// thread (coarser TLP grain).
+#pragma once
+
+#include "ir/loop.hpp"
+
+namespace tms::ir {
+
+/// Unrolls `loop` by `factor`. Copy k of node v gets id k*n + v (n =
+/// original instruction count). An edge with distance d maps, for each
+/// consumer copy k, to producer copy (k - d) mod factor at distance
+/// ceil((d - k) / factor); intra-body copies of formerly cross-iteration
+/// dependences therefore carry distance 0.
+Loop unroll(const Loop& loop, int factor);
+
+/// Copy-k id of node v in the unrolled loop.
+inline NodeId unrolled_id(const Loop& original, NodeId v, int copy) {
+  return copy * original.num_instrs() + v;
+}
+
+}  // namespace tms::ir

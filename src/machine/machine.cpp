@@ -1,0 +1,52 @@
+#include "machine/machine.hpp"
+
+namespace tms::machine {
+
+using ir::FuClass;
+using ir::Opcode;
+
+MachineModel::MachineModel() {
+  set_fu_count(FuClass::kIAlu, 2);
+  set_fu_count(FuClass::kFpAdd, 2);
+  set_fu_count(FuClass::kFpMul, 1);
+  set_fu_count(FuClass::kMem, 1);
+  set_fu_count(FuClass::kComm, 1);
+  set_fu_count(FuClass::kNone, 0);
+
+  // Latencies follow the simulated core of Table 1 (L1D hit = 3 cycles
+  // folded into loads). The FP multiplier is pipelined; divide and sqrt
+  // are not (they monopolise the unit), which is typical of the era's
+  // FPUs and is what makes ResII occupancy-aware.
+  set_timing(Opcode::kIAdd, {1, 1});
+  set_timing(Opcode::kISub, {1, 1});
+  set_timing(Opcode::kIMul, {3, 1});
+  set_timing(Opcode::kShift, {1, 1});
+  set_timing(Opcode::kLogic, {1, 1});
+  set_timing(Opcode::kCmp, {1, 1});
+  set_timing(Opcode::kCMov, {1, 1});
+  set_timing(Opcode::kFAdd, {2, 1});
+  set_timing(Opcode::kFSub, {2, 1});
+  set_timing(Opcode::kFMul, {4, 1});
+  set_timing(Opcode::kFDiv, {12, 12});
+  set_timing(Opcode::kFSqrt, {16, 16});
+  set_timing(Opcode::kFCmp, {1, 1});
+  set_timing(Opcode::kFCvt, {2, 1});
+  set_timing(Opcode::kLoad, {3, 1});
+  set_timing(Opcode::kStore, {1, 1});
+  set_timing(Opcode::kLea, {1, 1});
+  set_timing(Opcode::kCopy, {1, 1});
+  set_timing(Opcode::kSend, {1, 1});
+  set_timing(Opcode::kRecv, {1, 1});
+  set_timing(Opcode::kSpawn, {1, 1});
+  set_timing(Opcode::kNop, {0, 1});
+}
+
+std::vector<int> MachineModel::latencies(const ir::Loop& loop) const {
+  std::vector<int> lat(static_cast<std::size_t>(loop.num_instrs()));
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    lat[static_cast<std::size_t>(v)] = latency(loop.instr(v).op);
+  }
+  return lat;
+}
+
+}  // namespace tms::machine

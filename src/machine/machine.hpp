@@ -1,0 +1,75 @@
+// Machine model: per-core resources and opcode timing.
+//
+// Matches Table 1 of the paper: each core is 4-wide with private FUs.
+// Latency is the number of cycles before a dependent instruction can issue;
+// occupancy is the number of cycles the instruction holds its functional
+// unit (occupancy > 1 models non-pipelined units such as FP divide, which
+// is what makes ResII interesting).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "ir/opcode.hpp"
+#include "support/assert.hpp"
+
+namespace tms::machine {
+
+struct OpTiming {
+  int latency = 1;    ///< result available after this many cycles
+  int occupancy = 1;  ///< FU busy cycles (non-pipelined if > 1)
+};
+
+class MachineModel {
+ public:
+  /// Default machine per Table 1: 4-wide issue, 2 integer ALUs, 1 FP
+  /// adder, 1 FP multiplier (also divides, non-pipelined), 1 memory port,
+  /// 1 communication port. L1D hit latency (3 cycles) is folded into the
+  /// load latency, as GCC's scheduler does.
+  MachineModel();
+
+  int issue_width() const { return issue_width_; }
+  void set_issue_width(int w) {
+    TMS_ASSERT(w > 0);
+    issue_width_ = w;
+  }
+
+  /// Reorder-buffer capacity of the dynamic core (bounds how far the
+  /// single-threaded baseline can look ahead; modulo scheduling has no
+  /// such limit, which is precisely the ILP edge software pipelining
+  /// keeps over hardware scheduling).
+  int rob_entries() const { return rob_entries_; }
+  void set_rob_entries(int n) {
+    TMS_ASSERT(n > 0);
+    rob_entries_ = n;
+  }
+
+  int fu_count(ir::FuClass c) const { return fu_count_[static_cast<std::size_t>(c)]; }
+  void set_fu_count(ir::FuClass c, int n) {
+    TMS_ASSERT(n >= 0);
+    fu_count_[static_cast<std::size_t>(c)] = n;
+  }
+
+  const OpTiming& timing(ir::Opcode op) const {
+    return timing_[static_cast<std::size_t>(op)];
+  }
+  void set_timing(ir::Opcode op, OpTiming t) {
+    TMS_ASSERT(t.latency >= 0 && t.occupancy >= 1);
+    timing_[static_cast<std::size_t>(op)] = t;
+  }
+
+  int latency(ir::Opcode op) const { return timing(op).latency; }
+  int occupancy(ir::Opcode op) const { return timing(op).occupancy; }
+
+  /// Per-node latencies for a whole loop (convenience for graph analyses).
+  std::vector<int> latencies(const ir::Loop& loop) const;
+
+ private:
+  int issue_width_ = 4;
+  int rob_entries_ = 64;
+  std::array<int, ir::kNumFuClasses> fu_count_{};
+  std::array<OpTiming, 22> timing_{};
+};
+
+}  // namespace tms::machine

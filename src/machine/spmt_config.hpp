@@ -1,0 +1,69 @@
+// SpMT system configuration — the knobs of Table 1 plus the parameters of
+// the cost model (Section 4.2). A single struct shared by the TMS
+// scheduler, the cost model, and the simulator so that all three always
+// agree on the machine.
+#pragma once
+
+#include "support/assert.hpp"
+
+namespace tms::machine {
+
+struct SpmtConfig {
+  // --- Topology ---------------------------------------------------------
+  int ncore = 4;  ///< the paper evaluates a quad-core ring
+
+  // --- Per-event overheads (Table 1) -------------------------------------
+  int c_spn = 3;      ///< spawn overhead C_spn
+  int c_ci = 2;       ///< commit overhead C_ci (double-buffered write buffer)
+  int c_inv = 15;     ///< invalidation overhead C_inv (gang-clear + flush)
+  int c_reg_com = 3;  ///< SEND(1) + 1 hop + RECV(1), Voltron queue model
+
+  // Breakdown of c_reg_com used by the simulator's ring model; their sum
+  // must equal c_reg_com for adjacent cores.
+  int send_cycles = 1;
+  int hop_cycles = 1;  ///< per ring hop
+  int recv_cycles = 1;
+
+  // --- Memory hierarchy (Table 1) ----------------------------------------
+  int l1i_hit = 1;
+  int l1d_hit = 3;
+  int l2_hit = 12;
+  int l2_miss = 80;  ///< main-memory access
+  int l1d_sets = 64;        ///< 16KB, 4-way, 64B lines
+  int l1d_ways = 4;
+  int l2_sets = 4096;       ///< 1MB, 4-way, 64B lines (shared)
+  int l2_ways = 4;
+  int line_bytes = 64;
+
+  // --- Speculation machinery ---------------------------------------------
+  int spec_write_buffer_entries = 64;  ///< Hydra-style buffer next to L2
+  int mdt_entries = 1024;              ///< memory disambiguation table
+
+  // --- Operand network (Voltron queue model) ------------------------------
+  /// Entries per SEND/RECV channel between adjacent cores. A SEND blocks
+  /// when the receiver has this many undelivered values outstanding
+  /// (backpressure); Voltron-style designs keep these queues small.
+  int ring_queue_entries = 8;
+
+  // --- Scheduler-side knobs ----------------------------------------------
+  /// Smallest legal C_delay: a 1-cycle producer plus the register
+  /// communication (Definition 2 / line 5 of Fig. 3).
+  int min_c_delay() const { return 1 + c_reg_com; }
+
+  /// Communication latency between producer core and the consumer core
+  /// `hops` ring positions downstream (consumer of a distance-1 dependence
+  /// is always 1 hop away after the copy post-pass).
+  int comm_latency(int hops) const {
+    TMS_ASSERT(hops >= 1);
+    return send_cycles + hops * hop_cycles + recv_cycles;
+  }
+
+  void check() const {
+    TMS_ASSERT(ncore >= 1);
+    TMS_ASSERT(c_spn >= 0 && c_ci >= 0 && c_inv >= 0);
+    TMS_ASSERT(send_cycles + hop_cycles + recv_cycles == c_reg_com);
+    TMS_ASSERT(spec_write_buffer_entries > 0);
+  }
+};
+
+}  // namespace tms::machine

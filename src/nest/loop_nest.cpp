@@ -1,0 +1,113 @@
+#include "nest/loop_nest.hpp"
+
+#include <algorithm>
+
+#include "codegen/kernel_program.hpp"
+#include "cost/cost_model.hpp"
+#include "ir/graph.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/sim.hpp"
+#include "spmt/single_core.hpp"
+#include "support/assert.hpp"
+
+namespace tms::nest {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kInnerTms: return "inner-TMS";
+    case Strategy::kOuterTls: return "outer-TLS";
+    case Strategy::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+NestEval evaluate_nest(const LoopNest& nest, const machine::MachineModel& mach,
+                       const machine::SpmtConfig& cfg, std::int64_t outer_trips,
+                       std::uint64_t seed) {
+  TMS_ASSERT(outer_trips >= 1);
+  TMS_ASSERT(nest.inner_trips >= 1);
+  TMS_ASSERT_MSG(!nest.inner.validate().has_value(), "nest has malformed inner loop");
+  for (const OuterDep& d : nest.outer_deps) {
+    TMS_ASSERT(d.src >= 0 && d.src < nest.inner.num_instrs());
+    TMS_ASSERT(d.dst >= 0 && d.dst < nest.inner.num_instrs());
+    TMS_ASSERT(d.distance >= 1);
+  }
+
+  NestEval ev;
+  const spmt::AddressStreams streams = spmt::default_streams(nest.inner, seed);
+
+  // --- One outer iteration on a single core (the sequential body and the
+  // outer-TLS thread body). ---
+  const auto single =
+      spmt::run_single_threaded(nest.inner, mach, cfg, streams, nest.inner_trips);
+  ev.thread_body_cycles = single.total_cycles;
+  ev.cycles_sequential = single.total_cycles * outer_trips;
+
+  // --- Strategy A: inner-TMS. Outer iterations are sequential; each pays
+  // the software pipeline's startup, fill and drain. ---
+  {
+    const auto tms = sched::tms_schedule(nest.inner, mach, cfg);
+    TMS_ASSERT_MSG(tms.has_value(), "TMS failed on the inner loop");
+    const auto kp = codegen::lower_kernel(tms->schedule, cfg);
+    spmt::SpmtOptions opts;
+    opts.iterations = nest.inner_trips;
+    opts.keep_memory = false;
+    const auto sim = spmt::run_spmt(nest.inner, kp, cfg, streams, opts);
+    ev.cycles_inner_tms = sim.stats.total_cycles * outer_trips;
+  }
+
+  // --- Strategy B: outer-TLS. One coarse thread per outer iteration. ---
+  {
+    const std::int64_t body = ev.thread_body_cycles;
+    // Approximate each node's completion position inside the thread by
+    // its topological rank share of the body.
+    const std::vector<ir::NodeId> topo = ir::topo_order_intra(nest.inner);
+    std::vector<double> pos(static_cast<std::size_t>(nest.inner.num_instrs()), 0.0);
+    for (std::size_t r = 0; r < topo.size(); ++r) {
+      pos[static_cast<std::size_t>(topo[r])] =
+          static_cast<double>(r + 1) / static_cast<double>(topo.size());
+    }
+    int c_delay = 0;
+    double keep = 1.0;
+    for (const OuterDep& d : nest.outer_deps) {
+      if (d.kind == ir::DepKind::kRegister) {
+        // Consumer thread waits until the producer (late in the previous
+        // thread) finishes: the end-to-start span of the body.
+        const double span = (pos[static_cast<std::size_t>(d.src)] -
+                             pos[static_cast<std::size_t>(d.dst)]) *
+                                static_cast<double>(body) +
+                            cfg.c_reg_com;
+        c_delay = std::max(c_delay, static_cast<int>(std::max(0.0, span)));
+      } else {
+        keep *= 1.0 - d.probability;
+      }
+    }
+    ev.outer_c_delay = c_delay;
+    ev.outer_misspec_probability = 1.0 - keep;
+
+    const double per_iter =
+        cost::per_iter_nomiss(static_cast<int>(std::min<std::int64_t>(body, 1 << 28)), c_delay,
+                              cfg);
+    const double penalty =
+        static_cast<double>(body) + cfg.c_inv;  // whole coarse thread wasted
+    ev.outer_misspeculations =
+        static_cast<std::int64_t>(ev.outer_misspec_probability * static_cast<double>(outer_trips));
+    ev.cycles_outer_tls = static_cast<std::int64_t>(
+        per_iter * static_cast<double>(outer_trips) +
+        penalty * static_cast<double>(ev.outer_misspeculations));
+  }
+
+  ev.best = Strategy::kSequential;
+  std::int64_t best = ev.cycles_sequential;
+  if (ev.cycles_inner_tms < best) {
+    best = ev.cycles_inner_tms;
+    ev.best = Strategy::kInnerTms;
+  }
+  if (ev.cycles_outer_tls < best) {
+    ev.best = Strategy::kOuterTls;
+  }
+  return ev;
+}
+
+}  // namespace tms::nest

@@ -1,0 +1,78 @@
+// Loop nests and parallelisation-level choice — the paper's second
+// "future work" item (Section 6: "We are also working on extending TMS
+// to also parallelise outer loops").
+//
+// A nest is an inner loop (the innermost-loop IR TMS understands) that
+// runs `inner_trips` iterations inside each iteration of an enclosing
+// outer loop, plus the dependences carried by the *outer* loop. Two
+// parallelisation strategies compete:
+//
+//   inner-TMS: outer iterations run sequentially; each one executes the
+//     TMS-parallelised inner loop across all cores. Pays the software
+//     pipeline's fill/drain every outer iteration, so it fades as
+//     inner_trips shrinks.
+//
+//   outer-TLS: each outer iteration becomes one coarse thread running
+//     the whole inner loop single-core (the Du/Quinones-style
+//     speculative threading the paper cites as prior work). Outer
+//     register dependences are synchronised end-to-start; outer memory
+//     dependences are speculated with their profiled probability, with
+//     a whole-thread squash on violation.
+//
+// evaluate_nest() prices both using the same machinery the rest of the
+// repository uses: the SpMT simulator for inner-TMS, the single-core
+// executor for thread bodies, and the Section-4.2 cost model (applied at
+// the outer level) for outer-TLS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/machine.hpp"
+#include "machine/spmt_config.hpp"
+
+namespace tms::nest {
+
+/// A dependence carried by the outer loop between two inner-body nodes
+/// (e.g. this outer iteration's store feeding next outer iteration's
+/// load).
+struct OuterDep {
+  ir::NodeId src = ir::kInvalidNode;
+  ir::NodeId dst = ir::kInvalidNode;
+  ir::DepKind kind = ir::DepKind::kMemory;
+  int distance = 1;          ///< outer-loop distance (>= 1)
+  double probability = 1.0;  ///< for memory deps: profiled collision rate
+};
+
+struct LoopNest {
+  std::string name;
+  ir::Loop inner;
+  std::int64_t inner_trips = 100;  ///< inner iterations per outer iteration
+  std::vector<OuterDep> outer_deps;
+  double coverage = 0.0;
+};
+
+enum class Strategy { kInnerTms, kOuterTls, kSequential };
+
+struct NestEval {
+  /// Cycles for `outer_trips` outer iterations under each strategy.
+  std::int64_t cycles_sequential = 0;
+  std::int64_t cycles_inner_tms = 0;
+  std::int64_t cycles_outer_tls = 0;
+  Strategy best = Strategy::kSequential;
+  /// Details of the outer-TLS estimate.
+  std::int64_t thread_body_cycles = 0;  ///< one outer iteration, single core
+  int outer_c_delay = 0;                ///< serialisation from outer register deps
+  double outer_misspec_probability = 0.0;
+  std::int64_t outer_misspeculations = 0;
+};
+
+NestEval evaluate_nest(const LoopNest& nest, const machine::MachineModel& mach,
+                       const machine::SpmtConfig& cfg, std::int64_t outer_trips,
+                       std::uint64_t seed = 1);
+
+const char* to_string(Strategy s);
+
+}  // namespace tms::nest

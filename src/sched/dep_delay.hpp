@@ -1,0 +1,37 @@
+// Scheduling delay contributed by a dependence edge.
+//
+// The modulo scheduling constraint for an edge u -> v with distance d is
+//   slot(v) >= slot(u) + delay(u,v) - II * d.
+// Flow dependences require the producer's full latency; anti dependences
+// only require the consumer (writer) not to overtake the reader's issue;
+// output dependences require one cycle of separation so the later write
+// wins.
+#pragma once
+
+#include "ir/loop.hpp"
+#include "machine/machine.hpp"
+
+namespace tms::sched {
+
+inline int dep_delay(const machine::MachineModel& mach, const ir::Loop& loop,
+                     const ir::DepEdge& e) {
+  // Speculated dependences: inter-iteration memory dependences are
+  // tracked by the MDT and rolled back on violation, so the schedule does
+  // not have to cover the producer's latency — only the thread ordering
+  // (kernel distance >= 0) is kept, which a zero-delay modulo constraint
+  // guarantees. This is what makes the paper's motivating example RecII 8
+  // rather than 9: the circuit (n0,n1,n2,n4,n5) is closed by the
+  // speculated n5 -> n0, whose store latency does not count.
+  if (e.kind == ir::DepKind::kMemory && e.distance >= 1) return 0;
+  switch (e.type) {
+    case ir::DepType::kFlow:
+      return mach.latency(loop.instr(e.src).op);
+    case ir::DepType::kAnti:
+      return 0;
+    case ir::DepType::kOutput:
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace tms::sched

@@ -1,0 +1,132 @@
+#include "sched/ims.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "sched/dep_delay.hpp"
+#include "sched/mii.hpp"
+#include "sched/mrt.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+namespace {
+
+/// One IMS pass at a fixed II.
+std::optional<Schedule> try_ii(const ir::Loop& loop, const machine::MachineModel& mach, int ii,
+                               const std::vector<int>& height, int budget) {
+  const auto n = static_cast<std::size_t>(loop.num_instrs());
+  Schedule ps(loop, mach, ii);
+  ModuloReservationTable mrt(mach, ii);
+
+  // Never-scheduled-before operations start at their dependence-driven
+  // earliest cycle; re-scheduled ones must move at least one cycle past
+  // their previous position to guarantee progress.
+  std::vector<int> prev_slot(n, -1);
+  std::vector<bool> ever_placed(n, false);
+
+  // Highest height first; ties by node id for determinism.
+  auto priority_less = [&](ir::NodeId a, ir::NodeId b) {
+    const int ha = height[static_cast<std::size_t>(a)];
+    const int hb = height[static_cast<std::size_t>(b)];
+    if (ha != hb) return ha > hb;
+    return a < b;
+  };
+  std::vector<ir::NodeId> work;
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) work.push_back(v);
+  std::sort(work.begin(), work.end(), priority_less);
+  std::deque<ir::NodeId> queue(work.begin(), work.end());
+
+  while (!queue.empty()) {
+    if (budget-- <= 0) return std::nullopt;
+    const ir::NodeId v = queue.front();
+    queue.pop_front();
+
+    // Earliest start from placed predecessors.
+    int estart = 0;
+    for (const std::size_t ei : loop.in_edges(v)) {
+      const ir::DepEdge& e = loop.dep(ei);
+      if (e.src == v || !ps.is_placed(e.src)) continue;
+      estart = std::max(estart, ps.slot(e.src) + dep_delay(mach, loop, e) - ii * e.distance);
+    }
+
+    int chosen = -1;
+    for (int c = estart; c < estart + ii; ++c) {
+      if (mrt.can_place(loop.instr(v).op, c)) {
+        chosen = c;
+        break;
+      }
+    }
+    bool forced = false;
+    if (chosen < 0) {
+      // Force placement, evicting whatever stands in the way (Rau's
+      // schedule-and-displace step).
+      chosen = ever_placed[static_cast<std::size_t>(v)]
+                   ? std::max(estart, prev_slot[static_cast<std::size_t>(v)] + 1)
+                   : estart;
+      forced = true;
+    }
+
+    if (forced) {
+      // Evict resource conflicts at the chosen cycle.
+      // Anything issued in the same modulo row may hold the unit or the
+      // issue bandwidth v needs; evict one at a time until v fits.
+      const int target_row = ((chosen % ii) + ii) % ii;
+      for (ir::NodeId w = 0; w < loop.num_instrs(); ++w) {
+        if (w == v || !ps.is_placed(w)) continue;
+        if (ps.row(w) != target_row) continue;
+        mrt.remove(loop.instr(w).op, ps.slot(w));
+        ps.clear_slot(w);
+        queue.push_back(w);
+        if (mrt.can_place(loop.instr(v).op, chosen)) break;
+      }
+      if (!mrt.can_place(loop.instr(v).op, chosen)) {
+        // Could not clear the row (e.g. occupancy wrap-around): give up
+        // on this II.
+        return std::nullopt;
+      }
+    }
+
+    // Evict placed successors whose dependence constraint the new
+    // placement violates (predecessor constraints were honoured above).
+    for (const std::size_t ei : loop.out_edges(v)) {
+      const ir::DepEdge& e = loop.dep(ei);
+      if (e.dst == v || !ps.is_placed(e.dst)) continue;
+      if (ps.slot(e.dst) < chosen + dep_delay(mach, loop, e) - ii * e.distance) {
+        mrt.remove(loop.instr(e.dst).op, ps.slot(e.dst));
+        ps.clear_slot(e.dst);
+        queue.push_back(e.dst);
+      }
+    }
+
+    mrt.place(loop.instr(v).op, chosen);
+    ps.set_slot(v, chosen);
+    prev_slot[static_cast<std::size_t>(v)] = chosen;
+    ever_placed[static_cast<std::size_t>(v)] = true;
+  }
+  return ps;
+}
+
+}  // namespace
+
+std::optional<ImsResult> ims_schedule(const ir::Loop& loop, const machine::MachineModel& mach,
+                                      const ImsOptions& opts) {
+  TMS_ASSERT_MSG(!loop.validate().has_value(), "loop must be well-formed");
+  const int mii = min_ii(loop, mach);
+  const std::vector<int> height = ir::node_heights(loop, mach.latencies(loop));
+
+  for (int ii = mii; ii <= mii + opts.max_ii_slack; ++ii) {
+    if (!recurrences_feasible(loop, mach, ii)) continue;
+    std::optional<Schedule> s =
+        try_ii(loop, mach, ii, height, opts.budget_factor * loop.num_instrs());
+    if (s.has_value()) {
+      s->normalise();
+      if (s->validate().has_value()) continue;  // eviction raced a constraint; try next II
+      return ImsResult{std::move(*s), mii, ii - mii + 1};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tms::sched

@@ -1,0 +1,35 @@
+// Iterative Modulo Scheduling (Rau, MICRO'94) — the other classic modulo
+// scheduler the paper positions against (via Codina et al.'s comparison,
+// which found SMS to produce the best schedules in general). Provided as
+// a second baseline so the repository can reproduce that comparison and
+// demonstrate that TMS's ideas are not tied to SMS.
+//
+// IMS schedules operations highest-priority-first (by height), placing
+// each at the earliest feasible cycle of its modulo window; when no cycle
+// is free it force-places the operation and evicts whatever conflicts
+// (resource-wise or dependence-wise), bounded by a per-II backtracking
+// budget.
+#pragma once
+
+#include <optional>
+
+#include "sched/schedule.hpp"
+
+namespace tms::sched {
+
+struct ImsOptions {
+  int max_ii_slack = 256;
+  /// Scheduling-step budget per II, as a multiple of the loop size.
+  int budget_factor = 8;
+};
+
+struct ImsResult {
+  Schedule schedule;
+  int mii = 0;
+  int attempts = 0;  ///< II values tried
+};
+
+std::optional<ImsResult> ims_schedule(const ir::Loop& loop, const machine::MachineModel& mach,
+                                      const ImsOptions& opts = {});
+
+}  // namespace tms::sched

@@ -1,0 +1,105 @@
+#include "sched/mii.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "sched/dep_delay.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+namespace {
+
+/// Detects a positive-weight cycle among `nodes` using Bellman-Ford style
+/// relaxation on longest paths; weight(e) = delay(e) - ii * distance(e).
+bool has_positive_cycle(const ir::Loop& loop, const machine::MachineModel& mach, int ii,
+                        const std::vector<bool>* in_subset) {
+  const auto n = static_cast<std::size_t>(loop.num_instrs());
+  // Longest-path relaxation from a virtual source connected to all nodes
+  // with weight 0. If any distance still improves after n rounds, a
+  // positive cycle exists.
+  std::vector<long long> dist(n, 0);
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const ir::DepEdge& e : loop.deps()) {
+      if (in_subset != nullptr) {
+        if (!(*in_subset)[static_cast<std::size_t>(e.src)] ||
+            !(*in_subset)[static_cast<std::size_t>(e.dst)]) {
+          continue;
+        }
+      }
+      const long long w =
+          static_cast<long long>(dep_delay(mach, loop, e)) - static_cast<long long>(ii) * e.distance;
+      if (dist[static_cast<std::size_t>(e.src)] + w > dist[static_cast<std::size_t>(e.dst)]) {
+        dist[static_cast<std::size_t>(e.dst)] = dist[static_cast<std::size_t>(e.src)] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+int rec_ii_impl(const ir::Loop& loop, const machine::MachineModel& mach,
+                const std::vector<bool>* in_subset) {
+  // Upper bound: sum of all edge delays (a cycle cannot require more).
+  int hi = 1;
+  for (const ir::DepEdge& e : loop.deps()) hi += std::max(0, dep_delay(mach, loop, e));
+  int lo = 1;
+  // Feasibility is monotone in II: larger II only decreases cycle weights.
+  if (!has_positive_cycle(loop, mach, hi, in_subset)) {
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (has_positive_cycle(loop, mach, mid, in_subset)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  // A zero-distance positive cycle would make every II infeasible; the Loop
+  // validator rejects such graphs, so this is unreachable for valid input.
+  TMS_UNREACHABLE("recurrence infeasible at any II; invalid loop");
+}
+
+}  // namespace
+
+int res_ii(const ir::Loop& loop, const machine::MachineModel& mach) {
+  std::array<int, ir::kNumFuClasses> used{};
+  int real_instrs = 0;
+  for (const ir::Instr& ins : loop.instrs()) {
+    const ir::FuClass c = ir::fu_class(ins.op);
+    if (c == ir::FuClass::kNone) continue;
+    used[static_cast<std::size_t>(c)] += mach.occupancy(ins.op);
+    ++real_instrs;
+  }
+  int ii = 1;
+  for (int c = 0; c < ir::kNumFuClasses; ++c) {
+    const int cnt = mach.fu_count(static_cast<ir::FuClass>(c));
+    if (used[static_cast<std::size_t>(c)] == 0) continue;
+    TMS_ASSERT_MSG(cnt > 0, "loop uses an FU class the machine lacks");
+    ii = std::max(ii, (used[static_cast<std::size_t>(c)] + cnt - 1) / cnt);
+  }
+  ii = std::max(ii, (real_instrs + mach.issue_width() - 1) / mach.issue_width());
+  return ii;
+}
+
+int rec_ii(const ir::Loop& loop, const machine::MachineModel& mach) {
+  return rec_ii_impl(loop, mach, nullptr);
+}
+
+int rec_ii_subset(const ir::Loop& loop, const machine::MachineModel& mach,
+                  const std::vector<bool>& in_subset) {
+  return rec_ii_impl(loop, mach, &in_subset);
+}
+
+int min_ii(const ir::Loop& loop, const machine::MachineModel& mach) {
+  return std::max(res_ii(loop, mach), rec_ii(loop, mach));
+}
+
+bool recurrences_feasible(const ir::Loop& loop, const machine::MachineModel& mach, int ii) {
+  return !has_positive_cycle(loop, mach, ii, nullptr);
+}
+
+}  // namespace tms::sched

@@ -1,0 +1,34 @@
+// Minimum initiation interval: MII = max(ResII, RecII).
+//
+// ResII counts resource pressure: for each functional-unit class, the total
+// occupancy of the loop's instructions divided by the number of units,
+// plus the issue-width bound. RecII is the smallest II for which no
+// dependence cycle is over-constrained, found by binary search on the
+// feasibility predicate "no positive cycle with edge weight
+// delay(e) - II*distance(e)" (Bellman-Ford).
+#pragma once
+
+#include "ir/loop.hpp"
+#include "machine/machine.hpp"
+
+namespace tms::sched {
+
+int res_ii(const ir::Loop& loop, const machine::MachineModel& mach);
+
+/// RecII over all dependence edges (register and memory). Returns 1 if the
+/// loop has no recurrence.
+int rec_ii(const ir::Loop& loop, const machine::MachineModel& mach);
+
+/// RecII restricted to a subset of nodes (used for per-SCC criticality in
+/// the SMS node ordering). `in_subset[v]` selects the nodes.
+int rec_ii_subset(const ir::Loop& loop, const machine::MachineModel& mach,
+                  const std::vector<bool>& in_subset);
+
+int min_ii(const ir::Loop& loop, const machine::MachineModel& mach);
+
+/// True iff no dependence cycle requires more than `ii` cycles per
+/// iteration, i.e. a modulo schedule at this II is not excluded by
+/// recurrences alone.
+bool recurrences_feasible(const ir::Loop& loop, const machine::MachineModel& mach, int ii);
+
+}  // namespace tms::sched

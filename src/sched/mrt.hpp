@@ -1,0 +1,47 @@
+// Modulo reservation table (MRT).
+//
+// Tracks functional-unit occupancy and issue-slot usage per modulo row.
+// An instruction placed at absolute cycle c occupies:
+//   - one issue slot at row c mod II, and
+//   - its functional unit at rows (c mod II) .. (c + occupancy - 1 mod II).
+// Non-pipelined units (occupancy > 1) therefore wrap around the table,
+// which is exactly why ResII must account for total occupancy.
+#pragma once
+
+#include <vector>
+
+#include "ir/opcode.hpp"
+#include "machine/machine.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+
+class ModuloReservationTable {
+ public:
+  ModuloReservationTable(const machine::MachineModel& mach, int ii);
+
+  int ii() const { return ii_; }
+
+  /// Mathematical modulo: result in [0, ii) even for negative cycles.
+  int row_of(int cycle) const {
+    const int r = cycle % ii_;
+    return r < 0 ? r + ii_ : r;
+  }
+
+  bool can_place(ir::Opcode op, int cycle) const;
+  void place(ir::Opcode op, int cycle);
+  void remove(ir::Opcode op, int cycle);
+
+  int issue_used(int row) const { return issue_used_.at(static_cast<std::size_t>(row)); }
+  int fu_used(ir::FuClass c, int row) const {
+    return fu_used_[static_cast<std::size_t>(c)].at(static_cast<std::size_t>(row));
+  }
+
+ private:
+  const machine::MachineModel& mach_;
+  int ii_;
+  std::vector<int> issue_used_;                          ///< per row
+  std::vector<std::vector<int>> fu_used_;                ///< [class][row]
+};
+
+}  // namespace tms::sched

@@ -1,0 +1,224 @@
+#include "sched/order.hpp"
+
+#include <algorithm>
+
+#include "ir/graph.hpp"
+#include "sched/mii.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+namespace {
+
+/// All-pairs reachability over the full DDG (any distance), bitset-free
+/// BFS per node; loops here are at most a few hundred nodes.
+std::vector<std::vector<bool>> reachability(const ir::Loop& loop) {
+  const auto n = static_cast<std::size_t>(loop.num_instrs());
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (ir::NodeId s = 0; s < loop.num_instrs(); ++s) {
+    std::vector<ir::NodeId> stack{s};
+    while (!stack.empty()) {
+      const ir::NodeId v = stack.back();
+      stack.pop_back();
+      for (const std::size_t ei : loop.out_edges(v)) {
+        const ir::NodeId w = loop.dep(ei).dst;
+        if (!reach[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)]) {
+          reach[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::vector<std::vector<ir::NodeId>> sms_node_sets(const ir::Loop& loop,
+                                                   const machine::MachineModel& mach) {
+  const ir::SccResult scc = strongly_connected_components(loop);
+  struct Rec {
+    int comp;
+    int rec_ii;
+  };
+  std::vector<Rec> recs;
+  for (int c = 0; c < scc.num_components(); ++c) {
+    if (scc.is_trivial(c)) continue;
+    std::vector<bool> subset(static_cast<std::size_t>(loop.num_instrs()), false);
+    for (const ir::NodeId v : scc.sccs[static_cast<std::size_t>(c)]) {
+      subset[static_cast<std::size_t>(v)] = true;
+    }
+    recs.push_back(Rec{c, rec_ii_subset(loop, mach, subset)});
+  }
+  // Most critical recurrence first; ties by component id for determinism.
+  std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+    if (a.rec_ii != b.rec_ii) return a.rec_ii > b.rec_ii;
+    return a.comp < b.comp;
+  });
+
+  const auto reach = reachability(loop);
+  std::vector<bool> placed(static_cast<std::size_t>(loop.num_instrs()), false);
+  std::vector<std::vector<ir::NodeId>> sets;
+
+  for (const Rec& r : recs) {
+    std::vector<ir::NodeId> set;
+    auto add = [&](ir::NodeId v) {
+      if (!placed[static_cast<std::size_t>(v)]) {
+        placed[static_cast<std::size_t>(v)] = true;
+        set.push_back(v);
+      }
+    };
+    // Nodes on paths between already-placed sets and this recurrence (in
+    // either direction) join the recurrence's set, per the SMS paper.
+    const auto& members = scc.sccs[static_cast<std::size_t>(r.comp)];
+    if (!sets.empty()) {
+      for (ir::NodeId w = 0; w < loop.num_instrs(); ++w) {
+        if (placed[static_cast<std::size_t>(w)]) continue;
+        bool from_placed_to_w = false;
+        bool w_to_placed = false;
+        for (ir::NodeId p = 0; p < loop.num_instrs(); ++p) {
+          if (!placed[static_cast<std::size_t>(p)]) continue;
+          from_placed_to_w |= reach[static_cast<std::size_t>(p)][static_cast<std::size_t>(w)];
+          w_to_placed |= reach[static_cast<std::size_t>(w)][static_cast<std::size_t>(p)];
+        }
+        bool w_to_scc = false;
+        bool scc_to_w = false;
+        for (const ir::NodeId m : members) {
+          w_to_scc |= reach[static_cast<std::size_t>(w)][static_cast<std::size_t>(m)];
+          scc_to_w |= reach[static_cast<std::size_t>(m)][static_cast<std::size_t>(w)];
+        }
+        if ((from_placed_to_w && w_to_scc) || (scc_to_w && w_to_placed)) add(w);
+      }
+    }
+    for (const ir::NodeId m : members) add(m);
+    if (!set.empty()) {
+      std::sort(set.begin(), set.end());
+      sets.push_back(std::move(set));
+    }
+  }
+
+  // Remaining (non-recurrence) nodes form the final set.
+  std::vector<ir::NodeId> rest;
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    if (!placed[static_cast<std::size_t>(v)]) rest.push_back(v);
+  }
+  if (!rest.empty()) sets.push_back(std::move(rest));
+  return sets;
+}
+
+std::vector<ir::NodeId> sms_node_order(const ir::Loop& loop, const machine::MachineModel& mach) {
+  const auto sets = sms_node_sets(loop, mach);
+  const std::vector<int> lat = mach.latencies(loop);
+  const std::vector<int> height = ir::node_heights(loop, lat);
+  const std::vector<int> depth = ir::node_depths(loop, lat);
+
+  const auto n = static_cast<std::size_t>(loop.num_instrs());
+  std::vector<bool> ordered(n, false);
+  std::vector<ir::NodeId> order;
+  order.reserve(n);
+
+  // Neighbour queries restricted to a node set, over all DDG edges.
+  auto preds_in = [&](ir::NodeId v, const std::vector<bool>& in_set,
+                      std::vector<ir::NodeId>& out) {
+    for (const std::size_t ei : loop.in_edges(v)) {
+      const ir::NodeId u = loop.dep(ei).src;
+      if (in_set[static_cast<std::size_t>(u)] && !ordered[static_cast<std::size_t>(u)]) {
+        out.push_back(u);
+      }
+    }
+  };
+  auto succs_in = [&](ir::NodeId v, const std::vector<bool>& in_set,
+                      std::vector<ir::NodeId>& out) {
+    for (const std::size_t ei : loop.out_edges(v)) {
+      const ir::NodeId w = loop.dep(ei).dst;
+      if (in_set[static_cast<std::size_t>(w)] && !ordered[static_cast<std::size_t>(w)]) {
+        out.push_back(w);
+      }
+    }
+  };
+
+  enum class Dir { kBottomUp, kTopDown };
+
+  for (const auto& set : sets) {
+    std::vector<bool> in_set(n, false);
+    for (const ir::NodeId v : set) in_set[static_cast<std::size_t>(v)] = true;
+
+    // Seed: successors of the already-ordered nodes inside this set are
+    // ordered top-down; predecessors bottom-up; otherwise start from the
+    // deepest node (longest path below it) top-down.
+    std::vector<ir::NodeId> ready;
+    Dir dir = Dir::kTopDown;
+    for (const ir::NodeId o : order) succs_in(o, in_set, ready);
+    if (ready.empty()) {
+      for (const ir::NodeId o : order) preds_in(o, in_set, ready);
+      if (!ready.empty()) dir = Dir::kBottomUp;
+    }
+    if (ready.empty()) {
+      ir::NodeId best = set.front();
+      for (const ir::NodeId v : set) {
+        if (height[static_cast<std::size_t>(v)] > height[static_cast<std::size_t>(best)]) best = v;
+      }
+      ready.push_back(best);
+      dir = Dir::kTopDown;
+    }
+
+    int remaining = static_cast<int>(set.size());
+    for (const ir::NodeId v : set) {
+      if (ordered[static_cast<std::size_t>(v)]) --remaining;
+    }
+
+    while (remaining > 0) {
+      while (!ready.empty()) {
+        // Pick by criticality: top-down sweeps prefer maximal height
+        // (longest path below), bottom-up sweeps prefer maximal depth.
+        const auto* key = (dir == Dir::kTopDown) ? &height : &depth;
+        auto it = std::max_element(ready.begin(), ready.end(), [&](ir::NodeId a, ir::NodeId b) {
+          const int ka = (*key)[static_cast<std::size_t>(a)];
+          const int kb = (*key)[static_cast<std::size_t>(b)];
+          if (ka != kb) return ka < kb;
+          return a > b;  // tie: smaller id wins under max_element
+        });
+        const ir::NodeId v = *it;
+        ready.erase(it);
+        if (ordered[static_cast<std::size_t>(v)]) continue;
+        ordered[static_cast<std::size_t>(v)] = true;
+        order.push_back(v);
+        --remaining;
+        if (dir == Dir::kTopDown) {
+          succs_in(v, in_set, ready);
+        } else {
+          preds_in(v, in_set, ready);
+        }
+        // Deduplicate lazily: the `ordered` check above drops repeats.
+      }
+      if (remaining == 0) break;
+      // Swing to the opposite direction from everything ordered so far.
+      dir = (dir == Dir::kTopDown) ? Dir::kBottomUp : Dir::kTopDown;
+      for (const ir::NodeId o : order) {
+        if (dir == Dir::kTopDown) {
+          succs_in(o, in_set, ready);
+        } else {
+          preds_in(o, in_set, ready);
+        }
+      }
+      if (ready.empty()) {
+        // Disconnected remainder inside the set: restart from the most
+        // critical unordered node.
+        ir::NodeId best = ir::kInvalidNode;
+        for (const ir::NodeId v : set) {
+          if (ordered[static_cast<std::size_t>(v)]) continue;
+          if (best == ir::kInvalidNode ||
+              height[static_cast<std::size_t>(v)] > height[static_cast<std::size_t>(best)]) {
+            best = v;
+          }
+        }
+        TMS_ASSERT(best != ir::kInvalidNode);
+        ready.push_back(best);
+        dir = Dir::kTopDown;
+      }
+    }
+  }
+  TMS_ASSERT(order.size() == n);
+  return order;
+}
+
+}  // namespace tms::sched

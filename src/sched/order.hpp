@@ -1,0 +1,27 @@
+// SMS node ordering (the "ordering phase" of Swing Modulo Scheduling).
+//
+// Nodes are grouped into node sets: recurrences (non-trivial SCCs) in
+// decreasing RecII order, each augmented with the nodes on DDG paths
+// between it and the already-grouped sets, followed by the remaining
+// nodes. Within the sets the order alternates bottom-up and top-down
+// sweeps driven by node depth/height, so that a node is (almost) never
+// scheduled after both a predecessor and a successor — the property the
+// scheduling-window logic relies on.
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/machine.hpp"
+
+namespace tms::sched {
+
+/// Returns every node exactly once, in SMS scheduling priority order.
+std::vector<ir::NodeId> sms_node_order(const ir::Loop& loop, const machine::MachineModel& mach);
+
+/// The node-set partition prior to intra-set ordering (exposed for tests):
+/// each element is one node set; their concatenation covers all nodes.
+std::vector<std::vector<ir::NodeId>> sms_node_sets(const ir::Loop& loop,
+                                                   const machine::MachineModel& mach);
+
+}  // namespace tms::sched

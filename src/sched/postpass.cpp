@@ -1,0 +1,58 @@
+#include "sched/postpass.hpp"
+
+#include <algorithm>
+
+#include "ir/graph.hpp"
+#include "sched/mii.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+
+CommPlan plan_communication(const Schedule& sched) {
+  TMS_ASSERT(sched.complete());
+  const ir::Loop& loop = sched.loop();
+
+  CommPlan plan;
+  std::vector<int> channel_of(static_cast<std::size_t>(loop.num_instrs()), -1);
+  for (const std::size_t ei : sched.reg_dep_set()) {
+    const ir::DepEdge& e = loop.dep(ei);
+    const int dker = sched.kernel_distance(e);
+    TMS_ASSERT(dker >= 1);
+    int& ch = channel_of[static_cast<std::size_t>(e.src)];
+    if (ch < 0) {
+      ch = static_cast<int>(plan.channels.size());
+      plan.channels.push_back(CommChannel{e.src, 0, {}});
+    }
+    CommChannel& channel = plan.channels[static_cast<std::size_t>(ch)];
+    channel.hops = std::max(channel.hops, dker);
+    channel.consumers.emplace_back(e.dst, dker);
+  }
+  for (const CommChannel& ch : plan.channels) {
+    plan.copies_per_iter += ch.hops - 1;
+    plan.comm_pairs_per_iter += ch.hops;
+  }
+  return plan;
+}
+
+LoopMetrics measure(const Schedule& sched, const machine::SpmtConfig& cfg) {
+  TMS_ASSERT(sched.complete());
+  const ir::Loop& loop = sched.loop();
+  const machine::MachineModel& mach = sched.machine();
+
+  LoopMetrics m;
+  m.num_instrs = loop.num_instrs();
+  m.num_sccs = ir::count_nontrivial_sccs(loop);
+  m.mii = min_ii(loop, mach);
+  m.ldp = ir::longest_dependence_path(loop, mach.latencies(loop));
+  m.ii = sched.ii();
+  m.max_live = sched.max_live();
+  m.c_delay = sched.c_delay(cfg);
+  m.stages = sched.stage_count();
+  const CommPlan plan = plan_communication(sched);
+  m.copies = plan.copies_per_iter;
+  m.comm_pairs = plan.comm_pairs_per_iter;
+  m.misspec_probability = sched.misspec_probability(cfg);
+  return m;
+}
+
+}  // namespace tms::sched

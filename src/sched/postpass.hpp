@@ -1,0 +1,58 @@
+// Post-scheduling pass (Section 3 / end of Section 4.3).
+//
+// After a schedule is built, overlapping lifetimes are renamed with
+// register copies so that every inter-iteration register dependence has
+// kernel distance 1; values are then communicated between *adjacent*
+// cores only, one SEND/RECV pair per hop. Dependences sharing a producer
+// share one communication channel ("since n6->n0 and n6->n6 share one
+// producer, only one communication is required").
+#pragma once
+
+#include <vector>
+
+#include "machine/spmt_config.hpp"
+#include "sched/schedule.hpp"
+
+namespace tms::sched {
+
+/// One producer value that crosses thread boundaries.
+struct CommChannel {
+  ir::NodeId producer = ir::kInvalidNode;
+  /// Largest kernel distance among the producer's cross-thread register
+  /// consumers: the value must be forwarded this many hops.
+  int hops = 0;
+  /// Cross-thread consumers and their kernel distances.
+  std::vector<std::pair<ir::NodeId, int>> consumers;
+};
+
+struct CommPlan {
+  std::vector<CommChannel> channels;
+  /// Register copy instructions inserted per kernel iteration to reduce
+  /// all dependence distances to 1 (hops-1 per channel).
+  int copies_per_iter = 0;
+  /// Dynamic SEND/RECV pairs executed per kernel iteration: one per hop
+  /// of every channel.
+  int comm_pairs_per_iter = 0;
+};
+
+/// Builds the communication plan for a complete schedule.
+CommPlan plan_communication(const Schedule& sched);
+
+/// Summary metrics of one scheduled loop, as reported in Tables 2 and 3.
+struct LoopMetrics {
+  int num_instrs = 0;
+  int num_sccs = 0;   ///< non-trivial SCCs
+  int mii = 0;
+  int ldp = 0;        ///< longest dependence path
+  int ii = 0;
+  int max_live = 0;
+  int c_delay = 0;    ///< max sync delay of the schedule (Def. 2)
+  int stages = 0;
+  int copies = 0;
+  int comm_pairs = 0;
+  double misspec_probability = 0.0;  ///< P_M (Eq. 3)
+};
+
+LoopMetrics measure(const Schedule& sched, const machine::SpmtConfig& cfg);
+
+}  // namespace tms::sched

@@ -1,0 +1,51 @@
+#include "sched/regpressure.hpp"
+
+#include "sched/postpass.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+
+int register_pressure(const Schedule& s) {
+  const CommPlan plan = plan_communication(s);
+  return s.max_live() + plan.copies_per_iter;
+}
+
+std::optional<RegLimitResult> sms_schedule_reglimited(const ir::Loop& loop,
+                                                      const machine::MachineModel& mach,
+                                                      int register_limit, int max_retries) {
+  TMS_ASSERT(register_limit >= 1);
+  SmsOptions opts;
+  for (int retry = 0; retry <= max_retries; ++retry) {
+    auto r = sms_schedule(loop, mach, opts);
+    if (!r.has_value()) return std::nullopt;
+    const int pressure = register_pressure(r->schedule);
+    if (pressure <= register_limit) {
+      return RegLimitResult{std::move(r->schedule), pressure, retry};
+    }
+    // Larger II shortens relative lifetimes; restart one II above the
+    // schedule that overflowed.
+    opts.ii_floor = r->schedule.ii() + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<RegLimitResult> tms_schedule_reglimited(const ir::Loop& loop,
+                                                      const machine::MachineModel& mach,
+                                                      const machine::SpmtConfig& cfg,
+                                                      int register_limit, int max_retries,
+                                                      const TmsOptions& base_opts) {
+  TMS_ASSERT(register_limit >= 1);
+  TmsOptions opts = base_opts;
+  for (int retry = 0; retry <= max_retries; ++retry) {
+    auto r = tms_schedule(loop, mach, cfg, opts);
+    if (!r.has_value()) return std::nullopt;
+    const int pressure = register_pressure(r->schedule);
+    if (pressure <= register_limit) {
+      return RegLimitResult{std::move(r->schedule), pressure, retry};
+    }
+    opts.ii_floor = r->schedule.ii() + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tms::sched

@@ -1,0 +1,44 @@
+// Register-pressure-aware scheduling.
+//
+// MaxLive is a Table-2 metric because it decides whether a schedule is
+// realisable at all: if more scalar values are simultaneously live than
+// the register file holds, the kernel needs spills — which modulo
+// schedulers avoid by re-scheduling at a larger II (longer rows, shorter
+// relative lifetimes). These wrappers implement the classic
+// "schedule, check MaxLive (+ post-pass copies), bump II, repeat" loop
+// on top of SMS and TMS.
+#pragma once
+
+#include <optional>
+
+#include "machine/spmt_config.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+
+namespace tms::sched {
+
+struct RegLimitResult {
+  Schedule schedule;
+  int pressure = 0;  ///< MaxLive plus post-pass copy registers
+  int retries = 0;   ///< II bumps needed to fit
+};
+
+/// Register demand of a schedule: simultaneously live scalars plus one
+/// register per post-pass copy (the copy chains hold distinct values).
+int register_pressure(const Schedule& s);
+
+/// SMS under a register budget. Returns nullopt if no fitting schedule
+/// exists within the retry budget.
+std::optional<RegLimitResult> sms_schedule_reglimited(const ir::Loop& loop,
+                                                      const machine::MachineModel& mach,
+                                                      int register_limit, int max_retries = 32);
+
+/// TMS under a register budget: re-runs the threshold search with a
+/// rising II floor until the winning schedule fits.
+std::optional<RegLimitResult> tms_schedule_reglimited(const ir::Loop& loop,
+                                                      const machine::MachineModel& mach,
+                                                      const machine::SpmtConfig& cfg,
+                                                      int register_limit, int max_retries = 16,
+                                                      const TmsOptions& base_opts = {});
+
+}  // namespace tms::sched

@@ -1,0 +1,207 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "sched/dep_delay.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+
+Schedule::Schedule(const ir::Loop& loop, const machine::MachineModel& mach, int ii)
+    : loop_(&loop),
+      mach_(&mach),
+      ii_(ii),
+      slots_(static_cast<std::size_t>(loop.num_instrs()), 0),
+      placed_(static_cast<std::size_t>(loop.num_instrs()), false) {
+  TMS_ASSERT(ii >= 1);
+}
+
+int Schedule::slot(ir::NodeId v) const {
+  TMS_ASSERT_MSG(placed_.at(static_cast<std::size_t>(v)), "querying slot of unplaced node");
+  return slots_[static_cast<std::size_t>(v)];
+}
+
+void Schedule::set_slot(ir::NodeId v, int cycle) {
+  const auto i = static_cast<std::size_t>(v);
+  if (!placed_[i]) {
+    placed_[i] = true;
+    ++num_placed_;
+  }
+  slots_[i] = cycle;
+}
+
+void Schedule::clear_slot(ir::NodeId v) {
+  const auto i = static_cast<std::size_t>(v);
+  TMS_ASSERT(placed_[i]);
+  placed_[i] = false;
+  --num_placed_;
+}
+
+int Schedule::sync_delay(const ir::DepEdge& e, const machine::SpmtConfig& cfg) const {
+  TMS_ASSERT(e.kind == ir::DepKind::kRegister && e.type == ir::DepType::kFlow);
+  return row(e.src) - row(e.dst) + mach_->latency(loop_->instr(e.src).op) + cfg.c_reg_com;
+}
+
+int Schedule::mem_gap(const ir::DepEdge& e) const {
+  return row(e.src) - row(e.dst) + mach_->latency(loop_->instr(e.src).op);
+}
+
+bool Schedule::preserved(const ir::DepEdge& mem, const std::vector<std::size_t>& reg_deps,
+                         const machine::SpmtConfig& cfg) const {
+  // Definition 3: an earlier synchronised dependence u->v already delays
+  // the consumer thread; if that delay covers the memory gap of x->y, the
+  // load at y cannot overtake the store at x.
+  //
+  // We require (our reading of the paper's partially garbled formula):
+  //   - u issues no later than x in the kernel (paper: row(u) < row(x)),
+  //   - the stall at v reaches y, i.e. v issues no later than y, and
+  //   - sync(u,v) >= mem_gap(x,y).
+  // The condition is evaluated for the adjacent-thread case (d_ker = 1);
+  // for larger kernel distances the consumer thread lags even further, so
+  // using the d_ker = 1 test errs on the conservative side.
+  const int gap = mem_gap(mem);
+  if (gap <= 0) return true;  // consumer already issues after the store completes
+  for (const std::size_t ei : reg_deps) {
+    const ir::DepEdge& r = loop_->dep(ei);
+    if (!(r.kind == ir::DepKind::kRegister && r.type == ir::DepType::kFlow)) continue;
+    if (kernel_distance(r) < 1) continue;
+    if (row(r.src) > row(mem.src)) continue;  // u must execute no later than x
+    if (row(r.dst) > row(mem.dst)) continue;  // stall must reach y
+    if (sync_delay(r, cfg) >= gap) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> Schedule::reg_dep_set() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < loop_->deps().size(); ++i) {
+    const ir::DepEdge& e = loop_->dep(i);
+    if (!(e.kind == ir::DepKind::kRegister && e.type == ir::DepType::kFlow)) continue;
+    if (!is_placed(e.src) || !is_placed(e.dst)) continue;
+    if (kernel_distance(e) >= 1) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Schedule::mem_dep_set() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < loop_->deps().size(); ++i) {
+    const ir::DepEdge& e = loop_->dep(i);
+    if (!(e.kind == ir::DepKind::kMemory && e.type == ir::DepType::kFlow)) continue;
+    if (!is_placed(e.src) || !is_placed(e.dst)) continue;
+    if (kernel_distance(e) >= 1) out.push_back(i);
+  }
+  return out;
+}
+
+void Schedule::normalise() {
+  TMS_ASSERT(complete());
+  int min_stage = std::numeric_limits<int>::max();
+  for (ir::NodeId v = 0; v < loop_->num_instrs(); ++v) min_stage = std::min(min_stage, stage(v));
+  if (min_stage == 0) return;
+  for (ir::NodeId v = 0; v < loop_->num_instrs(); ++v) {
+    slots_[static_cast<std::size_t>(v)] -= min_stage * ii_;
+  }
+}
+
+int Schedule::min_slot() const {
+  TMS_ASSERT(complete());
+  int m = std::numeric_limits<int>::max();
+  for (ir::NodeId v = 0; v < loop_->num_instrs(); ++v) m = std::min(m, slot(v));
+  return m;
+}
+
+int Schedule::max_slot() const {
+  TMS_ASSERT(complete());
+  int m = std::numeric_limits<int>::min();
+  for (ir::NodeId v = 0; v < loop_->num_instrs(); ++v) m = std::max(m, slot(v));
+  return m;
+}
+
+int Schedule::stage_count() const {
+  TMS_ASSERT(complete());
+  int lo = std::numeric_limits<int>::max();
+  int hi = std::numeric_limits<int>::min();
+  for (ir::NodeId v = 0; v < loop_->num_instrs(); ++v) {
+    lo = std::min(lo, stage(v));
+    hi = std::max(hi, stage(v));
+  }
+  return hi - lo + 1;
+}
+
+int Schedule::max_live() const {
+  TMS_ASSERT(complete());
+  // A value produced by u is live from its issue until the latest consumer
+  // issue (+ II*d for inter-iteration consumers). Walking every cycle of
+  // every lifetime and bucketing by row yields the steady-state live count
+  // per kernel row: an interval [s, e) contributes one live instance at
+  // row r for every absolute cycle t in [s, e) with t === r (mod II).
+  std::vector<int> live_at_row(static_cast<std::size_t>(ii_), 0);
+  for (ir::NodeId u = 0; u < loop_->num_instrs(); ++u) {
+    const int start = slot(u);
+    int end = start + 1;  // a defined value occupies its register at least one cycle
+    bool produces = false;
+    for (const std::size_t ei : loop_->out_edges(u)) {
+      const ir::DepEdge& e = loop_->dep(ei);
+      if (!(e.kind == ir::DepKind::kRegister && e.type == ir::DepType::kFlow)) continue;
+      produces = true;
+      end = std::max(end, slot(e.dst) + ii_ * e.distance + 1);
+    }
+    if (!produces && loop_->instr(u).op == ir::Opcode::kStore) continue;  // no register result
+    for (int t = start; t < end; ++t) {
+      int r = t % ii_;
+      if (r < 0) r += ii_;
+      ++live_at_row[static_cast<std::size_t>(r)];
+    }
+  }
+  int best = 0;
+  for (const int x : live_at_row) best = std::max(best, x);
+  return best;
+}
+
+int Schedule::c_delay(const machine::SpmtConfig& cfg) const {
+  TMS_ASSERT(complete());
+  int worst = 0;
+  for (const std::size_t ei : reg_dep_set()) {
+    worst = std::max(worst, sync_delay(loop_->dep(ei), cfg));
+  }
+  return worst;
+}
+
+std::vector<std::size_t> Schedule::speculated_deps(const machine::SpmtConfig& cfg) const {
+  TMS_ASSERT(complete());
+  const std::vector<std::size_t> regs = reg_dep_set();
+  std::vector<std::size_t> out;
+  for (const std::size_t mi : mem_dep_set()) {
+    if (!preserved(loop_->dep(mi), regs, cfg)) out.push_back(mi);
+  }
+  return out;
+}
+
+double Schedule::misspec_probability(const machine::SpmtConfig& cfg) const {
+  double keep = 1.0;
+  for (const std::size_t mi : speculated_deps(cfg)) {
+    keep *= 1.0 - loop_->dep(mi).probability;
+  }
+  return 1.0 - keep;
+}
+
+std::optional<std::string> Schedule::validate() const {
+  if (!complete()) return "schedule incomplete";
+  for (std::size_t i = 0; i < loop_->deps().size(); ++i) {
+    const ir::DepEdge& e = loop_->dep(i);
+    const int delay = dep_delay(*mach_, *loop_, e);
+    if (slot(e.dst) < slot(e.src) + delay - ii_ * e.distance) {
+      std::ostringstream os;
+      os << "modulo constraint violated on edge " << loop_->instr(e.src).name << " -> "
+         << loop_->instr(e.dst).name << " (distance " << e.distance << ", delay " << delay
+         << "): slot(src)=" << slot(e.src) << " slot(dst)=" << slot(e.dst) << " II=" << ii_;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tms::sched

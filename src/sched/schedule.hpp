@@ -1,0 +1,123 @@
+// A modulo schedule of a loop, plus the paper's per-schedule analyses.
+//
+// slot(v) is the absolute schedule cycle assigned to node v; it may be
+// negative while scheduling (SMS schedules in both directions) and is
+// normalised afterwards. Derived quantities:
+//   row(v)    = slot(v) mod II      (position in the kernel)
+//   stage(v)  = floor(slot(v)/II)   (software pipeline stage)
+//   d_ker(e)  = d(e) + stage(dst) - stage(src)          [Definition 1]
+//   sync(x,y) = row(x) - row(y) + lat(x) + C_reg_com    [Definition 2]
+// Inter-thread (inter-iteration-in-kernel) register flow dependences have
+// d_ker >= 1 and are synchronised with SEND/RECV; memory dependences with
+// d_ker >= 1 are speculated unless "preserved" [Definition 3].
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/machine.hpp"
+#include "machine/spmt_config.hpp"
+
+namespace tms::sched {
+
+class Schedule {
+ public:
+  /// The schedule is a view over `loop` and `mach`: both must outlive the
+  /// Schedule (and any SmsResult/TmsResult carrying one). Passing a
+  /// temporary loop to a scheduler and keeping the result is an error.
+  Schedule(const ir::Loop& loop, const machine::MachineModel& mach, int ii);
+
+  const ir::Loop& loop() const { return *loop_; }
+  const machine::MachineModel& machine() const { return *mach_; }
+  int ii() const { return ii_; }
+
+  bool is_placed(ir::NodeId v) const { return placed_.at(static_cast<std::size_t>(v)); }
+  int slot(ir::NodeId v) const;
+  void set_slot(ir::NodeId v, int cycle);
+  void clear_slot(ir::NodeId v);
+  int num_placed() const { return num_placed_; }
+  bool complete() const { return num_placed_ == loop_->num_instrs(); }
+
+  int row(ir::NodeId v) const {
+    const int r = slot(v) % ii_;
+    return r < 0 ? r + ii_ : r;
+  }
+  /// Floor division so that negative slots land in negative stages.
+  int stage(ir::NodeId v) const {
+    const int s = slot(v);
+    return (s >= 0) ? s / ii_ : -(((-s) + ii_ - 1) / ii_);
+  }
+
+  /// Definition 1: dependence distance as seen in the kernel.
+  int kernel_distance(const ir::DepEdge& e) const {
+    return e.distance + stage(e.dst) - stage(e.src);
+  }
+
+  /// Definition 2: synchronisation delay of an inter-iteration register
+  /// dependence (applied per copy-chain hop; for d_ker > 1 this is the
+  /// per-hop delay of the chain the post-pass will materialise).
+  int sync_delay(const ir::DepEdge& e, const machine::SpmtConfig& cfg) const;
+
+  /// Memory analogue of Definition 2 without the communication term: the
+  /// number of cycles by which the consumer thread must lag for the
+  /// speculated dependence x->y to be naturally preserved.
+  int mem_gap(const ir::DepEdge& e) const;
+
+  /// Definition 3: is the inter-thread memory dependence `mem` preserved
+  /// by the synchronisation delays of the register dependences `reg_deps`
+  /// (edge indices into loop().deps())?
+  bool preserved(const ir::DepEdge& mem, const std::vector<std::size_t>& reg_deps,
+                 const machine::SpmtConfig& cfg) const;
+
+  /// Definition 4 specialised: indices of inter-iteration register
+  /// (resp. memory) flow dependences whose endpoints are both placed.
+  /// Only kernel-distance >= 1 edges qualify (they cross threads).
+  std::vector<std::size_t> reg_dep_set() const;
+  std::vector<std::size_t> mem_dep_set() const;
+
+  /// Shift all slots so the minimum stage is 0 (post-scheduling cleanup).
+  void normalise();
+
+  int min_slot() const;
+  int max_slot() const;
+  /// Number of pipeline stages of the kernel (1 + max stage) after
+  /// normalisation.
+  int stage_count() const;
+
+  // ---- Traditional quality metrics (Table 2 / Table 3) -----------------
+
+  /// MaxLive: maximum number of simultaneously live scalar values at any
+  /// kernel row, computed from flow-dependence lifetimes.
+  int max_live() const;
+
+  /// C_delay of the schedule: the largest sync delay over all inter-thread
+  /// register flow dependences (0 if there are none, i.e. DOALL-like).
+  int c_delay(const machine::SpmtConfig& cfg) const;
+
+  /// Misspeculation probability P_M (Eq. 3) over the schedule's
+  /// non-preserved inter-thread memory dependences:
+  /// P_M = 1 - prod(1 - p_e). Requires a complete schedule.
+  double misspec_probability(const machine::SpmtConfig& cfg) const;
+
+  /// The non-preserved inter-thread memory dependences themselves (edge
+  /// indices) — these are the dependences the hardware may roll back.
+  std::vector<std::size_t> speculated_deps(const machine::SpmtConfig& cfg) const;
+
+  /// Validity: every dependence satisfies the modulo constraint
+  /// slot(dst) >= slot(src) + delay - II*distance. Returns a diagnostic
+  /// for the first violated edge, or nullopt if valid. Requires a
+  /// complete schedule.
+  std::optional<std::string> validate() const;
+
+ private:
+  const ir::Loop* loop_;
+  const machine::MachineModel* mach_;
+  int ii_;
+  std::vector<int> slots_;
+  std::vector<bool> placed_;
+  int num_placed_ = 0;
+};
+
+}  // namespace tms::sched

@@ -1,0 +1,59 @@
+#include "sched/sms.hpp"
+
+#include <algorithm>
+
+#include "ir/graph.hpp"
+#include "sched/mii.hpp"
+#include "sched/mrt.hpp"
+#include "sched/order.hpp"
+#include "sched/window.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+namespace {
+
+/// One SMS pass at a fixed II. Returns the complete schedule or nullopt.
+std::optional<Schedule> try_ii(const ir::Loop& loop, const machine::MachineModel& mach, int ii,
+                               const std::vector<ir::NodeId>& order,
+                               const std::vector<int>& depth) {
+  Schedule ps(loop, mach, ii);
+  ModuloReservationTable mrt(mach, ii);
+  for (const ir::NodeId v : order) {
+    const Window w = scheduling_window(ps, v, depth[static_cast<std::size_t>(v)]);
+    bool placed = false;
+    for (const int c : w.candidates) {
+      if (mrt.can_place(loop.instr(v).op, c)) {
+        mrt.place(loop.instr(v).op, c);
+        ps.set_slot(v, c);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  return ps;
+}
+
+}  // namespace
+
+std::optional<SmsResult> sms_schedule(const ir::Loop& loop, const machine::MachineModel& mach,
+                                      const SmsOptions& opts) {
+  TMS_ASSERT_MSG(!loop.validate().has_value(), "loop must be well-formed");
+  const int mii = min_ii(loop, mach);
+  const std::vector<ir::NodeId> order = sms_node_order(loop, mach);
+  const std::vector<int> depth = ir::node_depths(loop, mach.latencies(loop));
+
+  const int start_ii = std::max(mii, opts.ii_floor);
+  for (int ii = start_ii; ii <= start_ii + opts.max_ii_slack; ++ii) {
+    if (!recurrences_feasible(loop, mach, ii)) continue;
+    std::optional<Schedule> s = try_ii(loop, mach, ii, order, depth);
+    if (s.has_value()) {
+      s->normalise();
+      TMS_ASSERT_MSG(!s->validate().has_value(), "SMS produced an invalid schedule");
+      return SmsResult{std::move(*s), mii, ii - mii + 1};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tms::sched

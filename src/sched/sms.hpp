@@ -1,0 +1,36 @@
+// Swing Modulo Scheduling (Llosa, PACT'96) — the baseline the paper builds
+// on, as adopted in GCC 4.1.1.
+//
+// SMS iterates II upward from MII; for each II it walks the nodes in the
+// SMS priority order, placing each at the first resource-feasible cycle of
+// its scheduling window. There is no backtracking: if any node fails, the
+// II is bumped and scheduling restarts.
+#pragma once
+
+#include <optional>
+
+#include "sched/schedule.hpp"
+
+namespace tms::sched {
+
+struct SmsOptions {
+  /// Give up after this many II values above MII (a safety valve; real
+  /// loops schedule within a handful of attempts).
+  int max_ii_slack = 256;
+  /// Lower bound on the II to try (used by register-pressure-aware
+  /// wrappers to force larger IIs); 0 means start at MII.
+  int ii_floor = 0;
+};
+
+struct SmsResult {
+  Schedule schedule;       ///< complete and normalised
+  int mii = 0;
+  int attempts = 0;        ///< number of II values tried
+};
+
+/// Returns nullopt only if no schedule was found within the II budget
+/// (which indicates a malformed loop rather than a hard instance).
+std::optional<SmsResult> sms_schedule(const ir::Loop& loop, const machine::MachineModel& mach,
+                                      const SmsOptions& opts = {});
+
+}  // namespace tms::sched

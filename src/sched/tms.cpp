@@ -1,0 +1,358 @@
+#include "sched/tms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+
+#include "cost/cost_model.hpp"
+#include "ir/graph.hpp"
+#include "sched/dep_delay.hpp"
+#include "sched/mii.hpp"
+#include "sched/mrt.hpp"
+#include "sched/order.hpp"
+#include "sched/postpass.hpp"
+#include "sched/window.hpp"
+#include "support/assert.hpp"
+
+namespace tms::sched {
+namespace {
+
+/// New inter-thread register dependences that appear if `v` is placed at
+/// its tentative slot: edges adjacent to `v` whose other endpoint is
+/// placed and whose kernel distance is >= 1.
+void collect_new_reg_deps(const Schedule& ps, const ir::Loop& loop, ir::NodeId v,
+                          std::vector<std::size_t>& out) {
+  out.clear();
+  for (const std::size_t ei : loop.in_edges(v)) {
+    const ir::DepEdge& e = loop.dep(ei);
+    if (!e.is_register_flow()) continue;
+    if (e.src != v && !ps.is_placed(e.src)) continue;
+    if (ps.kernel_distance(e) >= 1) out.push_back(ei);
+  }
+  for (const std::size_t ei : loop.out_edges(v)) {
+    const ir::DepEdge& e = loop.dep(ei);
+    if (!e.is_register_flow()) continue;
+    if (e.src == e.dst) continue;  // self edges already handled above
+    if (!ps.is_placed(e.dst)) continue;
+    if (ps.kernel_distance(e) >= 1) out.push_back(ei);
+  }
+}
+
+void collect_new_mem_deps(const Schedule& ps, const ir::Loop& loop, ir::NodeId v,
+                          std::vector<std::size_t>& out) {
+  out.clear();
+  for (const std::size_t ei : loop.in_edges(v)) {
+    const ir::DepEdge& e = loop.dep(ei);
+    if (!e.is_memory_flow()) continue;
+    if (e.src != v && !ps.is_placed(e.src)) continue;
+    if (ps.kernel_distance(e) >= 1) out.push_back(ei);
+  }
+  for (const std::size_t ei : loop.out_edges(v)) {
+    const ir::DepEdge& e = loop.dep(ei);
+    if (!e.is_memory_flow()) continue;
+    if (e.src == e.dst) continue;
+    if (!ps.is_placed(e.dst)) continue;
+    if (ps.kernel_distance(e) >= 1) out.push_back(ei);
+  }
+}
+
+struct SlotCheck {
+  bool ok = false;
+  int max_new_sync = 0;  ///< largest sync delay introduced by this slot
+};
+
+/// ISSUE_SLOT_SELECTION body for one candidate cycle (Fig. 3 lines 20-26),
+/// evaluated with `v` tentatively placed at `cycle`.
+SlotCheck check_slot(Schedule& ps, const machine::SpmtConfig& cfg, ir::NodeId v, int cycle,
+                     int c_delay, double p_max, const std::vector<std::size_t>& reg_ps,
+                     const std::vector<std::size_t>& mem_ps) {
+  const ir::Loop& loop = ps.loop();
+  ps.set_slot(v, cycle);
+
+  SlotCheck result;
+  std::vector<std::size_t> reg_v;
+  std::vector<std::size_t> mem_v;
+  collect_new_reg_deps(ps, loop, v, reg_v);
+  collect_new_mem_deps(ps, loop, v, mem_v);
+
+  // C1: every new synchronised dependence within the delay threshold.
+  bool ok = true;
+  for (const std::size_t ei : reg_v) {
+    const int s = ps.sync_delay(loop.dep(ei), cfg);
+    result.max_new_sync = std::max(result.max_new_sync, s);
+    if (s > c_delay) {
+      ok = false;
+      break;
+    }
+  }
+
+  // C2: only evaluated when v introduces new speculated dependences
+  // (Fig. 3 line 26: M_v != {} ==> misspec frequency <= P_max).
+  if (ok && !mem_v.empty() && p_max < 1.0) {
+    std::vector<std::size_t> reg_all = reg_ps;
+    reg_all.insert(reg_all.end(), reg_v.begin(), reg_v.end());
+    double keep = 1.0;
+    auto fold_nonpreserved = [&](const std::vector<std::size_t>& mems) {
+      for (const std::size_t mi : mems) {
+        const ir::DepEdge& m = loop.dep(mi);
+        if (!ps.preserved(m, reg_all, cfg)) keep *= 1.0 - m.probability;
+      }
+    };
+    fold_nonpreserved(mem_ps);
+    fold_nonpreserved(mem_v);
+    if (1.0 - keep > p_max + 1e-12) ok = false;
+  }
+
+  ps.clear_slot(v);
+  result.ok = ok;
+  return result;
+}
+
+/// One TMS pass at fixed (II, C_delay, P_max). Within the SMS window,
+/// feasible slots are ranked by the sync delay they introduce (smallest
+/// first), with the SMS lifetime-minimal preference as tie-break.
+///
+/// Unlike plain SMS, the pass backtracks: when a node has no feasible
+/// slot (typically because an early-placed speculated-dependence
+/// consumer empties a two-sided window, or a predecessor landed on a row
+/// that strands its consumers), the blocking placed neighbours are
+/// ejected and re-queued, bounded by a global ejection budget. This is
+/// the iterative-modulo-scheduling style of recovery, needed because
+/// thread-sensitive slot choices drift much further from the
+/// lifetime-minimal positions than SMS's ever do.
+std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::MachineModel& mach,
+                                       const machine::SpmtConfig& cfg, int ii, int c_delay,
+                                       double p_max, const std::vector<ir::NodeId>& order,
+                                       const std::vector<int>& depth) {
+  Schedule ps(loop, mach, ii);
+  ModuloReservationTable mrt(mach, ii);
+  std::vector<std::size_t> reg_ps;  // RegDep(PS), recomputed per placement
+  std::vector<std::size_t> mem_ps;  // MemDep(PS)
+  std::vector<std::size_t> tmp;
+
+  std::deque<ir::NodeId> queue(order.begin(), order.end());
+  int ejections_left = 2 * loop.num_instrs() + 16;
+
+  while (!queue.empty()) {
+    const ir::NodeId v = queue.front();
+    queue.pop_front();
+    const Window w = scheduling_window(ps, v, depth[static_cast<std::size_t>(v)]);
+
+    // Successor headroom: a producer placed in the last rows of the II
+    // strands any still-unscheduled same-iteration consumer — the
+    // consumer would have to cross a stage with
+    // sync = row(v) + lat(v) + C_reg_com - row(consumer) > C_delay for
+    // every legal row. Reserve the dead-zone rows up front.
+    int headroom = 0;
+    {
+      bool pending_succ = false;
+      for (const std::size_t ei : loop.out_edges(v)) {
+        const ir::DepEdge& e = loop.dep(ei);
+        if (e.distance == 0 && e.type == ir::DepType::kFlow && e.dst != v &&
+            !ps.is_placed(e.dst)) {
+          pending_succ = true;
+          break;
+        }
+      }
+      if (pending_succ) {
+        headroom =
+            std::max(0, mach.latency(loop.instr(v).op) + cfg.c_reg_com - c_delay);
+      }
+    }
+
+    int best_cycle = 0;
+    int best_sync = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < w.candidates.size(); ++i) {
+      const int c = w.candidates[i];
+      if (headroom > 0) {
+        const int row = ((c % ii) + ii) % ii;
+        if (row >= ii - headroom) continue;
+      }
+      if (!mrt.can_place(loop.instr(v).op, c)) continue;
+      const SlotCheck sc = check_slot(ps, cfg, v, c, c_delay, p_max, reg_ps, mem_ps);
+      if (!sc.ok) continue;
+      // Window order already encodes the SMS preference, so strict
+      // improvement keeps the earliest (most lifetime-friendly) slot
+      // among equals.
+      if (!found || sc.max_new_sync < best_sync) {
+        found = true;
+        best_cycle = c;
+        best_sync = sc.max_new_sync;
+        if (best_sync == 0) break;  // cannot do better than no new stall
+      }
+    }
+    if (!found) {
+      // Backtrack: eject the placed successors (they bound the window
+      // from above), or failing that the placed predecessors, re-queue
+      // them, and retry v immediately.
+      auto eject = [&](bool successors) {
+        bool any = false;
+        const auto& edges = successors ? loop.out_edges(v) : loop.in_edges(v);
+        for (const std::size_t ei : edges) {
+          const ir::DepEdge& e = loop.dep(ei);
+          const ir::NodeId other = successors ? e.dst : e.src;
+          if (other == v || !ps.is_placed(other)) continue;
+          mrt.remove(loop.instr(other).op, ps.slot(other));
+          ps.clear_slot(other);
+          queue.push_back(other);
+          any = true;
+        }
+        return any;
+      };
+      if (ejections_left-- <= 0) return std::nullopt;
+      if (!eject(/*successors=*/true) && !eject(/*successors=*/false)) {
+        if (std::getenv("TMS_DEBUG_SLOTS") != nullptr) {
+          std::fprintf(stderr, "TMS: no slot for %s (II=%d, Cd=%d, window %zu cands)\n",
+                       loop.instr(v).name.c_str(), ii, c_delay, w.candidates.size());
+        }
+        return std::nullopt;  // unconstrained failure: resources alone
+      }
+      // Placements changed: rebuild the inter-thread dependence sets.
+      reg_ps = ps.reg_dep_set();
+      mem_ps = ps.mem_dep_set();
+      queue.push_front(v);
+      continue;
+    }
+
+    mrt.place(loop.instr(v).op, best_cycle);
+    ps.set_slot(v, best_cycle);
+    collect_new_reg_deps(ps, loop, v, tmp);
+    reg_ps.insert(reg_ps.end(), tmp.begin(), tmp.end());
+    collect_new_mem_deps(ps, loop, v, tmp);
+    mem_ps.insert(mem_ps.end(), tmp.begin(), tmp.end());
+  }
+  return ps;
+}
+
+}  // namespace
+
+std::optional<Schedule> tms_try_thresholds(const ir::Loop& loop,
+                                           const machine::MachineModel& mach,
+                                           const machine::SpmtConfig& cfg, int ii, int c_delay,
+                                           double p_max) {
+  TMS_ASSERT_MSG(!loop.validate().has_value(), "loop must be well-formed");
+  const std::vector<ir::NodeId> order = sms_node_order(loop, mach);
+  const std::vector<int> depth = ir::node_depths(loop, mach.latencies(loop));
+  std::optional<Schedule> s = try_thresholds(loop, mach, cfg, ii, c_delay, p_max, order, depth);
+  if (s.has_value()) s->normalise();
+  return s;
+}
+
+std::optional<TmsResult> tms_schedule(const ir::Loop& loop, const machine::MachineModel& mach,
+                                      const machine::SpmtConfig& cfg, const TmsOptions& opts) {
+  TMS_ASSERT_MSG(!loop.validate().has_value(), "loop must be well-formed");
+  cfg.check();
+  const int mii = min_ii(loop, mach);
+  const std::vector<ir::NodeId> order = sms_node_order(loop, mach);
+  const std::vector<int> lat = mach.latencies(loop);
+  const std::vector<int> depth = ir::node_depths(loop, lat);
+
+  int max_lat = 1;
+  for (const int l : lat) max_lat = std::max(max_lat, l);
+
+  // Fig. 3 enumerates (II, C_delay) pairs in increasing F order and stops
+  // at the first schedulable pair. A literal F_min++ sweep re-tries the
+  // same expensive schedule attempts many times, so we implement the same
+  // minimisation as: for each II (ascending), binary-search the smallest
+  // schedulable C_delay (feasibility is monotone in the threshold), and
+  // keep the candidate minimising the full per-iteration cost
+  // F(II, C_delay) + misspec_penalty * P_M. The II sweep stops once even
+  // the best conceivable F at the floor C_delay can no longer beat the
+  // incumbent, which bounds the search exactly as the paper's "II can be
+  // bounded by the longest critical path" remark intends.
+  struct Best {
+    Schedule schedule;
+    double total;
+    int c_delay;
+    double p_max;
+    double f;
+    int actual_c_delay;
+    int comm_pairs;
+  };
+  std::optional<Best> best;
+  int pairs_tried = 0;
+  int plateau = 0;  // consecutive non-improving IIs at the incumbent's F
+
+  const int start_ii = std::max(mii, opts.ii_floor);
+  for (int ii = start_ii; ii <= start_ii + opts.max_ii_slack; ++ii) {
+    if (!recurrences_feasible(loop, mach, ii)) continue;
+    if (best.has_value()) {
+      // Candidates are judged by achieved C_delay, which can be as low as
+      // zero (fully parallel), so the II-monotone lower bound uses 0.
+      const double f_floor = cost::per_iter_nomiss(ii, 0, cfg);
+      // F is nondecreasing in II at fixed C_delay, so no larger II can
+      // strictly beat the incumbent once the floor passes it. Equal-F IIs
+      // can still reduce communication (e.g. fold a chain into one
+      // stage), so a bounded plateau is scanned for tie-breaks.
+      if (f_floor > best->total + 1e-9) break;
+      if (f_floor > best->total - 1e-9 && plateau >= opts.plateau_budget) break;
+    }
+    const int cd_floor = cfg.min_c_delay();
+    // At cd_ceiling C1 can never bind: the row gap is at most II-1 and the
+    // producer latency at most max_lat.
+    const int cd_ceiling = ii - 1 + max_lat + cfg.c_reg_com;
+
+    bool ii_improved = false;
+    // Every schedule produced during the threshold search is judged by
+    // its *achieved* C_delay and misspeculation probability — the
+    // thresholds only steer the heuristic, the schedule itself determines
+    // the runtime.
+    auto consider = [&](Schedule&& s, int cd_thr, double p_max) {
+      s.normalise();
+      TMS_ASSERT_MSG(!s.validate().has_value(), "TMS produced an invalid schedule");
+      const int actual_cd = s.c_delay(cfg);
+      const double f = cost::per_iter_nomiss(ii, actual_cd, cfg);
+      const double p_m = s.misspec_probability(cfg);
+      const double total = f + cost::misspec_penalty(ii, actual_cd, cfg) * p_m;
+      const int pairs = plan_communication(s).comm_pairs_per_iter;
+      const bool strictly_better = !best.has_value() || total < best->total - 1e-9;
+      const bool tie_better =
+          best.has_value() && total < best->total + 1e-9 &&
+          (actual_cd < best->actual_c_delay ||
+           (actual_cd == best->actual_c_delay && pairs < best->comm_pairs));
+      if (strictly_better || tie_better) {
+        best = Best{std::move(s), total, cd_thr, p_max, f, actual_cd, pairs};
+        ii_improved = true;
+      }
+    };
+
+    for (const double p_max : opts.p_max_values) {
+      ++pairs_tried;
+      if (pairs_tried > opts.max_pair_attempts) break;
+      std::optional<Schedule> at_ceiling =
+          try_thresholds(loop, mach, cfg, ii, cd_ceiling, p_max, order, depth);
+      if (!at_ceiling.has_value()) continue;  // this (II, P_max) is infeasible outright
+      consider(std::move(*at_ceiling), cd_ceiling, p_max);
+
+      // Binary search for the smallest feasible C1 threshold; every
+      // feasible point is a candidate.
+      int lo = cd_floor;
+      int hi = cd_ceiling;
+      while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        ++pairs_tried;
+        std::optional<Schedule> s = try_thresholds(loop, mach, cfg, ii, mid, p_max, order, depth);
+        if (s.has_value()) {
+          consider(std::move(*s), mid, p_max);
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+    }
+    plateau = ii_improved ? 0 : plateau + 1;
+    if (pairs_tried > opts.max_pair_attempts) break;
+  }
+
+  if (!best.has_value()) return std::nullopt;
+  TmsResult r{std::move(best->schedule), mii,       best->c_delay,
+              best->p_max,               best->f,   0.0,
+              pairs_tried};
+  r.misspec_probability = r.schedule.misspec_probability(cfg);
+  return r;
+}
+
+}  // namespace tms::sched

@@ -1,0 +1,50 @@
+#include "sched/window.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/dep_delay.hpp"
+
+namespace tms::sched {
+
+Window scheduling_window(const Schedule& ps, ir::NodeId v, int depth_hint) {
+  const ir::Loop& loop = ps.loop();
+  const machine::MachineModel& mach = ps.machine();
+  const int ii = ps.ii();
+
+  bool has_pred = false;
+  bool has_succ = false;
+  int early = std::numeric_limits<int>::min();
+  int late = std::numeric_limits<int>::max();
+
+  for (const std::size_t ei : loop.in_edges(v)) {
+    const ir::DepEdge& e = loop.dep(ei);
+    if (e.src == v) continue;  // self-loops never constrain the window at a legal II
+    if (!ps.is_placed(e.src)) continue;
+    has_pred = true;
+    early = std::max(early, ps.slot(e.src) + dep_delay(mach, loop, e) - ii * e.distance);
+  }
+  for (const std::size_t ei : loop.out_edges(v)) {
+    const ir::DepEdge& e = loop.dep(ei);
+    if (e.dst == v) continue;
+    if (!ps.is_placed(e.dst)) continue;
+    has_succ = true;
+    late = std::min(late, ps.slot(e.dst) - dep_delay(mach, loop, e) + ii * e.distance);
+  }
+
+  Window w;
+  if (has_pred && has_succ) {
+    w.two_sided = true;
+    const int hi = std::min(late, early + ii - 1);
+    for (int c = early; c <= hi; ++c) w.candidates.push_back(c);
+  } else if (has_pred) {
+    for (int c = early; c <= early + ii - 1; ++c) w.candidates.push_back(c);
+  } else if (has_succ) {
+    for (int c = late; c >= late - ii + 1; --c) w.candidates.push_back(c);
+  } else {
+    for (int c = depth_hint; c <= depth_hint + ii - 1; ++c) w.candidates.push_back(c);
+  }
+  return w;
+}
+
+}  // namespace tms::sched

@@ -1,0 +1,31 @@
+// Scheduling-window computation shared by SMS and TMS.
+//
+// For the node being placed, the window is derived from its already-placed
+// neighbours: predecessors impose an earliest start, successors a latest
+// start, and the window never exceeds II candidate cycles (placing at
+// c and c+II is equivalent for the MRT, so trying more is pointless).
+// The candidate order implements SMS's "closest to its dependences"
+// policy: ascending when driven by predecessors, descending when driven by
+// successors.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace tms::sched {
+
+struct Window {
+  /// Candidate cycles in SMS preference order (first = most preferred).
+  std::vector<int> candidates;
+  /// True when both predecessor and successor constraints were present
+  /// (the window may then be empty even at a feasible II).
+  bool two_sided = false;
+};
+
+/// Computes the scheduling window of `v` against the partial schedule.
+/// `depth_hint` is the earliest-start hint used when no neighbour of `v`
+/// has been placed yet (SMS uses the node's ASAP time).
+Window scheduling_window(const Schedule& ps, ir::NodeId v, int depth_hint);
+
+}  // namespace tms::sched

@@ -1,0 +1,64 @@
+// Address streams: per memory instruction, the address it touches in each
+// iteration.
+//
+// The paper profiles SPECfp2000 with train inputs to obtain per-dependence
+// probabilities; we invert that: the workload generator annotates each
+// memory dependence with a probability and builds address streams whose
+// runtime collision frequency matches it (see workloads/). A consumer
+// load "collides" with its producer store in iteration i when the
+// deterministic hash test passes; otherwise it reads a private region.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "support/assert.hpp"
+
+namespace tms::spmt {
+
+/// Deterministic per-(stream, iteration) hash used for probability tests;
+/// exposed so tests can predict collisions.
+std::uint64_t stream_hash(std::uint64_t seed, std::int64_t iteration);
+
+class AddressStreams {
+ public:
+  using Fn = std::function<std::uint64_t(std::int64_t iteration)>;
+
+  explicit AddressStreams(int num_nodes) : fns_(static_cast<std::size_t>(num_nodes)) {}
+
+  void set(ir::NodeId node, Fn fn) { fns_.at(static_cast<std::size_t>(node)) = std::move(fn); }
+  bool has(ir::NodeId node) const {
+    return static_cast<bool>(fns_.at(static_cast<std::size_t>(node)));
+  }
+  std::uint64_t address(ir::NodeId node, std::int64_t iteration) const {
+    const Fn& f = fns_.at(static_cast<std::size_t>(node));
+    TMS_ASSERT_MSG(static_cast<bool>(f), "memory instruction lacks an address stream");
+    return f(iteration);
+  }
+
+  // ---- Stream constructors ----------------------------------------------
+
+  /// Sequential array walk: base + stride * iteration (wrapping in a
+  /// working set of `span` bytes to exercise cache reuse).
+  static Fn strided(std::uint64_t base, std::uint64_t stride, std::uint64_t span);
+
+  /// Consumer stream for a memory flow dependence producer->consumer of
+  /// distance d and probability p: with frequency p the consumer reads the
+  /// address the producer wrote `d` iterations ago; otherwise it reads
+  /// from a disjoint private stream.
+  static Fn dependent(Fn producer, int distance, double probability, std::uint64_t hash_seed,
+                      Fn private_stream);
+
+ private:
+  std::vector<Fn> fns_;
+};
+
+/// Builds default address streams for every memory instruction of a loop:
+/// producers of memory flow dependences get strided streams, consumers get
+/// dependent streams honouring the annotated probability, and independent
+/// memory ops get private strided streams. `seed` varies the layout.
+AddressStreams default_streams(const ir::Loop& loop, std::uint64_t seed);
+
+}  // namespace tms::spmt

@@ -1,0 +1,99 @@
+#include "spmt/cache.hpp"
+
+namespace tms::spmt {
+namespace {
+
+int log2_exact(int x) {
+  int s = 0;
+  while ((1 << s) < x) ++s;
+  TMS_ASSERT_MSG((1 << s) == x, "cache geometry must be a power of two");
+  return s;
+}
+
+}  // namespace
+
+SetAssocCache::SetAssocCache(int sets, int ways, int line_bytes)
+    : sets_(sets),
+      ways_(ways),
+      line_shift_(log2_exact(line_bytes)),
+      lines_(static_cast<std::size_t>(sets) * static_cast<std::size_t>(ways)) {
+  TMS_ASSERT(sets >= 1 && ways >= 1);
+  (void)log2_exact(sets);  // geometry check
+}
+
+std::uint64_t SetAssocCache::set_index(std::uint64_t addr) const {
+  return (addr >> line_shift_) & static_cast<std::uint64_t>(sets_ - 1);
+}
+
+std::uint64_t SetAssocCache::tag_of(std::uint64_t addr) const {
+  return addr >> line_shift_;  // full line address as tag (index bits redundant but harmless)
+}
+
+bool SetAssocCache::access(std::uint64_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_)];
+  ++tick_;
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  // Fill: prefer an invalid way, else evict LRU.
+  Line* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::invalidate_all() {
+  for (Line& l : lines_) l.valid = false;
+}
+
+MemoryHierarchy::MemoryHierarchy(const machine::SpmtConfig& cfg, int ncore)
+    : cfg_(cfg), l2_(cfg.l2_sets, cfg.l2_ways, cfg.line_bytes) {
+  l1_.reserve(static_cast<std::size_t>(ncore));
+  for (int c = 0; c < ncore; ++c) {
+    l1_.emplace_back(cfg.l1d_sets, cfg.l1d_ways, cfg.line_bytes);
+  }
+}
+
+int MemoryHierarchy::access_latency(int core, std::uint64_t addr, bool is_store) {
+  SetAssocCache& l1 = l1_[static_cast<std::size_t>(core)];
+  if (is_store) {
+    // Stores retire into the speculation write buffer; we still update L1
+    // tag state (write-allocate) but charge only the L1 probe.
+    l1.access(addr);
+    return 1;
+  }
+  if (l1.access(addr)) return cfg_.l1d_hit;
+  if (l2_.access(addr)) return cfg_.l1d_hit + cfg_.l2_hit;
+  return cfg_.l1d_hit + cfg_.l2_miss;
+}
+
+void MemoryHierarchy::on_squash(int core) {
+  (void)core;  // see header: C_inv covers the gang-clear cost
+}
+
+}  // namespace tms::spmt

@@ -1,0 +1,80 @@
+// Set-associative cache models for the simulated memory hierarchy
+// (Table 1: 16KB 4-way private L1D per core, 1MB 4-way shared L2).
+//
+// Only tag state is modelled — data values live in the simulator's
+// functional memory. Latency is resolved by probing L1, then L2, then
+// main memory, updating LRU state along the way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/spmt_config.hpp"
+#include "support/assert.hpp"
+
+namespace tms::spmt {
+
+class SetAssocCache {
+ public:
+  SetAssocCache(int sets, int ways, int line_bytes);
+
+  /// Probes and updates the cache. Returns true on hit; on miss the line
+  /// is filled (evicting LRU).
+  bool access(std::uint64_t addr);
+
+  /// Probe without allocation (used by tests).
+  bool contains(std::uint64_t addr) const;
+
+  void invalidate_all();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t lru = 0;  ///< larger = more recently used
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+
+  int sets_;
+  int ways_;
+  int line_shift_;
+  std::vector<Line> lines_;  ///< sets_ * ways_, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Per-core L1D caches in front of one shared L2; returns access latency
+/// per the Table 1 parameters.
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(const machine::SpmtConfig& cfg, int ncore);
+
+  /// Latency of a load/store issued by `core` to `addr`. Stores are
+  /// buffered by the speculation write buffer, so their latency is the L1
+  /// probe only; the drain to L2 is covered by the commit overhead.
+  int access_latency(int core, std::uint64_t addr, bool is_store);
+
+  /// Gang-invalidation of a squashed thread's speculative L1 state. The
+  /// paper clears only the speculative bits; we approximate by leaving tag
+  /// state in place (refetches hit) — the 15-cycle C_inv already accounts
+  /// for the clearing cost.
+  void on_squash(int core);
+
+  std::uint64_t l1_hits(int core) const { return l1_[static_cast<std::size_t>(core)].hits(); }
+  std::uint64_t l1_misses(int core) const { return l1_[static_cast<std::size_t>(core)].misses(); }
+  std::uint64_t l2_hits() const { return l2_.hits(); }
+  std::uint64_t l2_misses() const { return l2_.misses(); }
+
+ private:
+  const machine::SpmtConfig& cfg_;
+  std::vector<SetAssocCache> l1_;
+  SetAssocCache l2_;
+};
+
+}  // namespace tms::spmt

@@ -1,0 +1,54 @@
+#include "spmt/profile.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tms::spmt {
+
+std::vector<EdgeProfile> profile_dependences(const ir::Loop& loop, const AddressStreams& streams,
+                                             std::int64_t n_iters) {
+  TMS_ASSERT(n_iters >= 1);
+  std::vector<EdgeProfile> out;
+  for (std::size_t ei = 0; ei < loop.deps().size(); ++ei) {
+    const ir::DepEdge& e = loop.dep(ei);
+    if (!e.is_memory_flow()) continue;
+    EdgeProfile p;
+    p.edge = ei;
+    for (std::int64_t i = e.distance; i < n_iters; ++i) {
+      ++p.producer_executions;
+      if (streams.address(e.dst, i) == streams.address(e.src, i - e.distance)) {
+        ++p.collisions;
+      }
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+ir::Loop apply_profile(const ir::Loop& loop, const std::vector<EdgeProfile>& profile,
+                       double min_probability) {
+  TMS_ASSERT(min_probability > 0.0 && min_probability <= 1.0);
+  // Measured frequency per edge index; absent entries keep their
+  // annotation.
+  std::vector<double> freq(loop.deps().size(), -1.0);
+  for (const EdgeProfile& p : profile) freq.at(p.edge) = p.frequency();
+
+  ir::Loop out(loop.name());
+  for (const ir::Instr& ins : loop.instrs()) out.add_instr(ins.op, ins.name);
+  for (std::size_t ei = 0; ei < loop.deps().size(); ++ei) {
+    const ir::DepEdge& e = loop.dep(ei);
+    double probability = e.probability;
+    if (freq[ei] >= 0.0) {
+      if (freq[ei] == 0.0) continue;  // proven independent: prune
+      probability = std::max(freq[ei], min_probability);
+    }
+    out.add_dep(e.src, e.dst, e.kind, e.type, e.distance, probability);
+  }
+  for (const ir::NodeId v : loop.live_ins()) out.mark_live_in(v);
+  out.set_coverage(loop.coverage());
+  TMS_ASSERT(!out.validate().has_value());
+  return out;
+}
+
+}  // namespace tms::spmt

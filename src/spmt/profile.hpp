@@ -1,0 +1,46 @@
+// Dependence profiling — the substrate behind the paper's probability
+// annotations.
+//
+// The paper profiles SPECfp2000 with train inputs to learn, for every
+// memory dependence, the fraction of producer executions whose value the
+// consumer actually reads (Section 4.2's p_d). This module measures the
+// same quantity by running the loop's address streams: for each memory
+// flow edge x -> y of distance d, the fraction of iterations i in which
+// y's address at i equals x's address at i - d. `apply_profile` writes
+// the measured frequencies back into a loop's annotations, closing the
+// profile-guided loop: annotate -> generate streams -> profile -> verify.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "spmt/address.hpp"
+
+namespace tms::spmt {
+
+struct EdgeProfile {
+  std::size_t edge = 0;       ///< index into Loop::deps()
+  std::int64_t producer_executions = 0;
+  std::int64_t collisions = 0;
+  double frequency() const {
+    return producer_executions > 0
+               ? static_cast<double>(collisions) / static_cast<double>(producer_executions)
+               : 0.0;
+  }
+};
+
+/// Profiles every memory flow dependence over `n_iters` iterations of the
+/// address streams (the "train input" run).
+std::vector<EdgeProfile> profile_dependences(const ir::Loop& loop, const AddressStreams& streams,
+                                             std::int64_t n_iters);
+
+/// Rebuilds `loop` with each profiled memory flow dependence's
+/// probability replaced by the measured frequency. Edges that never
+/// collided are dropped (the profile proved them independent), matching
+/// how a profile-guided compiler would prune its dependence graph.
+/// `min_probability` clamps rare-but-real dependences away from zero.
+ir::Loop apply_profile(const ir::Loop& loop, const std::vector<EdgeProfile>& profile,
+                       double min_probability = 0.001);
+
+}  // namespace tms::spmt

@@ -1,0 +1,58 @@
+#include "spmt/reference.hpp"
+
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "spmt/values.hpp"
+#include "support/assert.hpp"
+
+namespace tms::spmt {
+
+ReferenceResult run_reference(const ir::Loop& loop, const AddressStreams& streams,
+                              std::int64_t n_iters) {
+  TMS_ASSERT(n_iters >= 0);
+  const std::vector<ir::NodeId> order = ir::topo_order_intra(loop);
+
+  // Per-node value history: ring buffer over iterations, deep enough for
+  // the largest register dependence distance.
+  int max_dist = 1;
+  for (const ir::DepEdge& e : loop.deps()) max_dist = std::max(max_dist, e.distance);
+  const int ring = max_dist + 1;
+  std::vector<std::vector<std::uint64_t>> vals(
+      static_cast<std::size_t>(loop.num_instrs()),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(ring), 0));
+
+  ReferenceResult res;
+  for (std::int64_t i = 0; i < n_iters; ++i) {
+    for (const ir::NodeId v : order) {
+      std::uint64_t acc = node_seed(v, loop.instr(v).op);
+      for (const std::size_t ei : loop.in_edges(v)) {
+        const ir::DepEdge& e = loop.dep(ei);
+        if (!e.is_register_flow()) continue;
+        const std::int64_t src_iter = i - e.distance;
+        const std::uint64_t operand =
+            (src_iter < 0)
+                ? live_in_value(e.src)
+                : vals[static_cast<std::size_t>(e.src)]
+                      [static_cast<std::size_t>(src_iter % ring)];
+        acc = mix(acc, operand);
+      }
+      const ir::Opcode op = loop.instr(v).op;
+      if (op == ir::Opcode::kLoad) {
+        const std::uint64_t addr = streams.address(v, i);
+        const auto it = res.memory.find(addr);
+        const std::uint64_t loaded =
+            (it != res.memory.end()) ? it->second : memory_init_value(addr);
+        acc = mix(acc, loaded);
+      } else if (op == ir::Opcode::kStore) {
+        const std::uint64_t addr = streams.address(v, i);
+        res.memory[addr] = acc;
+      }
+      vals[static_cast<std::size_t>(v)][static_cast<std::size_t>(i % ring)] = acc;
+      res.value_fingerprint = mix(res.value_fingerprint, acc);
+    }
+  }
+  return res;
+}
+
+}  // namespace tms::spmt

@@ -1,0 +1,29 @@
+// Sequential reference interpreter: the semantic ground truth a parallel
+// (speculative) execution must reproduce.
+//
+// Iterations run in source order; within an iteration, instructions run in
+// a topological order of the intra-iteration DDG (any such order yields
+// identical dataflow values because all real orderings are edges).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/loop.hpp"
+#include "spmt/address.hpp"
+
+namespace tms::spmt {
+
+struct ReferenceResult {
+  /// Final memory contents: only addresses that were written appear.
+  std::unordered_map<std::uint64_t, std::uint64_t> memory;
+  /// Hash of every committed value in sequence — a cheap whole-execution
+  /// fingerprint used by determinism tests.
+  std::uint64_t value_fingerprint = 0;
+};
+
+/// Executes `n_iters` iterations of the loop sequentially.
+ReferenceResult run_reference(const ir::Loop& loop, const AddressStreams& streams,
+                              std::int64_t n_iters);
+
+}  // namespace tms::spmt

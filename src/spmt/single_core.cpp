@@ -1,0 +1,163 @@
+#include "spmt/single_core.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/graph.hpp"
+#include "spmt/cache.hpp"
+#include "support/assert.hpp"
+
+namespace tms::spmt {
+namespace {
+
+/// Per-cycle capacity table with gap reuse: an op books the first cycle
+/// >= its ready time at which `limit` is not yet reached (for all of its
+/// occupancy cycles). Old entries are pruned as the window advances.
+class BusyTable {
+ public:
+  explicit BusyTable(int limit) : limit_(limit) {}
+
+  bool unlimited() const { return limit_ <= 0; }
+
+  std::int64_t find_free(std::int64_t t, int occupancy) const {
+    TMS_ASSERT(!unlimited());
+    t = std::max(t, floor_);  // pruned region: treated as fully booked
+    for (;;) {
+      bool ok = true;
+      for (int k = 0; k < occupancy; ++k) {
+        const auto it = busy_.find(t + k);
+        if (it != busy_.end() && it->second >= limit_) {
+          t = t + k + 1;
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return t;
+    }
+  }
+
+  void book(std::int64_t t, int occupancy) {
+    for (int k = 0; k < occupancy; ++k) ++busy_[t + k];
+  }
+
+  void prune_below(std::int64_t cycle) {
+    if (busy_.size() < 65536 || cycle <= floor_) return;
+    floor_ = cycle;
+    for (auto it = busy_.begin(); it != busy_.end();) {
+      it = (it->first < cycle) ? busy_.erase(it) : std::next(it);
+    }
+  }
+
+ private:
+  int limit_;
+  std::int64_t floor_ = 0;
+  std::unordered_map<std::int64_t, int> busy_;
+};
+
+}  // namespace
+
+SingleCoreStats run_single_threaded(const ir::Loop& loop, const machine::MachineModel& mach,
+                                    const machine::SpmtConfig& cfg, const AddressStreams& streams,
+                                    std::int64_t n_iters) {
+  TMS_ASSERT(n_iters >= 0);
+  const std::vector<ir::NodeId> order = ir::topo_order_intra(loop);
+
+  int max_dist = 1;
+  for (const ir::DepEdge& e : loop.deps()) max_dist = std::max(max_dist, e.distance);
+  const std::int64_t ring = max_dist + 1;
+  // done[v][i % ring]: completion time of node v in iteration i.
+  std::vector<std::vector<std::int64_t>> done(
+      static_cast<std::size_t>(loop.num_instrs()),
+      std::vector<std::int64_t>(static_cast<std::size_t>(ring), 0));
+
+  std::vector<BusyTable> fus;
+  fus.reserve(ir::kNumFuClasses);
+  for (int c = 0; c < ir::kNumFuClasses; ++c) {
+    fus.emplace_back(mach.fu_count(static_cast<ir::FuClass>(c)));
+  }
+  BusyTable issue(mach.issue_width());
+  MemoryHierarchy hier(cfg, 1);
+
+  SingleCoreStats stats;
+  std::int64_t horizon = 0;
+  std::int64_t min_ready_this_iter = 0;
+
+  // In-order retirement window: instruction q cannot issue until
+  // instruction q - rob_entries has retired.
+  const std::size_t rob = static_cast<std::size_t>(mach.rob_entries());
+  std::vector<std::int64_t> retire_ring(rob, 0);
+  std::int64_t seq = 0;
+  std::int64_t last_retire = 0;
+
+  for (std::int64_t i = 0; i < n_iters; ++i) {
+    min_ready_this_iter = horizon;
+    for (const ir::NodeId v : order) {
+      const ir::Opcode op = loop.instr(v).op;
+      // Operand readiness across flow dependences of any distance; the
+      // single-threaded baseline does not speculate, so memory flow
+      // dependences are honoured like register ones.
+      std::int64_t ready = 0;
+      for (const std::size_t ei : loop.in_edges(v)) {
+        const ir::DepEdge& e = loop.dep(ei);
+        if (e.type != ir::DepType::kFlow) continue;
+        const std::int64_t si = i - e.distance;
+        if (si < 0) continue;
+        ready = std::max(
+            ready, done[static_cast<std::size_t>(e.src)][static_cast<std::size_t>(si % ring)]);
+      }
+      // ROB pressure: wait for the slot vacated by instruction q - rob.
+      if (seq >= static_cast<std::int64_t>(rob)) {
+        ready = std::max(ready, retire_ring[static_cast<std::size_t>(
+                                    seq % static_cast<std::int64_t>(rob))]);
+      }
+      const ir::FuClass cls = ir::fu_class(op);
+      const int occ = mach.occupancy(op);
+      // Find a cycle honouring both the unit and the issue bandwidth.
+      std::int64_t t = ready;
+      for (;;) {
+        if (!fus[static_cast<std::size_t>(cls)].unlimited()) {
+          t = fus[static_cast<std::size_t>(cls)].find_free(t, occ);
+        }
+        const std::int64_t ti = issue.find_free(t, 1);
+        if (ti == t) break;
+        t = ti;
+      }
+      if (!fus[static_cast<std::size_t>(cls)].unlimited()) {
+        fus[static_cast<std::size_t>(cls)].book(t, occ);
+      }
+      issue.book(t, 1);
+
+      int latency = mach.latency(op);
+      if (op == ir::Opcode::kLoad) {
+        latency = hier.access_latency(0, streams.address(v, i), /*is_store=*/false);
+      } else if (op == ir::Opcode::kStore) {
+        hier.access_latency(0, streams.address(v, i), /*is_store=*/true);
+      }
+      done[static_cast<std::size_t>(v)][static_cast<std::size_t>(i % ring)] = t + latency;
+      horizon = std::max(horizon, t + latency);
+      min_ready_this_iter = std::min(min_ready_this_iter, t);
+      // In-order retirement.
+      last_retire = std::max(last_retire, t + latency);
+      retire_ring[static_cast<std::size_t>(seq % static_cast<std::int64_t>(rob))] = last_retire;
+      ++seq;
+      ++stats.instances_executed;
+    }
+    // Entries far behind the current iteration's earliest issue can never
+    // be probed again (ready times only move forward with the dataflow).
+    const std::int64_t prune = min_ready_this_iter - 4 * (cfg.l2_miss + cfg.l1d_hit);
+    issue.prune_below(prune);
+    for (auto& f : fus) {
+      if (!f.unlimited()) f.prune_below(prune);
+    }
+  }
+
+  stats.total_cycles = horizon;
+  stats.l1_hits = hier.l1_hits(0);
+  stats.l1_misses = hier.l1_misses(0);
+  stats.l2_hits = hier.l2_hits();
+  stats.l2_misses = hier.l2_misses();
+  return stats;
+}
+
+}  // namespace tms::spmt

@@ -1,0 +1,38 @@
+// Single-threaded baseline: the original (un-pipelined) loop running on
+// one core of the simulated machine.
+//
+// Models a 4-wide dynamically scheduled core: instructions issue in a
+// greedy dataflow order subject to operand readiness, functional-unit
+// occupancy, and per-cycle issue width, with loads taking their real
+// cache latency. This is the "single-threaded code" TMS is compared
+// against in Figure 5.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/loop.hpp"
+#include "machine/machine.hpp"
+#include "machine/spmt_config.hpp"
+#include "spmt/address.hpp"
+
+namespace tms::spmt {
+
+struct SingleCoreStats {
+  std::int64_t total_cycles = 0;
+  std::int64_t instances_executed = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  double ipc() const {
+    return total_cycles > 0
+               ? static_cast<double>(instances_executed) / static_cast<double>(total_cycles)
+               : 0.0;
+  }
+};
+
+SingleCoreStats run_single_threaded(const ir::Loop& loop, const machine::MachineModel& mach,
+                                    const machine::SpmtConfig& cfg, const AddressStreams& streams,
+                                    std::int64_t n_iters);
+
+}  // namespace tms::spmt

@@ -1,0 +1,40 @@
+// Functional value semantics for simulated loops.
+//
+// Every instruction instance computes a 64-bit value by hash-mixing its
+// operands, loads read the functional memory, stores write their value.
+// This gives speculation bugs observable consequences: a load that reads a
+// stale value produces a different hash than the sequential execution, so
+// the "committed state equals sequential semantics" property tests have
+// real teeth.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/loop.hpp"
+
+namespace tms::spmt {
+
+inline std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 27);
+}
+
+/// Seed of a node's computation, folded before its operands.
+inline std::uint64_t node_seed(ir::NodeId v, ir::Opcode op) {
+  return mix(static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL,
+             static_cast<std::uint64_t>(op));
+}
+
+/// Value a producer holds before the loop starts (live-in for negative
+/// source iterations).
+inline std::uint64_t live_in_value(ir::NodeId v) {
+  return mix(0x11EE11EE11EE11EEULL, static_cast<std::uint64_t>(v));
+}
+
+/// Initial contents of functional memory.
+inline std::uint64_t memory_init_value(std::uint64_t addr) {
+  return mix(addr, 0xABCDABCDABCDABCDULL);
+}
+
+}  // namespace tms::spmt

@@ -1,0 +1,33 @@
+// Lightweight always-on assertion macros.
+//
+// Scheduler and simulator invariants are cheap relative to the work they
+// guard, so these stay enabled in release builds. Violations indicate a
+// logic bug, never a user-input problem, hence abort() rather than an
+// exception.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tms::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "TMS assertion failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace tms::support
+
+#define TMS_ASSERT(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) ::tms::support::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define TMS_ASSERT_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) ::tms::support::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)
+
+#define TMS_UNREACHABLE(msg) ::tms::support::assert_fail("unreachable", __FILE__, __LINE__, (msg))

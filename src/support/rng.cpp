@@ -1,0 +1,5 @@
+#include "support/rng.hpp"
+
+// Header-only; this TU pins the library so every module links the same
+// instantiation settings.
+namespace tms::support {}

@@ -1,0 +1,76 @@
+#include "support/stats.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace tms::support {
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) * static_cast<double>(other.n_) / total;
+  mean_ = (mean_ * static_cast<double>(n_) + other.mean_ * static_cast<double>(other.n_)) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t nbuckets)
+    : lo_(lo), hi_(hi), buckets_(nbuckets, 0) {
+  TMS_ASSERT(hi > lo);
+  TMS_ASSERT(nbuckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(buckets_.size()));
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  ++buckets_[idx];
+}
+
+double Histogram::quantile(double p) const {
+  TMS_ASSERT(p >= 0.0 && p <= 1.0);
+  const std::uint64_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(in_range));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(buckets_.size());
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii_render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double edge = lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(buckets_.size());
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(buckets_[i]) / static_cast<double>(peak) * static_cast<double>(width));
+    os << edge << "\t|" << std::string(bar, '#') << " " << buckets_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tms::support

@@ -1,0 +1,30 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary reproduces one of the paper's tables or figures as an
+// aligned text table on stdout; this helper keeps the formatting uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tms::support {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 1);
+  static std::string pct(double v, int precision = 1);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tms::support

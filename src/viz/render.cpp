@@ -1,0 +1,131 @@
+#include "viz/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "support/assert.hpp"
+
+namespace tms::viz {
+namespace {
+
+std::vector<std::vector<ir::NodeId>> by_cycle(const sched::Schedule& s, int lo, int hi) {
+  std::vector<std::vector<ir::NodeId>> rows(static_cast<std::size_t>(hi - lo + 1));
+  for (ir::NodeId v = 0; v < s.loop().num_instrs(); ++v) {
+    rows[static_cast<std::size_t>(s.slot(v) - lo)].push_back(v);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::string render_flat_schedule(const sched::Schedule& s) {
+  TMS_ASSERT(s.complete());
+  const ir::Loop& loop = s.loop();
+  const int lo = s.min_slot();
+  const int hi = s.max_slot();
+  const auto rows = by_cycle(s, lo, hi);
+
+  std::ostringstream os;
+  os << "flat schedule of '" << loop.name() << "' (II=" << s.ii() << ")\n";
+  for (int c = lo; c <= hi; ++c) {
+    const auto& nodes = rows[static_cast<std::size_t>(c - lo)];
+    if (nodes.empty()) continue;
+    os << "  cycle " << c << ":";
+    for (const ir::NodeId v : nodes) {
+      os << "  " << loop.instr(v).name << "(" << ir::to_string(loop.instr(v).op) << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_kernel(const sched::Schedule& s, const machine::SpmtConfig& cfg) {
+  TMS_ASSERT(s.complete());
+  const ir::Loop& loop = s.loop();
+  std::ostringstream os;
+  os << "kernel of '" << loop.name() << "' (II=" << s.ii() << ", " << s.stage_count()
+     << " stage(s))\n";
+  for (int r = 0; r < s.ii(); ++r) {
+    os << "  row " << r << ":";
+    bool any = false;
+    for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+      if (s.row(v) != r) continue;
+      os << "  " << loop.instr(v).name << "[s" << s.stage(v) << "]";
+      any = true;
+    }
+    if (!any) os << "  -";
+    os << "\n";
+  }
+  os << "inter-thread register dependences (sync delay, Def. 2):\n";
+  for (const std::size_t ei : s.reg_dep_set()) {
+    const ir::DepEdge& e = loop.dep(ei);
+    os << "  " << loop.instr(e.src).name << " -> " << loop.instr(e.dst).name
+       << "  d_ker=" << s.kernel_distance(e) << "  sync=" << s.sync_delay(e, cfg) << "\n";
+  }
+  os << "speculated memory dependences (preserved?):\n";
+  const auto regs = s.reg_dep_set();
+  for (const std::size_t ei : s.mem_dep_set()) {
+    const ir::DepEdge& e = loop.dep(ei);
+    os << "  " << loop.instr(e.src).name << " -> " << loop.instr(e.dst).name << "  p="
+       << e.probability << "  " << (s.preserved(e, regs, cfg) ? "preserved" : "speculated")
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string render_execution(const sched::Schedule& s, const machine::SpmtConfig& cfg,
+                             int threads) {
+  TMS_ASSERT(s.complete());
+  TMS_ASSERT(threads >= 1);
+  const ir::Loop& loop = s.loop();
+  const int ii = s.ii();
+  // Steady-state thread offset per the cost model.
+  const auto offset = static_cast<int>(cost::per_iter_nomiss(ii, s.c_delay(cfg), cfg) + 0.5);
+  const int width = offset * (threads - 1) + ii + 4;
+
+  std::ostringstream os;
+  os << "model execution of '" << loop.name() << "' on " << cfg.ncore
+     << " cores (thread offset " << offset << " cycles):\n";
+  for (int k = 0; k < threads; ++k) {
+    const int core = k % cfg.ncore;
+    std::string line(static_cast<std::size_t>(width), ' ');
+    const int start = k * offset;
+    for (int c = 0; c < ii && start + c < width; ++c) {
+      line[static_cast<std::size_t>(start + c)] = '.';
+    }
+    for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+      const int pos = start + s.row(v);
+      if (pos < width) {
+        line[static_cast<std::size_t>(pos)] =
+            ir::is_memory(loop.instr(v).op) ? 'M' : 'x';
+      }
+    }
+    os << "  core " << core << " | thread " << k << " |" << line << "|\n";
+  }
+  os << "  ('x' issue slots, 'M' memory ops; consecutive threads " << offset
+     << " cycles apart = max(C_spn, C_ci, C_delay, T_lb/ncore))\n";
+  return os.str();
+}
+
+std::string render_ddg_dot(const ir::Loop& loop) {
+  std::ostringstream os;
+  os << "digraph \"" << loop.name() << "\" {\n";
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    os << "  n" << v << " [label=\"" << loop.instr(v).name << "\\n"
+       << ir::to_string(loop.instr(v).op) << "\"];\n";
+  }
+  for (const ir::DepEdge& e : loop.deps()) {
+    os << "  n" << e.src << " -> n" << e.dst << " [label=\"d=" << e.distance;
+    if (e.kind == ir::DepKind::kMemory) os << ",p=" << e.probability;
+    os << "\"";
+    if (e.kind == ir::DepKind::kMemory) os << " style=dashed";
+    if (e.type != ir::DepType::kFlow) os << " color=gray";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tms::viz

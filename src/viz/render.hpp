@@ -1,0 +1,33 @@
+// Text rendering of schedules and SpMT executions — the tooling behind
+// the paper's Figure 2: (a/d) flat schedules, (b/e) kernels with stage
+// annotations, and (c/f) multi-core execution timelines with
+// communication events.
+#pragma once
+
+#include <string>
+
+#include "machine/spmt_config.hpp"
+#include "sched/schedule.hpp"
+
+namespace tms::viz {
+
+/// Flat schedule listing: one line per cycle, instructions at their issue
+/// slots (Figure 2 (a)/(d)).
+std::string render_flat_schedule(const sched::Schedule& s);
+
+/// Kernel view: II rows, each with its instructions and their stage
+/// numbers, plus the inter-thread dependences and their sync delays
+/// (Figure 2 (b)/(e)).
+std::string render_kernel(const sched::Schedule& s, const machine::SpmtConfig& cfg);
+
+/// Execution timeline: the first `threads` kernel iterations laid out on
+/// the ring's cores with start offsets from the cost model, marking
+/// SEND/RECV communication (Figure 2 (c)/(f)). Purely model-based (no
+/// simulation); the simulator's stats are the measured counterpart.
+std::string render_execution(const sched::Schedule& s, const machine::SpmtConfig& cfg,
+                             int threads = 4);
+
+/// DDG dump in Graphviz dot format (for documentation and debugging).
+std::string render_ddg_dot(const ir::Loop& loop);
+
+}  // namespace tms::viz

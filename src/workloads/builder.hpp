@@ -1,0 +1,50 @@
+// Parameterised synthetic-loop construction.
+//
+// Loops are assembled from the structural ingredients that determine how
+// SMS and TMS behave:
+//   - an induction variable (iadd self-loop, distance 1),
+//   - zero or more recurrence circuits whose latency sum sets RecII,
+//   - accumulator self-loops (one-node SCCs),
+//   - load -> compute-chain -> store dataflow (sets ResII and LDP),
+//   - cross-iteration register "feeders": side values consumed by the
+//     next iteration's early nodes — the dependences SMS schedules
+//     pathologically tight (Figure 2's n6 -> n0),
+//   - speculated memory dependences store -> load with an annotated
+//     probability.
+// All randomness is drawn from one seed, so a LoopShape is a reproducible
+// workload identifier.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/loop.hpp"
+#include "support/rng.hpp"
+
+namespace tms::workloads {
+
+struct LoopShape {
+  std::string name;
+  int target_instrs = 24;
+  /// Latency sum of the main recurrence circuit; 0 = no main recurrence
+  /// (resource-bound loop). The circuit always has distance 1.
+  int rec_circuit_delay = 0;
+  /// Number of instructions in the main recurrence circuit (>= 2 when
+  /// rec_circuit_delay > 0).
+  int rec_circuit_len = 4;
+  /// Accumulator self-loops (each is a one-node SCC).
+  int accumulators = 1;
+  /// Cross-iteration register feeders into early (SCC/head) nodes.
+  int feeders = 1;
+  /// Speculated memory dependences (store -> load, distance 1).
+  int mem_deps = 1;
+  double mem_prob_lo = 0.01;
+  double mem_prob_hi = 0.05;
+  /// Fraction of compute ops that are FP (vs integer ALU).
+  double fp_fraction = 0.6;
+  std::uint64_t seed = 1;
+};
+
+/// Builds one loop from a shape. Post-condition: Loop::validate() passes.
+ir::Loop build_loop(const LoopShape& shape);
+
+}  // namespace tms::workloads

@@ -1,0 +1,32 @@
+// The seven selected DOACROSS loops of Section 5.2 / Table 3.
+//
+// These are hand-constructed to match the published statistics:
+//
+//   bench   #loops  LC     #inst  #SCC  MII  LDP
+//   art        4    21.6%    27     3    11   29   (two unrolled 4x)
+//   equake     1    58.5%    82     3    20   26
+//   lucas      1    33.4%   102     8    62   89
+//   fma3d      1    14.3%    72     3    18   34
+//
+// art's loops are recurrence-bound; equake/fma3d are resource-bound with
+// good ILP and TLP; lucas's largest SCC is closed by probability-1.0
+// (flow) dependences, so its MII is recurrence-constrained and C_delay
+// ends up larger than its MII (ILP only, no TLP).
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace tms::workloads {
+
+struct SelectedLoop {
+  std::string benchmark;
+  ir::Loop loop;
+};
+
+/// All seven loops, in Table 3 order (art x4, equake, lucas, fma3d).
+/// Each loop's coverage() is its share of whole-program time.
+std::vector<SelectedLoop> doacross_selected_loops();
+
+}  // namespace tms::workloads

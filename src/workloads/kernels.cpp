@@ -1,0 +1,259 @@
+#include "workloads/kernels.hpp"
+
+#include "support/assert.hpp"
+
+namespace tms::workloads {
+namespace {
+
+using ir::Loop;
+using ir::NodeId;
+using ir::Opcode;
+
+NodeId induction(Loop& loop) {
+  const NodeId i = loop.add_instr(Opcode::kIAdd, "i");
+  loop.add_reg_flow(i, i, 1);
+  loop.mark_live_in(i);
+  return i;
+}
+
+/// Livermore kernel 1 (hydro fragment): fully parallel.
+Kernel hydro() {
+  Loop loop("hydro");
+  const NodeId i = induction(loop);
+  const NodeId z10 = loop.add_instr(Opcode::kLoad, "z[i+10]");
+  const NodeId z11 = loop.add_instr(Opcode::kLoad, "z[i+11]");
+  const NodeId y = loop.add_instr(Opcode::kLoad, "y[i]");
+  loop.add_reg_flow(i, z10, 0);
+  loop.add_reg_flow(i, z11, 0);
+  loop.add_reg_flow(i, y, 0);
+  const NodeId rz = loop.add_instr(Opcode::kFMul, "r*z10");
+  loop.add_reg_flow(z10, rz, 0);
+  const NodeId tz = loop.add_instr(Opcode::kFMul, "t*z11");
+  loop.add_reg_flow(z11, tz, 0);
+  const NodeId sum = loop.add_instr(Opcode::kFAdd, "rz+tz");
+  loop.add_reg_flow(rz, sum, 0);
+  loop.add_reg_flow(tz, sum, 0);
+  const NodeId ys = loop.add_instr(Opcode::kFMul, "y*sum");
+  loop.add_reg_flow(y, ys, 0);
+  loop.add_reg_flow(sum, ys, 0);
+  const NodeId q = loop.add_instr(Opcode::kFAdd, "q+ys");
+  loop.add_reg_flow(ys, q, 0);
+  const NodeId st = loop.add_instr(Opcode::kStore, "x[i]=");
+  loop.add_reg_flow(q, st, 0);
+  loop.add_reg_flow(i, st, 0);
+  loop.set_coverage(0.4);
+  return {"x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])", std::move(loop)};
+}
+
+/// Livermore kernel 3: inner product — the canonical reduction.
+Kernel inner_prod() {
+  Loop loop("inner_prod");
+  const NodeId i = induction(loop);
+  const NodeId z = loop.add_instr(Opcode::kLoad, "z[i]");
+  const NodeId x = loop.add_instr(Opcode::kLoad, "x[i]");
+  loop.add_reg_flow(i, z, 0);
+  loop.add_reg_flow(i, x, 0);
+  const NodeId m = loop.add_instr(Opcode::kFMul, "z*x");
+  loop.add_reg_flow(z, m, 0);
+  loop.add_reg_flow(x, m, 0);
+  const NodeId q = loop.add_instr(Opcode::kFAdd, "q+=");
+  loop.add_reg_flow(m, q, 0);
+  loop.add_reg_flow(q, q, 1);
+  loop.mark_live_in(q);
+  loop.set_coverage(0.5);
+  return {"q += z[i]*x[i]", std::move(loop)};
+}
+
+/// Livermore kernel 5: tri-diagonal elimination — a first-order
+/// recurrence through x[i-1], carried in a register after scalar
+/// replacement.
+Kernel tridiag() {
+  Loop loop("tridiag");
+  const NodeId i = induction(loop);
+  const NodeId z = loop.add_instr(Opcode::kLoad, "z[i]");
+  const NodeId y = loop.add_instr(Opcode::kLoad, "y[i]");
+  loop.add_reg_flow(i, z, 0);
+  loop.add_reg_flow(i, y, 0);
+  const NodeId sub = loop.add_instr(Opcode::kFSub, "y - x[i-1]");
+  loop.add_reg_flow(y, sub, 0);
+  const NodeId x = loop.add_instr(Opcode::kFMul, "x[i] = z*sub");
+  loop.add_reg_flow(z, x, 0);
+  loop.add_reg_flow(sub, x, 0);
+  loop.add_reg_flow(x, sub, 1);  // the recurrence: next iteration's x[i-1]
+  loop.mark_live_in(x);
+  const NodeId st = loop.add_instr(Opcode::kStore, "x[i]=");
+  loop.add_reg_flow(x, st, 0);
+  loop.add_reg_flow(i, st, 0);
+  loop.set_coverage(0.5);
+  return {"x[i] = z[i]*(y[i] - x[i-1])", std::move(loop)};
+}
+
+/// Livermore kernel 7-ish (equation of state fragment, shortened): long
+/// parallel expression trees feeding one store.
+Kernel state_frag() {
+  Loop loop("state_frag");
+  const NodeId i = induction(loop);
+  const NodeId u = loop.add_instr(Opcode::kLoad, "u[i]");
+  const NodeId r = loop.add_instr(Opcode::kLoad, "r[i]");
+  const NodeId t = loop.add_instr(Opcode::kLoad, "t[i]");
+  loop.add_reg_flow(i, u, 0);
+  loop.add_reg_flow(i, r, 0);
+  loop.add_reg_flow(i, t, 0);
+  const NodeId m1 = loop.add_instr(Opcode::kFMul, "u*r");
+  loop.add_reg_flow(u, m1, 0);
+  loop.add_reg_flow(r, m1, 0);
+  const NodeId a1 = loop.add_instr(Opcode::kFAdd, "+t");
+  loop.add_reg_flow(m1, a1, 0);
+  loop.add_reg_flow(t, a1, 0);
+  const NodeId m2 = loop.add_instr(Opcode::kFMul, "*u");
+  loop.add_reg_flow(a1, m2, 0);
+  loop.add_reg_flow(u, m2, 0);
+  const NodeId a2 = loop.add_instr(Opcode::kFAdd, "+r");
+  loop.add_reg_flow(m2, a2, 0);
+  loop.add_reg_flow(r, a2, 0);
+  const NodeId m3 = loop.add_instr(Opcode::kFMul, "*t");
+  loop.add_reg_flow(a2, m3, 0);
+  loop.add_reg_flow(t, m3, 0);
+  const NodeId st = loop.add_instr(Opcode::kStore, "x[i]=");
+  loop.add_reg_flow(m3, st, 0);
+  loop.add_reg_flow(i, st, 0);
+  loop.set_coverage(0.35);
+  return {"x[i] = t[i]*(r[i] + u[i]*(u[i]*r[i] + t[i])) (shortened)", std::move(loop)};
+}
+
+/// Livermore kernel 11: first sum (prefix sum) — the tightest possible
+/// recurrence, the pure-TLP stress case.
+Kernel first_sum() {
+  Loop loop("first_sum");
+  const NodeId i = induction(loop);
+  const NodeId y = loop.add_instr(Opcode::kLoad, "y[i]");
+  loop.add_reg_flow(i, y, 0);
+  const NodeId x = loop.add_instr(Opcode::kFAdd, "x[i]=x[i-1]+y[i]");
+  loop.add_reg_flow(y, x, 0);
+  loop.add_reg_flow(x, x, 1);
+  loop.mark_live_in(x);
+  const NodeId st = loop.add_instr(Opcode::kStore, "x[i]=");
+  loop.add_reg_flow(x, st, 0);
+  loop.add_reg_flow(i, st, 0);
+  loop.set_coverage(0.3);
+  return {"x[i] = x[i-1] + y[i]", std::move(loop)};
+}
+
+/// A 4-tap FIR filter with the taps unrolled: the sliding window keeps
+/// x[i-k] alive across iterations (register deps of distance 1..3).
+Kernel fir() {
+  Loop loop("fir4");
+  const NodeId i = induction(loop);
+  const NodeId x0 = loop.add_instr(Opcode::kLoad, "x[i]");
+  loop.add_reg_flow(i, x0, 0);
+  // c0*x[i] + c1*x[i-1] + c2*x[i-2] + c3*x[i-3]: the delayed samples are
+  // last iterations' loads, carried in registers.
+  const NodeId m0 = loop.add_instr(Opcode::kFMul, "c0*x[i]");
+  loop.add_reg_flow(x0, m0, 0);
+  const NodeId m1 = loop.add_instr(Opcode::kFMul, "c1*x[i-1]");
+  loop.add_reg_flow(x0, m1, 1);
+  const NodeId m2 = loop.add_instr(Opcode::kFMul, "c2*x[i-2]");
+  loop.add_reg_flow(x0, m2, 2);
+  const NodeId m3 = loop.add_instr(Opcode::kFMul, "c3*x[i-3]");
+  loop.add_reg_flow(x0, m3, 3);
+  const NodeId a0 = loop.add_instr(Opcode::kFAdd, "m0+m1");
+  loop.add_reg_flow(m0, a0, 0);
+  loop.add_reg_flow(m1, a0, 0);
+  const NodeId a1 = loop.add_instr(Opcode::kFAdd, "m2+m3");
+  loop.add_reg_flow(m2, a1, 0);
+  loop.add_reg_flow(m3, a1, 0);
+  const NodeId a2 = loop.add_instr(Opcode::kFAdd, "a0+a1");
+  loop.add_reg_flow(a0, a2, 0);
+  loop.add_reg_flow(a1, a2, 0);
+  const NodeId st = loop.add_instr(Opcode::kStore, "y[i]=");
+  loop.add_reg_flow(a2, st, 0);
+  loop.add_reg_flow(i, st, 0);
+  loop.set_coverage(0.45);
+  return {"y[i] = c0*x[i] + c1*x[i-1] + c2*x[i-2] + c3*x[i-3]", std::move(loop)};
+}
+
+/// Indirect scatter with a profiled self-alias rate: a[idx[i]] = f(b[i]),
+/// where idx occasionally repeats within a short window — the archetypal
+/// speculation candidate (cf. the paper's Section 2 prior work).
+Kernel scatter() {
+  Loop loop("scatter");
+  const NodeId i = induction(loop);
+  const NodeId idx = loop.add_instr(Opcode::kLoad, "idx[i]");
+  const NodeId b = loop.add_instr(Opcode::kLoad, "b[i]");
+  loop.add_reg_flow(i, idx, 0);
+  loop.add_reg_flow(i, b, 0);
+  const NodeId f = loop.add_instr(Opcode::kFMul, "f(b)");
+  loop.add_reg_flow(b, f, 0);
+  const NodeId g = loop.add_instr(Opcode::kFAdd, "g(f)");
+  loop.add_reg_flow(f, g, 0);
+  // Read-modify-write of a[idx[i]]: load, combine, store.
+  const NodeId a_old = loop.add_instr(Opcode::kLoad, "a[idx]");
+  loop.add_reg_flow(idx, a_old, 0);
+  const NodeId upd = loop.add_instr(Opcode::kFAdd, "a_old+g");
+  loop.add_reg_flow(a_old, upd, 0);
+  loop.add_reg_flow(g, upd, 0);
+  const NodeId st = loop.add_instr(Opcode::kStore, "a[idx]=");
+  loop.add_reg_flow(upd, st, 0);
+  loop.add_reg_flow(idx, st, 0);
+  // Profiled: consecutive iterations touch the same element 3% of the
+  // time (the paper's "small dependence probability" regime).
+  loop.add_mem_flow(st, a_old, 1, 0.03);
+  loop.set_coverage(0.4);
+  return {"a[idx[i]] += g(f(b[i])), idx self-aliases ~3%", std::move(loop)};
+}
+
+/// A simplified ADI-style forward sweep: two coupled recurrences plus
+/// independent work, the mixed ILP/TLP case TMS balances.
+Kernel adi_sweep() {
+  Loop loop("adi_sweep");
+  const NodeId i = induction(loop);
+  const NodeId du = loop.add_instr(Opcode::kLoad, "du[i]");
+  const NodeId dv = loop.add_instr(Opcode::kLoad, "dv[i]");
+  loop.add_reg_flow(i, du, 0);
+  loop.add_reg_flow(i, dv, 0);
+  // u-recurrence: u = du - a*u_prev.
+  const NodeId au = loop.add_instr(Opcode::kFMul, "a*u_prev");
+  const NodeId u = loop.add_instr(Opcode::kFSub, "u=du-au");
+  loop.add_reg_flow(du, u, 0);
+  loop.add_reg_flow(au, u, 0);
+  loop.add_reg_flow(u, au, 1);
+  loop.mark_live_in(u);
+  // v-recurrence, coupled into u's result.
+  const NodeId bv = loop.add_instr(Opcode::kFMul, "b*v_prev");
+  const NodeId v = loop.add_instr(Opcode::kFSub, "v=dv-bv");
+  loop.add_reg_flow(dv, v, 0);
+  loop.add_reg_flow(bv, v, 0);
+  loop.add_reg_flow(v, bv, 1);
+  loop.mark_live_in(v);
+  const NodeId cross = loop.add_instr(Opcode::kFMul, "u*v");
+  loop.add_reg_flow(u, cross, 0);
+  loop.add_reg_flow(v, cross, 0);
+  const NodeId stu = loop.add_instr(Opcode::kStore, "u[i]=");
+  loop.add_reg_flow(u, stu, 0);
+  loop.add_reg_flow(i, stu, 0);
+  const NodeId stx = loop.add_instr(Opcode::kStore, "x[i]=");
+  loop.add_reg_flow(cross, stx, 0);
+  loop.add_reg_flow(i, stx, 0);
+  loop.set_coverage(0.5);
+  return {"ADI forward sweep (two coupled first-order recurrences)", std::move(loop)};
+}
+
+}  // namespace
+
+std::vector<Kernel> classic_kernels() {
+  std::vector<Kernel> out;
+  out.push_back(hydro());
+  out.push_back(inner_prod());
+  out.push_back(tridiag());
+  out.push_back(state_frag());
+  out.push_back(first_sum());
+  out.push_back(fir());
+  out.push_back(scatter());
+  out.push_back(adi_sweep());
+  for (const Kernel& k : out) {
+    TMS_ASSERT_MSG(!k.loop.validate().has_value(), "kernel must be well-formed");
+  }
+  return out;
+}
+
+}  // namespace tms::workloads

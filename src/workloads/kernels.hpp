@@ -1,0 +1,35 @@
+// Classic loop kernels, hand-translated to the loop IR.
+//
+// The synthetic SPECfp2000 suite reproduces the paper's *statistics*;
+// these kernels complement it with recognisable, human-auditable loops
+// in the spirit of the Livermore loops — each is the DDG a compiler
+// front-end would emit for the stated source, with dependence structure
+// documented inline. They exercise the full spectrum TMS cares about:
+// DOALL, reductions, first-order recurrences, DOACROSS memory
+// recurrences, and gather/scatter with profiled alias rates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace tms::workloads {
+
+struct Kernel {
+  std::string description;  ///< the source loop it models
+  ir::Loop loop;
+};
+
+/// The full collection, in a fixed order:
+///   hydro        x[i] = q + y[i]*(r*z[i+10] + t*z[i+11])        (DOALL)
+///   inner_prod   q += z[i]*x[i]                                 (reduction)
+///   tridiag      x[i] = z[i]*(y[i] - x[i-1])                    (1st-order recurrence)
+///   state_frag   x[i] = x[i] + b[k]*y[i] (running state update)
+///   first_sum    x[i] = x[i-1] + y[i]                           (prefix sum)
+///   fir          y[i] = sum_k c[k]*x[i-k], taps unrolled        (sliding window)
+///   scatter      a[idx[i]] = b[i] with profiled alias rate      (speculative)
+///   adi_sweep    simplified ADI forward sweep                   (coupled recurrences)
+std::vector<Kernel> classic_kernels();
+
+}  // namespace tms::workloads

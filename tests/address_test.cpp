@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "spmt/address.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::spmt {
+namespace {
+
+TEST(AddressStreams, StridedWrapsInSpan) {
+  const auto fn = AddressStreams::strided(1000, 8, 64);
+  EXPECT_EQ(fn(0), 1000u);
+  EXPECT_EQ(fn(1), 1008u);
+  EXPECT_EQ(fn(8), 1000u);  // wrapped
+}
+
+TEST(AddressStreams, DependentCollidesAtAnnotatedFrequency) {
+  const auto prod = AddressStreams::strided(0, 8, 1 << 20);
+  const auto priv = AddressStreams::strided(1 << 30, 8, 1 << 20);
+  const double p = 0.25;
+  const auto cons = AddressStreams::dependent(prod, 1, p, 99, priv);
+  int collisions = 0;
+  const int n = 20000;
+  for (int i = 1; i <= n; ++i) {
+    if (cons(i) == prod(i - 1)) ++collisions;
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / n, p, 0.02);
+}
+
+TEST(AddressStreams, DependentProbabilityOneAlwaysCollides) {
+  const auto prod = AddressStreams::strided(0, 8, 1 << 20);
+  const auto priv = AddressStreams::strided(1 << 30, 8, 1 << 20);
+  const auto cons = AddressStreams::dependent(prod, 2, 1.0, 7, priv);
+  for (int i = 2; i < 100; ++i) {
+    EXPECT_EQ(cons(i), prod(i - 2));
+  }
+}
+
+TEST(AddressStreams, DependentUsesPrivateBeforeDistance) {
+  const auto prod = AddressStreams::strided(0, 8, 1 << 20);
+  const auto priv = AddressStreams::strided(1 << 30, 8, 1 << 20);
+  const auto cons = AddressStreams::dependent(prod, 3, 1.0, 7, priv);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(cons(i), 1u << 30);
+  }
+}
+
+TEST(AddressStreams, Deterministic) {
+  const auto a = default_streams(workloads::figure1_loop(), 42);
+  const auto b = default_streams(workloads::figure1_loop(), 42);
+  const ir::Loop loop = workloads::figure1_loop();
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    if (!ir::is_memory(loop.instr(v).op)) continue;
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(a.address(v, i), b.address(v, i));
+    }
+  }
+}
+
+TEST(AddressStreams, SeedChangesLayout) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const auto a = default_streams(loop, 1);
+  const auto b = default_streams(loop, 2);
+  bool any_diff = false;
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    if (!ir::is_memory(loop.instr(v).op)) continue;
+    if (a.address(v, 0) != b.address(v, 0)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(AddressStreams, EveryMemoryOpHasStream) {
+  for (std::uint64_t seed = 300; seed < 320; ++seed) {
+    const ir::Loop loop = test::random_loop(seed);
+    const auto streams = default_streams(loop, seed);
+    for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+      if (ir::is_memory(loop.instr(v).op)) {
+        EXPECT_TRUE(streams.has(v));
+      } else {
+        EXPECT_FALSE(streams.has(v));
+      }
+    }
+  }
+}
+
+TEST(AddressStreams, IndependentStreamsDisjoint) {
+  // Streams of unrelated memory ops must never alias (1 MiB regions).
+  const ir::Loop loop = test::tiny_doall();
+  const auto streams = default_streams(loop, 5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(streams.address(0, i), streams.address(2, i));
+  }
+}
+
+TEST(StreamHash, DeterministicAndSpread) {
+  EXPECT_EQ(stream_hash(1, 2), stream_hash(1, 2));
+  EXPECT_NE(stream_hash(1, 2), stream_hash(1, 3));
+  EXPECT_NE(stream_hash(1, 2), stream_hash(2, 2));
+}
+
+}  // namespace
+}  // namespace tms::spmt

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "spmt/cache.hpp"
+
+namespace tms::spmt {
+namespace {
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache c(4, 2, 64);
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1030));  // same 64B line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet) {
+  // 1 set x 2 ways: three distinct lines thrash.
+  SetAssocCache c(1, 2, 64);
+  EXPECT_FALSE(c.access(0x0));
+  EXPECT_FALSE(c.access(0x40));
+  EXPECT_TRUE(c.access(0x0));    // refresh LRU of line 0
+  EXPECT_FALSE(c.access(0x80));  // evicts 0x40 (LRU)
+  EXPECT_TRUE(c.access(0x0));
+  EXPECT_FALSE(c.access(0x40));  // was evicted
+}
+
+TEST(SetAssocCache, SetsIsolateLines) {
+  SetAssocCache c(2, 1, 64);
+  EXPECT_FALSE(c.access(0x00));   // set 0
+  EXPECT_FALSE(c.access(0x40));   // set 1
+  EXPECT_TRUE(c.access(0x00));
+  EXPECT_TRUE(c.access(0x40));
+}
+
+TEST(SetAssocCache, ContainsDoesNotAllocate) {
+  SetAssocCache c(4, 2, 64);
+  EXPECT_FALSE(c.contains(0x2000));
+  EXPECT_FALSE(c.contains(0x2000));  // still absent
+  c.access(0x2000);
+  EXPECT_TRUE(c.contains(0x2000));
+}
+
+TEST(SetAssocCache, InvalidateAll) {
+  SetAssocCache c(4, 2, 64);
+  c.access(0x100);
+  c.invalidate_all();
+  EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(MemoryHierarchy, Table1Latencies) {
+  machine::SpmtConfig cfg;
+  MemoryHierarchy h(cfg, cfg.ncore);
+  // Cold: L1 miss + L2 miss -> memory.
+  EXPECT_EQ(h.access_latency(0, 0x5000, false), cfg.l1d_hit + cfg.l2_miss);
+  // Warm in both.
+  EXPECT_EQ(h.access_latency(0, 0x5000, false), cfg.l1d_hit);
+  // Another core: misses its private L1, hits shared L2.
+  EXPECT_EQ(h.access_latency(1, 0x5000, false), cfg.l1d_hit + cfg.l2_hit);
+}
+
+TEST(MemoryHierarchy, StoresChargeOnlyL1Probe) {
+  machine::SpmtConfig cfg;
+  MemoryHierarchy h(cfg, 1);
+  EXPECT_EQ(h.access_latency(0, 0x9000, true), 1);
+  EXPECT_EQ(h.access_latency(0, 0x9000, true), 1);
+}
+
+TEST(MemoryHierarchy, PerCoreL1Stats) {
+  machine::SpmtConfig cfg;
+  MemoryHierarchy h(cfg, 2);
+  h.access_latency(0, 0x100, false);
+  h.access_latency(0, 0x100, false);
+  h.access_latency(1, 0x100, false);
+  EXPECT_EQ(h.l1_misses(0), 1u);
+  EXPECT_EQ(h.l1_hits(0), 1u);
+  EXPECT_EQ(h.l1_misses(1), 1u);
+  EXPECT_EQ(h.l2_hits(), 1u);  // core 1 found it in shared L2
+}
+
+}  // namespace
+}  // namespace tms::spmt

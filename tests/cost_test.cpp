@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+
+namespace tms::cost {
+namespace {
+
+class CostTest : public ::testing::Test {
+ protected:
+  machine::SpmtConfig cfg;  // ncore=4, C_spn=3, C_ci=2, C_inv=15, C_reg_com=3
+};
+
+TEST_F(CostTest, ThreadLowerBound) {
+  // T_lb = II + C_ci + max(C_spn, C_delay).
+  EXPECT_DOUBLE_EQ(thread_lower_bound(8, 4, cfg), 8 + 2 + 4);
+  EXPECT_DOUBLE_EQ(thread_lower_bound(8, 1, cfg), 8 + 2 + 3);  // spawn dominates
+}
+
+TEST_F(CostTest, PerIterSerialDominates) {
+  // Large C_delay: threads serialise at C_delay per iteration.
+  EXPECT_DOUBLE_EQ(per_iter_nomiss(8, 20, cfg), 20.0);
+}
+
+TEST_F(CostTest, PerIterThroughputDominates) {
+  // Small C_delay, large II: cores bound the rate at T_lb / ncore.
+  EXPECT_DOUBLE_EQ(per_iter_nomiss(40, 4, cfg), (40 + 2 + 4) / 4.0);
+}
+
+TEST_F(CostTest, PerIterFloorsAtSpawnCommit) {
+  machine::SpmtConfig many = cfg;
+  many.ncore = 64;
+  EXPECT_DOUBLE_EQ(per_iter_nomiss(4, 1, many), 3.0);  // C_spn floor
+}
+
+TEST_F(CostTest, TNomissScalesWithN) {
+  EXPECT_DOUBLE_EQ(t_nomiss(8, 20, cfg, 100), 2000.0);
+}
+
+TEST_F(CostTest, MonotoneInIIAndCDelay) {
+  for (int ii = 2; ii < 40; ++ii) {
+    EXPECT_LE(per_iter_nomiss(ii, 5, cfg), per_iter_nomiss(ii + 1, 5, cfg));
+  }
+  for (int cd = 4; cd < 40; ++cd) {
+    EXPECT_LE(per_iter_nomiss(10, cd, cfg), per_iter_nomiss(10, cd + 1, cfg));
+  }
+}
+
+TEST_F(CostTest, MisspecPenalty) {
+  // II + C_inv - max(0, C_delay - C_spn).
+  EXPECT_DOUBLE_EQ(misspec_penalty(10, 4, cfg), 10 + 15 - 1);
+  EXPECT_DOUBLE_EQ(misspec_penalty(10, 2, cfg), 10 + 15);  // no gain when C_delay < C_spn
+}
+
+TEST_F(CostTest, TMisspecScalesWithProbability) {
+  EXPECT_DOUBLE_EQ(t_mis_spec(10, 3, 0.0, cfg, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(t_mis_spec(10, 3, 0.5, cfg, 1000), 25 * 0.5 * 1000);
+}
+
+TEST_F(CostTest, EstimateIsSumOfComponents) {
+  const double t = estimate_execution_time(10, 5, 0.1, cfg, 500);
+  EXPECT_DOUBLE_EQ(t, t_nomiss(10, 5, cfg, 500) + t_mis_spec(10, 5, 0.1, cfg, 500));
+}
+
+TEST_F(CostTest, NcoreScalingHelps) {
+  machine::SpmtConfig two = cfg;
+  two.ncore = 2;
+  EXPECT_GT(per_iter_nomiss(40, 4, two), per_iter_nomiss(40, 4, cfg));
+}
+
+}  // namespace
+}  // namespace tms::cost

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "sched/ims.hpp"
+#include "sched/mii.hpp"
+#include "sched/mrt.hpp"
+#include "sched/sms.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::sched {
+namespace {
+
+TEST(Ims, SchedulesTinyChainAtMii) {
+  machine::MachineModel mach;
+  const ir::Loop loop = test::tiny_chain();
+  const auto r = ims_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->schedule.ii(), min_ii(loop, mach));
+  EXPECT_FALSE(r->schedule.validate().has_value());
+}
+
+TEST(Ims, SchedulesFigure1) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  const auto r = ims_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->schedule.validate().has_value());
+  EXPECT_GE(r->schedule.ii(), 8);
+  EXPECT_LE(r->schedule.ii(), 10);
+}
+
+TEST(Ims, RecurrenceBound) {
+  machine::MachineModel mach;
+  const ir::Loop loop = test::tiny_recurrence();
+  const auto r = ims_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->schedule.ii(), 2);
+}
+
+// Property sweep mirroring the SMS one: valid, resource-feasible
+// schedules with II close to MII — plus a head-to-head II comparison
+// with SMS (Codina et al.: SMS is the better heuristic on average, but
+// both must stay close to MII).
+class ImsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImsProperty, ValidSchedule) {
+  machine::MachineModel mach;
+  const ir::Loop loop = test::random_loop(GetParam());
+  const auto r = ims_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->schedule.validate().has_value());
+  ModuloReservationTable mrt(mach, r->schedule.ii());
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    ASSERT_TRUE(mrt.can_place(loop.instr(v).op, r->schedule.slot(v)));
+    mrt.place(loop.instr(v).op, r->schedule.slot(v));
+  }
+  EXPECT_GE(r->schedule.ii(), r->mii);
+  EXPECT_LE(r->schedule.ii(), 2 * r->mii + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, ImsProperty,
+                         ::testing::Range<std::uint64_t>(3000, 3050));
+
+TEST(ImsVsSms, BothStayNearMiiOnAverage) {
+  machine::MachineModel mach;
+  double sum_ims = 0;
+  double sum_sms = 0;
+  int n = 0;
+  for (std::uint64_t seed = 3100; seed < 3140; ++seed) {
+    const ir::Loop loop = test::random_loop(seed);
+    const auto ims = ims_schedule(loop, mach);
+    const auto sms = sms_schedule(loop, mach);
+    ASSERT_TRUE(ims.has_value() && sms.has_value());
+    sum_ims += static_cast<double>(ims->schedule.ii()) / ims->mii;
+    sum_sms += static_cast<double>(sms->schedule.ii()) / sms->mii;
+    ++n;
+  }
+  EXPECT_LT(sum_ims / n, 2.2);
+  EXPECT_LT(sum_sms / n, 2.2);
+}
+
+}  // namespace
+}  // namespace tms::sched

@@ -1,0 +1,204 @@
+// Cross-module integration tests: schedule -> lower -> simulate, checking
+// that the Section-4.2 cost model actually predicts the simulator, that
+// the full suite pipeline holds its invariants end to end, and that the
+// documented failure-handling paths (write-buffer overflow, re-execution
+// cap) behave.
+#include <gtest/gtest.h>
+
+#include "codegen/kernel_program.hpp"
+#include "cost/cost_model.hpp"
+#include "sched/postpass.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/reference.hpp"
+#include "spmt/sim.hpp"
+#include "test_util.hpp"
+#include "workloads/doacross.hpp"
+#include "workloads/figure1.hpp"
+#include "workloads/spec_suite.hpp"
+
+namespace tms {
+namespace {
+
+/// Steady-state cycles/iteration, measured by differencing two run
+/// lengths so startup transients cancel.
+double steady_per_iter(const ir::Loop& loop, const sched::Schedule& s,
+                       const machine::SpmtConfig& cfg, std::uint64_t seed) {
+  const spmt::AddressStreams streams = spmt::default_streams(loop, seed);
+  const auto kp = codegen::lower_kernel(s, cfg);
+  spmt::SpmtOptions opts;
+  opts.keep_memory = false;
+  opts.iterations = 1500;
+  const auto a = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  opts.iterations = 3000;
+  const auto b = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  return static_cast<double>(b.stats.total_cycles - a.stats.total_cycles) / 1500.0;
+}
+
+TEST(CostModelIntegration, PredictsSteadyStateWithinTolerance) {
+  // On loops without misspeculation and with warm caches, the measured
+  // steady-state rate must track F(II, C_delay) closely: F is both a
+  // lower bound (up to rounding) and a good estimate.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  int checked = 0;
+  for (std::uint64_t seed = 4000; seed < 4020; ++seed) {
+    ir::Loop loop = test::random_loop(seed);
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(tms.has_value());
+    if (tms->schedule.misspec_probability(cfg) > 0.0) continue;  // isolate T_nomiss
+    const double predicted =
+        cost::per_iter_nomiss(tms->schedule.ii(), tms->schedule.c_delay(cfg), cfg);
+    const double measured = steady_per_iter(loop, tms->schedule, cfg, seed);
+    EXPECT_GE(measured, predicted - 1.0) << "seed " << seed;
+    EXPECT_LE(measured, 2.0 * predicted + 8.0) << "seed " << seed;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(CostModelIntegration, Figure1TracksModelClosely) {
+  const ir::Loop loop = workloads::figure1_loop(0.001);  // negligible misspec
+  const machine::MachineModel mach = workloads::figure1_machine();
+  machine::SpmtConfig cfg;
+  const auto sms = sched::sms_schedule(loop, mach);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(sms.has_value() && tms.has_value());
+  const double f_sms = cost::per_iter_nomiss(sms->schedule.ii(), sms->schedule.c_delay(cfg), cfg);
+  const double f_tms = cost::per_iter_nomiss(tms->schedule.ii(), tms->schedule.c_delay(cfg), cfg);
+  const double m_sms = steady_per_iter(loop, sms->schedule, cfg, 9);
+  const double m_tms = steady_per_iter(loop, tms->schedule, cfg, 9);
+  EXPECT_NEAR(m_sms, f_sms, 0.35 * f_sms + 1.0);
+  EXPECT_NEAR(m_tms, f_tms, 0.35 * f_tms + 1.0);
+  // And the ordering carries over: the model says TMS is faster here,
+  // the simulator must agree.
+  EXPECT_LT(f_tms, f_sms);
+  EXPECT_LT(m_tms, m_sms);
+}
+
+TEST(SuiteIntegration, SampledLoopsSatisfyAllInvariantsEndToEnd) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const auto suite = workloads::spec_fp2000_suite();
+  int loops_checked = 0;
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    if (suite[b].name == "lucas") continue;  // large bodies: covered by benches
+    auto loops = workloads::generate_benchmark(suite[b]);
+    // First loop of each benchmark family.
+    ir::Loop loop = std::move(loops.front());
+    const auto sms = sched::sms_schedule(loop, mach);
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(sms.has_value() && tms.has_value()) << suite[b].name;
+    for (const auto* s : {&sms->schedule, &tms->schedule}) {
+      EXPECT_FALSE(s->validate().has_value());
+      const spmt::AddressStreams streams = spmt::default_streams(loop, 1234 + b);
+      const auto kp = codegen::lower_kernel(*s, cfg);
+      spmt::SpmtOptions opts;
+      opts.iterations = 200;
+      opts.keep_memory = true;
+      const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+      const auto ref = spmt::run_reference(loop, streams, opts.iterations);
+      EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint) << suite[b].name;
+      EXPECT_EQ(sim.memory.size(), ref.memory.size()) << suite[b].name;
+    }
+    ++loops_checked;
+  }
+  EXPECT_EQ(loops_checked, 12);
+}
+
+TEST(SelectedLoopsIntegration, GoldenRuleOnTable3Loops) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  for (auto& sel : workloads::doacross_selected_loops()) {
+    const ir::Loop loop = std::move(sel.loop);
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(tms.has_value()) << loop.name();
+    const spmt::AddressStreams streams = spmt::default_streams(loop, 55);
+    const auto kp = codegen::lower_kernel(tms->schedule, cfg);
+    spmt::SpmtOptions opts;
+    opts.iterations = 250;
+    opts.keep_memory = true;
+    const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+    const auto ref = spmt::run_reference(loop, streams, opts.iterations);
+    EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint) << loop.name();
+  }
+}
+
+TEST(FailureInjection, WriteBufferOverflowSerialisesButStaysCorrect) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  cfg.spec_write_buffer_entries = 1;  // every loop with 2+ stores overflows
+  ir::Loop loop("wb");
+  const ir::NodeId ind = loop.add_instr(ir::Opcode::kIAdd, "ind");
+  loop.add_reg_flow(ind, ind, 1);
+  for (int k = 0; k < 3; ++k) {
+    const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+    loop.add_reg_flow(ind, st, 0);
+  }
+  const auto sms = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(sms.has_value());
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 66);
+  const auto kp = codegen::lower_kernel(sms->schedule, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 300;
+  opts.keep_memory = true;
+  const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  EXPECT_EQ(sim.stats.wb_overflow_waits, sim.stats.threads_committed);
+  const auto ref = spmt::run_reference(loop, streams, opts.iterations);
+  EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint);
+
+  // The same loop without the overflow must be strictly faster.
+  machine::SpmtConfig roomy;
+  const auto fast = spmt::run_spmt(loop, kp, roomy, streams, opts);
+  EXPECT_LT(fast.stats.total_cycles, sim.stats.total_cycles);
+}
+
+TEST(FailureInjection, ReexecutionCapFallsBackToHeadExecution) {
+  // A pathological always-colliding dependence with the consumer placed
+  // impossibly early: each attempt re-violates until the thread runs as
+  // head. Semantics must survive.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  ir::Loop loop("cap");
+  const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad);
+  loop.add_mem_flow(st, ld, 1, 1.0);
+  sched::Schedule s(loop, mach, 16);
+  s.set_slot(st, 15);
+  s.set_slot(ld, 0);
+  ASSERT_FALSE(s.validate().has_value());
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 7);
+  const auto kp = codegen::lower_kernel(s, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 200;
+  opts.keep_memory = true;
+  opts.max_reexecutions = 1;
+  const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  EXPECT_GT(sim.stats.misspeculations, 0);
+  const auto ref = spmt::run_reference(loop, streams, opts.iterations);
+  EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint);
+}
+
+TEST(FailureInjection, DisableSpeculationCostsTlp) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  auto sel = workloads::doacross_selected_loops();
+  const ir::Loop loop = std::move(sel[0].loop);  // art: speculation-sensitive
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 8);
+  const auto kp = codegen::lower_kernel(tms->schedule, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 800;
+  opts.keep_memory = false;
+  const auto on = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  opts.disable_speculation = true;
+  const auto off = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  EXPECT_EQ(off.stats.misspeculations, 0);
+  EXPECT_GT(off.stats.spec_wait_cycles, 0);
+  EXPECT_GE(off.stats.total_cycles, on.stats.total_cycles);
+}
+
+}  // namespace
+}  // namespace tms

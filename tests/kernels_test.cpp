@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "codegen/kernel_program.hpp"
+#include "ir/graph.hpp"
+#include "sched/mii.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/reference.hpp"
+#include "spmt/sim.hpp"
+#include "workloads/kernels.hpp"
+
+namespace tms::workloads {
+namespace {
+
+TEST(Kernels, CollectionIsWellFormed) {
+  const auto ks = classic_kernels();
+  ASSERT_EQ(ks.size(), 8u);
+  for (const Kernel& k : ks) {
+    EXPECT_FALSE(k.loop.validate().has_value()) << k.loop.name();
+    EXPECT_FALSE(k.description.empty());
+    EXPECT_GT(k.loop.coverage(), 0.0);
+  }
+}
+
+TEST(Kernels, RecurrenceStructureAsDocumented) {
+  machine::MachineModel mach;
+  const auto ks = classic_kernels();
+  auto find = [&](const char* name) -> const Kernel& {
+    for (const Kernel& k : ks) {
+      if (k.loop.name() == name) return k;
+    }
+    ADD_FAILURE() << "kernel " << name << " missing";
+    return ks.front();
+  };
+  // hydro: DOALL apart from the induction variable.
+  EXPECT_EQ(ir::count_nontrivial_sccs(find("hydro").loop), 1);
+  // inner product: induction + accumulator.
+  EXPECT_EQ(ir::count_nontrivial_sccs(find("inner_prod").loop), 2);
+  // tridiag: the sub/mul recurrence raises RecII above the accumulator's.
+  EXPECT_GE(sched::rec_ii(find("tridiag").loop, mach), 4);
+  // first_sum: RecII = lat(fadd) = 2.
+  EXPECT_EQ(sched::rec_ii(find("first_sum").loop, mach), 2);
+  // fir: sliding window has no recurrence beyond the induction.
+  EXPECT_EQ(ir::count_nontrivial_sccs(find("fir4").loop), 1);
+  // adi: two coupled recurrences + induction.
+  EXPECT_EQ(ir::count_nontrivial_sccs(find("adi_sweep").loop), 3);
+}
+
+TEST(Kernels, AllScheduleAndRunGolden) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  for (Kernel& k : classic_kernels()) {
+    const ir::Loop loop = std::move(k.loop);
+    const auto sms = sched::sms_schedule(loop, mach);
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(sms.has_value() && tms.has_value()) << loop.name();
+    const spmt::AddressStreams streams = spmt::default_streams(loop, 17);
+    const auto ref = spmt::run_reference(loop, streams, 200);
+    for (const auto* s : {&sms->schedule, &tms->schedule}) {
+      spmt::SpmtOptions opts;
+      opts.iterations = 200;
+      opts.keep_memory = true;
+      const auto sim = spmt::run_spmt(loop, codegen::lower_kernel(*s, cfg), cfg, streams, opts);
+      EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint) << loop.name();
+    }
+  }
+}
+
+TEST(Kernels, TmsBeatsSmsOnTheDoallKernels) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  for (Kernel& k : classic_kernels()) {
+    if (k.loop.name() != "hydro" && k.loop.name() != "state_frag") continue;
+    const ir::Loop loop = std::move(k.loop);
+    const auto sms = sched::sms_schedule(loop, mach);
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(sms.has_value() && tms.has_value());
+    // On DOALL-ish kernels the only cross-thread values are the induction
+    // chain and stage crossings: C_delay must sit at the communication
+    // floor, far below SMS's.
+    EXPECT_LE(tms->schedule.c_delay(cfg), cfg.min_c_delay() + 3) << loop.name();
+    EXPECT_LT(tms->schedule.c_delay(cfg), sms->schedule.c_delay(cfg)) << loop.name();
+  }
+}
+
+TEST(Kernels, FirstSumIsRecurrenceBound) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  for (Kernel& k : classic_kernels()) {
+    if (k.loop.name() != "first_sum") continue;
+    const ir::Loop loop = std::move(k.loop);
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(tms.has_value());
+    // The prefix-sum chain forces a cross-thread sync of at least
+    // lat(fadd) + C_reg_com on the carried value.
+    EXPECT_GE(tms->schedule.c_delay(cfg), 2 + cfg.c_reg_com);
+  }
+}
+
+}  // namespace
+}  // namespace tms::workloads

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+#include "machine/spmt_config.hpp"
+#include "test_util.hpp"
+
+namespace tms::machine {
+namespace {
+
+TEST(MachineModel, DefaultIsFourWide) {
+  MachineModel m;
+  EXPECT_EQ(m.issue_width(), 4);
+  EXPECT_EQ(m.fu_count(ir::FuClass::kIAlu), 2);
+  EXPECT_EQ(m.fu_count(ir::FuClass::kMem), 1);
+}
+
+TEST(MachineModel, LoadLatencyIsL1Hit) {
+  MachineModel m;
+  SpmtConfig cfg;
+  EXPECT_EQ(m.latency(ir::Opcode::kLoad), cfg.l1d_hit);
+}
+
+TEST(MachineModel, DividesAreNonPipelined) {
+  MachineModel m;
+  EXPECT_GT(m.occupancy(ir::Opcode::kFDiv), 1);
+  EXPECT_EQ(m.occupancy(ir::Opcode::kFDiv), m.latency(ir::Opcode::kFDiv));
+  EXPECT_EQ(m.occupancy(ir::Opcode::kFMul), 1);
+}
+
+TEST(MachineModel, TimingOverride) {
+  MachineModel m;
+  m.set_timing(ir::Opcode::kFMul, {7, 7});
+  EXPECT_EQ(m.latency(ir::Opcode::kFMul), 7);
+  EXPECT_EQ(m.occupancy(ir::Opcode::kFMul), 7);
+}
+
+TEST(MachineModel, LatenciesVectorMatchesPerOpcode) {
+  MachineModel m;
+  const ir::Loop loop = test::tiny_chain();
+  const auto lat = m.latencies(loop);
+  ASSERT_EQ(lat.size(), 2u);
+  EXPECT_EQ(lat[0], m.latency(ir::Opcode::kLoad));
+  EXPECT_EQ(lat[1], m.latency(ir::Opcode::kFAdd));
+}
+
+TEST(SpmtConfig, Table1Defaults) {
+  SpmtConfig cfg;
+  EXPECT_EQ(cfg.ncore, 4);
+  EXPECT_EQ(cfg.c_spn, 3);
+  EXPECT_EQ(cfg.c_ci, 2);
+  EXPECT_EQ(cfg.c_inv, 15);
+  EXPECT_EQ(cfg.c_reg_com, 3);
+  EXPECT_EQ(cfg.l2_miss, 80);
+  cfg.check();  // must not abort
+}
+
+TEST(SpmtConfig, MinCDelayIsOnePlusComm) {
+  SpmtConfig cfg;
+  EXPECT_EQ(cfg.min_c_delay(), 4);
+}
+
+TEST(SpmtConfig, CommLatencyScalesWithHops) {
+  SpmtConfig cfg;
+  EXPECT_EQ(cfg.comm_latency(1), 3);
+  EXPECT_EQ(cfg.comm_latency(3), 5);  // SEND + 3 hops + RECV
+}
+
+TEST(OpcodeInfo, FuClassesAndPredicates) {
+  EXPECT_EQ(ir::fu_class(ir::Opcode::kLoad), ir::FuClass::kMem);
+  EXPECT_EQ(ir::fu_class(ir::Opcode::kFMul), ir::FuClass::kFpMul);
+  EXPECT_EQ(ir::fu_class(ir::Opcode::kSend), ir::FuClass::kComm);
+  EXPECT_TRUE(ir::is_memory(ir::Opcode::kStore));
+  EXPECT_FALSE(ir::is_memory(ir::Opcode::kIAdd));
+  EXPECT_TRUE(ir::is_comm(ir::Opcode::kRecv));
+  EXPECT_EQ(ir::to_string(ir::Opcode::kFAdd), "fadd");
+}
+
+}  // namespace
+}  // namespace tms::machine

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sched/mrt.hpp"
+
+namespace tms::sched {
+namespace {
+
+using ir::Opcode;
+
+TEST(Mrt, RowOfHandlesNegativeCycles) {
+  machine::MachineModel mach;
+  ModuloReservationTable mrt(mach, 5);
+  EXPECT_EQ(mrt.row_of(0), 0);
+  EXPECT_EQ(mrt.row_of(7), 2);
+  EXPECT_EQ(mrt.row_of(-1), 4);
+  EXPECT_EQ(mrt.row_of(-5), 0);
+  EXPECT_EQ(mrt.row_of(-7), 3);
+}
+
+TEST(Mrt, FuLimitEnforced) {
+  machine::MachineModel mach;  // 1 memory port
+  ModuloReservationTable mrt(mach, 4);
+  EXPECT_TRUE(mrt.can_place(Opcode::kLoad, 2));
+  mrt.place(Opcode::kLoad, 2);
+  EXPECT_FALSE(mrt.can_place(Opcode::kLoad, 2));
+  EXPECT_FALSE(mrt.can_place(Opcode::kLoad, 6));  // same row mod 4
+  EXPECT_TRUE(mrt.can_place(Opcode::kLoad, 3));
+}
+
+TEST(Mrt, TwoIaluUnits) {
+  machine::MachineModel mach;
+  ModuloReservationTable mrt(mach, 3);
+  mrt.place(Opcode::kIAdd, 0);
+  EXPECT_TRUE(mrt.can_place(Opcode::kIAdd, 0));
+  mrt.place(Opcode::kIAdd, 0);
+  EXPECT_FALSE(mrt.can_place(Opcode::kIAdd, 0));
+}
+
+TEST(Mrt, IssueWidthEnforcedAcrossClasses) {
+  machine::MachineModel mach;
+  mach.set_issue_width(2);
+  ModuloReservationTable mrt(mach, 4);
+  mrt.place(Opcode::kIAdd, 1);
+  mrt.place(Opcode::kFAdd, 1);
+  // Different FU class but issue bandwidth at row 1 is exhausted.
+  EXPECT_FALSE(mrt.can_place(Opcode::kLoad, 1));
+  EXPECT_TRUE(mrt.can_place(Opcode::kLoad, 2));
+}
+
+TEST(Mrt, OccupancyWrapsAroundTable) {
+  machine::MachineModel mach;
+  machine::MachineModel custom;
+  custom.set_timing(Opcode::kFMul, {4, 4});
+  ModuloReservationTable mrt(custom, 3);
+  // Occupancy 4 > II 3: cannot place at all.
+  EXPECT_FALSE(mrt.can_place(Opcode::kFMul, 0));
+  ModuloReservationTable mrt4(custom, 4);
+  EXPECT_TRUE(mrt4.can_place(Opcode::kFMul, 1));
+  mrt4.place(Opcode::kFMul, 1);
+  // The single FP-mul unit is now busy on every row.
+  for (int c = 0; c < 4; ++c) EXPECT_FALSE(mrt4.can_place(Opcode::kFMul, c));
+}
+
+TEST(Mrt, RemoveRestoresCapacity) {
+  machine::MachineModel mach;
+  ModuloReservationTable mrt(mach, 4);
+  mrt.place(Opcode::kLoad, 1);
+  EXPECT_FALSE(mrt.can_place(Opcode::kLoad, 1));
+  mrt.remove(Opcode::kLoad, 1);
+  EXPECT_TRUE(mrt.can_place(Opcode::kLoad, 1));
+}
+
+TEST(Mrt, ZeroResourceOpsAlwaysFit) {
+  machine::MachineModel mach;
+  mach.set_issue_width(1);
+  ModuloReservationTable mrt(mach, 1);
+  mrt.place(Opcode::kIAdd, 0);
+  EXPECT_TRUE(mrt.can_place(Opcode::kNop, 0));  // FuClass::kNone
+}
+
+TEST(Mrt, UsageCountersTrack) {
+  machine::MachineModel mach;
+  ModuloReservationTable mrt(mach, 2);
+  EXPECT_EQ(mrt.issue_used(0), 0);
+  mrt.place(Opcode::kIAdd, 0);
+  mrt.place(Opcode::kLoad, 0);
+  EXPECT_EQ(mrt.issue_used(0), 2);
+  EXPECT_EQ(mrt.fu_used(ir::FuClass::kIAlu, 0), 1);
+  EXPECT_EQ(mrt.fu_used(ir::FuClass::kMem, 0), 1);
+  EXPECT_EQ(mrt.fu_used(ir::FuClass::kMem, 1), 0);
+}
+
+}  // namespace
+}  // namespace tms::sched

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "ir/graph.hpp"
+#include "nest/loop_nest.hpp"
+#include "test_util.hpp"
+#include "workloads/doacross.hpp"
+
+namespace tms::nest {
+namespace {
+
+class NestTest : public ::testing::Test {
+ protected:
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+};
+
+/// A DOALL-at-the-outer-level nest: no outer dependences at all.
+LoopNest doall_outer_nest(std::int64_t inner_trips) {
+  LoopNest nest;
+  nest.name = "doall_outer";
+  nest.inner = test::tiny_recurrence();  // inner loop itself is DOACROSS
+  nest.inner_trips = inner_trips;
+  return nest;
+}
+
+TEST_F(NestTest, SequentialIsBodyTimesTrips) {
+  const LoopNest nest = doall_outer_nest(50);
+  const NestEval ev = evaluate_nest(nest, mach, cfg, 20);
+  EXPECT_EQ(ev.cycles_sequential, ev.thread_body_cycles * 20);
+}
+
+TEST_F(NestTest, IndependentOuterLoopPrefersOuterTls) {
+  // Outer iterations are fully independent and the inner loop is a
+  // serial recurrence (useless for inner parallelism): outer-TLS is the
+  // only way to use the cores.
+  const LoopNest nest = doall_outer_nest(50);
+  const NestEval ev = evaluate_nest(nest, mach, cfg, 50);
+  EXPECT_EQ(ev.best, Strategy::kOuterTls);
+  EXPECT_EQ(ev.outer_c_delay, 0);
+  EXPECT_EQ(ev.outer_misspeculations, 0);
+  EXPECT_LT(ev.cycles_outer_tls, ev.cycles_sequential);
+}
+
+TEST_F(NestTest, SerialisingOuterDepHurtsOuterTls) {
+  // An outer register dependence from the (late) accumulator to the
+  // (early) load limits coarse-thread overlap to the dependence's span
+  // of the body.
+  LoopNest free_nest = doall_outer_nest(50);
+  const NestEval free_ev = evaluate_nest(free_nest, mach, cfg, 50);
+
+  LoopNest dep_nest = doall_outer_nest(50);
+  dep_nest.outer_deps.push_back(OuterDep{1 /*acc*/, 0 /*load*/, ir::DepKind::kRegister, 1, 1.0});
+  const NestEval dep_ev = evaluate_nest(dep_nest, mach, cfg, 50);
+
+  EXPECT_GT(dep_ev.outer_c_delay, 0);
+  EXPECT_GE(dep_ev.cycles_outer_tls, (18 * free_ev.cycles_outer_tls) / 10);
+  EXPECT_LE(dep_ev.cycles_outer_tls, dep_ev.cycles_sequential);
+}
+
+TEST_F(NestTest, ParallelisableInnerLoopPrefersInnerTms) {
+  // A pipelinable inner loop with an end-to-start outer dependence: the
+  // inner level is where the usable parallelism is.
+  auto sel = workloads::doacross_selected_loops();
+  LoopNest nest;
+  nest.name = "inner_wins";
+  nest.inner = std::move(sel[4].loop);  // equake: good ILP+TLP inner loop
+  nest.inner_trips = 400;               // long inner runs amortise fill/drain
+  const auto topo = ir::topo_order_intra(nest.inner);
+  nest.outer_deps.push_back(
+      OuterDep{topo.back(), topo.front(), ir::DepKind::kRegister, 1, 1.0});
+  const NestEval ev = evaluate_nest(nest, mach, cfg, 10);
+  EXPECT_EQ(ev.best, Strategy::kInnerTms);
+  EXPECT_LT(ev.cycles_inner_tms, ev.cycles_sequential);
+}
+
+TEST_F(NestTest, ShortInnerTripsFavourCoarseThreads) {
+  // With very few inner iterations per outer iteration, the software
+  // pipeline's fill/drain wipes out inner-TMS's advantage; independent
+  // outer iterations then favour outer-TLS.
+  auto sel = workloads::doacross_selected_loops();
+  LoopNest nest;
+  nest.name = "short_inner";
+  nest.inner = std::move(sel[4].loop);
+  nest.inner_trips = 6;
+  const NestEval short_ev = evaluate_nest(nest, mach, cfg, 100);
+  EXPECT_EQ(short_ev.best, Strategy::kOuterTls);
+}
+
+TEST_F(NestTest, SpeculativeOuterDepsCostMisspeculations) {
+  LoopNest nest = doall_outer_nest(50);
+  nest.inner = test::tiny_doall();
+  nest.outer_deps.push_back(OuterDep{2 /*store*/, 0 /*load*/, ir::DepKind::kMemory, 1, 0.5});
+  const NestEval half = evaluate_nest(nest, mach, cfg, 100);
+  EXPECT_NEAR(half.outer_misspec_probability, 0.5, 1e-9);
+  EXPECT_EQ(half.outer_misspeculations, 50);
+
+  nest.outer_deps[0].probability = 0.02;
+  const NestEval rare = evaluate_nest(nest, mach, cfg, 100);
+  EXPECT_LT(rare.cycles_outer_tls, half.cycles_outer_tls);
+}
+
+TEST_F(NestTest, Deterministic) {
+  const LoopNest nest = doall_outer_nest(30);
+  const NestEval a = evaluate_nest(nest, mach, cfg, 40, 9);
+  const NestEval b = evaluate_nest(nest, mach, cfg, 40, 9);
+  EXPECT_EQ(a.cycles_inner_tms, b.cycles_inner_tms);
+  EXPECT_EQ(a.cycles_outer_tls, b.cycles_outer_tls);
+  EXPECT_EQ(a.best, b.best);
+}
+
+}  // namespace
+}  // namespace tms::nest

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/order.hpp"
+#include "sched/window.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::sched {
+namespace {
+
+using ir::Loop;
+using ir::NodeId;
+using ir::Opcode;
+
+TEST(Order, EveryNodeExactlyOnce) {
+  machine::MachineModel mach;
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    const Loop loop = test::random_loop(seed);
+    const auto order = sms_node_order(loop, mach);
+    ASSERT_EQ(static_cast<int>(order.size()), loop.num_instrs());
+    std::vector<bool> seen(order.size(), false);
+    for (const NodeId v : order) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(v)]) << "node " << v << " repeated";
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+  }
+}
+
+TEST(Order, MostCriticalRecurrenceFirst) {
+  // Two recurrences: slow (fmul+fadd circuit, RecII 6) and fast (iadd self,
+  // RecII 1 -> 1 cycle). SMS must order the slow one first.
+  machine::MachineModel mach;
+  Loop loop("l");
+  const NodeId a = loop.add_instr(Opcode::kFMul);
+  const NodeId b = loop.add_instr(Opcode::kFAdd);
+  loop.add_reg_flow(a, b, 0);
+  loop.add_reg_flow(b, a, 1);
+  const NodeId c = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(c, c, 1);
+  const auto order = sms_node_order(loop, mach);
+  const auto pos = [&](NodeId v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(Order, Figure1RecurrenceBeforeAccumulators) {
+  const Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  const auto order = sms_node_order(loop, mach);
+  const auto pos = [&](NodeId v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  // Circuit nodes n0..n5 (ids 0,1,2,4,5) precede the accumulators n6, n7.
+  for (const NodeId v : {0, 1, 2, 4, 5}) {
+    EXPECT_LT(pos(v), pos(6));
+    EXPECT_LT(pos(v), pos(7));
+  }
+}
+
+TEST(Order, NodeSetsPartitionNodes) {
+  machine::MachineModel mach;
+  for (std::uint64_t seed = 130; seed < 150; ++seed) {
+    const Loop loop = test::random_loop(seed);
+    const auto sets = sms_node_sets(loop, mach);
+    std::vector<int> count(static_cast<std::size_t>(loop.num_instrs()), 0);
+    for (const auto& s : sets) {
+      for (const NodeId v : s) ++count[static_cast<std::size_t>(v)];
+    }
+    for (const int c : count) EXPECT_EQ(c, 1);
+  }
+}
+
+class WindowTest : public ::testing::Test {
+ protected:
+  machine::MachineModel mach;
+};
+
+TEST_F(WindowTest, PredecessorOnlyAscending) {
+  Loop loop("l");
+  const NodeId u = loop.add_instr(Opcode::kLoad);  // lat 3
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(u, v, 0);
+  Schedule ps(loop, mach, 4);
+  ps.set_slot(u, 2);
+  const Window w = scheduling_window(ps, v, 0);
+  ASSERT_EQ(w.candidates.size(), 4u);
+  EXPECT_EQ(w.candidates.front(), 5);  // slot(u) + lat
+  EXPECT_EQ(w.candidates.back(), 8);
+  EXPECT_FALSE(w.two_sided);
+}
+
+TEST_F(WindowTest, SuccessorOnlyDescending) {
+  // The paper's n6 case: successor n0 at cycle 0, dependence distance 1,
+  // lat(n6)=1, II=8: window [7, 0] tried descending.
+  Loop loop("l");
+  const NodeId n6 = loop.add_instr(Opcode::kIAdd);
+  const NodeId n0 = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(n6, n0, 1);
+  Schedule ps(loop, mach, 8);
+  ps.set_slot(n0, 0);
+  const Window w = scheduling_window(ps, n6, 0);
+  ASSERT_EQ(w.candidates.size(), 8u);
+  EXPECT_EQ(w.candidates.front(), 7);  // 0 - 1 + 8
+  EXPECT_EQ(w.candidates.back(), 0);
+}
+
+TEST_F(WindowTest, TwoSidedMayBeEmpty) {
+  Loop loop("l");
+  const NodeId a = loop.add_instr(Opcode::kLoad);   // lat 3
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  const NodeId b = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(a, v, 0);
+  loop.add_reg_flow(v, b, 0);
+  Schedule ps(loop, mach, 4);
+  ps.set_slot(a, 0);
+  ps.set_slot(b, 2);  // v must be in [3, 1]: empty
+  const Window w = scheduling_window(ps, v, 0);
+  EXPECT_TRUE(w.two_sided);
+  EXPECT_TRUE(w.candidates.empty());
+}
+
+TEST_F(WindowTest, TwoSidedClampsToBoth) {
+  Loop loop("l");
+  const NodeId a = loop.add_instr(Opcode::kIAdd);
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  const NodeId b = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(a, v, 0);
+  loop.add_reg_flow(v, b, 0);
+  Schedule ps(loop, mach, 8);
+  ps.set_slot(a, 0);
+  ps.set_slot(b, 4);
+  const Window w = scheduling_window(ps, v, 0);
+  ASSERT_FALSE(w.candidates.empty());
+  EXPECT_EQ(w.candidates.front(), 1);
+  EXPECT_EQ(w.candidates.back(), 3);  // b - lat(v)
+}
+
+TEST_F(WindowTest, NoNeighboursUsesHintWindow) {
+  Loop loop("l");
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  (void)v;
+  Schedule ps(loop, mach, 4);
+  const Window w = scheduling_window(ps, 0, 7);
+  ASSERT_EQ(w.candidates.size(), 4u);
+  EXPECT_EQ(w.candidates.front(), 7);
+}
+
+TEST_F(WindowTest, SelfLoopDoesNotConstrain) {
+  Loop loop("l");
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(v, v, 1);
+  Schedule ps(loop, mach, 4);
+  const Window w = scheduling_window(ps, v, 0);
+  EXPECT_EQ(w.candidates.size(), 4u);
+}
+
+TEST_F(WindowTest, InterIterationPredecessorShiftsWindow) {
+  Loop loop("l");
+  const NodeId u = loop.add_instr(Opcode::kFMul);  // lat 4
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(u, v, 2);
+  Schedule ps(loop, mach, 3);
+  ps.set_slot(u, 1);
+  const Window w = scheduling_window(ps, v, 0);
+  // EStart = 1 + 4 - 3*2 = -1.
+  EXPECT_EQ(w.candidates.front(), -1);
+}
+
+}  // namespace
+}  // namespace tms::sched

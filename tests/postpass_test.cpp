@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "sched/postpass.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::sched {
+namespace {
+
+using ir::Loop;
+using ir::NodeId;
+using ir::Opcode;
+
+TEST(CommPlan, SharedProducerOneChannel) {
+  // Figure 2's observation: n6->n0 and n6->n6 share one producer, so one
+  // communication channel suffices.
+  machine::MachineModel mach;
+  Loop loop("l");
+  const NodeId p = loop.add_instr(Opcode::kIAdd);
+  const NodeId c1 = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(p, c1, 1);
+  loop.add_reg_flow(p, p, 1);
+  Schedule s(loop, mach, 4);
+  s.set_slot(p, 0);
+  s.set_slot(c1, 1);
+  const CommPlan plan = plan_communication(s);
+  ASSERT_EQ(plan.channels.size(), 1u);
+  EXPECT_EQ(plan.channels[0].producer, p);
+  EXPECT_EQ(plan.channels[0].hops, 1);
+  EXPECT_EQ(plan.channels[0].consumers.size(), 2u);
+  EXPECT_EQ(plan.comm_pairs_per_iter, 1);
+  EXPECT_EQ(plan.copies_per_iter, 0);
+}
+
+TEST(CommPlan, MultiHopNeedsCopies) {
+  machine::MachineModel mach;
+  Loop loop("l");
+  const NodeId p = loop.add_instr(Opcode::kIAdd);
+  const NodeId c = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(p, c, 3);  // consumed three iterations later
+  Schedule s(loop, mach, 4);
+  s.set_slot(p, 0);
+  s.set_slot(c, 1);  // same stage: d_ker = 3
+  const CommPlan plan = plan_communication(s);
+  ASSERT_EQ(plan.channels.size(), 1u);
+  EXPECT_EQ(plan.channels[0].hops, 3);
+  EXPECT_EQ(plan.copies_per_iter, 2);      // hops - 1 register copies
+  EXPECT_EQ(plan.comm_pairs_per_iter, 3);  // one SEND/RECV per hop
+}
+
+TEST(CommPlan, IntraIterationDepsExcluded) {
+  machine::MachineModel mach;
+  const Loop loop = test::tiny_chain();
+  Schedule s(loop, mach, 4);
+  s.set_slot(0, 0);
+  s.set_slot(1, 3);
+  const CommPlan plan = plan_communication(s);
+  EXPECT_TRUE(plan.channels.empty());
+  EXPECT_EQ(plan.comm_pairs_per_iter, 0);
+}
+
+TEST(Measure, CollectsAllMetrics) {
+  const Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  machine::SpmtConfig cfg;
+  const auto r = sms_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  const LoopMetrics m = measure(r->schedule, cfg);
+  EXPECT_EQ(m.num_instrs, 9);
+  EXPECT_EQ(m.num_sccs, 4);
+  EXPECT_EQ(m.mii, 8);
+  EXPECT_EQ(m.ii, r->schedule.ii());
+  EXPECT_GT(m.ldp, 0);
+  EXPECT_GE(m.max_live, 1);
+  EXPECT_GT(m.c_delay, 0);
+  EXPECT_GE(m.comm_pairs, 1);
+  EXPECT_GE(m.misspec_probability, 0.0);
+}
+
+TEST(Measure, TmsVsSmsShapeOnFigure1) {
+  // Table 2's shape on the motivating example: TMS trades II up for a
+  // much smaller C_delay.
+  const Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  machine::SpmtConfig cfg;
+  const auto sms = sms_schedule(loop, mach);
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(sms.has_value() && tms.has_value());
+  const LoopMetrics ms = measure(sms->schedule, cfg);
+  const LoopMetrics mt = measure(tms->schedule, cfg);
+  EXPECT_GE(mt.ii, ms.ii);
+  EXPECT_LT(mt.c_delay, ms.c_delay);
+}
+
+}  // namespace
+}  // namespace tms::sched

@@ -1,0 +1,263 @@
+// Cross-cutting property sweeps over seeded random loop families: the
+// invariants every stage of the pipeline must hold for *any* loop, not
+// just the curated workloads.
+#include <gtest/gtest.h>
+
+#include "codegen/kernel_program.hpp"
+#include "ir/graph.hpp"
+#include "ir/textio.hpp"
+#include "ir/unroll.hpp"
+#include "sched/ims.hpp"
+#include "sched/mii.hpp"
+#include "sched/postpass.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/reference.hpp"
+#include "spmt/sim.hpp"
+#include "test_util.hpp"
+
+namespace tms {
+namespace {
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+};
+
+TEST_P(PropertyTest, KernelDistancesNeverNegative) {
+  // Thread order must follow program order for every dependence: a
+  // negative kernel distance would mean an instance consuming a value
+  // from a *more speculative* thread, which no hardware could commit.
+  const ir::Loop loop = test::random_loop(GetParam());
+  for (const auto schedule :
+       {sched::sms_schedule(loop, mach).has_value()
+            ? std::optional<sched::Schedule>(sched::sms_schedule(loop, mach)->schedule)
+            : std::nullopt,
+        sched::tms_schedule(loop, mach, cfg).has_value()
+            ? std::optional<sched::Schedule>(sched::tms_schedule(loop, mach, cfg)->schedule)
+            : std::nullopt}) {
+    ASSERT_TRUE(schedule.has_value());
+    for (const ir::DepEdge& e : loop.deps()) {
+      EXPECT_GE(schedule->kernel_distance(e), 0)
+          << loop.instr(e.src).name << " -> " << loop.instr(e.dst).name;
+    }
+  }
+}
+
+TEST_P(PropertyTest, KernelOpsIssueInProgramOrderPerRow) {
+  // codegen's same-row ordering guarantee: within one row, older-stage
+  // (older source iteration) instances first.
+  const ir::Loop loop = test::random_loop(GetParam());
+  const auto r = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(r.has_value());
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  for (std::size_t i = 1; i < kp.ops.size(); ++i) {
+    const auto& a = kp.ops[i - 1];
+    const auto& b = kp.ops[i];
+    ASSERT_LE(a.row, b.row);
+    if (a.row == b.row) {
+      EXPECT_GE(a.stage, b.stage) << "same-row instances must be oldest-first";
+    }
+  }
+}
+
+TEST_P(PropertyTest, CommPairsNeverExceedRegDeps) {
+  // Channel dedup: the plan never sends more values than there are
+  // cross-thread dependences, and at least one pair per producer.
+  const ir::Loop loop = test::random_loop(GetParam());
+  const auto r = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  const sched::CommPlan plan = sched::plan_communication(r->schedule);
+  const auto regs = r->schedule.reg_dep_set();
+  std::size_t consumers = 0;
+  for (const auto& ch : plan.channels) consumers += ch.consumers.size();
+  EXPECT_EQ(consumers, regs.size());
+  EXPECT_LE(plan.channels.size(), regs.size());
+  int max_dker = 0;
+  for (const std::size_t ei : regs) {
+    max_dker = std::max(max_dker, r->schedule.kernel_distance(loop.dep(ei)));
+  }
+  for (const auto& ch : plan.channels) {
+    EXPECT_GE(ch.hops, 1);
+    EXPECT_LE(ch.hops, max_dker);
+  }
+}
+
+TEST_P(PropertyTest, GoldenRuleAcrossAllThreeSchedulers) {
+  const ir::Loop loop = test::random_loop(GetParam());
+  const spmt::AddressStreams streams = spmt::default_streams(loop, GetParam() ^ 0xFACE);
+  const std::int64_t iters = 120;
+  const spmt::ReferenceResult ref = spmt::run_reference(loop, streams, iters);
+
+  auto check = [&](const sched::Schedule& s, const char* tag) {
+    const auto kp = codegen::lower_kernel(s, cfg);
+    spmt::SpmtOptions opts;
+    opts.iterations = iters;
+    opts.keep_memory = true;
+    const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+    EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint) << tag;
+  };
+  const auto sms = sched::sms_schedule(loop, mach);
+  const auto ims = sched::ims_schedule(loop, mach);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(sms.has_value() && ims.has_value() && tms.has_value());
+  check(sms->schedule, "sms");
+  check(ims->schedule, "ims");
+  check(tms->schedule, "tms");
+}
+
+TEST_P(PropertyTest, TraceIsConsistentWithStats) {
+  const ir::Loop loop = test::random_loop(GetParam());
+  const auto r = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(r.has_value());
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  const spmt::AddressStreams streams = spmt::default_streams(loop, GetParam());
+  spmt::SpmtOptions opts;
+  opts.iterations = 150;
+  opts.keep_memory = false;
+  opts.collect_trace = true;
+  const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  ASSERT_EQ(static_cast<std::int64_t>(sim.trace.size()), sim.stats.threads_committed);
+  std::int64_t sync = 0;
+  std::int64_t extra_attempts = 0;
+  std::int64_t prev_commit = 0;
+  for (const auto& t : sim.trace) {
+    EXPECT_LE(t.start, t.completion);
+    EXPECT_LT(t.completion, t.commit_end);
+    EXPECT_GE(t.commit_end, prev_commit);  // commits are sequential
+    EXPECT_EQ(t.core, static_cast<int>(t.thread % cfg.ncore));
+    prev_commit = t.commit_end;
+    sync += t.sync_stall;
+    extra_attempts += t.attempts - 1;
+  }
+  EXPECT_EQ(sync, sim.stats.sync_stall_cycles);
+  EXPECT_EQ(extra_attempts, sim.stats.misspeculations);
+  EXPECT_EQ(sim.trace.back().commit_end, sim.stats.total_cycles);
+}
+
+TEST_P(PropertyTest, SerialisationRoundTripsAndReschedulesIdentically) {
+  const ir::Loop loop = test::random_loop(GetParam());
+  auto parsed = ir::parse_loop_string(ir::serialise_loop(loop));
+  ASSERT_TRUE(std::holds_alternative<ir::Loop>(parsed));
+  const ir::Loop back = std::get<ir::Loop>(std::move(parsed));
+  const auto a = sched::sms_schedule(loop, mach);
+  const auto b = sched::sms_schedule(back, mach);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->schedule.ii(), b->schedule.ii());
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    EXPECT_EQ(a->schedule.slot(v), b->schedule.slot(v));
+  }
+}
+
+TEST_P(PropertyTest, UnrolledLoopStillGolden) {
+  const ir::Loop base = test::random_loop(GetParam());
+  if (base.num_instrs() > 32) return;  // keep the sweep fast
+  const ir::Loop loop = ir::unroll(base, 2);
+  const auto r = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  const spmt::AddressStreams streams = spmt::default_streams(loop, GetParam() + 5);
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 80;
+  opts.keep_memory = true;
+  const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  const auto ref = spmt::run_reference(loop, streams, opts.iterations);
+  EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint);
+}
+
+TEST_P(PropertyTest, MisspecFrequencyBoundedByModel) {
+  // The simulator's misspeculation frequency cannot wildly exceed the
+  // schedule's modelled P_M (collisions happen at most at the annotated
+  // rates; preservation and timing can only reduce them). Allow
+  // generous slack for burstiness and re-violation.
+  const ir::Loop loop = test::random_loop(GetParam());
+  const auto r = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(r.has_value());
+  double p_all = 1.0;
+  for (const ir::DepEdge& e : loop.deps()) {
+    if (e.is_memory_flow() && e.distance >= 1) p_all *= 1.0 - e.probability;
+  }
+  const double p_ceiling = 1.0 - p_all;  // every mem dep violating every time
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  const spmt::AddressStreams streams = spmt::default_streams(loop, GetParam() + 9);
+  spmt::SpmtOptions opts;
+  opts.iterations = 400;
+  opts.keep_memory = false;
+  const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  EXPECT_LE(sim.stats.misspec_frequency(),
+            (opts.max_reexecutions + 1) * p_ceiling + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range<std::uint64_t>(5000, 5040));
+
+// ---- Edge cases that are not random -----------------------------------
+
+TEST(EdgeCases, SingleIterationRun) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::random_loop(42);
+  const auto r = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 1);
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 1;
+  opts.keep_memory = true;
+  const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  const auto ref = spmt::run_reference(loop, streams, 1);
+  EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint);
+  EXPECT_EQ(sim.stats.instances_executed, loop.num_instrs());
+}
+
+TEST(EdgeCases, FewerIterationsThanStages) {
+  // Prologue/epilogue only: every thread runs a partial kernel.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::tiny_doall();
+  const auto r = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 2);
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  for (const std::int64_t n : {1, 2, 3}) {
+    if (n >= kp.stage_count) continue;
+    spmt::SpmtOptions opts;
+    opts.iterations = n;
+    opts.keep_memory = true;
+    const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+    const auto ref = spmt::run_reference(loop, streams, n);
+    EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint) << "n=" << n;
+  }
+}
+
+TEST(EdgeCases, SingleInstructionLoop) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  ir::Loop loop("one");
+  loop.add_instr(ir::Opcode::kFAdd);
+  const auto sms = sched::sms_schedule(loop, mach);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(sms.has_value() && tms.has_value());
+  EXPECT_EQ(sms->schedule.ii(), 1);
+}
+
+TEST(EdgeCases, EightCoreConfig) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  cfg.ncore = 8;
+  const ir::Loop loop = test::random_loop(77);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 3);
+  const auto kp = codegen::lower_kernel(tms->schedule, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 200;
+  opts.keep_memory = true;
+  const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+  const auto ref = spmt::run_reference(loop, streams, opts.iterations);
+  EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint);
+}
+
+}  // namespace
+}  // namespace tms

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "spmt/reference.hpp"
+#include "spmt/values.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::spmt {
+namespace {
+
+TEST(Reference, Deterministic) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const AddressStreams streams = default_streams(loop, 9);
+  const auto a = run_reference(loop, streams, 200);
+  const auto b = run_reference(loop, streams, 200);
+  EXPECT_EQ(a.value_fingerprint, b.value_fingerprint);
+  EXPECT_EQ(a.memory, b.memory);
+}
+
+TEST(Reference, ZeroIterationsEmpty) {
+  const ir::Loop loop = test::tiny_doall();
+  const AddressStreams streams = default_streams(loop, 1);
+  const auto r = run_reference(loop, streams, 0);
+  EXPECT_TRUE(r.memory.empty());
+  EXPECT_EQ(r.value_fingerprint, 0u);
+}
+
+TEST(Reference, StoreCountBoundsMemoryFootprint) {
+  const ir::Loop loop = test::tiny_doall();  // one store per iteration
+  const AddressStreams streams = default_streams(loop, 1);
+  const auto r = run_reference(loop, streams, 100);
+  EXPECT_LE(r.memory.size(), 100u);
+  EXPECT_GT(r.memory.size(), 0u);
+}
+
+TEST(Reference, CarriedValueChainsAcrossIterations) {
+  // acc(i) = mix(seed, acc(i-1), load(i)): the fingerprint must change if
+  // we change the iteration count by one.
+  const ir::Loop loop = test::tiny_recurrence();
+  const AddressStreams streams = default_streams(loop, 3);
+  const auto a = run_reference(loop, streams, 50);
+  const auto b = run_reference(loop, streams, 51);
+  EXPECT_NE(a.value_fingerprint, b.value_fingerprint);
+}
+
+TEST(Reference, LiveInUsedForNegativeIterations) {
+  // With distance 2, iterations 0 and 1 read the live-in; make sure the
+  // first iterations differ from steady-state ones.
+  ir::Loop loop("d2");
+  const ir::NodeId a = loop.add_instr(ir::Opcode::kIAdd);
+  const ir::NodeId b = loop.add_instr(ir::Opcode::kIAdd);
+  loop.add_reg_flow(a, b, 2);
+  loop.add_reg_flow(b, a, 0);  // wait: would create d0 cycle a->b? no: b->a d0 with a->b d2
+  const AddressStreams streams(loop.num_instrs());
+  const auto r = run_reference(loop, streams, 5);
+  EXPECT_NE(r.value_fingerprint, 0u);
+}
+
+TEST(Reference, MemoryDependenceObserved) {
+  // store -> load with probability 1: the load must read the store's
+  // value from the previous iteration, changing its result versus an
+  // independent stream.
+  ir::Loop loop("md");
+  const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad);
+  loop.add_mem_flow(st, ld, 1, 1.0);
+  AddressStreams streams(loop.num_instrs());
+  auto prod = AddressStreams::strided(0, 8, 1 << 16);
+  streams.set(st, prod);
+  streams.set(ld, AddressStreams::dependent(prod, 1, 1.0, 5,
+                                            AddressStreams::strided(1 << 20, 8, 1 << 16)));
+  const auto r = run_reference(loop, streams, 10);
+  // Iteration i's load reads address of store at i-1; the loaded value
+  // must be the store's value, not the memory init pattern.
+  // Verify indirectly: the final memory at prod(9) is the store value of
+  // iteration 9 (stores overwrite each address once).
+  EXPECT_EQ(r.memory.count(prod(9)), 1u);
+}
+
+}  // namespace
+}  // namespace tms::spmt

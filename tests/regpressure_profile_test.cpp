@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "sched/postpass.hpp"
+#include "sched/regpressure.hpp"
+#include "spmt/profile.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms {
+namespace {
+
+// ---------------- Register-pressure-aware scheduling ------------------
+
+TEST(RegPressure, PressureIsMaxLivePlusCopies) {
+  machine::MachineModel mach;
+  const ir::Loop loop = test::tiny_chain();
+  const auto r = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  const sched::CommPlan plan = sched::plan_communication(r->schedule);
+  EXPECT_EQ(sched::register_pressure(r->schedule),
+            r->schedule.max_live() + plan.copies_per_iter);
+}
+
+TEST(RegPressure, GenerousLimitIsFreeLunch) {
+  machine::MachineModel mach;
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto plain = sched::sms_schedule(loop, fm);
+  const auto limited = sched::sms_schedule_reglimited(loop, fm, 1024);
+  ASSERT_TRUE(plain.has_value() && limited.has_value());
+  EXPECT_EQ(limited->retries, 0);
+  EXPECT_EQ(limited->schedule.ii(), plain->schedule.ii());
+}
+
+TEST(RegPressure, TightLimitForcesLargerII) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  int raised = 0;
+  for (std::uint64_t seed = 800; seed < 830; ++seed) {
+    const ir::Loop loop = test::random_loop(seed);
+    const auto plain = sched::sms_schedule(loop, mach);
+    ASSERT_TRUE(plain.has_value());
+    const int pressure = sched::register_pressure(plain->schedule);
+    if (pressure < 8) continue;  // already tiny
+    const int limit = pressure - 2;
+    const auto limited = sched::sms_schedule_reglimited(loop, mach, limit);
+    if (!limited.has_value()) continue;  // genuinely cannot fit
+    EXPECT_LE(limited->pressure, limit);
+    EXPECT_FALSE(limited->schedule.validate().has_value());
+    if (limited->retries > 0) {
+      EXPECT_GT(limited->schedule.ii(), plain->schedule.ii());
+      ++raised;
+    }
+  }
+  EXPECT_GT(raised, 0) << "expected at least one loop to need an II bump";
+}
+
+TEST(RegPressure, TmsHonoursLimitToo) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::random_loop(815);
+  const auto plain = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(plain.has_value());
+  const int pressure = sched::register_pressure(plain->schedule);
+  const auto limited = sched::tms_schedule_reglimited(loop, mach, cfg, pressure + 8);
+  ASSERT_TRUE(limited.has_value());
+  EXPECT_LE(limited->pressure, pressure + 8);
+}
+
+TEST(RegPressure, ImpossibleLimitFails) {
+  machine::MachineModel mach;
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel fm = workloads::figure1_machine();
+  EXPECT_FALSE(sched::sms_schedule_reglimited(loop, fm, 1, 4).has_value());
+}
+
+// ---------------- Dependence profiling ---------------------------------
+
+TEST(Profile, MeasuresAnnotatedFrequency) {
+  // Streams generated from the annotation must profile back to it.
+  for (const double p : {0.1, 0.5, 1.0}) {
+    ir::Loop loop("p");
+    const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+    const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad);
+    loop.add_mem_flow(st, ld, 1, p);
+    const spmt::AddressStreams streams = spmt::default_streams(loop, 91);
+    const auto prof = spmt::profile_dependences(loop, streams, 20000);
+    ASSERT_EQ(prof.size(), 1u);
+    EXPECT_NEAR(prof[0].frequency(), p, 0.02);
+  }
+}
+
+TEST(Profile, HandlesDistanceAndMultipleEdges) {
+  ir::Loop loop("p2");
+  const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+  const ir::NodeId l1 = loop.add_instr(ir::Opcode::kLoad);
+  const ir::NodeId l2 = loop.add_instr(ir::Opcode::kLoad);
+  loop.add_mem_flow(st, l1, 2, 0.3);
+  loop.add_mem_flow(st, l2, 1, 0.05);
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 92);
+  const auto prof = spmt::profile_dependences(loop, streams, 20000);
+  ASSERT_EQ(prof.size(), 2u);
+  EXPECT_NEAR(prof[0].frequency(), 0.3, 0.02);
+  EXPECT_NEAR(prof[1].frequency(), 0.05, 0.01);
+}
+
+TEST(Profile, ApplyWritesFrequenciesBack) {
+  ir::Loop loop("p3");
+  const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad);
+  loop.add_mem_flow(st, ld, 1, 0.9);  // pessimistic static annotation
+  // Streams that actually collide ~20% of the time.
+  spmt::AddressStreams streams(loop.num_instrs());
+  auto prod = spmt::AddressStreams::strided(0, 8, 1 << 14);
+  streams.set(st, prod);
+  streams.set(ld, spmt::AddressStreams::dependent(
+                      prod, 1, 0.2, 5, spmt::AddressStreams::strided(1 << 20, 8, 1 << 14)));
+  const auto prof = spmt::profile_dependences(loop, streams, 20000);
+  const ir::Loop tuned = spmt::apply_profile(loop, prof);
+  ASSERT_EQ(tuned.deps().size(), 1u);
+  EXPECT_NEAR(tuned.dep(0).probability, 0.2, 0.02);
+}
+
+TEST(Profile, PrunesProvenIndependentEdges) {
+  ir::Loop loop("p4");
+  const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad);
+  const ir::NodeId x = loop.add_instr(ir::Opcode::kIAdd);
+  loop.add_mem_flow(st, ld, 1, 0.5);  // annotation says maybe
+  loop.add_reg_flow(x, x, 1);         // untouched register dep
+  spmt::AddressStreams streams(loop.num_instrs());
+  streams.set(st, spmt::AddressStreams::strided(0, 8, 1 << 14));
+  streams.set(ld, spmt::AddressStreams::strided(1 << 20, 8, 1 << 14));  // disjoint!
+  const auto prof = spmt::profile_dependences(loop, streams, 5000);
+  const ir::Loop tuned = spmt::apply_profile(loop, prof);
+  ASSERT_EQ(tuned.deps().size(), 1u);  // the memory edge is gone
+  EXPECT_EQ(tuned.dep(0).kind, ir::DepKind::kRegister);
+}
+
+TEST(Profile, RareDependenceClampedNotDropped) {
+  ir::Loop loop("p5");
+  const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad);
+  loop.add_mem_flow(st, ld, 1, 0.5);
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 93);
+  // One forced collision in a sea of independence: frequency tiny but
+  // non-zero after enough iterations.
+  std::vector<spmt::EdgeProfile> prof(1);
+  prof[0].edge = 0;
+  prof[0].producer_executions = 100000;
+  prof[0].collisions = 3;
+  const ir::Loop tuned = spmt::apply_profile(loop, prof, 0.001);
+  ASSERT_EQ(tuned.deps().size(), 1u);
+  EXPECT_DOUBLE_EQ(tuned.dep(0).probability, 0.001);  // clamped up
+}
+
+TEST(Profile, GuidedSchedulingMatchesAnnotatedScheduling) {
+  // Full circle: annotate -> streams -> profile -> re-annotate; TMS on
+  // the profiled loop should make the same structural choice as on the
+  // original (frequencies round-trip).
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = workloads::figure1_loop(0.05);
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 94);
+  const auto prof = spmt::profile_dependences(loop, streams, 20000);
+  const ir::Loop tuned = spmt::apply_profile(loop, prof);
+  ASSERT_EQ(tuned.deps().size(), loop.deps().size());
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto a = sched::tms_schedule(loop, fm, cfg);
+  const auto b = sched::tms_schedule(tuned, fm, cfg);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->schedule.ii(), b->schedule.ii());
+  EXPECT_EQ(a->schedule.c_delay(cfg), b->schedule.c_delay(cfg));
+}
+
+}  // namespace
+}  // namespace tms

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "sched/schedule.hpp"
+#include "test_util.hpp"
+
+namespace tms::sched {
+namespace {
+
+using ir::Loop;
+using ir::NodeId;
+using ir::Opcode;
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+};
+
+TEST_F(ScheduleTest, RowsAndStages) {
+  const Loop loop = test::tiny_chain();
+  Schedule s(loop, mach, 4);
+  s.set_slot(0, 0);
+  s.set_slot(1, 9);
+  EXPECT_EQ(s.row(0), 0);
+  EXPECT_EQ(s.stage(0), 0);
+  EXPECT_EQ(s.row(1), 1);
+  EXPECT_EQ(s.stage(1), 2);
+}
+
+TEST_F(ScheduleTest, NegativeSlots) {
+  const Loop loop = test::tiny_chain();
+  Schedule s(loop, mach, 4);
+  s.set_slot(0, -1);
+  s.set_slot(1, -8);
+  EXPECT_EQ(s.row(0), 3);
+  EXPECT_EQ(s.stage(0), -1);
+  EXPECT_EQ(s.row(1), 0);
+  EXPECT_EQ(s.stage(1), -2);
+}
+
+TEST_F(ScheduleTest, NormaliseShiftsMinStageToZero) {
+  const Loop loop = test::tiny_chain();
+  Schedule s(loop, mach, 4);
+  s.set_slot(0, -5);
+  s.set_slot(1, 2);
+  s.normalise();
+  EXPECT_EQ(s.stage(0), 0);
+  // Rows must be preserved by normalisation.
+  EXPECT_EQ(s.row(0), 3);
+  EXPECT_EQ(s.row(1), 2);
+  EXPECT_GE(s.min_slot(), 0);
+}
+
+TEST_F(ScheduleTest, KernelDistanceDefinition1) {
+  // u -> v with d=1; u in stage 1, v in stage 0 -> d_ker = 0.
+  Loop loop("l");
+  const NodeId u = loop.add_instr(Opcode::kIAdd);
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  const std::size_t e = loop.add_reg_flow(u, v, 1);
+  Schedule s(loop, mach, 4);
+  s.set_slot(u, 5);  // stage 1
+  s.set_slot(v, 2);  // stage 0
+  EXPECT_EQ(s.kernel_distance(loop.dep(e)), 0);
+  s.set_slot(v, 6);  // same stage as u
+  EXPECT_EQ(s.kernel_distance(loop.dep(e)), 1);
+}
+
+TEST_F(ScheduleTest, SyncDelayDefinition2) {
+  // sync(x,y) = row(x) - row(y) + lat(x) + C_reg_com.
+  Loop loop("l");
+  const NodeId x = loop.add_instr(Opcode::kIAdd);  // lat 1
+  const NodeId y = loop.add_instr(Opcode::kIAdd);
+  const std::size_t e = loop.add_reg_flow(x, y, 1);
+  Schedule s(loop, mach, 8);
+  s.set_slot(x, 7);
+  s.set_slot(y, 0);
+  EXPECT_EQ(s.sync_delay(loop.dep(e), cfg), 7 - 0 + 1 + 3);  // the paper's 11
+  s.set_slot(x, 1);
+  EXPECT_EQ(s.sync_delay(loop.dep(e), cfg), 1 - 0 + 1 + 3);  // TMS's 5
+}
+
+TEST_F(ScheduleTest, DepSetsRequireKernelDistance) {
+  Loop loop("l");
+  const NodeId a = loop.add_instr(Opcode::kIAdd);
+  const NodeId b = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(a, b, 0);   // intra-iteration
+  loop.add_reg_flow(b, b, 1);   // self, inter-thread
+  Schedule s(loop, mach, 4);
+  s.set_slot(a, 0);
+  s.set_slot(b, 1);
+  const auto regs = s.reg_dep_set();
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_EQ(loop.dep(regs[0]).src, b);
+}
+
+TEST_F(ScheduleTest, MaxLiveSimpleChain) {
+  const Loop loop = test::tiny_chain();  // load(3) -> fadd(2)
+  Schedule s(loop, mach, 4);
+  s.set_slot(0, 0);
+  s.set_slot(1, 3);
+  // Load's value live cycles 0..3 (rows 0,1,2,3), fadd result 1 cycle.
+  EXPECT_GE(s.max_live(), 1);
+  EXPECT_LE(s.max_live(), 2);
+}
+
+TEST_F(ScheduleTest, MaxLiveGrowsWithLifetime) {
+  Loop loop("l");
+  const NodeId u = loop.add_instr(Opcode::kIAdd);
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(u, v, 3);  // consumed 3 iterations later
+  Schedule s(loop, mach, 2);
+  s.set_slot(u, 0);
+  s.set_slot(v, 1);
+  // Lifetime 0..(1 + 3*2): spans > 3 IIs, so >= 3 copies live at once.
+  EXPECT_GE(s.max_live(), 3);
+}
+
+TEST_F(ScheduleTest, ValidateCatchesViolation) {
+  const Loop loop = test::tiny_chain();
+  Schedule s(loop, mach, 4);
+  s.set_slot(0, 0);
+  s.set_slot(1, 1);  // load needs 3 cycles
+  EXPECT_TRUE(s.validate().has_value());
+  s.set_slot(1, 3);
+  EXPECT_FALSE(s.validate().has_value());
+}
+
+TEST_F(ScheduleTest, ValidateHonoursDistance) {
+  Loop loop("l");
+  const NodeId u = loop.add_instr(Opcode::kFMul);  // lat 4
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(u, v, 1);
+  Schedule s(loop, mach, 4);
+  s.set_slot(u, 3);
+  s.set_slot(v, 3);  // 3 >= 3 + 4 - 4*1 = 3: legal
+  EXPECT_FALSE(s.validate().has_value());
+  Schedule s2(loop, mach, 3);
+  s2.set_slot(u, 3);
+  s2.set_slot(v, 3);  // 3 >= 3 + 4 - 3 = 4: violated
+  EXPECT_TRUE(s2.validate().has_value());
+}
+
+TEST_F(ScheduleTest, PreservedGapNonPositive) {
+  // Consumer already issues after the producer's store completes.
+  Loop loop("l");
+  const NodeId x = loop.add_instr(Opcode::kStore);
+  const NodeId y = loop.add_instr(Opcode::kLoad);
+  const std::size_t e = loop.add_mem_flow(x, y, 1, 0.5);
+  Schedule s(loop, mach, 8);
+  s.set_slot(x, 0);
+  s.set_slot(y, 5);  // gap = 0 - 5 + 1 < 0
+  EXPECT_TRUE(s.preserved(loop.dep(e), {}, cfg));
+}
+
+TEST_F(ScheduleTest, PreservedByEarlierSync) {
+  // Memory dep x(row 6, store) -> y(row 0, load): gap = 7.
+  // Register dep u(row 5) -> v(row 0): sync = 5 - 0 + 1 + 3 = 9 >= 7,
+  // u no later than x, v no later than y: preserved.
+  Loop loop("l");
+  const NodeId x = loop.add_instr(Opcode::kStore);
+  const NodeId y = loop.add_instr(Opcode::kLoad);
+  const NodeId u = loop.add_instr(Opcode::kIAdd);
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  const std::size_t me = loop.add_mem_flow(x, y, 1, 0.9);
+  const std::size_t re = loop.add_reg_flow(u, v, 1);
+  Schedule s(loop, mach, 8);
+  s.set_slot(x, 6);
+  s.set_slot(y, 0);
+  s.set_slot(u, 5);
+  s.set_slot(v, 0);
+  EXPECT_TRUE(s.preserved(loop.dep(me), {re}, cfg));
+  // Weaker sync (u at row 1): sync = 1+1+3 = 5 < 7: not preserved.
+  s.set_slot(u, 1);
+  EXPECT_FALSE(s.preserved(loop.dep(me), {re}, cfg));
+}
+
+TEST_F(ScheduleTest, PreservedRequiresStallToReachConsumer) {
+  Loop loop("l");
+  const NodeId x = loop.add_instr(Opcode::kStore);
+  const NodeId y = loop.add_instr(Opcode::kLoad);
+  const NodeId u = loop.add_instr(Opcode::kIAdd);
+  const NodeId v = loop.add_instr(Opcode::kIAdd);
+  const std::size_t me = loop.add_mem_flow(x, y, 1, 0.9);
+  const std::size_t re = loop.add_reg_flow(u, v, 1);
+  Schedule s(loop, mach, 8);
+  s.set_slot(x, 6);
+  s.set_slot(y, 0);
+  s.set_slot(u, 5);
+  s.set_slot(v, 3);  // v issues after y: the stall does not delay y
+  EXPECT_FALSE(s.preserved(loop.dep(me), {re}, cfg));
+}
+
+TEST_F(ScheduleTest, MisspecProbabilityFoldsNonPreserved) {
+  Loop loop("l");
+  const NodeId x = loop.add_instr(Opcode::kStore);
+  const NodeId y = loop.add_instr(Opcode::kLoad);
+  const NodeId x2 = loop.add_instr(Opcode::kStore);
+  const NodeId y2 = loop.add_instr(Opcode::kLoad);
+  loop.add_mem_flow(x, y, 1, 0.1);
+  loop.add_mem_flow(x2, y2, 1, 0.2);
+  Schedule s(loop, mach, 8);
+  // Both not preserved (positive gaps, no register deps).
+  s.set_slot(x, 6);
+  s.set_slot(y, 0);
+  s.set_slot(x2, 7);
+  s.set_slot(y2, 1);
+  EXPECT_NEAR(s.misspec_probability(cfg), 1.0 - 0.9 * 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace tms::sched

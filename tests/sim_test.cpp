@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "codegen/kernel_program.hpp"
+#include "cost/cost_model.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/reference.hpp"
+#include "spmt/sim.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::spmt {
+namespace {
+
+/// The golden rule of speculative execution: the committed memory image
+/// must equal the sequential semantics, and every committed value must
+/// match the reference interpreter.
+void expect_matches_reference(const ir::Loop& loop, const sched::Schedule& sched,
+                              const machine::SpmtConfig& cfg, std::uint64_t stream_seed,
+                              std::int64_t iters) {
+  const AddressStreams streams = default_streams(loop, stream_seed);
+  const auto kp = codegen::lower_kernel(sched, cfg);
+  SpmtOptions opts;
+  opts.iterations = iters;
+  opts.keep_memory = true;
+  const SpmtResult sim = run_spmt(loop, kp, cfg, streams, opts);
+  const ReferenceResult ref = run_reference(loop, streams, iters);
+
+  EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint) << "dataflow values diverged";
+  ASSERT_EQ(sim.memory.size(), ref.memory.size());
+  for (const auto& [addr, val] : ref.memory) {
+    const auto it = sim.memory.find(addr);
+    ASSERT_NE(it, sim.memory.end()) << "address missing from committed state";
+    EXPECT_EQ(it->second, val) << "wrong committed value at address " << addr;
+  }
+}
+
+class SimTest : public ::testing::Test {
+ protected:
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+};
+
+TEST_F(SimTest, GoldenRuleFigure1Sms) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto r = sched::sms_schedule(loop, fm);
+  ASSERT_TRUE(r.has_value());
+  expect_matches_reference(loop, r->schedule, cfg, 42, 500);
+}
+
+TEST_F(SimTest, GoldenRuleFigure1Tms) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto r = sched::tms_schedule(loop, fm, cfg);
+  ASSERT_TRUE(r.has_value());
+  expect_matches_reference(loop, r->schedule, cfg, 42, 500);
+}
+
+TEST_F(SimTest, GoldenRuleWithAggressiveProbabilities) {
+  // High-probability memory dependences force real misspeculations; the
+  // committed state must still be sequential.
+  const ir::Loop loop = workloads::figure1_loop(/*mem_probability=*/0.8);
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto r = sched::sms_schedule(loop, fm);
+  ASSERT_TRUE(r.has_value());
+  expect_matches_reference(loop, r->schedule, cfg, 7, 400);
+}
+
+TEST_F(SimTest, Deterministic) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto r = sched::sms_schedule(loop, fm);
+  ASSERT_TRUE(r.has_value());
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  const AddressStreams streams = default_streams(loop, 42);
+  SpmtOptions opts;
+  opts.iterations = 300;
+  const auto a = run_spmt(loop, kp, cfg, streams, opts);
+  const auto b = run_spmt(loop, kp, cfg, streams, opts);
+  EXPECT_EQ(a.stats.total_cycles, b.stats.total_cycles);
+  EXPECT_EQ(a.stats.sync_stall_cycles, b.stats.sync_stall_cycles);
+  EXPECT_EQ(a.stats.misspeculations, b.stats.misspeculations);
+  EXPECT_EQ(a.value_fingerprint, b.value_fingerprint);
+}
+
+TEST_F(SimTest, ThreadsCommittedCoversPipeline) {
+  const ir::Loop loop = test::tiny_doall();
+  const auto r = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  const AddressStreams streams = default_streams(loop, 1);
+  SpmtOptions opts;
+  opts.iterations = 100;
+  const auto res = run_spmt(loop, kp, cfg, streams, opts);
+  EXPECT_EQ(res.stats.threads_committed, 100 + kp.stage_count - 1);
+  EXPECT_EQ(res.stats.instances_executed,
+            static_cast<std::int64_t>(100) * loop.num_instrs());
+}
+
+TEST_F(SimTest, SpawnCommitFloorOnTrivialLoop) {
+  // A loop with no cross-thread deps and no cache misses after warmup
+  // approaches the cost model's floor: max(C_spn, C_ci, T_lb/ncore).
+  ir::Loop loop("trivial");
+  loop.add_instr(ir::Opcode::kIAdd);
+  const auto r = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(r.has_value());
+  const auto kp = codegen::lower_kernel(r->schedule, cfg);
+  const AddressStreams streams(loop.num_instrs());
+  SpmtOptions opts;
+  opts.iterations = 2000;
+  opts.keep_memory = false;
+  const auto res = run_spmt(loop, kp, cfg, streams, opts);
+  const double per_iter =
+      static_cast<double>(res.stats.total_cycles) / static_cast<double>(opts.iterations);
+  const double floor = cost::per_iter_nomiss(r->schedule.ii(), 0, cfg);
+  EXPECT_GE(per_iter, floor - 0.01);
+  EXPECT_LE(per_iter, floor + 1.0);  // startup amortised over 2000 iterations
+}
+
+TEST_F(SimTest, SyncStallsTrackCDelay) {
+  // On the figure-1 loop, the SMS schedule (C_delay ~ II+3) must stall
+  // far more than the TMS schedule (C_delay ~ 5..7).
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto s = sched::sms_schedule(loop, fm);
+  const auto t = sched::tms_schedule(loop, fm, cfg);
+  ASSERT_TRUE(s.has_value() && t.has_value());
+  const AddressStreams streams = default_streams(loop, 42);
+  SpmtOptions opts;
+  opts.iterations = 1000;
+  opts.keep_memory = false;
+  const auto rs = run_spmt(loop, codegen::lower_kernel(s->schedule, cfg), cfg, streams, opts);
+  const auto rt = run_spmt(loop, codegen::lower_kernel(t->schedule, cfg), cfg, streams, opts);
+  EXPECT_LT(rt.stats.sync_stall_cycles, rs.stats.sync_stall_cycles);
+  EXPECT_LT(rt.stats.total_cycles, rs.stats.total_cycles);
+}
+
+TEST_F(SimTest, MisspeculationsScaleWithProbability) {
+  // Hand-built schedule whose speculated dependence is inter-thread and
+  // unprotected: store at a late row, consumer load at row 0 of the next
+  // thread, no synchronised dependences to preserve it. Threads spawn
+  // C_spn apart, so the load overtakes the store whenever the addresses
+  // collide — misspeculations must track the annotated probability.
+  std::int64_t misses[2] = {0, 0};
+  int idx = 0;
+  for (const double p : {0.05, 0.6}) {
+    ir::Loop loop("spec");
+    const ir::NodeId st = loop.add_instr(ir::Opcode::kStore);
+    const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad);
+    loop.add_mem_flow(st, ld, 1, p);
+    sched::Schedule s(loop, mach, 8);
+    s.set_slot(st, 6);
+    s.set_slot(ld, 0);
+    ASSERT_FALSE(s.validate().has_value());
+    ASSERT_EQ(s.mem_dep_set().size(), 1u);
+    const AddressStreams streams = default_streams(loop, 21);
+    SpmtOptions opts;
+    opts.iterations = 1000;
+    opts.keep_memory = true;
+    const auto r = run_spmt(loop, codegen::lower_kernel(s, cfg), cfg, streams, opts);
+    misses[idx++] = r.stats.misspeculations;
+    // Squash/re-execute must still produce sequential semantics.
+    const ReferenceResult ref = run_reference(loop, streams, opts.iterations);
+    EXPECT_EQ(r.value_fingerprint, ref.value_fingerprint);
+  }
+  EXPECT_GT(misses[0], 0);
+  EXPECT_GT(misses[1], misses[0]);
+}
+
+TEST_F(SimTest, DisableSpeculationRemovesMisspeculations) {
+  const ir::Loop loop = workloads::figure1_loop(0.5);
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto t = sched::sms_schedule(loop, fm);
+  ASSERT_TRUE(t.has_value());
+  const AddressStreams streams = default_streams(loop, 13);
+  SpmtOptions opts;
+  opts.iterations = 500;
+  opts.keep_memory = true;
+  opts.disable_speculation = true;
+  const auto r = run_spmt(loop, codegen::lower_kernel(t->schedule, cfg), cfg, streams, opts);
+  EXPECT_EQ(r.stats.misspeculations, 0);
+  // Semantics must still hold.
+  const ReferenceResult ref = run_reference(loop, streams, 500);
+  EXPECT_EQ(r.value_fingerprint, ref.value_fingerprint);
+}
+
+TEST_F(SimTest, SendRecvPairsMatchPlan) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto s = sched::sms_schedule(loop, fm);
+  ASSERT_TRUE(s.has_value());
+  const auto kp = codegen::lower_kernel(s->schedule, cfg);
+  const AddressStreams streams = default_streams(loop, 42);
+  SpmtOptions opts;
+  opts.iterations = 100;
+  opts.keep_memory = false;
+  const auto r = run_spmt(loop, kp, cfg, streams, opts);
+  // Steady-state threads each execute the plan's SEND/RECV pairs.
+  const std::int64_t steady = opts.iterations - (kp.stage_count - 1);
+  EXPECT_EQ(r.stats.send_recv_pairs, steady * kp.comm_pairs_per_iter);
+}
+
+TEST_F(SimTest, RingBackpressureBlocksSendsUnderTinyQueues) {
+  // A producer at row 0 whose (next-thread) consumer sits at the end of
+  // the kernel: the receive queue drains a full II after each send, but
+  // threads spawn only C_spn apart, so values pile up in flight. With a
+  // 2-entry ring queue the producer's SENDs must block; with a deep
+  // queue they must not — and semantics hold either way.
+  ir::Loop loop("bp");
+  const ir::NodeId p = loop.add_instr(ir::Opcode::kIAdd, "p");
+  const ir::NodeId c = loop.add_instr(ir::Opcode::kIAdd, "c");
+  loop.add_reg_flow(p, p, 1);
+  loop.add_reg_flow(p, c, 1);
+  sched::Schedule s(loop, mach, 12);
+  s.set_slot(p, 0);
+  s.set_slot(c, 11);  // drains the queue 11 cycles into each thread
+  ASSERT_FALSE(s.validate().has_value());
+  const AddressStreams streams = default_streams(loop, 31);
+  const auto kp = codegen::lower_kernel(s, cfg);
+  SpmtOptions opts;
+  opts.iterations = 400;
+  opts.keep_memory = true;
+
+  machine::SpmtConfig tiny = cfg;
+  tiny.ring_queue_entries = 2;
+  machine::SpmtConfig deep = cfg;
+  deep.ring_queue_entries = 1024;
+
+  const auto r_tiny = run_spmt(loop, kp, tiny, streams, opts);
+  const auto r_deep = run_spmt(loop, kp, deep, streams, opts);
+  EXPECT_GT(r_tiny.stats.send_block_cycles, 0);
+  EXPECT_EQ(r_deep.stats.send_block_cycles, 0);
+  EXPECT_GE(r_tiny.stats.total_cycles, r_deep.stats.total_cycles);
+  const ReferenceResult ref = run_reference(loop, streams, opts.iterations);
+  EXPECT_EQ(r_tiny.value_fingerprint, ref.value_fingerprint);
+  EXPECT_EQ(r_deep.value_fingerprint, ref.value_fingerprint);
+}
+
+TEST_F(SimTest, DefaultQueueDepthDoesNotBindOnWellScheduledLoops) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel fm = workloads::figure1_machine();
+  const auto t = sched::tms_schedule(loop, fm, cfg);
+  ASSERT_TRUE(t.has_value());
+  const AddressStreams streams = default_streams(loop, 42);
+  SpmtOptions opts;
+  opts.iterations = 500;
+  opts.keep_memory = false;
+  const auto r = run_spmt(loop, codegen::lower_kernel(t->schedule, cfg), cfg, streams, opts);
+  EXPECT_EQ(r.stats.send_block_cycles, 0);
+}
+
+TEST_F(SimTest, GoldenRuleRandomLoops) {
+  for (std::uint64_t seed = 500; seed < 515; ++seed) {
+    const ir::Loop loop = test::random_loop(seed);
+    const auto r = sched::sms_schedule(loop, mach);
+    ASSERT_TRUE(r.has_value());
+    expect_matches_reference(loop, r->schedule, cfg, seed, 200);
+  }
+}
+
+TEST_F(SimTest, GoldenRuleRandomLoopsTms) {
+  for (std::uint64_t seed = 520; seed < 530; ++seed) {
+    const ir::Loop loop = test::random_loop(seed);
+    const auto r = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(r.has_value());
+    expect_matches_reference(loop, r->schedule, cfg, seed, 150);
+  }
+}
+
+}  // namespace
+}  // namespace tms::spmt

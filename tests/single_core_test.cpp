@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "sched/mii.hpp"
+#include "spmt/single_core.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::spmt {
+namespace {
+
+class SingleCoreTest : public ::testing::Test {
+ protected:
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+};
+
+TEST_F(SingleCoreTest, ExecutesAllInstances) {
+  const ir::Loop loop = test::tiny_doall();
+  const AddressStreams streams = default_streams(loop, 1);
+  const auto r = run_single_threaded(loop, mach, cfg, streams, 100);
+  EXPECT_EQ(r.instances_executed, 300);
+  EXPECT_GT(r.total_cycles, 0);
+}
+
+TEST_F(SingleCoreTest, IpcBoundedByIssueWidth) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const AddressStreams streams = default_streams(loop, 2);
+  const auto r = run_single_threaded(loop, mach, cfg, streams, 500);
+  EXPECT_LE(r.ipc(), static_cast<double>(mach.issue_width()));
+  EXPECT_GT(r.ipc(), 0.0);
+}
+
+TEST_F(SingleCoreTest, RecurrenceSerialises) {
+  // acc(i) depends on acc(i-1): at least lat(fadd) = 2 cycles/iteration.
+  const ir::Loop loop = test::tiny_recurrence();
+  const AddressStreams streams = default_streams(loop, 3);
+  const std::int64_t n = 1000;
+  const auto r = run_single_threaded(loop, mach, cfg, streams, n);
+  EXPECT_GE(r.total_cycles, 2 * n);
+}
+
+TEST_F(SingleCoreTest, ResourceBoundAtLeastResII) {
+  machine::MachineModel m;
+  for (std::uint64_t seed = 600; seed < 615; ++seed) {
+    const ir::Loop loop = test::random_loop(seed);
+    const AddressStreams streams = default_streams(loop, seed);
+    const std::int64_t n = 200;
+    const auto r = run_single_threaded(loop, m, cfg, streams, n);
+    // Steady-state throughput cannot beat the resource bound.
+    EXPECT_GE(r.total_cycles, static_cast<std::int64_t>(sched::res_ii(loop, m)) * (n - 1));
+  }
+}
+
+TEST_F(SingleCoreTest, Deterministic) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const AddressStreams streams = default_streams(loop, 4);
+  const auto a = run_single_threaded(loop, mach, cfg, streams, 300);
+  const auto b = run_single_threaded(loop, mach, cfg, streams, 300);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+}
+
+TEST_F(SingleCoreTest, CacheMissesSlowExecution) {
+  // Pointer-chase: each load's address depends on the previous load, so
+  // miss latency serialises execution instead of pipelining away.
+  ir::Loop loop("chase");
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad);
+  loop.add_reg_flow(ld, ld, 1);
+  AddressStreams small(loop.num_instrs());
+  small.set(ld, AddressStreams::strided(0, 8, 1 << 10));  // 1 KiB: fits L1
+  AddressStreams large(loop.num_instrs());
+  large.set(ld, AddressStreams::strided(0, 64, 1 << 22));  // 4 MiB, line stride
+  const auto rs = run_single_threaded(loop, mach, cfg, small, 2000);
+  const auto rl = run_single_threaded(loop, mach, cfg, large, 2000);
+  EXPECT_LT(rs.total_cycles, rl.total_cycles);
+  EXPECT_LT(rs.l1_misses, rl.l1_misses);
+}
+
+}  // namespace
+}  // namespace tms::spmt

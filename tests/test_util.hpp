@@ -1,0 +1,67 @@
+// Shared helpers for the test suite: small hand-built loops and random
+// loop families (via the workload builder) for property tests.
+#pragma once
+
+#include <vector>
+
+#include "ir/loop.hpp"
+#include "machine/machine.hpp"
+#include "machine/spmt_config.hpp"
+#include "workloads/builder.hpp"
+
+namespace tms::test {
+
+/// A two-node chain: load -> fadd, no recurrences.
+inline ir::Loop tiny_chain() {
+  ir::Loop loop("tiny_chain");
+  const ir::NodeId a = loop.add_instr(ir::Opcode::kLoad, "a");
+  const ir::NodeId b = loop.add_instr(ir::Opcode::kFAdd, "b");
+  loop.add_reg_flow(a, b, 0);
+  return loop;
+}
+
+/// A simple accumulator recurrence: acc = acc + load.
+inline ir::Loop tiny_recurrence() {
+  ir::Loop loop("tiny_rec");
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad, "ld");
+  const ir::NodeId acc = loop.add_instr(ir::Opcode::kFAdd, "acc");
+  loop.add_reg_flow(ld, acc, 0);
+  loop.add_reg_flow(acc, acc, 1);
+  return loop;
+}
+
+/// DOALL-style loop: independent load->compute->store, no cross-iteration
+/// register dependences at all.
+inline ir::Loop tiny_doall() {
+  ir::Loop loop("tiny_doall");
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad, "ld");
+  const ir::NodeId m = loop.add_instr(ir::Opcode::kFMul, "m");
+  const ir::NodeId st = loop.add_instr(ir::Opcode::kStore, "st");
+  loop.add_reg_flow(ld, m, 0);
+  loop.add_reg_flow(m, st, 0);
+  return loop;
+}
+
+/// A deterministic family of random loop shapes for property sweeps.
+inline workloads::LoopShape random_shape(std::uint64_t seed) {
+  support::Rng rng(seed);
+  workloads::LoopShape s;
+  s.name = "prop_" + std::to_string(seed);
+  s.target_instrs = rng.uniform_int(6, 48);
+  s.rec_circuit_delay = rng.chance(0.5) ? rng.uniform_int(4, 14) : 0;
+  s.rec_circuit_len = rng.uniform_int(2, 5);
+  s.accumulators = rng.uniform_int(0, 3);
+  s.feeders = rng.uniform_int(0, 3);
+  s.mem_deps = rng.uniform_int(0, 3);
+  s.mem_prob_lo = 0.01;
+  s.mem_prob_hi = 0.3;
+  s.fp_fraction = rng.uniform(0.2, 0.9);
+  s.seed = rng.fork_seed();
+  return s;
+}
+
+inline ir::Loop random_loop(std::uint64_t seed) {
+  return workloads::build_loop(random_shape(seed));
+}
+
+}  // namespace tms::test

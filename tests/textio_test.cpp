@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "ir/textio.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::ir {
+namespace {
+
+Loop expect_parse(const std::string& text) {
+  auto r = parse_loop_string(text);
+  const auto* err = std::get_if<ParseError>(&r);
+  EXPECT_EQ(err, nullptr) << (err != nullptr ? err->message : "");
+  return std::get<Loop>(std::move(r));
+}
+
+ParseError expect_error(const std::string& text) {
+  auto r = parse_loop_string(text);
+  const auto* err = std::get_if<ParseError>(&r);
+  EXPECT_NE(err, nullptr) << "expected a parse error";
+  return err != nullptr ? *err : ParseError{};
+}
+
+TEST(TextIo, ParsesMinimalLoop) {
+  const Loop loop = expect_parse(
+      "loop tiny\n"
+      "instr a load\n"
+      "instr b fadd\n"
+      "reg a b 0\n");
+  EXPECT_EQ(loop.name(), "tiny");
+  EXPECT_EQ(loop.num_instrs(), 2);
+  ASSERT_EQ(loop.deps().size(), 1u);
+  EXPECT_EQ(loop.dep(0).distance, 0);
+  EXPECT_EQ(loop.instr(0).op, Opcode::kLoad);
+}
+
+TEST(TextIo, ParsesCommentsAndBlankLines) {
+  const Loop loop = expect_parse(
+      "# header comment\n"
+      "loop c\n"
+      "\n"
+      "instr x iadd   # trailing comment\n"
+      "reg x x 1\n");
+  EXPECT_EQ(loop.num_instrs(), 1);
+}
+
+TEST(TextIo, ParsesMemDepsWithProbability) {
+  const Loop loop = expect_parse(
+      "loop m\n"
+      "instr s store\n"
+      "instr l load\n"
+      "mem s l 2 0.25\n");
+  ASSERT_EQ(loop.deps().size(), 1u);
+  EXPECT_EQ(loop.dep(0).kind, DepKind::kMemory);
+  EXPECT_EQ(loop.dep(0).distance, 2);
+  EXPECT_DOUBLE_EQ(loop.dep(0).probability, 0.25);
+}
+
+TEST(TextIo, ParsesDepTypes) {
+  const Loop loop = expect_parse(
+      "loop t\n"
+      "instr a iadd\n"
+      "instr b iadd\n"
+      "reg a b 0 anti\n"
+      "reg b a 1 output\n");
+  EXPECT_EQ(loop.dep(0).type, DepType::kAnti);
+  EXPECT_EQ(loop.dep(1).type, DepType::kOutput);
+}
+
+TEST(TextIo, ParsesLiveInsAndCoverage) {
+  const Loop loop = expect_parse(
+      "loop lc\n"
+      "coverage 0.4\n"
+      "instr a fadd\n"
+      "reg a a 1\n"
+      "livein a\n");
+  EXPECT_DOUBLE_EQ(loop.coverage(), 0.4);
+  ASSERT_EQ(loop.live_ins().size(), 1u);
+}
+
+TEST(TextIo, ErrorsNameTheLine) {
+  EXPECT_EQ(expect_error("loop x\ninstr a bogus_op\n").line, 2);
+  EXPECT_EQ(expect_error("loop x\ninstr a iadd\nreg a missing 0\n").line, 3);
+  EXPECT_EQ(expect_error("loop x\ninstr a iadd\ninstr a iadd\n").line, 3);
+  EXPECT_EQ(expect_error("loop x\ninstr s store\ninstr l load\nmem s l 1\n").line, 4);
+  EXPECT_EQ(expect_error("frobnicate\n").line, 1);
+}
+
+TEST(TextIo, RejectsStructurallyInvalidLoops) {
+  // Distance-0 cycle caught by Loop::validate at end of parse.
+  const ParseError e = expect_error(
+      "loop bad\n"
+      "instr a iadd\n"
+      "instr b iadd\n"
+      "reg a b 0\n"
+      "reg b a 0\n");
+  EXPECT_NE(e.message.find("invalid loop"), std::string::npos);
+}
+
+TEST(TextIo, RejectsMissingHeader) {
+  const ParseError e = expect_error("instr a iadd\n");
+  (void)e;
+}
+
+TEST(TextIo, RoundTripsFigure1) {
+  const Loop orig = workloads::figure1_loop();
+  const Loop back = expect_parse(serialise_loop(orig));
+  ASSERT_EQ(back.num_instrs(), orig.num_instrs());
+  ASSERT_EQ(back.deps().size(), orig.deps().size());
+  for (std::size_t i = 0; i < orig.deps().size(); ++i) {
+    EXPECT_EQ(back.dep(i).src, orig.dep(i).src);
+    EXPECT_EQ(back.dep(i).dst, orig.dep(i).dst);
+    EXPECT_EQ(back.dep(i).kind, orig.dep(i).kind);
+    EXPECT_EQ(back.dep(i).type, orig.dep(i).type);
+    EXPECT_EQ(back.dep(i).distance, orig.dep(i).distance);
+    EXPECT_DOUBLE_EQ(back.dep(i).probability, orig.dep(i).probability);
+  }
+  EXPECT_EQ(back.live_ins(), orig.live_ins());
+  EXPECT_DOUBLE_EQ(back.coverage(), orig.coverage());
+}
+
+TEST(TextIo, RoundTripsRandomLoops) {
+  for (std::uint64_t seed = 700; seed < 720; ++seed) {
+    const Loop orig = test::random_loop(seed);
+    const Loop back = expect_parse(serialise_loop(orig));
+    EXPECT_EQ(back.num_instrs(), orig.num_instrs());
+    EXPECT_EQ(back.deps().size(), orig.deps().size());
+  }
+}
+
+TEST(TextIo, ShippedExampleFilesParse) {
+  for (const char* path :
+       {"examples/loops/dotprod.loop", "examples/loops/stencil.loop"}) {
+    std::ifstream f(std::string(TMS_SOURCE_DIR) + "/" + path);
+    ASSERT_TRUE(f.good()) << path;
+    auto r = parse_loop(f);
+    EXPECT_EQ(std::get_if<ParseError>(&r), nullptr) << path;
+  }
+}
+
+}  // namespace
+}  // namespace tms::ir

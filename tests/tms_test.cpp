@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+#include "sched/mii.hpp"
+#include "sched/mrt.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::sched {
+namespace {
+
+TEST(Tms, Figure1ReducesCDelay) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  machine::SpmtConfig cfg;
+  const auto sms = sms_schedule(loop, mach);
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(sms.has_value());
+  ASSERT_TRUE(tms.has_value());
+  EXPECT_LT(tms->schedule.c_delay(cfg), sms->schedule.c_delay(cfg));
+  // The cost model must rate the TMS schedule at least as good.
+  const double f_sms = cost::per_iter_nomiss(sms->schedule.ii(), sms->schedule.c_delay(cfg), cfg);
+  const double f_tms = cost::per_iter_nomiss(tms->schedule.ii(), tms->schedule.c_delay(cfg), cfg);
+  EXPECT_LE(f_tms, f_sms);
+}
+
+TEST(Tms, CDelayThresholdHonoured) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  machine::SpmtConfig cfg;
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  EXPECT_LE(tms->schedule.c_delay(cfg), tms->c_delay_threshold);
+}
+
+TEST(Tms, DoallLoopHasNoSyncAtAll) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::tiny_doall();
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  EXPECT_EQ(tms->schedule.c_delay(cfg), 0);
+  EXPECT_EQ(tms->schedule.reg_dep_set().size(), 0u);
+}
+
+TEST(Tms, RecurrenceBoundLoopKeepsWorking) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::tiny_recurrence();
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  EXPECT_FALSE(tms->schedule.validate().has_value());
+  // The accumulator's self dependence crosses threads; its sync delay is
+  // bounded below by 1 + C_reg_com.
+  EXPECT_GE(tms->schedule.c_delay(cfg), cfg.min_c_delay());
+}
+
+TEST(Tms, NcoreOneDegeneratesGracefully) {
+  machine::SpmtConfig cfg;
+  cfg.ncore = 1;
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  EXPECT_FALSE(tms->schedule.validate().has_value());
+}
+
+TEST(Tms, ReportsSearchTelemetry) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::tiny_recurrence();
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  EXPECT_GT(tms->pairs_tried, 0);
+  EXPECT_GT(tms->f_value, 0.0);
+  EXPECT_GE(tms->misspec_probability, 0.0);
+  EXPECT_LE(tms->misspec_probability, 1.0);
+}
+
+// Property sweep over random loops: schedules are valid, resource
+// feasible, honour the C1 threshold, and never lose to SMS under the
+// cost model's F.
+class TmsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TmsProperty, ValidAndThresholded) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::random_loop(GetParam());
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  const Schedule& s = tms->schedule;
+  EXPECT_FALSE(s.validate().has_value());
+  ModuloReservationTable mrt(mach, s.ii());
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    ASSERT_TRUE(mrt.can_place(loop.instr(v).op, s.slot(v)));
+    mrt.place(loop.instr(v).op, s.slot(v));
+  }
+  // C1: every inter-thread register dependence within the threshold.
+  for (const std::size_t ei : s.reg_dep_set()) {
+    EXPECT_LE(s.sync_delay(loop.dep(ei), cfg), tms->c_delay_threshold);
+  }
+  EXPECT_GE(s.ii(), tms->mii);
+}
+
+// TMS is not guaranteed to win on every single loop (the paper's wupwise
+// regresses), but it must never be drastically worse, and it must win in
+// aggregate across a loop population.
+TEST_P(TmsProperty, NeverMuchWorseThanSmsUnderCostModel) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::random_loop(GetParam());
+  const auto sms = sms_schedule(loop, mach);
+  const auto tms = tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(sms.has_value());
+  ASSERT_TRUE(tms.has_value());
+  const double t_sms = cost::estimate_execution_time(
+      sms->schedule.ii(), sms->schedule.c_delay(cfg), sms->schedule.misspec_probability(cfg),
+      cfg, 1000);
+  const double t_tms = cost::estimate_execution_time(
+      tms->schedule.ii(), tms->schedule.c_delay(cfg), tms->schedule.misspec_probability(cfg),
+      cfg, 1000);
+  EXPECT_LE(t_tms, 2.0 * t_sms);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLoops, TmsProperty,
+                         ::testing::Range<std::uint64_t>(2000, 2060));
+
+TEST(TmsAggregate, BeatsSmsAcrossLoopPopulation) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  double sum_sms = 0.0;
+  double sum_tms = 0.0;
+  int wins = 0;
+  int total = 0;
+  for (std::uint64_t seed = 2000; seed < 2060; ++seed) {
+    const ir::Loop loop = test::random_loop(seed);
+    const auto sms = sms_schedule(loop, mach);
+    const auto tms = tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(sms.has_value() && tms.has_value());
+    const double t_sms = cost::estimate_execution_time(
+        sms->schedule.ii(), sms->schedule.c_delay(cfg), sms->schedule.misspec_probability(cfg),
+        cfg, 1000);
+    const double t_tms = cost::estimate_execution_time(
+        tms->schedule.ii(), tms->schedule.c_delay(cfg), tms->schedule.misspec_probability(cfg),
+        cfg, 1000);
+    sum_sms += t_sms;
+    sum_tms += t_tms;
+    if (t_tms <= t_sms + 1e-9) ++wins;
+    ++total;
+  }
+  EXPECT_LT(sum_tms, sum_sms) << "TMS must win in aggregate";
+  EXPECT_GE(static_cast<double>(wins) / total, 0.8)
+      << "TMS should win on the large majority of loops";
+}
+
+}  // namespace
+}  // namespace tms::sched

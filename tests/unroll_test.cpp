@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "codegen/kernel_program.hpp"
+#include "ir/graph.hpp"
+#include "ir/unroll.hpp"
+#include "sched/mii.hpp"
+#include "sched/postpass.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/reference.hpp"
+#include "spmt/sim.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::ir {
+namespace {
+
+TEST(Unroll, FactorOneIsStructuralIdentity) {
+  const Loop loop = workloads::figure1_loop();
+  const Loop u1 = unroll(loop, 1);
+  EXPECT_EQ(u1.num_instrs(), loop.num_instrs());
+  ASSERT_EQ(u1.deps().size(), loop.deps().size());
+  for (std::size_t i = 0; i < loop.deps().size(); ++i) {
+    EXPECT_EQ(u1.dep(i).src, loop.dep(i).src);
+    EXPECT_EQ(u1.dep(i).dst, loop.dep(i).dst);
+    EXPECT_EQ(u1.dep(i).distance, loop.dep(i).distance);
+  }
+}
+
+TEST(Unroll, SizesScale) {
+  const Loop loop = workloads::figure1_loop();
+  for (const int u : {2, 3, 4}) {
+    const Loop lu = unroll(loop, u);
+    EXPECT_EQ(lu.num_instrs(), u * loop.num_instrs());
+    EXPECT_EQ(lu.deps().size(), static_cast<std::size_t>(u) * loop.deps().size());
+    EXPECT_FALSE(lu.validate().has_value());
+  }
+}
+
+TEST(Unroll, DistanceOneBecomesIntraBodyExceptWrap) {
+  // acc -> acc (d=1) unrolled by 4: copies 1..3 consume the previous copy
+  // at distance 0; copy 0 consumes copy 3 of the previous unrolled
+  // iteration (distance 1).
+  const Loop loop = test::tiny_recurrence();
+  const Loop u4 = unroll(loop, 4);
+  int intra = 0;
+  int cross = 0;
+  for (const DepEdge& e : u4.deps()) {
+    if (u4.instr(e.src).op == Opcode::kFAdd && u4.instr(e.dst).op == Opcode::kFAdd) {
+      (e.distance == 0 ? intra : cross) += 1;
+    }
+  }
+  EXPECT_EQ(intra, 3);
+  EXPECT_EQ(cross, 1);
+}
+
+TEST(Unroll, RecurrenceDelayScalesWithFactor) {
+  machine::MachineModel mach;
+  const Loop loop = test::tiny_recurrence();  // RecII 2 (fadd self, d=1)
+  for (const int u : {2, 4}) {
+    const Loop lu = unroll(loop, u);
+    EXPECT_EQ(sched::rec_ii(lu, mach), 2 * u);
+  }
+}
+
+TEST(Unroll, LargerDistancesDecompose) {
+  Loop loop("d3");
+  const NodeId a = loop.add_instr(Opcode::kIAdd);
+  const NodeId b = loop.add_instr(Opcode::kIAdd);
+  loop.add_reg_flow(a, b, 3);
+  const Loop u2 = unroll(loop, 2);
+  // Consumer copy 0: off=-3 -> producer copy 1, distance 2.
+  // Consumer copy 1: off=-2 -> producer copy 0, distance 1.
+  bool saw_c0 = false;
+  bool saw_c1 = false;
+  for (const DepEdge& e : u2.deps()) {
+    if (e.dst == unrolled_id(loop, b, 0)) {
+      EXPECT_EQ(e.src, unrolled_id(loop, a, 1));
+      EXPECT_EQ(e.distance, 2);
+      saw_c0 = true;
+    }
+    if (e.dst == unrolled_id(loop, b, 1)) {
+      EXPECT_EQ(e.src, unrolled_id(loop, a, 0));
+      EXPECT_EQ(e.distance, 1);
+      saw_c1 = true;
+    }
+  }
+  EXPECT_TRUE(saw_c0);
+  EXPECT_TRUE(saw_c1);
+}
+
+TEST(Unroll, SchedulableAndSemanticallySound) {
+  // The unrolled loop is a loop like any other: scheduling and simulating
+  // it must satisfy the golden rule against its own reference semantics.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const Loop base = workloads::figure1_loop();
+  const Loop lu = unroll(base, 2);
+  const auto sms = sched::sms_schedule(lu, workloads::figure1_machine());
+  ASSERT_TRUE(sms.has_value());
+  const spmt::AddressStreams streams = spmt::default_streams(lu, 31);
+  const auto kp = codegen::lower_kernel(sms->schedule, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 300;
+  opts.keep_memory = true;
+  const auto sim = spmt::run_spmt(lu, kp, cfg, streams, opts);
+  const auto ref = spmt::run_reference(lu, streams, opts.iterations);
+  EXPECT_EQ(sim.value_fingerprint, ref.value_fingerprint);
+}
+
+TEST(Unroll, ReducesCommunicationPerSourceIteration) {
+  // The extension's whole point: unrolling turns distance-1 dependences
+  // intra-thread, reducing SEND/RECV pairs per *source* iteration.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const Loop base = workloads::figure1_loop();
+  double pairs_per_src_u1 = 0;
+  double pairs_per_src_u4 = 0;
+  for (const int u : {1, 4}) {
+    const Loop lu = unroll(base, u);
+    const auto tms = sched::tms_schedule(lu, workloads::figure1_machine(), cfg);
+    ASSERT_TRUE(tms.has_value());
+    const sched::CommPlan plan = sched::plan_communication(tms->schedule);
+    const double per_src = static_cast<double>(plan.comm_pairs_per_iter) / u;
+    (u == 1 ? pairs_per_src_u1 : pairs_per_src_u4) = per_src;
+  }
+  EXPECT_LT(pairs_per_src_u4, pairs_per_src_u1);
+}
+
+}  // namespace
+}  // namespace tms::ir

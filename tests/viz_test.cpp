@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "viz/render.hpp"
+#include "workloads/figure1.hpp"
+
+namespace tms::viz {
+namespace {
+
+class VizTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    loop = workloads::figure1_loop();
+    mach = workloads::figure1_machine();
+    sms = sched::sms_schedule(loop, mach);
+    ASSERT_TRUE(sms.has_value());
+  }
+  ir::Loop loop;
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  std::optional<sched::SmsResult> sms;
+};
+
+TEST_F(VizTest, FlatScheduleMentionsEveryInstruction) {
+  const std::string out = render_flat_schedule(sms->schedule);
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    EXPECT_NE(out.find(loop.instr(v).name), std::string::npos) << loop.instr(v).name;
+  }
+  EXPECT_NE(out.find("II=8"), std::string::npos);
+}
+
+TEST_F(VizTest, KernelShowsRowsAndSyncDelays) {
+  const std::string out = render_kernel(sms->schedule, cfg);
+  EXPECT_NE(out.find("row 0"), std::string::npos);
+  EXPECT_NE(out.find("sync="), std::string::npos);
+  EXPECT_NE(out.find("inter-thread register dependences"), std::string::npos);
+}
+
+TEST_F(VizTest, ExecutionTimelineHasOneLinePerThread) {
+  const std::string out = render_execution(sms->schedule, cfg, 5);
+  int threads = 0;
+  for (std::size_t pos = 0; (pos = out.find("thread", pos)) != std::string::npos; ++pos) {
+    ++threads;
+  }
+  EXPECT_GE(threads, 5);
+}
+
+TEST_F(VizTest, DotOutputIsWellFormed) {
+  const std::string out = render_ddg_dot(loop);
+  EXPECT_EQ(out.find("digraph"), 0u);
+  EXPECT_NE(out.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(out.find("style=dashed"), std::string::npos);  // memory deps dashed
+  EXPECT_NE(out.rfind("}\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tms::viz

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "ir/graph.hpp"
+#include "sched/mii.hpp"
+#include "workloads/builder.hpp"
+#include "workloads/doacross.hpp"
+#include "workloads/figure1.hpp"
+#include "workloads/spec_suite.hpp"
+
+namespace tms::workloads {
+namespace {
+
+TEST(Figure1, WellFormedWithExpectedStructure) {
+  const ir::Loop loop = figure1_loop();
+  EXPECT_FALSE(loop.validate().has_value());
+  EXPECT_EQ(loop.num_instrs(), 9);
+  int mem_edges = 0;
+  for (const ir::DepEdge& e : loop.deps()) {
+    if (e.kind == ir::DepKind::kMemory) ++mem_edges;
+  }
+  EXPECT_EQ(mem_edges, 3);  // n5 -> n0, n2, n3
+}
+
+TEST(Builder, HitsTargetSize) {
+  for (std::uint64_t seed = 1; seed < 30; ++seed) {
+    LoopShape s;
+    s.target_instrs = 20 + static_cast<int>(seed % 30);
+    s.seed = seed;
+    const ir::Loop loop = build_loop(s);
+    EXPECT_FALSE(loop.validate().has_value());
+    // Builder may exceed by a store or chain tail, never by much.
+    EXPECT_GE(loop.num_instrs(), s.target_instrs);
+    EXPECT_LE(loop.num_instrs(), s.target_instrs + 4);
+  }
+}
+
+TEST(Builder, RecCircuitSetsRecII) {
+  machine::MachineModel mach;
+  LoopShape s;
+  s.target_instrs = 24;
+  s.rec_circuit_delay = 12;
+  s.rec_circuit_len = 4;
+  s.mem_deps = 0;
+  s.seed = 5;
+  const ir::Loop loop = build_loop(s);
+  // The main circuit dominates RecII; the builder hits the target within
+  // the granularity of its opcode latencies.
+  EXPECT_GE(sched::rec_ii(loop, mach), 9);
+  EXPECT_LE(sched::rec_ii(loop, mach), 15);
+}
+
+TEST(Builder, DeterministicPerSeed) {
+  LoopShape s;
+  s.target_instrs = 25;
+  s.seed = 77;
+  const ir::Loop a = build_loop(s);
+  const ir::Loop b = build_loop(s);
+  ASSERT_EQ(a.num_instrs(), b.num_instrs());
+  ASSERT_EQ(a.deps().size(), b.deps().size());
+  for (std::size_t i = 0; i < a.deps().size(); ++i) {
+    EXPECT_EQ(a.dep(i).src, b.dep(i).src);
+    EXPECT_EQ(a.dep(i).dst, b.dep(i).dst);
+    EXPECT_EQ(a.dep(i).distance, b.dep(i).distance);
+  }
+}
+
+TEST(Builder, MemDepsNeverCloseCycles) {
+  // Memory deps added by the builder must not inflate RecII beyond the
+  // requested circuit (they are chosen acyclic).
+  machine::MachineModel mach;
+  for (std::uint64_t seed = 40; seed < 60; ++seed) {
+    LoopShape s;
+    s.target_instrs = 30;
+    s.rec_circuit_delay = 0;
+    s.mem_deps = 3;
+    s.seed = seed;
+    const ir::Loop loop = build_loop(s);
+    // Only self-loops (induction/accumulators) contribute: RecII <= 4.
+    EXPECT_LE(sched::rec_ii(loop, mach), 4);
+  }
+}
+
+TEST(SpecSuite, ThirteenBenchmarks778Loops) {
+  const auto suite = spec_fp2000_suite();
+  ASSERT_EQ(suite.size(), 13u);
+  int total = 0;
+  for (const auto& b : suite) total += b.n_loops;
+  EXPECT_EQ(total, 778);  // the paper's loop population
+}
+
+TEST(SpecSuite, GeneratesCalibratedFamilies) {
+  const auto suite = spec_fp2000_suite();
+  for (const auto& spec : suite) {
+    const auto loops = generate_benchmark(spec);
+    ASSERT_EQ(static_cast<int>(loops.size()), spec.n_loops) << spec.name;
+    double cov = 0.0;
+    double avg_inst = 0.0;
+    for (const auto& l : loops) {
+      EXPECT_FALSE(l.validate().has_value());
+      cov += l.coverage();
+      avg_inst += l.num_instrs();
+    }
+    avg_inst /= static_cast<double>(loops.size());
+    EXPECT_NEAR(cov, spec.coverage, 1e-9) << spec.name;
+    EXPECT_GE(avg_inst, spec.inst_lo) << spec.name;
+    EXPECT_LE(avg_inst, spec.inst_hi + 4) << spec.name;
+  }
+}
+
+TEST(SpecSuite, DeterministicAcrossCalls) {
+  const auto suite = spec_fp2000_suite();
+  const auto a = generate_benchmark(suite[0]);
+  const auto b = generate_benchmark(suite[0]);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].num_instrs(), b[i].num_instrs());
+    EXPECT_EQ(a[i].deps().size(), b[i].deps().size());
+  }
+}
+
+TEST(Doacross, SevenLoopsWithTable3Shapes) {
+  machine::MachineModel mach;
+  const auto sel = doacross_selected_loops();
+  ASSERT_EQ(sel.size(), 7u);
+
+  // art x4: 27 instrs, 3 SCCs, MII ~11.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sel[static_cast<std::size_t>(i)].benchmark, "art");
+    const ir::Loop& l = sel[static_cast<std::size_t>(i)].loop;
+    EXPECT_EQ(l.num_instrs(), 27);
+    EXPECT_EQ(ir::count_nontrivial_sccs(l), 3);
+    EXPECT_NEAR(sched::min_ii(l, mach), 11, 1);
+  }
+  // equake: 82 instrs, 3 SCCs, MII ~20.
+  const ir::Loop& eq = sel[4].loop;
+  EXPECT_EQ(sel[4].benchmark, "equake");
+  EXPECT_EQ(eq.num_instrs(), 82);
+  EXPECT_EQ(ir::count_nontrivial_sccs(eq), 3);
+  EXPECT_NEAR(sched::min_ii(eq, mach), 20, 2);
+  // lucas: 102 instrs, 8 SCCs, MII ~62 (recurrence-bound).
+  const ir::Loop& lu = sel[5].loop;
+  EXPECT_EQ(sel[5].benchmark, "lucas");
+  EXPECT_EQ(lu.num_instrs(), 102);
+  EXPECT_EQ(ir::count_nontrivial_sccs(lu), 8);
+  EXPECT_NEAR(sched::min_ii(lu, mach), 62, 2);
+  EXPECT_GT(sched::rec_ii(lu, mach), sched::res_ii(lu, mach));
+  // fma3d: 72 instrs, 3 SCCs, MII ~18.
+  const ir::Loop& fm = sel[6].loop;
+  EXPECT_EQ(sel[6].benchmark, "fma3d");
+  EXPECT_EQ(fm.num_instrs(), 72);
+  EXPECT_EQ(ir::count_nontrivial_sccs(fm), 3);
+  EXPECT_NEAR(sched::min_ii(fm, mach), 18, 1);
+}
+
+TEST(Doacross, LdpMatchesTable3) {
+  machine::MachineModel mach;
+  const auto sel = doacross_selected_loops();
+  const auto ldp = [&](const ir::Loop& l) {
+    return ir::longest_dependence_path(l, mach.latencies(l));
+  };
+  EXPECT_NEAR(ldp(sel[0].loop), 29, 4);
+  EXPECT_NEAR(ldp(sel[4].loop), 26, 3);
+  EXPECT_NEAR(ldp(sel[5].loop), 89, 4);
+  EXPECT_NEAR(ldp(sel[6].loop), 34, 3);
+}
+
+TEST(Doacross, CoveragesMatchPaper) {
+  const auto sel = doacross_selected_loops();
+  double art = 0;
+  for (int i = 0; i < 4; ++i) art += sel[static_cast<std::size_t>(i)].loop.coverage();
+  EXPECT_NEAR(art, 0.216, 1e-9);
+  EXPECT_NEAR(sel[4].loop.coverage(), 0.585, 1e-9);
+  EXPECT_NEAR(sel[5].loop.coverage(), 0.334, 1e-9);
+  EXPECT_NEAR(sel[6].loop.coverage(), 0.143, 1e-9);
+}
+
+}  // namespace
+}  // namespace tms::workloads

@@ -1,0 +1,208 @@
+// tmsc — command-line driver: schedule (and optionally simulate) a loop
+// described in the text format of src/ir/textio.hpp.
+//
+// Usage:
+//   tmsc <loop-file> [options]
+//     --scheduler sms|ims|tms   (default tms)
+//     --ncore N                 (default 4)
+//     --unroll U                (default 1)
+//     --simulate N              simulate N iterations on the SpMT machine
+//     --baseline N              also run the single-threaded core
+//     --render flat|kernel|exec|dot|all   (default kernel)
+//     --metrics                 print the Table-2 style metric line
+//     --profile N               profile dependence frequencies over N
+//                               iterations and re-annotate before scheduling
+//     --registers R             register-file budget (MaxLive + copies)
+//
+// Example:
+//   ./build/tools/tmsc examples/loops/dotprod.loop --simulate 2000 --metrics
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "codegen/kernel_program.hpp"
+#include "ir/textio.hpp"
+#include "ir/unroll.hpp"
+#include "sched/ims.hpp"
+#include "sched/postpass.hpp"
+#include "sched/regpressure.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/profile.hpp"
+#include "spmt/sim.hpp"
+#include "spmt/single_core.hpp"
+#include "viz/render.hpp"
+
+using namespace tms;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <loop-file> [--scheduler sms|ims|tms] [--ncore N] [--unroll U]\n"
+               "          [--simulate N] [--baseline N] [--render flat|kernel|exec|dot|all]\n"
+               "          [--metrics]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::string scheduler = "tms";
+  std::string render = "kernel";
+  int ncore = 4;
+  int unroll_factor = 1;
+  long long simulate = 0;
+  long long baseline = 0;
+  long long profile = 0;
+  int registers = 0;
+  bool metrics = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--scheduler") {
+      scheduler = next("--scheduler");
+    } else if (a == "--ncore") {
+      ncore = std::atoi(next("--ncore"));
+    } else if (a == "--unroll") {
+      unroll_factor = std::atoi(next("--unroll"));
+    } else if (a == "--simulate") {
+      simulate = std::atoll(next("--simulate"));
+    } else if (a == "--baseline") {
+      baseline = std::atoll(next("--baseline"));
+    } else if (a == "--render") {
+      render = next("--render");
+    } else if (a == "--profile") {
+      profile = std::atoll(next("--profile"));
+    } else if (a == "--registers") {
+      registers = std::atoi(next("--registers"));
+    } else if (a == "--metrics") {
+      metrics = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  auto parsed = ir::parse_loop(file);
+  if (const auto* err = std::get_if<ir::ParseError>(&parsed)) {
+    std::fprintf(stderr, "%s:%d: %s\n", argv[1], err->line, err->message.c_str());
+    return 1;
+  }
+  ir::Loop loop = std::get<ir::Loop>(std::move(parsed));
+  if (unroll_factor > 1) loop = ir::unroll(loop, unroll_factor);
+
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  cfg.ncore = ncore;
+
+  if (profile > 0) {
+    const spmt::AddressStreams streams = spmt::default_streams(loop, 42);
+    const auto prof = spmt::profile_dependences(loop, streams, profile);
+    for (const auto& p : prof) {
+      const ir::DepEdge& e = loop.dep(p.edge);
+      std::printf("profiled %s -> %s: annotated p=%.3f, measured %.3f (%lld/%lld)\n",
+                  loop.instr(e.src).name.c_str(), loop.instr(e.dst).name.c_str(), e.probability,
+                  p.frequency(), (long long)p.collisions, (long long)p.producer_executions);
+    }
+    loop = spmt::apply_profile(loop, prof);
+  }
+
+  std::optional<sched::Schedule> schedule;
+  if (registers > 0) {
+    if (scheduler == "tms") {
+      if (auto r = sched::tms_schedule_reglimited(loop, mach, cfg, registers)) {
+        std::printf("register budget %d: pressure %d after %d II bump(s)\n", registers,
+                    r->pressure, r->retries);
+        schedule.emplace(std::move(r->schedule));
+      }
+    } else if (scheduler == "sms") {
+      if (auto r = sched::sms_schedule_reglimited(loop, mach, registers)) {
+        std::printf("register budget %d: pressure %d after %d II bump(s)\n", registers,
+                    r->pressure, r->retries);
+        schedule.emplace(std::move(r->schedule));
+      }
+    } else {
+      std::fprintf(stderr, "--registers supports sms and tms only\n");
+      return 2;
+    }
+  } else if (scheduler == "sms") {
+    if (auto r = sched::sms_schedule(loop, mach)) schedule.emplace(std::move(r->schedule));
+  } else if (scheduler == "ims") {
+    if (auto r = sched::ims_schedule(loop, mach)) schedule.emplace(std::move(r->schedule));
+  } else if (scheduler == "tms") {
+    if (auto r = sched::tms_schedule(loop, mach, cfg)) {
+      std::printf("TMS thresholds: C_delay<=%d P_max=%.2f (F=%.2f, %d pairs tried)\n",
+                  r->c_delay_threshold, r->p_max, r->f_value, r->pairs_tried);
+      schedule.emplace(std::move(r->schedule));
+    }
+  } else {
+    return usage(argv[0]);
+  }
+  if (!schedule.has_value()) {
+    std::fprintf(stderr, "scheduling failed\n");
+    return 1;
+  }
+
+  if (metrics) {
+    const sched::LoopMetrics m = sched::measure(*schedule, cfg);
+    std::printf("metrics: inst=%d sccs=%d mii=%d ldp=%d ii=%d maxlive=%d c_delay=%d stages=%d "
+                "copies=%d pairs=%d P_M=%.4f\n",
+                m.num_instrs, m.num_sccs, m.mii, m.ldp, m.ii, m.max_live, m.c_delay, m.stages,
+                m.copies, m.comm_pairs, m.misspec_probability);
+  }
+
+  if (render == "flat" || render == "all") {
+    std::printf("%s", viz::render_flat_schedule(*schedule).c_str());
+  }
+  if (render == "kernel" || render == "all") {
+    std::printf("%s", viz::render_kernel(*schedule, cfg).c_str());
+  }
+  if (render == "exec" || render == "all") {
+    std::printf("%s", viz::render_execution(*schedule, cfg).c_str());
+  }
+  if (render == "dot" || render == "all") {
+    std::printf("%s", viz::render_ddg_dot(loop).c_str());
+  }
+
+  if (simulate > 0) {
+    const spmt::AddressStreams streams = spmt::default_streams(loop, 42);
+    const auto kp = codegen::lower_kernel(*schedule, cfg);
+    spmt::SpmtOptions opts;
+    opts.iterations = simulate;
+    opts.keep_memory = false;
+    const auto sim = spmt::run_spmt(loop, kp, cfg, streams, opts);
+    std::printf("simulated %lld iterations on %d cores: %lld cycles (%.2f/iter), "
+                "sync stalls %lld, SEND/RECV pairs %lld, misspeculations %lld (%.3f%%)\n",
+                (long long)simulate, cfg.ncore, (long long)sim.stats.total_cycles,
+                static_cast<double>(sim.stats.total_cycles) / static_cast<double>(simulate),
+                (long long)sim.stats.sync_stall_cycles, (long long)sim.stats.send_recv_pairs,
+                (long long)sim.stats.misspeculations, 100.0 * sim.stats.misspec_frequency());
+  }
+  if (baseline > 0) {
+    const spmt::AddressStreams streams = spmt::default_streams(loop, 42);
+    const auto single = spmt::run_single_threaded(loop, mach, cfg, streams, baseline);
+    std::printf("single-threaded baseline: %lld cycles for %lld iterations (%.2f/iter, ipc "
+                "%.2f)\n",
+                (long long)single.total_cycles, (long long)baseline,
+                static_cast<double>(single.total_cycles) / static_cast<double>(baseline),
+                single.ipc());
+  }
+  return 0;
+}
