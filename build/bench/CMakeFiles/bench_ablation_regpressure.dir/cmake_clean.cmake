@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regpressure.dir/bench_ablation_regpressure.cpp.o"
+  "CMakeFiles/bench_ablation_regpressure.dir/bench_ablation_regpressure.cpp.o.d"
+  "bench_ablation_regpressure"
+  "bench_ablation_regpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

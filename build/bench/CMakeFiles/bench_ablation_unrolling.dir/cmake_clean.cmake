@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unrolling.dir/bench_ablation_unrolling.cpp.o"
+  "CMakeFiles/bench_ablation_unrolling.dir/bench_ablation_unrolling.cpp.o.d"
+  "bench_ablation_unrolling"
+  "bench_ablation_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_ims.dir/bench_baseline_ims.cpp.o"
+  "CMakeFiles/bench_baseline_ims.dir/bench_baseline_ims.cpp.o.d"
+  "bench_baseline_ims"
+  "bench_baseline_ims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_ims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

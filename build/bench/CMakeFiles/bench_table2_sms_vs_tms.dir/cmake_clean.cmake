@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sms_vs_tms.dir/bench_table2_sms_vs_tms.cpp.o"
+  "CMakeFiles/bench_table2_sms_vs_tms.dir/bench_table2_sms_vs_tms.cpp.o.d"
+  "bench_table2_sms_vs_tms"
+  "bench_table2_sms_vs_tms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sms_vs_tms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libtms_bench_harness.a"
+)

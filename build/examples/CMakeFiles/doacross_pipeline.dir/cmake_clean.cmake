@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doacross_pipeline.dir/doacross_pipeline.cpp.o"
+  "CMakeFiles/doacross_pipeline.dir/doacross_pipeline.cpp.o.d"
+  "doacross_pipeline"
+  "doacross_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doacross_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_machine.dir/explore_machine.cpp.o"
+  "CMakeFiles/explore_machine.dir/explore_machine.cpp.o.d"
+  "explore_machine"
+  "explore_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_render.dir/figure2_render.cpp.o"
+  "CMakeFiles/figure2_render.dir/figure2_render.cpp.o.d"
+  "figure2_render"
+  "figure2_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

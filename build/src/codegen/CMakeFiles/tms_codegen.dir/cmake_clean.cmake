@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_codegen.dir/kernel_program.cpp.o"
+  "CMakeFiles/tms_codegen.dir/kernel_program.cpp.o.d"
+  "libtms_codegen.a"
+  "libtms_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

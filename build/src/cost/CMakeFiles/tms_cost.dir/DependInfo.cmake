@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/cost_model.cpp" "src/cost/CMakeFiles/tms_cost.dir/cost_model.cpp.o" "gcc" "src/cost/CMakeFiles/tms_cost.dir/cost_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/tms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tms_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tms_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

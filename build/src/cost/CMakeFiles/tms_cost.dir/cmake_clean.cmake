@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/tms_cost.dir/cost_model.cpp.o.d"
+  "libtms_cost.a"
+  "libtms_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/graph.cpp" "src/ir/CMakeFiles/tms_ir.dir/graph.cpp.o" "gcc" "src/ir/CMakeFiles/tms_ir.dir/graph.cpp.o.d"
+  "/root/repo/src/ir/loop.cpp" "src/ir/CMakeFiles/tms_ir.dir/loop.cpp.o" "gcc" "src/ir/CMakeFiles/tms_ir.dir/loop.cpp.o.d"
+  "/root/repo/src/ir/textio.cpp" "src/ir/CMakeFiles/tms_ir.dir/textio.cpp.o" "gcc" "src/ir/CMakeFiles/tms_ir.dir/textio.cpp.o.d"
+  "/root/repo/src/ir/unroll.cpp" "src/ir/CMakeFiles/tms_ir.dir/unroll.cpp.o" "gcc" "src/ir/CMakeFiles/tms_ir.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

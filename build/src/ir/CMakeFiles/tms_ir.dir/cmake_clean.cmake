@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_ir.dir/graph.cpp.o"
+  "CMakeFiles/tms_ir.dir/graph.cpp.o.d"
+  "CMakeFiles/tms_ir.dir/loop.cpp.o"
+  "CMakeFiles/tms_ir.dir/loop.cpp.o.d"
+  "CMakeFiles/tms_ir.dir/textio.cpp.o"
+  "CMakeFiles/tms_ir.dir/textio.cpp.o.d"
+  "CMakeFiles/tms_ir.dir/unroll.cpp.o"
+  "CMakeFiles/tms_ir.dir/unroll.cpp.o.d"
+  "libtms_ir.a"
+  "libtms_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

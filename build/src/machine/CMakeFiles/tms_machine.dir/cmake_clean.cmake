@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_machine.dir/machine.cpp.o"
+  "CMakeFiles/tms_machine.dir/machine.cpp.o.d"
+  "libtms_machine.a"
+  "libtms_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

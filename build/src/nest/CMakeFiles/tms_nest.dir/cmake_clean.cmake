@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_nest.dir/loop_nest.cpp.o"
+  "CMakeFiles/tms_nest.dir/loop_nest.cpp.o.d"
+  "libtms_nest.a"
+  "libtms_nest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_nest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

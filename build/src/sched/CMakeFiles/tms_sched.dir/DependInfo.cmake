@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/ims.cpp" "src/sched/CMakeFiles/tms_sched.dir/ims.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/ims.cpp.o.d"
+  "/root/repo/src/sched/mii.cpp" "src/sched/CMakeFiles/tms_sched.dir/mii.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/mii.cpp.o.d"
+  "/root/repo/src/sched/mrt.cpp" "src/sched/CMakeFiles/tms_sched.dir/mrt.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/mrt.cpp.o.d"
+  "/root/repo/src/sched/order.cpp" "src/sched/CMakeFiles/tms_sched.dir/order.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/order.cpp.o.d"
+  "/root/repo/src/sched/postpass.cpp" "src/sched/CMakeFiles/tms_sched.dir/postpass.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/postpass.cpp.o.d"
+  "/root/repo/src/sched/regpressure.cpp" "src/sched/CMakeFiles/tms_sched.dir/regpressure.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/regpressure.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/tms_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/sms.cpp" "src/sched/CMakeFiles/tms_sched.dir/sms.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/sms.cpp.o.d"
+  "/root/repo/src/sched/tms.cpp" "src/sched/CMakeFiles/tms_sched.dir/tms.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/tms.cpp.o.d"
+  "/root/repo/src/sched/window.cpp" "src/sched/CMakeFiles/tms_sched.dir/window.cpp.o" "gcc" "src/sched/CMakeFiles/tms_sched.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/tms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/tms_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

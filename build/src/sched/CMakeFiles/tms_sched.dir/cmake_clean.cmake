@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_sched.dir/ims.cpp.o"
+  "CMakeFiles/tms_sched.dir/ims.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/mii.cpp.o"
+  "CMakeFiles/tms_sched.dir/mii.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/mrt.cpp.o"
+  "CMakeFiles/tms_sched.dir/mrt.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/order.cpp.o"
+  "CMakeFiles/tms_sched.dir/order.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/postpass.cpp.o"
+  "CMakeFiles/tms_sched.dir/postpass.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/regpressure.cpp.o"
+  "CMakeFiles/tms_sched.dir/regpressure.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/schedule.cpp.o"
+  "CMakeFiles/tms_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/sms.cpp.o"
+  "CMakeFiles/tms_sched.dir/sms.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/tms.cpp.o"
+  "CMakeFiles/tms_sched.dir/tms.cpp.o.d"
+  "CMakeFiles/tms_sched.dir/window.cpp.o"
+  "CMakeFiles/tms_sched.dir/window.cpp.o.d"
+  "libtms_sched.a"
+  "libtms_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

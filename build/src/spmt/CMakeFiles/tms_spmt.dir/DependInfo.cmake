@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spmt/address.cpp" "src/spmt/CMakeFiles/tms_spmt.dir/address.cpp.o" "gcc" "src/spmt/CMakeFiles/tms_spmt.dir/address.cpp.o.d"
+  "/root/repo/src/spmt/cache.cpp" "src/spmt/CMakeFiles/tms_spmt.dir/cache.cpp.o" "gcc" "src/spmt/CMakeFiles/tms_spmt.dir/cache.cpp.o.d"
+  "/root/repo/src/spmt/profile.cpp" "src/spmt/CMakeFiles/tms_spmt.dir/profile.cpp.o" "gcc" "src/spmt/CMakeFiles/tms_spmt.dir/profile.cpp.o.d"
+  "/root/repo/src/spmt/reference.cpp" "src/spmt/CMakeFiles/tms_spmt.dir/reference.cpp.o" "gcc" "src/spmt/CMakeFiles/tms_spmt.dir/reference.cpp.o.d"
+  "/root/repo/src/spmt/sim.cpp" "src/spmt/CMakeFiles/tms_spmt.dir/sim.cpp.o" "gcc" "src/spmt/CMakeFiles/tms_spmt.dir/sim.cpp.o.d"
+  "/root/repo/src/spmt/single_core.cpp" "src/spmt/CMakeFiles/tms_spmt.dir/single_core.cpp.o" "gcc" "src/spmt/CMakeFiles/tms_spmt.dir/single_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/tms_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tms_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tms_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/tms_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

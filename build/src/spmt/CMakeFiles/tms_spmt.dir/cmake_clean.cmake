@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_spmt.dir/address.cpp.o"
+  "CMakeFiles/tms_spmt.dir/address.cpp.o.d"
+  "CMakeFiles/tms_spmt.dir/cache.cpp.o"
+  "CMakeFiles/tms_spmt.dir/cache.cpp.o.d"
+  "CMakeFiles/tms_spmt.dir/profile.cpp.o"
+  "CMakeFiles/tms_spmt.dir/profile.cpp.o.d"
+  "CMakeFiles/tms_spmt.dir/reference.cpp.o"
+  "CMakeFiles/tms_spmt.dir/reference.cpp.o.d"
+  "CMakeFiles/tms_spmt.dir/sim.cpp.o"
+  "CMakeFiles/tms_spmt.dir/sim.cpp.o.d"
+  "CMakeFiles/tms_spmt.dir/single_core.cpp.o"
+  "CMakeFiles/tms_spmt.dir/single_core.cpp.o.d"
+  "libtms_spmt.a"
+  "libtms_spmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_spmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

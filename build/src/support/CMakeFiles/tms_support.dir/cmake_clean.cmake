@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_support.dir/rng.cpp.o"
+  "CMakeFiles/tms_support.dir/rng.cpp.o.d"
+  "CMakeFiles/tms_support.dir/stats.cpp.o"
+  "CMakeFiles/tms_support.dir/stats.cpp.o.d"
+  "CMakeFiles/tms_support.dir/table.cpp.o"
+  "CMakeFiles/tms_support.dir/table.cpp.o.d"
+  "libtms_support.a"
+  "libtms_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_viz.dir/render.cpp.o"
+  "CMakeFiles/tms_viz.dir/render.cpp.o.d"
+  "libtms_viz.a"
+  "libtms_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

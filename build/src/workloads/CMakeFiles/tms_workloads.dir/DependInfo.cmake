@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cpp" "src/workloads/CMakeFiles/tms_workloads.dir/builder.cpp.o" "gcc" "src/workloads/CMakeFiles/tms_workloads.dir/builder.cpp.o.d"
+  "/root/repo/src/workloads/doacross.cpp" "src/workloads/CMakeFiles/tms_workloads.dir/doacross.cpp.o" "gcc" "src/workloads/CMakeFiles/tms_workloads.dir/doacross.cpp.o.d"
+  "/root/repo/src/workloads/figure1.cpp" "src/workloads/CMakeFiles/tms_workloads.dir/figure1.cpp.o" "gcc" "src/workloads/CMakeFiles/tms_workloads.dir/figure1.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/tms_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/tms_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/spec_suite.cpp" "src/workloads/CMakeFiles/tms_workloads.dir/spec_suite.cpp.o" "gcc" "src/workloads/CMakeFiles/tms_workloads.dir/spec_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/tms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

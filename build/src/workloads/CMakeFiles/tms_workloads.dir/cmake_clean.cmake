@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_workloads.dir/builder.cpp.o"
+  "CMakeFiles/tms_workloads.dir/builder.cpp.o.d"
+  "CMakeFiles/tms_workloads.dir/doacross.cpp.o"
+  "CMakeFiles/tms_workloads.dir/doacross.cpp.o.d"
+  "CMakeFiles/tms_workloads.dir/figure1.cpp.o"
+  "CMakeFiles/tms_workloads.dir/figure1.cpp.o.d"
+  "CMakeFiles/tms_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/tms_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/tms_workloads.dir/spec_suite.cpp.o"
+  "CMakeFiles/tms_workloads.dir/spec_suite.cpp.o.d"
+  "libtms_workloads.a"
+  "libtms_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ims_test.dir/ims_test.cpp.o"
+  "CMakeFiles/ims_test.dir/ims_test.cpp.o.d"
+  "ims_test"
+  "ims_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

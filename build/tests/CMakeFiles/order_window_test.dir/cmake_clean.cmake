@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_window_test.dir/order_window_test.cpp.o"
+  "CMakeFiles/order_window_test.dir/order_window_test.cpp.o.d"
+  "order_window_test"
+  "order_window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

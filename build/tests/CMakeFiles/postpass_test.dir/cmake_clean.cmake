@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postpass_test.dir/postpass_test.cpp.o"
+  "CMakeFiles/postpass_test.dir/postpass_test.cpp.o.d"
+  "postpass_test"
+  "postpass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postpass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

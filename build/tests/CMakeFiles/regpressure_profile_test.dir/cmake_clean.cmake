@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regpressure_profile_test.dir/regpressure_profile_test.cpp.o"
+  "CMakeFiles/regpressure_profile_test.dir/regpressure_profile_test.cpp.o.d"
+  "regpressure_profile_test"
+  "regpressure_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regpressure_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_core_test.dir/single_core_test.cpp.o"
+  "CMakeFiles/single_core_test.dir/single_core_test.cpp.o.d"
+  "single_core_test"
+  "single_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

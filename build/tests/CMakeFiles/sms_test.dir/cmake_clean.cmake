@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sms_test.dir/sms_test.cpp.o"
+  "CMakeFiles/sms_test.dir/sms_test.cpp.o.d"
+  "sms_test"
+  "sms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tms_test.dir/tms_test.cpp.o"
+  "CMakeFiles/tms_test.dir/tms_test.cpp.o.d"
+  "tms_test"
+  "tms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tms_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/spmt/CMakeFiles/tms_spmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/tms_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tms_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/tms_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/tms_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/tms_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tms_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmsc.dir/tmsc.cpp.o"
+  "CMakeFiles/tmsc.dir/tmsc.cpp.o.d"
+  "tmsc"
+  "tmsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
