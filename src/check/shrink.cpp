@@ -1,0 +1,74 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace tms::check {
+
+ir::Loop drop_instr(const ir::Loop& loop, ir::NodeId victim) {
+  TMS_ASSERT(victim >= 0 && victim < loop.num_instrs());
+  TMS_ASSERT_MSG(loop.num_instrs() > 1, "cannot drop the last instruction");
+  ir::Loop out(loop.name());
+  out.set_coverage(loop.coverage());
+  std::vector<ir::NodeId> remap(static_cast<std::size_t>(loop.num_instrs()), ir::kInvalidNode);
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    if (v == victim) continue;
+    remap[static_cast<std::size_t>(v)] = out.add_instr(loop.instr(v).op, loop.instr(v).name);
+  }
+  for (const ir::DepEdge& e : loop.deps()) {
+    if (e.src == victim || e.dst == victim) continue;
+    out.add_dep(remap[static_cast<std::size_t>(e.src)], remap[static_cast<std::size_t>(e.dst)],
+                e.kind, e.type, e.distance, e.probability);
+  }
+  for (const ir::NodeId v : loop.live_ins()) {
+    if (v == victim) continue;
+    out.mark_live_in(remap[static_cast<std::size_t>(v)]);
+  }
+  return out;
+}
+
+ir::Loop drop_dep(const ir::Loop& loop, std::size_t edge) {
+  TMS_ASSERT(edge < loop.deps().size());
+  ir::Loop out(loop.name());
+  out.set_coverage(loop.coverage());
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    out.add_instr(loop.instr(v).op, loop.instr(v).name);
+  }
+  for (std::size_t i = 0; i < loop.deps().size(); ++i) {
+    if (i == edge) continue;
+    const ir::DepEdge& e = loop.dep(i);
+    out.add_dep(e.src, e.dst, e.kind, e.type, e.distance, e.probability);
+  }
+  for (const ir::NodeId v : loop.live_ins()) out.mark_live_in(v);
+  return out;
+}
+
+ir::Loop shrink_loop(const ir::Loop& loop, const FailurePredicate& still_fails) {
+  ir::Loop current = loop;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Instructions first — dropping one removes its edges too, which is
+    // the biggest single step towards a minimal reproducer. Descending id
+    // order tends to keep the loop's "head" structure (induction
+    // variable, recurrence circuit) intact for readability.
+    for (ir::NodeId v = current.num_instrs() - 1; v >= 0 && current.num_instrs() > 1; --v) {
+      ir::Loop candidate = drop_instr(current, v);
+      if (!candidate.validate().has_value() && still_fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+      }
+    }
+    for (std::size_t e = current.deps().size(); e-- > 0;) {
+      ir::Loop candidate = drop_dep(current, e);
+      if (!candidate.validate().has_value() && still_fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace tms::check

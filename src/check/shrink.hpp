@@ -1,0 +1,37 @@
+// Test-case reduction for fuzzing failures.
+//
+// Given a loop on which some checker fails, greedily shrink it: try
+// dropping one instruction (with its incident edges) or one dependence
+// edge at a time, keeping any drop after which the failure still
+// reproduces, until no single drop does. The result is a locally minimal
+// reproducer suitable for serialising with ir::textio and checking into
+// tests/data/.
+#pragma once
+
+#include <functional>
+
+#include "ir/loop.hpp"
+
+namespace tms::check {
+
+/// Returns `loop` minus instruction `victim`: remaining instructions keep
+/// their names, node ids are compacted, edges incident to the victim are
+/// dropped and the rest remapped, live-ins and coverage carried over.
+/// The result passes ir::Loop::validate whenever the input did (dropping
+/// a node can only remove cycles) — except that a loop must keep at
+/// least one instruction, so the victim must not be the last one.
+ir::Loop drop_instr(const ir::Loop& loop, ir::NodeId victim);
+
+/// Returns `loop` minus dependence edge `edge` (index into deps()).
+ir::Loop drop_dep(const ir::Loop& loop, std::size_t edge);
+
+/// Returns true while the failure of interest still reproduces on the
+/// candidate loop. The predicate must be deterministic.
+using FailurePredicate = std::function<bool(const ir::Loop&)>;
+
+/// Greedy delta-debugging to a 1-minimal loop: no single instruction or
+/// edge can be removed without losing the failure. Precondition:
+/// still_fails(loop) is true; the returned loop also satisfies it.
+ir::Loop shrink_loop(const ir::Loop& loop, const FailurePredicate& still_fails);
+
+}  // namespace tms::check

@@ -1,0 +1,384 @@
+#include "check/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace tms::check {
+namespace {
+
+/// Re-derivation of the per-edge scheduling delay (kept independent of
+/// sched/dep_delay.hpp on purpose): flow covers the producer latency,
+/// anti needs none, output needs one cycle, and inter-iteration memory
+/// dependences are speculated at zero delay (Section 4.1).
+int edge_delay(const machine::MachineModel& mach, const ir::Loop& loop, const ir::DepEdge& e) {
+  if (e.kind == ir::DepKind::kMemory && e.distance >= 1) return 0;
+  switch (e.type) {
+    case ir::DepType::kFlow:
+      return mach.latency(loop.instr(e.src).op);
+    case ir::DepType::kAnti:
+      return 0;
+    case ir::DepType::kOutput:
+      return 1;
+  }
+  return 1;
+}
+
+std::string edge_name(const ir::Loop& loop, const ir::DepEdge& e) {
+  std::ostringstream os;
+  os << loop.instr(e.src).name << " -> " << loop.instr(e.dst).name
+     << (e.kind == ir::DepKind::kMemory ? " (mem" : " (reg") << ", d=" << e.distance << ")";
+  return os.str();
+}
+
+class Checker {
+ public:
+  explicit Checker(CheckReport& report) : report_(report) {}
+
+  template <typename... Args>
+  void fail(ViolationKind kind, const Args&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    report_.violations.push_back(Violation{kind, os.str()});
+  }
+
+ private:
+  CheckReport& report_;
+};
+
+}  // namespace
+
+std::string_view to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kMalformedLoop: return "malformed-loop";
+    case ViolationKind::kIncomplete: return "incomplete";
+    case ViolationKind::kNotNormalised: return "not-normalised";
+    case ViolationKind::kIssueOverflow: return "issue-overflow";
+    case ViolationKind::kFuOverflow: return "fu-overflow";
+    case ViolationKind::kDependence: return "dependence";
+    case ViolationKind::kNegativeKernelDistance: return "negative-kernel-distance";
+    case ViolationKind::kStageBound: return "stage-bound";
+    case ViolationKind::kRegisterLifetime: return "register-lifetime";
+    case ViolationKind::kSyncDelay: return "sync-delay";
+    case ViolationKind::kMisspecProbability: return "misspec-probability";
+    case ViolationKind::kMetricMismatch: return "metric-mismatch";
+    case ViolationKind::kKernelProgram: return "kernel-program";
+    case ViolationKind::kFingerprintMismatch: return "fingerprint-mismatch";
+    case ViolationKind::kMemoryMismatch: return "memory-mismatch";
+    case ViolationKind::kStatsConservation: return "stats-conservation";
+    case ViolationKind::kTraceInconsistent: return "trace-inconsistent";
+    case ViolationKind::kBaseline: return "baseline";
+  }
+  return "?";
+}
+
+std::string CheckReport::to_string() const {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += std::string(check::to_string(v.kind)) + ": " + v.message + "\n";
+  }
+  return out;
+}
+
+CheckReport validate_schedule(const sched::Schedule& sched, const machine::SpmtConfig& cfg,
+                              const CheckOptions& opts) {
+  CheckReport report;
+  Checker c(report);
+  const ir::Loop& loop = sched.loop();
+  const machine::MachineModel& mach = sched.machine();
+  const int ii = sched.ii();
+
+  if (const auto err = loop.validate()) {
+    c.fail(ViolationKind::kMalformedLoop, *err);
+    return report;
+  }
+  if (!sched.complete()) {
+    c.fail(ViolationKind::kIncomplete, "placed ", sched.num_placed(), " of ", loop.num_instrs(),
+           " instructions");
+    return report;  // slot() on unplaced nodes would abort
+  }
+
+  // --- Normalisation and stage bounds ------------------------------------
+  int min_stage = sched.stage(0);
+  int max_stage = sched.stage(0);
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    min_stage = std::min(min_stage, sched.stage(v));
+    max_stage = std::max(max_stage, sched.stage(v));
+  }
+  if (min_stage != 0) {
+    c.fail(ViolationKind::kNotNormalised, "minimum stage is ", min_stage, ", expected 0");
+  }
+  const int stages = max_stage - min_stage + 1;
+  if (sched.stage_count() != stages) {
+    c.fail(ViolationKind::kStageBound, "stage_count() reports ", sched.stage_count(),
+           " but the slots span ", stages, " stage(s)");
+  }
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    const int s = sched.slot(v);
+    if (s < min_stage * ii || s >= (max_stage + 1) * ii) {
+      c.fail(ViolationKind::kNotNormalised, "slot(", loop.instr(v).name, ")=", s,
+             " outside [", min_stage * ii, ", ", (max_stage + 1) * ii, ")");
+    }
+  }
+
+  // --- Modulo reservation table, recomputed from scratch ------------------
+  std::vector<int> issue_used(static_cast<std::size_t>(ii), 0);
+  std::vector<std::vector<int>> fu_used(ir::kNumFuClasses,
+                                        std::vector<int>(static_cast<std::size_t>(ii), 0));
+  const auto row_of = [ii](int cycle) {
+    const int r = cycle % ii;
+    return r < 0 ? r + ii : r;
+  };
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    const ir::Opcode op = loop.instr(v).op;
+    const ir::FuClass fc = ir::fu_class(op);
+    if (fc == ir::FuClass::kNone) continue;
+    ++issue_used[static_cast<std::size_t>(row_of(sched.slot(v)))];
+    for (int k = 0; k < mach.occupancy(op); ++k) {
+      ++fu_used[static_cast<std::size_t>(fc)][static_cast<std::size_t>(row_of(sched.slot(v) + k))];
+    }
+  }
+  for (int r = 0; r < ii; ++r) {
+    if (issue_used[static_cast<std::size_t>(r)] > mach.issue_width()) {
+      c.fail(ViolationKind::kIssueOverflow, "row ", r, " issues ",
+             issue_used[static_cast<std::size_t>(r)], " ops, width is ", mach.issue_width());
+    }
+    for (int fc = 0; fc < ir::kNumFuClasses; ++fc) {
+      const auto cls = static_cast<ir::FuClass>(fc);
+      if (cls == ir::FuClass::kNone) continue;
+      const int used = fu_used[static_cast<std::size_t>(fc)][static_cast<std::size_t>(r)];
+      if (used > mach.fu_count(cls)) {
+        c.fail(ViolationKind::kFuOverflow, "row ", r, " uses ", used, " ", ir::to_string(cls),
+               " unit(s), machine has ", mach.fu_count(cls));
+      }
+    }
+  }
+
+  // --- Per-edge modulo constraint and Definition 1 ------------------------
+  for (std::size_t i = 0; i < loop.deps().size(); ++i) {
+    const ir::DepEdge& e = loop.dep(i);
+    const int delay = edge_delay(mach, loop, e);
+    const int sep = sched.slot(e.dst) - sched.slot(e.src);
+    if (sep < delay - ii * e.distance) {
+      c.fail(ViolationKind::kDependence, "edge ", edge_name(loop, e), ": slot(dst)-slot(src)=",
+             sep, " < delay-II*d = ", delay - ii * e.distance, " (delay ", delay, ", II ", ii,
+             ")");
+    }
+    const int dker = e.distance + sched.stage(e.dst) - sched.stage(e.src);
+    if (dker < 0) {
+      c.fail(ViolationKind::kNegativeKernelDistance, "edge ", edge_name(loop, e),
+             ": kernel distance ", dker);
+    }
+    // Registers never get the speculation carve-out: the value must live
+    // until its consumer issues, covering the producer's full latency.
+    if (e.is_register_flow()) {
+      const int lifetime = sep + ii * e.distance;
+      if (lifetime < mach.latency(loop.instr(e.src).op)) {
+        c.fail(ViolationKind::kRegisterLifetime, "edge ", edge_name(loop, e), ": lifetime ",
+               lifetime, " < producer latency ", mach.latency(loop.instr(e.src).op));
+      }
+    }
+  }
+
+  // --- C1: synchronisation delays vs the C_delay threshold ----------------
+  // Recompute sync(x,y) = row(x) - row(y) + lat(x) + C_reg_com for every
+  // inter-thread register flow dependence (Definition 2) without going
+  // through Schedule::sync_delay.
+  int recomputed_c_delay = 0;
+  std::vector<std::size_t> inter_thread_regs;
+  for (std::size_t i = 0; i < loop.deps().size(); ++i) {
+    const ir::DepEdge& e = loop.dep(i);
+    if (!e.is_register_flow()) continue;
+    if (e.distance + sched.stage(e.dst) - sched.stage(e.src) < 1) continue;
+    inter_thread_regs.push_back(i);
+    const int sync = sched.row(e.src) - sched.row(e.dst) +
+                     mach.latency(loop.instr(e.src).op) + cfg.c_reg_com;
+    recomputed_c_delay = std::max(recomputed_c_delay, sync);
+    if (opts.c_delay_threshold >= 0 && sync > opts.c_delay_threshold) {
+      c.fail(ViolationKind::kSyncDelay, "edge ", edge_name(loop, e), ": sync delay ", sync,
+             " exceeds the accepted C_delay threshold ", opts.c_delay_threshold);
+    }
+  }
+  if (report.ok() && sched.c_delay(cfg) != recomputed_c_delay) {
+    c.fail(ViolationKind::kMetricMismatch, "Schedule::c_delay reports ", sched.c_delay(cfg),
+           ", recomputed ", recomputed_c_delay);
+  }
+
+  // --- C2: misspeculation probability vs P_max ----------------------------
+  // Independently re-derive the preserved set (Definition 3) and P_M
+  // (Eq. 3) over the non-preserved inter-thread memory dependences.
+  if (report.ok()) {
+    double keep = 1.0;
+    for (std::size_t i = 0; i < loop.deps().size(); ++i) {
+      const ir::DepEdge& m = loop.dep(i);
+      if (!m.is_memory_flow()) continue;
+      if (m.distance + sched.stage(m.dst) - sched.stage(m.src) < 1) continue;
+      const int gap =
+          sched.row(m.src) - sched.row(m.dst) + mach.latency(loop.instr(m.src).op);
+      bool is_preserved = gap <= 0;
+      for (const std::size_t ri : inter_thread_regs) {
+        if (is_preserved) break;
+        const ir::DepEdge& r = loop.dep(ri);
+        if (sched.row(r.src) > sched.row(m.src)) continue;
+        if (sched.row(r.dst) > sched.row(m.dst)) continue;
+        const int sync = sched.row(r.src) - sched.row(r.dst) +
+                         mach.latency(loop.instr(r.src).op) + cfg.c_reg_com;
+        if (sync >= gap) is_preserved = true;
+      }
+      if (!is_preserved) keep *= 1.0 - m.probability;
+    }
+    const double p_m = 1.0 - keep;
+    if (opts.p_max >= 0.0 && p_m > opts.p_max + 1e-9) {
+      c.fail(ViolationKind::kMisspecProbability, "P_M = ", p_m,
+             " exceeds the accepted P_max threshold ", opts.p_max);
+    }
+    if (std::abs(sched.misspec_probability(cfg) - p_m) > 1e-9) {
+      c.fail(ViolationKind::kMetricMismatch, "Schedule::misspec_probability reports ",
+             sched.misspec_probability(cfg), ", recomputed ", p_m);
+    }
+  }
+
+  return report;
+}
+
+CheckReport validate_kernel_program(const codegen::KernelProgram& kp,
+                                    const sched::Schedule& sched,
+                                    const machine::SpmtConfig& cfg) {
+  CheckReport report;
+  Checker c(report);
+  const ir::Loop& loop = sched.loop();
+  const machine::MachineModel& mach = sched.machine();
+
+  if (kp.ii != sched.ii()) {
+    c.fail(ViolationKind::kKernelProgram, "program II ", kp.ii, " != schedule II ", sched.ii());
+  }
+  if (kp.stage_count != sched.stage_count()) {
+    c.fail(ViolationKind::kKernelProgram, "program stage count ", kp.stage_count,
+           " != schedule stage count ", sched.stage_count());
+  }
+
+  // Exactly one op per node, carrying the schedule's row/stage and the
+  // machine's latency, in (row, oldest-stage-first) issue order.
+  std::vector<int> seen(static_cast<std::size_t>(loop.num_instrs()), 0);
+  for (std::size_t i = 0; i < kp.ops.size(); ++i) {
+    const codegen::KernelOp& op = kp.ops[i];
+    if (op.node < 0 || op.node >= loop.num_instrs()) {
+      c.fail(ViolationKind::kKernelProgram, "op ", i, " names unknown node ", op.node);
+      continue;
+    }
+    ++seen[static_cast<std::size_t>(op.node)];
+    const std::string& name = loop.instr(op.node).name;
+    if (op.row != sched.row(op.node) || op.stage != sched.stage(op.node)) {
+      c.fail(ViolationKind::kKernelProgram, "op ", name, " at row ", op.row, " stage ", op.stage,
+             ", schedule says row ", sched.row(op.node), " stage ", sched.stage(op.node));
+    }
+    if (op.latency != mach.latency(loop.instr(op.node).op)) {
+      c.fail(ViolationKind::kKernelProgram, "op ", name, " carries latency ", op.latency,
+             ", machine says ", mach.latency(loop.instr(op.node).op));
+    }
+    const bool load = loop.instr(op.node).op == ir::Opcode::kLoad;
+    const bool store = loop.instr(op.node).op == ir::Opcode::kStore;
+    if (op.is_load != load || op.is_store != store) {
+      c.fail(ViolationKind::kKernelProgram, "op ", name, " memory flags disagree with its opcode");
+    }
+    if (i > 0) {
+      const codegen::KernelOp& prev = kp.ops[i - 1];
+      if (prev.row > op.row || (prev.row == op.row && prev.stage < op.stage)) {
+        c.fail(ViolationKind::kKernelProgram, "ops not in (row, oldest-first) issue order at ",
+               name);
+      }
+    }
+  }
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    if (seen[static_cast<std::size_t>(v)] != 1) {
+      c.fail(ViolationKind::kKernelProgram, "node ", loop.instr(v).name, " appears ",
+             seen[static_cast<std::size_t>(v)], " time(s) in the kernel, expected once");
+    }
+  }
+
+  // The SEND/RECV input set must cover exactly the inter-thread register
+  // flow dependences of the schedule (a dropped SEND loses a value, an
+  // invented one deadlocks the ring), with matching kernel distances.
+  const auto expect_inputs = [&](const std::vector<std::size_t>& edges,
+                                 const std::vector<codegen::CrossThreadInput>& inputs,
+                                 const char* what) {
+    std::map<std::size_t, int> expected;  // edge index -> d_ker
+    for (const std::size_t ei : edges) {
+      const ir::DepEdge& e = loop.dep(ei);
+      expected[ei] = e.distance + sched.stage(e.dst) - sched.stage(e.src);
+    }
+    std::set<std::size_t> got;
+    for (const codegen::CrossThreadInput& in : inputs) {
+      if (!got.insert(in.edge).second) {
+        c.fail(ViolationKind::kKernelProgram, what, " input for edge ", in.edge, " duplicated");
+        continue;
+      }
+      const auto it = expected.find(in.edge);
+      if (it == expected.end()) {
+        c.fail(ViolationKind::kKernelProgram, what, " input for edge ", in.edge,
+               " which is not an inter-thread dependence of the schedule");
+        continue;
+      }
+      if (in.d_ker != it->second) {
+        c.fail(ViolationKind::kKernelProgram, what, " input for edge ", in.edge, " has d_ker ",
+               in.d_ker, ", schedule says ", it->second);
+      }
+      const ir::DepEdge& e = loop.dep(in.edge);
+      if (in.producer != e.src || in.consumer != e.dst) {
+        c.fail(ViolationKind::kKernelProgram, what, " input for edge ", in.edge,
+               " endpoints disagree with the dependence graph");
+      }
+    }
+    for (const auto& [ei, dker] : expected) {
+      if (got.count(ei) == 0) {
+        c.fail(ViolationKind::kKernelProgram, what, " input for edge ", edge_name(loop, loop.dep(ei)),
+               " is missing (dropped SEND/RECV, d_ker ", dker, ")");
+      }
+    }
+  };
+  expect_inputs(sched.reg_dep_set(), kp.inputs, "register");
+  expect_inputs(sched.mem_dep_set(), kp.mem_inputs, "memory");
+
+  // Communication accounting, recomputed: dependences sharing a producer
+  // share a channel; a channel of kernel distance h costs h SEND/RECV
+  // pairs and h-1 copies per iteration (post-pass copy chain).
+  std::map<ir::NodeId, int> channel_hops;
+  for (const std::size_t ei : sched.reg_dep_set()) {
+    const ir::DepEdge& e = loop.dep(ei);
+    const int dker = e.distance + sched.stage(e.dst) - sched.stage(e.src);
+    int& hops = channel_hops[e.src];
+    hops = std::max(hops, dker);
+  }
+  int pairs = 0;
+  int copies = 0;
+  for (const auto& [producer, hops] : channel_hops) {
+    pairs += hops;
+    copies += hops - 1;
+  }
+  if (kp.comm_pairs_per_iter != pairs) {
+    c.fail(ViolationKind::kKernelProgram, "program claims ", kp.comm_pairs_per_iter,
+           " SEND/RECV pairs per iteration, recomputed ", pairs);
+  }
+  if (kp.copies_per_iter != copies) {
+    c.fail(ViolationKind::kKernelProgram, "program claims ", kp.copies_per_iter,
+           " copies per iteration, recomputed ", copies);
+  }
+
+  // Stores per iteration drive write-buffer overflow decisions in the
+  // simulator: a miscount silently changes the execution model.
+  int stores = 0;
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    if (loop.instr(v).op == ir::Opcode::kStore) ++stores;
+  }
+  if (kp.stores_per_iter != stores) {
+    c.fail(ViolationKind::kKernelProgram, "program claims ", kp.stores_per_iter,
+           " stores per iteration, loop has ", stores);
+  }
+
+  (void)cfg;
+  return report;
+}
+
+}  // namespace tms::check

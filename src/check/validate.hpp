@@ -1,0 +1,102 @@
+// Independent schedule-validity checker.
+//
+// Re-verifies a complete sched::Schedule against its ir::Loop and
+// machine::MachineModel from first principles, sharing no logic with the
+// schedulers themselves (the MRT, window and threshold code paths are
+// deliberately re-implemented here so that a bug in one of them cannot
+// hide itself). The invariants checked are the paper's:
+//   - modulo resource feasibility: per kernel row, issue slots <= issue
+//     width and per-FU occupancy (with non-pipelined wrap-around) <= FU
+//     count — the modulo reservation table, recomputed from scratch;
+//   - the modulo scheduling constraint for every dependence edge:
+//     sigma(dst) - sigma(src) >= delay(e) - II * distance(e), with the
+//     speculated-memory zero-delay carve-out (Section 4.1);
+//   - Definition 1: kernel_distance(e) >= 0 for every edge (no instance
+//     may consume from a more speculative thread);
+//   - normalisation and stage bounds: min stage 0, slots inside
+//     [0, II * stage_count), stage_count consistent;
+//   - register lifetimes: every register flow dependence covers its
+//     producer's full latency (registers never get the memory
+//     speculation carve-out);
+//   - Definition 2 / C1: recomputed sync(x,y) of every inter-thread
+//     register flow dependence is <= the C_delay threshold the TMS
+//     schedule was accepted under, and Schedule::c_delay agrees with the
+//     recomputed maximum;
+//   - Eq. 3 / C2: recomputed P_M over independently re-derived preserved
+//     sets is <= the P_max threshold, and agrees with
+//     Schedule::misspec_probability.
+//
+// A second entry point cross-checks a lowered codegen::KernelProgram
+// against its schedule (one op per node, rows/stages/latencies match, the
+// SEND/RECV input set covers exactly the inter-thread dependence set, and
+// the communication-pair accounting matches an independently recomputed
+// channel plan) so that dropped or duplicated communication is caught
+// before simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/kernel_program.hpp"
+#include "machine/spmt_config.hpp"
+#include "sched/schedule.hpp"
+
+namespace tms::check {
+
+enum class ViolationKind {
+  kMalformedLoop,       ///< Loop::validate failed under the schedule
+  kIncomplete,          ///< schedule does not place every instruction
+  kNotNormalised,       ///< min stage != 0 or slot outside [0, II*stages)
+  kIssueOverflow,       ///< a kernel row issues more ops than the width
+  kFuOverflow,          ///< a functional unit is oversubscribed in a row
+  kDependence,          ///< modulo constraint violated on an edge
+  kNegativeKernelDistance,  ///< Definition 1 violated
+  kStageBound,          ///< stage_count inconsistent with the slots
+  kRegisterLifetime,    ///< a register value dies before its producer latency
+  kSyncDelay,           ///< C1: sync(x,y) exceeds the C_delay threshold
+  kMisspecProbability,  ///< C2: P_M exceeds the P_max threshold
+  kMetricMismatch,      ///< Schedule's own analysis disagrees with recomputation
+  kKernelProgram,       ///< lowered program inconsistent with the schedule
+  // Differential-oracle kinds (reported by check/oracle):
+  kFingerprintMismatch,  ///< SpMT committed values differ from the reference
+  kMemoryMismatch,       ///< final memory images differ
+  kStatsConservation,    ///< SpmtStats break a conservation invariant
+  kTraceInconsistent,    ///< per-thread trace disagrees with aggregate stats
+  kBaseline,             ///< single-core baseline broke its own invariants
+};
+
+std::string_view to_string(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kDependence;
+  std::string message;
+};
+
+struct CheckOptions {
+  /// TMS acceptance threshold C_delay; negative disables the C1 check
+  /// (SMS/IMS schedules are not built under a threshold).
+  int c_delay_threshold = -1;
+  /// TMS acceptance threshold P_max; negative disables the C2 check.
+  double p_max = -1.0;
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;
+  bool ok() const { return violations.empty(); }
+  /// One line per violation, "kind: message".
+  std::string to_string() const;
+};
+
+/// Re-verifies `sched` (which references its loop and machine) under the
+/// SpMT configuration `cfg`. All invariants are checked, not just the
+/// first failing one.
+CheckReport validate_schedule(const sched::Schedule& sched, const machine::SpmtConfig& cfg,
+                              const CheckOptions& opts = {});
+
+/// Cross-checks a lowered kernel program against the schedule it claims
+/// to implement.
+CheckReport validate_kernel_program(const codegen::KernelProgram& kp,
+                                    const sched::Schedule& sched,
+                                    const machine::SpmtConfig& cfg);
+
+}  // namespace tms::check

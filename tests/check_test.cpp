@@ -1,0 +1,308 @@
+// Unit tests for the independent schedule validator (check/validate) and
+// the shrinker (check/shrink): every curated schedule must be accepted,
+// and hand-mutated schedules must be rejected with the right violation.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "check/shrink.hpp"
+#include "check/validate.hpp"
+#include "codegen/kernel_program.hpp"
+#include "ir/textio.hpp"
+#include "sched/ims.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "test_util.hpp"
+#include "workloads/figure1.hpp"
+#include "workloads/kernels.hpp"
+
+namespace tms {
+namespace {
+
+bool has_kind(const check::CheckReport& report, check::ViolationKind kind) {
+  for (const check::Violation& v : report.violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+/// Bumps the source of the first zero-slack dependence by one cycle — the
+/// "moved slot" mutation an off-by-one in the scheduling window would
+/// produce.
+void move_tight_slot(sched::Schedule& s) {
+  const ir::Loop& loop = s.loop();
+  const machine::MachineModel& mach = s.machine();
+  for (const ir::DepEdge& e : loop.deps()) {
+    int delay = 0;
+    if (!(e.kind == ir::DepKind::kMemory && e.distance >= 1)) {
+      delay = e.type == ir::DepType::kFlow ? mach.latency(loop.instr(e.src).op)
+              : e.type == ir::DepType::kOutput ? 1
+                                               : 0;
+    }
+    if (s.slot(e.dst) - s.slot(e.src) == delay - s.ii() * e.distance) {
+      s.set_slot(e.src, s.slot(e.src) + 1);
+      return;
+    }
+  }
+  FAIL() << "schedule has no tight dependence to perturb";
+}
+
+TEST(Validator, AcceptsAllCuratedKernelSchedules) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  for (const workloads::Kernel& k : workloads::classic_kernels()) {
+    const auto sms = sched::sms_schedule(k.loop, mach);
+    const auto ims = sched::ims_schedule(k.loop, mach);
+    const auto tms = sched::tms_schedule(k.loop, mach, cfg);
+    ASSERT_TRUE(sms.has_value() && ims.has_value() && tms.has_value()) << k.loop.name();
+
+    EXPECT_TRUE(check::validate_schedule(sms->schedule, cfg).ok())
+        << k.loop.name() << " (sms):\n"
+        << check::validate_schedule(sms->schedule, cfg).to_string();
+    EXPECT_TRUE(check::validate_schedule(ims->schedule, cfg).ok())
+        << k.loop.name() << " (ims):\n"
+        << check::validate_schedule(ims->schedule, cfg).to_string();
+
+    check::CheckOptions opts;
+    opts.c_delay_threshold = tms->c_delay_threshold;
+    opts.p_max = tms->p_max;
+    EXPECT_TRUE(check::validate_schedule(tms->schedule, cfg, opts).ok())
+        << k.loop.name() << " (tms):\n"
+        << check::validate_schedule(tms->schedule, cfg, opts).to_string();
+
+    const auto kp = codegen::lower_kernel(tms->schedule, cfg);
+    EXPECT_TRUE(check::validate_kernel_program(kp, tms->schedule, cfg).ok())
+        << k.loop.name() << ":\n"
+        << check::validate_kernel_program(kp, tms->schedule, cfg).to_string();
+  }
+}
+
+TEST(Validator, AcceptsFigure1OnItsMachine) {
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel mach = workloads::figure1_machine();
+  machine::SpmtConfig cfg;
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  check::CheckOptions opts;
+  opts.c_delay_threshold = tms->c_delay_threshold;
+  opts.p_max = tms->p_max;
+  const auto report = check::validate_schedule(tms->schedule, cfg, opts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Validator, RejectsMovedSlot) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::random_loop(123);
+  auto sms = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(sms.has_value());
+  ASSERT_TRUE(check::validate_schedule(sms->schedule, cfg).ok());
+  move_tight_slot(sms->schedule);
+  const auto report = check::validate_schedule(sms->schedule, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_kind(report, check::ViolationKind::kDependence)) << report.to_string();
+}
+
+TEST(Validator, RejectsIncompleteSchedule) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::tiny_chain();
+  sched::Schedule s(loop, mach, 1);
+  s.set_slot(0, 0);  // second node never placed
+  const auto report = check::validate_schedule(s, cfg);
+  EXPECT_TRUE(has_kind(report, check::ViolationKind::kIncomplete)) << report.to_string();
+}
+
+TEST(Validator, RejectsMrtDoubleBooking) {
+  // Two loads in the same row of an II=1 kernel oversubscribe the single
+  // memory port even though no dependence exists between them.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  ir::Loop loop("twoloads");
+  loop.add_instr(ir::Opcode::kLoad, "a");
+  loop.add_instr(ir::Opcode::kLoad, "b");
+  sched::Schedule s(loop, mach, 1);
+  s.set_slot(0, 0);
+  s.set_slot(1, 0);
+  const auto report = check::validate_schedule(s, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_kind(report, check::ViolationKind::kFuOverflow)) << report.to_string();
+}
+
+TEST(Validator, RejectsIssueOverflow) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  ir::Loop loop("wide");
+  for (int i = 0; i < 6; ++i) loop.add_instr(ir::Opcode::kIAdd);
+  sched::Schedule s(loop, mach, 1);
+  for (ir::NodeId v = 0; v < 6; ++v) s.set_slot(v, 0);
+  const auto report = check::validate_schedule(s, cfg);
+  EXPECT_TRUE(has_kind(report, check::ViolationKind::kIssueOverflow)) << report.to_string();
+}
+
+TEST(Validator, RejectsDeNormalisedSchedule) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::tiny_doall();
+  auto sms = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(sms.has_value());
+  // Shift the whole schedule up a stage: still dependence- and
+  // resource-feasible, but no longer in normal form.
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    sms->schedule.set_slot(v, sms->schedule.slot(v) + sms->schedule.ii());
+  }
+  const auto report = check::validate_schedule(sms->schedule, cfg);
+  EXPECT_TRUE(has_kind(report, check::ViolationKind::kNotNormalised)) << report.to_string();
+}
+
+TEST(Validator, EnforcesTmsThresholds) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel f1mach = workloads::figure1_machine();
+  const auto tms = sched::tms_schedule(loop, f1mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  ASSERT_GT(tms->c_delay_threshold, 0);
+
+  // The schedule's own thresholds pass; an impossibly strict C_delay
+  // (below the minimum legal sync delay) must flag C1.
+  check::CheckOptions strict;
+  strict.c_delay_threshold = cfg.min_c_delay() - 1;
+  const auto report = check::validate_schedule(tms->schedule, cfg, strict);
+  EXPECT_TRUE(has_kind(report, check::ViolationKind::kSyncDelay)) << report.to_string();
+  (void)mach;
+}
+
+TEST(Validator, RejectsDroppedSend) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel f1mach = workloads::figure1_machine();
+  const auto sms = sched::sms_schedule(loop, f1mach);
+  ASSERT_TRUE(sms.has_value());
+  auto kp = codegen::lower_kernel(sms->schedule, cfg);
+  ASSERT_FALSE(kp.inputs.empty()) << "figure 1 must have cross-thread register dependences";
+  ASSERT_TRUE(check::validate_kernel_program(kp, sms->schedule, cfg).ok());
+
+  auto dropped = kp;
+  dropped.inputs.erase(dropped.inputs.begin());
+  const auto report = check::validate_kernel_program(dropped, sms->schedule, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_kind(report, check::ViolationKind::kKernelProgram)) << report.to_string();
+  EXPECT_NE(report.to_string().find("missing"), std::string::npos) << report.to_string();
+  (void)mach;
+}
+
+TEST(Validator, RejectsMiscountedCommPairs) {
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = workloads::figure1_loop();
+  const machine::MachineModel f1mach = workloads::figure1_machine();
+  const auto sms = sched::sms_schedule(loop, f1mach);
+  ASSERT_TRUE(sms.has_value());
+  auto kp = codegen::lower_kernel(sms->schedule, cfg);
+  ++kp.comm_pairs_per_iter;
+  EXPECT_FALSE(check::validate_kernel_program(kp, sms->schedule, cfg).ok());
+}
+
+// ---- Shrinker -----------------------------------------------------------
+
+TEST(Shrink, DropInstrRemapsEdgesAndLiveIns) {
+  const ir::Loop loop = test::random_loop(7);
+  ASSERT_GT(loop.num_instrs(), 2);
+  const ir::NodeId victim = 1;
+  const ir::Loop out = check::drop_instr(loop, victim);
+  EXPECT_EQ(out.num_instrs(), loop.num_instrs() - 1);
+  EXPECT_FALSE(out.validate().has_value());
+  // Every surviving edge exists in the original between the same-named
+  // instructions.
+  for (const ir::DepEdge& e : out.deps()) {
+    const std::string& sname = out.instr(e.src).name;
+    const std::string& dname = out.instr(e.dst).name;
+    EXPECT_NE(sname, loop.instr(victim).name);
+    EXPECT_NE(dname, loop.instr(victim).name);
+    bool found = false;
+    for (const ir::DepEdge& o : loop.deps()) {
+      if (loop.instr(o.src).name == sname && loop.instr(o.dst).name == dname &&
+          o.kind == e.kind && o.type == e.type && o.distance == e.distance) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << sname << " -> " << dname;
+  }
+}
+
+TEST(Shrink, DropDepRemovesExactlyOne) {
+  const ir::Loop loop = test::random_loop(8);
+  ASSERT_FALSE(loop.deps().empty());
+  const ir::Loop out = check::drop_dep(loop, 0);
+  EXPECT_EQ(out.deps().size(), loop.deps().size() - 1);
+  EXPECT_EQ(out.num_instrs(), loop.num_instrs());
+}
+
+TEST(Shrink, ReducesToMinimalReproducer) {
+  // A failure that depends on one instruction shrinks to just that
+  // instruction (the induction variable is named "ind" by the builder).
+  const ir::Loop loop = test::random_loop(11);
+  const auto keeps_ind = [](const ir::Loop& l) {
+    for (const ir::Instr& i : l.instrs()) {
+      if (i.name == "ind") return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(keeps_ind(loop));
+  const ir::Loop shrunk = check::shrink_loop(loop, keeps_ind);
+  EXPECT_EQ(shrunk.num_instrs(), 1);
+  EXPECT_EQ(shrunk.instr(0).name, "ind");
+  EXPECT_TRUE(keeps_ind(shrunk));
+  EXPECT_FALSE(shrunk.validate().has_value());
+}
+
+TEST(Shrink, ShrunkLoopStillSchedulesAndSerialises) {
+  machine::MachineModel mach;
+  const ir::Loop loop = test::random_loop(13);
+  // Keep any loop that still has a cross-iteration register dependence:
+  // the shrinker must preserve schedulability and the text round-trip.
+  const auto has_carried = [](const ir::Loop& l) {
+    for (const ir::DepEdge& e : l.deps()) {
+      if (e.is_register_flow() && e.distance >= 1) return true;
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_carried(loop));
+  const ir::Loop shrunk = check::shrink_loop(loop, has_carried);
+  EXPECT_LT(shrunk.num_instrs(), loop.num_instrs());
+  EXPECT_TRUE(sched::sms_schedule(shrunk, mach).has_value());
+  auto parsed = ir::parse_loop_string(ir::serialise_loop(shrunk));
+  EXPECT_TRUE(std::holds_alternative<ir::Loop>(parsed));
+}
+
+// ---- Golden reproducer fixture ------------------------------------------
+
+TEST(GoldenRepro, FixtureParsesAndFailurePipelineAcceptsIt) {
+  // A checked-in tmsfuzz reproducer (generated with --inject-bug and
+  // shrunk): the fixture must stay parseable and schedulable, and the
+  // validator must accept the *correct* schedule of it — the historical
+  // failure was in the mutated schedule, not the loop.
+  std::ifstream f(std::string(TMS_SOURCE_DIR) + "/tests/data/golden_repro.loop");
+  ASSERT_TRUE(f.good()) << "tests/data/golden_repro.loop missing";
+  auto parsed = ir::parse_loop(f);
+  ASSERT_TRUE(std::holds_alternative<ir::Loop>(parsed))
+      << std::get<ir::ParseError>(parsed).message;
+  const ir::Loop loop = std::get<ir::Loop>(std::move(parsed));
+
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  auto sms = sched::sms_schedule(loop, mach);
+  ASSERT_TRUE(sms.has_value());
+  EXPECT_TRUE(check::validate_schedule(sms->schedule, cfg).ok());
+
+  // Re-applying the recorded mutation (move a tight slot) must still be
+  // caught — the fixture pins the validator's detection behaviour.
+  move_tight_slot(sms->schedule);
+  const auto report = check::validate_schedule(sms->schedule, cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_kind(report, check::ViolationKind::kDependence)) << report.to_string();
+}
+
+}  // namespace
+}  // namespace tms

@@ -31,14 +31,11 @@ TEST_P(PropertyTest, KernelDistancesNeverNegative) {
   // negative kernel distance would mean an instance consuming a value
   // from a *more speculative* thread, which no hardware could commit.
   const ir::Loop loop = test::random_loop(GetParam());
-  for (const auto schedule :
-       {sched::sms_schedule(loop, mach).has_value()
-            ? std::optional<sched::Schedule>(sched::sms_schedule(loop, mach)->schedule)
-            : std::nullopt,
-        sched::tms_schedule(loop, mach, cfg).has_value()
-            ? std::optional<sched::Schedule>(sched::tms_schedule(loop, mach, cfg)->schedule)
-            : std::nullopt}) {
-    ASSERT_TRUE(schedule.has_value());
+  const auto sms = sched::sms_schedule(loop, mach);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(sms.has_value());
+  ASSERT_TRUE(tms.has_value());
+  for (const sched::Schedule* schedule : {&sms->schedule, &tms->schedule}) {
     for (const ir::DepEdge& e : loop.deps()) {
       EXPECT_GE(schedule->kernel_distance(e), 0)
           << loop.instr(e.src).name << " -> " << loop.instr(e.dst).name;

@@ -1,0 +1,285 @@
+// tmsfuzz — differential fuzzer for the scheduling + SpMT pipeline.
+//
+// Sweeps seeded random loops (workloads::builder shapes) across a grid of
+// SpMT configurations, schedules each with SMS, IMS and TMS, and runs the
+// independent schedule validator (check/validate) plus the differential
+// oracle (check/oracle) on every result. On a failure the offending loop
+// is shrunk to a 1-minimal reproducer (check/shrink) and written as a
+// .loop file that `tmsc` and the test suite can replay.
+//
+// Usage:
+//   tmsfuzz [--seeds N]        number of seeds to sweep       (default 64)
+//           [--start-seed S]   first seed                     (default 1)
+//           [--iters N]        oracle iterations per run      (default 128)
+//           [--schedulers L]   comma list of sms,ims,tms      (default all)
+//           [--out DIR]        where reproducers are written  (default .)
+//           [--inject-bug]     perturb each schedule by one cycle after
+//                              scheduling (a synthetic off-by-one in the
+//                              scheduling window) to prove the validator
+//                              catches real scheduler bugs end to end
+//           [--verbose]        per-run progress
+//
+// Exit status: 0 when every run is clean, 1 when any failure was found
+// (reproducers are then on disk), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+#include "check/validate.hpp"
+#include "ir/textio.hpp"
+#include "sched/ims.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "support/rng.hpp"
+#include "workloads/builder.hpp"
+
+using namespace tms;
+
+namespace {
+
+struct FuzzOptions {
+  std::uint64_t seeds = 64;
+  std::uint64_t start_seed = 1;
+  std::int64_t iters = 128;
+  std::vector<std::string> schedulers = {"sms", "ims", "tms"};
+  std::string out_dir = ".";
+  bool inject_bug = false;
+  bool verbose = false;
+};
+
+/// The same shape family the property tests sweep, kept in sync by the
+/// fuzz-smoke ctest run: structural knobs drawn from one seed.
+workloads::LoopShape fuzz_shape(std::uint64_t seed) {
+  support::Rng rng(seed);
+  workloads::LoopShape s;
+  s.name = "fuzz_" + std::to_string(seed);
+  s.target_instrs = rng.uniform_int(4, 40);
+  s.rec_circuit_delay = rng.chance(0.5) ? rng.uniform_int(4, 14) : 0;
+  s.rec_circuit_len = rng.uniform_int(2, 5);
+  s.accumulators = rng.uniform_int(0, 3);
+  s.feeders = rng.uniform_int(0, 3);
+  s.mem_deps = rng.uniform_int(0, 3);
+  s.mem_prob_lo = 0.01;
+  s.mem_prob_hi = 0.35;
+  s.fp_fraction = rng.uniform(0.1, 0.9);
+  s.seed = rng.fork_seed();
+  return s;
+}
+
+/// The configuration grid one seed is swept across: the paper's quad-core
+/// baseline with a seed-dependent core count, plus a slow-interconnect
+/// variant that stresses sync-delay and ring-backpressure paths.
+std::vector<machine::SpmtConfig> config_grid(std::uint64_t seed) {
+  support::Rng rng(seed ^ 0xC0FF1EULL);  // distinct stream from fuzz_shape
+  machine::SpmtConfig base;
+  const int cores[] = {2, 4, 8};
+  base.ncore = cores[rng.bounded(3)];
+
+  machine::SpmtConfig slow = base;
+  slow.send_cycles = 2;
+  slow.hop_cycles = 1;
+  slow.recv_cycles = 2;
+  slow.c_reg_com = 5;
+  slow.ring_queue_entries = 4;
+  slow.c_spn = 5;
+  return {base, slow};
+}
+
+/// A synthetic scheduler bug: shift one node of a finished schedule by a
+/// cycle, the way an off-by-one in the scheduling window would. Prefers
+/// the source of a zero-slack dependence so the perturbation is a real
+/// constraint violation rather than a harmless slide.
+void inject_off_by_one(sched::Schedule& s) {
+  const ir::Loop& loop = s.loop();
+  const machine::MachineModel& mach = s.machine();
+  for (const ir::DepEdge& e : loop.deps()) {
+    int delay = 0;
+    if (!(e.kind == ir::DepKind::kMemory && e.distance >= 1)) {
+      delay = e.type == ir::DepType::kFlow ? mach.latency(loop.instr(e.src).op)
+              : e.type == ir::DepType::kOutput ? 1
+                                               : 0;
+    }
+    if (s.slot(e.dst) - s.slot(e.src) == delay - s.ii() * e.distance) {
+      s.set_slot(e.src, s.slot(e.src) + 1);
+      return;
+    }
+  }
+  s.set_slot(0, s.slot(0) + 1);  // no tight edge: still perturb
+}
+
+/// One full pipeline run: schedule -> validate -> lower -> cross-check ->
+/// differential oracle. Returns a failure description, or nullopt when
+/// every check passed.
+std::optional<std::string> run_one(const ir::Loop& loop, const machine::MachineModel& mach,
+                                   const machine::SpmtConfig& cfg, const std::string& scheduler,
+                                   std::int64_t iters, bool inject_bug) {
+  std::optional<sched::Schedule> schedule;
+  check::CheckOptions check_opts;
+  if (scheduler == "sms") {
+    if (auto r = sched::sms_schedule(loop, mach)) schedule.emplace(std::move(r->schedule));
+  } else if (scheduler == "ims") {
+    if (auto r = sched::ims_schedule(loop, mach)) schedule.emplace(std::move(r->schedule));
+  } else {
+    if (auto r = sched::tms_schedule(loop, mach, cfg)) {
+      check_opts.c_delay_threshold = r->c_delay_threshold;
+      check_opts.p_max = r->p_max;
+      schedule.emplace(std::move(r->schedule));
+    }
+  }
+  if (!schedule.has_value()) return scheduler + " found no schedule";
+
+  if (inject_bug) inject_off_by_one(*schedule);
+
+  const check::CheckReport valid = check::validate_schedule(*schedule, cfg, check_opts);
+  if (!valid.ok()) return "validator: " + valid.to_string();
+
+  // lower_kernel aborts on modulo-invalid schedules; the validator above
+  // subsumes that check, so reaching this point is safe.
+  const codegen::KernelProgram kp = codegen::lower_kernel(*schedule, cfg);
+  const check::CheckReport lowered = check::validate_kernel_program(kp, *schedule, cfg);
+  if (!lowered.ok()) return "kernel program: " + lowered.to_string();
+
+  check::OracleOptions oracle_opts;
+  oracle_opts.iterations = iters;
+  oracle_opts.stream_seed = 0x5EED ^ static_cast<std::uint64_t>(loop.num_instrs());
+  const check::OracleReport oracle =
+      check::run_differential_oracle(loop, *schedule, cfg, oracle_opts);
+  if (!oracle.ok()) return "oracle: " + oracle.to_string();
+  return std::nullopt;
+}
+
+/// The stable prefix of a failure message ("validator: fu-overflow",
+/// "oracle: fingerprint-mismatch", ...) used as the shrink predicate:
+/// a candidate only counts as reproducing when it fails the same way,
+/// so the minimised loop exhibits the *original* bug, not just any bug.
+std::string failure_signature(const std::string& msg) {
+  const std::size_t first = msg.find(':');
+  if (first == std::string::npos) return msg;
+  const std::size_t second = msg.find(':', first + 1);
+  return msg.substr(0, second == std::string::npos ? msg.size() : second);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--start-seed S] [--iters N] [--out DIR]\n"
+               "          [--schedulers sms,ims,tms] [--inject-bug] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = (comma == std::string::npos) ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seeds") {
+      opt.seeds = std::strtoull(next("--seeds"), nullptr, 10);
+    } else if (a == "--start-seed") {
+      opt.start_seed = std::strtoull(next("--start-seed"), nullptr, 10);
+    } else if (a == "--iters") {
+      opt.iters = std::atoll(next("--iters"));
+    } else if (a == "--schedulers") {
+      opt.schedulers = split_csv(next("--schedulers"));
+    } else if (a == "--out") {
+      opt.out_dir = next("--out");
+    } else if (a == "--inject-bug") {
+      opt.inject_bug = true;
+    } else if (a == "--verbose") {
+      opt.verbose = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  for (const std::string& s : opt.schedulers) {
+    if (s != "sms" && s != "ims" && s != "tms") {
+      std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
+      return 2;
+    }
+  }
+
+  const machine::MachineModel mach;
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+
+  for (std::uint64_t seed = opt.start_seed; seed < opt.start_seed + opt.seeds; ++seed) {
+    const ir::Loop loop = workloads::build_loop(fuzz_shape(seed));
+    for (const machine::SpmtConfig& cfg : config_grid(seed)) {
+      for (const std::string& scheduler : opt.schedulers) {
+        ++runs;
+        const auto failure =
+            run_one(loop, mach, cfg, scheduler, opt.iters, opt.inject_bug);
+        if (opt.verbose) {
+          std::printf("seed %llu ncore %d %s: %s\n", (unsigned long long)seed, cfg.ncore,
+                      scheduler.c_str(), failure.has_value() ? "FAIL" : "ok");
+        }
+        if (!failure.has_value()) continue;
+        ++failures;
+        std::printf("FAILURE seed %llu, ncore %d, c_reg_com %d, scheduler %s:\n%s\n",
+                    (unsigned long long)seed, cfg.ncore, cfg.c_reg_com, scheduler.c_str(),
+                    failure->c_str());
+
+        // Shrink: keep dropping instructions/edges while the same
+        // pipeline (same scheduler, config, injection setting) fails
+        // with the same failure signature.
+        const std::string sig = failure_signature(*failure);
+        const ir::Loop shrunk = check::shrink_loop(loop, [&](const ir::Loop& candidate) {
+          const auto f = run_one(candidate, mach, cfg, scheduler, opt.iters, opt.inject_bug);
+          return f.has_value() && failure_signature(*f) == sig;
+        });
+        const std::string path = opt.out_dir + "/tmsfuzz_" + std::to_string(seed) + "_" +
+                                 scheduler + ".loop";
+        std::ofstream out(path);
+        if (!out) {
+          std::fprintf(stderr, "cannot write reproducer %s\n", path.c_str());
+          continue;
+        }
+        out << "# tmsfuzz reproducer: seed " << seed << ", scheduler " << scheduler
+            << ", ncore " << cfg.ncore << ", c_reg_com " << cfg.c_reg_com
+            << (opt.inject_bug ? ", injected off-by-one" : "") << "\n"
+            << "# replay: tmsc <this file> --scheduler " << scheduler << " --ncore "
+            << cfg.ncore << " --simulate " << opt.iters << "\n"
+            << ir::serialise_loop(shrunk);
+        std::printf("  shrunk %d -> %d instrs, %zu -> %zu deps; reproducer: %s\n",
+                    loop.num_instrs(), shrunk.num_instrs(), loop.deps().size(),
+                    shrunk.deps().size(), path.c_str());
+        const auto shrunk_failure =
+            run_one(shrunk, mach, cfg, scheduler, opt.iters, opt.inject_bug);
+        if (shrunk_failure.has_value()) {
+          std::printf("  shrunk failure: %s\n", shrunk_failure->c_str());
+        }
+      }
+    }
+  }
+
+  std::printf("tmsfuzz: %llu run(s) over %llu seed(s), %llu failure(s)%s\n",
+              (unsigned long long)runs, (unsigned long long)opt.seeds,
+              (unsigned long long)failures, opt.inject_bug ? " [bug injection on]" : "");
+  return failures == 0 ? 0 : 1;
+}
