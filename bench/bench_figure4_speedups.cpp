@@ -6,10 +6,12 @@
 // Amdahl's law at the benchmark's loop-coverage ratio. Expected shape:
 // positive loop speedups everywhere except wupwise (~0), art largest,
 // averages around the paper's 28% (loops) / 10% (program).
+#include <chrono>
 #include <cstdio>
 #include <map>
 
 #include "harness.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 using namespace tms;
@@ -21,7 +23,9 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 4: speedups of TMS over SMS (quad-core SpMT, %lld iters/loop) ===\n\n",
               static_cast<long long>(iters));
 
-  const std::vector<bench::LoopEval> suite = bench::schedule_suite(mach, cfg);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<bench::LoopEval> suite =
+      bench::schedule_suite(mach, cfg, bench::jobs_arg(argc, argv));
 
   struct Agg {
     std::vector<double> speedup;
@@ -49,6 +53,12 @@ int main(int argc, char** argv) {
   using TT = support::TextTable;
   double sum_loop = 0.0;
   double sum_prog = 0.0;
+  struct Row {
+    std::string name;
+    bench::AggregateSpeedup agg;
+    double misspec_pct = 0.0;
+  };
+  std::vector<Row> rows;
   for (const std::string& name : order) {
     const Agg& a = per_bench[name];
     const bench::AggregateSpeedup s = bench::aggregate_speedups(a.speedup, a.coverage);
@@ -57,6 +67,7 @@ int main(int argc, char** argv) {
     const double mf = a.threads > 0 ? 100.0 * static_cast<double>(a.misspecs) /
                                           static_cast<double>(a.threads)
                                     : 0.0;
+    rows.push_back({name, s, mf});
     t.add_row({name, TT::pct(s.loop_speedup_pct), TT::pct(s.program_speedup_pct),
                TT::pct(mf, 3)});
   }
@@ -64,5 +75,32 @@ int main(int argc, char** argv) {
              TT::pct(sum_prog / static_cast<double>(order.size())), ""});
   std::printf("%s\n", t.render().c_str());
   std::printf("paper: average loop speedup 28%%, program 10%%; art largest; wupwise ~0\n");
+
+  if (const char* json_path = bench::json_path_arg(argc, argv)) {
+    const double total_ns = std::chrono::duration<double, std::nano>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    const std::int64_t sims = static_cast<std::int64_t>(suite.size()) * iters;
+    support::JsonWriter w;
+    w.begin_object();
+    w.member("schema", "tms-bench-v1");
+    w.member("benchmark", "bench_figure4_speedups");
+    w.member("iterations", iters);
+    w.member("ns_op", total_ns / static_cast<double>(sims));  // ns per simulated iteration
+    w.member("avg_loop_speedup_pct", sum_loop / static_cast<double>(order.size()));
+    w.member("avg_program_speedup_pct", sum_prog / static_cast<double>(order.size()));
+    w.key("records").begin_array();
+    for (const Row& r : rows) {
+      w.begin_object();
+      w.member("name", r.name);
+      w.member("loop_speedup_pct", r.agg.loop_speedup_pct);
+      w.member("program_speedup_pct", r.agg.program_speedup_pct);
+      w.member("misspec_freq_pct", r.misspec_pct);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!bench::write_text_file(json_path, w.str() + "\n")) return 1;
+  }
   return 0;
 }

@@ -5,21 +5,28 @@
 // count, average MII, then (II, MaxLive, C_delay) for SMS and for TMS.
 // Expected shape: TMS trades a larger II for a much smaller C_delay with
 // slightly larger MaxLive.
+#include <chrono>
 #include <cstdio>
 #include <map>
 
 #include "harness.hpp"
+#include "support/json.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
 using namespace tms;
 
-int main() {
+int main(int argc, char** argv) {
   machine::MachineModel mach;
   machine::SpmtConfig cfg;
   std::printf("=== Table 2: SMS vs TMS, traditional metrics (778 synthetic loops) ===\n\n");
 
-  const std::vector<bench::LoopEval> suite = bench::schedule_suite(mach, cfg);
+  const auto sched_start = std::chrono::steady_clock::now();
+  const std::vector<bench::LoopEval> suite =
+      bench::schedule_suite(mach, cfg, bench::jobs_arg(argc, argv));
+  const double sched_ns = std::chrono::duration<double, std::nano>(
+                              std::chrono::steady_clock::now() - sched_start)
+                              .count();
 
   struct Agg {
     support::RunningStat inst, mii, ii_s, ml_s, cd_s, ii_t, ml_t, cd_t;
@@ -69,5 +76,33 @@ int main() {
   std::printf("shape checks: TMS II >= SMS II: %s;  TMS C_delay << SMS C_delay: %s\n",
               total.ii_t.mean() >= total.ii_s.mean() ? "yes" : "NO",
               total.cd_t.mean() < 0.6 * total.cd_s.mean() ? "yes" : "NO");
+
+  if (const char* json_path = bench::json_path_arg(argc, argv)) {
+    support::JsonWriter w;
+    w.begin_object();
+    w.member("schema", "tms-bench-v1");
+    w.member("benchmark", "bench_table2_sms_vs_tms");
+    w.member("iterations", static_cast<std::int64_t>(total.n));
+    w.member("ns_op", sched_ns / static_cast<double>(total.n));  // scheduling ns per loop
+    w.key("records").begin_array();
+    for (const std::string& name : order) {
+      const Agg& a = per_bench[name];
+      w.begin_object();
+      w.member("name", name);
+      w.member("loops", a.n);
+      w.member("avg_inst", a.inst.mean());
+      w.member("avg_mii", a.mii.mean());
+      w.member("sms_ii", a.ii_s.mean());
+      w.member("sms_max_live", a.ml_s.mean());
+      w.member("sms_c_delay", a.cd_s.mean());
+      w.member("tms_ii", a.ii_t.mean());
+      w.member("tms_max_live", a.ml_t.mean());
+      w.member("tms_c_delay", a.cd_t.mean());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    if (!bench::write_text_file(json_path, w.str() + "\n")) return 1;
+  }
   return 0;
 }

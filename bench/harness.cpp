@@ -1,11 +1,15 @@
 #include "harness.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "codegen/kernel_program.hpp"
+#include "driver/job_pool.hpp"
 #include "spmt/address.hpp"
 #include "support/assert.hpp"
+#include "workloads/builder.hpp"
 #include "workloads/doacross.hpp"
 #include "workloads/spec_suite.hpp"
 
@@ -26,13 +30,29 @@ LoopEval schedule_loop(std::string benchmark, ir::Loop loop, const machine::Mach
 }
 
 std::vector<LoopEval> schedule_suite(const machine::MachineModel& mach,
-                                     const machine::SpmtConfig& cfg) {
-  std::vector<LoopEval> out;
+                                     const machine::SpmtConfig& cfg, int jobs) {
+  // Shape derivation is serial (one RNG stream per benchmark); the
+  // expensive build + schedule step runs per job, each job constructing
+  // its loop from the shape's private forked seed. Results land at their
+  // submission index, so suite order is independent of the thread count.
+  struct Item {
+    std::string benchmark;
+    workloads::ShapedLoop shaped;
+  };
+  std::vector<Item> items;
   for (const workloads::BenchmarkSpec& spec : workloads::spec_fp2000_suite()) {
-    for (ir::Loop& loop : workloads::generate_benchmark(spec)) {
-      out.push_back(schedule_loop(spec.name, std::move(loop), mach, cfg));
+    for (workloads::ShapedLoop& s : workloads::benchmark_shapes(spec)) {
+      items.push_back({spec.name, std::move(s)});
     }
   }
+
+  std::vector<LoopEval> out(items.size());
+  driver::JobPool pool(jobs);
+  pool.run(items.size(), [&](std::size_t i) {
+    ir::Loop loop = workloads::build_loop(items[i].shaped.shape);
+    loop.set_coverage(items[i].shaped.coverage);
+    out[i] = schedule_loop(items[i].benchmark, std::move(loop), mach, cfg);
+  });
   return out;
 }
 
@@ -107,6 +127,34 @@ std::int64_t iterations_arg(int argc, char** argv, std::int64_t fallback) {
     }
   }
   return fallback;
+}
+
+int jobs_arg(int argc, char** argv, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+const char* json_path_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return static_cast<bool>(out);
 }
 
 }  // namespace tms::bench

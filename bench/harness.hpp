@@ -36,9 +36,13 @@ struct LoopEval {
 LoopEval schedule_loop(std::string benchmark, ir::Loop loop, const machine::MachineModel& mach,
                        const machine::SpmtConfig& cfg);
 
-/// Schedules the full 13-benchmark synthetic SPECfp2000 suite (778 loops).
+/// Schedules the full 13-benchmark synthetic SPECfp2000 suite (778 loops)
+/// on a driver::JobPool: loops are built and scheduled in parallel
+/// (`jobs` worker threads; 0 = hardware_concurrency) with one private RNG
+/// per job, and results are returned in deterministic suite order
+/// regardless of the thread count.
 std::vector<LoopEval> schedule_suite(const machine::MachineModel& mach,
-                                     const machine::SpmtConfig& cfg);
+                                     const machine::SpmtConfig& cfg, int jobs = 0);
 
 /// Schedules the seven selected DOACROSS loops of Table 3.
 std::vector<LoopEval> schedule_selected(const machine::MachineModel& mach,
@@ -77,5 +81,16 @@ AggregateSpeedup aggregate_speedups(const std::vector<double>& speedup,
 /// Parses an optional "--iterations N" / env-style argv override used by
 /// the bench binaries; returns `fallback` when absent.
 std::int64_t iterations_arg(int argc, char** argv, std::int64_t fallback);
+
+/// Parses "--jobs N"; returns `fallback` when absent (0 lets the JobPool
+/// pick hardware_concurrency).
+int jobs_arg(int argc, char** argv, int fallback = 0);
+
+/// Parses "--json PATH"; returns nullptr when absent.
+const char* json_path_arg(int argc, char** argv);
+
+/// Writes `text` to `path`; returns false (with a message on stderr) on
+/// failure. Used by the bench binaries' --json emitters.
+bool write_text_file(const std::string& path, const std::string& text);
 
 }  // namespace tms::bench

@@ -1,0 +1,391 @@
+#include "driver/batch.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#include "check/oracle.hpp"
+#include "check/validate.hpp"
+#include "codegen/kernel_program.hpp"
+#include "driver/job_pool.hpp"
+#include "sched/ims.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "spmt/address.hpp"
+#include "spmt/sim.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace tms::driver {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Deterministic per-job stream seed: a pure function of the batch seed
+/// and the submission index (one generator per job — nothing is shared
+/// across jobs, so the result cannot depend on scheduling interleaving).
+std::uint64_t job_stream_seed(std::uint64_t batch_seed, std::size_t index) {
+  support::SplitMix64 sm(batch_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return sm.next();
+}
+
+struct ScheduledLoop {
+  sched::Schedule schedule;
+  check::CheckOptions check_opts;  ///< TMS thresholds, or disabled for SMS/IMS
+  int mii = 0;
+};
+
+/// Reconstructs a schedule from a cache entry; nullopt when the entry is
+/// semantically corrupt (slots violating the modulo constraints).
+std::optional<ScheduledLoop> from_cache(const ir::Loop& loop, const machine::MachineModel& mach,
+                                        const ScheduleCache::Entry& e) {
+  sched::Schedule s(loop, mach, e.ii);
+  for (int v = 0; v < loop.num_instrs(); ++v) {
+    s.set_slot(v, e.slots[static_cast<std::size_t>(v)]);
+  }
+  if (s.validate().has_value()) return std::nullopt;
+  ScheduledLoop out{std::move(s), {}, e.mii};
+  out.check_opts.c_delay_threshold = e.c_delay_threshold;
+  out.check_opts.p_max = e.p_max;
+  return out;
+}
+
+std::optional<ScheduledLoop> schedule_fresh(const ir::Loop& loop,
+                                            const machine::MachineModel& mach,
+                                            const machine::SpmtConfig& cfg,
+                                            const std::string& scheduler) {
+  if (scheduler == "sms") {
+    if (auto r = sched::sms_schedule(loop, mach)) {
+      return ScheduledLoop{std::move(r->schedule), {}, r->mii};
+    }
+    return std::nullopt;
+  }
+  if (scheduler == "ims") {
+    if (auto r = sched::ims_schedule(loop, mach)) {
+      return ScheduledLoop{std::move(r->schedule), {}, r->mii};
+    }
+    return std::nullopt;
+  }
+  if (scheduler == "tms") {
+    if (auto r = sched::tms_schedule(loop, mach, cfg)) {
+      ScheduledLoop out{std::move(r->schedule), {}, r->mii};
+      out.check_opts.c_delay_threshold = r->c_delay_threshold;
+      out.check_opts.p_max = r->p_max;
+      return out;
+    }
+    return std::nullopt;
+  }
+  throw std::invalid_argument("unknown scheduler '" + scheduler + "'");
+}
+
+ScheduleCache::Entry to_entry(const ScheduledLoop& sl, const std::string& scheduler) {
+  ScheduleCache::Entry e;
+  e.scheduler = scheduler;
+  e.ii = sl.schedule.ii();
+  e.mii = sl.mii;
+  e.c_delay_threshold = sl.check_opts.c_delay_threshold;
+  e.p_max = sl.check_opts.p_max;
+  const int n = sl.schedule.loop().num_instrs();
+  e.slots.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) e.slots.push_back(sl.schedule.slot(v));
+  return e;
+}
+
+JobResult run_single(const BatchJob& job, const machine::MachineModel& mach,
+                     const BatchOptions& opts, ScheduleCache* cache, std::size_t index) {
+  const Clock::time_point start = Clock::now();
+  JobResult r;
+  r.name = job.name;
+  r.scheduler = job.scheduler;
+  try {
+    if (const auto err = job.loop.validate()) {
+      r.status = JobStatus::kError;
+      r.detail = "malformed loop: " + *err;
+      r.wall_ms = ms_since(start);
+      return r;
+    }
+
+    std::optional<ScheduledLoop> sl;
+    std::uint64_t key = 0;
+    if (cache != nullptr) {
+      key = ScheduleCache::key(job.loop, mach, job.cfg, job.scheduler);
+      if (const auto entry = cache->lookup(key, job.loop.num_instrs())) {
+        sl = from_cache(job.loop, mach, *entry);
+        r.cache_hit = sl.has_value();
+        // A well-formed but semantically corrupt entry falls through to
+        // a fresh schedule below and is overwritten on insert.
+      }
+    }
+    if (!sl.has_value()) {
+      sl = schedule_fresh(job.loop, mach, job.cfg, job.scheduler);
+      if (!sl.has_value()) {
+        r.status = JobStatus::kScheduleFail;
+        r.detail = job.scheduler + " found no schedule";
+        r.wall_ms = ms_since(start);
+        return r;
+      }
+      if (cache != nullptr) cache->insert(key, to_entry(*sl, job.scheduler));
+    }
+
+    r.metrics = sched::measure(sl->schedule, job.cfg);
+
+    // Cache hits are always re-validated, even with opts.validate off:
+    // reconstruction already proved the modulo constraints, but the full
+    // checker also covers resources, normalisation and the thresholds —
+    // the defence against semantic disk corruption.
+    if (opts.validate || r.cache_hit) {
+      const check::CheckReport valid =
+          check::validate_schedule(sl->schedule, job.cfg, sl->check_opts);
+      if (!valid.ok()) {
+        if (r.cache_hit) {
+          // Corrupt cached entry that still satisfied the dependence
+          // constraints: recompute from scratch, once.
+          r.cache_hit = false;
+          sl = schedule_fresh(job.loop, mach, job.cfg, job.scheduler);
+          if (!sl.has_value()) {
+            r.status = JobStatus::kScheduleFail;
+            r.detail = job.scheduler + " found no schedule";
+            r.wall_ms = ms_since(start);
+            return r;
+          }
+          if (cache != nullptr) cache->insert(key, to_entry(*sl, job.scheduler));
+          r.metrics = sched::measure(sl->schedule, job.cfg);
+          const check::CheckReport revalid =
+              check::validate_schedule(sl->schedule, job.cfg, sl->check_opts);
+          if (!revalid.ok()) {
+            r.status = JobStatus::kValidateFail;
+            r.detail = "validator: " + revalid.to_string();
+            r.wall_ms = ms_since(start);
+            return r;
+          }
+        } else {
+          r.status = JobStatus::kValidateFail;
+          r.detail = "validator: " + valid.to_string();
+          r.wall_ms = ms_since(start);
+          return r;
+        }
+      }
+    }
+
+    const bool need_kernel = opts.validate || opts.simulate_iterations > 0;
+    if (need_kernel) {
+      const codegen::KernelProgram kp = codegen::lower_kernel(sl->schedule, job.cfg);
+      if (opts.validate) {
+        const check::CheckReport lowered =
+            check::validate_kernel_program(kp, sl->schedule, job.cfg);
+        if (!lowered.ok()) {
+          r.status = JobStatus::kValidateFail;
+          r.detail = "kernel program: " + lowered.to_string();
+          r.wall_ms = ms_since(start);
+          return r;
+        }
+      }
+      if (opts.simulate_iterations > 0) {
+        const spmt::AddressStreams streams =
+            spmt::default_streams(job.loop, job_stream_seed(opts.seed, index));
+        spmt::SpmtOptions sopts;
+        sopts.iterations = opts.simulate_iterations;
+        sopts.keep_memory = false;
+        const spmt::SpmtStats stats =
+            spmt::run_spmt(job.loop, kp, job.cfg, streams, sopts).stats;
+        r.sim_cycles = stats.total_cycles;
+        r.sim_misspecs = stats.misspeculations;
+        r.sim_sync_stalls = stats.sync_stall_cycles;
+      }
+    }
+
+    if (opts.run_oracle) {
+      check::OracleOptions oopts;
+      oopts.iterations = opts.oracle_iterations;
+      oopts.stream_seed = job_stream_seed(opts.seed ^ 0x07ac1e0ULL, index);
+      const check::OracleReport oracle =
+          check::run_differential_oracle(job.loop, sl->schedule, job.cfg, oopts);
+      if (!oracle.ok()) {
+        r.status = JobStatus::kOracleFail;
+        r.detail = "oracle: " + oracle.to_string();
+        r.wall_ms = ms_since(start);
+        return r;
+      }
+    }
+
+    r.status = JobStatus::kOk;
+  } catch (const std::exception& ex) {
+    r.status = JobStatus::kError;
+    r.detail = ex.what();
+  } catch (...) {
+    r.status = JobStatus::kError;
+    r.detail = "unknown exception";
+  }
+  r.wall_ms = ms_since(start);
+  return r;
+}
+
+void emit_result(support::JsonWriter& w, const JobResult& r, bool include_volatile) {
+  w.begin_object();
+  w.member("name", r.name);
+  w.member("scheduler", r.scheduler);
+  w.member("status", std::string(to_string(r.status)));
+  w.member("detail", r.detail);
+  const bool scheduled = r.status == JobStatus::kOk || r.status == JobStatus::kValidateFail ||
+                         r.status == JobStatus::kOracleFail;
+  if (scheduled) {
+    w.key("metrics").begin_object();
+    w.member("instrs", r.metrics.num_instrs);
+    w.member("mii", r.metrics.mii);
+    w.member("ii", r.metrics.ii);
+    w.member("max_live", r.metrics.max_live);
+    w.member("c_delay", r.metrics.c_delay);
+    w.member("stages", r.metrics.stages);
+    w.member("copies", r.metrics.copies);
+    w.member("comm_pairs", r.metrics.comm_pairs);
+    w.member("misspec_probability", r.metrics.misspec_probability);
+    w.end_object();
+  } else {
+    w.key("metrics").value_null();
+  }
+  if (r.sim_cycles >= 0) {
+    w.key("sim").begin_object();
+    w.member("cycles", r.sim_cycles);
+    w.member("misspeculations", r.sim_misspecs);
+    w.member("sync_stall_cycles", r.sim_sync_stalls);
+    w.end_object();
+  }
+  if (include_volatile) {
+    w.member("cache_hit", r.cache_hit);
+    w.member("wall_ms", r.wall_ms);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string_view to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kScheduleFail: return "schedule-fail";
+    case JobStatus::kValidateFail: return "validate-fail";
+    case JobStatus::kOracleFail: return "oracle-fail";
+    case JobStatus::kError: return "error";
+  }
+  return "?";
+}
+
+int BatchReport::count(JobStatus s) const {
+  int n = 0;
+  for (const JobResult& r : results) {
+    if (r.status == s) ++n;
+  }
+  return n;
+}
+
+std::string BatchReport::to_text() const {
+  support::TextTable t({"Name", "Sched", "Status", "II", "MII", "MaxLive", "Cdelay", "P_M",
+                        "Cycles", "Cache"});
+  using TT = support::TextTable;
+  for (const JobResult& r : results) {
+    const bool scheduled = r.status != JobStatus::kScheduleFail && r.status != JobStatus::kError;
+    t.add_row({r.name, r.scheduler, std::string(to_string(r.status)),
+               scheduled ? std::to_string(r.metrics.ii) : "-",
+               scheduled ? std::to_string(r.metrics.mii) : "-",
+               scheduled ? std::to_string(r.metrics.max_live) : "-",
+               scheduled ? std::to_string(r.metrics.c_delay) : "-",
+               scheduled ? TT::num(r.metrics.misspec_probability, 4) : "-",
+               r.sim_cycles >= 0 ? std::to_string(r.sim_cycles) : "-",
+               r.cache_hit ? "hit" : "miss"});
+  }
+  std::string out = t.render();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "\n%zu job(s): %d ok, %d schedule-fail, %d validate-fail, %d oracle-fail, "
+                "%d error; %d thread(s), %.1f ms\n",
+                results.size(), count(JobStatus::kOk), count(JobStatus::kScheduleFail),
+                count(JobStatus::kValidateFail), count(JobStatus::kOracleFail),
+                count(JobStatus::kError), threads, wall_ms);
+  out += buf;
+  const std::uint64_t probes = cache.hits() + cache.misses;
+  if (probes > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "cache: %.1f%% hit rate (%llu memory + %llu disk hit(s), %llu miss(es), "
+                  "%llu eviction(s), %llu corrupt entr%s rejected)\n",
+                  100.0 * cache.hit_rate(), (unsigned long long)cache.memory_hits,
+                  (unsigned long long)cache.disk_hits, (unsigned long long)cache.misses,
+                  (unsigned long long)cache.evictions, (unsigned long long)cache.disk_rejects,
+                  cache.disk_rejects == 1 ? "y" : "ies");
+    out += buf;
+  }
+  return out;
+}
+
+std::string BatchReport::to_json(bool include_volatile) const {
+  support::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "tmsbatch-v1");
+  w.key("jobs").begin_array();
+  for (const JobResult& r : results) emit_result(w, r, include_volatile);
+  w.end_array();
+
+  support::RunningStat ii, c_delay, misspec;
+  for (const JobResult& r : results) {
+    if (r.status != JobStatus::kOk) continue;
+    ii.add(r.metrics.ii);
+    c_delay.add(r.metrics.c_delay);
+    misspec.add(r.metrics.misspec_probability);
+  }
+  w.key("summary").begin_object();
+  w.member("jobs", static_cast<std::int64_t>(results.size()));
+  w.member("ok", count(JobStatus::kOk));
+  w.member("schedule_fail", count(JobStatus::kScheduleFail));
+  w.member("validate_fail", count(JobStatus::kValidateFail));
+  w.member("oracle_fail", count(JobStatus::kOracleFail));
+  w.member("error", count(JobStatus::kError));
+  w.member("ii_mean", ii.mean());
+  w.member("ii_max", ii.max());
+  w.member("c_delay_mean", c_delay.mean());
+  w.member("c_delay_max", c_delay.max());
+  w.member("misspec_probability_mean", misspec.mean());
+  w.end_object();
+
+  if (include_volatile) {
+    w.key("timing").begin_object();
+    w.member("wall_ms", wall_ms);
+    w.member("threads", threads);
+    w.end_object();
+    w.key("cache").begin_object();
+    w.member("memory_hits", cache.memory_hits);
+    w.member("disk_hits", cache.disk_hits);
+    w.member("misses", cache.misses);
+    w.member("inserts", cache.inserts);
+    w.member("evictions", cache.evictions);
+    w.member("disk_rejects", cache.disk_rejects);
+    w.member("hit_rate", cache.hit_rate());
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+BatchReport run_batch(const std::vector<BatchJob>& jobs, const machine::MachineModel& mach,
+                      const BatchOptions& opts, ScheduleCache* cache) {
+  const Clock::time_point start = Clock::now();
+  BatchReport report;
+  report.results.resize(jobs.size());
+
+  JobPool pool(opts.jobs);
+  report.threads = pool.threads();
+  pool.run(jobs.size(), [&](std::size_t i) {
+    report.results[i] = run_single(jobs[i], mach, opts, cache, i);
+  });
+
+  if (cache != nullptr) report.cache = cache->stats();
+  report.wall_ms = ms_since(start);
+  return report;
+}
+
+}  // namespace tms::driver

@@ -1,0 +1,126 @@
+#include "driver/job_pool.hpp"
+
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/assert.hpp"
+
+namespace tms::driver {
+
+bool StealDeque::pop(std::size_t& out) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  bottom_.store(b, std::memory_order_relaxed);
+  // The fence orders the bottom_ store against the top_ load below; a
+  // concurrent thief issues the mirror-image fence in steal(), so at
+  // least one of the two sees the other's write and they cannot both
+  // claim the last element without going through the CAS.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  if (t <= b) {
+    out = buf_[static_cast<std::size_t>(b)];
+    if (t == b) {
+      // Last element: race the thieves for it.
+      const bool won = top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                                    std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+  bottom_.store(b + 1, std::memory_order_relaxed);  // deque was empty; restore
+  return false;
+}
+
+StealDeque::Steal StealDeque::steal(std::size_t& out) {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return Steal::kEmpty;
+  // Safe to read before the CAS: the buffer is immutable while workers
+  // run, so a lost race only means `job` goes unused.
+  const std::size_t job = buf_[static_cast<std::size_t>(t)];
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return Steal::kLost;
+  }
+  out = job;
+  return Steal::kStole;
+}
+
+JobPool::JobPool(int threads) : threads_(threads > 0 ? threads : default_threads()) {}
+
+int JobPool::default_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+void JobPool::run(std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const int nworkers = threads_;
+
+  // std::deque: StealDeque holds atomics and is neither movable nor
+  // copyable, and deque never relocates its elements.
+  std::deque<StealDeque> deques;
+  const std::size_t per_worker =
+      (count + static_cast<std::size_t>(nworkers) - 1) / static_cast<std::size_t>(nworkers);
+  for (int w = 0; w < nworkers; ++w) deques.emplace_back(per_worker);
+  for (std::size_t i = 0; i < count; ++i) {
+    deques[i % static_cast<std::size_t>(nworkers)].seed(i);
+  }
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&](int id) {
+    auto execute = [&](std::size_t job) {
+      try {
+        body(job);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
+    for (;;) {
+      std::size_t job;
+      if (deques[static_cast<std::size_t>(id)].pop(job)) {
+        execute(job);
+        continue;
+      }
+      // Own deque drained: sweep the others. Exit only after a full
+      // sweep in which every deque reported empty — a lost CAS means
+      // work may remain, so sweep again.
+      bool all_empty = true;
+      bool stole = false;
+      for (int k = 1; k < nworkers && !stole; ++k) {
+        const int victim = (id + k) % nworkers;
+        switch (deques[static_cast<std::size_t>(victim)].steal(job)) {
+          case StealDeque::Steal::kStole:
+            stole = true;
+            break;
+          case StealDeque::Steal::kLost:
+            all_empty = false;
+            break;
+          case StealDeque::Steal::kEmpty:
+            break;
+        }
+      }
+      if (stole) {
+        execute(job);
+        continue;
+      }
+      if (all_empty) return;  // no queued work anywhere; jobs never respawn
+    }
+  };
+
+  std::vector<std::thread> helpers;
+  helpers.reserve(static_cast<std::size_t>(nworkers - 1));
+  for (int id = 1; id < nworkers; ++id) helpers.emplace_back(worker, id);
+  worker(0);
+  for (std::thread& t : helpers) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tms::driver

@@ -1,0 +1,88 @@
+// Work-stealing thread pool for batch compilation jobs.
+//
+// The driver's workloads are embarrassingly parallel — every (loop,
+// config, scheduler) triple is an independent pipeline run — but their
+// costs are wildly uneven (a 102-instruction lucas loop takes orders of
+// magnitude longer to schedule than an 8-instruction kernel), so static
+// partitioning leaves cores idle. JobPool therefore deals jobs round-robin
+// into per-worker deques and lets idle workers steal from the busy ones.
+//
+// The deque is a fixed-buffer variant of the Chase-Lev work-stealing
+// deque (Le/Pop/Cohen/Nardelli, PPoPP'13 orderings): because every job is
+// seeded before the workers start and jobs never spawn jobs, the buffer
+// is immutable while threads run — no growing, no index recycling, and
+// the classic ABA hazards disappear. The owner pops LIFO from the bottom;
+// thieves CAS the top (the lock-free steal path). Termination is
+// likewise simple: a worker exits after a full sweep of every deque finds
+// them all empty (a lost CAS race forces a re-sweep, so no job can be
+// stranded).
+//
+// Determinism contract: run(count, body) invokes body(i) exactly once for
+// every i in [0, count); callers write results into slot i of a
+// pre-sized vector, so result ordering is by submission index no matter
+// which worker ran the job or in what order. body must not submit new
+// jobs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tms::driver {
+
+/// Fixed-capacity single-owner work-stealing deque of job indices.
+/// All seeding happens before concurrent access starts (seeding
+/// happens-before thread creation), so the buffer itself is never
+/// written concurrently — only `top_`/`bottom_` are contended.
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t capacity) { buf_.reserve(capacity); }
+
+  /// Pre-start only: no synchronisation.
+  void seed(std::size_t job) {
+    buf_.push_back(job);
+    bottom_.store(static_cast<std::int64_t>(buf_.size()), std::memory_order_relaxed);
+  }
+
+  /// Owner-only LIFO pop from the bottom.
+  bool pop(std::size_t& out);
+
+  enum class Steal {
+    kStole,  ///< out holds a job
+    kEmpty,  ///< nothing to steal
+    kLost,   ///< lost a CAS race; the deque may still hold work — retry
+  };
+
+  /// Thief-side FIFO steal from the top. Callable from any thread.
+  Steal steal(std::size_t& out);
+
+ private:
+  std::vector<std::size_t> buf_;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+class JobPool {
+ public:
+  /// threads <= 0 selects default_threads().
+  explicit JobPool(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  /// std::thread::hardware_concurrency, clamped to >= 1.
+  static int default_threads();
+
+  /// Runs jobs 0..count-1, each exactly once, across the pool's workers.
+  /// The calling thread acts as worker 0 (so a 1-thread pool runs the
+  /// batch inline, with zero thread overhead and strict submission
+  /// order). If a job throws, the remaining jobs still run and the first
+  /// captured exception is rethrown after every worker has drained.
+  void run(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  int threads_;
+};
+
+}  // namespace tms::driver

@@ -1,0 +1,257 @@
+#include "driver/schedule_cache.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ir/opcode.hpp"
+#include "ir/textio.hpp"
+
+namespace tms::driver {
+
+namespace {
+
+/// Every opcode MachineModel carries a timing for, in enum order. The
+/// timing table is part of the cache key: retuning a latency must
+/// invalidate every schedule computed under the old machine.
+constexpr ir::Opcode kAllOpcodes[] = {
+    ir::Opcode::kIAdd, ir::Opcode::kISub,  ir::Opcode::kIMul,  ir::Opcode::kShift,
+    ir::Opcode::kLogic, ir::Opcode::kCmp,  ir::Opcode::kCMov,  ir::Opcode::kFAdd,
+    ir::Opcode::kFSub, ir::Opcode::kFMul,  ir::Opcode::kFDiv,  ir::Opcode::kFSqrt,
+    ir::Opcode::kFCmp, ir::Opcode::kFCvt,  ir::Opcode::kLoad,  ir::Opcode::kStore,
+    ir::Opcode::kLea,  ir::Opcode::kCopy,  ir::Opcode::kSend,  ir::Opcode::kRecv,
+    ir::Opcode::kSpawn, ir::Opcode::kNop,
+};
+
+void append_machine(std::string& out, const machine::MachineModel& m) {
+  out += "machine issue ";
+  out += std::to_string(m.issue_width());
+  out += " rob ";
+  out += std::to_string(m.rob_entries());
+  out += " fu";
+  for (int c = 0; c < ir::kNumFuClasses; ++c) {
+    out += ' ';
+    out += std::to_string(m.fu_count(static_cast<ir::FuClass>(c)));
+  }
+  out += " timing";
+  for (const ir::Opcode op : kAllOpcodes) {
+    const machine::OpTiming& t = m.timing(op);
+    out += ' ';
+    out += std::to_string(t.latency);
+    out += '/';
+    out += std::to_string(t.occupancy);
+  }
+  out += '\n';
+}
+
+void append_config(std::string& out, const machine::SpmtConfig& c) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "config ncore %d c_spn %d c_ci %d c_inv %d c_reg_com %d send %d hop %d recv %d "
+                "l1i %d l1d %d l2 %d mem %d l1d_geom %d/%d l2_geom %d/%d line %d wb %d mdt %d "
+                "ringq %d\n",
+                c.ncore, c.c_spn, c.c_ci, c.c_inv, c.c_reg_com, c.send_cycles, c.hop_cycles,
+                c.recv_cycles, c.l1i_hit, c.l1d_hit, c.l2_hit, c.l2_miss, c.l1d_sets, c.l1d_ways,
+                c.l2_sets, c.l2_ways, c.line_bytes, c.spec_write_buffer_entries, c.mdt_entries,
+                c.ring_queue_entries);
+  out += buf;
+}
+
+std::string hex_key(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, key);
+  return buf;
+}
+
+}  // namespace
+
+ScheduleCache::ScheduleCache(std::size_t capacity, std::string disk_dir)
+    : shard_capacity_(std::max<std::size_t>(1, capacity / kShards)), dir_(std::move(disk_dir)) {}
+
+std::string ScheduleCache::key_string(const ir::Loop& loop, const machine::MachineModel& mach,
+                                      const machine::SpmtConfig& cfg,
+                                      std::string_view scheduler) {
+  std::string out = "tms-schedule-key v1\nscheduler ";
+  out += scheduler;
+  out += '\n';
+  append_machine(out, mach);
+  append_config(out, cfg);
+  out += ir::serialise_loop(loop);
+  return out;
+}
+
+std::uint64_t ScheduleCache::key(const ir::Loop& loop, const machine::MachineModel& mach,
+                                 const machine::SpmtConfig& cfg, std::string_view scheduler) {
+  return fnv1a(key_string(loop, mach, cfg, scheduler));
+}
+
+std::uint64_t ScheduleCache::fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::optional<ScheduleCache::Entry> ScheduleCache::lookup(std::uint64_t key, int expect_instrs) {
+  Shard& s = shard(key);
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      if (static_cast<int>(it->second->second.slots.size()) == expect_instrs) {
+        s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
+        memory_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second->second;
+      }
+      // 64-bit collision between different loops: treat as a miss, do
+      // not disturb the resident entry.
+    }
+  }
+  if (!dir_.empty()) {
+    if (auto e = load_from_disk(key, expect_instrs)) {
+      Shard& sh = shard(key);
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      insert_locked(sh, key, *e);
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      return e;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ScheduleCache::insert_locked(Shard& s, std::uint64_t key, const Entry& entry) {
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    it->second->second = entry;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return;
+  }
+  s.lru.emplace_front(key, entry);
+  s.map.emplace(key, s.lru.begin());
+  while (s.lru.size() > shard_capacity_) {
+    s.map.erase(s.lru.back().first);
+    s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ScheduleCache::insert(std::uint64_t key, const Entry& entry) {
+  {
+    Shard& s = shard(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    insert_locked(s, key, entry);
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (!dir_.empty()) store_to_disk(key, entry);
+}
+
+std::string ScheduleCache::entry_path(std::uint64_t key) const {
+  return dir_ + "/" + hex_key(key) + ".tmscache";
+}
+
+std::optional<ScheduleCache::Entry> ScheduleCache::load_from_disk(std::uint64_t key,
+                                                                  int expect_instrs) {
+  std::ifstream in(entry_path(key));
+  if (!in) return std::nullopt;  // absent: a plain miss, not a reject
+
+  const auto reject = [&]() -> std::optional<Entry> {
+    disk_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != "tmscache" || version != "v1") return reject();
+
+  Entry e;
+  std::string field;
+  std::string file_key;
+  std::size_t nslots = 0;
+  bool have_slots = false;
+  bool have_end = false;
+  while (in >> field) {
+    if (field == "key") {
+      if (!(in >> file_key)) return reject();
+    } else if (field == "scheduler") {
+      if (!(in >> e.scheduler)) return reject();
+    } else if (field == "ii") {
+      if (!(in >> e.ii)) return reject();
+    } else if (field == "mii") {
+      if (!(in >> e.mii)) return reject();
+    } else if (field == "c_delay_threshold") {
+      if (!(in >> e.c_delay_threshold)) return reject();
+    } else if (field == "p_max") {
+      if (!(in >> e.p_max)) return reject();
+    } else if (field == "slots") {
+      if (!(in >> nslots)) return reject();
+      e.slots.resize(nslots);
+      for (std::size_t i = 0; i < nslots; ++i) {
+        if (!(in >> e.slots[i])) return reject();
+      }
+      have_slots = true;
+    } else if (field == "end") {
+      have_end = true;
+      break;
+    } else {
+      return reject();  // unknown field: corrupt or future-version file
+    }
+  }
+  if (!have_slots || !have_end) return reject();  // truncated
+  if (file_key != hex_key(key)) return reject();  // renamed/mismatched file
+  if (e.ii <= 0 || e.scheduler.empty()) return reject();
+  if (static_cast<int>(e.slots.size()) != expect_instrs) return reject();
+  return e;
+}
+
+void ScheduleCache::store_to_disk(std::uint64_t key, const Entry& entry) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return;  // persistence is best-effort; memory cache still works
+
+  const std::string path = entry_path(key);
+  const std::string tmp = path + ".tmp" +
+                          std::to_string(tmp_counter_.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp);
+    if (!out) return;
+    out << "tmscache v1\n"
+        << "key " << hex_key(key) << '\n'
+        << "scheduler " << entry.scheduler << '\n'
+        << "ii " << entry.ii << '\n'
+        << "mii " << entry.mii << '\n'
+        << "c_delay_threshold " << entry.c_delay_threshold << '\n';
+    char pbuf[64];
+    std::snprintf(pbuf, sizeof pbuf, "%.17g", entry.p_max);
+    out << "p_max " << pbuf << '\n' << "slots " << entry.slots.size();
+    for (const int slot : entry.slots) out << ' ' << slot;
+    out << "\nend\n";
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  // Atomic publish: readers either see the old complete file or the new
+  // complete file, never a partial write. Last concurrent writer wins.
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const {
+  Stats s;
+  s.memory_hits = memory_hits_.load(std::memory_order_relaxed);
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.disk_rejects = disk_rejects_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace tms::driver

@@ -45,11 +45,11 @@ std::vector<BenchmarkSpec> spec_fp2000_suite() {
   return suite;
 }
 
-std::vector<ir::Loop> generate_benchmark(const BenchmarkSpec& spec) {
+std::vector<ShapedLoop> benchmark_shapes(const BenchmarkSpec& spec) {
   TMS_ASSERT(spec.n_loops > 0);
   support::Rng rng(spec.seed);
-  std::vector<ir::Loop> loops;
-  loops.reserve(static_cast<std::size_t>(spec.n_loops));
+  std::vector<ShapedLoop> out;
+  out.reserve(static_cast<std::size_t>(spec.n_loops));
 
   // Execution-time weights within the benchmark: a few hot loops dominate
   // (power-law-ish), as in real programs.
@@ -78,9 +78,19 @@ std::vector<ir::Loop> generate_benchmark(const BenchmarkSpec& spec) {
     shape.mem_prob_hi = spec.mem_prob_hi;
     shape.fp_fraction = spec.fp_fraction;
     shape.seed = rng.fork_seed();
+    out.push_back({std::move(shape), spec.coverage * weights[static_cast<std::size_t>(i)] / wsum});
+  }
+  return out;
+}
 
-    ir::Loop loop = build_loop(shape);
-    loop.set_coverage(spec.coverage * weights[static_cast<std::size_t>(i)] / wsum);
+std::vector<ir::Loop> generate_benchmark(const BenchmarkSpec& spec) {
+  std::vector<ir::Loop> loops;
+  loops.reserve(static_cast<std::size_t>(spec.n_loops));
+  for (const ShapedLoop& s : benchmark_shapes(spec)) {
+    // build_loop draws only from the shape's forked seed, so this step is
+    // pure per shape and parallelises (see bench/harness, driver/batch).
+    ir::Loop loop = build_loop(s.shape);
+    loop.set_coverage(s.coverage);
     loops.push_back(std::move(loop));
   }
   return loops;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ir/loop.hpp"
+#include "workloads/builder.hpp"
 
 namespace tms::workloads {
 
@@ -45,8 +46,24 @@ struct BenchmarkSpec {
 /// The 13 benchmarks of Table 2 with calibrated parameters.
 std::vector<BenchmarkSpec> spec_fp2000_suite();
 
-/// Generates the benchmark's loop family. Each loop's coverage() is its
-/// share of whole-program time (they sum to the benchmark's coverage).
+/// One loop of a benchmark family, before construction: the shape plus
+/// the loop's coverage share.
+struct ShapedLoop {
+  LoopShape shape;
+  double coverage = 0.0;
+};
+
+/// Derives the benchmark's loop shapes from its seed. This is the cheap,
+/// inherently serial part of generation (one shared RNG stream per
+/// benchmark); the expensive build_loop step consumes only the forked
+/// per-loop seed inside each shape, so callers — the batch driver, the
+/// bench harness — can build the loops in parallel with one private RNG
+/// per job instead of sharing a generator across jobs.
+std::vector<ShapedLoop> benchmark_shapes(const BenchmarkSpec& spec);
+
+/// Generates the benchmark's loop family (benchmark_shapes + build_loop).
+/// Each loop's coverage() is its share of whole-program time (they sum to
+/// the benchmark's coverage).
 std::vector<ir::Loop> generate_benchmark(const BenchmarkSpec& spec);
 
 }  // namespace tms::workloads

@@ -1,0 +1,290 @@
+// tmsbatch — parallel batch compiler for loop workloads.
+//
+// Compiles (schedule + validate + optionally simulate) a whole workload
+// suite, a directory of .loop files, or explicit .loop files on a
+// work-stealing JobPool, consulting a content-addressed schedule cache so
+// repeated sweeps hit instead of recompute. The canonical JSON report
+// (--stable-json) is byte-identical across --jobs values and cache
+// states; see docs/DRIVER.md.
+//
+// Usage:
+//   tmsbatch [loop files...] [options]
+//     --suite kernels|doacross|spec|all  add a built-in workload suite
+//                                        (default when no input is given:
+//                                         kernels + doacross)
+//     --dir DIR                add every *.loop file under DIR (sorted)
+//     --schedulers LIST        comma list of sms,ims,tms  (default tms)
+//     --jobs N                 worker threads             (default ncpu)
+//     --cache-dir DIR          persistent schedule cache on disk
+//     --cache-capacity N       in-memory cache entries    (default 65536)
+//     --no-cache               disable the schedule cache entirely
+//     --json PATH              write the JSON report to PATH
+//     --stable-json            omit volatile fields (timings, cache info)
+//                              from the JSON report
+//     --simulate N             simulate N iterations per loop on the SpMT
+//                              machine                    (default 0 = off)
+//     --oracle N               run the differential oracle with N
+//                              iterations per loop        (default off)
+//     --no-validate            skip the independent schedule validator
+//     --ncore N                cores of the SpMT machine  (default 4)
+//     --seed S                 batch seed for simulation/oracle streams
+//     --quiet                  print only the summary, not the per-job table
+//
+// Exit status: 0 when every job is ok, 1 when any job failed, 2 on usage
+// errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/batch.hpp"
+#include "driver/job_pool.hpp"
+#include "driver/schedule_cache.hpp"
+#include "ir/textio.hpp"
+#include "workloads/builder.hpp"
+#include "workloads/doacross.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/spec_suite.hpp"
+
+using namespace tms;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [loop files...] [--suite kernels|doacross|spec|all] [--dir DIR]\n"
+               "          [--schedulers sms,ims,tms] [--jobs N] [--cache-dir DIR]\n"
+               "          [--cache-capacity N] [--no-cache] [--json PATH] [--stable-json]\n"
+               "          [--simulate N] [--oracle N] [--no-validate] [--ncore N] [--seed S]\n"
+               "          [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = (comma == std::string::npos) ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct NamedLoop {
+  std::string name;
+  ir::Loop loop{"unnamed"};
+};
+
+bool load_loop_file(const std::string& path, std::vector<NamedLoop>& out) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  auto parsed = ir::parse_loop(file);
+  if (const auto* err = std::get_if<ir::ParseError>(&parsed)) {
+    std::fprintf(stderr, "%s:%d: %s\n", path.c_str(), err->line, err->message.c_str());
+    return false;
+  }
+  NamedLoop nl;
+  nl.loop = std::get<ir::Loop>(std::move(parsed));
+  nl.name = std::filesystem::path(path).stem().string();
+  out.push_back(std::move(nl));
+  return true;
+}
+
+void add_kernels(std::vector<NamedLoop>& out) {
+  for (workloads::Kernel& k : workloads::classic_kernels()) {
+    out.push_back({k.loop.name(), std::move(k.loop)});
+  }
+}
+
+void add_doacross(std::vector<NamedLoop>& out) {
+  for (workloads::SelectedLoop& sel : workloads::doacross_selected_loops()) {
+    out.push_back({sel.benchmark + "/" + sel.loop.name(), std::move(sel.loop)});
+  }
+}
+
+void add_spec_suite(std::vector<NamedLoop>& out, int jobs) {
+  // Shape derivation is serial; the 778 build_loop calls parallelise with
+  // one private RNG per job (the shape's forked seed).
+  struct Item {
+    std::string bench;
+    workloads::ShapedLoop shaped;
+  };
+  std::vector<Item> items;
+  for (const workloads::BenchmarkSpec& spec : workloads::spec_fp2000_suite()) {
+    for (workloads::ShapedLoop& s : workloads::benchmark_shapes(spec)) {
+      items.push_back({spec.name, std::move(s)});
+    }
+  }
+  const std::size_t base = out.size();
+  out.resize(base + items.size());
+  driver::JobPool pool(jobs);
+  pool.run(items.size(), [&](std::size_t i) {
+    ir::Loop loop = workloads::build_loop(items[i].shaped.shape);
+    loop.set_coverage(items[i].shaped.coverage);
+    out[base + i] = {items[i].bench + "/" + loop.name(), std::move(loop)};
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> suites;
+  std::vector<std::string> dirs;
+  std::vector<std::string> schedulers = {"tms"};
+  driver::BatchOptions opts;
+  std::string cache_dir;
+  std::size_t cache_capacity = 1 << 16;
+  bool use_cache = true;
+  std::string json_path;
+  bool stable_json = false;
+  int ncore = 4;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--suite") {
+      suites.push_back(next("--suite"));
+    } else if (a == "--dir") {
+      dirs.push_back(next("--dir"));
+    } else if (a == "--schedulers") {
+      schedulers = split_csv(next("--schedulers"));
+    } else if (a == "--jobs") {
+      opts.jobs = std::atoi(next("--jobs"));
+    } else if (a == "--cache-dir") {
+      cache_dir = next("--cache-dir");
+    } else if (a == "--cache-capacity") {
+      cache_capacity = std::strtoull(next("--cache-capacity"), nullptr, 10);
+    } else if (a == "--no-cache") {
+      use_cache = false;
+    } else if (a == "--json") {
+      json_path = next("--json");
+    } else if (a == "--stable-json") {
+      stable_json = true;
+    } else if (a == "--simulate") {
+      opts.simulate_iterations = std::atoll(next("--simulate"));
+    } else if (a == "--oracle") {
+      opts.run_oracle = true;
+      opts.oracle_iterations = std::atoll(next("--oracle"));
+    } else if (a == "--no-validate") {
+      opts.validate = false;
+    } else if (a == "--ncore") {
+      ncore = std::atoi(next("--ncore"));
+    } else if (a == "--seed") {
+      opts.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(a);
+    }
+  }
+  for (const std::string& s : schedulers) {
+    if (s != "sms" && s != "ims" && s != "tms") {
+      std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<NamedLoop> loops;
+  for (const std::string& f : files) {
+    if (!load_loop_file(f, loops)) return 1;
+  }
+  for (const std::string& d : dirs) {
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const auto& entry : std::filesystem::directory_iterator(d, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".loop") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot read directory %s\n", d.c_str());
+      return 1;
+    }
+    std::sort(paths.begin(), paths.end());  // deterministic job order
+    for (const std::string& p : paths) {
+      if (!load_loop_file(p, loops)) return 1;
+    }
+  }
+  if (files.empty() && dirs.empty() && suites.empty()) {
+    suites = {"kernels", "doacross"};  // the curated default workload
+  }
+  for (const std::string& s : suites) {
+    if (s == "kernels") {
+      add_kernels(loops);
+    } else if (s == "doacross") {
+      add_doacross(loops);
+    } else if (s == "spec") {
+      add_spec_suite(loops, opts.jobs);
+    } else if (s == "all") {
+      add_kernels(loops);
+      add_doacross(loops);
+      add_spec_suite(loops, opts.jobs);
+    } else {
+      std::fprintf(stderr, "unknown suite '%s'\n", s.c_str());
+      return 2;
+    }
+  }
+  if (loops.empty()) {
+    std::fprintf(stderr, "no loops to compile\n");
+    return 2;
+  }
+
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  cfg.ncore = ncore;
+
+  std::vector<driver::BatchJob> jobs;
+  jobs.reserve(loops.size() * schedulers.size());
+  for (const NamedLoop& nl : loops) {
+    for (const std::string& scheduler : schedulers) {
+      jobs.push_back({nl.name, nl.loop, cfg, scheduler});
+    }
+  }
+
+  std::optional<driver::ScheduleCache> cache;
+  if (use_cache) cache.emplace(cache_capacity, cache_dir);
+
+  const driver::BatchReport report =
+      driver::run_batch(jobs, mach, opts, cache ? &*cache : nullptr);
+
+  if (!quiet) {
+    std::printf("%s", report.to_text().c_str());
+  } else {
+    std::printf("%zu job(s): %d ok, %d failed; %d thread(s), %.1f ms, cache hit rate %.1f%%\n",
+                report.results.size(), report.count(driver::JobStatus::kOk),
+                static_cast<int>(report.results.size()) - report.count(driver::JobStatus::kOk),
+                report.threads, report.wall_ms, 100.0 * report.cache.hit_rate());
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << report.to_json(/*include_volatile=*/!stable_json) << '\n';
+  }
+
+  return report.count(driver::JobStatus::kOk) == static_cast<int>(report.results.size()) ? 0 : 1;
+}

@@ -7,11 +7,19 @@
 // is shrunk to a 1-minimal reproducer (check/shrink) and written as a
 // .loop file that `tmsc` and the test suite can replay.
 //
+// Runs are independent (each builds its loop from its own seed, with one
+// private RNG per job), so the sweep phase fans out over a
+// driver::JobPool; failure handling — printing, shrinking, reproducer
+// writing — stays single-threaded and walks the results in submission
+// order, so the output and the failure signatures are seed-for-seed
+// identical whatever --jobs is.
+//
 // Usage:
 //   tmsfuzz [--seeds N]        number of seeds to sweep       (default 64)
 //           [--start-seed S]   first seed                     (default 1)
 //           [--iters N]        oracle iterations per run      (default 128)
 //           [--schedulers L]   comma list of sms,ims,tms      (default all)
+//           [--jobs N]         worker threads                 (default ncpu)
 //           [--out DIR]        where reproducers are written  (default .)
 //           [--inject-bug]     perturb each schedule by one cycle after
 //                              scheduling (a synthetic off-by-one in the
@@ -32,6 +40,7 @@
 #include "check/oracle.hpp"
 #include "check/shrink.hpp"
 #include "check/validate.hpp"
+#include "driver/job_pool.hpp"
 #include "ir/textio.hpp"
 #include "sched/ims.hpp"
 #include "sched/sms.hpp"
@@ -48,6 +57,7 @@ struct FuzzOptions {
   std::uint64_t start_seed = 1;
   std::int64_t iters = 128;
   std::vector<std::string> schedulers = {"sms", "ims", "tms"};
+  int jobs = 0;  ///< 0 = hardware_concurrency
   std::string out_dir = ".";
   bool inject_bug = false;
   bool verbose = false;
@@ -167,7 +177,7 @@ std::string failure_signature(const std::string& msg) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seeds N] [--start-seed S] [--iters N] [--out DIR]\n"
+               "usage: %s [--seeds N] [--start-seed S] [--iters N] [--jobs N] [--out DIR]\n"
                "          [--schedulers sms,ims,tms] [--inject-bug] [--verbose]\n",
                argv0);
   return 2;
@@ -207,6 +217,8 @@ int main(int argc, char** argv) {
       opt.iters = std::atoll(next("--iters"));
     } else if (a == "--schedulers") {
       opt.schedulers = split_csv(next("--schedulers"));
+    } else if (a == "--jobs") {
+      opt.jobs = std::atoi(next("--jobs"));
     } else if (a == "--out") {
       opt.out_dir = next("--out");
     } else if (a == "--inject-bug") {
@@ -225,61 +237,90 @@ int main(int argc, char** argv) {
   }
 
   const machine::MachineModel mach;
-  std::uint64_t runs = 0;
-  std::uint64_t failures = 0;
 
+  // Enumerate every (seed, config, scheduler) run up front, in the same
+  // nesting order the serial sweep used; the sweep then fans out on the
+  // JobPool with results landing at their submission index.
+  struct RunSpec {
+    std::uint64_t seed = 0;
+    std::size_t cfg_index = 0;
+    std::string scheduler;
+  };
+  std::vector<RunSpec> specs;
   for (std::uint64_t seed = opt.start_seed; seed < opt.start_seed + opt.seeds; ++seed) {
-    const ir::Loop loop = workloads::build_loop(fuzz_shape(seed));
-    for (const machine::SpmtConfig& cfg : config_grid(seed)) {
+    const std::size_t ncfg = config_grid(seed).size();
+    for (std::size_t c = 0; c < ncfg; ++c) {
       for (const std::string& scheduler : opt.schedulers) {
-        ++runs;
-        const auto failure =
-            run_one(loop, mach, cfg, scheduler, opt.iters, opt.inject_bug);
-        if (opt.verbose) {
-          std::printf("seed %llu ncore %d %s: %s\n", (unsigned long long)seed, cfg.ncore,
-                      scheduler.c_str(), failure.has_value() ? "FAIL" : "ok");
-        }
-        if (!failure.has_value()) continue;
-        ++failures;
-        std::printf("FAILURE seed %llu, ncore %d, c_reg_com %d, scheduler %s:\n%s\n",
-                    (unsigned long long)seed, cfg.ncore, cfg.c_reg_com, scheduler.c_str(),
-                    failure->c_str());
-
-        // Shrink: keep dropping instructions/edges while the same
-        // pipeline (same scheduler, config, injection setting) fails
-        // with the same failure signature.
-        const std::string sig = failure_signature(*failure);
-        const ir::Loop shrunk = check::shrink_loop(loop, [&](const ir::Loop& candidate) {
-          const auto f = run_one(candidate, mach, cfg, scheduler, opt.iters, opt.inject_bug);
-          return f.has_value() && failure_signature(*f) == sig;
-        });
-        const std::string path = opt.out_dir + "/tmsfuzz_" + std::to_string(seed) + "_" +
-                                 scheduler + ".loop";
-        std::ofstream out(path);
-        if (!out) {
-          std::fprintf(stderr, "cannot write reproducer %s\n", path.c_str());
-          continue;
-        }
-        out << "# tmsfuzz reproducer: seed " << seed << ", scheduler " << scheduler
-            << ", ncore " << cfg.ncore << ", c_reg_com " << cfg.c_reg_com
-            << (opt.inject_bug ? ", injected off-by-one" : "") << "\n"
-            << "# replay: tmsc <this file> --scheduler " << scheduler << " --ncore "
-            << cfg.ncore << " --simulate " << opt.iters << "\n"
-            << ir::serialise_loop(shrunk);
-        std::printf("  shrunk %d -> %d instrs, %zu -> %zu deps; reproducer: %s\n",
-                    loop.num_instrs(), shrunk.num_instrs(), loop.deps().size(),
-                    shrunk.deps().size(), path.c_str());
-        const auto shrunk_failure =
-            run_one(shrunk, mach, cfg, scheduler, opt.iters, opt.inject_bug);
-        if (shrunk_failure.has_value()) {
-          std::printf("  shrunk failure: %s\n", shrunk_failure->c_str());
-        }
+        specs.push_back({seed, c, scheduler});
       }
     }
   }
 
-  std::printf("tmsfuzz: %llu run(s) over %llu seed(s), %llu failure(s)%s\n",
-              (unsigned long long)runs, (unsigned long long)opt.seeds,
-              (unsigned long long)failures, opt.inject_bug ? " [bug injection on]" : "");
+  // Each job is pure in its spec: the loop is rebuilt from the seed with
+  // a job-private RNG, so nothing is shared across jobs and the outcome
+  // vector is identical at --jobs 1 and --jobs 8.
+  std::vector<std::optional<std::string>> outcomes(specs.size());
+  driver::JobPool pool(opt.jobs);
+  pool.run(specs.size(), [&](std::size_t i) {
+    const RunSpec& spec = specs[i];
+    const ir::Loop loop = workloads::build_loop(fuzz_shape(spec.seed));
+    const machine::SpmtConfig cfg = config_grid(spec.seed)[spec.cfg_index];
+    outcomes[i] = run_one(loop, mach, cfg, spec.scheduler, opt.iters, opt.inject_bug);
+  });
+
+  // Reporting and shrinking stay single-threaded, in submission order:
+  // the shrinker's predicate reruns the pipeline many times and its
+  // signature check must match the original failure, not a concurrent
+  // one's.
+  std::uint64_t failures = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const RunSpec& spec = specs[i];
+    const std::optional<std::string>& failure = outcomes[i];
+    const machine::SpmtConfig cfg = config_grid(spec.seed)[spec.cfg_index];
+    if (opt.verbose) {
+      std::printf("seed %llu ncore %d %s: %s\n", (unsigned long long)spec.seed, cfg.ncore,
+                  spec.scheduler.c_str(), failure.has_value() ? "FAIL" : "ok");
+    }
+    if (!failure.has_value()) continue;
+    ++failures;
+    std::printf("FAILURE seed %llu, ncore %d, c_reg_com %d, scheduler %s:\n%s\n",
+                (unsigned long long)spec.seed, cfg.ncore, cfg.c_reg_com,
+                spec.scheduler.c_str(), failure->c_str());
+
+    // Shrink: keep dropping instructions/edges while the same pipeline
+    // (same scheduler, config, injection setting) fails with the same
+    // failure signature.
+    const ir::Loop loop = workloads::build_loop(fuzz_shape(spec.seed));
+    const std::string sig = failure_signature(*failure);
+    const ir::Loop shrunk = check::shrink_loop(loop, [&](const ir::Loop& candidate) {
+      const auto f = run_one(candidate, mach, cfg, spec.scheduler, opt.iters, opt.inject_bug);
+      return f.has_value() && failure_signature(*f) == sig;
+    });
+    const std::string path = opt.out_dir + "/tmsfuzz_" + std::to_string(spec.seed) + "_" +
+                             spec.scheduler + ".loop";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write reproducer %s\n", path.c_str());
+      continue;
+    }
+    out << "# tmsfuzz reproducer: seed " << spec.seed << ", scheduler " << spec.scheduler
+        << ", ncore " << cfg.ncore << ", c_reg_com " << cfg.c_reg_com
+        << (opt.inject_bug ? ", injected off-by-one" : "") << "\n"
+        << "# replay: tmsc <this file> --scheduler " << spec.scheduler << " --ncore "
+        << cfg.ncore << " --simulate " << opt.iters << "\n"
+        << ir::serialise_loop(shrunk);
+    std::printf("  shrunk %d -> %d instrs, %zu -> %zu deps; reproducer: %s\n",
+                loop.num_instrs(), shrunk.num_instrs(), loop.deps().size(),
+                shrunk.deps().size(), path.c_str());
+    const auto shrunk_failure =
+        run_one(shrunk, mach, cfg, spec.scheduler, opt.iters, opt.inject_bug);
+    if (shrunk_failure.has_value()) {
+      std::printf("  shrunk failure: %s\n", shrunk_failure->c_str());
+    }
+  }
+
+  std::printf("tmsfuzz: %zu run(s) over %llu seed(s), %llu failure(s)%s\n", specs.size(),
+              (unsigned long long)opt.seeds, (unsigned long long)failures,
+              opt.inject_bug ? " [bug injection on]" : "");
   return failures == 0 ? 0 : 1;
 }
