@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    bench::append_counters(w);
     w.end_object();
     if (!bench::write_text_file(json_path, w.str() + "\n")) return 1;
   }

@@ -7,8 +7,10 @@
 
 #include "codegen/kernel_program.hpp"
 #include "driver/job_pool.hpp"
+#include "obs/counters.hpp"
 #include "spmt/address.hpp"
 #include "support/assert.hpp"
+#include "support/json.hpp"
 #include "workloads/builder.hpp"
 #include "workloads/doacross.hpp"
 #include "workloads/spec_suite.hpp"
@@ -155,6 +157,11 @@ bool write_text_file(const std::string& path, const std::string& text) {
   }
   out << text;
   return static_cast<bool>(out);
+}
+
+void append_counters(support::JsonWriter& w) {
+  w.key("observability");
+  obs::write_counters_json(w, obs::counters_snapshot());
 }
 
 }  // namespace tms::bench

@@ -20,6 +20,10 @@
 #include "spmt/sim.hpp"
 #include "spmt/single_core.hpp"
 
+namespace tms::support {
+class JsonWriter;
+}
+
 namespace tms::bench {
 
 /// One loop scheduled both ways. The loop is heap-owned so Schedule's
@@ -92,5 +96,11 @@ const char* json_path_arg(int argc, char** argv);
 /// Writes `text` to `path`; returns false (with a message on stderr) on
 /// failure. Used by the bench binaries' --json emitters.
 bool write_text_file(const std::string& path, const std::string& text);
+
+/// Appends an "observability" member — the full process counter snapshot
+/// (obs/counters) — to an open JSON object. Called by the bench binaries'
+/// --json emitters so trajectory files carry the work counters (slots
+/// tried, squashes, sync stalls, ...) alongside the results.
+void append_counters(support::JsonWriter& w);
 
 }  // namespace tms::bench

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "codegen/kernel_program.hpp"
+#include "obs/trace.hpp"
 #include "spmt/address.hpp"
 #include "spmt/reference.hpp"
 #include "spmt/single_core.hpp"
@@ -40,6 +41,8 @@ OracleReport run_differential_oracle(const ir::Loop& loop, const sched::Schedule
                                      const OracleOptions& opts) {
   OracleReport report;
   Reporter r(report);
+  TMS_TRACE_SPAN(span, "check", "oracle.run");
+  TMS_TRACE_SPAN_ARG(span, obs::targ("iterations", opts.iterations));
   const std::int64_t n = opts.iterations;
 
   const spmt::AddressStreams streams = spmt::default_streams(loop, opts.stream_seed);

@@ -6,8 +6,22 @@
 #include <set>
 #include <sstream>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace tms::check {
 namespace {
+
+/// Flushes validation counters whichever return path is taken.
+struct ValidationScope {
+  const CheckReport& report;
+  explicit ValidationScope(const CheckReport& r) : report(r) {}
+  ~ValidationScope() {
+    obs::Counters& c = obs::counters();
+    c.check_validations.add(1);
+    c.check_violations.add(report.violations.size());
+  }
+};
 
 /// Re-derivation of the per-edge scheduling delay (kept independent of
 /// sched/dep_delay.hpp on purpose): flow covers the producer latency,
@@ -85,6 +99,8 @@ std::string CheckReport::to_string() const {
 CheckReport validate_schedule(const sched::Schedule& sched, const machine::SpmtConfig& cfg,
                               const CheckOptions& opts) {
   CheckReport report;
+  ValidationScope scope(report);
+  TMS_TRACE_SPAN(span, "check", "validate.schedule");
   Checker c(report);
   const ir::Loop& loop = sched.loop();
   const machine::MachineModel& mach = sched.machine();
@@ -247,6 +263,8 @@ CheckReport validate_kernel_program(const codegen::KernelProgram& kp,
                                     const sched::Schedule& sched,
                                     const machine::SpmtConfig& cfg) {
   CheckReport report;
+  ValidationScope scope(report);
+  TMS_TRACE_SPAN(span, "check", "validate.kernel");
   Checker c(report);
   const ir::Loop& loop = sched.loop();
   const machine::MachineModel& mach = sched.machine();

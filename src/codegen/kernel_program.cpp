@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ir/graph.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 
 namespace tms::codegen {
@@ -10,6 +12,9 @@ namespace tms::codegen {
 KernelProgram lower_kernel(const sched::Schedule& sched, const machine::SpmtConfig& cfg) {
   TMS_ASSERT(sched.complete());
   TMS_ASSERT_MSG(!sched.validate().has_value(), "cannot lower an invalid schedule");
+  obs::counters().codegen_lowerings.add(1);
+  TMS_TRACE_SPAN(span, "codegen", "lower_kernel");
+  TMS_TRACE_SPAN_ARG(span, obs::targ("ii", sched.ii()), obs::targ("stages", sched.stage_count()));
   const ir::Loop& loop = sched.loop();
   const machine::MachineModel& mach = sched.machine();
 

@@ -1,6 +1,7 @@
 #include "cost/cost_model.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "support/assert.hpp"
 
@@ -35,6 +36,25 @@ double t_mis_spec(int ii, int c_delay, double p_m, const machine::SpmtConfig& cf
 double estimate_execution_time(int ii, int c_delay, double p_m, const machine::SpmtConfig& cfg,
                                long long n_iters) {
   return t_nomiss(ii, c_delay, cfg, n_iters) + t_mis_spec(ii, c_delay, p_m, cfg, n_iters);
+}
+
+std::string f_breakdown(int ii, int c_delay, double p_m, const machine::SpmtConfig& cfg) {
+  const int serial = std::max({cfg.c_spn, cfg.c_ci, c_delay});
+  const double lb = thread_lower_bound(ii, c_delay, cfg);
+  const double throughput = lb / cfg.ncore;
+  const double f = per_iter_nomiss(ii, c_delay, cfg);
+  const bool serial_bound = static_cast<double>(serial) >= throughput;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "F(II=%d, C_delay=%d) = max(max(C_spn=%d, C_ci=%d, C_delay=%d) = %d, "
+                "(II + C_ci + max(C_spn, C_delay)) / ncore = %.2f/%d = %.2f) = %.2f "
+                "cycles/iter (%s-bound)\n"
+                "T_misspec/iter = (II + C_inv - max(0, C_delay - C_spn)) * P_M = %.2f * %.4f = "
+                "%.4f cycles/iter",
+                ii, c_delay, cfg.c_spn, cfg.c_ci, c_delay, serial, lb, cfg.ncore, throughput, f,
+                serial_bound ? "serial" : "throughput", misspec_penalty(ii, c_delay, cfg), p_m,
+                misspec_penalty(ii, c_delay, cfg) * p_m);
+  return buf;
 }
 
 }  // namespace tms::cost

@@ -13,6 +13,8 @@
 // schedule-dependent inputs (C_delay, P_M) come from sched::Schedule.
 #pragma once
 
+#include <string>
+
 #include "machine/spmt_config.hpp"
 
 namespace tms::cost {
@@ -36,5 +38,10 @@ double t_mis_spec(int ii, int c_delay, double p_m, const machine::SpmtConfig& cf
 /// Full model: T = T_nomiss + T_mis_spec.
 double estimate_execution_time(int ii, int c_delay, double p_m, const machine::SpmtConfig& cfg,
                                long long n_iters);
+
+/// Term-by-term rendering of the per-iteration cost at (ii, c_delay, p_m)
+/// — which term of Eq. 2 binds, and the misspeculation penalty — for the
+/// tmsbatch --explain narrative.
+std::string f_breakdown(int ii, int c_delay, double p_m, const machine::SpmtConfig& cfg);
 
 }  // namespace tms::cost

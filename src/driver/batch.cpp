@@ -8,6 +8,7 @@
 #include "check/validate.hpp"
 #include "codegen/kernel_program.hpp"
 #include "driver/job_pool.hpp"
+#include "obs/trace.hpp"
 #include "sched/ims.hpp"
 #include "sched/sms.hpp"
 #include "sched/tms.hpp"
@@ -101,6 +102,15 @@ ScheduleCache::Entry to_entry(const ScheduledLoop& sl, const std::string& schedu
 JobResult run_single(const BatchJob& job, const machine::MachineModel& mach,
                      const BatchOptions& opts, ScheduleCache* cache, std::size_t index) {
   const Clock::time_point start = Clock::now();
+  // Logical position for every event this job records: one context per
+  // submission index, whichever worker thread runs it — this is what
+  // makes the canonical trace thread-count-invariant.
+  obs::ScopedContext ctx(obs::kCtxJob, static_cast<std::int32_t>(index));
+  TMS_TRACE_SPAN(span, "driver", "driver.job");
+  TMS_TRACE_SPAN_ARG(span, obs::targ("name", obs::intern(job.name)),
+                     obs::targ("scheduler", obs::intern(job.scheduler)),
+                     obs::targ("index", index));
+  obs::counters().driver_jobs.add(1);
   JobResult r;
   r.name = job.name;
   r.scheduler = job.scheduler;
@@ -122,6 +132,8 @@ JobResult run_single(const BatchJob& job, const machine::MachineModel& mach,
         // A well-formed but semantically corrupt entry falls through to
         // a fresh schedule below and is overwritten on insert.
       }
+      obs::counters().driver_cache_hits.add(sl.has_value() ? 1 : 0);
+      obs::counters().driver_cache_misses.add(sl.has_value() ? 0 : 1);
     }
     if (!sl.has_value()) {
       sl = schedule_fresh(job.loop, mach, job.cfg, job.scheduler);
@@ -131,7 +143,10 @@ JobResult run_single(const BatchJob& job, const machine::MachineModel& mach,
         r.wall_ms = ms_since(start);
         return r;
       }
-      if (cache != nullptr) cache->insert(key, to_entry(*sl, job.scheduler));
+      if (cache != nullptr) {
+        cache->insert(key, to_entry(*sl, job.scheduler));
+        obs::counters().driver_schedules_cached.add(1);
+      }
     }
 
     r.metrics = sched::measure(sl->schedule, job.cfg);
@@ -155,7 +170,10 @@ JobResult run_single(const BatchJob& job, const machine::MachineModel& mach,
             r.wall_ms = ms_since(start);
             return r;
           }
-          if (cache != nullptr) cache->insert(key, to_entry(*sl, job.scheduler));
+          if (cache != nullptr) {
+            cache->insert(key, to_entry(*sl, job.scheduler));
+            obs::counters().driver_schedules_cached.add(1);
+          }
           r.metrics = sched::measure(sl->schedule, job.cfg);
           const check::CheckReport revalid =
               check::validate_schedule(sl->schedule, job.cfg, sl->check_opts);
@@ -323,7 +341,7 @@ std::string BatchReport::to_text() const {
   return out;
 }
 
-std::string BatchReport::to_json(bool include_volatile) const {
+std::string BatchReport::to_json(bool include_volatile, bool include_counters) const {
   support::JsonWriter w;
   w.begin_object();
   w.member("schema", "tmsbatch-v1");
@@ -352,6 +370,11 @@ std::string BatchReport::to_json(bool include_volatile) const {
   w.member("misspec_probability_mean", misspec.mean());
   w.end_object();
 
+  if (include_counters) {
+    w.key("observability");
+    obs::write_counters_json(w, counters);
+  }
+
   if (include_volatile) {
     w.key("timing").begin_object();
     w.member("wall_ms", wall_ms);
@@ -379,9 +402,11 @@ BatchReport run_batch(const std::vector<BatchJob>& jobs, const machine::MachineM
 
   JobPool pool(opts.jobs);
   report.threads = pool.threads();
+  const obs::CountersSnapshot before = obs::counters_snapshot();
   pool.run(jobs.size(), [&](std::size_t i) {
     report.results[i] = run_single(jobs[i], mach, opts, cache, i);
   });
+  report.counters = obs::snapshot_delta(before, obs::counters_snapshot());
 
   if (cache != nullptr) report.cache = cache->stats();
   report.wall_ms = ms_since(start);

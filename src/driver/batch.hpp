@@ -30,6 +30,7 @@
 #include "ir/loop.hpp"
 #include "machine/machine.hpp"
 #include "machine/spmt_config.hpp"
+#include "obs/counters.hpp"
 #include "sched/postpass.hpp"
 
 namespace tms::driver {
@@ -76,6 +77,10 @@ struct BatchOptions {
 struct BatchReport {
   std::vector<JobResult> results;  ///< in submission order, always
   ScheduleCache::Stats cache;      ///< zero stats when no cache was used
+  /// Observability counters accumulated by this batch's own work (the
+  /// delta around run_batch, so earlier activity in the process is
+  /// excluded).
+  obs::CountersSnapshot counters;
   double wall_ms = 0.0;
   int threads = 0;
 
@@ -85,9 +90,11 @@ struct BatchReport {
   std::string to_text() const;
 
   /// Machine-readable report. With include_volatile=false the output is
-  /// byte-identical across thread counts and cache states (timings,
-  /// cache hit flags and cache stats are omitted).
-  std::string to_json(bool include_volatile = true) const;
+  /// byte-identical across thread counts (timings, cache hit flags and
+  /// cache stats are omitted). Counters measure work actually performed,
+  /// so they are cache-state-dependent (a warm cache schedules nothing);
+  /// pass include_counters=false to compare reports across cache states.
+  std::string to_json(bool include_volatile = true, bool include_counters = true) const;
 };
 
 /// Runs the batch. `mach` must outlive the call; `cache` may be null to

@@ -1,0 +1,158 @@
+#include "obs/counters.hpp"
+
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace tms::obs {
+
+int Histogram::bucket_of(std::uint64_t v) {
+  if (v < 4) return static_cast<int>(v);
+  if (v < 8) return 4;
+  if (v < 16) return 5;
+  if (v < 32) return 6;
+  return 7;
+}
+
+std::uint64_t Histogram::bucket_floor(int b) {
+  static constexpr std::uint64_t kFloors[kBuckets] = {0, 1, 2, 3, 4, 8, 16, 32};
+  return kFloors[b];
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::values() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (int i = 0; i < kBuckets; ++i) out[static_cast<std::size_t>(i)] = b_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : b_) b.store(0, std::memory_order_relaxed);
+}
+
+Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+const std::vector<MetricInfo>& metric_catalog() {
+  static const std::vector<MetricInfo> catalog = [] {
+    std::vector<MetricInfo> v;
+#define TMS_OBS_INFO(field, name, unit, desc) v.push_back({name, unit, desc, false});
+    TMS_COUNTER_LIST(TMS_OBS_INFO)
+#undef TMS_OBS_INFO
+#define TMS_OBS_INFO(field, name, unit, desc) v.push_back({name, unit, desc, true});
+    TMS_HISTOGRAM_LIST(TMS_OBS_INFO)
+#undef TMS_OBS_INFO
+    return v;
+  }();
+  return catalog;
+}
+
+std::uint64_t CountersSnapshot::value(std::string_view name) const {
+  const std::vector<MetricInfo>& cat = metric_catalog();
+  for (std::size_t i = 0; i < counters.size() && i < cat.size(); ++i) {
+    if (name == cat[i].name) return counters[i];
+  }
+  return 0;
+}
+
+CountersSnapshot counters_snapshot() {
+  CountersSnapshot s;
+  Counters& c = counters();
+#define TMS_OBS_SNAP(field, name, unit, desc) s.counters.push_back(c.field.value());
+  TMS_COUNTER_LIST(TMS_OBS_SNAP)
+#undef TMS_OBS_SNAP
+#define TMS_OBS_SNAP(field, name, unit, desc) s.histograms.push_back(c.field.values());
+  TMS_HISTOGRAM_LIST(TMS_OBS_SNAP)
+#undef TMS_OBS_SNAP
+  return s;
+}
+
+CountersSnapshot snapshot_delta(const CountersSnapshot& before, const CountersSnapshot& after) {
+  CountersSnapshot d = after;
+  for (std::size_t i = 0; i < d.counters.size() && i < before.counters.size(); ++i) {
+    d.counters[i] -= before.counters[i];
+  }
+  for (std::size_t i = 0; i < d.histograms.size() && i < before.histograms.size(); ++i) {
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      d.histograms[i][static_cast<std::size_t>(b)] -=
+          before.histograms[i][static_cast<std::size_t>(b)];
+    }
+  }
+  return d;
+}
+
+void write_counters_json(support::JsonWriter& w, const CountersSnapshot& s) {
+  const std::vector<MetricInfo>& cat = metric_catalog();
+  w.begin_object();
+  w.key("counters").begin_object();
+  std::size_t ci = 0;
+  for (const MetricInfo& m : cat) {
+    if (m.is_histogram) continue;
+    w.member(m.name, ci < s.counters.size() ? s.counters[ci] : 0);
+    ++ci;
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  std::size_t hi = 0;
+  for (const MetricInfo& m : cat) {
+    if (!m.is_histogram) continue;
+    const std::array<std::uint64_t, Histogram::kBuckets> buckets =
+        hi < s.histograms.size() ? s.histograms[hi]
+                                 : std::array<std::uint64_t, Histogram::kBuckets>{};
+    ++hi;
+    w.key(m.name).begin_object();
+    w.key("buckets").begin_array();
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : buckets) {
+      w.value(b);
+      total += b;
+    }
+    w.end_array();
+    w.member("count", total);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string counters_to_text(const CountersSnapshot& s) {
+  support::TextTable t({"Metric", "Value", "Unit"});
+  const std::vector<MetricInfo>& cat = metric_catalog();
+  std::size_t ci = 0;
+  std::size_t hi = 0;
+  for (const MetricInfo& m : cat) {
+    if (!m.is_histogram) {
+      const std::uint64_t v = ci < s.counters.size() ? s.counters[ci] : 0;
+      ++ci;
+      if (v != 0) t.add_row({m.name, std::to_string(v), m.unit});
+      continue;
+    }
+    const std::array<std::uint64_t, Histogram::kBuckets> buckets =
+        hi < s.histograms.size() ? s.histograms[hi]
+                                 : std::array<std::uint64_t, Histogram::kBuckets>{};
+    ++hi;
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : buckets) total += b;
+    if (total == 0) continue;
+    std::string rendered;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (!rendered.empty()) rendered += ' ';
+      rendered += std::to_string(Histogram::bucket_floor(b)) + (b + 1 < Histogram::kBuckets ? "" : "+") +
+                  ":" + std::to_string(n);
+    }
+    t.add_row({m.name, rendered, m.unit});
+  }
+  return t.render();
+}
+
+void counters_reset() {
+  Counters& c = counters();
+#define TMS_OBS_RESET(field, name, unit, desc) c.field.reset();
+  TMS_COUNTER_LIST(TMS_OBS_RESET)
+  TMS_HISTOGRAM_LIST(TMS_OBS_RESET)
+#undef TMS_OBS_RESET
+}
+
+}  // namespace tms::obs

@@ -1,0 +1,153 @@
+// Process-wide counter/histogram registry for scheduler observability.
+//
+// Every counter the pipeline maintains is declared exactly once, in the
+// X-macro lists below; the registry struct, the metric catalog (name,
+// unit, description) and the JSON export are all generated from the same
+// list, so a counter cannot exist without catalog metadata. The doc-sync
+// checker (obs/doc_sync.hpp) walks the same catalog against the table in
+// docs/OBSERVABILITY.md, which is what keeps the documentation from
+// rotting: adding a counter here without documenting it fails a ctest.
+//
+// Increments are relaxed atomics and safe from any thread. Hot loops
+// (the per-slot placement trials) accumulate into plain local tallies
+// and flush once per scheduling attempt, so the steady-state cost is a
+// handful of atomic adds per attempt, not per slot.
+//
+// Counter values measure *work actually performed*: a schedule served
+// from the ScheduleCache performs no placement trials, so scheduling
+// counters legitimately differ between cold- and warm-cache runs. Sums
+// of per-job work are order-independent, which is what makes the
+// exported snapshot byte-identical across JobPool thread counts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tms::support {
+class JsonWriter;
+}
+
+namespace tms::obs {
+
+// clang-format off
+/// X(field, name, unit, description) — plain monotone counters.
+#define TMS_COUNTER_LIST(X)                                                            \
+  X(driver_jobs,             "driver.jobs",             "jobs",       "batch jobs executed by driver::run_batch")                              \
+  X(driver_cache_hits,       "driver.cache_hits",       "jobs",       "jobs whose schedule was served from the ScheduleCache")                 \
+  X(driver_cache_misses,     "driver.cache_misses",     "jobs",       "jobs that scheduled fresh although a cache was attached")               \
+  X(driver_schedules_cached, "driver.schedules_cached", "entries",    "fresh schedules inserted into the ScheduleCache")                       \
+  X(sched_attempts,          "sched.attempts",          "attempts",   "fixed-threshold scheduling passes (TMS (II, C_delay, P_max) rungs plus SMS/IMS per-II tries)") \
+  X(sched_attempts_feasible, "sched.attempts_feasible", "attempts",   "scheduling passes that produced a complete schedule")                   \
+  X(sched_schedules,         "sched.schedules",         "schedules",  "accepted scheduler results, all schedulers")                            \
+  X(sched_slots_tried,       "sched.slots_tried",       "slots",      "candidate (node, cycle) slots examined in placement loops")             \
+  X(sched_slot_reject_mrt,       "sched.slot_reject.mrt",       "slots", "slots rejected by a modulo-reservation-table conflict")              \
+  X(sched_slot_reject_c_delay,   "sched.slot_reject.c_delay",   "slots", "slots rejected because a new sync delay exceeded C_delay (C1)")      \
+  X(sched_slot_reject_p_max,     "sched.slot_reject.p_max",     "slots", "slots rejected because the misspeculation frequency exceeded P_max (C2)") \
+  X(sched_slot_reject_headroom,  "sched.slot_reject.headroom",  "slots", "slots skipped in the successor dead-zone rows at the end of the II") \
+  X(sched_window_exhausted,  "sched.window_exhausted",  "events",     "nodes whose scheduling window held no feasible slot")                   \
+  X(sched_ejections,         "sched.ejections",         "nodes",      "placed nodes ejected by TMS backtracking")                              \
+  X(check_validations,       "check.validations",       "runs",       "independent validator runs (schedules and kernel programs)")            \
+  X(check_violations,        "check.violations",        "violations", "invariant violations reported by the validator")                        \
+  X(codegen_lowerings,       "codegen.lowerings",       "kernels",    "schedules lowered to kernel programs")                                  \
+  X(sim_runs,                "sim.runs",                "runs",       "SpMT simulations executed")                                             \
+  X(sim_squashes,            "sim.squashes",            "squashes",   "misspeculation squash events across all simulations")                   \
+  X(sim_sync_stall_cycles,   "sim.sync_stall_cycles",   "cycles",     "cycles committed threads spent stalled at RECV")                        \
+  X(sim_mem_stall_cycles,    "sim.mem_stall_cycles",    "cycles",     "load cycles beyond the scheduled hit latency")                          \
+  X(sim_squashed_cycles,     "sim.squashed_cycles",     "cycles",     "wasted execution plus invalidation cycles of squashed threads")         \
+  X(sim_send_recv_pairs,     "sim.send_recv_pairs",     "pairs",      "dynamic SEND/RECV pairs in committed threads")                          \
+  X(workloads_loops_built,   "workloads.loops_built",   "loops",      "loops materialised by workloads::build_loop")                           \
+  X(trace_events_dropped,    "trace.events_dropped",    "events",     "trace events dropped because the ring buffer was full")
+
+/// X(field, name, unit, description) — fixed-bucket histograms
+/// (buckets 0, 1, 2, 3, 4-7, 8-15, 16-31, 32+).
+#define TMS_HISTOGRAM_LIST(X)                                                          \
+  X(sched_ii_minus_mii,      "sched.ii_minus_mii",      "cycles",     "II inflation over MII of accepted schedules, all schedulers")           \
+  X(sched_tms_c_delay,       "sched.tms_c_delay",       "cycles",     "achieved C_delay of accepted TMS schedules")
+// clang-format on
+
+class Counter {
+ public:
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 8;
+
+  /// 0,1,2,3 map to their own buckets; then [4,8), [8,16), [16,32), [32,inf).
+  static int bucket_of(std::uint64_t v);
+  /// Lower bound of bucket `b` (for rendering).
+  static std::uint64_t bucket_floor(int b);
+
+  void record(std::uint64_t v) { b_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed); }
+  std::array<std::uint64_t, kBuckets> values() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> b_{};
+};
+
+/// The registry: one member per X-macro entry.
+struct Counters {
+#define TMS_OBS_DECL(field, name, unit, desc) Counter field;
+  TMS_COUNTER_LIST(TMS_OBS_DECL)
+#undef TMS_OBS_DECL
+#define TMS_OBS_DECL(field, name, unit, desc) Histogram field;
+  TMS_HISTOGRAM_LIST(TMS_OBS_DECL)
+#undef TMS_OBS_DECL
+};
+
+/// The process-wide registry instance.
+Counters& counters();
+
+struct MetricInfo {
+  const char* name;
+  const char* unit;
+  const char* description;
+  bool is_histogram;
+};
+
+/// Catalog of every registered metric, counters first then histograms,
+/// in declaration order. This is the authoritative list the doc-sync
+/// checker compares against docs/OBSERVABILITY.md.
+const std::vector<MetricInfo>& metric_catalog();
+
+/// A point-in-time copy of every counter and histogram, aligned with
+/// metric_catalog() order (counters then histograms).
+struct CountersSnapshot {
+  std::vector<std::uint64_t> counters;
+  std::vector<std::array<std::uint64_t, Histogram::kBuckets>> histograms;
+
+  /// Value of a counter by catalog name (0 when unknown) — convenience
+  /// for tests and tools; linear scan.
+  std::uint64_t value(std::string_view name) const;
+};
+
+CountersSnapshot counters_snapshot();
+
+/// after - before, member-wise. Counters are monotone, so a batch's own
+/// work is the delta around it even in a process that has already run
+/// other batches.
+CountersSnapshot snapshot_delta(const CountersSnapshot& before, const CountersSnapshot& after);
+
+/// Writes one JSON object value:
+/// {"counters":{name:value,...},"histograms":{name:{"buckets":[8],"count":n},...}}
+/// Keys are in catalog order — the output is deterministic.
+void write_counters_json(support::JsonWriter& w, const CountersSnapshot& s);
+
+/// Human-readable name/value/unit table of the non-zero metrics.
+std::string counters_to_text(const CountersSnapshot& s);
+
+/// Zeroes every counter and histogram (tests only).
+void counters_reset();
+
+}  // namespace tms::obs

@@ -1,0 +1,87 @@
+#include "obs/doc_sync.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/counters.hpp"
+
+namespace tms::obs {
+namespace {
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '.';
+}
+
+/// A metric name is dotted lowercase: at least one '.', only
+/// [a-z0-9_.], no leading/trailing dot.
+bool looks_like_metric_name(std::string_view s) {
+  if (s.empty() || s.front() == '.' || s.back() == '.') return false;
+  bool dotted = false;
+  for (const char c : s) {
+    if (!is_name_char(c)) return false;
+    if (c == '.') dotted = true;
+  }
+  return dotted;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> documented_metric_names(std::string_view markdown) {
+  std::vector<std::string> names;
+  std::size_t pos = 0;
+  while (pos <= markdown.size()) {
+    const std::size_t eol = markdown.find('\n', pos);
+    std::string_view line = markdown.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? markdown.size() + 1 : eol + 1;
+
+    line = trim(line);
+    if (line.size() < 2 || line.front() != '|') continue;
+    // First cell: between the leading '|' and the next '|'.
+    const std::size_t next_bar = line.find('|', 1);
+    if (next_bar == std::string_view::npos) continue;
+    std::string_view cell = trim(line.substr(1, next_bar - 1));
+    // The cell must be exactly one backticked token.
+    if (cell.size() < 3 || cell.front() != '`' || cell.back() != '`') continue;
+    const std::string_view token = cell.substr(1, cell.size() - 2);
+    if (looks_like_metric_name(token)) names.emplace_back(token);
+  }
+  return names;
+}
+
+DocSyncReport check_counter_catalog(std::string_view markdown) {
+  DocSyncReport report;
+  const std::vector<std::string> documented_vec = documented_metric_names(markdown);
+  const std::set<std::string> documented(documented_vec.begin(), documented_vec.end());
+
+  std::set<std::string> live;
+  for (const MetricInfo& m : metric_catalog()) {
+    live.insert(m.name);
+    if (documented.find(m.name) == documented.end()) report.missing.push_back(m.name);
+  }
+  for (const std::string& name : documented) {
+    if (live.find(name) == live.end()) report.stale.push_back(name);
+  }
+  std::sort(report.missing.begin(), report.missing.end());
+  std::sort(report.stale.begin(), report.stale.end());
+  return report;
+}
+
+std::string DocSyncReport::to_string() const {
+  std::string out;
+  for (const std::string& n : missing) {
+    out += "missing from docs/OBSERVABILITY.md catalog: " + n + "\n";
+  }
+  for (const std::string& n : stale) {
+    out += "stale in docs/OBSERVABILITY.md catalog (no such metric): " + n + "\n";
+  }
+  if (out.empty()) out = "catalog in sync\n";
+  return out;
+}
+
+}  // namespace tms::obs

@@ -1,0 +1,36 @@
+// Doc-sync checker: keeps docs/OBSERVABILITY.md's counter catalog table
+// in lockstep with the live registry (obs/counters.hpp).
+//
+// The contract is bidirectional:
+//   - every metric in metric_catalog() must appear as a backticked name
+//     in a markdown table row ("missing" when it does not), and
+//   - every table row whose first cell is a dotted metric name must
+//     correspond to a live metric ("stale" when it does not).
+// A ctest (tests/obs_test.cpp) runs this against the real document, so a
+// counter cannot be added, renamed or removed without the documentation
+// following — the docs cannot rot.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tms::obs {
+
+struct DocSyncReport {
+  std::vector<std::string> missing;  ///< registered metrics absent from the doc
+  std::vector<std::string> stale;    ///< documented names with no live metric
+
+  bool ok() const { return missing.empty() && stale.empty(); }
+  std::string to_string() const;
+};
+
+/// Extracts every documented metric name from `markdown`: table rows
+/// (lines starting with '|') whose first cell is a single backticked
+/// dotted identifier, e.g. "| `sched.slots_tried` | slots | ... |".
+std::vector<std::string> documented_metric_names(std::string_view markdown);
+
+/// Diffs the live registry against the catalog table in `markdown`.
+DocSyncReport check_counter_catalog(std::string_view markdown);
+
+}  // namespace tms::obs

@@ -1,0 +1,213 @@
+// Structured tracing: scoped spans and instant events into a process-wide
+// fixed-capacity event buffer, exportable as Chrome trace_event JSON
+// (chrome://tracing, Perfetto) or as a canonical, timestamp-free JSON
+// form that is byte-identical across JobPool thread counts.
+//
+// Overhead contract:
+//   - Configured out (-DTMS_TRACE=OFF, i.e. TMS_TRACE == 0): the macros
+//     below expand to nothing; argument expressions are never evaluated.
+//   - Compiled in but disabled (the default at runtime): every macro is
+//     one relaxed atomic load and a branch.
+//   - Enabled: one fetch_add claims a slot, the event is written in
+//     place. The buffer never reallocates or overwrites while armed —
+//     when full, new events are *dropped* (counted), so concurrent
+//     writers never race on a slot and the retained prefix is exactly
+//     the first `capacity` events in arrival order.
+//
+// Determinism: every event records a logical position — the thread-local
+// (context phase, context item, sequence) set by ScopedContext — instead
+// of relying on wall-clock order. One context instance is only ever
+// active on one thread (a batch job, a suite-generation item), so
+// sorting by that triple yields the same event order whatever the thread
+// count, which is what trace_canonical_json() exports. Events recorded
+// outside any context carry (-1, -1) and are deterministic as long as
+// they are emitted from the submitting thread only (true for the batch
+// driver). Canonical determinism additionally requires that nothing was
+// dropped — size the buffer for the workload and check trace_dropped().
+//
+// String arguments must be string literals or pointers interned via
+// obs::intern() — events store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef TMS_TRACE
+#define TMS_TRACE 1
+#endif
+
+namespace tms::obs {
+
+/// Context phases for ScopedContext (kept small and stable: they appear
+/// in canonical trace output).
+inline constexpr std::int32_t kCtxSuiteGen = 0;
+inline constexpr std::int32_t kCtxJob = 1;
+inline constexpr std::int32_t kCtxExplain = 2;
+
+struct TraceArg {
+  enum class Kind : std::uint8_t { kInt, kStr, kDouble };
+  const char* key = "";
+  Kind kind = Kind::kInt;
+  union {
+    std::int64_t i;
+    const char* s;
+    double d;
+  };
+  TraceArg() : i(0) {}
+};
+
+inline TraceArg targ(const char* key, std::int64_t v) {
+  TraceArg a;
+  a.key = key;
+  a.kind = TraceArg::Kind::kInt;
+  a.i = v;
+  return a;
+}
+inline TraceArg targ(const char* key, int v) { return targ(key, static_cast<std::int64_t>(v)); }
+inline TraceArg targ(const char* key, std::size_t v) {
+  return targ(key, static_cast<std::int64_t>(v));
+}
+inline TraceArg targ(const char* key, double v) {
+  TraceArg a;
+  a.key = key;
+  a.kind = TraceArg::Kind::kDouble;
+  a.d = v;
+  return a;
+}
+inline TraceArg targ(const char* key, const char* v) {
+  TraceArg a;
+  a.key = key;
+  a.kind = TraceArg::Kind::kStr;
+  a.s = v;
+  return a;
+}
+
+struct TraceEvent {
+  static constexpr int kMaxArgs = 4;
+  const char* cat = "";
+  const char* name = "";
+  char phase = 'i';  ///< 'X' complete span, 'i' instant
+  std::uint8_t nargs = 0;
+  std::int32_t ctx_phase = -1;
+  std::int32_t ctx_item = -1;
+  std::uint32_t seq = 0;
+  std::uint32_t tid = 0;
+  std::int64_t ts_us = 0;   ///< start, microseconds since tracer epoch
+  std::int64_t dur_us = 0;  ///< spans only
+  TraceArg args[kMaxArgs];
+};
+
+/// True when tracing support was compiled in (TMS_TRACE != 0).
+bool trace_compiled();
+
+/// True when the tracer is armed. Inline-fast path is in the macros; this
+/// is the out-of-line truth.
+bool trace_on();
+
+/// Arms the tracer with a buffer of `capacity` events (allocated now).
+/// Re-enabling with a different capacity re-allocates; events are kept
+/// until trace_reset()/trace_disable().
+void trace_enable(std::size_t capacity = 1u << 20);
+void trace_disable();  ///< disarms and frees the buffer
+void trace_reset();    ///< drops recorded events, keeps armed state + capacity
+
+std::uint64_t trace_dropped();
+std::size_t trace_event_count();
+std::vector<TraceEvent> trace_snapshot();  ///< arrival order
+
+/// Interns a dynamic string for use as an event arg or name; the returned
+/// pointer lives until process exit. Thread-safe.
+const char* intern(std::string_view s);
+
+/// Chrome trace_event JSON ("traceEvents" array; ph X/i, ts/dur in
+/// microseconds). Loadable by chrome://tracing and Perfetto.
+std::string trace_chrome_json();
+
+/// Canonical timestamp-free export: events sorted by
+/// (ctx_phase, ctx_item, seq), with ts/dur/tid omitted. Byte-identical
+/// across thread counts provided nothing was dropped.
+std::string trace_canonical_json();
+
+void emit_instant(const char* cat, const char* name, std::initializer_list<TraceArg> args);
+
+/// RAII span: records the start time at construction and appends one 'X'
+/// event at destruction. Args can be attached any time in between.
+class SpanGuard {
+ public:
+  SpanGuard(const char* cat, const char* name);
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  void arg(const TraceArg& a);
+  void arg(const TraceArg& a, const TraceArg& b) {
+    arg(a);
+    arg(b);
+  }
+  void arg(const TraceArg& a, const TraceArg& b, const TraceArg& c) {
+    arg(a, b);
+    arg(c);
+  }
+  void arg(const TraceArg& a, const TraceArg& b, const TraceArg& c, const TraceArg& d) {
+    arg(a, b, c);
+    arg(d);
+  }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  std::int64_t start_us_ = 0;
+  bool active_ = false;
+  std::uint8_t nargs_ = 0;
+  TraceArg args_[TraceEvent::kMaxArgs];
+};
+
+/// Establishes the logical position (phase, item) for every event the
+/// current thread records, and restarts the per-context sequence number.
+/// Restores the previous context (including its sequence counter) on
+/// destruction. Always compiled — it is a few thread-local stores — so
+/// callers need no #if around it.
+class ScopedContext {
+ public:
+  ScopedContext(std::int32_t phase, std::int32_t item);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  std::int32_t saved_phase_;
+  std::int32_t saved_item_;
+  std::uint32_t saved_seq_;
+};
+
+}  // namespace tms::obs
+
+#if TMS_TRACE
+/// Declares a scoped span `var`; emits one 'X' event when it leaves scope.
+#define TMS_TRACE_SPAN(var, cat, name) ::tms::obs::SpanGuard var(cat, name)
+/// Attaches args to a span declared with TMS_TRACE_SPAN. Args are only
+/// evaluated when the tracer is armed.
+#define TMS_TRACE_SPAN_ARG(var, ...)             \
+  do {                                           \
+    if (::tms::obs::trace_on()) var.arg(__VA_ARGS__); \
+  } while (0)
+/// Records one instant event. Args are only evaluated when armed.
+#define TMS_TRACE_INSTANT(cat, name, ...)                            \
+  do {                                                               \
+    if (::tms::obs::trace_on())                                      \
+      ::tms::obs::emit_instant(cat, name, {__VA_ARGS__});            \
+  } while (0)
+#else
+#define TMS_TRACE_SPAN(var, cat, name) \
+  do {                                 \
+  } while (0)
+#define TMS_TRACE_SPAN_ARG(var, ...) \
+  do {                               \
+  } while (0)
+#define TMS_TRACE_INSTANT(cat, name, ...) \
+  do {                                    \
+  } while (0)
+#endif

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "ir/graph.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sched/dep_delay.hpp"
 #include "sched/mii.hpp"
 #include "sched/mrt.hpp"
@@ -12,6 +14,20 @@
 
 namespace tms::sched {
 namespace {
+
+/// Hot-loop tallies, flushed to the registry once per pass.
+struct SlotTally {
+  std::uint64_t tried = 0;
+  std::uint64_t mrt = 0;
+  std::uint64_t ejected = 0;
+
+  ~SlotTally() {
+    obs::Counters& c = obs::counters();
+    if (tried != 0) c.sched_slots_tried.add(tried);
+    if (mrt != 0) c.sched_slot_reject_mrt.add(mrt);
+    if (ejected != 0) c.sched_ejections.add(ejected);
+  }
+};
 
 /// One IMS pass at a fixed II.
 std::optional<Schedule> try_ii(const ir::Loop& loop, const machine::MachineModel& mach, int ii,
@@ -37,6 +53,7 @@ std::optional<Schedule> try_ii(const ir::Loop& loop, const machine::MachineModel
   for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) work.push_back(v);
   std::sort(work.begin(), work.end(), priority_less);
   std::deque<ir::NodeId> queue(work.begin(), work.end());
+  SlotTally tally;
 
   while (!queue.empty()) {
     if (budget-- <= 0) return std::nullopt;
@@ -53,10 +70,12 @@ std::optional<Schedule> try_ii(const ir::Loop& loop, const machine::MachineModel
 
     int chosen = -1;
     for (int c = estart; c < estart + ii; ++c) {
+      ++tally.tried;
       if (mrt.can_place(loop.instr(v).op, c)) {
         chosen = c;
         break;
       }
+      ++tally.mrt;
     }
     bool forced = false;
     if (chosen < 0) {
@@ -79,6 +98,7 @@ std::optional<Schedule> try_ii(const ir::Loop& loop, const machine::MachineModel
         mrt.remove(loop.instr(w).op, ps.slot(w));
         ps.clear_slot(w);
         queue.push_back(w);
+        ++tally.ejected;
         if (mrt.can_place(loop.instr(v).op, chosen)) break;
       }
       if (!mrt.can_place(loop.instr(v).op, chosen)) {
@@ -97,6 +117,7 @@ std::optional<Schedule> try_ii(const ir::Loop& loop, const machine::MachineModel
         mrt.remove(loop.instr(e.dst).op, ps.slot(e.dst));
         ps.clear_slot(e.dst);
         queue.push_back(e.dst);
+        ++tally.ejected;
       }
     }
 
@@ -118,11 +139,18 @@ std::optional<ImsResult> ims_schedule(const ir::Loop& loop, const machine::Machi
 
   for (int ii = mii; ii <= mii + opts.max_ii_slack; ++ii) {
     if (!recurrences_feasible(loop, mach, ii)) continue;
+    obs::counters().sched_attempts.add(1);
+    TMS_TRACE_SPAN(span, "sched", "ims.attempt");
     std::optional<Schedule> s =
         try_ii(loop, mach, ii, height, opts.budget_factor * loop.num_instrs());
+    TMS_TRACE_SPAN_ARG(span, obs::targ("ii", ii), obs::targ("feasible", s.has_value() ? 1 : 0));
     if (s.has_value()) {
       s->normalise();
       if (s->validate().has_value()) continue;  // eviction raced a constraint; try next II
+      obs::Counters& c = obs::counters();
+      c.sched_attempts_feasible.add(1);
+      c.sched_schedules.add(1);
+      c.sched_ii_minus_mii.record(static_cast<std::uint64_t>(std::max(0, ii - mii)));
       return ImsResult{std::move(*s), mii, ii - mii + 1};
     }
   }

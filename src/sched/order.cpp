@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/graph.hpp"
+#include "obs/trace.hpp"
 #include "sched/mii.hpp"
 #include "support/assert.hpp"
 
@@ -106,6 +107,8 @@ std::vector<std::vector<ir::NodeId>> sms_node_sets(const ir::Loop& loop,
 }
 
 std::vector<ir::NodeId> sms_node_order(const ir::Loop& loop, const machine::MachineModel& mach) {
+  TMS_TRACE_SPAN(span, "sched", "sms.node_order");
+  TMS_TRACE_SPAN_ARG(span, obs::targ("nodes", loop.num_instrs()));
   const auto sets = sms_node_sets(loop, mach);
   const std::vector<int> lat = mach.latencies(loop);
   const std::vector<int> height = ir::node_heights(loop, lat);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ir/graph.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sched/mii.hpp"
 #include "sched/mrt.hpp"
 #include "sched/order.hpp"
@@ -12,24 +14,48 @@
 namespace tms::sched {
 namespace {
 
+/// Hot-loop tallies, flushed to the registry once per pass.
+struct SlotTally {
+  std::uint64_t tried = 0;
+  std::uint64_t mrt = 0;
+  std::uint64_t none = 0;
+
+  ~SlotTally() {
+    obs::Counters& c = obs::counters();
+    if (tried != 0) c.sched_slots_tried.add(tried);
+    if (mrt != 0) c.sched_slot_reject_mrt.add(mrt);
+    if (none != 0) c.sched_window_exhausted.add(none);
+  }
+};
+
 /// One SMS pass at a fixed II. Returns the complete schedule or nullopt.
 std::optional<Schedule> try_ii(const ir::Loop& loop, const machine::MachineModel& mach, int ii,
                                const std::vector<ir::NodeId>& order,
                                const std::vector<int>& depth) {
   Schedule ps(loop, mach, ii);
   ModuloReservationTable mrt(mach, ii);
+  SlotTally tally;
   for (const ir::NodeId v : order) {
     const Window w = scheduling_window(ps, v, depth[static_cast<std::size_t>(v)]);
     bool placed = false;
     for (const int c : w.candidates) {
+      ++tally.tried;
       if (mrt.can_place(loop.instr(v).op, c)) {
         mrt.place(loop.instr(v).op, c);
         ps.set_slot(v, c);
         placed = true;
         break;
       }
+      ++tally.mrt;
+      TMS_TRACE_INSTANT("sched", "slot.reject", obs::targ("node", v),
+                        obs::targ("row", ((c % ii) + ii) % ii), obs::targ("reason", "mrt"));
     }
-    if (!placed) return std::nullopt;
+    if (!placed) {
+      ++tally.none;
+      TMS_TRACE_INSTANT("sched", "slot.none", obs::targ("node", v),
+                        obs::targ("candidates", w.candidates.size()));
+      return std::nullopt;
+    }
   }
   return ps;
 }
@@ -46,10 +72,17 @@ std::optional<SmsResult> sms_schedule(const ir::Loop& loop, const machine::Machi
   const int start_ii = std::max(mii, opts.ii_floor);
   for (int ii = start_ii; ii <= start_ii + opts.max_ii_slack; ++ii) {
     if (!recurrences_feasible(loop, mach, ii)) continue;
+    obs::counters().sched_attempts.add(1);
+    TMS_TRACE_SPAN(span, "sched", "sms.attempt");
     std::optional<Schedule> s = try_ii(loop, mach, ii, order, depth);
+    TMS_TRACE_SPAN_ARG(span, obs::targ("ii", ii), obs::targ("feasible", s.has_value() ? 1 : 0));
     if (s.has_value()) {
       s->normalise();
       TMS_ASSERT_MSG(!s->validate().has_value(), "SMS produced an invalid schedule");
+      obs::Counters& c = obs::counters();
+      c.sched_attempts_feasible.add(1);
+      c.sched_schedules.add(1);
+      c.sched_ii_minus_mii.record(static_cast<std::uint64_t>(std::max(0, ii - mii)));
       return SmsResult{std::move(*s), mii, ii - mii + 1};
     }
   }

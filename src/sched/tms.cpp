@@ -8,6 +8,8 @@
 
 #include "cost/cost_model.hpp"
 #include "ir/graph.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sched/dep_delay.hpp"
 #include "sched/mii.hpp"
 #include "sched/mrt.hpp"
@@ -60,7 +62,31 @@ void collect_new_mem_deps(const Schedule& ps, const ir::Loop& loop, ir::NodeId v
 
 struct SlotCheck {
   bool ok = false;
-  int max_new_sync = 0;  ///< largest sync delay introduced by this slot
+  int max_new_sync = 0;        ///< largest sync delay introduced by this slot
+  const char* reject = nullptr;  ///< "c_delay" or "p_max" when !ok
+};
+
+/// Hot-loop tallies, flushed to the registry once per scheduling pass so
+/// the per-slot cost stays free of atomic traffic.
+struct SlotTally {
+  std::uint64_t tried = 0;
+  std::uint64_t mrt = 0;
+  std::uint64_t c_delay = 0;
+  std::uint64_t p_max = 0;
+  std::uint64_t headroom = 0;
+  std::uint64_t none = 0;
+  std::uint64_t ejected = 0;
+
+  ~SlotTally() {
+    obs::Counters& c = obs::counters();
+    if (tried != 0) c.sched_slots_tried.add(tried);
+    if (mrt != 0) c.sched_slot_reject_mrt.add(mrt);
+    if (c_delay != 0) c.sched_slot_reject_c_delay.add(c_delay);
+    if (p_max != 0) c.sched_slot_reject_p_max.add(p_max);
+    if (headroom != 0) c.sched_slot_reject_headroom.add(headroom);
+    if (none != 0) c.sched_window_exhausted.add(none);
+    if (ejected != 0) c.sched_ejections.add(ejected);
+  }
 };
 
 /// ISSUE_SLOT_SELECTION body for one candidate cycle (Fig. 3 lines 20-26),
@@ -84,6 +110,7 @@ SlotCheck check_slot(Schedule& ps, const machine::SpmtConfig& cfg, ir::NodeId v,
     result.max_new_sync = std::max(result.max_new_sync, s);
     if (s > c_delay) {
       ok = false;
+      result.reject = "c_delay";
       break;
     }
   }
@@ -102,7 +129,10 @@ SlotCheck check_slot(Schedule& ps, const machine::SpmtConfig& cfg, ir::NodeId v,
     };
     fold_nonpreserved(mem_ps);
     fold_nonpreserved(mem_v);
-    if (1.0 - keep > p_max + 1e-12) ok = false;
+    if (1.0 - keep > p_max + 1e-12) {
+      ok = false;
+      result.reject = "p_max";
+    }
   }
 
   ps.clear_slot(v);
@@ -134,6 +164,7 @@ std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::Mach
 
   std::deque<ir::NodeId> queue(order.begin(), order.end());
   int ejections_left = 2 * loop.num_instrs() + 16;
+  SlotTally tally;
 
   while (!queue.empty()) {
     const ir::NodeId v = queue.front();
@@ -167,13 +198,31 @@ std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::Mach
     bool found = false;
     for (std::size_t i = 0; i < w.candidates.size(); ++i) {
       const int c = w.candidates[i];
+      ++tally.tried;
       if (headroom > 0) {
         const int row = ((c % ii) + ii) % ii;
-        if (row >= ii - headroom) continue;
+        if (row >= ii - headroom) {
+          ++tally.headroom;
+          TMS_TRACE_INSTANT("sched", "slot.reject", obs::targ("node", v), obs::targ("row", row),
+                            obs::targ("reason", "headroom"));
+          continue;
+        }
       }
-      if (!mrt.can_place(loop.instr(v).op, c)) continue;
+      if (!mrt.can_place(loop.instr(v).op, c)) {
+        ++tally.mrt;
+        TMS_TRACE_INSTANT("sched", "slot.reject", obs::targ("node", v),
+                          obs::targ("row", ((c % ii) + ii) % ii), obs::targ("reason", "mrt"));
+        continue;
+      }
       const SlotCheck sc = check_slot(ps, cfg, v, c, c_delay, p_max, reg_ps, mem_ps);
-      if (!sc.ok) continue;
+      if (!sc.ok) {
+        if (sc.reject != nullptr && sc.reject[0] == 'c') ++tally.c_delay;
+        else ++tally.p_max;
+        TMS_TRACE_INSTANT("sched", "slot.reject", obs::targ("node", v),
+                          obs::targ("row", ((c % ii) + ii) % ii),
+                          obs::targ("reason", sc.reject != nullptr ? sc.reject : "?"));
+        continue;
+      }
       // Window order already encodes the SMS preference, so strict
       // improvement keeps the earliest (most lifetime-friendly) slot
       // among equals.
@@ -185,6 +234,9 @@ std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::Mach
       }
     }
     if (!found) {
+      ++tally.none;
+      TMS_TRACE_INSTANT("sched", "slot.none", obs::targ("node", v),
+                        obs::targ("candidates", w.candidates.size()));
       // Backtrack: eject the placed successors (they bound the window
       // from above), or failing that the placed predecessors, re-queue
       // them, and retry v immediately.
@@ -198,6 +250,8 @@ std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::Mach
           mrt.remove(loop.instr(other).op, ps.slot(other));
           ps.clear_slot(other);
           queue.push_back(other);
+          ++tally.ejected;
+          TMS_TRACE_INSTANT("sched", "eject", obs::targ("node", v), obs::targ("victim", other));
           any = true;
         }
         return any;
@@ -236,8 +290,15 @@ std::optional<Schedule> tms_try_thresholds(const ir::Loop& loop,
   TMS_ASSERT_MSG(!loop.validate().has_value(), "loop must be well-formed");
   const std::vector<ir::NodeId> order = sms_node_order(loop, mach);
   const std::vector<int> depth = ir::node_depths(loop, mach.latencies(loop));
+  obs::counters().sched_attempts.add(1);
+  TMS_TRACE_SPAN(span, "sched", "tms.attempt");
   std::optional<Schedule> s = try_thresholds(loop, mach, cfg, ii, c_delay, p_max, order, depth);
-  if (s.has_value()) s->normalise();
+  if (s.has_value()) {
+    obs::counters().sched_attempts_feasible.add(1);
+    s->normalise();
+  }
+  TMS_TRACE_SPAN_ARG(span, obs::targ("ii", ii), obs::targ("c_delay", c_delay),
+                     obs::targ("p_max", p_max), obs::targ("feasible", s.has_value() ? 1 : 0));
   return s;
 }
 
@@ -275,6 +336,18 @@ std::optional<TmsResult> tms_schedule(const ir::Loop& loop, const machine::Machi
   std::optional<Best> best;
   int pairs_tried = 0;
   int plateau = 0;  // consecutive non-improving IIs at the incumbent's F
+
+  // One relaxation-ladder rung: a fixed-threshold pass, traced as a span
+  // so --explain can segment the per-slot events it encloses.
+  auto attempt = [&](int ii, int cd_thr, double pm) {
+    obs::counters().sched_attempts.add(1);
+    TMS_TRACE_SPAN(span, "sched", "tms.attempt");
+    std::optional<Schedule> s = try_thresholds(loop, mach, cfg, ii, cd_thr, pm, order, depth);
+    if (s.has_value()) obs::counters().sched_attempts_feasible.add(1);
+    TMS_TRACE_SPAN_ARG(span, obs::targ("ii", ii), obs::targ("c_delay", cd_thr),
+                       obs::targ("p_max", pm), obs::targ("feasible", s.has_value() ? 1 : 0));
+    return s;
+  };
 
   const int start_ii = std::max(mii, opts.ii_floor);
   for (int ii = start_ii; ii <= start_ii + opts.max_ii_slack; ++ii) {
@@ -322,8 +395,7 @@ std::optional<TmsResult> tms_schedule(const ir::Loop& loop, const machine::Machi
     for (const double p_max : opts.p_max_values) {
       ++pairs_tried;
       if (pairs_tried > opts.max_pair_attempts) break;
-      std::optional<Schedule> at_ceiling =
-          try_thresholds(loop, mach, cfg, ii, cd_ceiling, p_max, order, depth);
+      std::optional<Schedule> at_ceiling = attempt(ii, cd_ceiling, p_max);
       if (!at_ceiling.has_value()) continue;  // this (II, P_max) is infeasible outright
       consider(std::move(*at_ceiling), cd_ceiling, p_max);
 
@@ -334,7 +406,7 @@ std::optional<TmsResult> tms_schedule(const ir::Loop& loop, const machine::Machi
       while (lo < hi) {
         const int mid = lo + (hi - lo) / 2;
         ++pairs_tried;
-        std::optional<Schedule> s = try_thresholds(loop, mach, cfg, ii, mid, p_max, order, depth);
+        std::optional<Schedule> s = attempt(ii, mid, p_max);
         if (s.has_value()) {
           consider(std::move(*s), mid, p_max);
           hi = mid;
@@ -347,7 +419,20 @@ std::optional<TmsResult> tms_schedule(const ir::Loop& loop, const machine::Machi
     if (pairs_tried > opts.max_pair_attempts) break;
   }
 
-  if (!best.has_value()) return std::nullopt;
+  if (!best.has_value()) {
+    TMS_TRACE_INSTANT("sched", "tms.result", obs::targ("feasible", 0));
+    return std::nullopt;
+  }
+  {
+    obs::Counters& c = obs::counters();
+    c.sched_schedules.add(1);
+    c.sched_ii_minus_mii.record(static_cast<std::uint64_t>(
+        std::max(0, best->schedule.ii() - mii)));
+    c.sched_tms_c_delay.record(static_cast<std::uint64_t>(std::max(0, best->actual_c_delay)));
+  }
+  TMS_TRACE_INSTANT("sched", "tms.result", obs::targ("ii", best->schedule.ii()),
+                    obs::targ("c_delay", best->actual_c_delay), obs::targ("p_max", best->p_max),
+                    obs::targ("feasible", 1));
   TmsResult r{std::move(best->schedule), mii,       best->c_delay,
               best->p_max,               best->f,   0.0,
               pairs_tried};

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "ir/graph.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "spmt/cache.hpp"
 #include "spmt/values.hpp"
 #include "support/assert.hpp"
@@ -444,9 +446,26 @@ SpmtResult run_spmt(const ir::Loop& loop, const codegen::KernelProgram& kp,
                     const SpmtOptions& opts) {
   cfg.check();
   TMS_ASSERT(opts.iterations >= 1);
+  TMS_TRACE_SPAN(span, "spmt", "spmt.run");
   Engine engine(loop, kp, cfg, streams, opts);
   SpmtResult res = engine.run();
   res.stats.spec_wait_cycles = engine.spec_wait_cycles();
+  {
+    obs::Counters& c = obs::counters();
+    c.sim_runs.add(1);
+    c.sim_squashes.add(static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.misspeculations)));
+    c.sim_sync_stall_cycles.add(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.sync_stall_cycles)));
+    c.sim_mem_stall_cycles.add(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.mem_stall_cycles)));
+    c.sim_squashed_cycles.add(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.squashed_cycles)));
+    c.sim_send_recv_pairs.add(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.send_recv_pairs)));
+  }
+  TMS_TRACE_SPAN_ARG(span, obs::targ("iterations", opts.iterations),
+                     obs::targ("cycles", res.stats.total_cycles),
+                     obs::targ("squashes", res.stats.misspeculations));
   return res;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 
 namespace tms::workloads {
@@ -86,6 +88,9 @@ bool reaches(const Loop& loop, NodeId from, NodeId to) {
 }  // namespace
 
 ir::Loop build_loop(const LoopShape& shape) {
+  tms::obs::counters().workloads_loops_built.add(1);
+  TMS_TRACE_SPAN(span, "workloads", "build_loop");
+  TMS_TRACE_SPAN_ARG(span, tms::obs::targ("name", tms::obs::intern(shape.name)));
   Rng rng(shape.seed);
   Loop loop(shape.name);
 

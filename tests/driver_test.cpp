@@ -17,6 +17,7 @@
 #include "driver/batch.hpp"
 #include "driver/job_pool.hpp"
 #include "driver/schedule_cache.hpp"
+#include "obs/trace.hpp"
 #include "test_util.hpp"
 #include "workloads/kernels.hpp"
 
@@ -285,6 +286,36 @@ TEST(Batch, CanonicalJsonIsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(reports[0], reports[2]);
 }
 
+// The canonical trace sorts events by their logical position (context
+// phase, item, sequence), so the exported bytes — and the counter
+// snapshot riding in the report JSON — must not depend on how the
+// JobPool interleaved the jobs.
+TEST(Batch, CanonicalTraceIsIdenticalAcrossThreadCounts) {
+  if (!obs::trace_compiled()) GTEST_SKIP() << "built with TMS_TRACE=0";
+  machine::MachineModel mach;
+  const std::vector<driver::BatchJob> jobs = kernel_jobs();
+  driver::BatchOptions opts;
+  opts.simulate_iterations = 40;
+
+  std::vector<std::string> traces;
+  std::vector<std::string> reports;
+  for (const int threads : {1, 2, 8}) {
+    opts.jobs = threads;
+    obs::trace_enable(1u << 18);
+    driver::ScheduleCache cache;  // private per run: every job schedules fresh
+    const driver::BatchReport r = driver::run_batch(jobs, mach, opts, &cache);
+    EXPECT_EQ(r.count(driver::JobStatus::kOk), static_cast<int>(jobs.size()));
+    ASSERT_EQ(obs::trace_dropped(), 0u) << "grow the buffer: dropped events break determinism";
+    traces.push_back(obs::trace_canonical_json());
+    reports.push_back(r.to_json(/*include_volatile=*/false, /*include_counters=*/true));
+    obs::trace_disable();
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(traces[0], traces[2]);
+  EXPECT_EQ(reports[0], reports[1]) << "counter deltas must be thread-count-invariant";
+  EXPECT_EQ(reports[0], reports[2]);
+}
+
 TEST(Batch, WarmCacheSecondRunHitsEverywhere) {
   machine::MachineModel mach;
   const std::vector<driver::BatchJob> jobs = kernel_jobs();
@@ -302,8 +333,14 @@ TEST(Batch, WarmCacheSecondRunHitsEverywhere) {
     EXPECT_TRUE(r.cache_hit) << r.name << " (" << r.scheduler << ")";
     EXPECT_EQ(r.status, driver::JobStatus::kOk);
   }
-  // Warm results agree with cold ones modulo volatile fields.
-  EXPECT_EQ(cold.to_json(false), warm.to_json(false));
+  // Warm results agree with cold ones modulo volatile fields. Counters
+  // measure work actually performed, so the warm run's are legitimately
+  // smaller (nothing was scheduled) — exclude them from the comparison.
+  EXPECT_EQ(cold.to_json(/*include_volatile=*/false, /*include_counters=*/false),
+            warm.to_json(/*include_volatile=*/false, /*include_counters=*/false));
+  EXPECT_EQ(warm.counters.value("sched.slots_tried"), 0u)
+      << "a fully warm batch must not run placement trials";
+  EXPECT_EQ(warm.counters.value("driver.cache_hits"), jobs.size());
 }
 
 TEST(Batch, FailuresAreIsolatedPerJob) {

@@ -1,0 +1,381 @@
+// Tests for the observability layer: counter registry + catalog, trace
+// buffer semantics, canonical export determinism, the --explain
+// renderer, and the doc-sync contract against docs/OBSERVABILITY.md
+// (both directions, with negative fixtures).
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/counters.hpp"
+#include "obs/doc_sync.hpp"
+#include "obs/explain.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace tms {
+namespace {
+
+// ------------------------------------------------------------- counters
+
+TEST(Counters, CatalogNamesAreUniqueAndDocumented) {
+  const std::vector<obs::MetricInfo>& cat = obs::metric_catalog();
+  ASSERT_FALSE(cat.empty());
+  std::set<std::string> names;
+  for (const obs::MetricInfo& m : cat) {
+    EXPECT_TRUE(names.insert(m.name).second) << "duplicate metric name " << m.name;
+    EXPECT_NE(std::string(m.unit), "") << m.name << " has no unit";
+    EXPECT_NE(std::string(m.description), "") << m.name << " has no description";
+    // Dotted lowercase names are the doc-sync extraction contract.
+    EXPECT_NE(std::string(m.name).find('.'), std::string::npos) << m.name;
+  }
+}
+
+TEST(Counters, SnapshotAlignsWithCatalogAndDeltas) {
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  obs::counters().sched_slots_tried.add(7);
+  obs::counters().sim_squashes.add(2);
+  obs::counters().sched_ii_minus_mii.record(5);
+  const obs::CountersSnapshot after = obs::counters_snapshot();
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, after);
+  EXPECT_EQ(d.value("sched.slots_tried"), 7u);
+  EXPECT_EQ(d.value("sim.squashes"), 2u);
+  EXPECT_EQ(d.value("driver.jobs"), 0u);
+  EXPECT_EQ(d.value("no.such.metric"), 0u);
+
+  std::size_t n_hist = 0;
+  for (const obs::MetricInfo& m : obs::metric_catalog()) n_hist += m.is_histogram ? 1 : 0;
+  EXPECT_EQ(d.histograms.size(), n_hist);
+  EXPECT_EQ(d.counters.size(), obs::metric_catalog().size() - n_hist);
+}
+
+TEST(Counters, HistogramBuckets) {
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 3);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 4);
+  EXPECT_EQ(obs::Histogram::bucket_of(7), 4);
+  EXPECT_EQ(obs::Histogram::bucket_of(8), 5);
+  EXPECT_EQ(obs::Histogram::bucket_of(31), 6);
+  EXPECT_EQ(obs::Histogram::bucket_of(32), 7);
+  EXPECT_EQ(obs::Histogram::bucket_of(1u << 20), 7);
+  for (int b = 1; b < obs::Histogram::kBuckets; ++b) {
+    EXPECT_EQ(obs::Histogram::bucket_of(obs::Histogram::bucket_floor(b)), b);
+    EXPECT_EQ(obs::Histogram::bucket_of(obs::Histogram::bucket_floor(b) - 1), b - 1);
+  }
+}
+
+TEST(Counters, JsonExportContainsEveryMetricInCatalogOrder) {
+  const obs::CountersSnapshot s = obs::counters_snapshot();
+  support::JsonWriter w;
+  obs::write_counters_json(w, s);
+  const std::string json = w.str();
+  std::size_t last = 0;
+  for (const obs::MetricInfo& m : obs::metric_catalog()) {
+    if (m.is_histogram) continue;  // histograms follow in their own object
+    const std::size_t pos = json.find("\"" + std::string(m.name) + "\"");
+    ASSERT_NE(pos, std::string::npos) << m.name << " missing from JSON export";
+    EXPECT_GT(pos, last) << m.name << " out of catalog order";
+    last = pos;
+  }
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"sched.ii_minus_mii\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- doc-sync
+
+std::string catalog_markdown_table(const char* skip = nullptr, const char* extra = nullptr) {
+  std::string md = "| Metric | Unit | Description |\n|---|---|---|\n";
+  for (const obs::MetricInfo& m : obs::metric_catalog()) {
+    if (skip != nullptr && std::string(m.name) == skip) continue;
+    md += "| `" + std::string(m.name) + "` | x | x |\n";
+  }
+  if (extra != nullptr) md += "| `" + std::string(extra) + "` | x | x |\n";
+  return md;
+}
+
+TEST(DocSync, ExtractsBacktickedDottedFirstCells) {
+  const std::string md =
+      "# Title\n"
+      "Some prose mentioning `driver.jobs` inline, which must NOT count.\n\n"
+      "| Metric | Unit |\n"
+      "|--------|------|\n"
+      "| `sched.slots_tried` | slots |\n"
+      "|   `sim.squashes`   | squashes |\n"
+      "| not-a-metric | x |\n"
+      "| `NotDotted` | x |\n";
+  const std::vector<std::string> names = obs::documented_metric_names(md);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "sched.slots_tried");
+  EXPECT_EQ(names[1], "sim.squashes");
+}
+
+TEST(DocSync, CompleteCatalogIsInSync) {
+  const obs::DocSyncReport r = obs::check_counter_catalog(catalog_markdown_table());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(DocSync, RemovedCounterIsReportedMissing) {
+  // Negative fixture: the doc lacks one live metric.
+  const obs::DocSyncReport r =
+      obs::check_counter_catalog(catalog_markdown_table(/*skip=*/"sched.slots_tried"));
+  ASSERT_EQ(r.missing.size(), 1u);
+  EXPECT_EQ(r.missing[0], "sched.slots_tried");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DocSync, StaleDocumentedNameIsReported) {
+  // Negative fixture: the doc names a metric that no longer exists.
+  const obs::DocSyncReport r =
+      obs::check_counter_catalog(catalog_markdown_table(nullptr, /*extra=*/"sched.retired_metric"));
+  ASSERT_EQ(r.stale.size(), 1u);
+  EXPECT_EQ(r.stale[0], "sched.retired_metric");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DocSync, LiveObservabilityDocMatchesRegistry) {
+  // The real contract: docs/OBSERVABILITY.md's catalog table must match
+  // the live registry exactly. This is the test that fails when a
+  // counter is added, renamed, or removed without updating the docs.
+  const std::string path = std::string(TMS_SOURCE_DIR) + "/docs/OBSERVABILITY.md";
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "cannot open " << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const obs::DocSyncReport r = obs::check_counter_catalog(ss.str());
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+// ---------------------------------------------------------------- trace
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::trace_compiled()) GTEST_SKIP() << "built with TMS_TRACE=0";
+  }
+  void TearDown() override { obs::trace_disable(); }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  EXPECT_FALSE(obs::trace_on());
+  TMS_TRACE_INSTANT("t", "nothing", obs::targ("k", 1));
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpansAndInstantsAreRecordedWithArgs) {
+  obs::trace_enable(64);
+  {
+    TMS_TRACE_SPAN(s, "cat", "outer");
+    TMS_TRACE_SPAN_ARG(s, obs::targ("ii", 7), obs::targ("p", 0.25), obs::targ("why", "mrt"));
+    TMS_TRACE_INSTANT("cat", "inner", obs::targ("n", std::size_t{3}));
+  }
+  const std::vector<obs::TraceEvent> evs = obs::trace_snapshot();
+  ASSERT_EQ(evs.size(), 2u);
+  // Arrival order: the instant fires before the span closes.
+  EXPECT_STREQ(evs[0].name, "inner");
+  EXPECT_EQ(evs[0].phase, 'i');
+  EXPECT_STREQ(evs[1].name, "outer");
+  EXPECT_EQ(evs[1].phase, 'X');
+  ASSERT_EQ(evs[1].nargs, 3);
+  EXPECT_STREQ(evs[1].args[0].key, "ii");
+  EXPECT_EQ(evs[1].args[0].i, 7);
+  EXPECT_EQ(evs[1].args[1].kind, obs::TraceArg::Kind::kDouble);
+  EXPECT_STREQ(evs[1].args[2].s, "mrt");
+  EXPECT_GE(evs[1].dur_us, 0);
+
+  const std::string chrome = obs::trace_chrome_json();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"outer\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, FullBufferDropsNewEventsInsteadOfOverwriting) {
+  obs::trace_enable(4);
+  for (int i = 0; i < 10; ++i) {
+    TMS_TRACE_INSTANT("t", "e", obs::targ("i", i));
+  }
+  EXPECT_EQ(obs::trace_event_count(), 4u);
+  EXPECT_EQ(obs::trace_dropped(), 6u);
+  // The retained prefix is the first four events, untouched.
+  const std::vector<obs::TraceEvent> evs = obs::trace_snapshot();
+  ASSERT_EQ(evs.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(evs[static_cast<std::size_t>(i)].args[0].i, i);
+}
+
+TEST_F(TraceTest, ScopedContextStampsAndRestores) {
+  obs::trace_enable(64);
+  {
+    obs::ScopedContext outer(obs::kCtxJob, 5);
+    TMS_TRACE_INSTANT("t", "a");
+    {
+      obs::ScopedContext inner(obs::kCtxExplain, 9);
+      TMS_TRACE_INSTANT("t", "b");
+    }
+    TMS_TRACE_INSTANT("t", "c");
+  }
+  TMS_TRACE_INSTANT("t", "d");
+  const std::vector<obs::TraceEvent> evs = obs::trace_snapshot();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs[0].ctx_phase, obs::kCtxJob);
+  EXPECT_EQ(evs[0].ctx_item, 5);
+  EXPECT_EQ(evs[0].seq, 0u);
+  EXPECT_EQ(evs[1].ctx_phase, obs::kCtxExplain);
+  EXPECT_EQ(evs[1].ctx_item, 9);
+  EXPECT_EQ(evs[2].ctx_phase, obs::kCtxJob);
+  EXPECT_EQ(evs[2].seq, 1u) << "inner context must not disturb the outer sequence";
+  EXPECT_EQ(evs[3].ctx_phase, -1);
+}
+
+TEST_F(TraceTest, CanonicalExportSortsByLogicalPositionNotArrival) {
+  obs::trace_enable(64);
+  // Record contexts out of order, as parallel workers would.
+  {
+    obs::ScopedContext c(obs::kCtxJob, 2);
+    TMS_TRACE_INSTANT("t", "job2.first");
+  }
+  {
+    obs::ScopedContext c(obs::kCtxJob, 0);
+    TMS_TRACE_INSTANT("t", "job0.first");
+    TMS_TRACE_INSTANT("t", "job0.second");
+  }
+  const std::string canon = obs::trace_canonical_json();
+  const std::size_t p0 = canon.find("job0.first");
+  const std::size_t p1 = canon.find("job0.second");
+  const std::size_t p2 = canon.find("job2.first");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  EXPECT_LT(p0, p1);
+  EXPECT_LT(p1, p2);
+  // Volatile fields are absent from the canonical form.
+  EXPECT_EQ(canon.find("\"ts\""), std::string::npos);
+  EXPECT_EQ(canon.find("\"tid\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentWritersEachKeepTheirOwnSequence) {
+  obs::trace_enable(1u << 12);
+  std::vector<std::thread> threads;
+  constexpr int kPerThread = 100;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      obs::ScopedContext ctx(obs::kCtxJob, t);
+      for (int i = 0; i < kPerThread; ++i) {
+        TMS_TRACE_INSTANT("t", "e", obs::targ("i", i));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(obs::trace_dropped(), 0u);
+  const std::vector<obs::TraceEvent> evs = obs::trace_snapshot();
+  ASSERT_EQ(evs.size(), 4u * kPerThread);
+  // Within each context, sequence numbers are exactly 0..kPerThread-1.
+  std::vector<std::set<std::uint32_t>> seqs(4);
+  for (const obs::TraceEvent& e : evs) {
+    ASSERT_GE(e.ctx_item, 0);
+    ASSERT_LT(e.ctx_item, 4);
+    EXPECT_TRUE(seqs[static_cast<std::size_t>(e.ctx_item)].insert(e.seq).second)
+        << "duplicate seq in one context";
+  }
+  for (const auto& s : seqs) {
+    EXPECT_EQ(s.size(), static_cast<std::size_t>(kPerThread));
+    EXPECT_EQ(*s.rbegin(), static_cast<std::uint32_t>(kPerThread - 1));
+  }
+}
+
+TEST_F(TraceTest, ResetKeepsArmedStateAndClearsEvents) {
+  obs::trace_enable(8);
+  TMS_TRACE_INSTANT("t", "before");
+  ASSERT_EQ(obs::trace_event_count(), 1u);
+  obs::trace_reset();
+  EXPECT_TRUE(obs::trace_on());
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  TMS_TRACE_INSTANT("t", "after");
+  const std::vector<obs::TraceEvent> evs = obs::trace_snapshot();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_STREQ(evs[0].name, "after");
+}
+
+TEST_F(TraceTest, InternReturnsStablePointers) {
+  const char* a = obs::intern("loop_alpha");
+  const char* b = obs::intern(std::string("loop_") + "alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "loop_alpha");
+}
+
+// -------------------------------------------------------------- explain
+
+obs::TraceEvent attempt_event(int ii, int c_delay, double p_max, bool feasible) {
+  obs::TraceEvent e;
+  e.cat = "sched";
+  e.name = "tms.attempt";
+  e.phase = 'X';
+  e.nargs = 4;
+  e.args[0] = obs::targ("ii", ii);
+  e.args[1] = obs::targ("c_delay", c_delay);
+  e.args[2] = obs::targ("p_max", p_max);
+  e.args[3] = obs::targ("feasible", feasible ? 1 : 0);
+  return e;
+}
+
+obs::TraceEvent reject_event(int node, const char* reason) {
+  obs::TraceEvent e;
+  e.cat = "sched";
+  e.name = "slot.reject";
+  e.phase = 'i';
+  e.nargs = 3;
+  e.args[0] = obs::targ("node", node);
+  e.args[1] = obs::targ("row", 0);
+  e.args[2] = obs::targ("reason", reason);
+  return e;
+}
+
+TEST(Explain, RendersLadderTotalsHardestNodesAndResult) {
+  obs::ExplainInput in;
+  in.loop_name = "demo";
+  in.scheduler = "tms";
+  in.mii = 4;
+  in.node_names = {"load_a", "mul", "store_b"};
+  in.events.push_back(reject_event(1, "mrt"));
+  in.events.push_back(reject_event(1, "c_delay"));
+  in.events.push_back(reject_event(2, "c_delay"));
+  in.events.push_back(attempt_event(4, 3, 0.1, false));
+  in.events.push_back(reject_event(1, "p_max"));
+  in.events.push_back(attempt_event(5, 6, 0.1, true));
+  {
+    obs::TraceEvent r;
+    r.cat = "sched";
+    r.name = "tms.result";
+    r.phase = 'i';
+    r.nargs = 4;
+    r.args[0] = obs::targ("ii", 5);
+    r.args[1] = obs::targ("c_delay", 2);
+    r.args[2] = obs::targ("p_max", 0.1);
+    r.args[3] = obs::targ("feasible", 1);
+    in.events.push_back(r);
+  }
+
+  const std::string out = obs::render_tms_explain(in);
+  EXPECT_NE(out.find("tms explain: demo"), std::string::npos);
+  EXPECT_NE(out.find("MII = 4"), std::string::npos);
+  EXPECT_NE(out.find("II = 4 (MII+0)"), std::string::npos);
+  EXPECT_NE(out.find("II = 5 (MII+1)"), std::string::npos);
+  EXPECT_NE(out.find("infeasible"), std::string::npos);
+  EXPECT_NE(out.find("mrt=1"), std::string::npos);
+  EXPECT_NE(out.find("c_delay=2"), std::string::npos);
+  EXPECT_NE(out.find("2 threshold attempts"), std::string::npos);
+  EXPECT_NE(out.find("mul"), std::string::npos);  // hardest node by name
+  EXPECT_NE(out.find("schedule found at II = 5 (MII+1)"), std::string::npos);
+}
+
+TEST(Explain, EmptyTraceSaysSo) {
+  obs::ExplainInput in;
+  in.loop_name = "empty";
+  in.mii = 1;
+  const std::string out = obs::render_tms_explain(in);
+  EXPECT_NE(out.find("no scheduling attempts recorded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tms

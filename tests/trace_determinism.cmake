@@ -1,0 +1,43 @@
+# Binary-level determinism check: tmsbatch's --stable-json report and the
+# canonical trace must be byte-identical across --jobs 1/2/8. Run as
+#   cmake -DTMSBATCH=... -DLOOPS_DIR=... -DWORK_DIR=... -P trace_determinism.cmake
+# by the trace_determinism ctest.
+foreach(var TMSBATCH LOOPS_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+foreach(jobs 1 2 8)
+  execute_process(
+    COMMAND "${TMSBATCH}" "${LOOPS_DIR}/dotprod.loop" "${LOOPS_DIR}/stencil.loop"
+            --schedulers sms,tms --simulate 50 --no-cache --stable-json
+            --jobs ${jobs} --quiet
+            --trace "${WORK_DIR}/trace${jobs}.json"
+            --json "${WORK_DIR}/report${jobs}.json"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tmsbatch --jobs ${jobs} failed (${rc}):\n${out}\n${err}")
+  endif()
+endforeach()
+
+foreach(kind trace report)
+  foreach(jobs 2 8)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              "${WORK_DIR}/${kind}1.json" "${WORK_DIR}/${kind}${jobs}.json"
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+          "${kind} JSON differs between --jobs 1 and --jobs ${jobs}; "
+          "canonical output must be thread-count-invariant")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "trace + report JSON byte-identical across --jobs 1/2/8")

@@ -1,0 +1,197 @@
+// mdcheck — offline markdown link checker for the repo's documentation.
+//
+// Walks the given markdown files (or directories, scanned for *.md) and
+// verifies every inline link [text](target):
+//   - relative file targets must exist on disk (resolved against the
+//     linking file's directory);
+//   - #fragment targets — same-file or file.md#section — must match a
+//     heading in the target file, using GitHub's anchor slugification
+//     (lowercase, punctuation stripped, spaces to hyphens, -N suffixes
+//     for duplicates);
+//   - external targets (http://, https://, mailto:) are skipped: CI has
+//     no network and the docs must check clean offline.
+// Links inside fenced code blocks and inline code spans are ignored.
+//
+// Exit status: 0 when every link resolves, 1 with one line per broken
+// link otherwise. Run by the md_links ctest over docs/, README.md and
+// CHANGES.md.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Link {
+  std::string target;
+  int line = 0;
+};
+
+/// GitHub-style heading anchor: lowercase, keep [a-z0-9 _-], then
+/// spaces -> hyphens. Inline-code backticks and other punctuation drop.
+std::string slugify(const std::string& heading) {
+  std::string s;
+  for (const char c : heading) {
+    const char lc = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (std::isalnum(static_cast<unsigned char>(lc)) || lc == '_' || lc == '-' || lc == ' ') {
+      s.push_back(lc == ' ' ? '-' : lc);
+    }
+  }
+  return s;
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  std::size_t e = s.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+/// Replaces inline code spans (`...`) with spaces so their content is
+/// never mistaken for link syntax.
+std::string blank_code_spans(std::string line) {
+  bool in_code = false;
+  for (char& c : line) {
+    if (c == '`') {
+      in_code = !in_code;
+      c = ' ';
+    } else if (in_code) {
+      c = ' ';
+    }
+  }
+  return line;
+}
+
+struct Document {
+  std::vector<Link> links;
+  std::set<std::string> anchors;
+};
+
+Document parse(const fs::path& path) {
+  Document doc;
+  std::ifstream in(path);
+  std::string raw;
+  std::map<std::string, int> slug_count;
+  bool in_fence = false;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string trimmed = strip(raw);
+    if (trimmed.rfind("```", 0) == 0 || trimmed.rfind("~~~", 0) == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) continue;
+
+    if (!trimmed.empty() && trimmed[0] == '#') {
+      std::size_t level = trimmed.find_first_not_of('#');
+      if (level != std::string::npos && level <= 6 && trimmed[level] == ' ') {
+        const std::string slug = slugify(strip(trimmed.substr(level + 1)));
+        const int n = slug_count[slug]++;
+        doc.anchors.insert(n == 0 ? slug : slug + "-" + std::to_string(n));
+      }
+    }
+
+    const std::string line = blank_code_spans(raw);
+    for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+      if (line[i] != ']' || line[i + 1] != '(') continue;
+      const std::size_t open = i + 1;
+      int depth = 1;
+      std::size_t j = open + 1;
+      for (; j < line.size() && depth > 0; ++j) {
+        if (line[j] == '(') ++depth;
+        if (line[j] == ')') --depth;
+      }
+      if (depth != 0) continue;  // unbalanced: prose, not a link
+      std::string target = strip(line.substr(open + 1, j - open - 2));
+      // "[text](url "title")" — drop the optional title.
+      const std::size_t sp = target.find(' ');
+      if (sp != std::string::npos) {
+        if (target.find('"', sp) == std::string::npos) continue;  // prose
+        target = strip(target.substr(0, sp));
+      }
+      if (!target.empty()) doc.links.push_back({target, lineno});
+    }
+  }
+  return doc;
+}
+
+bool is_external(const std::string& t) {
+  return t.find("://") != std::string::npos || t.rfind("mailto:", 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p(argv[i]);
+    if (fs::is_directory(p)) {
+      for (const fs::directory_entry& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file() && e.path().extension() == ".md") files.push_back(e.path());
+      }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "mdcheck: no such file or directory: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: mdcheck FILE_OR_DIR...\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  std::map<fs::path, Document> docs;
+  for (const fs::path& f : files) docs[fs::weakly_canonical(f)] = parse(f);
+
+  int broken = 0;
+  int checked = 0;
+  for (const fs::path& f : files) {
+    const fs::path self = fs::weakly_canonical(f);
+    for (const Link& l : docs[self].links) {
+      if (is_external(l.target)) continue;
+      ++checked;
+      std::string file_part = l.target;
+      std::string frag;
+      const std::size_t hash = l.target.find('#');
+      if (hash != std::string::npos) {
+        file_part = l.target.substr(0, hash);
+        frag = l.target.substr(hash + 1);
+      }
+      fs::path target = file_part.empty() ? self : fs::weakly_canonical(f.parent_path() / file_part);
+      if (!file_part.empty() && !fs::exists(target)) {
+        std::fprintf(stderr, "%s:%d: broken link: %s (file not found)\n", f.string().c_str(),
+                     l.line, l.target.c_str());
+        ++broken;
+        continue;
+      }
+      if (frag.empty()) continue;
+      if (target.extension() != ".md") continue;  // cannot check anchors elsewhere
+      auto it = docs.find(target);
+      if (it == docs.end()) {
+        it = docs.emplace(target, parse(target)).first;  // linked but not listed
+      }
+      if (it->second.anchors.count(frag) == 0) {
+        std::fprintf(stderr, "%s:%d: broken anchor: %s (no heading '#%s' in %s)\n",
+                     f.string().c_str(), l.line, l.target.c_str(), frag.c_str(),
+                     target.filename().string().c_str());
+        ++broken;
+      }
+    }
+  }
+
+  std::printf("mdcheck: %zu file(s), %d internal link(s) checked, %d broken\n", files.size(),
+              checked, broken);
+  return broken == 0 ? 0 : 1;
+}

@@ -29,6 +29,16 @@
 //     --ncore N                cores of the SpMT machine  (default 4)
 //     --seed S                 batch seed for simulation/oracle streams
 //     --quiet                  print only the summary, not the per-job table
+//     --trace PATH             record a structured trace of the run and
+//                              write it to PATH: Chrome trace_event JSON
+//                              (load in Perfetto / chrome://tracing), or
+//                              the canonical timestamp-free form when
+//                              --stable-json is also given
+//     --trace-buf N            trace buffer capacity in events
+//                                                         (default 1048576)
+//     --explain LOOP           instead of running the batch, schedule the
+//                              named loop with TMS under tracing and print
+//                              a narrative of the relaxation ladder
 //
 // Exit status: 0 when every job is ok, 1 when any job failed, 2 on usage
 // errors.
@@ -41,10 +51,15 @@
 #include <string>
 #include <vector>
 
+#include "cost/cost_model.hpp"
 #include "driver/batch.hpp"
 #include "driver/job_pool.hpp"
 #include "driver/schedule_cache.hpp"
 #include "ir/textio.hpp"
+#include "obs/explain.hpp"
+#include "obs/trace.hpp"
+#include "sched/mii.hpp"
+#include "sched/tms.hpp"
 #include "workloads/builder.hpp"
 #include "workloads/doacross.hpp"
 #include "workloads/kernels.hpp"
@@ -60,7 +75,7 @@ int usage(const char* argv0) {
                "          [--schedulers sms,ims,tms] [--jobs N] [--cache-dir DIR]\n"
                "          [--cache-capacity N] [--no-cache] [--json PATH] [--stable-json]\n"
                "          [--simulate N] [--oracle N] [--no-validate] [--ncore N] [--seed S]\n"
-               "          [--quiet]\n",
+               "          [--quiet] [--trace PATH] [--trace-buf N] [--explain LOOP]\n",
                argv0);
   return 2;
 }
@@ -130,10 +145,54 @@ void add_spec_suite(std::vector<NamedLoop>& out, int jobs) {
   out.resize(base + items.size());
   driver::JobPool pool(jobs);
   pool.run(items.size(), [&](std::size_t i) {
+    obs::ScopedContext ctx(obs::kCtxSuiteGen, static_cast<std::int32_t>(i));
     ir::Loop loop = workloads::build_loop(items[i].shaped.shape);
     loop.set_coverage(items[i].shaped.coverage);
     out[base + i] = {items[i].bench + "/" + loop.name(), std::move(loop)};
   });
+}
+
+/// --explain: schedule one loop with TMS under tracing, render the
+/// relaxation-ladder narrative from the captured events.
+int run_explain(const NamedLoop& nl, const machine::MachineModel& mach,
+                const machine::SpmtConfig& cfg, std::size_t trace_buf) {
+  if (!obs::trace_compiled()) {
+    std::fprintf(stderr, "--explain needs tracing, but this build has TMS_TRACE=0\n");
+    return 2;
+  }
+  obs::trace_enable(trace_buf);
+  std::optional<sched::TmsResult> result;
+  {
+    obs::ScopedContext ctx(obs::kCtxExplain, 0);
+    result = sched::tms_schedule(nl.loop, mach, cfg);
+  }
+
+  std::vector<obs::TraceEvent> events = obs::trace_snapshot();
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [](const obs::TraceEvent& e) {
+                                return e.ctx_phase != obs::kCtxExplain;
+                              }),
+               events.end());
+
+  obs::ExplainInput in;
+  in.loop_name = nl.name;
+  in.scheduler = "tms";
+  for (ir::NodeId v = 0; v < nl.loop.num_instrs(); ++v) {
+    in.node_names.push_back(nl.loop.instr(v).name);
+  }
+  in.mii = result.has_value() ? result->mii : sched::min_ii(nl.loop, mach);
+  if (result.has_value()) {
+    in.f_breakdown = cost::f_breakdown(result->schedule.ii(), result->schedule.c_delay(cfg),
+                                       result->misspec_probability, cfg);
+  }
+  in.events = std::move(events);
+  std::printf("%s", obs::render_tms_explain(in).c_str());
+  if (obs::trace_dropped() > 0) {
+    std::fprintf(stderr, "warning: %llu trace event(s) dropped; re-run with a larger --trace-buf\n",
+                 static_cast<unsigned long long>(obs::trace_dropped()));
+  }
+  obs::trace_disable();
+  return result.has_value() ? 0 : 1;
 }
 
 }  // namespace
@@ -151,6 +210,9 @@ int main(int argc, char** argv) {
   bool stable_json = false;
   int ncore = 4;
   bool quiet = false;
+  std::string trace_path;
+  std::size_t trace_buf = 1u << 20;
+  std::string explain_loop;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -192,6 +254,12 @@ int main(int argc, char** argv) {
       opts.seed = std::strtoull(next("--seed"), nullptr, 10);
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--trace") {
+      trace_path = next("--trace");
+    } else if (a == "--trace-buf") {
+      trace_buf = std::strtoull(next("--trace-buf"), nullptr, 10);
+    } else if (a == "--explain") {
+      explain_loop = next("--explain");
     } else if (!a.empty() && a[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -203,6 +271,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
       return 2;
     }
+  }
+
+  // Arm the tracer before any loops are built so suite generation is
+  // captured too (--explain arms its own buffer later instead).
+  const bool tracing = !trace_path.empty() && explain_loop.empty();
+  if (tracing) {
+    if (!obs::trace_compiled()) {
+      std::fprintf(stderr, "--trace needs tracing, but this build has TMS_TRACE=0\n");
+      return 2;
+    }
+    obs::trace_enable(trace_buf);
   }
 
   std::vector<NamedLoop> loops;
@@ -254,6 +333,16 @@ int main(int argc, char** argv) {
   machine::SpmtConfig cfg;
   cfg.ncore = ncore;
 
+  if (!explain_loop.empty()) {
+    for (const NamedLoop& nl : loops) {
+      if (nl.name == explain_loop || nl.loop.name() == explain_loop) {
+        return run_explain(nl, mach, cfg, trace_buf);
+      }
+    }
+    std::fprintf(stderr, "--explain: no loaded loop is named '%s'\n", explain_loop.c_str());
+    return 2;
+  }
+
   std::vector<driver::BatchJob> jobs;
   jobs.reserve(loops.size() * schedulers.size());
   for (const NamedLoop& nl : loops) {
@@ -284,6 +373,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << report.to_json(/*include_volatile=*/!stable_json) << '\n';
+  }
+
+  if (tracing) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    // Canonical (timestamp-free, thread-count-invariant) with
+    // --stable-json; Chrome trace_event JSON for Perfetto otherwise.
+    out << (stable_json ? obs::trace_canonical_json() : obs::trace_chrome_json()) << '\n';
+    if (obs::trace_dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: %llu trace event(s) dropped%s; re-run with a larger --trace-buf\n",
+                   static_cast<unsigned long long>(obs::trace_dropped()),
+                   stable_json ? " (canonical trace is not comparable across runs)" : "");
+    }
+    obs::trace_disable();
   }
 
   return report.count(driver::JobStatus::kOk) == static_cast<int>(report.results.size()) ? 0 : 1;

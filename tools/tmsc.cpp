@@ -44,7 +44,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <loop-file> [--scheduler sms|ims|tms] [--ncore N] [--unroll U]\n"
                "          [--simulate N] [--baseline N] [--render flat|kernel|exec|dot|all]\n"
-               "          [--metrics]\n",
+               "          [--profile N] [--registers N] [--metrics]\n",
                argv0);
   return 2;
 }
