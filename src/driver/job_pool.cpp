@@ -123,4 +123,114 @@ void JobPool::run(std::size_t count, const std::function<void(std::size_t)>& bod
   if (first_error) std::rethrow_exception(first_error);
 }
 
+TaskPool::TaskState TaskPool::Task::state() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+bool TaskPool::Task::cancel() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != TaskState::kQueued) return false;
+  state_ = TaskState::kCancelled;
+  fn_ = nullptr;  // drop captures eagerly; the body will never run
+  cv_.notify_all();
+  return true;
+}
+
+void TaskPool::Task::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return finished_locked(); });
+}
+
+bool TaskPool::Task::wait_until(std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_until(lock, deadline, [&] { return finished_locked(); });
+}
+
+void TaskPool::Task::rethrow() {
+  std::exception_ptr err;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    err = error_;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+TaskPool::TaskPool(int threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity > 0 ? queue_capacity : 1) {
+  const int n = threads > 0 ? threads : JobPool::default_threads();
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskPool::~TaskPool() { shutdown(Drain::kCancelQueued); }
+
+std::shared_ptr<TaskPool::Task> TaskPool::try_submit(std::function<void()> fn) {
+  auto task = std::make_shared<Task>();
+  task->fn_ = std::move(fn);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= capacity_) return nullptr;
+    queue_.push_back(task);
+  }
+  cv_.notify_one();
+  return task;
+}
+
+std::size_t TaskPool::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void TaskPool::shutdown(Drain mode) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      finish_queued_ = mode == Drain::kFinishQueued;
+      if (!finish_queued_) {
+        for (const std::shared_ptr<Task>& t : queue_) t->cancel();
+        queue_.clear();
+      }
+    }
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::function<void()> body;
+    {
+      const std::lock_guard<std::mutex> lock(task->mu_);
+      if (task->state_ != TaskState::kQueued) continue;  // cancelled while queued
+      task->state_ = TaskState::kRunning;
+      body = std::move(task->fn_);
+      task->fn_ = nullptr;
+    }
+    std::exception_ptr error;
+    try {
+      body();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(task->mu_);
+      task->error_ = error;
+      task->state_ = error ? TaskState::kFailed : TaskState::kDone;
+      task->cv_.notify_all();
+    }
+  }
+}
+
 }  // namespace tms::driver

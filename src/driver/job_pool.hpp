@@ -25,9 +25,16 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace tms::driver {
@@ -83,6 +90,92 @@ class JobPool {
 
  private:
   int threads_;
+};
+
+/// Persistent bounded executor for the compile service (src/serve).
+///
+/// JobPool::run is a batch primitive: it assumes every job is known up
+/// front and tears the workers down when the batch drains. A daemon needs
+/// the opposite shape — workers that outlive any one request, a bounded
+/// submission queue whose high-water mark is the admission-control knob,
+/// and per-task lifecycle hooks the service builds on:
+///
+/// - try_submit never blocks: it returns nullptr when the queue is at
+///   capacity (the caller turns that into a RETRY_AFTER response) or the
+///   pool is shut down.
+/// - A queued task can be cancelled before it starts (deadline expiry
+///   while waiting); cancellation of a running task is cooperative — the
+///   task body checks its own deadline between pipeline stages.
+/// - An exception escaping a task body is captured into the task (state
+///   kFailed, rethrown by rethrow()), never onto a worker thread.
+/// - shutdown(kFinishQueued) drains the queue then joins (graceful
+///   drain); shutdown(kCancelQueued) cancels everything still queued,
+///   finishes only the tasks already running, then joins.
+class TaskPool {
+ public:
+  enum class TaskState { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+  class Task {
+   public:
+    TaskState state() const;
+
+    /// Queued -> cancelled; returns false once the task started (or
+    /// finished). A cancelled task's body never runs.
+    bool cancel();
+
+    /// Blocks until the task is done, failed, or cancelled.
+    void wait();
+
+    /// wait() with a deadline; false when the deadline passed first.
+    bool wait_until(std::chrono::steady_clock::time_point deadline);
+
+    /// Rethrows the exception captured from the task body, if any.
+    void rethrow();
+
+   private:
+    friend class TaskPool;
+    std::function<void()> fn_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    TaskState state_ = TaskState::kQueued;
+    std::exception_ptr error_;
+
+    bool finished_locked() const {
+      return state_ == TaskState::kDone || state_ == TaskState::kFailed ||
+             state_ == TaskState::kCancelled;
+    }
+  };
+
+  /// threads <= 0 selects JobPool::default_threads(); queue_capacity is
+  /// the admission high-water mark (tasks queued, not running).
+  TaskPool(int threads, std::size_t queue_capacity);
+  ~TaskPool();  ///< shutdown(Drain::kCancelQueued)
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// nullptr when the queue is full or the pool is shut down.
+  std::shared_ptr<Task> try_submit(std::function<void()> fn);
+
+  std::size_t queue_depth() const;
+  std::size_t queue_capacity() const { return capacity_; }
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  enum class Drain { kFinishQueued, kCancelQueued };
+
+  /// Idempotent; joins the workers before returning.
+  void shutdown(Drain mode);
+
+ private:
+  void worker_loop();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Task>> queue_;
+  bool shutdown_ = false;
+  bool finish_queued_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace tms::driver

@@ -9,6 +9,7 @@
 
 #include "ir/opcode.hpp"
 #include "ir/textio.hpp"
+#include "obs/counters.hpp"
 
 namespace tms::driver {
 
@@ -68,8 +69,26 @@ std::string hex_key(std::uint64_t key) {
 
 }  // namespace
 
-ScheduleCache::ScheduleCache(std::size_t capacity, std::string disk_dir)
-    : shard_capacity_(std::max<std::size_t>(1, capacity / kShards)), dir_(std::move(disk_dir)) {}
+ScheduleCache::ScheduleCache(std::size_t capacity, std::string disk_dir,
+                             std::uint64_t max_disk_bytes)
+    : capacity_(capacity),
+      shard_capacity_(std::max<std::size_t>(1, capacity / kShards)),
+      dir_(std::move(disk_dir)),
+      max_disk_bytes_(max_disk_bytes) {
+  if (dir_.empty()) return;
+  // Seed the byte accounting from whatever a previous process left
+  // behind, so the bound holds across restarts, not just within one run.
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::uint64_t bytes = 0;
+  for (const auto& e : fs::directory_iterator(dir_, ec)) {
+    if (e.is_regular_file(ec) && e.path().extension() == ".tmscache") {
+      bytes += static_cast<std::uint64_t>(e.file_size(ec));
+    }
+  }
+  disk_bytes_.store(bytes, std::memory_order_relaxed);
+  if (max_disk_bytes_ > 0 && bytes > max_disk_bytes_) enforce_disk_bound({});
+}
 
 std::string ScheduleCache::key_string(const ir::Loop& loop, const machine::MachineModel& mach,
                                       const machine::SpmtConfig& cfg,
@@ -138,6 +157,7 @@ void ScheduleCache::insert_locked(Shard& s, std::uint64_t key, const Entry& entr
     s.map.erase(s.lru.back().first);
     s.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::counters().driver_cache_evictions_mem.add(1);
   }
 }
 
@@ -239,8 +259,64 @@ void ScheduleCache::store_to_disk(std::uint64_t key, const Entry& entry) {
   }
   // Atomic publish: readers either see the old complete file or the new
   // complete file, never a partial write. Last concurrent writer wins.
-  fs::rename(tmp, path, ec);
-  if (ec) fs::remove(tmp, ec);
+  // Byte accounting and the rename happen under disk_mu_ so the replaced
+  // file's size is subtracted exactly once even with concurrent writers.
+  {
+    const std::lock_guard<std::mutex> lock(disk_mu_);
+    const auto old_size = fs::file_size(path, ec);
+    const std::uint64_t replaced = ec ? 0 : static_cast<std::uint64_t>(old_size);
+    ec.clear();
+    const auto new_size = fs::file_size(tmp, ec);
+    const std::uint64_t written = ec ? 0 : static_cast<std::uint64_t>(new_size);
+    ec.clear();
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      fs::remove(tmp, ec);
+      return;
+    }
+    disk_bytes_.fetch_add(written, std::memory_order_relaxed);
+    disk_bytes_.fetch_sub(std::min(replaced, disk_bytes_.load(std::memory_order_relaxed)),
+                          std::memory_order_relaxed);
+  }
+  if (max_disk_bytes_ > 0 && disk_bytes_.load(std::memory_order_relaxed) > max_disk_bytes_) {
+    enforce_disk_bound(path);
+  }
+}
+
+void ScheduleCache::enforce_disk_bound(const std::string& keep) {
+  namespace fs = std::filesystem;
+  const std::lock_guard<std::mutex> lock(disk_mu_);
+  if (disk_bytes_.load(std::memory_order_relaxed) <= max_disk_bytes_) return;
+
+  struct File {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t size = 0;
+  };
+  std::error_code ec;
+  std::vector<File> files;
+  for (const auto& e : fs::directory_iterator(dir_, ec)) {
+    if (!e.is_regular_file(ec) || e.path().extension() != ".tmscache") continue;
+    if (!keep.empty() && e.path() == fs::path(keep)) continue;
+    File f;
+    f.path = e.path();
+    f.mtime = e.last_write_time(ec);
+    f.size = static_cast<std::uint64_t>(e.file_size(ec));
+    files.push_back(std::move(f));
+  }
+  // Oldest write first — the disk analogue of LRU under write-through
+  // (every insert rewrites its file, refreshing the mtime).
+  std::sort(files.begin(), files.end(),
+            [](const File& a, const File& b) { return a.mtime < b.mtime; });
+  for (const File& f : files) {
+    if (disk_bytes_.load(std::memory_order_relaxed) <= max_disk_bytes_) break;
+    fs::remove(f.path, ec);
+    if (ec) continue;
+    disk_bytes_.fetch_sub(std::min(f.size, disk_bytes_.load(std::memory_order_relaxed)),
+                          std::memory_order_relaxed);
+    disk_evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::counters().driver_cache_evictions_disk.add(1);
+  }
 }
 
 ScheduleCache::Stats ScheduleCache::stats() const {
@@ -251,6 +327,10 @@ ScheduleCache::Stats ScheduleCache::stats() const {
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.disk_rejects = disk_rejects_.load(std::memory_order_relaxed);
+  s.disk_evictions = disk_evictions_.load(std::memory_order_relaxed);
+  s.disk_bytes = disk_bytes_.load(std::memory_order_relaxed);
+  s.capacity = capacity_;
+  s.max_disk_bytes = max_disk_bytes_;
   return s;
 }
 

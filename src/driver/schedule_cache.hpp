@@ -25,7 +25,10 @@
 // the same shard) with optional on-disk persistence: one text file per
 // entry under `dir/<16-hex-key>.tmscache`, written to a temp file and
 // atomically renamed so concurrent writers and readers never see a torn
-// entry. Loads re-verify the embedded key and the slot count against the
+// entry. Both tiers are bounded so a long-lived process (tmsd) cannot
+// grow without limit: the memory tier by entry count (LRU eviction), the
+// disk tier by total bytes (least-recently-written files are removed
+// after each write until the store fits again). Loads re-verify the embedded key and the slot count against the
 // loop being scheduled; any malformed, truncated, or mismatched file is
 // rejected (counted in stats().disk_rejects) and the caller recomputes.
 // Semantic corruption — a well-formed entry whose slots violate the
@@ -68,6 +71,10 @@ class ScheduleCache {
     std::uint64_t inserts = 0;
     std::uint64_t evictions = 0;
     std::uint64_t disk_rejects = 0;  ///< corrupt/mismatched on-disk entries
+    std::uint64_t disk_evictions = 0;  ///< files removed by the max-bytes bound
+    std::uint64_t disk_bytes = 0;      ///< current on-disk store size
+    std::uint64_t capacity = 0;        ///< configured in-memory entry bound
+    std::uint64_t max_disk_bytes = 0;  ///< configured disk bound; 0 = unbounded
 
     std::uint64_t hits() const { return memory_hits + disk_hits; }
     double hit_rate() const {
@@ -78,8 +85,11 @@ class ScheduleCache {
 
   /// `capacity` bounds the total in-memory entry count (split evenly
   /// across shards); `disk_dir` enables persistence when non-empty (the
-  /// directory is created on first insert).
-  explicit ScheduleCache(std::size_t capacity = 1 << 16, std::string disk_dir = {});
+  /// directory is created on first insert). `max_disk_bytes` bounds the
+  /// on-disk store: after every write, least-recently-written entry files
+  /// are removed until the directory fits (0 = unbounded).
+  explicit ScheduleCache(std::size_t capacity = 1 << 16, std::string disk_dir = {},
+                         std::uint64_t max_disk_bytes = 0);
 
   /// The canonical key string hashed by key(); exposed so tests and
   /// docs/DRIVER.md can pin down exactly what invalidates an entry.
@@ -120,10 +130,16 @@ class ScheduleCache {
   std::optional<Entry> load_from_disk(std::uint64_t key, int expect_instrs);
   void store_to_disk(std::uint64_t key, const Entry& entry);
   void insert_locked(Shard& s, std::uint64_t key, const Entry& entry);
+  /// Removes least-recently-written entry files until the store fits the
+  /// byte bound again, sparing `keep` (the file just written).
+  void enforce_disk_bound(const std::string& keep);
 
+  std::size_t capacity_;
   std::size_t shard_capacity_;
   std::string dir_;
+  std::uint64_t max_disk_bytes_;
   std::array<Shard, kShards> shards_;
+  std::mutex disk_mu_;  ///< serialises disk-bound accounting and eviction
 
   mutable std::atomic<std::uint64_t> memory_hits_{0};
   mutable std::atomic<std::uint64_t> disk_hits_{0};
@@ -131,6 +147,8 @@ class ScheduleCache {
   mutable std::atomic<std::uint64_t> inserts_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};
   mutable std::atomic<std::uint64_t> disk_rejects_{0};
+  mutable std::atomic<std::uint64_t> disk_evictions_{0};
+  mutable std::atomic<std::uint64_t> disk_bytes_{0};
   std::atomic<std::uint64_t> tmp_counter_{0};
 };
 

@@ -1,5 +1,7 @@
 #include "ir/textio.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -18,6 +20,93 @@ const std::map<std::string, Opcode>& opcode_names() {
       {"nop", Opcode::kNop},
   };
   return names;
+}
+
+// Names are free-form (workload generators embed expressions like
+// "y - x[i-1]"), so the text format quotes any name the tokeniser would
+// otherwise split or misread, with C-style escapes for the characters
+// that would break a quoted, line-oriented form.
+bool needs_quoting(const std::string& name) {
+  if (name.empty()) return true;
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '"' || c == '#' || c == '\\' || c == '\n' || c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_name(std::ostream& os, const std::string& name) {
+  if (!needs_quoting(name)) {
+    os << name;
+    return;
+  }
+  os << '"';
+  for (const char c : name) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+/// Reads a possibly-quoted name token. False on a malformed (unclosed
+/// quote, bad escape) or missing name.
+bool read_name(std::istream& ls, std::string& out) {
+  ls >> std::ws;
+  if (ls.peek() != '"') return static_cast<bool>(ls >> out);
+  ls.get();
+  out.clear();
+  for (int c = ls.get(); c != EOF; c = ls.get()) {
+    if (c == '"') return true;
+    if (c != '\\') {
+      out.push_back(static_cast<char>(c));
+      continue;
+    }
+    switch (ls.get()) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      default: return false;
+    }
+  }
+  return false;  // unterminated quote
+}
+
+/// Erases a '#' comment, ignoring '#' inside quoted names.
+void strip_comment(std::string& line) {
+  bool in_quote = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quote && c == '\\') {
+      ++i;
+    } else if (c == '"') {
+      in_quote = !in_quote;
+    } else if (c == '#' && !in_quote) {
+      line.erase(i);
+      return;
+    }
+  }
+}
+
+/// Prints `v` with the fewest digits that read back exactly. Matters
+/// beyond aesthetics: serialised loop text is the ScheduleCache's key
+/// content, so two loops whose probabilities differ only past the
+/// default six significant digits must not serialise identically.
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  os << buf;
 }
 
 bool parse_dep_type(const std::string& word, DepType& out) {
@@ -46,15 +135,14 @@ std::variant<Loop, ParseError> parse_loop(std::istream& in) {
 
   while (std::getline(in, line)) {
     ++lineno;
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
+    strip_comment(line);
     std::istringstream ls(line);
     std::string kw;
     if (!(ls >> kw)) continue;  // blank line
 
     if (kw == "loop") {
       std::string name;
-      if (!(ls >> name)) return fail("'loop' requires a name");
+      if (!read_name(ls, name)) return fail("'loop' requires a name");
       loop.set_name(name);
       named = true;
     } else if (kw == "coverage") {
@@ -64,7 +152,7 @@ std::variant<Loop, ParseError> parse_loop(std::istream& in) {
     } else if (kw == "instr") {
       std::string name;
       std::string opname;
-      if (!(ls >> name >> opname)) return fail("'instr' requires: name opcode");
+      if (!read_name(ls, name) || !(ls >> opname)) return fail("'instr' requires: name opcode");
       if (ids.count(name) != 0) return fail("duplicate instruction name '" + name + "'");
       const auto it = opcode_names().find(opname);
       if (it == opcode_names().end()) return fail("unknown opcode '" + opname + "'");
@@ -73,7 +161,7 @@ std::variant<Loop, ParseError> parse_loop(std::istream& in) {
       std::string src;
       std::string dst;
       int distance = 0;
-      if (!(ls >> src >> dst >> distance)) {
+      if (!read_name(ls, src) || !read_name(ls, dst) || !(ls >> distance)) {
         return fail("'" + kw + "' requires: src dst distance");
       }
       if (ids.count(src) == 0) return fail("unknown instruction '" + src + "'");
@@ -95,7 +183,7 @@ std::variant<Loop, ParseError> parse_loop(std::istream& in) {
                    type, distance, probability);
     } else if (kw == "livein") {
       std::string name;
-      if (!(ls >> name)) return fail("'livein' requires an instruction name");
+      if (!read_name(ls, name)) return fail("'livein' requires an instruction name");
       if (ids.count(name) == 0) return fail("unknown instruction '" + name + "'");
       loop.mark_live_in(ids[name]);
     } else {
@@ -120,25 +208,38 @@ std::variant<Loop, ParseError> parse_loop_string(const std::string& text) {
 
 std::string serialise_loop(const Loop& loop) {
   std::ostringstream os;
-  os << "loop " << loop.name() << "\n";
-  if (loop.coverage() > 0.0) os << "coverage " << loop.coverage() << "\n";
+  os << "loop ";
+  write_name(os, loop.name());
+  os << "\n";
+  if (loop.coverage() > 0.0) {
+    os << "coverage ";
+    write_double(os, loop.coverage());
+    os << "\n";
+  }
   for (const Instr& ins : loop.instrs()) {
-    os << "instr " << ins.name << " " << to_string(ins.op) << "\n";
+    os << "instr ";
+    write_name(os, ins.name);
+    os << " " << to_string(ins.op) << "\n";
   }
   for (const DepEdge& e : loop.deps()) {
     const char* type = e.type == DepType::kFlow    ? "flow"
                        : e.type == DepType::kAnti ? "anti"
                                                   : "output";
-    if (e.kind == DepKind::kRegister) {
-      os << "reg " << loop.instr(e.src).name << " " << loop.instr(e.dst).name << " "
-         << e.distance << " " << type << "\n";
-    } else {
-      os << "mem " << loop.instr(e.src).name << " " << loop.instr(e.dst).name << " "
-         << e.distance << " " << e.probability << " " << type << "\n";
+    os << (e.kind == DepKind::kRegister ? "reg " : "mem ");
+    write_name(os, loop.instr(e.src).name);
+    os << " ";
+    write_name(os, loop.instr(e.dst).name);
+    os << " " << e.distance;
+    if (e.kind == DepKind::kMemory) {
+      os << " ";
+      write_double(os, e.probability);
     }
+    os << " " << type << "\n";
   }
   for (const NodeId v : loop.live_ins()) {
-    os << "livein " << loop.instr(v).name << "\n";
+    os << "livein ";
+    write_name(os, loop.instr(v).name);
+    os << "\n";
   }
   return os.str();
 }

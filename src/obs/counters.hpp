@@ -60,13 +60,25 @@ namespace tms::obs {
   X(sim_squashed_cycles,     "sim.squashed_cycles",     "cycles",     "wasted execution plus invalidation cycles of squashed threads")         \
   X(sim_send_recv_pairs,     "sim.send_recv_pairs",     "pairs",      "dynamic SEND/RECV pairs in committed threads")                          \
   X(workloads_loops_built,   "workloads.loops_built",   "loops",      "loops materialised by workloads::build_loop")                           \
-  X(trace_events_dropped,    "trace.events_dropped",    "events",     "trace events dropped because the ring buffer was full")
+  X(trace_events_dropped,    "trace.events_dropped",    "events",     "trace events dropped because the ring buffer was full")                 \
+  X(driver_cache_evictions_mem,  "driver.cache_evictions_mem",  "entries", "in-memory ScheduleCache entries evicted by the LRU capacity bound") \
+  X(driver_cache_evictions_disk, "driver.cache_evictions_disk", "files",   "on-disk ScheduleCache files evicted by the max-bytes bound")        \
+  X(serve_connections,       "serve.connections",       "conns",      "client connections accepted by the compile service")                    \
+  X(serve_requests,          "serve.requests",          "requests",   "requests admitted into the compile-service queue")                      \
+  X(serve_responses_ok,      "serve.responses_ok",      "requests",   "requests answered with a schedule")                                     \
+  X(serve_responses_error,   "serve.responses_error",   "requests",   "requests answered with a structured error")                             \
+  X(serve_rejected_overload, "serve.rejected_overload", "requests",   "requests refused with a retry_after error because the queue was over its high-water mark") \
+  X(serve_rejected_malformed, "serve.rejected_malformed", "frames",   "malformed frames or request payloads rejected by the compile service")  \
+  X(serve_deadline_missed,   "serve.deadline_missed",   "requests",   "requests cancelled or answered late because their deadline expired")    \
+  X(serve_drain_refused,     "serve.drain_refused",     "requests",   "requests refused because the server was draining")                      \
+  X(serve_idle_timeouts,     "serve.idle_timeouts",     "conns",      "connections closed by the idle read timeout")
 
 /// X(field, name, unit, description) — fixed-bucket histograms
 /// (buckets 0, 1, 2, 3, 4-7, 8-15, 16-31, 32+).
 #define TMS_HISTOGRAM_LIST(X)                                                          \
   X(sched_ii_minus_mii,      "sched.ii_minus_mii",      "cycles",     "II inflation over MII of accepted schedules, all schedulers")           \
-  X(sched_tms_c_delay,       "sched.tms_c_delay",       "cycles",     "achieved C_delay of accepted TMS schedules")
+  X(sched_tms_c_delay,       "sched.tms_c_delay",       "cycles",     "achieved C_delay of accepted TMS schedules")                            \
+  X(serve_queue_depth,       "serve.queue_depth",       "tasks",      "compile-queue depth observed at each admission")
 // clang-format on
 
 class Counter {

@@ -1,0 +1,154 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tms::serve {
+
+namespace {
+
+void set_io_timeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reader_ = FrameReader();
+}
+
+std::optional<std::string> Client::connect_unix(const std::string& path, int timeout_ms) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) return std::string("socket path too long");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return std::string("socket: ") + std::strerror(errno);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err = "connect " + path + ": " + std::strerror(errno);
+    close();
+    return err;
+  }
+  set_io_timeout(fd_, timeout_ms);
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::connect_tcp(const std::string& host, int port,
+                                               int timeout_ms) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return "bad address '" + host + "' (numeric IPv4 only)";
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return std::string("socket: ") + std::strerror(errno);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string err =
+        "connect " + host + ":" + std::to_string(port) + ": " + std::strerror(errno);
+    close();
+    return err;
+  }
+  set_io_timeout(fd_, timeout_ms);
+  return std::nullopt;
+}
+
+std::variant<Frame, std::string> Client::roundtrip(FrameType type, std::string_view payload) {
+  if (fd_ < 0) return std::string("not connected");
+  if (!send_all(fd_, encode_frame(type, payload))) {
+    return std::string("send: ") + std::strerror(errno);
+  }
+  char buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    const FrameReader::Next next = reader_.next(frame);
+    if (next == FrameReader::Next::kFrame) return frame;
+    if (next == FrameReader::Next::kError) {
+      return std::string("malformed frame from server: ") +
+             std::string(to_string(reader_.error()));
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) return std::string("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::string("receive timed out");
+      return std::string("recv: ") + std::strerror(errno);
+    }
+    reader_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+std::variant<Response, std::string> Client::compile(const Request& req) {
+  auto result = roundtrip(FrameType::kRequest, serialise_request(req));
+  if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);
+  const Frame& frame = std::get<Frame>(result);
+  if (frame.type != FrameType::kResponse) {
+    return std::string("unexpected frame type ") + std::string(to_string(frame.type));
+  }
+  auto parsed = parse_response(frame.payload);
+  if (auto* err = std::get_if<std::string>(&parsed)) {
+    return "bad response payload: " + *err;
+  }
+  return std::get<Response>(std::move(parsed));
+}
+
+std::optional<std::string> Client::ping() {
+  auto result = roundtrip(FrameType::kPing, {});
+  if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);
+  const Frame& frame = std::get<Frame>(result);
+  if (frame.type == FrameType::kPong) return std::nullopt;
+  if (frame.type == FrameType::kResponse) {
+    auto parsed = parse_response(frame.payload);
+    if (auto* resp = std::get_if<Response>(&parsed); resp != nullptr && !resp->ok) {
+      return "server refused: " + resp->message;
+    }
+  }
+  return std::string("unexpected frame type ") + std::string(to_string(frame.type));
+}
+
+}  // namespace tms::serve

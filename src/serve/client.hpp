@@ -1,0 +1,60 @@
+// Blocking client for the tmsd wire protocol.
+//
+// One Client is one connection. It is deliberately synchronous — send a
+// frame, read frames until the matching response arrives — because every
+// consumer in this tree (tmsq, tmsc --remote, loadgen's per-thread
+// clients) wants exactly that shape; concurrency comes from running many
+// clients, the same way the server runs many connections.
+//
+// Not thread-safe: share nothing, or lock outside.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "serve/frame.hpp"
+#include "serve/message.hpp"
+
+namespace tms::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect over a Unix-domain socket. Returns a failure description,
+  /// or nullopt on success. timeout_ms bounds each send/recv (not the
+  /// whole request), so a stalled server surfaces as an error rather
+  /// than a hang.
+  std::optional<std::string> connect_unix(const std::string& path, int timeout_ms = 30000);
+
+  /// Connect over TCP (tmsd only ever listens on loopback).
+  std::optional<std::string> connect_tcp(const std::string& host, int port,
+                                         int timeout_ms = 30000);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One round trip: serialise, frame, send, read the response frame.
+  /// Returns the Response (which may itself be a structured error, e.g.
+  /// kOverload) or a transport/parse failure description.
+  std::variant<Response, std::string> compile(const Request& req);
+
+  /// Liveness probe. Returns a failure description, or nullopt when the
+  /// server answered the ping.
+  std::optional<std::string> ping();
+
+ private:
+  std::variant<Frame, std::string> roundtrip(FrameType type, std::string_view payload);
+
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+}  // namespace tms::serve

@@ -1,0 +1,85 @@
+#include "serve/frame.hpp"
+
+#include <cstring>
+
+namespace tms::serve {
+
+bool frame_type_known(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         t <= static_cast<std::uint8_t>(FrameType::kPong);
+}
+
+std::string_view to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kRequest: return "request";
+    case FrameType::kResponse: return "response";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+  }
+  return "?";
+}
+
+std::string_view to_string(FrameError e) {
+  switch (e) {
+    case FrameError::kNone: return "none";
+    case FrameError::kBadMagic: return "bad-magic";
+    case FrameError::kBadVersion: return "bad-version";
+    case FrameError::kBadType: return "bad-type";
+    case FrameError::kBadFlags: return "bad-flags";
+    case FrameError::kOversize: return "oversize";
+  }
+  return "?";
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(kFrameMagic, sizeof kFrameMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back('\0');  // flags lo
+  out.push_back('\0');  // flags hi
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::feed(std::string_view bytes) { buf_.append(bytes); }
+
+FrameReader::Next FrameReader::next(Frame& out) {
+  if (error_ != FrameError::kNone) return Next::kError;
+  if (buf_.size() < kFrameHeaderSize) return Next::kNeedMore;
+
+  const unsigned char* h = reinterpret_cast<const unsigned char*>(buf_.data());
+  if (std::memcmp(h, kFrameMagic, sizeof kFrameMagic) != 0) {
+    error_ = FrameError::kBadMagic;
+    return Next::kError;
+  }
+  if (h[4] != kProtocolVersion) {
+    error_ = FrameError::kBadVersion;
+    return Next::kError;
+  }
+  if (!frame_type_known(h[5])) {
+    error_ = FrameError::kBadType;
+    return Next::kError;
+  }
+  if (h[6] != 0 || h[7] != 0) {
+    error_ = FrameError::kBadFlags;
+    return Next::kError;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(h[8 + i]) << (8 * i);
+  if (len > max_payload_) {
+    error_ = FrameError::kOversize;
+    return Next::kError;
+  }
+  if (buf_.size() < kFrameHeaderSize + len) return Next::kNeedMore;
+
+  out.type = static_cast<FrameType>(h[5]);
+  out.payload.assign(buf_, kFrameHeaderSize, len);
+  buf_.erase(0, kFrameHeaderSize + len);
+  return Next::kFrame;
+}
+
+}  // namespace tms::serve

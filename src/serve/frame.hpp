@@ -1,0 +1,97 @@
+// Length-prefixed framing for the tmsd wire protocol.
+//
+// Every message on a tmsd connection is one frame: a fixed 12-byte
+// header followed by an opaque payload. The header is deliberately
+// boring — magic, version, type, reserved flags, length — because the
+// parser faces the network and is fuzz-tested (tmsfuzz --frames): every
+// field is validated before a single payload byte is trusted, and the
+// payload length is capped so a hostile length prefix cannot make the
+// reader allocate unboundedly.
+//
+//   offset  size  field
+//   0       4     magic "TMSQ"
+//   4       1     protocol version (currently 1)
+//   5       1     frame type (FrameType)
+//   6       2     flags, little-endian, must be zero in v1
+//   8       4     payload length, little-endian, <= max_payload
+//
+// FrameReader is incremental: feed() it whatever recv() produced and
+// pull complete frames out with next(). A malformed header poisons the
+// reader (kError) — framing cannot be resynchronised once the byte
+// stream is broken, so the connection must be dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tms::serve {
+
+inline constexpr char kFrameMagic[4] = {'T', 'M', 'S', 'Q'};
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+/// Default payload cap: far above any realistic loop, far below "the
+/// length prefix said 4 GiB".
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,   ///< client -> server: compile request payload
+  kResponse = 2,  ///< server -> client: schedule or structured error
+  kPing = 3,      ///< client -> server: liveness probe, empty payload
+  kPong = 4,      ///< server -> client: liveness reply, empty payload
+};
+
+bool frame_type_known(std::uint8_t t);
+std::string_view to_string(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// Header + payload, ready to write to a socket.
+std::string encode_frame(FrameType type, std::string_view payload);
+
+enum class FrameError {
+  kNone,
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kBadFlags,
+  kOversize,  ///< length prefix above the reader's payload cap
+};
+
+std::string_view to_string(FrameError e);
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::uint32_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes from the transport. Cheap; no parsing happens
+  /// until next().
+  void feed(std::string_view bytes);
+
+  enum class Next {
+    kFrame,     ///< out holds a complete frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< stream is broken; error() names the reason
+  };
+
+  /// Extracts the next complete frame. After kError every further call
+  /// returns kError — the stream cannot be trusted again.
+  Next next(Frame& out);
+
+  FrameError error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (a partial frame in flight).
+  std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::uint32_t max_payload_;
+  std::string buf_;
+  FrameError error_ = FrameError::kNone;
+};
+
+}  // namespace tms::serve

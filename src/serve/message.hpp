@@ -1,0 +1,83 @@
+// Request/response payloads carried inside tmsd frames.
+//
+// Both directions use the same line-oriented text convention as the
+// .loop format and the .tmscache files: a versioned first line, `key
+// value` lines, and (for requests) a `loop` line after which the rest of
+// the payload is the ir::textio loop text. Parsing is strict — an
+// unknown key, a missing field, or trailing garbage is a parse error,
+// never silently ignored — because the request parser faces the network
+// and is fuzz-tested alongside the frame parser.
+//
+// A response is either a schedule (`status ok`: II, MII, the TMS
+// acceptance thresholds, per-node slots — exactly what a ScheduleCache
+// entry stores, so the client reconstructs the identical Schedule) or a
+// structured error (`status error`: an ErrorCode, a one-line message,
+// and for kOverload a retry_after_ms hint the client should back off
+// by).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "ir/loop.hpp"
+
+namespace tms::serve {
+
+struct Request {
+  std::uint64_t id = 0;            ///< client correlation id, echoed back
+  std::string scheduler = "tms";   ///< "sms", "ims" or "tms"
+  int ncore = 4;                   ///< SpmtConfig.ncore for this request
+  std::int64_t deadline_ms = 0;    ///< 0 = no deadline
+  ir::Loop loop{"unnamed"};
+};
+
+enum class ErrorCode {
+  kParse,         ///< malformed request payload
+  kBadRequest,    ///< well-formed but unacceptable (unknown scheduler, bad ncore)
+  kScheduleFail,  ///< the scheduler found no schedule
+  kValidateFail,  ///< the independent validator rejected the schedule
+  kDeadline,      ///< the request's deadline expired
+  kOverload,      ///< queue over the high-water mark; retry after retry_after_ms
+  kShutdown,      ///< server is draining; do not retry this connection
+  kInternal,      ///< exception escaped the pipeline
+};
+
+std::string_view to_string(ErrorCode c);
+/// Inverse of to_string; false when `s` names no code.
+bool error_code_from_string(std::string_view s, ErrorCode& out);
+
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+
+  // status error
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+  std::int64_t retry_after_ms = 0;  ///< only meaningful for kOverload
+
+  // status ok
+  std::string scheduler;
+  bool cache_hit = false;
+  int ii = 0;
+  int mii = 0;
+  int c_delay_threshold = -1;  ///< TMS acceptance threshold; -1 for SMS/IMS
+  double p_max = -1.0;
+  std::vector<int> slots;      ///< slot per node id, normalised
+  double server_ms = 0.0;      ///< server-side wall time for this request
+};
+
+std::string serialise_request(const Request& req);
+/// Returns the request or a one-line parse-error description.
+std::variant<Request, std::string> parse_request(std::string_view payload);
+
+std::string serialise_response(const Response& resp);
+std::variant<Response, std::string> parse_response(std::string_view payload);
+
+/// Convenience constructor for error responses.
+Response make_error(std::uint64_t id, ErrorCode code, std::string message,
+                    std::int64_t retry_after_ms = 0);
+
+}  // namespace tms::serve

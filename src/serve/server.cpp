@@ -1,0 +1,273 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/counters.hpp"
+#include "serve/frame.hpp"
+
+namespace tms::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll granularity: how quickly connection and accept threads notice
+/// stop_ / idle deadlines. Coarse on purpose — shutdown latency, not
+/// request latency.
+constexpr int kTickMs = 200;
+
+bool send_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool send_frame(int fd, FrameType type, std::string_view payload) {
+  return send_all(fd, encode_frame(type, payload));
+}
+
+}  // namespace
+
+SocketServer::SocketServer(CompileService& service, ServerOptions opts)
+    : service_(service), opts_(std::move(opts)) {}
+
+SocketServer::~SocketServer() { drain(); }
+
+std::optional<std::string> SocketServer::start() {
+  if (running_.load(std::memory_order_acquire)) return std::string("already started");
+  if (opts_.unix_path.empty()) return std::string("unix_path is required");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.unix_path.size() >= sizeof addr.sun_path) {
+    return "unix_path too long (" + std::to_string(opts_.unix_path.size()) + " bytes, max " +
+           std::to_string(sizeof addr.sun_path - 1) + ")";
+  }
+  std::memcpy(addr.sun_path, opts_.unix_path.c_str(), opts_.unix_path.size() + 1);
+
+  unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (unix_fd_ < 0) return std::string("socket: ") + std::strerror(errno);
+  ::unlink(opts_.unix_path.c_str());
+  if (::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(unix_fd_, 128) != 0) {
+    const std::string err = std::string("bind/listen ") + opts_.unix_path + ": " +
+                            std::strerror(errno);
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+    return err;
+  }
+
+  if (opts_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (tcp_fd_ < 0) {
+      ::close(unix_fd_);
+      unix_fd_ = -1;
+      return std::string("tcp socket: ") + std::strerror(errno);
+    }
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in in{};
+    in.sin_family = AF_INET;
+    in.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, deliberately
+    in.sin_port = htons(static_cast<std::uint16_t>(opts_.tcp_port));
+    if (::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&in), sizeof in) != 0 ||
+        ::listen(tcp_fd_, 128) != 0) {
+      const std::string err = std::string("tcp bind/listen port ") +
+                              std::to_string(opts_.tcp_port) + ": " + std::strerror(errno);
+      ::close(tcp_fd_);
+      ::close(unix_fd_);
+      tcp_fd_ = unix_fd_ = -1;
+      return err;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return std::nullopt;
+}
+
+void SocketServer::drain() {
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  reap_finished(/*join_all=*/true);
+  running_.store(false, std::memory_order_release);
+}
+
+int SocketServer::connection_count() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  int live = 0;
+  for (const auto& c : conns_) {
+    if (!c->done.load(std::memory_order_acquire)) ++live;
+  }
+  return live;
+}
+
+void SocketServer::reap_finished(bool join_all) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (join_all || (*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->th.joinable()) (*it)->th.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketServer::accept_loop() {
+  pollfd pfds[2];
+  nfds_t nfds = 0;
+  pfds[nfds++] = {unix_fd_, POLLIN, 0};
+  if (tcp_fd_ >= 0) pfds[nfds++] = {tcp_fd_, POLLIN, 0};
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int r = ::poll(pfds, nfds, kTickMs);
+    reap_finished(/*join_all=*/false);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((pfds[i].revents & POLLIN) == 0) continue;
+      const int fd = ::accept4(pfds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) continue;
+      obs::counters().serve_connections.add(1);
+      if (connection_count() >= opts_.max_connections) {
+        // Turn the connection away with a structured answer rather than
+        // letting it rot in the backlog or vanish with a reset.
+        obs::counters().serve_rejected_overload.add(1);
+        const Response err =
+            make_error(0, ErrorCode::kOverload, "connection limit reached",
+                       service_.options().retry_after_ms);
+        send_frame(fd, FrameType::kResponse, serialise_response(err));
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      Conn* raw = conn.get();
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        conns_.push_back(std::move(conn));
+      }
+      raw->th = std::thread([this, raw] { connection_loop(raw); });
+    }
+  }
+
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    unix_fd_ = -1;
+    ::unlink(opts_.unix_path.c_str());
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+}
+
+void SocketServer::connection_loop(Conn* conn) {
+  const int fd = conn->fd;
+  FrameReader reader;
+  const auto idle_budget = std::chrono::milliseconds(
+      opts_.idle_timeout_ms > 0 ? opts_.idle_timeout_ms : 0);
+  Clock::time_point idle_deadline = Clock::now() + idle_budget;
+  char buf[64 * 1024];
+  bool alive = true;
+
+  while (alive && !stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kTickMs);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) {
+      if (opts_.idle_timeout_ms > 0 && Clock::now() > idle_deadline) {
+        obs::counters().serve_idle_timeouts.add(1);
+        break;
+      }
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    idle_deadline = Clock::now() + idle_budget;
+
+    reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    Frame frame;
+    while (alive) {
+      const FrameReader::Next next = reader.next(frame);
+      if (next == FrameReader::Next::kNeedMore) break;
+      if (next == FrameReader::Next::kError) {
+        obs::counters().serve_rejected_malformed.add(1);
+        const Response err =
+            make_error(0, ErrorCode::kParse,
+                       std::string("malformed frame: ") + std::string(to_string(reader.error())));
+        send_frame(fd, FrameType::kResponse, serialise_response(err));
+        alive = false;  // framing cannot resync; drop the connection
+        break;
+      }
+      if (!handle_frame(fd, frame)) alive = false;
+    }
+  }
+
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool SocketServer::handle_frame(int fd, const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kPing:
+      return send_frame(fd, FrameType::kPong, {});
+    case FrameType::kRequest: {
+      auto parsed = parse_request(frame.payload);
+      if (const auto* err = std::get_if<std::string>(&parsed)) {
+        // Well-framed but unparseable: answer and keep the connection —
+        // the byte stream itself is still in sync.
+        obs::counters().serve_rejected_malformed.add(1);
+        const Response resp = make_error(0, ErrorCode::kParse, *err);
+        return send_frame(fd, FrameType::kResponse, serialise_response(resp));
+      }
+      const Response resp = service_.handle(std::get<Request>(parsed));
+      return send_frame(fd, FrameType::kResponse, serialise_response(resp));
+    }
+    case FrameType::kResponse:
+    case FrameType::kPong:
+      // Clients must not send server-direction frames.
+      obs::counters().serve_rejected_malformed.add(1);
+      const Response resp =
+          make_error(0, ErrorCode::kBadRequest,
+                     std::string("unexpected frame type ") + std::string(to_string(frame.type)));
+      send_frame(fd, FrameType::kResponse, serialise_response(resp));
+      return false;
+  }
+  return false;
+}
+
+}  // namespace tms::serve

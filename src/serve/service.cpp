@@ -1,0 +1,250 @@
+#include "serve/service.hpp"
+
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "check/validate.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "sched/ims.hpp"
+#include "sched/postpass.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+
+namespace tms::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+struct Scheduled {
+  sched::Schedule schedule;
+  check::CheckOptions check_opts;
+  int mii = 0;
+};
+
+std::optional<Scheduled> schedule_fresh(const ir::Loop& loop, const machine::MachineModel& mach,
+                                        const machine::SpmtConfig& cfg,
+                                        const std::string& scheduler) {
+  if (scheduler == "sms") {
+    if (auto r = sched::sms_schedule(loop, mach)) {
+      return Scheduled{std::move(r->schedule), {}, r->mii};
+    }
+    return std::nullopt;
+  }
+  if (scheduler == "ims") {
+    if (auto r = sched::ims_schedule(loop, mach)) {
+      return Scheduled{std::move(r->schedule), {}, r->mii};
+    }
+    return std::nullopt;
+  }
+  if (auto r = sched::tms_schedule(loop, mach, cfg)) {
+    Scheduled out{std::move(r->schedule), {}, r->mii};
+    out.check_opts.c_delay_threshold = r->c_delay_threshold;
+    out.check_opts.p_max = r->p_max;
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::optional<Scheduled> from_cache(const ir::Loop& loop, const machine::MachineModel& mach,
+                                    const driver::ScheduleCache::Entry& e) {
+  sched::Schedule s(loop, mach, e.ii);
+  for (int v = 0; v < loop.num_instrs(); ++v) {
+    s.set_slot(v, e.slots[static_cast<std::size_t>(v)]);
+  }
+  if (s.validate().has_value()) return std::nullopt;
+  Scheduled out{std::move(s), {}, e.mii};
+  out.check_opts.c_delay_threshold = e.c_delay_threshold;
+  out.check_opts.p_max = e.p_max;
+  return out;
+}
+
+driver::ScheduleCache::Entry to_entry(const Scheduled& sl, const std::string& scheduler) {
+  driver::ScheduleCache::Entry e;
+  e.scheduler = scheduler;
+  e.ii = sl.schedule.ii();
+  e.mii = sl.mii;
+  e.c_delay_threshold = sl.check_opts.c_delay_threshold;
+  e.p_max = sl.check_opts.p_max;
+  const int n = sl.schedule.loop().num_instrs();
+  e.slots.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) e.slots.push_back(sl.schedule.slot(v));
+  return e;
+}
+
+}  // namespace
+
+CompileService::CompileService(const machine::MachineModel& mach, driver::ScheduleCache* cache,
+                               ServiceOptions opts)
+    : mach_(mach), cache_(cache), opts_(opts), pool_(opts.threads, opts.queue_capacity) {}
+
+CompileService::~CompileService() { shutdown(); }
+
+void CompileService::begin_drain() { draining_.store(true, std::memory_order_release); }
+
+void CompileService::shutdown() {
+  begin_drain();
+  pool_.shutdown(driver::TaskPool::Drain::kFinishQueued);
+}
+
+Response CompileService::handle(const Request& req) {
+  const Clock::time_point start = Clock::now();
+  if (draining()) {
+    obs::counters().serve_drain_refused.add(1);
+    obs::counters().serve_responses_error.add(1);
+    return make_error(req.id, ErrorCode::kShutdown, "server is draining");
+  }
+  if (req.scheduler != "sms" && req.scheduler != "ims" && req.scheduler != "tms") {
+    obs::counters().serve_responses_error.add(1);
+    return make_error(req.id, ErrorCode::kBadRequest,
+                      "unknown scheduler '" + req.scheduler + "'");
+  }
+  if (req.ncore < 1 || req.ncore > 1024) {
+    obs::counters().serve_responses_error.add(1);
+    return make_error(req.id, ErrorCode::kBadRequest, "ncore out of range");
+  }
+
+  const bool has_deadline = req.deadline_ms > 0;
+  const Clock::time_point deadline =
+      has_deadline ? start + std::chrono::milliseconds(req.deadline_ms) : Clock::time_point::max();
+
+  // Admission: never block on a full queue — answer overload right away.
+  obs::counters().serve_queue_depth.record(pool_.queue_depth());
+  auto out = std::make_shared<Response>();
+  auto task = pool_.try_submit(
+      [this, &req, out, start, deadline, has_deadline] {
+        *out = compile(req, start, deadline, has_deadline);
+      });
+  if (task == nullptr) {
+    obs::counters().serve_rejected_overload.add(1);
+    obs::counters().serve_responses_error.add(1);
+    return make_error(req.id, ErrorCode::kOverload, "compile queue over high-water mark",
+                      opts_.retry_after_ms);
+  }
+  obs::counters().serve_requests.add(1);
+
+  if (has_deadline && !task->wait_until(deadline)) {
+    // Expired while queued: cancel before it starts. If it is already
+    // running, the pipeline's own deadline checks bound the overrun —
+    // wait for its (deadline-errored) response.
+    if (task->cancel()) {
+      obs::counters().serve_deadline_missed.add(1);
+      obs::counters().serve_responses_error.add(1);
+      return make_error(req.id, ErrorCode::kDeadline, "deadline expired while queued");
+    }
+  }
+  task->wait();
+  try {
+    task->rethrow();
+  } catch (const std::exception& ex) {
+    obs::counters().serve_responses_error.add(1);
+    return make_error(req.id, ErrorCode::kInternal, ex.what());
+  } catch (...) {
+    obs::counters().serve_responses_error.add(1);
+    return make_error(req.id, ErrorCode::kInternal, "unknown exception");
+  }
+  out->id = req.id;
+  out->server_ms = ms_since(start);
+  if (out->ok) {
+    obs::counters().serve_responses_ok.add(1);
+  } else {
+    obs::counters().serve_responses_error.add(1);
+  }
+  return std::move(*out);
+}
+
+Response CompileService::compile(const Request& req, Clock::time_point start,
+                                 Clock::time_point deadline, bool has_deadline) const {
+  TMS_TRACE_SPAN(span, "serve", "serve.request");
+  const auto expired = [&] { return has_deadline && Clock::now() > deadline; };
+  const auto deadline_response = [&](const char* stage) {
+    obs::counters().serve_deadline_missed.add(1);
+    return make_error(req.id, ErrorCode::kDeadline,
+                      std::string("deadline expired ") + stage);
+  };
+
+  if (const auto err = req.loop.validate()) {
+    return make_error(req.id, ErrorCode::kBadRequest, "malformed loop: " + *err);
+  }
+  if (expired()) return deadline_response("before scheduling");
+
+  machine::SpmtConfig cfg;
+  cfg.ncore = req.ncore;
+
+  Response resp;
+  resp.id = req.id;
+  resp.scheduler = req.scheduler;
+
+  std::optional<Scheduled> sl;
+  std::uint64_t key = 0;
+  if (cache_ != nullptr) {
+    key = driver::ScheduleCache::key(req.loop, mach_, cfg, req.scheduler);
+    if (const auto entry = cache_->lookup(key, req.loop.num_instrs())) {
+      sl = from_cache(req.loop, mach_, *entry);
+      resp.cache_hit = sl.has_value();
+    }
+    obs::counters().driver_cache_hits.add(sl.has_value() ? 1 : 0);
+    obs::counters().driver_cache_misses.add(sl.has_value() ? 0 : 1);
+  }
+  if (!sl.has_value()) {
+    sl = schedule_fresh(req.loop, mach_, cfg, req.scheduler);
+    if (!sl.has_value()) {
+      return make_error(req.id, ErrorCode::kScheduleFail,
+                        req.scheduler + " found no schedule");
+    }
+    if (cache_ != nullptr) {
+      cache_->insert(key, to_entry(*sl, req.scheduler));
+      obs::counters().driver_schedules_cached.add(1);
+    }
+  }
+  if (expired()) return deadline_response("after scheduling");
+
+  // Cache hits are always re-validated (defence against semantic disk
+  // corruption), mirroring the batch driver's contract.
+  if (opts_.validate || resp.cache_hit) {
+    const check::CheckReport valid =
+        check::validate_schedule(sl->schedule, cfg, sl->check_opts);
+    if (!valid.ok()) {
+      if (resp.cache_hit) {
+        resp.cache_hit = false;
+        sl = schedule_fresh(req.loop, mach_, cfg, req.scheduler);
+        if (!sl.has_value()) {
+          return make_error(req.id, ErrorCode::kScheduleFail,
+                            req.scheduler + " found no schedule");
+        }
+        if (cache_ != nullptr) {
+          cache_->insert(key, to_entry(*sl, req.scheduler));
+          obs::counters().driver_schedules_cached.add(1);
+        }
+        const check::CheckReport revalid =
+            check::validate_schedule(sl->schedule, cfg, sl->check_opts);
+        if (!revalid.ok()) {
+          return make_error(req.id, ErrorCode::kValidateFail,
+                            "validator: " + revalid.to_string());
+        }
+      } else {
+        return make_error(req.id, ErrorCode::kValidateFail, "validator: " + valid.to_string());
+      }
+    }
+  }
+  if (expired()) return deadline_response("after validation");
+
+  resp.ok = true;
+  resp.ii = sl->schedule.ii();
+  resp.mii = sl->mii;
+  resp.c_delay_threshold = sl->check_opts.c_delay_threshold;
+  resp.p_max = sl->check_opts.p_max;
+  const int n = req.loop.num_instrs();
+  resp.slots.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) resp.slots.push_back(sl->schedule.slot(v));
+  resp.server_ms = ms_since(start);
+  return resp;
+}
+
+}  // namespace tms::serve

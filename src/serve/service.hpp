@@ -1,0 +1,85 @@
+// The compile service: admission control, deadlines, and the pipeline.
+//
+// CompileService is the transport-independent heart of tmsd. A
+// connection handler calls handle(request) and gets a Response back;
+// everything between — admission against a bounded queue, dispatch onto
+// a persistent driver::TaskPool, per-request deadline handling with
+// cooperative cancellation, consulting the process-wide ScheduleCache,
+// validation, and counter accounting — lives here, so it is testable
+// without a socket in sight.
+//
+// Admission control is deliberate, not incidental (Yavits et al.: the
+// synchronisation at the sequential service boundary is where multicore
+// scaling dies): the queue's high-water mark is a hard bound, and an
+// over-limit request is answered immediately with a kOverload error
+// carrying a retry_after_ms hint — the server never queues unboundedly
+// and never blocks the connection thread on a full queue.
+//
+// Deadlines are cooperative. A request that expires while still queued
+// is cancelled outright (its pipeline never runs); once running, the
+// pipeline checks the deadline between stages (before scheduling, after
+// scheduling, after validation) and abandons the remaining work. The
+// scheduler itself is not interruptible — the check granularity is a
+// pipeline stage, which for every workload in the tree is milliseconds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "driver/job_pool.hpp"
+#include "driver/schedule_cache.hpp"
+#include "machine/machine.hpp"
+#include "serve/message.hpp"
+
+namespace tms::serve {
+
+struct ServiceOptions {
+  int threads = 0;                  ///< compile workers; 0 = hardware_concurrency
+  std::size_t queue_capacity = 64;  ///< admission high-water mark
+  std::int64_t retry_after_ms = 100;  ///< backoff hint in overload responses
+  bool validate = true;             ///< run check::validate_schedule on every result
+};
+
+class CompileService {
+ public:
+  /// `mach` must outlive the service; `cache` may be null (no caching)
+  /// and is shared — the whole point — so it must outlive the service
+  /// too.
+  CompileService(const machine::MachineModel& mach, driver::ScheduleCache* cache,
+                 ServiceOptions opts);
+  ~CompileService();
+
+  /// Admission + synchronous wait; safe from any number of connection
+  /// threads concurrently. Always returns a response (never throws).
+  Response handle(const Request& req);
+
+  /// Refuse new requests from now on; in-flight requests complete.
+  void begin_drain();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// begin_drain + wait for the queue to empty and workers to exit.
+  void shutdown();
+
+  std::size_t queue_depth() const { return pool_.queue_depth(); }
+  const ServiceOptions& options() const { return opts_; }
+  driver::ScheduleCache* cache() const { return cache_; }
+
+  /// Test hook: the underlying pool, for deterministically occupying
+  /// workers (see tests/serve_test.cpp).
+  driver::TaskPool& pool() { return pool_; }
+
+ private:
+  Response compile(const Request& req,
+                   std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point deadline, bool has_deadline) const;
+
+  const machine::MachineModel& mach_;
+  driver::ScheduleCache* cache_;
+  ServiceOptions opts_;
+  std::atomic<bool> draining_{false};
+  driver::TaskPool pool_;
+};
+
+}  // namespace tms::serve

@@ -7,7 +7,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <future>
+#include <memory>
 #include <filesystem>
 #include <fstream>
 #include <numeric>
@@ -410,6 +414,295 @@ TEST(Batch, SemanticallyCorruptCacheEntryIsRecomputed) {
   const driver::BatchReport again = driver::run_batch(jobs, mach, opts, &cache);
   EXPECT_TRUE(again.results[0].cache_hit);
   EXPECT_EQ(again.results[0].status, driver::JobStatus::kOk);
+}
+
+// --------------------------------------------------------------- TaskPool
+
+// A task body parked on a promise: lets tests hold the pool's single
+// worker busy while they probe queue admission and cancellation.
+struct Blocker {
+  std::promise<void> release;
+  std::shared_future<void> gate{release.get_future().share()};
+  std::promise<void> started;
+
+  std::function<void()> body() {
+    return [this] {
+      started.set_value();
+      gate.wait();
+    };
+  }
+};
+
+TEST(TaskPool, RunsSubmittedTasks) {
+  driver::TaskPool pool(2, 32);  // queue holds every task even if no worker has started
+  std::atomic<int> ran{0};
+  std::vector<std::shared_ptr<driver::TaskPool::Task>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    auto t = pool.try_submit([&] { ran.fetch_add(1); });
+    ASSERT_NE(t, nullptr);
+    tasks.push_back(std::move(t));
+  }
+  for (const auto& t : tasks) {
+    t->wait();
+    EXPECT_EQ(t->state(), driver::TaskPool::TaskState::kDone);
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(TaskPool, CancelBeforeStartSkipsBody) {
+  driver::TaskPool pool(1, 4);
+  Blocker blocker;
+  auto front = pool.try_submit(blocker.body());
+  ASSERT_NE(front, nullptr);
+  blocker.started.get_future().wait();  // worker is now parked on the gate
+
+  std::atomic<bool> ran{false};
+  auto queued = pool.try_submit([&] { ran.store(true); });
+  ASSERT_NE(queued, nullptr);
+  EXPECT_EQ(queued->state(), driver::TaskPool::TaskState::kQueued);
+
+  EXPECT_TRUE(queued->cancel());
+  EXPECT_EQ(queued->state(), driver::TaskPool::TaskState::kCancelled);
+  EXPECT_FALSE(queued->cancel()) << "second cancel must report failure";
+
+  blocker.release.set_value();
+  front->wait();
+  queued->wait();  // must not hang on a cancelled task
+  EXPECT_FALSE(ran.load()) << "cancelled body must never run";
+  EXPECT_EQ(queued->state(), driver::TaskPool::TaskState::kCancelled);
+}
+
+TEST(TaskPool, CancelFailsOnceRunning) {
+  driver::TaskPool pool(1, 4);
+  Blocker blocker;
+  auto t = pool.try_submit(blocker.body());
+  ASSERT_NE(t, nullptr);
+  blocker.started.get_future().wait();
+  EXPECT_EQ(t->state(), driver::TaskPool::TaskState::kRunning);
+  EXPECT_FALSE(t->cancel());
+  blocker.release.set_value();
+  t->wait();
+  EXPECT_EQ(t->state(), driver::TaskPool::TaskState::kDone);
+  EXPECT_FALSE(t->cancel()) << "cancel after completion must fail";
+}
+
+TEST(TaskPool, ExceptionIsCapturedAndRethrown) {
+  driver::TaskPool pool(1, 4);
+  auto t = pool.try_submit([] { throw std::runtime_error("task body exploded"); });
+  ASSERT_NE(t, nullptr);
+  t->wait();
+  EXPECT_EQ(t->state(), driver::TaskPool::TaskState::kFailed);
+  try {
+    t->rethrow();
+    FAIL() << "rethrow must throw the captured exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task body exploded");
+  }
+
+  // The worker survives the throwing task and keeps serving.
+  auto next = pool.try_submit([] {});
+  ASSERT_NE(next, nullptr);
+  next->wait();
+  EXPECT_EQ(next->state(), driver::TaskPool::TaskState::kDone);
+  next->rethrow();  // no-op on success
+}
+
+TEST(TaskPool, TrySubmitRefusesWhenQueueFull) {
+  driver::TaskPool pool(1, 1);
+  Blocker blocker;
+  auto running = pool.try_submit(blocker.body());
+  ASSERT_NE(running, nullptr);
+  blocker.started.get_future().wait();  // worker busy; queue empty
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  auto queued = pool.try_submit([] {});
+  ASSERT_NE(queued, nullptr);  // fills the only queue slot
+  EXPECT_EQ(pool.queue_depth(), 1u);
+
+  EXPECT_EQ(pool.try_submit([] {}), nullptr) << "queue at capacity must refuse admission";
+
+  blocker.release.set_value();
+  running->wait();
+  queued->wait();
+  EXPECT_EQ(queued->state(), driver::TaskPool::TaskState::kDone);
+
+  // Capacity freed: admission works again.
+  auto after = pool.try_submit([] {});
+  ASSERT_NE(after, nullptr);
+  after->wait();
+}
+
+TEST(TaskPool, WaitUntilTimesOutWhileQueued) {
+  driver::TaskPool pool(1, 4);
+  Blocker blocker;
+  auto running = pool.try_submit(blocker.body());
+  ASSERT_NE(running, nullptr);
+  blocker.started.get_future().wait();
+
+  auto queued = pool.try_submit([] {});
+  ASSERT_NE(queued, nullptr);
+  EXPECT_FALSE(queued->wait_until(std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(20)));
+  EXPECT_EQ(queued->state(), driver::TaskPool::TaskState::kQueued);
+
+  blocker.release.set_value();
+  EXPECT_TRUE(queued->wait_until(std::chrono::steady_clock::now() +
+                                 std::chrono::seconds(30)));
+  running->wait();
+}
+
+TEST(TaskPool, ShutdownCancelQueuedDropsPendingWork) {
+  driver::TaskPool pool(1, 8);
+  Blocker blocker;
+  auto running = pool.try_submit(blocker.body());
+  ASSERT_NE(running, nullptr);
+  blocker.started.get_future().wait();
+
+  std::atomic<int> ran{0};
+  auto queued = pool.try_submit([&] { ran.fetch_add(1); });
+  ASSERT_NE(queued, nullptr);
+
+  // shutdown() joins, so the blocker must be released while it waits.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    blocker.release.set_value();
+  });
+  pool.shutdown(driver::TaskPool::Drain::kCancelQueued);
+  releaser.join();
+
+  EXPECT_EQ(running->state(), driver::TaskPool::TaskState::kDone)
+      << "in-flight task finishes even under kCancelQueued";
+  EXPECT_EQ(queued->state(), driver::TaskPool::TaskState::kCancelled);
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(pool.try_submit([] {}), nullptr) << "no admission after shutdown";
+  pool.shutdown(driver::TaskPool::Drain::kCancelQueued);  // idempotent
+}
+
+TEST(TaskPool, ShutdownFinishQueuedRunsEverything) {
+  driver::TaskPool pool(1, 8);
+  Blocker blocker;
+  auto running = pool.try_submit(blocker.body());
+  ASSERT_NE(running, nullptr);
+  blocker.started.get_future().wait();
+
+  std::atomic<int> ran{0};
+  std::vector<std::shared_ptr<driver::TaskPool::Task>> queued;
+  for (int i = 0; i < 3; ++i) {
+    auto t = pool.try_submit([&] { ran.fetch_add(1); });
+    ASSERT_NE(t, nullptr);
+    queued.push_back(std::move(t));
+  }
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    blocker.release.set_value();
+  });
+  pool.shutdown(driver::TaskPool::Drain::kFinishQueued);
+  releaser.join();
+
+  EXPECT_EQ(ran.load(), 3) << "graceful drain must run every queued task";
+  for (const auto& t : queued) {
+    EXPECT_EQ(t->state(), driver::TaskPool::TaskState::kDone);
+  }
+}
+
+// ------------------------------------------------- ScheduleCache disk bound
+
+TEST(ScheduleCache, DiskBoundEvictsOldestEntryFiles) {
+  ScratchDir dir("disk_bound");
+  // All entries serialise identically (same ii, same slot count, and the
+  // key is a fixed-width hex name), so measure one file and budget two.
+  std::uintmax_t entry_bytes = 0;
+  {
+    driver::ScheduleCache probe(64, dir.path());
+    probe.insert(1, make_entry(4, 3));
+    entry_bytes = fs::file_size(cache_file(dir.path(), 1));
+    ASSERT_GT(entry_bytes, 0u);
+  }
+  fs::remove_all(dir.path());
+  fs::create_directories(dir.path());
+
+  driver::ScheduleCache cache(64, dir.path(), 2 * entry_bytes + 1);
+  cache.insert(1, make_entry(4, 3));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cache.insert(2, make_entry(4, 3));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  cache.insert(3, make_entry(4, 3));
+
+  EXPECT_FALSE(fs::exists(cache_file(dir.path(), 1)))
+      << "oldest file must be evicted to fit the byte bound";
+  EXPECT_TRUE(fs::exists(cache_file(dir.path(), 2)));
+  EXPECT_TRUE(fs::exists(cache_file(dir.path(), 3)));
+
+  const driver::ScheduleCache::Stats s = cache.stats();
+  EXPECT_EQ(s.disk_evictions, 1u);
+  EXPECT_EQ(s.max_disk_bytes, 2 * entry_bytes + 1);
+  EXPECT_LE(s.disk_bytes, s.max_disk_bytes);
+  EXPECT_EQ(s.disk_bytes, 2 * entry_bytes);
+
+  // The surviving files still load from a cold cache.
+  driver::ScheduleCache cold(64, dir.path(), 2 * entry_bytes + 1);
+  EXPECT_TRUE(cold.lookup(3, 3).has_value());
+  EXPECT_FALSE(cold.lookup(1, 3).has_value()) << "evicted key must miss";
+}
+
+TEST(ScheduleCache, DiskBoundEnforcedAgainstPreexistingFiles) {
+  ScratchDir dir("disk_rescan");
+  std::uintmax_t entry_bytes = 0;
+  {
+    driver::ScheduleCache writer(64, dir.path());  // unbounded
+    writer.insert(1, make_entry(4, 3));
+    entry_bytes = fs::file_size(cache_file(dir.path(), 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    writer.insert(2, make_entry(4, 3));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    writer.insert(3, make_entry(4, 3));
+    EXPECT_EQ(writer.stats().disk_evictions, 0u) << "unbounded cache never evicts";
+  }
+
+  // Reopening with a bound must sweep the leftovers down to the budget.
+  driver::ScheduleCache bounded(64, dir.path(), 2 * entry_bytes + 1);
+  EXPECT_FALSE(fs::exists(cache_file(dir.path(), 1)));
+  EXPECT_TRUE(fs::exists(cache_file(dir.path(), 2)));
+  EXPECT_TRUE(fs::exists(cache_file(dir.path(), 3)));
+  EXPECT_LE(bounded.stats().disk_bytes, bounded.stats().max_disk_bytes);
+  EXPECT_GE(bounded.stats().disk_evictions, 1u);
+}
+
+TEST(ScheduleCache, ZeroDiskBoundMeansUnbounded) {
+  ScratchDir dir("disk_unbounded");
+  driver::ScheduleCache cache(64, dir.path(), 0);
+  for (std::uint64_t k = 1; k <= 8; ++k) cache.insert(k, make_entry(4, 3));
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    EXPECT_TRUE(fs::exists(cache_file(dir.path(), k))) << "key " << k;
+  }
+  EXPECT_EQ(cache.stats().disk_evictions, 0u);
+}
+
+// ---------------------------------------------------- batch exit contract
+
+// tmsbatch exits non-zero iff any job failed; the expression it uses is
+// `count(kOk) == results.size()`. Pin the report-side arithmetic here so
+// the tool-level contract (docs/DRIVER.md) can't silently drift.
+TEST(Batch, ReportCountsFeedTheExitCodeContract) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  std::vector<driver::BatchJob> jobs;
+  jobs.push_back({"ok_job", test::tiny_chain(), cfg, "tms"});
+  jobs.push_back({"bad_job", test::tiny_chain(), cfg, "bogus"});
+
+  driver::BatchOptions opts;
+  opts.jobs = 1;
+  const driver::BatchReport r = driver::run_batch(jobs, mach, opts, nullptr);
+  ASSERT_EQ(r.results.size(), 2u);
+  EXPECT_EQ(r.count(driver::JobStatus::kOk), 1);
+  EXPECT_NE(static_cast<std::size_t>(r.count(driver::JobStatus::kOk)), r.results.size())
+      << "a failing job must make the all-ok exit predicate false";
+
+  std::vector<driver::BatchJob> good(jobs.begin(), jobs.begin() + 1);
+  const driver::BatchReport ok = driver::run_batch(good, mach, opts, nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(ok.count(driver::JobStatus::kOk)), ok.results.size())
+      << "an all-ok report must make the exit predicate true";
 }
 
 }  // namespace

@@ -1,0 +1,675 @@
+// Unit and integration tests for the compile service (src/serve): frame
+// parsing (every header error, poison persistence), strict message
+// round-trips, CompileService semantics (cache sharing, admission
+// control, deadlines, drain), and SocketServer end-to-end behaviour over
+// a real Unix-domain socket (ping, compile, malformed-frame drop,
+// bad-payload tolerance, connection-limit turn-away, idle timeout,
+// drain). Deterministic overload/deadline scenarios are built by parking
+// the service's single worker on a promise via the pool() test hook.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/schedule_cache.hpp"
+#include "ir/textio.hpp"
+#include "machine/machine.hpp"
+#include "sched/tms.hpp"
+#include "serve/client.hpp"
+#include "serve/frame.hpp"
+#include "serve/message.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "test_util.hpp"
+
+namespace tms {
+namespace {
+
+namespace fs = std::filesystem;
+using serve::Frame;
+using serve::FrameError;
+using serve::FrameReader;
+using serve::FrameType;
+
+/// Scratch directory in the test cwd; short enough for sun_path.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) : path_("serve_test_" + tag) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string socket_path() const { return path_ + "/s"; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ------------------------------------------------------------ raw sockets
+//
+// The Client class only speaks the protocol correctly; the server's
+// hostile-input paths need a socket we can write garbage to.
+
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool raw_send(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until `reader` yields a complete frame. False on EOF, reader
+/// error, or timeout.
+bool raw_read_frame(int fd, FrameReader& reader, Frame& out, int timeout_ms = 10000) {
+  while (true) {
+    switch (reader.next(out)) {
+      case FrameReader::Next::kFrame: return true;
+      case FrameReader::Next::kError: return false;
+      case FrameReader::Next::kNeedMore: break;
+    }
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) return false;
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) return false;
+    reader.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+/// True when the peer closes the connection within the timeout.
+bool raw_read_eof(int fd, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 200) <= 0) continue;
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n == 0) return true;
+    if (n < 0) return false;
+    // Discard any late bytes (e.g. an error response before the close).
+  }
+  return false;
+}
+
+serve::Request chain_request(std::uint64_t id = 1) {
+  serve::Request req;
+  req.id = id;
+  req.scheduler = "tms";
+  req.ncore = 4;
+  req.loop = test::tiny_chain();
+  return req;
+}
+
+/// Rebuilds and validates the schedule a response describes, exactly as
+/// tmsq/tmsc --remote do.
+void expect_valid_remote_schedule(const serve::Response& resp, const ir::Loop& loop,
+                                  const machine::MachineModel& mach) {
+  ASSERT_TRUE(resp.ok) << "[" << serve::to_string(resp.code) << "] " << resp.message;
+  ASSERT_EQ(resp.slots.size(), static_cast<std::size_t>(loop.num_instrs()));
+  sched::Schedule s(loop, mach, resp.ii);
+  for (int v = 0; v < loop.num_instrs(); ++v) {
+    s.set_slot(v, resp.slots[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_FALSE(s.validate().has_value()) << *s.validate();
+}
+
+// ------------------------------------------------------------------ Frame
+
+TEST(Frame, EncodeDecodeRoundTripAcrossTypesAndSizes) {
+  const std::string big(100000, 'x');
+  const std::vector<std::pair<FrameType, std::string>> cases = {
+      {FrameType::kRequest, ""},
+      {FrameType::kResponse, "payload"},
+      {FrameType::kPing, ""},
+      {FrameType::kPong, big},
+  };
+  FrameReader reader;
+  std::string wire;
+  for (const auto& [type, payload] : cases) wire += serve::encode_frame(type, payload);
+
+  // Feed in uneven chunks to exercise incremental reassembly.
+  for (std::size_t off = 0; off < wire.size();) {
+    const std::size_t n = std::min<std::size_t>(1 + off % 4096, wire.size() - off);
+    reader.feed(std::string_view(wire).substr(off, n));
+    off += n;
+  }
+  for (const auto& [type, payload] : cases) {
+    Frame f;
+    ASSERT_EQ(reader.next(f), FrameReader::Next::kFrame);
+    EXPECT_EQ(f.type, type);
+    EXPECT_EQ(f.payload, payload);
+  }
+  Frame f;
+  EXPECT_EQ(reader.next(f), FrameReader::Next::kNeedMore);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(Frame, PartialHeaderNeedsMore) {
+  FrameReader reader;
+  const std::string wire = serve::encode_frame(FrameType::kPing, "");
+  reader.feed(std::string_view(wire).substr(0, serve::kFrameHeaderSize - 1));
+  Frame f;
+  EXPECT_EQ(reader.next(f), FrameReader::Next::kNeedMore);
+  EXPECT_EQ(reader.pending_bytes(), serve::kFrameHeaderSize - 1);
+  reader.feed(std::string_view(wire).substr(serve::kFrameHeaderSize - 1));
+  EXPECT_EQ(reader.next(f), FrameReader::Next::kFrame);
+  EXPECT_EQ(f.type, FrameType::kPing);
+}
+
+TEST(Frame, EveryHeaderFieldIsValidated) {
+  struct Case {
+    const char* name;
+    std::size_t offset;
+    char byte;
+    FrameError expect;
+  };
+  // encode a valid frame, then corrupt exactly one header field.
+  const std::vector<Case> cases = {
+      {"magic", 0, 'X', FrameError::kBadMagic},
+      {"version", 4, 9, FrameError::kBadVersion},
+      {"type", 5, 99, FrameError::kBadType},
+      {"flags", 6, 1, FrameError::kBadFlags},
+  };
+  for (const Case& c : cases) {
+    std::string wire = serve::encode_frame(FrameType::kRequest, "hello");
+    wire[c.offset] = c.byte;
+    FrameReader reader;
+    reader.feed(wire);
+    Frame f;
+    EXPECT_EQ(reader.next(f), FrameReader::Next::kError) << c.name;
+    EXPECT_EQ(reader.error(), c.expect) << c.name;
+  }
+}
+
+TEST(Frame, OversizePayloadIsRejectedByTheCap) {
+  FrameReader reader(16);  // tiny cap
+  reader.feed(serve::encode_frame(FrameType::kRequest, std::string(17, 'a')));
+  Frame f;
+  EXPECT_EQ(reader.next(f), FrameReader::Next::kError);
+  EXPECT_EQ(reader.error(), FrameError::kOversize);
+  // Exactly at the cap is fine.
+  FrameReader ok(16);
+  ok.feed(serve::encode_frame(FrameType::kRequest, std::string(16, 'a')));
+  EXPECT_EQ(ok.next(f), FrameReader::Next::kFrame);
+}
+
+TEST(Frame, ErrorPoisonsTheReaderPermanently) {
+  FrameReader reader;
+  std::string bad = serve::encode_frame(FrameType::kPing, "");
+  bad[0] = '?';
+  reader.feed(bad);
+  Frame f;
+  ASSERT_EQ(reader.next(f), FrameReader::Next::kError);
+  // A perfectly good frame after the poison must not resurrect it.
+  reader.feed(serve::encode_frame(FrameType::kPing, ""));
+  EXPECT_EQ(reader.next(f), FrameReader::Next::kError);
+  EXPECT_EQ(reader.error(), FrameError::kBadMagic);
+}
+
+// ---------------------------------------------------------------- Message
+
+TEST(Message, RequestRoundTripPreservesEveryField) {
+  serve::Request req;
+  req.id = 0xDEADBEEFULL;
+  req.scheduler = "sms";
+  req.ncore = 7;
+  req.deadline_ms = 1234;
+  req.loop = test::tiny_recurrence();
+
+  const auto parsed = serve::parse_request(serve::serialise_request(req));
+  const auto* out = std::get_if<serve::Request>(&parsed);
+  ASSERT_NE(out, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(out->id, req.id);
+  EXPECT_EQ(out->scheduler, req.scheduler);
+  EXPECT_EQ(out->ncore, req.ncore);
+  EXPECT_EQ(out->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(ir::serialise_loop(out->loop), ir::serialise_loop(req.loop));
+}
+
+TEST(Message, RequestParserIsStrict) {
+  const std::string good = serve::serialise_request(chain_request());
+  const std::vector<std::string> bad = {
+      "",                                       // empty
+      "bogus v1\n",                             // wrong banner
+      "tmsq-request v2\n",                      // wrong version
+      "tmsq-request v1\nwibble 3\n",            // unknown key
+      "tmsq-request v1\nid 1\n",                // missing loop
+      "tmsq-request v1\nid notanumber\nloop\nloop l\ninstr a iadd\n",
+      good + "trailing garbage\n",              // bytes after the loop text
+  };
+  for (const std::string& payload : bad) {
+    const auto parsed = serve::parse_request(payload);
+    EXPECT_NE(std::get_if<std::string>(&parsed), nullptr)
+        << "must reject: " << payload.substr(0, 40);
+  }
+  const auto ok = serve::parse_request(good);
+  EXPECT_NE(std::get_if<serve::Request>(&ok), nullptr);
+}
+
+TEST(Message, ResponseOkRoundTrip) {
+  serve::Response resp;
+  resp.id = 42;
+  resp.ok = true;
+  resp.scheduler = "tms";
+  resp.cache_hit = true;
+  resp.ii = 6;
+  resp.mii = 5;
+  resp.c_delay_threshold = 3;
+  resp.p_max = 0.125;
+  resp.slots = {0, 2, 5, 7};
+  resp.server_ms = 1.5;
+
+  const auto parsed = serve::parse_response(serve::serialise_response(resp));
+  const auto* out = std::get_if<serve::Response>(&parsed);
+  ASSERT_NE(out, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(out->id, 42u);
+  EXPECT_TRUE(out->ok);
+  EXPECT_EQ(out->scheduler, "tms");
+  EXPECT_TRUE(out->cache_hit);
+  EXPECT_EQ(out->ii, 6);
+  EXPECT_EQ(out->mii, 5);
+  EXPECT_EQ(out->c_delay_threshold, 3);
+  EXPECT_DOUBLE_EQ(out->p_max, 0.125);
+  EXPECT_EQ(out->slots, (std::vector<int>{0, 2, 5, 7}));
+  EXPECT_DOUBLE_EQ(out->server_ms, 1.5);
+}
+
+TEST(Message, ResponseErrorRoundTripFoldsNewlines) {
+  serve::Response resp =
+      serve::make_error(7, serve::ErrorCode::kOverload, "queue full\nsecond line", 250);
+  const auto parsed = serve::parse_response(serve::serialise_response(resp));
+  const auto* out = std::get_if<serve::Response>(&parsed);
+  ASSERT_NE(out, nullptr) << std::get<std::string>(parsed);
+  EXPECT_FALSE(out->ok);
+  EXPECT_EQ(out->id, 7u);
+  EXPECT_EQ(out->code, serve::ErrorCode::kOverload);
+  EXPECT_EQ(out->retry_after_ms, 250);
+  EXPECT_EQ(out->message.find('\n'), std::string::npos)
+      << "multi-line messages must fold to one line";
+  EXPECT_NE(out->message.find("queue full"), std::string::npos);
+}
+
+TEST(Message, ResponseParserIsStrict) {
+  const std::vector<std::string> bad = {
+      "",
+      "tmsq-response v1\n",                            // no status
+      "tmsq-response v1\nstatus maybe\n",              // unknown status
+      "tmsq-response v1\nstatus error\ncode wat\nmessage x\n",  // unknown code
+      "tmsq-response v1\nstatus ok\nii 0\nmii 1\nslots 0\n",    // nonpositive ii
+  };
+  for (const std::string& payload : bad) {
+    const auto parsed = serve::parse_response(payload);
+    EXPECT_NE(std::get_if<std::string>(&parsed), nullptr)
+        << "must reject: " << payload.substr(0, 50);
+  }
+}
+
+TEST(Message, ErrorCodeStringsRoundTrip) {
+  using serve::ErrorCode;
+  for (const ErrorCode c :
+       {ErrorCode::kParse, ErrorCode::kBadRequest, ErrorCode::kScheduleFail,
+        ErrorCode::kValidateFail, ErrorCode::kDeadline, ErrorCode::kOverload,
+        ErrorCode::kShutdown, ErrorCode::kInternal}) {
+    ErrorCode back = ErrorCode::kParse;
+    ASSERT_TRUE(serve::error_code_from_string(serve::to_string(c), back));
+    EXPECT_EQ(back, c);
+  }
+  ErrorCode out;
+  EXPECT_FALSE(serve::error_code_from_string("nonsense", out));
+}
+
+// ---------------------------------------------------------------- Service
+
+TEST(Service, CompileMatchesTheLocalScheduler) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 2;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  const serve::Request req = chain_request();
+  const serve::Response resp = svc.handle(req);
+  expect_valid_remote_schedule(resp, req.loop, mach);
+  EXPECT_EQ(resp.id, req.id);
+  EXPECT_EQ(resp.scheduler, "tms");
+  EXPECT_FALSE(resp.cache_hit) << "no cache attached";
+
+  machine::SpmtConfig cfg;
+  cfg.ncore = req.ncore;
+  const auto local = sched::tms_schedule(req.loop, mach, cfg);
+  ASSERT_TRUE(local.has_value());
+  EXPECT_EQ(resp.ii, local->schedule.ii()) << "remote and local must agree";
+  EXPECT_EQ(resp.mii, local->mii);
+  svc.shutdown();
+}
+
+TEST(Service, SharedCacheTurnsTheSecondRequestIntoAHit) {
+  machine::MachineModel mach;
+  driver::ScheduleCache cache(64);
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, &cache, opts);
+
+  const serve::Request req = chain_request();
+  const serve::Response first = svc.handle(req);
+  ASSERT_TRUE(first.ok) << first.message;
+  EXPECT_FALSE(first.cache_hit);
+
+  const serve::Response second = svc.handle(req);
+  ASSERT_TRUE(second.ok) << second.message;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.ii, first.ii);
+  EXPECT_EQ(second.slots, first.slots);
+  EXPECT_GE(cache.stats().hits(), 1u);
+  svc.shutdown();
+}
+
+TEST(Service, RejectsBadSchedulerAndBadNcore) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  serve::Request req = chain_request();
+  req.scheduler = "bogus";
+  EXPECT_EQ(svc.handle(req).code, serve::ErrorCode::kBadRequest);
+
+  req = chain_request();
+  req.ncore = 0;
+  EXPECT_EQ(svc.handle(req).code, serve::ErrorCode::kBadRequest);
+
+  req = chain_request();
+  req.ncore = 100000;
+  EXPECT_EQ(svc.handle(req).code, serve::ErrorCode::kBadRequest);
+  svc.shutdown();
+}
+
+TEST(Service, FullQueueAnswersOverloadWithRetryHint) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  opts.queue_capacity = 1;
+  opts.retry_after_ms = 77;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  // Park the single worker so admissions pile into the queue.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  auto blocker = svc.pool().try_submit([&] {
+    started.set_value();
+    gate.wait();
+  });
+  ASSERT_NE(blocker, nullptr);
+  started.get_future().wait();
+
+  // This request takes the only queue slot and waits.
+  serve::Response queued_resp;
+  std::thread waiter([&] { queued_resp = svc.handle(chain_request(10)); });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (svc.queue_depth() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(svc.queue_depth(), 1u) << "queued request never reached the pool";
+
+  // Queue is at capacity: the next admission is refused immediately.
+  const serve::Response refused = svc.handle(chain_request(11));
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, serve::ErrorCode::kOverload);
+  EXPECT_EQ(refused.retry_after_ms, 77);
+
+  release.set_value();
+  waiter.join();
+  EXPECT_TRUE(queued_resp.ok) << "the admitted request must still complete: "
+                              << queued_resp.message;
+  svc.shutdown();
+}
+
+TEST(Service, DeadlineExpiresWhileQueued) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  opts.queue_capacity = 4;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  auto blocker = svc.pool().try_submit([&] {
+    started.set_value();
+    gate.wait();
+  });
+  ASSERT_NE(blocker, nullptr);
+  started.get_future().wait();
+
+  serve::Request req = chain_request(20);
+  req.deadline_ms = 50;  // expires while the blocker holds the worker
+  const serve::Response resp = svc.handle(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, serve::ErrorCode::kDeadline);
+
+  release.set_value();
+  svc.shutdown();
+}
+
+TEST(Service, DrainRefusesNewRequests) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, nullptr, opts);
+  svc.begin_drain();
+  EXPECT_TRUE(svc.draining());
+  const serve::Response resp = svc.handle(chain_request());
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, serve::ErrorCode::kShutdown);
+  svc.shutdown();
+}
+
+// ----------------------------------------------------------- SocketServer
+
+struct ServerFixture {
+  ScratchDir dir;
+  machine::MachineModel mach;
+  serve::CompileService service;
+  serve::SocketServer server;
+
+  explicit ServerFixture(serve::ServiceOptions sopts = {}, serve::ServerOptions xopts = {})
+      : dir("server"),
+        service(mach, nullptr, fix_threads(sopts)),
+        server(service, fix_path(xopts, dir.socket_path())) {}
+
+  ~ServerFixture() {
+    server.drain();
+    service.shutdown();
+  }
+
+  static serve::ServiceOptions fix_threads(serve::ServiceOptions o) {
+    if (o.threads == 0) o.threads = 2;
+    return o;
+  }
+  static serve::ServerOptions fix_path(serve::ServerOptions o, std::string path) {
+    o.unix_path = std::move(path);
+    return o;
+  }
+};
+
+TEST(Server, PingAndCompileOverAUnixSocket) {
+  ServerFixture fx;
+  ASSERT_FALSE(fx.server.start().has_value());
+
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(fx.dir.socket_path()).has_value());
+  EXPECT_FALSE(client.ping().has_value());
+
+  const serve::Request req = chain_request();
+  const auto result = client.compile(req);
+  const auto* resp = std::get_if<serve::Response>(&result);
+  ASSERT_NE(resp, nullptr) << std::get<std::string>(result);
+  expect_valid_remote_schedule(*resp, req.loop, fx.mach);
+
+  // Same connection serves many requests.
+  const auto again = client.compile(req);
+  ASSERT_NE(std::get_if<serve::Response>(&again), nullptr);
+}
+
+TEST(Server, ConnectToMissingSocketFails) {
+  serve::Client client;
+  EXPECT_TRUE(client.connect_unix("serve_test_nonexistent/s").has_value());
+}
+
+TEST(Server, MalformedFrameGetsParseErrorThenDrop) {
+  ServerFixture fx;
+  ASSERT_FALSE(fx.server.start().has_value());
+
+  const int fd = raw_connect(fx.dir.socket_path());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(raw_send(fd, "this is not a frame header, not even close"));
+
+  FrameReader reader;
+  Frame f;
+  ASSERT_TRUE(raw_read_frame(fd, reader, f)) << "expected a best-effort error response";
+  ASSERT_EQ(f.type, FrameType::kResponse);
+  const auto parsed = serve::parse_response(f.payload);
+  const auto* resp = std::get_if<serve::Response>(&parsed);
+  ASSERT_NE(resp, nullptr) << std::get<std::string>(parsed);
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, serve::ErrorCode::kParse);
+
+  EXPECT_TRUE(raw_read_eof(fd, 10000)) << "broken framing must drop the connection";
+  ::close(fd);
+}
+
+TEST(Server, WellFramedGarbagePayloadKeepsTheConnection) {
+  ServerFixture fx;
+  ASSERT_FALSE(fx.server.start().has_value());
+
+  const int fd = raw_connect(fx.dir.socket_path());
+  ASSERT_GE(fd, 0);
+  FrameReader reader;
+  Frame f;
+
+  ASSERT_TRUE(raw_send(fd, serve::encode_frame(FrameType::kRequest, "not a request")));
+  ASSERT_TRUE(raw_read_frame(fd, reader, f));
+  ASSERT_EQ(f.type, FrameType::kResponse);
+  const auto parsed = serve::parse_response(f.payload);
+  const auto* err = std::get_if<serve::Response>(&parsed);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, serve::ErrorCode::kParse);
+
+  // The framing is intact, so the connection survives and serves a
+  // proper request afterwards.
+  const serve::Request req = chain_request(5);
+  ASSERT_TRUE(raw_send(fd, serve::encode_frame(FrameType::kRequest,
+                                               serve::serialise_request(req))));
+  ASSERT_TRUE(raw_read_frame(fd, reader, f));
+  const auto parsed2 = serve::parse_response(f.payload);
+  const auto* ok = std::get_if<serve::Response>(&parsed2);
+  ASSERT_NE(ok, nullptr) << std::get<std::string>(parsed2);
+  EXPECT_TRUE(ok->ok) << ok->message;
+  EXPECT_EQ(ok->id, 5u);
+  ::close(fd);
+}
+
+TEST(Server, OverConnectionLimitIsTurnedAwayWithOverload) {
+  serve::ServerOptions sopts;
+  sopts.max_connections = 1;
+  ServerFixture fx({}, sopts);
+  ASSERT_FALSE(fx.server.start().has_value());
+
+  serve::Client first;
+  ASSERT_FALSE(first.connect_unix(fx.dir.socket_path()).has_value());
+  ASSERT_FALSE(first.ping().has_value()) << "first connection must be live";
+
+  const int fd = raw_connect(fx.dir.socket_path());
+  ASSERT_GE(fd, 0);
+  FrameReader reader;
+  Frame f;
+  ASSERT_TRUE(raw_read_frame(fd, reader, f)) << "turn-away must be structured, not silent";
+  ASSERT_EQ(f.type, FrameType::kResponse);
+  const auto parsed = serve::parse_response(f.payload);
+  const auto* resp = std::get_if<serve::Response>(&parsed);
+  ASSERT_NE(resp, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(resp->code, serve::ErrorCode::kOverload);
+  EXPECT_GT(resp->retry_after_ms, 0);
+  EXPECT_TRUE(raw_read_eof(fd, 10000));
+  ::close(fd);
+
+  // The established connection is unaffected.
+  EXPECT_FALSE(first.ping().has_value());
+}
+
+TEST(Server, IdleConnectionIsClosed) {
+  serve::ServerOptions sopts;
+  sopts.idle_timeout_ms = 250;
+  ServerFixture fx({}, sopts);
+  ASSERT_FALSE(fx.server.start().has_value());
+
+  const int fd = raw_connect(fx.dir.socket_path());
+  ASSERT_GE(fd, 0);
+  EXPECT_TRUE(raw_read_eof(fd, 10000)) << "idle connection must be reaped";
+  ::close(fd);
+}
+
+TEST(Server, DrainStopsAcceptingAndUnbindsTheSocket) {
+  ServerFixture fx;
+  ASSERT_FALSE(fx.server.start().has_value());
+  EXPECT_TRUE(fx.server.running());
+
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(fx.dir.socket_path()).has_value());
+
+  fx.server.drain();
+  EXPECT_FALSE(fx.server.running());
+  EXPECT_EQ(fx.server.connection_count(), 0);
+  EXPECT_FALSE(fs::exists(fx.dir.socket_path())) << "socket file must be unlinked";
+
+  serve::Client late;
+  EXPECT_TRUE(late.connect_unix(fx.dir.socket_path()).has_value());
+  fx.server.drain();  // idempotent
+}
+
+TEST(Server, StartFailsOnAnOverlongSocketPath) {
+  machine::MachineModel mach;
+  serve::ServiceOptions sopts;
+  sopts.threads = 1;
+  serve::CompileService service(mach, nullptr, sopts);
+  serve::ServerOptions opts;
+  opts.unix_path = std::string(200, 'a') + "/s";  // beyond sun_path
+  serve::SocketServer server(service, opts);
+  EXPECT_TRUE(server.start().has_value());
+  service.shutdown();
+}
+
+}  // namespace
+}  // namespace tms

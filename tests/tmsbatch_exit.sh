@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regression test for the tmsbatch exit-code contract (docs/DRIVER.md):
+#   0  every job compiled, validated, and (if requested) passed the oracle
+#   1  any job failed, or an input could not be loaded
+#   2  usage errors (bad flags, unknown scheduler names)
+#
+# Usage: tmsbatch_exit.sh TMSBATCH LOOPS_DIR
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 TMSBATCH LOOPS_DIR" >&2
+  exit 2
+fi
+TMSBATCH=$1 LOOPS_DIR=$2
+
+WORK=$(mktemp -d tmsbatch_exit.XXXXXX) || exit 1
+trap 'rm -rf "$WORK"' EXIT
+
+fail=0
+expect() {  # expect WANT DESCRIPTION COMMAND...
+  local want=$1 what=$2
+  shift 2
+  "$@" >"$WORK/out.txt" 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "tmsbatch_exit: FAIL: $what: exit $got (want $want)" >&2
+    cat "$WORK/out.txt" >&2
+    fail=1
+  else
+    echo "tmsbatch_exit: ok: $what (exit $got)"
+  fi
+}
+
+# exit 0: a clean batch over real inputs, all schedulers.
+expect 0 "all jobs ok" \
+  "$TMSBATCH" "$LOOPS_DIR/dotprod.loop" --schedulers sms,ims,tms --quiet
+
+# exit 1: an input that cannot be loaded fails the run.
+printf 'loop broken\ninstr a iadd\nreg a a 0\n' >"$WORK/broken.loop"
+expect 1 "malformed loop file" "$TMSBATCH" "$WORK/broken.loop" --quiet
+
+# exit 1: a missing input file.
+expect 1 "missing loop file" "$TMSBATCH" "$WORK/does_not_exist.loop" --quiet
+
+# exit 2: usage errors never masquerade as job failures.
+expect 2 "unknown scheduler" \
+  "$TMSBATCH" "$LOOPS_DIR/dotprod.loop" --schedulers bogus --quiet
+expect 2 "unknown flag" "$TMSBATCH" "$LOOPS_DIR/dotprod.loop" --wibble
+
+exit "$fail"

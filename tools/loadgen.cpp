@@ -1,0 +1,334 @@
+// loadgen — concurrency/QPS load generator for tmsd.
+//
+// Hammers a running tmsd with N client threads issuing a fixed request
+// budget drawn round-robin from a workload (built-in kernel suite by
+// default, or .loop files), retrying overload answers with the server's
+// own retry_after_ms hint, and reporting latency percentiles.
+//
+// With --verify, every response is checked against a locally computed
+// schedule for the same (loop, scheduler, ncore): the schedulers are
+// deterministic, so remote and local must agree exactly (II and every
+// slot). This is the acceptance check behind tests/serve_smoke.sh.
+//
+// Usage:
+//   loadgen --socket PATH [loop files...] [options]
+//     --tcp HOST:PORT          connect over TCP instead of --socket
+//     --clients N              concurrent client connections (default 8)
+//     --requests N             total requests across all clients
+//                                                           (default 200)
+//     --qps N                  aggregate request rate cap (0 = unlimited)
+//     --scheduler sms|ims|tms  (default tms)
+//     --ncore N                (default 4)
+//     --deadline-ms N          per-request deadline (0 = none)
+//     --timeout-ms N           socket send/recv timeout (default 30000)
+//     --max-retries N          overload retries per request (default 8)
+//     --verify                 compare responses against local schedules
+//     --expect-retry-after     require >=1 overload answer; with this
+//                              flag, requests that exhaust their retries
+//                              count as deferred, not failed
+//
+// Exit status: 0 when every request succeeded (and the --expect flags
+// held), 1 otherwise, 2 on usage errors.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/textio.hpp"
+#include "machine/machine.hpp"
+#include "sched/ims.hpp"
+#include "sched/sms.hpp"
+#include "sched/tms.hpp"
+#include "serve/client.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace tms;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket PATH | --tcp HOST:PORT) [loop files...]\n"
+               "          [--clients N] [--requests N] [--qps N] [--scheduler sms|ims|tms]\n"
+               "          [--ncore N] [--deadline-ms N] [--timeout-ms N] [--max-retries N]\n"
+               "          [--verify] [--expect-retry-after]\n",
+               argv0);
+  return 2;
+}
+
+struct Expected {
+  int ii = 0;
+  std::vector<int> slots;
+};
+
+struct Totals {
+  std::uint64_t ok = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t overloads = 0;   ///< overload answers observed (pre-retry)
+  std::uint64_t retries = 0;
+  std::uint64_t deferred = 0;    ///< requests that exhausted their retries
+  std::uint64_t failed = 0;      ///< transport errors + server errors
+  std::uint64_t mismatches = 0;  ///< --verify disagreements
+  std::vector<double> latencies_ms;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string tcp;
+  std::vector<std::string> files;
+  int clients = 8;
+  long long requests = 200;
+  long long qps = 0;
+  std::string scheduler = "tms";
+  int ncore = 4;
+  long long deadline_ms = 0;
+  int timeout_ms = 30000;
+  int max_retries = 8;
+  bool verify = false;
+  bool expect_retry_after = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next("--socket");
+    } else if (a == "--tcp") {
+      tcp = next("--tcp");
+    } else if (a == "--clients") {
+      clients = std::atoi(next("--clients"));
+    } else if (a == "--requests") {
+      requests = std::atoll(next("--requests"));
+    } else if (a == "--qps") {
+      qps = std::atoll(next("--qps"));
+    } else if (a == "--scheduler") {
+      scheduler = next("--scheduler");
+    } else if (a == "--ncore") {
+      ncore = std::atoi(next("--ncore"));
+    } else if (a == "--deadline-ms") {
+      deadline_ms = std::atoll(next("--deadline-ms"));
+    } else if (a == "--timeout-ms") {
+      timeout_ms = std::atoi(next("--timeout-ms"));
+    } else if (a == "--max-retries") {
+      max_retries = std::atoi(next("--max-retries"));
+    } else if (a == "--verify") {
+      verify = true;
+    } else if (a == "--expect-retry-after") {
+      expect_retry_after = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (socket_path.empty() == tcp.empty()) {
+    std::fprintf(stderr, "exactly one of --socket / --tcp is required\n");
+    return usage(argv[0]);
+  }
+  if (clients < 1 || requests < 1) {
+    std::fprintf(stderr, "--clients and --requests must be positive\n");
+    return 2;
+  }
+
+  std::vector<ir::Loop> loops;
+  for (const std::string& f : files) {
+    std::ifstream file(f);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", f.c_str());
+      return 1;
+    }
+    auto parsed = ir::parse_loop(file);
+    if (const auto* err = std::get_if<ir::ParseError>(&parsed)) {
+      std::fprintf(stderr, "%s:%d: %s\n", f.c_str(), err->line, err->message.c_str());
+      return 1;
+    }
+    loops.push_back(std::get<ir::Loop>(std::move(parsed)));
+  }
+  if (loops.empty()) {
+    for (workloads::Kernel& k : workloads::classic_kernels()) {
+      loops.push_back(std::move(k.loop));
+    }
+  }
+
+  // --verify baseline: schedule every loop locally, once, up front. The
+  // schedulers are deterministic, so this is what the server must echo.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  cfg.ncore = ncore;
+  std::vector<std::optional<Expected>> expected(loops.size());
+  if (verify) {
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      std::optional<sched::Schedule> s;
+      if (scheduler == "sms") {
+        if (auto r = sched::sms_schedule(loops[i], mach)) s.emplace(std::move(r->schedule));
+      } else if (scheduler == "ims") {
+        if (auto r = sched::ims_schedule(loops[i], mach)) s.emplace(std::move(r->schedule));
+      } else {
+        if (auto r = sched::tms_schedule(loops[i], mach, cfg)) s.emplace(std::move(r->schedule));
+      }
+      if (s.has_value()) {
+        Expected e;
+        e.ii = s->ii();
+        for (int v = 0; v < loops[i].num_instrs(); ++v) e.slots.push_back(s->slot(v));
+        expected[i] = std::move(e);
+      }
+    }
+  }
+
+  std::atomic<long long> next_request{0};
+  std::mutex totals_mu;
+  Totals totals;
+  std::atomic<bool> connect_failed{false};
+  const auto start = std::chrono::steady_clock::now();
+  // Aggregate pacing: request k across the whole run is released at
+  // k/qps seconds, whichever client draws it.
+  const auto release_time = [&](long long k) {
+    return start + std::chrono::microseconds(qps > 0 ? k * 1000000 / qps : 0);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      serve::Client client;
+      const auto cerr = socket_path.empty()
+                            ? [&] {
+                                const std::size_t colon = tcp.rfind(':');
+                                return client.connect_tcp(tcp.substr(0, colon),
+                                                          std::atoi(tcp.c_str() + colon + 1),
+                                                          timeout_ms);
+                              }()
+                            : client.connect_unix(socket_path, timeout_ms);
+      if (cerr.has_value()) {
+        std::fprintf(stderr, "loadgen: connect: %s\n", cerr->c_str());
+        connect_failed.store(true, std::memory_order_release);
+        return;
+      }
+      Totals local;
+      for (;;) {
+        const long long k = next_request.fetch_add(1, std::memory_order_relaxed);
+        if (k >= requests) break;
+        if (qps > 0) std::this_thread::sleep_until(release_time(k));
+        const std::size_t li = static_cast<std::size_t>(k) % loops.size();
+        serve::Request req;
+        req.id = static_cast<std::uint64_t>(k) + 1;
+        req.scheduler = scheduler;
+        req.ncore = ncore;
+        req.deadline_ms = deadline_ms;
+        req.loop = loops[li];
+
+        const auto t0 = std::chrono::steady_clock::now();
+        bool settled = false;
+        for (int attempt = 0; attempt <= max_retries && !settled; ++attempt) {
+          auto result = client.compile(req);
+          if (const auto* err = std::get_if<std::string>(&result)) {
+            std::fprintf(stderr, "loadgen: request %lld: %s\n", k, err->c_str());
+            ++local.failed;
+            settled = true;
+            break;
+          }
+          const serve::Response& resp = std::get<serve::Response>(result);
+          if (!resp.ok && resp.code == serve::ErrorCode::kOverload) {
+            ++local.overloads;
+            if (attempt == max_retries) {
+              ++local.deferred;
+              settled = true;
+            } else {
+              ++local.retries;
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(std::max<std::int64_t>(resp.retry_after_ms, 1)));
+            }
+            continue;
+          }
+          if (!resp.ok) {
+            std::fprintf(stderr, "loadgen: request %lld: server error [%s]: %s\n", k,
+                         std::string(serve::to_string(resp.code)).c_str(), resp.message.c_str());
+            ++local.failed;
+            settled = true;
+            break;
+          }
+          ++local.ok;
+          if (resp.cache_hit) ++local.cache_hits;
+          if (verify) {
+            const auto& exp = expected[li];
+            if (!exp.has_value() || resp.ii != exp->ii || resp.slots != exp->slots) {
+              std::fprintf(stderr, "loadgen: request %lld: schedule mismatch vs local %s\n", k,
+                           scheduler.c_str());
+              ++local.mismatches;
+            }
+          }
+          local.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                  .count());
+          settled = true;
+        }
+      }
+      std::lock_guard<std::mutex> lock(totals_mu);
+      totals.ok += local.ok;
+      totals.cache_hits += local.cache_hits;
+      totals.overloads += local.overloads;
+      totals.retries += local.retries;
+      totals.deferred += local.deferred;
+      totals.failed += local.failed;
+      totals.mismatches += local.mismatches;
+      totals.latencies_ms.insert(totals.latencies_ms.end(), local.latencies_ms.begin(),
+                                 local.latencies_ms.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+
+  std::sort(totals.latencies_ms.begin(), totals.latencies_ms.end());
+  std::printf("loadgen: %lld request(s), %d client(s), %.1f ms wall (%.1f req/s)\n", requests,
+              clients, wall_ms,
+              wall_ms > 0 ? 1000.0 * static_cast<double>(requests) / wall_ms : 0.0);
+  std::printf("  ok %llu (cache hits %llu), overload answers %llu, retries %llu, "
+              "deferred %llu, failed %llu, mismatches %llu\n",
+              (unsigned long long)totals.ok, (unsigned long long)totals.cache_hits,
+              (unsigned long long)totals.overloads, (unsigned long long)totals.retries,
+              (unsigned long long)totals.deferred, (unsigned long long)totals.failed,
+              (unsigned long long)totals.mismatches);
+  if (!totals.latencies_ms.empty()) {
+    std::printf("  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+                percentile(totals.latencies_ms, 0.50), percentile(totals.latencies_ms, 0.90),
+                percentile(totals.latencies_ms, 0.99), totals.latencies_ms.back());
+  }
+
+  bool ok = !connect_failed.load(std::memory_order_acquire) && totals.failed == 0 &&
+            totals.mismatches == 0;
+  if (expect_retry_after && totals.overloads == 0) {
+    std::fprintf(stderr, "loadgen: --expect-retry-after, but no overload answer was observed\n");
+    ok = false;
+  }
+  if (!expect_retry_after && totals.deferred > 0) {
+    std::fprintf(stderr, "loadgen: %llu request(s) exhausted their retries\n",
+                 (unsigned long long)totals.deferred);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -17,6 +17,8 @@
 //     --jobs N                 worker threads             (default ncpu)
 //     --cache-dir DIR          persistent schedule cache on disk
 //     --cache-capacity N       in-memory cache entries    (default 65536)
+//     --cache-disk-max-bytes N bound the on-disk cache; oldest files are
+//                              evicted past the bound     (default 0 = unbounded)
 //     --no-cache               disable the schedule cache entirely
 //     --json PATH              write the JSON report to PATH
 //     --stable-json            omit volatile fields (timings, cache info)
@@ -73,7 +75,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [loop files...] [--suite kernels|doacross|spec|all] [--dir DIR]\n"
                "          [--schedulers sms,ims,tms] [--jobs N] [--cache-dir DIR]\n"
-               "          [--cache-capacity N] [--no-cache] [--json PATH] [--stable-json]\n"
+               "          [--cache-capacity N] [--cache-disk-max-bytes N] [--no-cache]\n"
+               "          [--json PATH] [--stable-json]\n"
                "          [--simulate N] [--oracle N] [--no-validate] [--ncore N] [--seed S]\n"
                "          [--quiet] [--trace PATH] [--trace-buf N] [--explain LOOP]\n",
                argv0);
@@ -205,6 +208,7 @@ int main(int argc, char** argv) {
   driver::BatchOptions opts;
   std::string cache_dir;
   std::size_t cache_capacity = 1 << 16;
+  std::uint64_t cache_disk_max_bytes = 0;
   bool use_cache = true;
   std::string json_path;
   bool stable_json = false;
@@ -235,6 +239,8 @@ int main(int argc, char** argv) {
       cache_dir = next("--cache-dir");
     } else if (a == "--cache-capacity") {
       cache_capacity = std::strtoull(next("--cache-capacity"), nullptr, 10);
+    } else if (a == "--cache-disk-max-bytes") {
+      cache_disk_max_bytes = std::strtoull(next("--cache-disk-max-bytes"), nullptr, 10);
     } else if (a == "--no-cache") {
       use_cache = false;
     } else if (a == "--json") {
@@ -352,7 +358,7 @@ int main(int argc, char** argv) {
   }
 
   std::optional<driver::ScheduleCache> cache;
-  if (use_cache) cache.emplace(cache_capacity, cache_dir);
+  if (use_cache) cache.emplace(cache_capacity, cache_dir, cache_disk_max_bytes);
 
   const driver::BatchReport report =
       driver::run_batch(jobs, mach, opts, cache ? &*cache : nullptr);

@@ -13,6 +13,11 @@
 //     --profile N               profile dependence frequencies over N
 //                               iterations and re-annotate before scheduling
 //     --registers R             register-file budget (MaxLive + copies)
+//     --remote SOCKET           schedule on a running tmsd (Unix socket
+//                               path) instead of in-process; everything
+//                               downstream (render, metrics, simulate)
+//                               runs locally on the returned schedule
+//     --deadline-ms N           per-request deadline for --remote
 //
 // Example:
 //   ./build/tools/tmsc examples/loops/dotprod.loop --simulate 2000 --metrics
@@ -33,6 +38,7 @@
 #include "spmt/address.hpp"
 #include "spmt/profile.hpp"
 #include "spmt/sim.hpp"
+#include "serve/client.hpp"
 #include "spmt/single_core.hpp"
 #include "viz/render.hpp"
 
@@ -44,7 +50,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <loop-file> [--scheduler sms|ims|tms] [--ncore N] [--unroll U]\n"
                "          [--simulate N] [--baseline N] [--render flat|kernel|exec|dot|all]\n"
-               "          [--profile N] [--registers N] [--metrics]\n",
+               "          [--profile N] [--registers N] [--metrics]\n"
+               "          [--remote SOCKET] [--deadline-ms N]\n",
                argv0);
   return 2;
 }
@@ -62,6 +69,8 @@ int main(int argc, char** argv) {
   long long profile = 0;
   int registers = 0;
   bool metrics = false;
+  std::string remote;
+  long long deadline_ms = 0;
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -90,6 +99,10 @@ int main(int argc, char** argv) {
       registers = std::atoi(next("--registers"));
     } else if (a == "--metrics") {
       metrics = true;
+    } else if (a == "--remote") {
+      remote = next("--remote");
+    } else if (a == "--deadline-ms") {
+      deadline_ms = std::atoll(next("--deadline-ms"));
     } else {
       return usage(argv[0]);
     }
@@ -125,7 +138,52 @@ int main(int argc, char** argv) {
   }
 
   std::optional<sched::Schedule> schedule;
-  if (registers > 0) {
+  if (!remote.empty()) {
+    // Delegate scheduling to a running tmsd; rebuild the schedule from
+    // the response slots and fall through to the local render/simulate
+    // pipeline. Deterministic schedulers make remote == local output.
+    if (registers > 0) {
+      std::fprintf(stderr, "--registers is not supported with --remote\n");
+      return 2;
+    }
+    serve::Client client;
+    if (const auto err = client.connect_unix(remote)) {
+      std::fprintf(stderr, "tmsc: %s\n", err->c_str());
+      return 1;
+    }
+    serve::Request req;
+    req.scheduler = scheduler;
+    req.ncore = ncore;
+    req.deadline_ms = deadline_ms;
+    req.loop = loop;
+    auto result = client.compile(req);
+    if (const auto* err = std::get_if<std::string>(&result)) {
+      std::fprintf(stderr, "tmsc: %s\n", err->c_str());
+      return 1;
+    }
+    const serve::Response& resp = std::get<serve::Response>(result);
+    if (!resp.ok) {
+      std::fprintf(stderr, "tmsc: server error [%s]: %s\n",
+                   std::string(serve::to_string(resp.code)).c_str(), resp.message.c_str());
+      return 1;
+    }
+    if (resp.slots.size() != static_cast<std::size_t>(loop.num_instrs())) {
+      std::fprintf(stderr, "tmsc: response has %zu slots for a %d-instruction loop\n",
+                   resp.slots.size(), loop.num_instrs());
+      return 1;
+    }
+    sched::Schedule s(loop, mach, resp.ii);
+    for (int v = 0; v < loop.num_instrs(); ++v) {
+      s.set_slot(v, resp.slots[static_cast<std::size_t>(v)]);
+    }
+    if (const auto verr = s.validate()) {
+      std::fprintf(stderr, "tmsc: response schedule is invalid: %s\n", verr->c_str());
+      return 1;
+    }
+    std::printf("remote: %s ii=%d mii=%d cache_hit=%d server_ms=%.2f\n", resp.scheduler.c_str(),
+                resp.ii, resp.mii, resp.cache_hit ? 1 : 0, resp.server_ms);
+    schedule.emplace(std::move(s));
+  } else if (registers > 0) {
     if (scheduler == "tms") {
       if (auto r = sched::tms_schedule_reglimited(loop, mach, cfg, registers)) {
         std::printf("register budget %d: pressure %d after %d II bump(s)\n", registers,

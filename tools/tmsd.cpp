@@ -1,0 +1,201 @@
+// tmsd — persistent compile-service daemon.
+//
+// Serves scheduling requests over a Unix-domain socket (and optionally
+// loopback TCP) so repeated compilations amortise one process-wide,
+// content-addressed ScheduleCache instead of paying cold-start per
+// invocation. The wire protocol, admission control, and drain semantics
+// are documented in docs/SERVING.md; tmsq and loadgen are the clients.
+//
+// Usage:
+//   tmsd --socket PATH [options]
+//     --socket PATH            Unix-domain socket to listen on (required)
+//     --tcp-port N             also listen on 127.0.0.1:N (0 = ephemeral;
+//                              the bound port is printed on startup)
+//     --threads N              compile workers          (default ncpu)
+//     --queue-capacity N       admission high-water mark (default 64)
+//     --retry-after-ms N       backoff hint in overload responses
+//                                                       (default 100)
+//     --max-connections N      live connections before turn-away
+//                                                       (default 64)
+//     --idle-timeout-ms N      close idle connections   (default 30000,
+//                              0 = never)
+//     --cache-dir DIR          persistent schedule cache on disk
+//     --cache-capacity N       in-memory cache entries  (default 65536)
+//     --cache-disk-max-bytes N bound the on-disk cache  (default 0 = unbounded)
+//     --no-cache               disable the schedule cache entirely
+//     --no-validate            skip the independent validator per request
+//     --counters               print the counter table on exit
+//
+// Lifecycle: on SIGTERM or SIGINT the daemon stops accepting, answers
+// already-connected clients' in-flight requests, drains the compile
+// queue, and exits 0. A second signal during drain exits immediately
+// (code 130). Readiness is signalled by the "tmsd: listening on ..."
+// line on stdout (flushed before the first accept).
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "driver/schedule_cache.hpp"
+#include "machine/machine.hpp"
+#include "obs/counters.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+using namespace tms;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--tcp-port N] [--threads N] [--queue-capacity N]\n"
+               "          [--retry-after-ms N] [--max-connections N] [--idle-timeout-ms N]\n"
+               "          [--cache-dir DIR] [--cache-capacity N] [--cache-disk-max-bytes N]\n"
+               "          [--no-cache] [--no-validate] [--counters]\n",
+               argv0);
+  return 2;
+}
+
+// Self-pipe: the handler does the only async-signal-safe thing — one
+// write — and the main thread, blocked in poll() on the read end, does
+// the actual drain. Volatile so a second signal can be detected.
+int g_signal_pipe[2] = {-1, -1};
+volatile sig_atomic_t g_signal_count = 0;
+
+void on_signal(int) {
+  g_signal_count = static_cast<sig_atomic_t>(g_signal_count + 1);
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int tcp_port = -1;
+  serve::ServiceOptions service_opts;
+  serve::ServerOptions server_opts;
+  std::string cache_dir;
+  std::size_t cache_capacity = 1 << 16;
+  std::uint64_t cache_disk_max_bytes = 0;
+  bool use_cache = true;
+  bool print_counters = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next("--socket");
+    } else if (a == "--tcp-port") {
+      tcp_port = std::atoi(next("--tcp-port"));
+    } else if (a == "--threads") {
+      service_opts.threads = std::atoi(next("--threads"));
+    } else if (a == "--queue-capacity") {
+      service_opts.queue_capacity = std::strtoull(next("--queue-capacity"), nullptr, 10);
+    } else if (a == "--retry-after-ms") {
+      service_opts.retry_after_ms = std::atoll(next("--retry-after-ms"));
+    } else if (a == "--max-connections") {
+      server_opts.max_connections = std::atoi(next("--max-connections"));
+    } else if (a == "--idle-timeout-ms") {
+      server_opts.idle_timeout_ms = std::atoll(next("--idle-timeout-ms"));
+    } else if (a == "--cache-dir") {
+      cache_dir = next("--cache-dir");
+    } else if (a == "--cache-capacity") {
+      cache_capacity = std::strtoull(next("--cache-capacity"), nullptr, 10);
+    } else if (a == "--cache-disk-max-bytes") {
+      cache_disk_max_bytes = std::strtoull(next("--cache-disk-max-bytes"), nullptr, 10);
+    } else if (a == "--no-cache") {
+      use_cache = false;
+    } else if (a == "--no-validate") {
+      service_opts.validate = false;
+    } else if (a == "--counters") {
+      print_counters = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "--socket is required\n");
+    return usage(argv[0]);
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  machine::MachineModel mach;
+  std::optional<driver::ScheduleCache> cache;
+  if (use_cache) cache.emplace(cache_capacity, cache_dir, cache_disk_max_bytes);
+
+  serve::CompileService service(mach, cache ? &*cache : nullptr, service_opts);
+  server_opts.unix_path = socket_path;
+  server_opts.tcp_port = tcp_port;
+  serve::SocketServer server(service, server_opts);
+  if (const auto err = server.start()) {
+    std::fprintf(stderr, "tmsd: %s\n", err->c_str());
+    return 1;
+  }
+
+  std::printf("tmsd: listening on %s", socket_path.c_str());
+  if (server.tcp_port() >= 0) std::printf(" and 127.0.0.1:%d", server.tcp_port());
+  std::printf(" (%d worker(s), queue %zu)\n", service.pool().threads(),
+              service.options().queue_capacity);
+  std::fflush(stdout);
+
+  // Block until a signal arrives.
+  for (;;) {
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    const int r = ::poll(&pfd, 1, -1);
+    if (r < 0 && errno == EINTR) continue;
+    if (r > 0 && (pfd.revents & POLLIN) != 0) {
+      char buf[16];
+      [[maybe_unused]] const ssize_t n = ::read(g_signal_pipe[0], buf, sizeof buf);
+      break;
+    }
+    if (r < 0) break;
+  }
+
+  std::printf("tmsd: draining\n");
+  std::fflush(stdout);
+
+  // Transport first (no new requests can arrive), then the service (the
+  // already-admitted queue runs dry). A second signal mid-drain aborts.
+  server.drain();
+  if (g_signal_count > 1) {
+    std::fprintf(stderr, "tmsd: second signal during drain, aborting\n");
+    return 130;
+  }
+  service.shutdown();
+
+  if (cache.has_value()) {
+    const auto stats = cache->stats();
+    std::printf("tmsd: cache at exit: %llu hit(s), %llu miss(es), %llu insert(s), "
+                "%llu byte(s) on disk\n",
+                (unsigned long long)stats.hits(), (unsigned long long)stats.misses,
+                (unsigned long long)stats.inserts, (unsigned long long)stats.disk_bytes);
+  }
+  if (print_counters) {
+    std::printf("%s", obs::counters_to_text(obs::counters_snapshot()).c_str());
+  }
+  std::printf("tmsd: drained, exiting\n");
+  return 0;
+}

@@ -25,6 +25,11 @@
 //                              scheduling (a synthetic off-by-one in the
 //                              scheduling window) to prove the validator
 //                              catches real scheduler bugs end to end
+//           [--frames]         fuzz the tmsd wire-protocol parsers
+//                              (serve/frame, serve/message) instead of the
+//                              scheduling pipeline: random noise, split
+//                              feeds, byte mutations, and round-trip
+//                              fixpoints, driven by --seeds/--start-seed
 //           [--verbose]        per-run progress
 //
 // Exit status: 0 when every run is clean, 1 when any failure was found
@@ -45,6 +50,8 @@
 #include "sched/ims.hpp"
 #include "sched/sms.hpp"
 #include "sched/tms.hpp"
+#include "serve/frame.hpp"
+#include "serve/message.hpp"
 #include "support/rng.hpp"
 #include "workloads/builder.hpp"
 
@@ -60,6 +67,7 @@ struct FuzzOptions {
   int jobs = 0;  ///< 0 = hardware_concurrency
   std::string out_dir = ".";
   bool inject_bug = false;
+  bool frames = false;
   bool verbose = false;
 };
 
@@ -178,9 +186,213 @@ std::string failure_signature(const std::string& msg) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start-seed S] [--iters N] [--jobs N] [--out DIR]\n"
-               "          [--schedulers sms,ims,tms] [--inject-bug] [--verbose]\n",
+               "          [--schedulers sms,ims,tms] [--inject-bug] [--frames] [--verbose]\n",
                argv0);
   return 2;
+}
+
+/// Feed `bytes` to a FrameReader in seed-dependent chunk sizes, pulling
+/// frames (and the terminal error, if any) as they complete. The parser
+/// must produce the same frame sequence whatever the chunking — that is
+/// the property this helper exists to stress.
+struct FedResult {
+  std::vector<serve::Frame> frames;
+  serve::FrameError error = serve::FrameError::kNone;
+};
+
+FedResult feed_chunked(std::string_view bytes, support::Rng& rng, std::uint32_t max_payload) {
+  serve::FrameReader reader(max_payload);
+  FedResult out;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t chunk = std::min<std::size_t>(
+        bytes.size() - pos, 1 + rng.bounded(static_cast<std::uint64_t>(bytes.size())));
+    reader.feed(bytes.substr(pos, chunk));
+    pos += chunk;
+    serve::Frame f;
+    for (;;) {
+      const serve::FrameReader::Next next = reader.next(f);
+      if (next == serve::FrameReader::Next::kFrame) {
+        out.frames.push_back(f);
+        continue;
+      }
+      if (next == serve::FrameReader::Next::kError) out.error = reader.error();
+      break;
+    }
+    if (out.error != serve::FrameError::kNone) break;
+  }
+  return out;
+}
+
+std::string random_bytes(support::Rng& rng, std::size_t n) {
+  std::string s(n, '\0');
+  for (char& c : s) c = static_cast<char>(rng.bounded(256));
+  return s;
+}
+
+/// One seed's worth of wire-protocol fuzzing. Returns a failure
+/// description, or nullopt when every property held.
+std::optional<std::string> run_frames_one(std::uint64_t seed) {
+  support::Rng rng(seed ^ 0xF8A3E5ULL);  // distinct stream from fuzz_shape
+
+  // Property 1: encode -> chunked decode is the identity, for a batch of
+  // frames of every type and payload sizes from empty to multi-chunk.
+  {
+    std::vector<serve::Frame> sent;
+    std::string stream;
+    const int n = 1 + static_cast<int>(rng.bounded(5));
+    for (int i = 0; i < n; ++i) {
+      serve::Frame f;
+      const serve::FrameType types[] = {serve::FrameType::kRequest, serve::FrameType::kResponse,
+                                        serve::FrameType::kPing, serve::FrameType::kPong};
+      f.type = types[rng.bounded(4)];
+      f.payload = random_bytes(rng, rng.bounded(4096));
+      stream += serve::encode_frame(f.type, f.payload);
+      sent.push_back(std::move(f));
+    }
+    const FedResult got = feed_chunked(stream, rng, serve::kMaxPayloadBytes);
+    if (got.error != serve::FrameError::kNone) {
+      return std::string("valid stream reported ") + std::string(to_string(got.error));
+    }
+    if (got.frames.size() != sent.size()) {
+      return "decoded " + std::to_string(got.frames.size()) + " of " +
+             std::to_string(sent.size()) + " frames";
+    }
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      if (got.frames[i].type != sent[i].type || got.frames[i].payload != sent[i].payload) {
+        return "frame " + std::to_string(i) + " did not round-trip";
+      }
+    }
+  }
+
+  // Property 2: a length prefix above the reader's cap is rejected
+  // before any payload is buffered, and the reader stays poisoned even
+  // when fed a subsequently valid frame.
+  {
+    const std::string big = serve::encode_frame(serve::FrameType::kRequest,
+                                                std::string(512, 'x'));
+    serve::FrameReader reader(/*max_payload=*/256);
+    reader.feed(big);
+    serve::Frame f;
+    if (reader.next(f) != serve::FrameReader::Next::kError ||
+        reader.error() != serve::FrameError::kOversize) {
+      return std::string("oversize frame not rejected");
+    }
+    reader.feed(serve::encode_frame(serve::FrameType::kPing, {}));
+    if (reader.next(f) != serve::FrameReader::Next::kError) {
+      return std::string("poisoned reader recovered");
+    }
+  }
+
+  // Property 3: mutated headers never crash; a corrupted magic byte in
+  // the first frame is always detected.
+  {
+    std::string stream = serve::encode_frame(serve::FrameType::kRequest,
+                                             random_bytes(rng, 64 + rng.bounded(256)));
+    const std::size_t victim = rng.bounded(stream.size());
+    const char orig = stream[victim];
+    stream[victim] = static_cast<char>(orig ^ static_cast<char>(1 + rng.bounded(255)));
+    const FedResult got = feed_chunked(stream, rng, serve::kMaxPayloadBytes);
+    if (victim < 4 && got.error != serve::FrameError::kBadMagic) {
+      return std::string("corrupt magic byte not flagged");
+    }
+    (void)got;
+  }
+
+  // Property 4: pure noise never crashes either parser.
+  {
+    const std::string noise = random_bytes(rng, rng.bounded(2048));
+    (void)feed_chunked(noise, rng, serve::kMaxPayloadBytes);
+    (void)serve::parse_request(noise);
+    (void)serve::parse_response(noise);
+  }
+
+  // Property 5: request serialise -> parse -> serialise is a fixpoint.
+  {
+    serve::Request req;
+    req.id = rng.fork_seed();
+    const char* scheds[] = {"sms", "ims", "tms"};
+    req.scheduler = scheds[rng.bounded(3)];
+    req.ncore = 1 + static_cast<int>(rng.bounded(16));
+    req.deadline_ms = static_cast<std::int64_t>(rng.bounded(100000));
+    req.loop = workloads::build_loop(fuzz_shape(seed));
+    const std::string wire = serve::serialise_request(req);
+    auto parsed = serve::parse_request(wire);
+    if (const auto* err = std::get_if<std::string>(&parsed)) {
+      return "own request rejected: " + *err;
+    }
+    if (serve::serialise_request(std::get<serve::Request>(parsed)) != wire) {
+      return std::string("request round-trip not a fixpoint");
+    }
+    // Mutations must never crash, and whatever parses must re-serialise
+    // stably (parse . serialise . parse == parse).
+    std::string mutated = wire;
+    const std::size_t victim = rng.bounded(mutated.size());
+    mutated[victim] =
+        static_cast<char>(mutated[victim] ^ static_cast<char>(1 + rng.bounded(255)));
+    auto reparsed = serve::parse_request(mutated);
+    if (auto* ok = std::get_if<serve::Request>(&reparsed)) {
+      const std::string wire2 = serve::serialise_request(*ok);
+      auto third = serve::parse_request(wire2);
+      if (std::get_if<serve::Request>(&third) == nullptr ||
+          serve::serialise_request(std::get<serve::Request>(third)) != wire2) {
+        return std::string("mutated request parse not stable");
+      }
+    }
+  }
+
+  // Property 6: response serialise -> parse -> serialise is a fixpoint,
+  // for both the ok and the error shape.
+  {
+    serve::Response resp;
+    resp.id = rng.fork_seed();
+    resp.ok = rng.chance(0.5);
+    if (resp.ok) {
+      resp.scheduler = "tms";
+      resp.cache_hit = rng.chance(0.5);
+      resp.ii = 1 + static_cast<int>(rng.bounded(64));
+      resp.mii = 1 + static_cast<int>(rng.bounded(resp.ii));
+      resp.c_delay_threshold = static_cast<int>(rng.bounded(20)) - 1;
+      resp.p_max = rng.uniform(0.0, 1.0);
+      resp.server_ms = rng.uniform(0.0, 500.0);
+      const std::size_t n = 1 + rng.bounded(64);
+      for (std::size_t i = 0; i < n; ++i) {
+        resp.slots.push_back(static_cast<int>(rng.bounded(256)));
+      }
+    } else {
+      resp.code = static_cast<serve::ErrorCode>(rng.bounded(8));
+      resp.retry_after_ms = static_cast<std::int64_t>(rng.bounded(10000));
+      resp.message = "boom\nwith newline " + std::to_string(rng.fork_seed());
+    }
+    const std::string wire = serve::serialise_response(resp);
+    auto parsed = serve::parse_response(wire);
+    if (const auto* err = std::get_if<std::string>(&parsed)) {
+      return "own response rejected: " + *err;
+    }
+    if (serve::serialise_response(std::get<serve::Response>(parsed)) != wire) {
+      return std::string("response round-trip not a fixpoint");
+    }
+  }
+  return std::nullopt;
+}
+
+/// --frames: sweep the wire-protocol properties across the seed range.
+int run_frames(const FuzzOptions& opt) {
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = opt.start_seed; seed < opt.start_seed + opt.seeds; ++seed) {
+    const auto failure = run_frames_one(seed);
+    if (opt.verbose) {
+      std::printf("frames seed %llu: %s\n", (unsigned long long)seed,
+                  failure.has_value() ? "FAIL" : "ok");
+    }
+    if (failure.has_value()) {
+      ++failures;
+      std::printf("FAILURE frames seed %llu: %s\n", (unsigned long long)seed, failure->c_str());
+    }
+  }
+  std::printf("tmsfuzz: %llu frame seed(s), %llu failure(s)\n", (unsigned long long)opt.seeds,
+              (unsigned long long)failures);
+  return failures == 0 ? 0 : 1;
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -223,6 +435,8 @@ int main(int argc, char** argv) {
       opt.out_dir = next("--out");
     } else if (a == "--inject-bug") {
       opt.inject_bug = true;
+    } else if (a == "--frames") {
+      opt.frames = true;
     } else if (a == "--verbose") {
       opt.verbose = true;
     } else {
@@ -235,6 +449,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (opt.frames) return run_frames(opt);
 
   const machine::MachineModel mach;
 

@@ -1,0 +1,178 @@
+// tmsq — one-shot client for the tmsd compile service.
+//
+// Sends a single loop to a running tmsd and prints the schedule (the
+// same flat rendering as `tmsc --render flat`, so outputs diff cleanly),
+// or probes liveness with --ping. tmsc --remote delegates here in
+// spirit: both use serve::Client and print through viz::render.
+//
+// Usage:
+//   tmsq --socket PATH [<loop-file>] [options]
+//   tmsq --tcp HOST:PORT [<loop-file>] [options]
+//     --scheduler sms|ims|tms  (default tms)
+//     --ncore N                (default 4)
+//     --deadline-ms N          per-request deadline (0 = none)
+//     --timeout-ms N           socket send/recv timeout (default 30000)
+//     --ping                   liveness probe instead of a request
+//     --quiet                  suppress the "remote:" summary line
+//
+// Exit status: 0 on a schedule (or pong), 1 on a structured server
+// error or transport failure, 2 on usage errors. An overload answer
+// prints the server's retry_after_ms and exits 1 — retry policy belongs
+// to the caller (loadgen implements one).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "ir/textio.hpp"
+#include "machine/machine.hpp"
+#include "sched/schedule.hpp"
+#include "serve/client.hpp"
+#include "viz/render.hpp"
+
+using namespace tms;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--socket PATH | --tcp HOST:PORT) [<loop-file>]\n"
+               "          [--scheduler sms|ims|tms] [--ncore N] [--deadline-ms N]\n"
+               "          [--timeout-ms N] [--ping] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string tcp;
+  std::string loop_file;
+  serve::Request req;
+  int timeout_ms = 30000;
+  bool ping = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next("--socket");
+    } else if (a == "--tcp") {
+      tcp = next("--tcp");
+    } else if (a == "--scheduler") {
+      req.scheduler = next("--scheduler");
+    } else if (a == "--ncore") {
+      req.ncore = std::atoi(next("--ncore"));
+    } else if (a == "--deadline-ms") {
+      req.deadline_ms = std::atoll(next("--deadline-ms"));
+    } else if (a == "--timeout-ms") {
+      timeout_ms = std::atoi(next("--timeout-ms"));
+    } else if (a == "--ping") {
+      ping = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else if (loop_file.empty()) {
+      loop_file = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() == tcp.empty()) {
+    std::fprintf(stderr, "exactly one of --socket / --tcp is required\n");
+    return usage(argv[0]);
+  }
+  if (!ping && loop_file.empty()) {
+    std::fprintf(stderr, "a loop file is required unless --ping\n");
+    return usage(argv[0]);
+  }
+
+  serve::Client client;
+  std::optional<std::string> err;
+  if (!socket_path.empty()) {
+    err = client.connect_unix(socket_path, timeout_ms);
+  } else {
+    const std::size_t colon = tcp.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--tcp expects HOST:PORT\n");
+      return 2;
+    }
+    err = client.connect_tcp(tcp.substr(0, colon), std::atoi(tcp.c_str() + colon + 1),
+                             timeout_ms);
+  }
+  if (err.has_value()) {
+    std::fprintf(stderr, "tmsq: %s\n", err->c_str());
+    return 1;
+  }
+
+  if (ping) {
+    if (const auto perr = client.ping()) {
+      std::fprintf(stderr, "tmsq: ping failed: %s\n", perr->c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+
+  std::ifstream file(loop_file);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", loop_file.c_str());
+    return 1;
+  }
+  auto parsed = ir::parse_loop(file);
+  if (const auto* perr = std::get_if<ir::ParseError>(&parsed)) {
+    std::fprintf(stderr, "%s:%d: %s\n", loop_file.c_str(), perr->line, perr->message.c_str());
+    return 1;
+  }
+  req.loop = std::get<ir::Loop>(std::move(parsed));
+
+  auto result = client.compile(req);
+  if (const auto* terr = std::get_if<std::string>(&result)) {
+    std::fprintf(stderr, "tmsq: %s\n", terr->c_str());
+    return 1;
+  }
+  const serve::Response& resp = std::get<serve::Response>(result);
+  if (!resp.ok) {
+    std::fprintf(stderr, "tmsq: server error [%s]: %s\n",
+                 std::string(serve::to_string(resp.code)).c_str(), resp.message.c_str());
+    if (resp.code == serve::ErrorCode::kOverload) {
+      std::fprintf(stderr, "tmsq: server suggests retrying after %lld ms\n",
+                   (long long)resp.retry_after_ms);
+    }
+    return 1;
+  }
+
+  // Rebuild the schedule locally from the response slots — the response
+  // carries exactly what a cache entry does, so the rendering below is
+  // byte-identical to `tmsc --render flat` on the same loop.
+  machine::MachineModel mach;
+  if (resp.slots.size() != static_cast<std::size_t>(req.loop.num_instrs())) {
+    std::fprintf(stderr, "tmsq: response has %zu slots for a %d-instruction loop\n",
+                 resp.slots.size(), req.loop.num_instrs());
+    return 1;
+  }
+  sched::Schedule schedule(req.loop, mach, resp.ii);
+  for (int v = 0; v < req.loop.num_instrs(); ++v) {
+    schedule.set_slot(v, resp.slots[static_cast<std::size_t>(v)]);
+  }
+  if (const auto verr = schedule.validate()) {
+    std::fprintf(stderr, "tmsq: response schedule is invalid: %s\n", verr->c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("remote: %s ii=%d mii=%d cache_hit=%d server_ms=%.2f\n", resp.scheduler.c_str(),
+                resp.ii, resp.mii, resp.cache_hit ? 1 : 0, resp.server_ms);
+  }
+  std::printf("%s", viz::render_flat_schedule(schedule).c_str());
+  return 0;
+}
