@@ -26,6 +26,30 @@ std::array<std::uint64_t, Histogram::kBuckets> Histogram::values() const {
 
 void Histogram::reset() {
   for (auto& b : b_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+int TimeHistogram::bucket_of_us(std::uint64_t us) {
+  if (us == 0) return 0;
+  int b = 1;
+  while (b < kBuckets - 1 && us >= (std::uint64_t{1} << b)) ++b;
+  return b;
+}
+
+std::uint64_t TimeHistogram::bucket_floor_us(int b) {
+  if (b == 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::array<std::uint64_t, TimeHistogram::kBuckets> TimeHistogram::values() const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (int i = 0; i < kBuckets; ++i) out[static_cast<std::size_t>(i)] = b_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  return out;
+}
+
+void TimeHistogram::reset() {
+  for (auto& b : b_) b.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
 }
 
 Counters& counters() {
@@ -36,11 +60,14 @@ Counters& counters() {
 const std::vector<MetricInfo>& metric_catalog() {
   static const std::vector<MetricInfo> catalog = [] {
     std::vector<MetricInfo> v;
-#define TMS_OBS_INFO(field, name, unit, desc) v.push_back({name, unit, desc, false});
+#define TMS_OBS_INFO(field, name, unit, desc) v.push_back({name, unit, desc, MetricKind::kCounter});
     TMS_COUNTER_LIST(TMS_OBS_INFO)
 #undef TMS_OBS_INFO
-#define TMS_OBS_INFO(field, name, unit, desc) v.push_back({name, unit, desc, true});
+#define TMS_OBS_INFO(field, name, unit, desc) v.push_back({name, unit, desc, MetricKind::kHistogram});
     TMS_HISTOGRAM_LIST(TMS_OBS_INFO)
+#undef TMS_OBS_INFO
+#define TMS_OBS_INFO(field, name, unit, desc) v.push_back({name, unit, desc, MetricKind::kTimeHistogram});
+    TMS_TIME_HISTOGRAM_LIST(TMS_OBS_INFO)
 #undef TMS_OBS_INFO
     return v;
   }();
@@ -55,14 +82,56 @@ std::uint64_t CountersSnapshot::value(std::string_view name) const {
   return 0;
 }
 
+namespace {
+
+/// Index of `name` within the kTimeHistogram rows of the catalog, or
+/// npos when unknown.
+std::size_t time_histogram_index(std::string_view name) {
+  std::size_t ti = 0;
+  for (const MetricInfo& m : metric_catalog()) {
+    if (m.kind != MetricKind::kTimeHistogram) continue;
+    if (name == m.name) return ti;
+    ++ti;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+std::array<std::uint64_t, TimeHistogram::kBuckets> CountersSnapshot::time_histogram(
+    std::string_view name) const {
+  const std::size_t ti = time_histogram_index(name);
+  if (ti < time_histograms.size()) return time_histograms[ti];
+  return {};
+}
+
+std::uint64_t CountersSnapshot::time_histogram_count(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : time_histogram(name)) total += b;
+  return total;
+}
+
+std::uint64_t CountersSnapshot::time_histogram_sum_us(std::string_view name) const {
+  const std::size_t ti = time_histogram_index(name);
+  if (ti < time_histogram_sums_us.size()) return time_histogram_sums_us[ti];
+  return 0;
+}
+
 CountersSnapshot counters_snapshot() {
   CountersSnapshot s;
   Counters& c = counters();
 #define TMS_OBS_SNAP(field, name, unit, desc) s.counters.push_back(c.field.value());
   TMS_COUNTER_LIST(TMS_OBS_SNAP)
 #undef TMS_OBS_SNAP
-#define TMS_OBS_SNAP(field, name, unit, desc) s.histograms.push_back(c.field.values());
+#define TMS_OBS_SNAP(field, name, unit, desc) \
+  s.histograms.push_back(c.field.values());   \
+  s.histogram_sums.push_back(c.field.sum());
   TMS_HISTOGRAM_LIST(TMS_OBS_SNAP)
+#undef TMS_OBS_SNAP
+#define TMS_OBS_SNAP(field, name, unit, desc)     \
+  s.time_histograms.push_back(c.field.values());  \
+  s.time_histogram_sums_us.push_back(c.field.sum_us());
+  TMS_TIME_HISTOGRAM_LIST(TMS_OBS_SNAP)
 #undef TMS_OBS_SNAP
   return s;
 }
@@ -78,6 +147,19 @@ CountersSnapshot snapshot_delta(const CountersSnapshot& before, const CountersSn
           before.histograms[i][static_cast<std::size_t>(b)];
     }
   }
+  for (std::size_t i = 0; i < d.histogram_sums.size() && i < before.histogram_sums.size(); ++i) {
+    d.histogram_sums[i] -= before.histogram_sums[i];
+  }
+  for (std::size_t i = 0; i < d.time_histograms.size() && i < before.time_histograms.size(); ++i) {
+    for (int b = 0; b < TimeHistogram::kBuckets; ++b) {
+      d.time_histograms[i][static_cast<std::size_t>(b)] -=
+          before.time_histograms[i][static_cast<std::size_t>(b)];
+    }
+  }
+  for (std::size_t i = 0;
+       i < d.time_histogram_sums_us.size() && i < before.time_histogram_sums_us.size(); ++i) {
+    d.time_histogram_sums_us[i] -= before.time_histogram_sums_us[i];
+  }
   return d;
 }
 
@@ -87,7 +169,7 @@ void write_counters_json(support::JsonWriter& w, const CountersSnapshot& s) {
   w.key("counters").begin_object();
   std::size_t ci = 0;
   for (const MetricInfo& m : cat) {
-    if (m.is_histogram) continue;
+    if (m.kind != MetricKind::kCounter) continue;
     w.member(m.name, ci < s.counters.size() ? s.counters[ci] : 0);
     ++ci;
   }
@@ -95,10 +177,11 @@ void write_counters_json(support::JsonWriter& w, const CountersSnapshot& s) {
   w.key("histograms").begin_object();
   std::size_t hi = 0;
   for (const MetricInfo& m : cat) {
-    if (!m.is_histogram) continue;
+    if (m.kind != MetricKind::kHistogram) continue;
     const std::array<std::uint64_t, Histogram::kBuckets> buckets =
         hi < s.histograms.size() ? s.histograms[hi]
                                  : std::array<std::uint64_t, Histogram::kBuckets>{};
+    const std::uint64_t sum = hi < s.histogram_sums.size() ? s.histogram_sums[hi] : 0;
     ++hi;
     w.key(m.name).begin_object();
     w.key("buckets").begin_array();
@@ -109,6 +192,30 @@ void write_counters_json(support::JsonWriter& w, const CountersSnapshot& s) {
     }
     w.end_array();
     w.member("count", total);
+    w.member("sum", sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("time_histograms").begin_object();
+  std::size_t ti = 0;
+  for (const MetricInfo& m : cat) {
+    if (m.kind != MetricKind::kTimeHistogram) continue;
+    const std::array<std::uint64_t, TimeHistogram::kBuckets> buckets =
+        ti < s.time_histograms.size() ? s.time_histograms[ti]
+                                      : std::array<std::uint64_t, TimeHistogram::kBuckets>{};
+    const std::uint64_t sum_us =
+        ti < s.time_histogram_sums_us.size() ? s.time_histogram_sums_us[ti] : 0;
+    ++ti;
+    w.key(m.name).begin_object();
+    w.key("buckets").begin_array();
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : buckets) {
+      w.value(b);
+      total += b;
+    }
+    w.end_array();
+    w.member("count", total);
+    w.member("sum_us", sum_us);
     w.end_object();
   }
   w.end_object();
@@ -120,27 +227,47 @@ std::string counters_to_text(const CountersSnapshot& s) {
   const std::vector<MetricInfo>& cat = metric_catalog();
   std::size_t ci = 0;
   std::size_t hi = 0;
+  std::size_t ti = 0;
   for (const MetricInfo& m : cat) {
-    if (!m.is_histogram) {
+    if (m.kind == MetricKind::kCounter) {
       const std::uint64_t v = ci < s.counters.size() ? s.counters[ci] : 0;
       ++ci;
       if (v != 0) t.add_row({m.name, std::to_string(v), m.unit});
       continue;
     }
-    const std::array<std::uint64_t, Histogram::kBuckets> buckets =
-        hi < s.histograms.size() ? s.histograms[hi]
-                                 : std::array<std::uint64_t, Histogram::kBuckets>{};
-    ++hi;
+    if (m.kind == MetricKind::kHistogram) {
+      const std::array<std::uint64_t, Histogram::kBuckets> buckets =
+          hi < s.histograms.size() ? s.histograms[hi]
+                                   : std::array<std::uint64_t, Histogram::kBuckets>{};
+      ++hi;
+      std::uint64_t total = 0;
+      for (const std::uint64_t b : buckets) total += b;
+      if (total == 0) continue;
+      std::string rendered;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        if (!rendered.empty()) rendered += ' ';
+        rendered += std::to_string(Histogram::bucket_floor(b)) + (b + 1 < Histogram::kBuckets ? "" : "+") +
+                    ":" + std::to_string(n);
+      }
+      t.add_row({m.name, rendered, m.unit});
+      continue;
+    }
+    const std::array<std::uint64_t, TimeHistogram::kBuckets> buckets =
+        ti < s.time_histograms.size() ? s.time_histograms[ti]
+                                      : std::array<std::uint64_t, TimeHistogram::kBuckets>{};
+    ++ti;
     std::uint64_t total = 0;
     for (const std::uint64_t b : buckets) total += b;
     if (total == 0) continue;
     std::string rendered;
-    for (int b = 0; b < Histogram::kBuckets; ++b) {
+    for (int b = 0; b < TimeHistogram::kBuckets; ++b) {
       const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
       if (n == 0) continue;
       if (!rendered.empty()) rendered += ' ';
-      rendered += std::to_string(Histogram::bucket_floor(b)) + (b + 1 < Histogram::kBuckets ? "" : "+") +
-                  ":" + std::to_string(n);
+      rendered += std::to_string(TimeHistogram::bucket_floor_us(b)) +
+                  (b + 1 < TimeHistogram::kBuckets ? "" : "+") + ":" + std::to_string(n);
     }
     t.add_row({m.name, rendered, m.unit});
   }
@@ -152,6 +279,7 @@ void counters_reset() {
 #define TMS_OBS_RESET(field, name, unit, desc) c.field.reset();
   TMS_COUNTER_LIST(TMS_OBS_RESET)
   TMS_HISTOGRAM_LIST(TMS_OBS_RESET)
+  TMS_TIME_HISTOGRAM_LIST(TMS_OBS_RESET)
 #undef TMS_OBS_RESET
 }
 

@@ -71,7 +71,9 @@ namespace tms::obs {
   X(serve_rejected_malformed, "serve.rejected_malformed", "frames",   "malformed frames or request payloads rejected by the compile service")  \
   X(serve_deadline_missed,   "serve.deadline_missed",   "requests",   "requests cancelled or answered late because their deadline expired")    \
   X(serve_drain_refused,     "serve.drain_refused",     "requests",   "requests refused because the server was draining")                      \
-  X(serve_idle_timeouts,     "serve.idle_timeouts",     "conns",      "connections closed by the idle read timeout")
+  X(serve_idle_timeouts,     "serve.idle_timeouts",     "conns",      "connections closed by the idle read timeout")                           \
+  X(serve_slow_requests,     "serve.slow_requests",     "requests",   "requests over the --slow-ms threshold, logged to the slow-request log") \
+  X(serve_stats_requests,    "serve.stats_requests",    "requests",   "STATS/HEALTH side-channel snapshots served (never queued, never counted as compile requests)")
 
 /// X(field, name, unit, description) — fixed-bucket histograms
 /// (buckets 0, 1, 2, 3, 4-7, 8-15, 16-31, 32+).
@@ -79,6 +81,16 @@ namespace tms::obs {
   X(sched_ii_minus_mii,      "sched.ii_minus_mii",      "cycles",     "II inflation over MII of accepted schedules, all schedulers")           \
   X(sched_tms_c_delay,       "sched.tms_c_delay",       "cycles",     "achieved C_delay of accepted TMS schedules")                            \
   X(serve_queue_depth,       "serve.queue_depth",       "tasks",      "compile-queue depth observed at each admission")
+
+/// X(field, name, unit, description) — log2-microsecond latency
+/// histograms (TimeHistogram): bucket 0 holds 0 us, bucket b >= 1 holds
+/// [2^(b-1), 2^b) us. The count-shaped TMS_HISTOGRAM_LIST buckets top
+/// out at 32, which is useless for latencies; these span 1 us .. ~4 s.
+#define TMS_TIME_HISTOGRAM_LIST(X)                                                     \
+  X(serve_latency_queue_wait, "serve.latency.queue_wait", "us",       "per-request wait between admission and the compile worker picking it up") \
+  X(serve_latency_schedule,   "serve.latency.schedule",   "us",       "per-request scheduling time (cache lookup plus any fresh scheduling pass)") \
+  X(serve_latency_validate,   "serve.latency.validate",   "us",       "per-request independent-validator time")                                \
+  X(serve_latency_total,      "serve.latency.total",      "us",       "per-request wall time inside CompileService::handle, admission to response")
 // clang-format on
 
 class Counter {
@@ -100,12 +112,45 @@ class Histogram {
   /// Lower bound of bucket `b` (for rendering).
   static std::uint64_t bucket_floor(int b);
 
-  void record(std::uint64_t v) { b_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed); }
+  void record(std::uint64_t v) {
+    b_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
   std::array<std::uint64_t, kBuckets> values() const;
+  /// Exact sum of recorded values (the buckets alone only bound it).
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   void reset();
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> b_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Latency histogram: log2-microsecond buckets plus an exact sum.
+/// Bucket 0 holds the value 0 (sub-microsecond); bucket b >= 1 holds
+/// [2^(b-1), 2^b) us; the last bucket is open-ended. 24 buckets cover
+/// 1 us up to ~4.2 s, which spans everything the compile service does.
+/// The exact sum makes `sum(queue+schedule+validate) <= sum(total)`
+/// checkable without bucket-rounding slop.
+class TimeHistogram {
+ public:
+  static constexpr int kBuckets = 24;
+
+  static int bucket_of_us(std::uint64_t us);
+  /// Lower bound in microseconds of bucket `b` (for rendering).
+  static std::uint64_t bucket_floor_us(int b);
+
+  void record_us(std::uint64_t us) {
+    b_[bucket_of_us(us)].fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+  std::array<std::uint64_t, kBuckets> values() const;
+  std::uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> b_{};
+  std::atomic<std::uint64_t> sum_us_{0};
 };
 
 /// The registry: one member per X-macro entry.
@@ -116,32 +161,48 @@ struct Counters {
 #define TMS_OBS_DECL(field, name, unit, desc) Histogram field;
   TMS_HISTOGRAM_LIST(TMS_OBS_DECL)
 #undef TMS_OBS_DECL
+#define TMS_OBS_DECL(field, name, unit, desc) TimeHistogram field;
+  TMS_TIME_HISTOGRAM_LIST(TMS_OBS_DECL)
+#undef TMS_OBS_DECL
 };
 
 /// The process-wide registry instance.
 Counters& counters();
 
+enum class MetricKind { kCounter, kHistogram, kTimeHistogram };
+
 struct MetricInfo {
   const char* name;
   const char* unit;
   const char* description;
-  bool is_histogram;
+  MetricKind kind;
 };
 
-/// Catalog of every registered metric, counters first then histograms,
-/// in declaration order. This is the authoritative list the doc-sync
-/// checker compares against docs/OBSERVABILITY.md.
+/// Catalog of every registered metric — counters, then count-shaped
+/// histograms, then time histograms, each in declaration order. This is
+/// the authoritative list the doc-sync checker compares against
+/// docs/OBSERVABILITY.md.
 const std::vector<MetricInfo>& metric_catalog();
 
-/// A point-in-time copy of every counter and histogram, aligned with
-/// metric_catalog() order (counters then histograms).
+/// A point-in-time copy of every metric, aligned with metric_catalog()
+/// order (counters, then histograms, then time histograms).
 struct CountersSnapshot {
   std::vector<std::uint64_t> counters;
   std::vector<std::array<std::uint64_t, Histogram::kBuckets>> histograms;
+  std::vector<std::uint64_t> histogram_sums;
+  std::vector<std::array<std::uint64_t, TimeHistogram::kBuckets>> time_histograms;
+  std::vector<std::uint64_t> time_histogram_sums_us;
 
   /// Value of a counter by catalog name (0 when unknown) — convenience
   /// for tests and tools; linear scan.
   std::uint64_t value(std::string_view name) const;
+  /// Bucket values of a time histogram by catalog name (all-zero when
+  /// unknown).
+  std::array<std::uint64_t, TimeHistogram::kBuckets> time_histogram(std::string_view name) const;
+  /// Total recorded count of a time histogram by catalog name.
+  std::uint64_t time_histogram_count(std::string_view name) const;
+  /// Exact sum in microseconds of a time histogram by catalog name.
+  std::uint64_t time_histogram_sum_us(std::string_view name) const;
 };
 
 CountersSnapshot counters_snapshot();
@@ -152,7 +213,9 @@ CountersSnapshot counters_snapshot();
 CountersSnapshot snapshot_delta(const CountersSnapshot& before, const CountersSnapshot& after);
 
 /// Writes one JSON object value:
-/// {"counters":{name:value,...},"histograms":{name:{"buckets":[8],"count":n},...}}
+/// {"counters":{name:value,...},
+///  "histograms":{name:{"buckets":[8],"count":n,"sum":s},...},
+///  "time_histograms":{name:{"buckets":[24],"count":n,"sum_us":s},...}}
 /// Keys are in catalog order — the output is deterministic.
 void write_counters_json(support::JsonWriter& w, const CountersSnapshot& s);
 

@@ -1,0 +1,296 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace tms::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+void emit_header(std::string& out, const std::string& name, const char* type,
+                 const MetricInfo& m) {
+  out += "# HELP " + name + " " + escape_help(m.description);
+  out += " (unit: ";
+  out += m.unit;
+  out += ")\n";
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += '\n';
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool parse_sample_value(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  if (s == "+Inf") { out = HUGE_VAL; return true; }
+  if (s == "-Inf") { out = -HUGE_VAL; return true; }
+  std::string buf(s);
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string err_at(std::size_t line_no, const std::string& what) {
+  return "line " + std::to_string(line_no) + ": " + what;
+}
+
+/// Per-histogram accumulation while its sample block is being read;
+/// finalized (bucket/count/sum invariants) when the block ends.
+struct HistogramBlock {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
+  bool has_sum = false;
+  bool has_count = false;
+  double count = 0;
+  std::size_t first_line = 0;
+};
+
+std::optional<std::string> finalize_histogram(const std::string& name, const HistogramBlock& h) {
+  const auto fail = [&](const std::string& what) {
+    return err_at(h.first_line, "histogram " + name + ": " + what);
+  };
+  if (h.buckets.empty()) return fail("no _bucket series");
+  for (std::size_t i = 1; i < h.buckets.size(); ++i) {
+    if (!(h.buckets[i].first > h.buckets[i - 1].first))
+      return fail("le boundaries not strictly increasing");
+    if (h.buckets[i].second < h.buckets[i - 1].second)
+      return fail("cumulative bucket counts decrease");
+  }
+  if (!std::isinf(h.buckets.back().first)) return fail("missing le=\"+Inf\" bucket");
+  if (!h.has_sum) return fail("missing _sum");
+  if (!h.has_count) return fail("missing _count");
+  if (h.count != h.buckets.back().second) return fail("_count != +Inf bucket value");
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view metric) {
+  std::string out = "tms_";
+  for (const char c : metric) out += c == '.' ? '_' : c;
+  return out;
+}
+
+std::string write_prometheus_text(const CountersSnapshot& s) {
+  const std::vector<MetricInfo>& cat = metric_catalog();
+  std::string out;
+  std::size_t ci = 0;
+  std::size_t hi = 0;
+  std::size_t ti = 0;
+  for (const MetricInfo& m : cat) {
+    const std::string name = prometheus_name(m.name);
+    if (m.kind == MetricKind::kCounter) {
+      const std::uint64_t v = ci < s.counters.size() ? s.counters[ci] : 0;
+      ++ci;
+      emit_header(out, name, "counter", m);
+      out += name + " " + std::to_string(v) + "\n";
+      continue;
+    }
+    if (m.kind == MetricKind::kHistogram) {
+      const std::array<std::uint64_t, Histogram::kBuckets> buckets =
+          hi < s.histograms.size() ? s.histograms[hi]
+                                   : std::array<std::uint64_t, Histogram::kBuckets>{};
+      const std::uint64_t sum = hi < s.histogram_sums.size() ? s.histogram_sums[hi] : 0;
+      ++hi;
+      emit_header(out, name, "histogram", m);
+      std::uint64_t cum = 0;
+      for (int b = 0; b < Histogram::kBuckets; ++b) {
+        cum += buckets[static_cast<std::size_t>(b)];
+        // Inclusive upper bound of bucket b: the next bucket's floor - 1.
+        const std::string le = b + 1 < Histogram::kBuckets
+                                   ? std::to_string(Histogram::bucket_floor(b + 1) - 1)
+                                   : std::string("+Inf");
+        out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+      }
+      out += name + "_sum " + std::to_string(sum) + "\n";
+      out += name + "_count " + std::to_string(cum) + "\n";
+      continue;
+    }
+    const std::array<std::uint64_t, TimeHistogram::kBuckets> buckets =
+        ti < s.time_histograms.size() ? s.time_histograms[ti]
+                                      : std::array<std::uint64_t, TimeHistogram::kBuckets>{};
+    const std::uint64_t sum_us =
+        ti < s.time_histogram_sums_us.size() ? s.time_histogram_sums_us[ti] : 0;
+    ++ti;
+    emit_header(out, name, "histogram", m);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < TimeHistogram::kBuckets; ++b) {
+      cum += buckets[static_cast<std::size_t>(b)];
+      // Time buckets are exported in seconds; bucket b's values are all
+      // < 2^b us, so 2^b / 1e6 s is a valid inclusive upper bound.
+      const std::string le =
+          b + 1 < TimeHistogram::kBuckets
+              ? fmt_double(static_cast<double>(std::uint64_t{1} << b) / 1e6)
+              : std::string("+Inf");
+      out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+    }
+    out += name + "_sum " + fmt_double(static_cast<double>(sum_us) / 1e6) + "\n";
+    out += name + "_count " + std::to_string(cum) + "\n";
+  }
+  return out;
+}
+
+std::optional<std::string> lint_prometheus_text(std::string_view text) {
+  if (text.empty()) return "empty exposition";
+  if (text.back() != '\n') return "missing trailing newline";
+
+  std::map<std::string, std::string> types;   // metric -> declared TYPE
+  std::set<std::string> helps;                // metrics with a HELP line
+  std::set<std::string> series_seen;          // "name{labels}" duplicates
+  std::set<std::string> closed_metrics;       // metrics whose block ended
+  std::string current_metric;
+  HistogramBlock hist;
+
+  const auto close_current = [&]() -> std::optional<std::string> {
+    if (current_metric.empty()) return std::nullopt;
+    closed_metrics.insert(current_metric);
+    if (types[current_metric] == "histogram") {
+      if (auto err = finalize_histogram(current_metric, hist)) return err;
+    }
+    hist = HistogramBlock{};
+    current_metric.clear();
+    return std::nullopt;
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) return err_at(line_no, "blank line");
+
+    if (line[0] == '#') {
+      // "# HELP name text" or "# TYPE name type".
+      if (line.size() < 2 || line[1] != ' ') return err_at(line_no, "malformed comment");
+      const std::string_view rest = line.substr(2);
+      const std::size_t sp1 = rest.find(' ');
+      if (sp1 == std::string_view::npos) return err_at(line_no, "malformed comment");
+      const std::string_view kw = rest.substr(0, sp1);
+      if (kw != "HELP" && kw != "TYPE") continue;  // other comments are legal
+      const std::string_view tail = rest.substr(sp1 + 1);
+      const std::size_t sp2 = tail.find(' ');
+      if (sp2 == std::string_view::npos) return err_at(line_no, "malformed " + std::string(kw));
+      const std::string name(tail.substr(0, sp2));
+      if (!valid_metric_name(name)) return err_at(line_no, "bad metric name '" + name + "'");
+      if (name != current_metric) {
+        if (auto err = close_current()) return err;
+        if (closed_metrics.count(name))
+          return err_at(line_no, "metric " + name + " not grouped");
+        current_metric = name;
+        hist.first_line = line_no;
+      }
+      if (kw == "HELP") {
+        if (!helps.insert(name).second) return err_at(line_no, "duplicate HELP for " + name);
+      } else {
+        const std::string type(tail.substr(sp2 + 1));
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped")
+          return err_at(line_no, "unknown TYPE '" + type + "'");
+        if (!types.emplace(name, type).second)
+          return err_at(line_no, "duplicate TYPE for " + name);
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    std::size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' && line[name_end] != ' ') ++name_end;
+    const std::string name(line.substr(0, name_end));
+    if (!valid_metric_name(name)) return err_at(line_no, "bad metric name '" + name + "'");
+    std::string labels;
+    std::size_t after = name_end;
+    if (after < line.size() && line[after] == '{') {
+      const std::size_t close = line.find('}', after);
+      if (close == std::string_view::npos) return err_at(line_no, "unterminated label set");
+      labels = std::string(line.substr(after, close - after + 1));
+      after = close + 1;
+    }
+    if (after >= line.size() || line[after] != ' ')
+      return err_at(line_no, "missing value separator");
+    double value = 0;
+    if (!parse_sample_value(line.substr(after + 1), value))
+      return err_at(line_no, "unparseable sample value");
+    if (!series_seen.insert(name + labels).second)
+      return err_at(line_no, "duplicate series " + name + labels);
+
+    // Resolve the metric this sample belongs to: histogram child series
+    // (_bucket/_sum/_count of a declared histogram) or the name itself.
+    std::string base = name;
+    std::string suffix;
+    for (const char* sfx : {"_bucket", "_sum", "_count"}) {
+      const std::string s(sfx);
+      if (name.size() > s.size() && name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string candidate = name.substr(0, name.size() - s.size());
+        if (types.count(candidate) && types[candidate] == "histogram") {
+          base = candidate;
+          suffix = s;
+          break;
+        }
+      }
+    }
+    if (!types.count(base))
+      return err_at(line_no, "sample for " + base + " before its TYPE");
+    if (base != current_metric) return err_at(line_no, "sample for " + base + " not grouped");
+
+    if (types[base] == "histogram") {
+      if (suffix.empty()) return err_at(line_no, "bare sample for histogram " + base);
+      if (suffix == "_bucket") {
+        const std::string want = "le=\"";
+        const std::size_t le_pos = labels.find(want);
+        if (le_pos == std::string::npos) return err_at(line_no, "_bucket without le label");
+        const std::size_t le_end = labels.find('"', le_pos + want.size());
+        if (le_end == std::string::npos) return err_at(line_no, "malformed le label");
+        double le = 0;
+        if (!parse_sample_value(labels.substr(le_pos + want.size(), le_end - le_pos - want.size()),
+                                le))
+          return err_at(line_no, "unparseable le boundary");
+        hist.buckets.emplace_back(le, value);
+      } else if (suffix == "_sum") {
+        if (hist.has_sum) return err_at(line_no, "duplicate _sum for " + base);
+        hist.has_sum = true;
+      } else {
+        if (hist.has_count) return err_at(line_no, "duplicate _count for " + base);
+        hist.has_count = true;
+        hist.count = value;
+      }
+    }
+  }
+  return close_current();
+}
+
+}  // namespace tms::obs

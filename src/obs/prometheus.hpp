@@ -1,0 +1,42 @@
+// Prometheus text-exposition export of the counter registry, plus an
+// internal linter for the format.
+//
+// `write_prometheus_text` renders a CountersSnapshot in the Prometheus
+// text exposition format (version 0.0.4): `# HELP` / `# TYPE` comment
+// pairs followed by sample lines, counters as `counter`, both histogram
+// kinds as `histogram` with cumulative `_bucket{le="..."}` series, an
+// exact `_sum`, a `_count`, and the mandatory `le="+Inf"` bucket. Time
+// histograms are exported in **seconds** (the Prometheus base unit for
+// time), so `le` boundaries are 2^b / 1e6 and `_sum` is `sum_us / 1e6`.
+//
+// `lint_prometheus_text` re-checks a rendered exposition without
+// external tooling, so tests can verify a dumped metrics file (the
+// `metrics_exposition` ctest) and `tmsd --metrics-dump` output is never
+// trusted unverified. The linter is deliberately strict about the
+// invariants scrapers rely on: declared TYPE before samples, cumulative
+// non-decreasing buckets, a trailing `+Inf` bucket equal to `_count`,
+// `_sum`/`_count` present for every histogram, and no duplicate series.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tms::obs {
+
+struct CountersSnapshot;
+
+/// `serve.latency.total` -> `tms_serve_latency_total`. Prometheus metric
+/// names cannot contain dots; every exported name carries the `tms_`
+/// namespace prefix.
+std::string prometheus_name(std::string_view metric);
+
+/// Renders the full snapshot as Prometheus text exposition (catalog
+/// order — deterministic output).
+std::string write_prometheus_text(const CountersSnapshot& s);
+
+/// Returns an error message ("line N: ...") when `text` violates the
+/// exposition format, or nullopt when it lints clean.
+std::optional<std::string> lint_prometheus_text(std::string_view text);
+
+}  // namespace tms::obs

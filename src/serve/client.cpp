@@ -151,4 +151,26 @@ std::optional<std::string> Client::ping() {
   return std::string("unexpected frame type ") + std::string(to_string(frame.type));
 }
 
+std::optional<std::string> Client::stats(std::string& out_json) {
+  auto result = roundtrip(FrameType::kStats, {});
+  if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);
+  Frame& frame = std::get<Frame>(result);
+  if (frame.type != FrameType::kStatsReply) {
+    return std::string("unexpected frame type ") + std::string(to_string(frame.type));
+  }
+  out_json = std::move(frame.payload);
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::health(std::string& out_line) {
+  auto result = roundtrip(FrameType::kHealth, {});
+  if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);
+  Frame& frame = std::get<Frame>(result);
+  if (frame.type != FrameType::kHealthReply) {
+    return std::string("unexpected frame type ") + std::string(to_string(frame.type));
+  }
+  out_line = std::move(frame.payload);
+  return std::nullopt;
+}
+
 }  // namespace tms::serve

@@ -50,6 +50,14 @@ class Client {
   /// server answered the ping.
   std::optional<std::string> ping();
 
+  /// STATS round trip: fills `out_json` with the server's canonical
+  /// snapshot (see CompileService::stats_json). Returns a failure
+  /// description, or nullopt on success.
+  std::optional<std::string> stats(std::string& out_json);
+
+  /// HEALTH round trip: fills `out_line` with the one-line summary.
+  std::optional<std::string> health(std::string& out_line);
+
  private:
   std::variant<Frame, std::string> roundtrip(FrameType type, std::string_view payload);
 

@@ -6,7 +6,7 @@ namespace tms::serve {
 
 bool frame_type_known(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kPong);
+         t <= static_cast<std::uint8_t>(FrameType::kHealthReply);
 }
 
 std::string_view to_string(FrameType t) {
@@ -15,6 +15,10 @@ std::string_view to_string(FrameType t) {
     case FrameType::kResponse: return "response";
     case FrameType::kPing: return "ping";
     case FrameType::kPong: return "pong";
+    case FrameType::kStats: return "stats";
+    case FrameType::kStatsReply: return "stats-reply";
+    case FrameType::kHealth: return "health";
+    case FrameType::kHealthReply: return "health-reply";
   }
   return "?";
 }

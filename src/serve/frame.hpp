@@ -36,10 +36,14 @@ inline constexpr std::size_t kFrameHeaderSize = 12;
 inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
 
 enum class FrameType : std::uint8_t {
-  kRequest = 1,   ///< client -> server: compile request payload
-  kResponse = 2,  ///< server -> client: schedule or structured error
-  kPing = 3,      ///< client -> server: liveness probe, empty payload
-  kPong = 4,      ///< server -> client: liveness reply, empty payload
+  kRequest = 1,      ///< client -> server: compile request payload
+  kResponse = 2,     ///< server -> client: schedule or structured error
+  kPing = 3,         ///< client -> server: liveness probe, empty payload
+  kPong = 4,         ///< server -> client: liveness reply, empty payload
+  kStats = 5,        ///< client -> server: metrics snapshot probe, empty payload
+  kStatsReply = 6,   ///< server -> client: canonical-JSON snapshot payload
+  kHealth = 7,       ///< client -> server: health probe, empty payload
+  kHealthReply = 8,  ///< server -> client: one-line health summary payload
 };
 
 bool frame_type_known(std::uint8_t t);

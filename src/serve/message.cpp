@@ -128,10 +128,24 @@ bool error_code_from_string(std::string_view s, ErrorCode& out) {
   return false;
 }
 
+bool valid_request_id(std::string_view id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == ':' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 std::string serialise_request(const Request& req) {
   std::string out(kRequestHeader);
   out += "\nid ";
   out += std::to_string(req.id);
+  if (!req.request_id.empty()) {
+    out += "\nrequest_id ";
+    out += req.request_id;
+  }
   out += "\nscheduler ";
   out += req.scheduler;
   out += "\nncore ";
@@ -160,6 +174,9 @@ std::variant<Request, std::string> parse_request(std::string_view payload) {
     split_kv(line, key, value);
     if (key == "id") {
       if (!parse_u64(value, req.id)) return std::string("bad id");
+    } else if (key == "request_id") {
+      if (!valid_request_id(value)) return std::string("bad request_id");
+      req.request_id = std::string(value);
     } else if (key == "scheduler") {
       if (value.empty()) return std::string("bad scheduler");
       req.scheduler = std::string(value);
@@ -184,6 +201,10 @@ std::string serialise_response(const Response& resp) {
   std::string out(kResponseHeader);
   out += "\nid ";
   out += std::to_string(resp.id);
+  if (!resp.request_id.empty()) {
+    out += "\nrequest_id ";
+    out += resp.request_id;
+  }
   if (!resp.ok) {
     out += "\nstatus error\ncode ";
     out += to_string(resp.code);
@@ -208,6 +229,14 @@ std::string serialise_response(const Response& resp) {
   append_double(out, resp.p_max);
   out += "\nserver_ms ";
   append_double(out, resp.server_ms);
+  out += "\nt_queue_us ";
+  out += std::to_string(resp.t_queue_us);
+  out += "\nt_schedule_us ";
+  out += std::to_string(resp.t_schedule_us);
+  out += "\nt_validate_us ";
+  out += std::to_string(resp.t_validate_us);
+  out += "\nt_total_us ";
+  out += std::to_string(resp.t_total_us);
   out += "\nslots ";
   out += std::to_string(resp.slots.size());
   for (const int s : resp.slots) {
@@ -236,6 +265,9 @@ std::variant<Response, std::string> parse_response(std::string_view payload) {
     split_kv(line, key, value);
     if (key == "id") {
       if (!parse_u64(value, resp.id)) return std::string("bad id");
+    } else if (key == "request_id") {
+      if (!valid_request_id(value)) return std::string("bad request_id");
+      resp.request_id = std::string(value);
     } else if (key == "status") {
       if (value == "ok") {
         resp.ok = true;
@@ -271,6 +303,14 @@ std::variant<Response, std::string> parse_response(std::string_view payload) {
       if (!parse_double(value, resp.p_max)) return std::string("bad p_max");
     } else if (key == "server_ms") {
       if (!parse_double(value, resp.server_ms)) return std::string("bad server_ms");
+    } else if (key == "t_queue_us") {
+      if (!parse_i64(value, resp.t_queue_us)) return std::string("bad t_queue_us");
+    } else if (key == "t_schedule_us") {
+      if (!parse_i64(value, resp.t_schedule_us)) return std::string("bad t_schedule_us");
+    } else if (key == "t_validate_us") {
+      if (!parse_i64(value, resp.t_validate_us)) return std::string("bad t_validate_us");
+    } else if (key == "t_total_us") {
+      if (!parse_i64(value, resp.t_total_us)) return std::string("bad t_total_us");
     } else if (key == "slots") {
       std::istringstream in{std::string(value)};
       std::size_t n = 0;

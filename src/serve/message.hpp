@@ -28,11 +28,20 @@ namespace tms::serve {
 
 struct Request {
   std::uint64_t id = 0;            ///< client correlation id, echoed back
+  /// Optional end-to-end request identity: a token of 1..64 chars from
+  /// [A-Za-z0-9._:-], echoed verbatim in the response and attached to
+  /// the server-side trace span. Empty = server mints one ("srv-<n>").
+  std::string request_id;
   std::string scheduler = "tms";   ///< "sms", "ims" or "tms"
   int ncore = 4;                   ///< SpmtConfig.ncore for this request
   std::int64_t deadline_ms = 0;    ///< 0 = no deadline
   ir::Loop loop{"unnamed"};
 };
+
+/// True when `id` is a legal wire request_id (1..64 chars, each from
+/// [A-Za-z0-9._:-]). The empty string is *not* valid on the wire — an
+/// absent request_id is expressed by omitting the line.
+bool valid_request_id(std::string_view id);
 
 enum class ErrorCode {
   kParse,         ///< malformed request payload
@@ -51,6 +60,7 @@ bool error_code_from_string(std::string_view s, ErrorCode& out);
 
 struct Response {
   std::uint64_t id = 0;
+  std::string request_id;  ///< echo of the request's id (or the minted one)
   bool ok = false;
 
   // status error
@@ -67,6 +77,15 @@ struct Response {
   double p_max = -1.0;
   std::vector<int> slots;      ///< slot per node id, normalised
   double server_ms = 0.0;      ///< server-side wall time for this request
+
+  // Per-stage server timings in microseconds (status ok only): how long
+  // the request waited in the admission queue, then scheduling and
+  // validation time, then total handle() wall time. Lets a client split
+  // its observed latency into network vs queue vs compute.
+  std::int64_t t_queue_us = 0;
+  std::int64_t t_schedule_us = 0;
+  std::int64_t t_validate_us = 0;
+  std::int64_t t_total_us = 0;
 };
 
 std::string serialise_request(const Request& req);

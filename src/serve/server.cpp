@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -150,8 +151,18 @@ void SocketServer::accept_loop() {
     if (r == 0) continue;
     for (nfds_t i = 0; i < nfds; ++i) {
       if ((pfds[i].revents & POLLIN) == 0) continue;
-      const int fd = ::accept4(pfds[i].fd, nullptr, nullptr, SOCK_CLOEXEC);
+      sockaddr_storage peer_addr{};
+      socklen_t peer_len = sizeof peer_addr;
+      const int fd = ::accept4(pfds[i].fd, reinterpret_cast<sockaddr*>(&peer_addr), &peer_len,
+                               SOCK_CLOEXEC);
       if (fd < 0) continue;
+      std::string peer = "unix";
+      if (peer_addr.ss_family == AF_INET) {
+        const auto* in = reinterpret_cast<const sockaddr_in*>(&peer_addr);
+        char ip[INET_ADDRSTRLEN] = {};
+        ::inet_ntop(AF_INET, &in->sin_addr, ip, sizeof ip);
+        peer = std::string(ip) + ":" + std::to_string(ntohs(in->sin_port));
+      }
       obs::counters().serve_connections.add(1);
       if (connection_count() >= opts_.max_connections) {
         // Turn the connection away with a structured answer rather than
@@ -167,6 +178,7 @@ void SocketServer::accept_loop() {
       }
       auto conn = std::make_unique<Conn>();
       conn->fd = fd;
+      conn->peer = std::move(peer);
       Conn* raw = conn.get();
       {
         std::lock_guard<std::mutex> lock(conns_mu_);
@@ -232,7 +244,7 @@ void SocketServer::connection_loop(Conn* conn) {
         alive = false;  // framing cannot resync; drop the connection
         break;
       }
-      if (!handle_frame(fd, frame)) alive = false;
+      if (!handle_frame(fd, frame, conn->peer)) alive = false;
     }
   }
 
@@ -241,10 +253,19 @@ void SocketServer::connection_loop(Conn* conn) {
   conn->done.store(true, std::memory_order_release);
 }
 
-bool SocketServer::handle_frame(int fd, const Frame& frame) {
+bool SocketServer::handle_frame(int fd, const Frame& frame, const std::string& peer) {
   switch (frame.type) {
     case FrameType::kPing:
       return send_frame(fd, FrameType::kPong, {});
+    case FrameType::kStats:
+      // Side-channel snapshot: cheap, never queued, and answered even
+      // while the service drains — the monitoring path must not die
+      // first during shutdown.
+      obs::counters().serve_stats_requests.add(1);
+      return send_frame(fd, FrameType::kStatsReply, service_.stats_json());
+    case FrameType::kHealth:
+      obs::counters().serve_stats_requests.add(1);
+      return send_frame(fd, FrameType::kHealthReply, service_.health_line());
     case FrameType::kRequest: {
       auto parsed = parse_request(frame.payload);
       if (const auto* err = std::get_if<std::string>(&parsed)) {
@@ -254,11 +275,13 @@ bool SocketServer::handle_frame(int fd, const Frame& frame) {
         const Response resp = make_error(0, ErrorCode::kParse, *err);
         return send_frame(fd, FrameType::kResponse, serialise_response(resp));
       }
-      const Response resp = service_.handle(std::get<Request>(parsed));
+      const Response resp = service_.handle(std::get<Request>(parsed), peer);
       return send_frame(fd, FrameType::kResponse, serialise_response(resp));
     }
     case FrameType::kResponse:
     case FrameType::kPong:
+    case FrameType::kStatsReply:
+    case FrameType::kHealthReply:
       // Clients must not send server-direction frames.
       obs::counters().serve_rejected_malformed.add(1);
       const Response resp =

@@ -75,6 +75,7 @@ class SocketServer {
  private:
   struct Conn {
     int fd = -1;
+    std::string peer;  ///< "unix" or "ip:port"; feeds the slow-request log
     std::thread th;
     std::atomic<bool> done{false};
   };
@@ -82,7 +83,7 @@ class SocketServer {
   void accept_loop();
   void connection_loop(Conn* conn);
   /// Returns false when the connection must be dropped.
-  bool handle_frame(int fd, const Frame& frame);
+  bool handle_frame(int fd, const Frame& frame, const std::string& peer);
   void reap_finished(bool join_all);
 
   CompileService& service_;

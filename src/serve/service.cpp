@@ -11,6 +11,7 @@
 #include "sched/postpass.hpp"
 #include "sched/sms.hpp"
 #include "sched/tms.hpp"
+#include "support/json.hpp"
 
 namespace tms::serve {
 
@@ -20,6 +21,10 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+std::int64_t us_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count();
 }
 
 struct Scheduled {
@@ -82,7 +87,11 @@ driver::ScheduleCache::Entry to_entry(const Scheduled& sl, const std::string& sc
 
 CompileService::CompileService(const machine::MachineModel& mach, driver::ScheduleCache* cache,
                                ServiceOptions opts)
-    : mach_(mach), cache_(cache), opts_(opts), pool_(opts.threads, opts.queue_capacity) {}
+    : mach_(mach),
+      cache_(cache),
+      opts_(opts),
+      started_(Clock::now()),
+      pool_(opts.threads, opts.queue_capacity) {}
 
 CompileService::~CompileService() { shutdown(); }
 
@@ -93,37 +102,127 @@ void CompileService::shutdown() {
   pool_.shutdown(driver::TaskPool::Drain::kFinishQueued);
 }
 
-Response CompileService::handle(const Request& req) {
+std::int64_t CompileService::uptime_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - started_).count();
+}
+
+std::string CompileService::stats_json() const {
+  support::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "tmsd-stats-v1");
+  w.member("uptime_ms", uptime_ms());
+  w.member("queue_depth", static_cast<std::uint64_t>(pool_.queue_depth()));
+  w.member("in_flight", in_flight());
+  w.member("draining", draining());
+  w.key("observability");
+  obs::write_counters_json(w, obs::counters_snapshot());
+  w.end_object();
+  return w.str();
+}
+
+std::string CompileService::health_line() const {
+  const bool d = draining();
+  std::string out = d ? "draining" : "ok";
+  out += " uptime_ms=" + std::to_string(uptime_ms());
+  out += " queue_depth=" + std::to_string(pool_.queue_depth());
+  out += " in_flight=" + std::to_string(in_flight());
+  out += " draining=";
+  out += d ? '1' : '0';
+  return out;
+}
+
+void CompileService::log_slow(const Request& req, const Response& resp, std::string_view peer) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "tmsd-slow-v1");
+  w.member("request_id", resp.request_id);
+  w.member("peer", peer.empty() ? std::string_view("?") : peer);
+  w.member("scheduler", req.scheduler);
+  w.member("loop", req.loop.name());
+  w.member("outcome", resp.ok ? std::string_view("ok") : to_string(resp.code));
+  w.member("queue_us", resp.t_queue_us);
+  w.member("schedule_us", resp.t_schedule_us);
+  w.member("validate_us", resp.t_validate_us);
+  w.member("total_us", resp.t_total_us);
+  w.end_object();
+  std::FILE* dest = opts_.slow_log != nullptr ? opts_.slow_log : stderr;
+  const std::lock_guard<std::mutex> lock(slow_log_mu_);
+  std::fprintf(dest, "%s\n", w.str().c_str());
+  std::fflush(dest);
+}
+
+Response CompileService::handle(const Request& req, std::string_view peer) {
   const Clock::time_point start = Clock::now();
-  if (draining()) {
-    obs::counters().serve_drain_refused.add(1);
-    obs::counters().serve_responses_error.add(1);
-    return make_error(req.id, ErrorCode::kShutdown, "server is draining");
-  }
-  if (req.scheduler != "sms" && req.scheduler != "ims" && req.scheduler != "tms") {
-    obs::counters().serve_responses_error.add(1);
-    return make_error(req.id, ErrorCode::kBadRequest,
-                      "unknown scheduler '" + req.scheduler + "'");
-  }
-  if (req.ncore < 1 || req.ncore > 1024) {
-    obs::counters().serve_responses_error.add(1);
-    return make_error(req.id, ErrorCode::kBadRequest, "ncore out of range");
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  std::string request_id = req.request_id;
+  if (request_id.empty()) {
+    request_id =
+        "srv-" + std::to_string(minted_ids_.fetch_add(1, std::memory_order_relaxed) + 1);
   }
 
   const bool has_deadline = req.deadline_ms > 0;
   const Clock::time_point deadline =
       has_deadline ? start + std::chrono::milliseconds(req.deadline_ms) : Clock::time_point::max();
 
+  bool pipeline_ran = false;
+  Response resp = admit(req, request_id, start, deadline, has_deadline, pipeline_ran);
+  resp.id = req.id;
+  resp.request_id = request_id;
+  const std::int64_t total_us = us_since(start);
+  resp.server_ms = ms_since(start);
+
+  // Stage latencies are recorded together, for exactly the requests
+  // whose pipeline task ran (never for overload/drain turn-aways or
+  // cancelled-while-queued deadlines): the four serve.latency.*
+  // histograms always hold the same number of samples, and a stage the
+  // request never reached contributes a zero, so per-request
+  // queue + schedule + validate <= total holds across the sums.
+  if (pipeline_ran) {
+    resp.t_total_us = total_us;
+    obs::Counters& c = obs::counters();
+    c.serve_latency_queue_wait.record_us(static_cast<std::uint64_t>(resp.t_queue_us));
+    c.serve_latency_schedule.record_us(static_cast<std::uint64_t>(resp.t_schedule_us));
+    c.serve_latency_validate.record_us(static_cast<std::uint64_t>(resp.t_validate_us));
+    c.serve_latency_total.record_us(static_cast<std::uint64_t>(total_us));
+  }
+  if (resp.ok) {
+    obs::counters().serve_responses_ok.add(1);
+  } else {
+    obs::counters().serve_responses_error.add(1);
+  }
+  if (opts_.slow_ms >= 0 && total_us >= opts_.slow_ms * 1000) {
+    obs::counters().serve_slow_requests.add(1);
+    log_slow(req, resp, peer);
+  }
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  return resp;
+}
+
+Response CompileService::admit(const Request& req, const std::string& request_id,
+                               Clock::time_point start, Clock::time_point deadline,
+                               bool has_deadline, bool& pipeline_ran) {
+  if (draining()) {
+    obs::counters().serve_drain_refused.add(1);
+    return make_error(req.id, ErrorCode::kShutdown, "server is draining");
+  }
+  if (req.scheduler != "sms" && req.scheduler != "ims" && req.scheduler != "tms") {
+    return make_error(req.id, ErrorCode::kBadRequest,
+                      "unknown scheduler '" + req.scheduler + "'");
+  }
+  if (req.ncore < 1 || req.ncore > 1024) {
+    return make_error(req.id, ErrorCode::kBadRequest, "ncore out of range");
+  }
+
   // Admission: never block on a full queue — answer overload right away.
   obs::counters().serve_queue_depth.record(pool_.queue_depth());
   auto out = std::make_shared<Response>();
   auto task = pool_.try_submit(
-      [this, &req, out, start, deadline, has_deadline] {
-        *out = compile(req, start, deadline, has_deadline);
+      [this, &req, &request_id, out, start, deadline, has_deadline] {
+        const std::int64_t queue_us = us_since(start);
+        *out = compile(req, request_id, queue_us, start, deadline, has_deadline);
       });
   if (task == nullptr) {
     obs::counters().serve_rejected_overload.add(1);
-    obs::counters().serve_responses_error.add(1);
     return make_error(req.id, ErrorCode::kOverload, "compile queue over high-water mark",
                       opts_.retry_after_ms);
   }
@@ -135,7 +234,6 @@ Response CompileService::handle(const Request& req) {
     // wait for its (deadline-errored) response.
     if (task->cancel()) {
       obs::counters().serve_deadline_missed.add(1);
-      obs::counters().serve_responses_error.add(1);
       return make_error(req.id, ErrorCode::kDeadline, "deadline expired while queued");
     }
   }
@@ -143,44 +241,49 @@ Response CompileService::handle(const Request& req) {
   try {
     task->rethrow();
   } catch (const std::exception& ex) {
-    obs::counters().serve_responses_error.add(1);
     return make_error(req.id, ErrorCode::kInternal, ex.what());
   } catch (...) {
-    obs::counters().serve_responses_error.add(1);
     return make_error(req.id, ErrorCode::kInternal, "unknown exception");
   }
-  out->id = req.id;
-  out->server_ms = ms_since(start);
-  if (out->ok) {
-    obs::counters().serve_responses_ok.add(1);
-  } else {
-    obs::counters().serve_responses_error.add(1);
-  }
+  pipeline_ran = true;
   return std::move(*out);
 }
 
-Response CompileService::compile(const Request& req, Clock::time_point start,
+Response CompileService::compile(const Request& req, const std::string& request_id,
+                                 std::int64_t queue_us, Clock::time_point start,
                                  Clock::time_point deadline, bool has_deadline) const {
   TMS_TRACE_SPAN(span, "serve", "serve.request");
-  const auto expired = [&] { return has_deadline && Clock::now() > deadline; };
-  const auto deadline_response = [&](const char* stage) {
-    obs::counters().serve_deadline_missed.add(1);
-    return make_error(req.id, ErrorCode::kDeadline,
-                      std::string("deadline expired ") + stage);
-  };
-
-  if (const auto err = req.loop.validate()) {
-    return make_error(req.id, ErrorCode::kBadRequest, "malformed loop: " + *err);
-  }
-  if (expired()) return deadline_response("before scheduling");
-
-  machine::SpmtConfig cfg;
-  cfg.ncore = req.ncore;
+  TMS_TRACE_SPAN_ARG(span, obs::targ("request_id", obs::intern(request_id)));
 
   Response resp;
   resp.id = req.id;
   resp.scheduler = req.scheduler;
+  resp.t_queue_us = queue_us;
 
+  const auto expired = [&] { return has_deadline && Clock::now() > deadline; };
+  // Error responses keep the stage timings accumulated so far, so the
+  // slow log and client show where a failed request spent its time.
+  const auto fail = [&](ErrorCode code, std::string message, const Response& r) {
+    Response e = make_error(req.id, code, std::move(message));
+    e.t_queue_us = r.t_queue_us;
+    e.t_schedule_us = r.t_schedule_us;
+    e.t_validate_us = r.t_validate_us;
+    return e;
+  };
+  const auto deadline_response = [&](const char* stage, const Response& r) {
+    obs::counters().serve_deadline_missed.add(1);
+    return fail(ErrorCode::kDeadline, std::string("deadline expired ") + stage, r);
+  };
+
+  if (const auto err = req.loop.validate()) {
+    return fail(ErrorCode::kBadRequest, "malformed loop: " + *err, resp);
+  }
+  if (expired()) return deadline_response("before scheduling", resp);
+
+  machine::SpmtConfig cfg;
+  cfg.ncore = req.ncore;
+
+  const Clock::time_point sched_start = Clock::now();
   std::optional<Scheduled> sl;
   std::uint64_t key = 0;
   if (cache_ != nullptr) {
@@ -195,18 +298,20 @@ Response CompileService::compile(const Request& req, Clock::time_point start,
   if (!sl.has_value()) {
     sl = schedule_fresh(req.loop, mach_, cfg, req.scheduler);
     if (!sl.has_value()) {
-      return make_error(req.id, ErrorCode::kScheduleFail,
-                        req.scheduler + " found no schedule");
+      resp.t_schedule_us = us_since(sched_start);
+      return fail(ErrorCode::kScheduleFail, req.scheduler + " found no schedule", resp);
     }
     if (cache_ != nullptr) {
       cache_->insert(key, to_entry(*sl, req.scheduler));
       obs::counters().driver_schedules_cached.add(1);
     }
   }
-  if (expired()) return deadline_response("after scheduling");
+  resp.t_schedule_us = us_since(sched_start);
+  if (expired()) return deadline_response("after scheduling", resp);
 
   // Cache hits are always re-validated (defence against semantic disk
   // corruption), mirroring the batch driver's contract.
+  const Clock::time_point validate_start = Clock::now();
   if (opts_.validate || resp.cache_hit) {
     const check::CheckReport valid =
         check::validate_schedule(sl->schedule, cfg, sl->check_opts);
@@ -215,8 +320,8 @@ Response CompileService::compile(const Request& req, Clock::time_point start,
         resp.cache_hit = false;
         sl = schedule_fresh(req.loop, mach_, cfg, req.scheduler);
         if (!sl.has_value()) {
-          return make_error(req.id, ErrorCode::kScheduleFail,
-                            req.scheduler + " found no schedule");
+          resp.t_validate_us = us_since(validate_start);
+          return fail(ErrorCode::kScheduleFail, req.scheduler + " found no schedule", resp);
         }
         if (cache_ != nullptr) {
           cache_->insert(key, to_entry(*sl, req.scheduler));
@@ -225,15 +330,17 @@ Response CompileService::compile(const Request& req, Clock::time_point start,
         const check::CheckReport revalid =
             check::validate_schedule(sl->schedule, cfg, sl->check_opts);
         if (!revalid.ok()) {
-          return make_error(req.id, ErrorCode::kValidateFail,
-                            "validator: " + revalid.to_string());
+          resp.t_validate_us = us_since(validate_start);
+          return fail(ErrorCode::kValidateFail, "validator: " + revalid.to_string(), resp);
         }
       } else {
-        return make_error(req.id, ErrorCode::kValidateFail, "validator: " + valid.to_string());
+        resp.t_validate_us = us_since(validate_start);
+        return fail(ErrorCode::kValidateFail, "validator: " + valid.to_string(), resp);
       }
     }
   }
-  if (expired()) return deadline_response("after validation");
+  resp.t_validate_us = us_since(validate_start);
+  if (expired()) return deadline_response("after validation", resp);
 
   resp.ok = true;
   resp.ii = sl->schedule.ii();

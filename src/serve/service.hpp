@@ -26,7 +26,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
 
 #include "driver/job_pool.hpp"
 #include "driver/schedule_cache.hpp"
@@ -40,6 +44,12 @@ struct ServiceOptions {
   std::size_t queue_capacity = 64;  ///< admission high-water mark
   std::int64_t retry_after_ms = 100;  ///< backoff hint in overload responses
   bool validate = true;             ///< run check::validate_schedule on every result
+  /// Slow-request log threshold in milliseconds: a request whose total
+  /// handle() time is >= slow_ms gets one canonical-JSON line in the
+  /// slow log. -1 disables; 0 logs every request.
+  std::int64_t slow_ms = -1;
+  /// Destination for slow-request lines; nullptr = stderr. Not owned.
+  std::FILE* slow_log = nullptr;
 };
 
 class CompileService {
@@ -53,9 +63,14 @@ class CompileService {
 
   /// Admission + synchronous wait; safe from any number of connection
   /// threads concurrently. Always returns a response (never throws).
-  Response handle(const Request& req);
+  /// `peer` (transport-provided, e.g. "unix" or "127.0.0.1:4321") only
+  /// feeds the slow-request log. The response always carries the
+  /// request's request_id, or a server-minted "srv-<n>" when the client
+  /// sent none.
+  Response handle(const Request& req, std::string_view peer = {});
 
-  /// Refuse new requests from now on; in-flight requests complete.
+  /// Refuse new compile requests from now on; in-flight requests
+  /// complete. STATS/HEALTH snapshots keep being answered.
   void begin_drain();
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
@@ -63,22 +78,43 @@ class CompileService {
   void shutdown();
 
   std::size_t queue_depth() const { return pool_.queue_depth(); }
+  int in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+  std::int64_t uptime_ms() const;
   const ServiceOptions& options() const { return opts_; }
   driver::ScheduleCache* cache() const { return cache_; }
+
+  /// The STATS payload: one canonical-JSON object — schema marker,
+  /// uptime/queue/in-flight/drain gauges, and the full counter-registry
+  /// snapshot under "observability". Cheap (no compile work, never
+  /// queued) and answered even while draining.
+  std::string stats_json() const;
+
+  /// The HEALTH payload: one line, first token "ok" or "draining",
+  /// then `uptime_ms=N queue_depth=N in_flight=N draining=0|1`.
+  std::string health_line() const;
 
   /// Test hook: the underlying pool, for deterministically occupying
   /// workers (see tests/serve_test.cpp).
   driver::TaskPool& pool() { return pool_; }
 
  private:
-  Response compile(const Request& req,
+  Response admit(const Request& req, const std::string& request_id,
+                 std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point deadline, bool has_deadline,
+                 bool& pipeline_ran);
+  Response compile(const Request& req, const std::string& request_id, std::int64_t queue_us,
                    std::chrono::steady_clock::time_point start,
                    std::chrono::steady_clock::time_point deadline, bool has_deadline) const;
+  void log_slow(const Request& req, const Response& resp, std::string_view peer);
 
   const machine::MachineModel& mach_;
   driver::ScheduleCache* cache_;
   ServiceOptions opts_;
   std::atomic<bool> draining_{false};
+  std::atomic<int> in_flight_{0};
+  std::atomic<std::uint64_t> minted_ids_{0};
+  const std::chrono::steady_clock::time_point started_;
+  std::mutex slow_log_mu_;
   driver::TaskPool pool_;
 };
 

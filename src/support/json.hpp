@@ -1,8 +1,8 @@
 // Minimal streaming JSON writer.
 //
 // The batch driver and the bench binaries emit machine-readable reports
-// (BatchReport JSON, BENCH_*.json trajectory files); nothing in the tree
-// parses JSON, so there is no reader. Output is compact (no whitespace)
+// (BatchReport JSON, BENCH_*.json trajectory files); the matching
+// strict reader lives in support/json_parse.hpp. Output is compact (no whitespace)
 // and fully deterministic: the same sequence of calls yields the same
 // bytes, which is what lets driver_test assert byte-identical reports
 // across thread counts. Doubles are formatted with "%.10g", so any value

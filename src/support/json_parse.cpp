@@ -1,0 +1,266 @@
+#include "support/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tms::support {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find_path(std::string_view dotted) const {
+  const JsonValue* cur = this;
+  while (cur != nullptr && !dotted.empty()) {
+    const std::size_t dot = dotted.find('.');
+    const std::string_view seg = dotted.substr(0, dot);
+    cur = cur->find(seg);
+    if (dot == std::string_view::npos) break;
+    dotted.remove_prefix(dot + 1);
+  }
+  return cur;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Recursive-descent parser over the input; fails by setting `error`
+/// once and refusing further work.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::variant<JsonValue, std::string> run() {
+    JsonValue v = parse_value(0);
+    if (!error_.empty()) return error_;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage after value");
+      return error_;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.empty()) error_ = "offset " + std::to_string(pos_) + ": " + what;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return JsonValue::make_null();
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return JsonValue::make_null();
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return JsonValue::make_string(parse_string());
+    if (c == 't') {
+      if (!consume_word("true")) fail("bad literal");
+      return JsonValue::make_bool(true);
+    }
+    if (c == 'f') {
+      if (!consume_word("false")) fail("bad literal");
+      return JsonValue::make_bool(false);
+    }
+    if (c == 'n') {
+      if (!consume_word("null")) fail("bad literal");
+      return JsonValue::make_null();
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object(int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (consume('}')) return JsonValue::make_object(std::move(members));
+    while (error_.empty()) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key");
+        break;
+      }
+      std::string key = parse_string();
+      if (!error_.empty()) break;
+      for (const auto& [k, v] : members) {
+        if (k == key) {
+          fail("duplicate object key '" + key + "'");
+          break;
+        }
+      }
+      if (!error_.empty()) break;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':'");
+        break;
+      }
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      if (!error_.empty()) break;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue::make_object(std::move(members));
+      fail("expected ',' or '}'");
+      break;
+    }
+    return JsonValue::make_null();
+  }
+
+  JsonValue parse_array(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    while (error_.empty()) {
+      items.push_back(parse_value(depth + 1));
+      if (!error_.empty()) break;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue::make_array(std::move(items));
+      fail("expected ',' or ']'");
+      break;
+    }
+    return JsonValue::make_null();
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return out;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad \\u escape");
+              return out;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // combined — JsonWriter never emits them).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+          return out;
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    if (!consume('0')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad number");
+        return JsonValue::make_null();
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad number");
+        return JsonValue::make_null();
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad number");
+        return JsonValue::make_null();
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string buf(text_.substr(start, pos_ - start));
+    return JsonValue::make_number(std::strtod(buf.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::variant<JsonValue, std::string> parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace tms::support

@@ -1,0 +1,92 @@
+// Minimal strict JSON reader — the counterpart of JsonWriter.
+//
+// Until the live-telemetry work nothing in the tree consumed JSON; now
+// tmstop and `loadgen --expect-stats` parse the STATS snapshot the
+// daemon emits, so a reader exists. It is deliberately small and
+// strict: the whole input must be one JSON value (trailing garbage is
+// an error), duplicate object keys are an error, nesting depth is
+// bounded, and numbers are kept as doubles (every value the registry
+// exports fits a double exactly up to 2^53, far beyond any counter this
+// service accumulates in practice). Object members preserve insertion
+// order, so a parse of JsonWriter output observes the writer's
+// deterministic ordering.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace tms::support {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return b_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  /// Object member lookup by key; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// `find` chained through a dotted path ("observability.counters");
+  /// nullptr as soon as a segment is absent.
+  const JsonValue* find_path(std::string_view dotted) const;
+
+  static JsonValue make_null() { return JsonValue(Kind::kNull); }
+  static JsonValue make_bool(bool v) {
+    JsonValue j(Kind::kBool);
+    j.b_ = v;
+    return j;
+  }
+  static JsonValue make_number(double v) {
+    JsonValue j(Kind::kNumber);
+    j.num_ = v;
+    return j;
+  }
+  static JsonValue make_string(std::string v) {
+    JsonValue j(Kind::kString);
+    j.str_ = std::move(v);
+    return j;
+  }
+  static JsonValue make_array(std::vector<JsonValue> v) {
+    JsonValue j(Kind::kArray);
+    j.items_ = std::move(v);
+    return j;
+  }
+  static JsonValue make_object(std::vector<std::pair<std::string, JsonValue>> v) {
+    JsonValue j(Kind::kObject);
+    j.members_ = std::move(v);
+    return j;
+  }
+
+ private:
+  explicit JsonValue(Kind k) : kind_(k) {}
+
+  Kind kind_ = Kind::kNull;
+  bool b_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses `text` as exactly one JSON value. Returns the value, or an
+/// error message ("offset N: ...") on malformed input.
+std::variant<JsonValue, std::string> parse_json(std::string_view text);
+
+}  // namespace tms::support

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Prometheus exposition end-to-end: start tmsd with --metrics-dump,
+# push a little traffic through it, trigger an on-demand dump with
+# SIGUSR1, and lint the resulting text-format file with promlint (the
+# same linter the obs unit tests run against the in-process writer).
+# The drain-time final dump is linted too, and the serve latency
+# histograms must show the traffic we generated.
+#
+# Usage: metrics_exposition.sh TMSD TMSQ PROMLINT LOOPS_DIR
+set -u
+
+if [ "$#" -ne 4 ]; then
+  echo "usage: $0 TMSD TMSQ PROMLINT LOOPS_DIR" >&2
+  exit 2
+fi
+TMSD=$1 TMSQ=$2 PROMLINT=$3 LOOPS_DIR=$4
+
+WORK=$(mktemp -d metrics_expo.XXXXXX) || exit 1
+DAEMON_PID=""
+
+fail=0
+note() { echo "metrics_exposition: $*"; }
+flunk() {
+  echo "metrics_exposition: FAIL: $*" >&2
+  fail=1
+}
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCKET="$WORK/d.sock"
+LOG="$WORK/tmsd.log"
+METRICS="$WORK/metrics.prom"
+
+note "starting tmsd with --metrics-dump $METRICS"
+"$TMSD" --socket "$SOCKET" --metrics-dump "$METRICS" >"$LOG" 2>&1 &
+DAEMON_PID=$!
+ready=0
+for _ in $(seq 1 100); do
+  if "$TMSQ" --socket "$SOCKET" --ping --timeout-ms 2000 >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    flunk "daemon died during startup; log follows"
+    cat "$LOG" >&2
+    DAEMON_PID=""
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ "$ready" -ne 1 ]; then
+  flunk "daemon never became ready"
+  exit 1
+fi
+
+note "driving traffic through the daemon"
+loops=0
+for loop in "$LOOPS_DIR"/*.loop; do
+  [ -e "$loop" ] || continue
+  loops=$((loops + 1))
+  if ! "$TMSQ" --socket "$SOCKET" "$loop" --quiet >/dev/null 2>&1; then
+    flunk "tmsq failed on $loop"
+  fi
+  [ "$loops" -ge 4 ] && break
+done
+if [ "$loops" -eq 0 ]; then
+  flunk "no .loop files found in $LOOPS_DIR"
+fi
+
+note "SIGUSR1 must produce an on-demand dump"
+rm -f "$METRICS"
+kill -USR1 "$DAEMON_PID"
+dumped=0
+for _ in $(seq 1 100); do
+  if [ -s "$METRICS" ]; then
+    dumped=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$dumped" -ne 1 ]; then
+  flunk "no metrics file appeared within 10s of SIGUSR1"
+else
+  if ! "$PROMLINT" "$METRICS"; then
+    flunk "promlint rejected the SIGUSR1 dump"
+  fi
+  if ! grep -q '^tms_serve_latency_total_bucket{le="+Inf"} ' "$METRICS"; then
+    flunk "serve latency histogram missing from the SIGUSR1 dump"
+  fi
+  # The traffic above must be visible: the request counter is non-zero.
+  if ! grep -Eq '^tms_serve_requests [1-9]' "$METRICS"; then
+    flunk "serve.requests is zero in the SIGUSR1 dump"
+  fi
+fi
+
+note "drain must write a final dump that also lints clean"
+rm -f "$METRICS"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+code=$?
+DAEMON_PID=""
+if [ "$code" -ne 0 ]; then
+  flunk "SIGTERM drain exited $code (want 0); log follows"
+  cat "$LOG" >&2
+fi
+if [ ! -s "$METRICS" ]; then
+  flunk "drain did not write a final metrics dump"
+elif ! "$PROMLINT" "$METRICS"; then
+  flunk "promlint rejected the drain-time dump"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  note "PASS"
+fi
+exit "$fail"

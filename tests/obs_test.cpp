@@ -13,6 +13,7 @@
 #include "obs/counters.hpp"
 #include "obs/doc_sync.hpp"
 #include "obs/explain.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "support/json.hpp"
 
@@ -47,9 +48,15 @@ TEST(Counters, SnapshotAlignsWithCatalogAndDeltas) {
   EXPECT_EQ(d.value("no.such.metric"), 0u);
 
   std::size_t n_hist = 0;
-  for (const obs::MetricInfo& m : obs::metric_catalog()) n_hist += m.is_histogram ? 1 : 0;
+  std::size_t n_time = 0;
+  for (const obs::MetricInfo& m : obs::metric_catalog()) {
+    n_hist += m.kind == obs::MetricKind::kHistogram ? 1 : 0;
+    n_time += m.kind == obs::MetricKind::kTimeHistogram ? 1 : 0;
+  }
   EXPECT_EQ(d.histograms.size(), n_hist);
-  EXPECT_EQ(d.counters.size(), obs::metric_catalog().size() - n_hist);
+  EXPECT_EQ(d.time_histograms.size(), n_time);
+  EXPECT_EQ(d.time_histogram_sums_us.size(), n_time);
+  EXPECT_EQ(d.counters.size(), obs::metric_catalog().size() - n_hist - n_time);
 }
 
 TEST(Counters, HistogramBuckets) {
@@ -74,7 +81,7 @@ TEST(Counters, JsonExportContainsEveryMetricInCatalogOrder) {
   const std::string json = w.str();
   std::size_t last = 0;
   for (const obs::MetricInfo& m : obs::metric_catalog()) {
-    if (m.is_histogram) continue;  // histograms follow in their own object
+    if (m.kind != obs::MetricKind::kCounter) continue;  // histograms follow in their own objects
     const std::size_t pos = json.find("\"" + std::string(m.name) + "\"");
     ASSERT_NE(pos, std::string::npos) << m.name << " missing from JSON export";
     EXPECT_GT(pos, last) << m.name << " out of catalog order";
@@ -82,6 +89,138 @@ TEST(Counters, JsonExportContainsEveryMetricInCatalogOrder) {
   }
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"sched.ii_minus_mii\""), std::string::npos);
+}
+
+TEST(Counters, TimeHistogramBucketBoundaries) {
+  // Bucket 0 is exactly 0us; bucket b >= 1 holds [2^(b-1), 2^b) us; the
+  // last bucket is open-ended.
+  EXPECT_EQ(obs::TimeHistogram::bucket_of_us(0), 0);
+  EXPECT_EQ(obs::TimeHistogram::bucket_of_us(1), 1);
+  EXPECT_EQ(obs::TimeHistogram::bucket_of_us(2), 2);
+  EXPECT_EQ(obs::TimeHistogram::bucket_of_us(3), 2);
+  EXPECT_EQ(obs::TimeHistogram::bucket_of_us(4), 3);
+  EXPECT_EQ(obs::TimeHistogram::bucket_of_us(1000), 10);       // ~1ms
+  EXPECT_EQ(obs::TimeHistogram::bucket_of_us(1000000), 20);    // ~1s
+  EXPECT_EQ(obs::TimeHistogram::bucket_of_us(~0ULL), obs::TimeHistogram::kBuckets - 1);
+  for (int b = 1; b < obs::TimeHistogram::kBuckets - 1; ++b) {
+    EXPECT_EQ(obs::TimeHistogram::bucket_of_us(obs::TimeHistogram::bucket_floor_us(b)), b);
+    EXPECT_EQ(obs::TimeHistogram::bucket_of_us(obs::TimeHistogram::bucket_floor_us(b) - 1),
+              b - 1)
+        << "floor of bucket " << b << " minus one must land in the bucket below";
+    EXPECT_EQ(obs::TimeHistogram::bucket_floor_us(b), 1ULL << (b - 1));
+  }
+}
+
+TEST(Counters, TimeHistogramRecordsCountAndExactSum) {
+  obs::TimeHistogram h;
+  h.record_us(0);
+  h.record_us(1);
+  h.record_us(100);
+  h.record_us(1000000);
+  const auto v = h.values();
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : v) total += b;
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(h.sum_us(), 1000101u) << "the sum must be exact, not bucket-approximated";
+  h.reset();
+  EXPECT_EQ(h.sum_us(), 0u);
+}
+
+TEST(Counters, TimeHistogramsAppearInSnapshotDeltaAndJson) {
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  obs::counters().serve_latency_schedule.record_us(150);
+  obs::counters().serve_latency_schedule.record_us(2);
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, obs::counters_snapshot());
+  EXPECT_EQ(d.time_histogram_count("serve.latency.schedule"), 2u);
+  EXPECT_EQ(d.time_histogram_sum_us("serve.latency.schedule"), 152u);
+  EXPECT_EQ(d.time_histogram_count("no.such.histogram"), 0u);
+
+  support::JsonWriter w;
+  obs::write_counters_json(w, d);
+  const std::string json = w.str();
+  EXPECT_NE(json.find("\"time_histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.latency.schedule\""), std::string::npos);
+  EXPECT_NE(json.find("\"sum_us\":152"), std::string::npos);
+}
+
+// ----------------------------------------------------------- prometheus
+
+TEST(Prometheus, NamesAreSanitised) {
+  EXPECT_EQ(obs::prometheus_name("serve.latency.queue_wait"), "tms_serve_latency_queue_wait");
+  EXPECT_EQ(obs::prometheus_name("driver.jobs"), "tms_driver_jobs");
+}
+
+TEST(Prometheus, WriterPassesItsOwnLinter) {
+  const obs::CountersSnapshot s = obs::counters_snapshot();
+  const std::string text = obs::write_prometheus_text(s);
+  const auto err = obs::lint_prometheus_text(text);
+  EXPECT_FALSE(err.has_value()) << *err;
+}
+
+TEST(Prometheus, ExpositionCoversEveryMetricWithCorrectShapes) {
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  obs::counters().serve_latency_total.record_us(100);
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, obs::counters_snapshot());
+  const std::string text = obs::write_prometheus_text(d);
+
+  for (const obs::MetricInfo& m : obs::metric_catalog()) {
+    const std::string pname = obs::prometheus_name(m.name);
+    EXPECT_NE(text.find("# HELP " + pname + " "), std::string::npos) << pname;
+    EXPECT_NE(text.find("# TYPE " + pname + " "), std::string::npos) << pname;
+  }
+  // Time histograms are exported in seconds: 100us lands in the le=128us
+  // = 0.000128s bucket, every cumulative bucket above it is 1, and the
+  // exact sum is 0.0001s.
+  EXPECT_NE(text.find("# TYPE tms_serve_latency_total histogram"), std::string::npos);
+  EXPECT_NE(text.find("tms_serve_latency_total_bucket{le=\"0.000128\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("tms_serve_latency_total_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("tms_serve_latency_total_sum 0.0001\n"), std::string::npos);
+  EXPECT_NE(text.find("tms_serve_latency_total_count 1"), std::string::npos);
+  // Count-valued histograms keep their integer inclusive bounds.
+  EXPECT_NE(text.find("tms_sched_ii_minus_mii_bucket{le=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("tms_sched_ii_minus_mii_bucket{le=\"+Inf\"}"), std::string::npos);
+}
+
+TEST(Prometheus, LinterCatchesBrokenExpositions) {
+  struct Case {
+    const char* name;
+    const char* text;
+  };
+  const std::vector<Case> cases = {
+      {"sample before TYPE", "tms_x_bucket{le=\"+Inf\"} 1\n"},
+      {"decreasing cumulative",
+       "# HELP tms_h h\n# TYPE tms_h histogram\n"
+       "tms_h_bucket{le=\"1\"} 2\ntms_h_bucket{le=\"2\"} 1\ntms_h_bucket{le=\"+Inf\"} 2\n"
+       "tms_h_sum 3\ntms_h_count 2\n"},
+      {"missing +Inf",
+       "# HELP tms_h h\n# TYPE tms_h histogram\n"
+       "tms_h_bucket{le=\"1\"} 1\ntms_h_sum 1\ntms_h_count 1\n"},
+      {"le out of order",
+       "# HELP tms_h h\n# TYPE tms_h histogram\n"
+       "tms_h_bucket{le=\"2\"} 1\ntms_h_bucket{le=\"1\"} 1\ntms_h_bucket{le=\"+Inf\"} 1\n"
+       "tms_h_sum 1\ntms_h_count 1\n"},
+      {"count disagrees with +Inf",
+       "# HELP tms_h h\n# TYPE tms_h histogram\n"
+       "tms_h_bucket{le=\"1\"} 1\ntms_h_bucket{le=\"+Inf\"} 1\n"
+       "tms_h_sum 1\ntms_h_count 5\n"},
+      {"duplicate TYPE",
+       "# HELP tms_c c\n# TYPE tms_c counter\ntms_c 1\n# TYPE tms_c counter\ntms_c 2\n"},
+      {"interleaved metrics",
+       "# HELP tms_a a\n# TYPE tms_a counter\ntms_a 1\n"
+       "# HELP tms_b b\n# TYPE tms_b counter\ntms_b 1\ntms_a 2\n"},
+      {"no trailing newline", "# HELP tms_c c\n# TYPE tms_c counter\ntms_c 1"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_TRUE(obs::lint_prometheus_text(c.text).has_value()) << "must reject: " << c.name;
+  }
+  // And a clean minimal exposition passes.
+  const char* good =
+      "# HELP tms_c c\n# TYPE tms_c counter\ntms_c 1\n"
+      "# HELP tms_h h\n# TYPE tms_h histogram\n"
+      "tms_h_bucket{le=\"1\"} 1\ntms_h_bucket{le=\"+Inf\"} 2\ntms_h_sum 3\ntms_h_count 2\n";
+  const auto err = obs::lint_prometheus_text(good);
+  EXPECT_FALSE(err.has_value()) << *err;
 }
 
 // ------------------------------------------------------------- doc-sync

@@ -9,22 +9,28 @@
 #   3. drain: SIGTERM finishes in-flight work and exits 0;
 #   4. backpressure: a 1-worker/1-slot daemon under 8 clients answers
 #      overload with RETRY_AFTER hints — never a hang, never a dropped
-#      connection (loadgen --expect-retry-after enforces both).
+#      connection (loadgen --expect-retry-after enforces both);
+#   5. telemetry: every response echoes the client's request_id, STATS
+#      round-trips during the load run (loadgen --expect-stats), tmstop
+#      watches the same run and must observe a non-zero request rate
+#      between consecutive snapshots, the slow log captures canonical
+#      JSON lines, and the final --metrics-dump exposition lands.
 #
-# Usage: serve_smoke.sh TMSD TMSQ LOADGEN TMSC LOOPS_DIR
+# Usage: serve_smoke.sh TMSD TMSQ LOADGEN TMSC TMSTOP LOOPS_DIR
 set -u
 
-if [ "$#" -ne 5 ]; then
-  echo "usage: $0 TMSD TMSQ LOADGEN TMSC LOOPS_DIR" >&2
+if [ "$#" -ne 6 ]; then
+  echo "usage: $0 TMSD TMSQ LOADGEN TMSC TMSTOP LOOPS_DIR" >&2
   exit 2
 fi
-TMSD=$1 TMSQ=$2 LOADGEN=$3 TMSC=$4 LOOPS_DIR=$5
+TMSD=$1 TMSQ=$2 LOADGEN=$3 TMSC=$4 TMSTOP=$5 LOOPS_DIR=$6
 
 # Relative workdir: ctest runs from the build tree, and a short relative
 # socket path sidesteps the ~108-byte sun_path limit no matter how deep
 # the build directory is.
 WORK=$(mktemp -d serve_smoke.XXXXXX) || exit 1
 DAEMON_PID=""
+TMSTOP_PID=""
 
 fail=0
 note() { echo "serve_smoke: $*"; }
@@ -34,6 +40,10 @@ flunk() {
 }
 
 cleanup() {
+  if [ -n "$TMSTOP_PID" ] && kill -0 "$TMSTOP_PID" 2>/dev/null; then
+    kill -KILL "$TMSTOP_PID" 2>/dev/null
+    wait "$TMSTOP_PID" 2>/dev/null
+  fi
   if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
     kill -KILL "$DAEMON_PID" 2>/dev/null
     wait "$DAEMON_PID" 2>/dev/null
@@ -86,8 +96,11 @@ stop_daemon() {  # stop_daemon LOG — SIGTERM drain must exit 0
 # ---------------------------------------------------------------- phase 1+2+3
 SOCKET="$WORK/d.sock"
 LOG="$WORK/tmsd.log"
+SLOWLOG="$WORK/slow.jsonl"
+METRICS="$WORK/metrics.prom"
 note "starting tmsd on $SOCKET"
-start_daemon "$SOCKET" "$LOG" --threads 4 --cache-dir "$WORK/cache" || exit 1
+start_daemon "$SOCKET" "$LOG" --threads 4 --cache-dir "$WORK/cache" \
+  --slow-ms 0 --slow-log "$SLOWLOG" --metrics-dump "$METRICS" || exit 1
 
 note "checking remote == local for every example loop"
 loops=0
@@ -112,13 +125,70 @@ else
   note "verified $loops loops remote == local"
 fi
 
-note "load: 8 clients x 200 verified requests"
-if ! "$LOADGEN" --socket "$SOCKET" --clients 8 --requests 200 --verify; then
-  flunk "loadgen --verify failed"
+note "request-id echo: the response must carry the client's id verbatim"
+one_loop=$(ls "$LOOPS_DIR"/*.loop 2>/dev/null | head -n 1)
+if [ -n "$one_loop" ]; then
+  if ! "$TMSQ" --socket "$SOCKET" "$one_loop" --request-id smoke-req.1 \
+       >"$WORK/echo.txt" 2>&1; then
+    flunk "tmsq --request-id run failed: $(cat "$WORK/echo.txt")"
+  elif ! grep -q "request_id=smoke-req.1" "$WORK/echo.txt"; then
+    flunk "tmsq summary did not echo request_id=smoke-req.1"
+    cat "$WORK/echo.txt" >&2
+  fi
 fi
+
+# tmstop watches the daemon for the whole load run (--count 0 ends
+# cleanly when the daemon drains below); --expect-traffic makes it fail
+# unless some consecutive snapshot pair shows the request counter move.
+note "starting tmstop monitor against $SOCKET"
+"$TMSTOP" --socket "$SOCKET" --interval-ms 100 --count 0 \
+  --expect-traffic --no-clear >"$WORK/tmstop.txt" 2>&1 &
+TMSTOP_PID=$!
+
+note "load: 8 clients x 200 verified requests (+ STATS round-trips)"
+if ! "$LOADGEN" --socket "$SOCKET" --clients 8 --requests 200 --verify \
+     --expect-stats --json "$WORK/loadgen.json"; then
+  flunk "loadgen --verify --expect-stats failed"
+fi
+
+# Give the monitor a couple more ticks so at least one snapshot pair
+# straddles the load run before the daemon goes away.
+sleep 0.5
 
 note "draining with SIGTERM"
 stop_daemon "$LOG"
+
+# The monitor must exit 0: it saw traffic and ended on server close.
+if ! wait "$TMSTOP_PID"; then
+  flunk "tmstop exited non-zero; output follows"
+  cat "$WORK/tmstop.txt" >&2
+fi
+if ! grep -q "rates/s: requests" "$WORK/tmstop.txt"; then
+  flunk "tmstop never rendered a request rate between snapshots"
+  cat "$WORK/tmstop.txt" >&2
+fi
+
+# --slow-ms 0 makes every request slow: the structured slow log must
+# hold canonical tmsd-slow-v1 lines carrying the loadgen request ids.
+if ! grep -q '"schema":"tmsd-slow-v1"' "$SLOWLOG" 2>/dev/null; then
+  flunk "slow log missing tmsd-slow-v1 lines"
+elif ! grep -q '"request_id":"lg-' "$SLOWLOG"; then
+  flunk "slow log lines do not carry loadgen request ids"
+fi
+
+# Drain writes a final Prometheus dump; the serve latency histograms
+# must be populated (promlint-level checks live in metrics_exposition).
+if ! grep -q '^tms_serve_latency_total_count ' "$METRICS" 2>/dev/null; then
+  flunk "metrics dump missing serve latency histogram"
+fi
+
+if [ -s "$WORK/loadgen.json" ]; then
+  if ! grep -q '"server_stage_us"' "$WORK/loadgen.json"; then
+    flunk "loadgen JSON report missing server_stage_us section"
+  fi
+else
+  flunk "loadgen --json report was not written"
+fi
 
 # ------------------------------------------------------------------- phase 4
 SOCKET2="$WORK/d2.sock"

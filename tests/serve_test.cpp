@@ -26,12 +26,14 @@
 #include "driver/schedule_cache.hpp"
 #include "ir/textio.hpp"
 #include "machine/machine.hpp"
+#include "obs/counters.hpp"
 #include "sched/tms.hpp"
 #include "serve/client.hpp"
 #include "serve/frame.hpp"
 #include "serve/message.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "support/json_parse.hpp"
 #include "test_util.hpp"
 
 namespace tms {
@@ -657,6 +659,317 @@ TEST(Server, DrainStopsAcceptingAndUnbindsTheSocket) {
   serve::Client late;
   EXPECT_TRUE(late.connect_unix(fx.dir.socket_path()).has_value());
   fx.server.drain();  // idempotent
+}
+
+// -------------------------------------------------------- Request identity
+
+TEST(Message, RequestIdRoundTripsAndEmptyIdIsOmittedFromTheWire) {
+  serve::Request req = chain_request();
+  req.request_id = "client-7.a:b_c-d";
+  const auto parsed = serve::parse_request(serve::serialise_request(req));
+  const auto* out = std::get_if<serve::Request>(&parsed);
+  ASSERT_NE(out, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(out->request_id, req.request_id);
+
+  // An empty id serialises to no request_id line at all, which is what
+  // keeps the serialise->parse->serialise fixpoint (tmsfuzz property 2).
+  req.request_id.clear();
+  const std::string wire = serve::serialise_request(req);
+  EXPECT_EQ(wire.find("request_id"), std::string::npos);
+  const auto reparsed = serve::parse_request(wire);
+  const auto* out2 = std::get_if<serve::Request>(&reparsed);
+  ASSERT_NE(out2, nullptr);
+  EXPECT_TRUE(out2->request_id.empty());
+}
+
+TEST(Message, RequestIdCharsetAndLengthAreEnforced) {
+  EXPECT_TRUE(serve::valid_request_id("a"));
+  EXPECT_TRUE(serve::valid_request_id("lg-17"));
+  EXPECT_TRUE(serve::valid_request_id("A.b:C_d-9"));
+  EXPECT_TRUE(serve::valid_request_id(std::string(64, 'x')));
+  EXPECT_FALSE(serve::valid_request_id(""));
+  EXPECT_FALSE(serve::valid_request_id(std::string(65, 'x')));
+  EXPECT_FALSE(serve::valid_request_id("has space"));
+  EXPECT_FALSE(serve::valid_request_id("newline\n"));
+  EXPECT_FALSE(serve::valid_request_id("uni\xc3\xa9"));
+
+  const auto parsed = serve::parse_request("tmsq-request v1\nid 1\nrequest_id bad id\n");
+  EXPECT_NE(std::get_if<std::string>(&parsed), nullptr)
+      << "a request_id with a space must be rejected";
+}
+
+TEST(Message, ResponseCarriesRequestIdAndStageTimings) {
+  serve::Response resp;
+  resp.id = 9;
+  resp.request_id = "rq-9";
+  resp.ok = true;
+  resp.scheduler = "tms";
+  resp.ii = 4;
+  resp.mii = 4;
+  resp.slots = {0, 1};
+  resp.t_queue_us = 11;
+  resp.t_schedule_us = 22;
+  resp.t_validate_us = 3;
+  resp.t_total_us = 40;
+
+  const auto parsed = serve::parse_response(serve::serialise_response(resp));
+  const auto* out = std::get_if<serve::Response>(&parsed);
+  ASSERT_NE(out, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(out->request_id, "rq-9");
+  EXPECT_EQ(out->t_queue_us, 11);
+  EXPECT_EQ(out->t_schedule_us, 22);
+  EXPECT_EQ(out->t_validate_us, 3);
+  EXPECT_EQ(out->t_total_us, 40);
+
+  // Error responses carry the id too.
+  serve::Response err = serve::make_error(3, serve::ErrorCode::kOverload, "full", 50);
+  err.request_id = "rq-3";
+  const auto eparsed = serve::parse_response(serve::serialise_response(err));
+  const auto* eout = std::get_if<serve::Response>(&eparsed);
+  ASSERT_NE(eout, nullptr) << std::get<std::string>(eparsed);
+  EXPECT_EQ(eout->request_id, "rq-3");
+}
+
+TEST(Service, EchoesClientRequestIdOnOkAndErrorResponses) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  serve::Request req = chain_request();
+  req.request_id = "mine-1";
+  EXPECT_EQ(svc.handle(req).request_id, "mine-1");
+
+  req.scheduler = "bogus";  // error path must echo the same id
+  const serve::Response err = svc.handle(req);
+  EXPECT_EQ(err.code, serve::ErrorCode::kBadRequest);
+  EXPECT_EQ(err.request_id, "mine-1");
+  svc.shutdown();
+}
+
+TEST(Service, MintsAServerRequestIdWhenTheClientSendsNone) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  const serve::Response a = svc.handle(chain_request(1));
+  const serve::Response b = svc.handle(chain_request(2));
+  EXPECT_EQ(a.request_id.rfind("srv-", 0), 0u) << a.request_id;
+  EXPECT_EQ(b.request_id.rfind("srv-", 0), 0u) << b.request_id;
+  EXPECT_NE(a.request_id, b.request_id) << "minted ids must be distinct";
+  EXPECT_TRUE(serve::valid_request_id(a.request_id));
+  svc.shutdown();
+}
+
+// ----------------------------------------------------- Per-stage latency
+
+TEST(Service, StageTimingsAreConsistentPerResponseAndInTheHistograms) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  constexpr int kN = 5;
+  for (int i = 0; i < kN; ++i) {
+    const serve::Response resp = svc.handle(chain_request(static_cast<std::uint64_t>(i + 1)));
+    ASSERT_TRUE(resp.ok) << resp.message;
+    EXPECT_GE(resp.t_queue_us, 0);
+    EXPECT_GE(resp.t_schedule_us, 0);
+    EXPECT_GE(resp.t_validate_us, 0);
+    EXPECT_LE(resp.t_queue_us + resp.t_schedule_us + resp.t_validate_us, resp.t_total_us);
+  }
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, obs::counters_snapshot());
+
+  // All four stage histograms are recorded together, exactly once per
+  // request whose pipeline task ran — equal counts, and the stage sums
+  // never exceed the total.
+  const std::uint64_t total_n = d.time_histogram_count("serve.latency.total");
+  EXPECT_EQ(total_n, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(d.time_histogram_count("serve.latency.queue_wait"), total_n);
+  EXPECT_EQ(d.time_histogram_count("serve.latency.schedule"), total_n);
+  EXPECT_EQ(d.time_histogram_count("serve.latency.validate"), total_n);
+  EXPECT_LE(d.time_histogram_sum_us("serve.latency.queue_wait") +
+                d.time_histogram_sum_us("serve.latency.schedule") +
+                d.time_histogram_sum_us("serve.latency.validate"),
+            d.time_histogram_sum_us("serve.latency.total"));
+  svc.shutdown();
+}
+
+TEST(Service, RefusedRequestsRecordNoStageTimings) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, nullptr, opts);
+  svc.begin_drain();
+
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  const serve::Response resp = svc.handle(chain_request());
+  EXPECT_EQ(resp.code, serve::ErrorCode::kShutdown);
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, obs::counters_snapshot());
+  EXPECT_EQ(d.time_histogram_count("serve.latency.total"), 0u)
+      << "a drain-refused request never reached the pipeline";
+  svc.shutdown();
+}
+
+// ------------------------------------------------------------- Slow log
+
+TEST(Service, SlowLogWritesOneCanonicalJsonLinePerSlowRequest) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  opts.slow_ms = 0;  // everything is "slow"
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  opts.slow_log = sink;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  serve::Request req = chain_request();
+  req.request_id = "slow-1";
+  ASSERT_TRUE(svc.handle(req, "test-peer").ok);
+  serve::Request bad = chain_request(2);
+  bad.request_id = "slow-2";
+  bad.scheduler = "bogus";
+  EXPECT_FALSE(svc.handle(bad, "test-peer").ok);
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, obs::counters_snapshot());
+  EXPECT_EQ(d.value("serve.slow_requests"), 2u);
+  svc.shutdown();
+
+  std::rewind(sink);
+  char buf[4096];
+  std::vector<std::string> lines;
+  while (std::fgets(buf, sizeof buf, sink) != nullptr) lines.emplace_back(buf);
+  std::fclose(sink);
+  ASSERT_EQ(lines.size(), 2u);
+
+  auto parsed = support::parse_json(lines[0]);
+  const auto* line = std::get_if<support::JsonValue>(&parsed);
+  ASSERT_NE(line, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(line->find("schema")->as_string(), "tmsd-slow-v1");
+  EXPECT_EQ(line->find("request_id")->as_string(), "slow-1");
+  EXPECT_EQ(line->find("peer")->as_string(), "test-peer");
+  EXPECT_EQ(line->find("outcome")->as_string(), "ok");
+  EXPECT_GE(line->find("total_us")->as_number(), 0.0);
+
+  auto parsed2 = support::parse_json(lines[1]);
+  const auto* line2 = std::get_if<support::JsonValue>(&parsed2);
+  ASSERT_NE(line2, nullptr) << std::get<std::string>(parsed2);
+  EXPECT_EQ(line2->find("request_id")->as_string(), "slow-2");
+  EXPECT_EQ(line2->find("outcome")->as_string(), "bad-request");
+}
+
+TEST(Service, SlowThresholdFiltersFastRequests) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  opts.slow_ms = 60000;  // a minute: nothing in this test qualifies
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  opts.slow_log = sink;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  ASSERT_TRUE(svc.handle(chain_request()).ok);
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, obs::counters_snapshot());
+  EXPECT_EQ(d.value("serve.slow_requests"), 0u);
+  svc.shutdown();
+  std::rewind(sink);
+  char buf[16];
+  EXPECT_EQ(std::fgets(buf, sizeof buf, sink), nullptr) << "no line may be written";
+  std::fclose(sink);
+}
+
+// --------------------------------------------------------- STATS / HEALTH
+
+TEST(Service, StatsJsonIsCanonicalAndHealthLineTracksDrain) {
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, nullptr, opts);
+  ASSERT_TRUE(svc.handle(chain_request()).ok);
+
+  auto parsed = support::parse_json(svc.stats_json());
+  const auto* root = std::get_if<support::JsonValue>(&parsed);
+  ASSERT_NE(root, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(root->find("schema")->as_string(), "tmsd-stats-v1");
+  EXPECT_GE(root->find("uptime_ms")->as_number(), 0.0);
+  EXPECT_FALSE(root->find("draining")->as_bool());
+  const auto* obs_obj = root->find("observability");
+  ASSERT_NE(obs_obj, nullptr);
+  ASSERT_TRUE(obs_obj->is_object());
+  ASSERT_NE(obs_obj->find("counters"), nullptr);
+  ASSERT_NE(obs_obj->find("time_histograms"), nullptr);
+
+  EXPECT_EQ(svc.health_line().rfind("ok ", 0), 0u) << svc.health_line();
+  svc.begin_drain();
+  EXPECT_EQ(svc.health_line().rfind("draining ", 0), 0u) << svc.health_line();
+  auto parsed2 = support::parse_json(svc.stats_json());
+  const auto* root2 = std::get_if<support::JsonValue>(&parsed2);
+  ASSERT_NE(root2, nullptr);
+  EXPECT_TRUE(root2->find("draining")->as_bool());
+  svc.shutdown();
+}
+
+TEST(Server, StatsAndHealthAnswerDuringDrainAndAreNotCompileRequests) {
+  ServerFixture fx;
+  ASSERT_FALSE(fx.server.start().has_value());
+
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(fx.dir.socket_path()).has_value());
+  const serve::Request req = chain_request();
+  const auto warmup = client.compile(req);
+  ASSERT_NE(std::get_if<serve::Response>(&warmup), nullptr);
+
+  // Drain the *service* (what tmsd does first on SIGTERM): compile
+  // requests now get kShutdown, but the side channel keeps answering on
+  // the still-open connection.
+  fx.service.begin_drain();
+
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  std::string stats_payload;
+  ASSERT_FALSE(client.stats(stats_payload).has_value()) << "STATS must answer mid-drain";
+  std::string health;
+  ASSERT_FALSE(client.health(health).has_value()) << "HEALTH must answer mid-drain";
+  EXPECT_EQ(health.rfind("draining ", 0), 0u) << health;
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, obs::counters_snapshot());
+  EXPECT_EQ(d.value("serve.requests"), 0u) << "side channel must not count as compile traffic";
+  EXPECT_EQ(d.value("serve.stats_requests"), 2u);
+
+  auto parsed = support::parse_json(stats_payload);
+  const auto* root = std::get_if<support::JsonValue>(&parsed);
+  ASSERT_NE(root, nullptr) << std::get<std::string>(parsed);
+  EXPECT_TRUE(root->find("draining")->as_bool());
+
+  const auto refused = client.compile(req);
+  const auto* resp = std::get_if<serve::Response>(&refused);
+  ASSERT_NE(resp, nullptr);
+  EXPECT_EQ(resp->code, serve::ErrorCode::kShutdown);
+}
+
+TEST(Server, StatsSnapshotsAreMonotonic) {
+  ServerFixture fx;
+  ASSERT_FALSE(fx.server.start().has_value());
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(fx.dir.socket_path()).has_value());
+
+  const auto served_requests = [&]() -> double {
+    std::string payload;
+    EXPECT_FALSE(client.stats(payload).has_value());
+    auto parsed = support::parse_json(payload);
+    const auto* root = std::get_if<support::JsonValue>(&parsed);
+    EXPECT_NE(root, nullptr);
+    if (root == nullptr) return -1;
+    return root->find("observability")->find("counters")->find("serve.requests")->as_number();
+  };
+
+  const double before = served_requests();
+  const serve::Request req = chain_request();
+  const auto compiled = client.compile(req);
+  ASSERT_NE(std::get_if<serve::Response>(&compiled), nullptr);
+  const double after = served_requests();
+  EXPECT_GE(after, before + 1.0) << "counters in consecutive snapshots must be monotone";
 }
 
 TEST(Server, StartFailsOnAnOverlongSocketPath) {

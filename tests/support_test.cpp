@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <variant>
 
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -170,6 +174,102 @@ TEST(TextTable, RendersAlignedColumns) {
 TEST(TextTable, NumFormatting) {
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
   EXPECT_EQ(TextTable::pct(12.3456, 1), "12.3%");
+}
+
+// ------------------------------------------------------------ JSON parse
+
+const JsonValue* parse_ok(const std::string& text, std::variant<JsonValue, std::string>& hold) {
+  hold = parse_json(text);
+  const auto* v = std::get_if<JsonValue>(&hold);
+  EXPECT_NE(v, nullptr) << text << " -> " << std::get<std::string>(hold);
+  return v;
+}
+
+TEST(JsonParse, ScalarsArraysAndNestedObjects) {
+  std::variant<JsonValue, std::string> hold{std::string()};
+  const JsonValue* v = parse_ok(R"({"a":1,"b":[true,null,"x"],"c":{"d":-2.5e1}})", hold);
+  ASSERT_NE(v, nullptr);
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->find("a")->as_number(), 1.0);
+  const JsonValue* b = v->find("b");
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].as_bool());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].as_string(), "x");
+  EXPECT_DOUBLE_EQ(v->find_path("c.d")->as_number(), -25.0);
+  EXPECT_EQ(v->find("nope"), nullptr);
+  EXPECT_EQ(v->find_path("c.nope"), nullptr);
+}
+
+TEST(JsonParse, StringEscapesIncludingUnicode) {
+  std::variant<JsonValue, std::string> hold{std::string()};
+  const JsonValue* v = parse_ok(R"(["a\"b\\c\n\tAé"])", hold);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->items()[0].as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonParse, MembersPreserveInsertionOrder) {
+  std::variant<JsonValue, std::string> hold{std::string()};
+  const JsonValue* v = parse_ok(R"({"z":1,"a":2,"m":3})", hold);
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "z");
+  EXPECT_EQ(v->members()[1].first, "a");
+  EXPECT_EQ(v->members()[2].first, "m");
+}
+
+TEST(JsonParse, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("name", "tms");
+  w.member("count", std::uint64_t{42});
+  w.member("ratio", 0.125);
+  w.key("list").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  std::variant<JsonValue, std::string> hold{std::string()};
+  const JsonValue* v = parse_ok(w.str(), hold);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->find("name")->as_string(), "tms");
+  EXPECT_DOUBLE_EQ(v->find("count")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(v->find("ratio")->as_number(), 0.125);
+  EXPECT_EQ(v->find("list")->items().size(), 2u);
+}
+
+TEST(JsonParse, StrictnessRejectsMalformedInput) {
+  const std::vector<std::string> bad = {
+      "",
+      "{",
+      "[1,]",
+      "{\"a\":1,}",
+      "{\"a\" 1}",
+      "{\"a\":1} trailing",
+      "01",
+      "1.",
+      "+1",
+      "nul",
+      "\"unterminated",
+      "\"bad\\escape\"",
+      "{\"dup\":1,\"dup\":2}",  // duplicate keys are an error by design
+      "{1:2}",
+  };
+  for (const std::string& text : bad) {
+    const auto parsed = parse_json(text);
+    EXPECT_NE(std::get_if<std::string>(&parsed), nullptr) << "must reject: " << text;
+  }
+}
+
+TEST(JsonParse, DepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 70; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 70; ++i) deep += ']';
+  const auto parsed = parse_json(deep);
+  EXPECT_NE(std::get_if<std::string>(&parsed), nullptr) << "70 levels must exceed the cap";
+
+  std::string fine = "[[[[[[[[[[1]]]]]]]]]]";
+  const auto ok = parse_json(fine);
+  EXPECT_NE(std::get_if<JsonValue>(&ok), nullptr);
 }
 
 }  // namespace

@@ -5,6 +5,14 @@
 // default, or .loop files), retrying overload answers with the server's
 // own retry_after_ms hint, and reporting latency percentiles.
 //
+// Every request carries a request id ("lg-<k>"); the server must echo
+// it byte-for-byte on the matching response (ok or error), and any
+// disagreement counts as an id mismatch and fails the run. Responses
+// also carry the server's per-stage timings (queue wait, schedule,
+// validate, total), so the report splits client-observed latency into
+// network overhead vs server time, with server-side stage percentiles
+// printed next to the client percentiles.
+//
 // With --verify, every response is checked against a locally computed
 // schedule for the same (loop, scheduler, ncore): the schedulers are
 // deterministic, so remote and local must agree exactly (II and every
@@ -26,11 +34,19 @@
 //     --expect-retry-after     require >=1 overload answer; with this
 //                              flag, requests that exhaust their retries
 //                              count as deferred, not failed
+//     --expect-stats           issue STATS round trips mid-run and after
+//                              the run; require they parse as canonical
+//                              tmsd-stats-v1 JSON and that the final
+//                              snapshot shows populated, internally
+//                              consistent serve.latency.* histograms
+//     --json PATH              also write the report as one canonical
+//                              JSON object (schema loadgen-report-v1)
 //
 // Exit status: 0 when every request succeeded (and the --expect flags
 // held), 1 otherwise, 2 on usage errors.
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +64,8 @@
 #include "sched/sms.hpp"
 #include "sched/tms.hpp"
 #include "serve/client.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
 #include "workloads/kernels.hpp"
 
 using namespace tms;
@@ -59,7 +77,7 @@ int usage(const char* argv0) {
                "usage: %s (--socket PATH | --tcp HOST:PORT) [loop files...]\n"
                "          [--clients N] [--requests N] [--qps N] [--scheduler sms|ims|tms]\n"
                "          [--ncore N] [--deadline-ms N] [--timeout-ms N] [--max-retries N]\n"
-               "          [--verify] [--expect-retry-after]\n",
+               "          [--verify] [--expect-retry-after] [--expect-stats] [--json PATH]\n",
                argv0);
   return 2;
 }
@@ -72,12 +90,21 @@ struct Expected {
 struct Totals {
   std::uint64_t ok = 0;
   std::uint64_t cache_hits = 0;
-  std::uint64_t overloads = 0;   ///< overload answers observed (pre-retry)
+  std::uint64_t overloads = 0;      ///< overload answers observed (pre-retry)
   std::uint64_t retries = 0;
-  std::uint64_t deferred = 0;    ///< requests that exhausted their retries
-  std::uint64_t failed = 0;      ///< transport errors + server errors
-  std::uint64_t mismatches = 0;  ///< --verify disagreements
+  std::uint64_t deferred = 0;       ///< requests that exhausted their retries
+  std::uint64_t failed = 0;         ///< transport errors + server errors
+  std::uint64_t mismatches = 0;     ///< --verify disagreements
+  std::uint64_t id_mismatches = 0;  ///< responses that did not echo our request_id
   std::vector<double> latencies_ms;
+  // Server-reported stage timings (one entry per ok response, from the
+  // final attempt), and the client-minus-server remainder: what the
+  // network, framing, and client-side queueing cost on top.
+  std::vector<double> queue_us;
+  std::vector<double> schedule_us;
+  std::vector<double> validate_us;
+  std::vector<double> total_us;
+  std::vector<double> overhead_ms;
 };
 
 double percentile(std::vector<double>& sorted, double p) {
@@ -87,6 +114,89 @@ double percentile(std::vector<double>& sorted, double p) {
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = idx - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Sorts in place and prints "  <label>: p50 .. p90 .. p99 .. max ..".
+void print_quantiles(const char* label, std::vector<double>& v) {
+  if (v.empty()) return;
+  std::sort(v.begin(), v.end());
+  std::printf("  %s: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n", label, percentile(v, 0.50),
+              percentile(v, 0.90), percentile(v, 0.99), v.back());
+}
+
+/// Emits {"p50":..,"p90":..,"p99":..,"max":..} under `key`. Empty series
+/// render as all-zero rather than being omitted, so the report shape is
+/// stable for consumers.
+void json_quantiles(support::JsonWriter& w, std::string_view key, std::vector<double>& sorted) {
+  w.key(key).begin_object();
+  w.member("p50", percentile(sorted, 0.50));
+  w.member("p90", percentile(sorted, 0.90));
+  w.member("p99", percentile(sorted, 0.99));
+  w.member("max", sorted.empty() ? 0.0 : sorted.back());
+  w.end_object();
+}
+
+/// One STATS round trip on a fresh connection. `require_traffic` adds
+/// the end-of-run assertions: serve.requests counted, all four
+/// serve.latency.* histograms populated with equal counts, and stage
+/// sums consistent (queue + schedule + validate <= total). Returns a
+/// failure description or nullopt.
+std::optional<std::string> check_stats(const std::string& socket_path, const std::string& tcp,
+                                       int timeout_ms, bool require_traffic) {
+  serve::Client client;
+  std::optional<std::string> cerr;
+  if (!socket_path.empty()) {
+    cerr = client.connect_unix(socket_path, timeout_ms);
+  } else {
+    const std::size_t colon = tcp.rfind(':');
+    cerr = client.connect_tcp(tcp.substr(0, colon), std::atoi(tcp.c_str() + colon + 1),
+                              timeout_ms);
+  }
+  if (cerr.has_value()) return "connect: " + *cerr;
+  std::string payload;
+  if (const auto err = client.stats(payload)) return "stats: " + *err;
+  auto parsed = support::parse_json(payload);
+  if (const auto* err = std::get_if<std::string>(&parsed)) {
+    return "stats payload is not valid JSON: " + *err;
+  }
+  const auto& root = std::get<support::JsonValue>(parsed);
+  const auto* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->as_string() != "tmsd-stats-v1") {
+    return std::string("stats payload lacks schema tmsd-stats-v1");
+  }
+  const auto* obs = root.find("observability");
+  if (obs == nullptr || !obs->is_object()) return std::string("stats payload lacks observability");
+  if (!require_traffic) return std::nullopt;
+
+  const auto* counters = obs->find("counters");
+  const auto* served = counters != nullptr ? counters->find("serve.requests") : nullptr;
+  if (served == nullptr || !served->is_number() || served->as_number() <= 0) {
+    return std::string("stats: serve.requests is not positive after the run");
+  }
+  const auto* th = obs->find("time_histograms");
+  if (th == nullptr || !th->is_object()) return std::string("stats lacks time_histograms");
+  const char* stages[] = {"serve.latency.queue_wait", "serve.latency.schedule",
+                          "serve.latency.validate", "serve.latency.total"};
+  double counts[4] = {0, 0, 0, 0};
+  double sums[4] = {0, 0, 0, 0};
+  for (int s = 0; s < 4; ++s) {
+    const auto* hist = th->find(stages[s]);
+    const auto* count = hist != nullptr ? hist->find("count") : nullptr;
+    const auto* sum = hist != nullptr ? hist->find("sum_us") : nullptr;
+    if (count == nullptr || !count->is_number() || sum == nullptr || !sum->is_number()) {
+      return std::string("stats: missing histogram ") + stages[s];
+    }
+    counts[s] = count->as_number();
+    sums[s] = sum->as_number();
+  }
+  if (counts[3] <= 0) return std::string("stats: serve.latency.total is empty after the run");
+  if (counts[0] != counts[3] || counts[1] != counts[3] || counts[2] != counts[3]) {
+    return std::string("stats: serve.latency.* histogram counts disagree");
+  }
+  if (sums[0] + sums[1] + sums[2] > sums[3]) {
+    return std::string("stats: queue_wait + schedule + validate exceeds total");
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -105,6 +215,8 @@ int main(int argc, char** argv) {
   int max_retries = 8;
   bool verify = false;
   bool expect_retry_after = false;
+  bool expect_stats = false;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -139,6 +251,10 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (a == "--expect-retry-after") {
       expect_retry_after = true;
+    } else if (a == "--expect-stats") {
+      expect_stats = true;
+    } else if (a == "--json") {
+      json_path = next("--json");
     } else if (!a.empty() && a[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -236,6 +352,7 @@ int main(int argc, char** argv) {
         const std::size_t li = static_cast<std::size_t>(k) % loops.size();
         serve::Request req;
         req.id = static_cast<std::uint64_t>(k) + 1;
+        req.request_id = "lg-" + std::to_string(k + 1);
         req.scheduler = scheduler;
         req.ncore = ncore;
         req.deadline_ms = deadline_ms;
@@ -252,6 +369,12 @@ int main(int argc, char** argv) {
             break;
           }
           const serve::Response& resp = std::get<serve::Response>(result);
+          // Every response — ok or error — must echo our id exactly.
+          if (resp.request_id != req.request_id) {
+            std::fprintf(stderr, "loadgen: request %lld: request_id '%s' echoed as '%s'\n", k,
+                         req.request_id.c_str(), resp.request_id.c_str());
+            ++local.id_mismatches;
+          }
           if (!resp.ok && resp.code == serve::ErrorCode::kOverload) {
             ++local.overloads;
             if (attempt == max_retries) {
@@ -281,9 +404,16 @@ int main(int argc, char** argv) {
               ++local.mismatches;
             }
           }
-          local.latencies_ms.push_back(
+          const double client_ms =
               std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
-                  .count());
+                  .count();
+          local.latencies_ms.push_back(client_ms);
+          local.queue_us.push_back(static_cast<double>(resp.t_queue_us));
+          local.schedule_us.push_back(static_cast<double>(resp.t_schedule_us));
+          local.validate_us.push_back(static_cast<double>(resp.t_validate_us));
+          local.total_us.push_back(static_cast<double>(resp.t_total_us));
+          local.overhead_ms.push_back(
+              std::max(0.0, client_ms - static_cast<double>(resp.t_total_us) / 1000.0));
           settled = true;
         }
       }
@@ -295,11 +425,31 @@ int main(int argc, char** argv) {
       totals.deferred += local.deferred;
       totals.failed += local.failed;
       totals.mismatches += local.mismatches;
+      totals.id_mismatches += local.id_mismatches;
       totals.latencies_ms.insert(totals.latencies_ms.end(), local.latencies_ms.begin(),
                                  local.latencies_ms.end());
+      totals.queue_us.insert(totals.queue_us.end(), local.queue_us.begin(), local.queue_us.end());
+      totals.schedule_us.insert(totals.schedule_us.end(), local.schedule_us.begin(),
+                                local.schedule_us.end());
+      totals.validate_us.insert(totals.validate_us.end(), local.validate_us.begin(),
+                                local.validate_us.end());
+      totals.total_us.insert(totals.total_us.end(), local.total_us.begin(), local.total_us.end());
+      totals.overhead_ms.insert(totals.overhead_ms.end(), local.overhead_ms.begin(),
+                                local.overhead_ms.end());
     });
   }
+
+  // The mid-run STATS probe: a separate connection, while the workers
+  // are (very likely still) pushing requests. STATS is never queued, so
+  // it must answer promptly even with the compile queue saturated.
+  std::optional<std::string> stats_err;
+  if (expect_stats) {
+    stats_err = check_stats(socket_path, tcp, timeout_ms, /*require_traffic=*/false);
+  }
   for (std::thread& t : threads) t.join();
+  if (expect_stats && !stats_err.has_value()) {
+    stats_err = check_stats(socket_path, tcp, timeout_ms, /*require_traffic=*/true);
+  }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
 
@@ -308,19 +458,62 @@ int main(int argc, char** argv) {
               clients, wall_ms,
               wall_ms > 0 ? 1000.0 * static_cast<double>(requests) / wall_ms : 0.0);
   std::printf("  ok %llu (cache hits %llu), overload answers %llu, retries %llu, "
-              "deferred %llu, failed %llu, mismatches %llu\n",
+              "deferred %llu, failed %llu, mismatches %llu, id mismatches %llu\n",
               (unsigned long long)totals.ok, (unsigned long long)totals.cache_hits,
               (unsigned long long)totals.overloads, (unsigned long long)totals.retries,
               (unsigned long long)totals.deferred, (unsigned long long)totals.failed,
-              (unsigned long long)totals.mismatches);
+              (unsigned long long)totals.mismatches, (unsigned long long)totals.id_mismatches);
   if (!totals.latencies_ms.empty()) {
-    std::printf("  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+    std::printf("  client latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
                 percentile(totals.latencies_ms, 0.50), percentile(totals.latencies_ms, 0.90),
                 percentile(totals.latencies_ms, 0.99), totals.latencies_ms.back());
   }
+  // Server-side stage percentiles from the echoed timings, then the
+  // client-minus-server remainder: together they answer "is tail
+  // latency the network, the queue, or the compute?"
+  print_quantiles("server queue_wait us", totals.queue_us);
+  print_quantiles("server schedule us", totals.schedule_us);
+  print_quantiles("server validate us", totals.validate_us);
+  print_quantiles("server total us", totals.total_us);
+  print_quantiles("network overhead ms", totals.overhead_ms);
+
+  if (!json_path.empty()) {
+    support::JsonWriter w;
+    w.begin_object();
+    w.member("schema", "loadgen-report-v1");
+    w.member("requests", static_cast<std::int64_t>(requests));
+    w.member("clients", clients);
+    w.member("wall_ms", wall_ms);
+    w.member("req_per_s", wall_ms > 0 ? 1000.0 * static_cast<double>(requests) / wall_ms : 0.0);
+    w.member("ok", totals.ok);
+    w.member("cache_hits", totals.cache_hits);
+    w.member("overloads", totals.overloads);
+    w.member("retries", totals.retries);
+    w.member("deferred", totals.deferred);
+    w.member("failed", totals.failed);
+    w.member("mismatches", totals.mismatches);
+    w.member("id_mismatches", totals.id_mismatches);
+    json_quantiles(w, "client_latency_ms", totals.latencies_ms);
+    w.key("server_stage_us").begin_object();
+    json_quantiles(w, "queue_wait", totals.queue_us);
+    json_quantiles(w, "schedule", totals.schedule_us);
+    json_quantiles(w, "validate", totals.validate_us);
+    json_quantiles(w, "total", totals.total_us);
+    w.end_object();
+    json_quantiles(w, "network_overhead_ms", totals.overhead_ms);
+    w.end_object();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write %s: %s\n", json_path.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    std::fprintf(f, "%s\n", w.str().c_str());
+    std::fclose(f);
+  }
 
   bool ok = !connect_failed.load(std::memory_order_acquire) && totals.failed == 0 &&
-            totals.mismatches == 0;
+            totals.mismatches == 0 && totals.id_mismatches == 0;
   if (expect_retry_after && totals.overloads == 0) {
     std::fprintf(stderr, "loadgen: --expect-retry-after, but no overload answer was observed\n");
     ok = false;
@@ -328,6 +521,10 @@ int main(int argc, char** argv) {
   if (!expect_retry_after && totals.deferred > 0) {
     std::fprintf(stderr, "loadgen: %llu request(s) exhausted their retries\n",
                  (unsigned long long)totals.deferred);
+    ok = false;
+  }
+  if (expect_stats && stats_err.has_value()) {
+    std::fprintf(stderr, "loadgen: --expect-stats failed: %s\n", stats_err->c_str());
     ok = false;
   }
   return ok ? 0 : 1;

@@ -1,0 +1,47 @@
+// promlint — lint a Prometheus text-exposition file.
+//
+// Runs the same linter tmsd applies to its own --metrics-dump output
+// (obs::lint_prometheus_text: grouping, TYPE-before-samples, strictly
+// increasing `le` labels, non-decreasing cumulative buckets, trailing
+// +Inf, _count == +Inf, duplicate series). CI points this at a dump
+// from a live daemon so the exposition contract is enforced end to end,
+// not just in unit tests.
+//
+// Usage: promlint FILE     ("-" reads stdin)
+// Exit status: 0 clean, 1 lint error (printed as FILE:line: message),
+// 2 usage or unreadable input.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/prometheus.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s FILE\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "promlint: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  }
+  if (const auto err = tms::obs::lint_prometheus_text(text)) {
+    std::fprintf(stderr, "%s:%s\n", path.c_str(), err->c_str());
+    return 1;
+  }
+  return 0;
+}

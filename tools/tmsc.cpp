@@ -163,8 +163,9 @@ int main(int argc, char** argv) {
     }
     const serve::Response& resp = std::get<serve::Response>(result);
     if (!resp.ok) {
-      std::fprintf(stderr, "tmsc: server error [%s]: %s\n",
-                   std::string(serve::to_string(resp.code)).c_str(), resp.message.c_str());
+      std::fprintf(stderr, "tmsc: server error [%s]: %s (request_id %s)\n",
+                   std::string(serve::to_string(resp.code)).c_str(), resp.message.c_str(),
+                   resp.request_id.c_str());
       return 1;
     }
     if (resp.slots.size() != static_cast<std::size_t>(loop.num_instrs())) {
@@ -180,8 +181,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "tmsc: response schedule is invalid: %s\n", verr->c_str());
       return 1;
     }
-    std::printf("remote: %s ii=%d mii=%d cache_hit=%d server_ms=%.2f\n", resp.scheduler.c_str(),
-                resp.ii, resp.mii, resp.cache_hit ? 1 : 0, resp.server_ms);
+    std::printf("remote: %s ii=%d mii=%d cache_hit=%d server_ms=%.2f request_id=%s\n",
+                resp.scheduler.c_str(), resp.ii, resp.mii, resp.cache_hit ? 1 : 0,
+                resp.server_ms, resp.request_id.c_str());
     schedule.emplace(std::move(s));
   } else if (registers > 0) {
     if (scheduler == "tms") {

@@ -25,12 +25,24 @@
 //     --no-cache               disable the schedule cache entirely
 //     --no-validate            skip the independent validator per request
 //     --counters               print the counter table on exit
+//     --metrics-dump PATH      write Prometheus text exposition to PATH
+//                              on SIGUSR1 (and per --metrics-interval-ms);
+//                              written atomically via rename
+//     --metrics-interval-ms N  also dump every N ms (0 = signal-only)
+//     --slow-ms N              log requests taking >= N ms as one
+//                              canonical-JSON line each (0 = all; default
+//                              off); counted in serve.slow_requests
+//     --slow-log PATH          append slow-request lines to PATH instead
+//                              of stderr
 //
 // Lifecycle: on SIGTERM or SIGINT the daemon stops accepting, answers
 // already-connected clients' in-flight requests, drains the compile
 // queue, and exits 0. A second signal during drain exits immediately
-// (code 130). Readiness is signalled by the "tmsd: listening on ..."
-// line on stdout (flushed before the first accept).
+// (code 130). SIGUSR1 never exits — it only triggers a metrics dump.
+// Readiness is signalled by the "tmsd: listening on ..." line on stdout
+// (flushed before the first accept). Live introspection needs no signal
+// at all: the STATS/HEALTH protocol verbs answer on any connection,
+// even mid-drain (see docs/SERVING.md).
 #include <poll.h>
 #include <signal.h>
 #include <unistd.h>
@@ -45,6 +57,7 @@
 #include "driver/schedule_cache.hpp"
 #include "machine/machine.hpp"
 #include "obs/counters.hpp"
+#include "obs/prometheus.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 
@@ -57,7 +70,9 @@ int usage(const char* argv0) {
                "usage: %s --socket PATH [--tcp-port N] [--threads N] [--queue-capacity N]\n"
                "          [--retry-after-ms N] [--max-connections N] [--idle-timeout-ms N]\n"
                "          [--cache-dir DIR] [--cache-capacity N] [--cache-disk-max-bytes N]\n"
-               "          [--no-cache] [--no-validate] [--counters]\n",
+               "          [--no-cache] [--no-validate] [--counters]\n"
+               "          [--metrics-dump PATH] [--metrics-interval-ms N]\n"
+               "          [--slow-ms N] [--slow-log PATH]\n",
                argv0);
   return 2;
 }
@@ -67,11 +82,40 @@ int usage(const char* argv0) {
 // the actual drain. Volatile so a second signal can be detected.
 int g_signal_pipe[2] = {-1, -1};
 volatile sig_atomic_t g_signal_count = 0;
+volatile sig_atomic_t g_dump_requested = 0;
 
 void on_signal(int) {
   g_signal_count = static_cast<sig_atomic_t>(g_signal_count + 1);
   const char byte = 1;
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void on_sigusr1(int) {
+  g_dump_requested = 1;
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Snapshot -> Prometheus text -> temp file -> rename, so a scraper
+/// reading `path` never sees a half-written exposition. The output is
+/// linted before it lands; a lint failure is a bug in the exporter, so
+/// it is loud but non-fatal.
+void dump_metrics(const std::string& path) {
+  const std::string text = obs::write_prometheus_text(obs::counters_snapshot());
+  if (const auto err = obs::lint_prometheus_text(text)) {
+    std::fprintf(stderr, "tmsd: metrics exposition failed its own lint: %s\n", err->c_str());
+  }
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "tmsd: cannot write %s: %s\n", tmp.c_str(), std::strerror(errno));
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "tmsd: rename %s: %s\n", path.c_str(), std::strerror(errno));
+  }
 }
 
 }  // namespace
@@ -86,6 +130,9 @@ int main(int argc, char** argv) {
   std::uint64_t cache_disk_max_bytes = 0;
   bool use_cache = true;
   bool print_counters = false;
+  std::string metrics_dump;
+  std::int64_t metrics_interval_ms = 0;
+  std::string slow_log_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -122,6 +169,14 @@ int main(int argc, char** argv) {
       service_opts.validate = false;
     } else if (a == "--counters") {
       print_counters = true;
+    } else if (a == "--metrics-dump") {
+      metrics_dump = next("--metrics-dump");
+    } else if (a == "--metrics-interval-ms") {
+      metrics_interval_ms = std::atoll(next("--metrics-interval-ms"));
+    } else if (a == "--slow-ms") {
+      service_opts.slow_ms = std::atoll(next("--slow-ms"));
+    } else if (a == "--slow-log") {
+      slow_log_path = next("--slow-log");
     } else {
       return usage(argv[0]);
     }
@@ -140,7 +195,22 @@ int main(int argc, char** argv) {
   ::sigemptyset(&sa.sa_mask);
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction sa_usr1 {};
+  sa_usr1.sa_handler = on_sigusr1;
+  ::sigemptyset(&sa_usr1.sa_mask);
+  ::sigaction(SIGUSR1, &sa_usr1, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
+
+  std::FILE* slow_log_file = nullptr;
+  if (!slow_log_path.empty()) {
+    slow_log_file = std::fopen(slow_log_path.c_str(), "a");
+    if (slow_log_file == nullptr) {
+      std::fprintf(stderr, "tmsd: cannot open slow log %s: %s\n", slow_log_path.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    service_opts.slow_log = slow_log_file;
+  }
 
   machine::MachineModel mach;
   std::optional<driver::ScheduleCache> cache;
@@ -161,14 +231,29 @@ int main(int argc, char** argv) {
               service.options().queue_capacity);
   std::fflush(stdout);
 
-  // Block until a signal arrives.
+  // Block until a terminating signal arrives. SIGUSR1 (and the periodic
+  // timer, when --metrics-interval-ms is set) only dumps metrics and
+  // keeps serving.
+  const int poll_timeout =
+      !metrics_dump.empty() && metrics_interval_ms > 0 ? static_cast<int>(metrics_interval_ms)
+                                                       : -1;
   for (;;) {
     pollfd pfd{g_signal_pipe[0], POLLIN, 0};
-    const int r = ::poll(&pfd, 1, -1);
+    const int r = ::poll(&pfd, 1, poll_timeout);
     if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      // Periodic dump tick.
+      if (!metrics_dump.empty()) dump_metrics(metrics_dump);
+      continue;
+    }
     if (r > 0 && (pfd.revents & POLLIN) != 0) {
       char buf[16];
       [[maybe_unused]] const ssize_t n = ::read(g_signal_pipe[0], buf, sizeof buf);
+      if (g_dump_requested != 0 && g_signal_count == 0) {
+        g_dump_requested = 0;
+        if (!metrics_dump.empty()) dump_metrics(metrics_dump);
+        continue;
+      }
       break;
     }
     if (r < 0) break;
@@ -196,6 +281,9 @@ int main(int argc, char** argv) {
   if (print_counters) {
     std::printf("%s", obs::counters_to_text(obs::counters_snapshot()).c_str());
   }
+  // Final exposition so a scrape after shutdown sees the complete tally.
+  if (!metrics_dump.empty()) dump_metrics(metrics_dump);
+  if (slow_log_file != nullptr) std::fclose(slow_log_file);
   std::printf("tmsd: drained, exiting\n");
   return 0;
 }

@@ -244,8 +244,10 @@ std::optional<std::string> run_frames_one(std::uint64_t seed) {
     for (int i = 0; i < n; ++i) {
       serve::Frame f;
       const serve::FrameType types[] = {serve::FrameType::kRequest, serve::FrameType::kResponse,
-                                        serve::FrameType::kPing, serve::FrameType::kPong};
-      f.type = types[rng.bounded(4)];
+                                        serve::FrameType::kPing, serve::FrameType::kPong,
+                                        serve::FrameType::kStats, serve::FrameType::kStatsReply,
+                                        serve::FrameType::kHealth, serve::FrameType::kHealthReply};
+      f.type = types[rng.bounded(8)];
       f.payload = random_bytes(rng, rng.bounded(4096));
       stream += serve::encode_frame(f.type, f.payload);
       sent.push_back(std::move(f));

@@ -12,13 +12,23 @@
 //     --ncore N                (default 4)
 //     --deadline-ms N          per-request deadline (0 = none)
 //     --timeout-ms N           socket send/recv timeout (default 30000)
+//     --request-id ID          end-to-end request id ([A-Za-z0-9._:-],
+//                              <= 64 chars); echoed by the server and
+//                              attached to its trace span
 //     --ping                   liveness probe instead of a request
 //     --quiet                  suppress the "remote:" summary line
 //
-// Exit status: 0 on a schedule (or pong), 1 on a structured server
-// error or transport failure, 2 on usage errors. An overload answer
-// prints the server's retry_after_ms and exits 1 — retry policy belongs
-// to the caller (loadgen implements one).
+// Exit status (the contract scripts dispatch on — see docs/DRIVER.md):
+//   0  schedule received (or pong)
+//   1  transport failure, or a server error not listed below
+//   2  usage error
+//   3  server answered `overload` (retry_after_ms printed)
+//   4  server answered `deadline`
+//   5  server answered `parse` or `bad-request` (the request itself is
+//      broken; retrying it verbatim cannot succeed)
+// Every structured error prints its full payload: code, message, the
+// echoed request_id, and retry_after_ms when the server set one. Retry
+// policy still belongs to the caller (loadgen implements one).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,7 +49,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket PATH | --tcp HOST:PORT) [<loop-file>]\n"
                "          [--scheduler sms|ims|tms] [--ncore N] [--deadline-ms N]\n"
-               "          [--timeout-ms N] [--ping] [--quiet]\n",
+               "          [--timeout-ms N] [--request-id ID] [--ping] [--quiet]\n"
+               "exit: 0 ok, 1 transport/other, 2 usage, 3 overload, 4 deadline,\n"
+               "      5 parse/bad-request\n",
                argv0);
   return 2;
 }
@@ -76,6 +88,12 @@ int main(int argc, char** argv) {
       req.deadline_ms = std::atoll(next("--deadline-ms"));
     } else if (a == "--timeout-ms") {
       timeout_ms = std::atoi(next("--timeout-ms"));
+    } else if (a == "--request-id") {
+      req.request_id = next("--request-id");
+      if (!serve::valid_request_id(req.request_id)) {
+        std::fprintf(stderr, "bad --request-id (1..64 chars of [A-Za-z0-9._:-])\n");
+        return 2;
+      }
     } else if (a == "--ping") {
       ping = true;
     } else if (a == "--quiet") {
@@ -143,13 +161,28 @@ int main(int argc, char** argv) {
   }
   const serve::Response& resp = std::get<serve::Response>(result);
   if (!resp.ok) {
+    // Full structured payload: code, message, echoed request_id, and the
+    // backoff hint whenever the server set one (not only for overload).
     std::fprintf(stderr, "tmsq: server error [%s]: %s\n",
                  std::string(serve::to_string(resp.code)).c_str(), resp.message.c_str());
-    if (resp.code == serve::ErrorCode::kOverload) {
+    if (!resp.request_id.empty()) {
+      std::fprintf(stderr, "tmsq: request_id %s\n", resp.request_id.c_str());
+    }
+    if (resp.retry_after_ms > 0) {
       std::fprintf(stderr, "tmsq: server suggests retrying after %lld ms\n",
                    (long long)resp.retry_after_ms);
     }
-    return 1;
+    switch (resp.code) {
+      case serve::ErrorCode::kOverload:
+        return 3;
+      case serve::ErrorCode::kDeadline:
+        return 4;
+      case serve::ErrorCode::kParse:
+      case serve::ErrorCode::kBadRequest:
+        return 5;
+      default:
+        return 1;
+    }
   }
 
   // Rebuild the schedule locally from the response slots — the response
@@ -170,8 +203,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!quiet) {
-    std::printf("remote: %s ii=%d mii=%d cache_hit=%d server_ms=%.2f\n", resp.scheduler.c_str(),
-                resp.ii, resp.mii, resp.cache_hit ? 1 : 0, resp.server_ms);
+    std::printf("remote: %s ii=%d mii=%d cache_hit=%d server_ms=%.2f request_id=%s\n",
+                resp.scheduler.c_str(), resp.ii, resp.mii, resp.cache_hit ? 1 : 0,
+                resp.server_ms, resp.request_id.c_str());
   }
   std::printf("%s", viz::render_flat_schedule(schedule).c_str());
   return 0;
