@@ -1,5 +1,8 @@
 #include "harness.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -120,6 +123,67 @@ AggregateSpeedup aggregate_speedups(const std::vector<double>& speedup,
     out.program_speedup_pct = (1.0 / ((1.0 - cov_total) + scaled) - 1.0) * 100.0;
   }
   return out;
+}
+
+double sample_quantile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 1.0) return xs.back();
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+SteadyTiming summarise_steady(const std::vector<double>& ns, int warmup) {
+  SteadyTiming t;
+  t.warmup = std::min<int>(warmup, static_cast<int>(ns.size()));
+  std::vector<double> steady(ns.begin() + t.warmup, ns.end());
+  t.samples = static_cast<int>(steady.size());
+  if (steady.empty()) return t;
+  double sum = 0.0;
+  t.min_ns = steady.front();
+  t.max_ns = steady.front();
+  for (const double x : steady) {
+    sum += x;
+    t.min_ns = std::min(t.min_ns, x);
+    t.max_ns = std::max(t.max_ns, x);
+  }
+  t.mean_ns = sum / static_cast<double>(steady.size());
+  t.p50_ns = sample_quantile(steady, 0.50);
+  t.p90_ns = sample_quantile(steady, 0.90);
+  t.p99_ns = sample_quantile(steady, 0.99);
+  return t;
+}
+
+SteadyTiming measure_steady(int warmup, int samples, const std::function<void()>& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    ns.push_back(std::chrono::duration<double, std::nano>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+  }
+  SteadyTiming t = summarise_steady(ns, /*warmup=*/0);
+  t.warmup = warmup;
+  return t;
+}
+
+void append_steady_timing(support::JsonWriter& w, const std::string& prefix,
+                          const SteadyTiming& t) {
+  w.member(prefix + "p50", t.p50_ns / 1e3);
+  w.member(prefix + "p90", t.p90_ns / 1e3);
+  w.member(prefix + "p99", t.p99_ns / 1e3);
+  w.member(prefix + "mean", t.mean_ns / 1e3);
+  w.member(prefix + "min", t.min_ns / 1e3);
+  w.member(prefix + "max", t.max_ns / 1e3);
+  w.member(prefix + "warmup", t.warmup);
+  w.member(prefix + "samples", t.samples);
 }
 
 std::int64_t iterations_arg(int argc, char** argv, std::int64_t fallback) {

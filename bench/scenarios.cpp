@@ -1,0 +1,313 @@
+#include "scenarios.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "driver/batch.hpp"
+#include "harness.hpp"
+#include "machine/machine.hpp"
+#include "machine/spmt_config.hpp"
+#include "sched/tms.hpp"
+#include "serve/client.hpp"
+#include "serve/message.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "support/assert.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+#include "workloads/builder.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/spec_suite.hpp"
+
+namespace tms::bench {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The pinned workload set: the first `per_benchmark` figure-4 suite
+/// loops of each benchmark (deterministic — shapes derive from the
+/// spec's fixed seed) plus the eight classic kernels. Taking a prefix
+/// rather than the whole 778-loop suite keeps one benchgate run in CI
+/// territory while still spanning every benchmark's loop family.
+std::vector<ir::Loop> pinned_loops(int per_benchmark) {
+  std::vector<ir::Loop> loops;
+  for (const workloads::BenchmarkSpec& spec : workloads::spec_fp2000_suite()) {
+    int taken = 0;
+    for (workloads::ShapedLoop& s : workloads::benchmark_shapes(spec)) {
+      if (taken++ >= per_benchmark) break;
+      loops.push_back(workloads::build_loop(s.shape));
+    }
+  }
+  for (workloads::Kernel& k : workloads::classic_kernels()) {
+    loops.push_back(std::move(k.loop));
+  }
+  return loops;
+}
+
+}  // namespace
+
+ScenarioOptions quick_options() {
+  ScenarioOptions o;
+  o.sched_warmup_rounds = 0;
+  o.sched_sample_rounds = 1;
+  o.shapes_per_benchmark = 1;
+  o.batch_warmup = 0;
+  o.batch_rounds = 1;
+  o.batch_shapes_per_benchmark = 2;
+  o.serve_warmup = 4;
+  o.serve_requests = 16;
+  return o;
+}
+
+double ScenarioResult::get(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : values) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+ScenarioResult run_sched_single(const ScenarioOptions& opts) {
+  const machine::MachineModel mach;
+  const machine::SpmtConfig cfg;
+  const std::vector<ir::Loop> loops = pinned_loops(opts.shapes_per_benchmark);
+
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(opts.sched_sample_rounds) * loops.size());
+  const int rounds = opts.sched_warmup_rounds + opts.sched_sample_rounds;
+  for (int round = 0; round < rounds; ++round) {
+    for (const ir::Loop& loop : loops) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = sched::tms_schedule(loop, mach, cfg);
+      const double t = elapsed_ns(start);
+      TMS_ASSERT_MSG(result.has_value(), "TMS failed on a pinned scenario loop");
+      if (round >= opts.sched_warmup_rounds) ns.push_back(t);
+    }
+  }
+
+  const SteadyTiming t = summarise_steady(ns, /*warmup=*/0);
+  ScenarioResult r;
+  r.name = "sched_single";
+  r.values = {
+      {"schedule_us_p50", t.p50_ns / 1e3}, {"schedule_us_p90", t.p90_ns / 1e3},
+      {"schedule_us_p99", t.p99_ns / 1e3}, {"schedule_us_mean", t.mean_ns / 1e3},
+      {"schedule_us_max", t.max_ns / 1e3}, {"loops", static_cast<double>(loops.size())},
+      {"samples", static_cast<double>(t.samples)},
+  };
+  return r;
+}
+
+ScenarioResult run_batch_throughput(const ScenarioOptions& opts) {
+  const machine::MachineModel mach;
+  const machine::SpmtConfig cfg;
+
+  std::vector<driver::BatchJob> jobs;
+  for (ir::Loop& loop : pinned_loops(opts.batch_shapes_per_benchmark)) {
+    driver::BatchJob j;
+    j.name = loop.name();
+    j.loop = std::move(loop);
+    j.cfg = cfg;
+    j.scheduler = "tms";
+    jobs.push_back(std::move(j));
+  }
+
+  driver::BatchOptions bopts;
+  bopts.jobs = opts.jobs;
+  bopts.validate = true;  // the tmsbatch default: schedule + independent check
+
+  std::vector<double> round_ns;
+  int failures = 0;
+  const int rounds = opts.batch_warmup + opts.batch_rounds;
+  for (int round = 0; round < rounds; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    const driver::BatchReport report = driver::run_batch(jobs, mach, bopts, nullptr);
+    const double t = elapsed_ns(start);
+    failures += static_cast<int>(jobs.size()) - report.count(driver::JobStatus::kOk);
+    if (round >= opts.batch_warmup) round_ns.push_back(t);
+  }
+  TMS_ASSERT_MSG(failures == 0, "batch scenario had failing jobs");
+
+  const double p50_s = sample_quantile(round_ns, 0.5) / 1e9;
+  ScenarioResult r;
+  r.name = "batch_throughput";
+  r.values = {
+      {"jobs_per_sec", p50_s > 0.0 ? static_cast<double>(jobs.size()) / p50_s : 0.0},
+      {"batch_ms_p50", p50_s * 1e3},
+      {"jobs", static_cast<double>(jobs.size())},
+      {"rounds", static_cast<double>(round_ns.size())},
+  };
+  return r;
+}
+
+ScenarioResult run_serve_e2e(const ScenarioOptions& opts) {
+  const machine::MachineModel mach;
+
+  // Socket in a scratch dir under the cwd (short enough for sun_path),
+  // torn down with the scenario.
+  std::string dir = opts.socket_dir;
+  if (dir.empty()) dir = "benchgate_sock." + std::to_string(::getpid());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string socket = dir + "/s";
+
+  // No ScheduleCache: every request must run the real pipeline, so the
+  // scenario tracks scheduler speed, not cache-hit transport time.
+  serve::CompileService service(mach, nullptr, serve::ServiceOptions{});
+  serve::SocketServer server(service, [&] {
+    serve::ServerOptions so;
+    so.unix_path = socket;
+    return so;
+  }());
+  const auto start_err = server.start();
+  TMS_ASSERT_MSG(!start_err.has_value(), "serve scenario: server failed to start");
+
+  serve::Client client;
+  const auto conn_err = client.connect_unix(socket);
+  TMS_ASSERT_MSG(!conn_err.has_value(), "serve scenario: client failed to connect");
+
+  std::vector<workloads::Kernel> kernels = workloads::classic_kernels();
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(opts.serve_requests));
+  int failures = 0;
+  const int total = opts.serve_warmup + opts.serve_requests;
+  for (int i = 0; i < total; ++i) {
+    serve::Request req;
+    req.id = static_cast<std::uint64_t>(i) + 1;
+    req.scheduler = "tms";
+    req.loop = kernels[static_cast<std::size_t>(i) % kernels.size()].loop;
+    const auto start = std::chrono::steady_clock::now();
+    const auto resp = client.compile(req);
+    const double t = elapsed_ns(start);
+    const auto* ok = std::get_if<serve::Response>(&resp);
+    if (ok == nullptr || !ok->ok) ++failures;
+    if (i >= opts.serve_warmup) ns.push_back(t);
+  }
+  client.close();
+  server.drain();
+  service.shutdown();
+  fs::remove_all(dir);
+  TMS_ASSERT_MSG(failures == 0, "serve scenario had failing requests");
+
+  const SteadyTiming t = summarise_steady(ns, /*warmup=*/0);
+  ScenarioResult r;
+  r.name = "serve_e2e";
+  r.values = {
+      {"request_us_p50", t.p50_ns / 1e3},  {"request_us_p90", t.p90_ns / 1e3},
+      {"request_us_p99", t.p99_ns / 1e3},  {"request_us_mean", t.mean_ns / 1e3},
+      {"requests", static_cast<double>(t.samples)},
+  };
+  return r;
+}
+
+std::vector<ScenarioResult> run_all_scenarios(const ScenarioOptions& opts) {
+  return {run_sched_single(opts), run_batch_throughput(opts), run_serve_e2e(opts)};
+}
+
+// ---- bench-trajectory-v1 JSON -------------------------------------------
+
+namespace {
+
+void append_scenarios(support::JsonWriter& w, const std::vector<ScenarioResult>& scenarios) {
+  w.key("scenarios").begin_object();
+  for (const ScenarioResult& s : scenarios) {
+    w.key(s.name).begin_object();
+    for (const auto& [k, v] : s.values) w.member(k, v);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string trajectory_json(const std::vector<ScenarioResult>& scenarios, int pr,
+                            const std::string& baseline_label,
+                            const std::vector<ScenarioResult>& baseline) {
+  support::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "bench-trajectory-v1");
+  w.member("pr", pr);
+  append_scenarios(w, scenarios);
+  if (!baseline.empty()) {
+    w.key("baseline").begin_object();
+    w.member("label", baseline_label);
+    append_scenarios(w, baseline);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::vector<ScenarioResult> scenarios_from_json(const support::JsonValue& root,
+                                                bool from_baseline) {
+  std::vector<ScenarioResult> out;
+  const support::JsonValue* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "bench-trajectory-v1") {
+    return out;
+  }
+  const support::JsonValue* scen =
+      from_baseline ? root.find_path("baseline.scenarios") : root.find("scenarios");
+  if (scen == nullptr || !scen->is_object()) return out;
+  for (const auto& [name, obj] : scen->members()) {
+    if (!obj.is_object()) continue;
+    ScenarioResult r;
+    r.name = name;
+    for (const auto& [k, v] : obj.members()) {
+      if (v.is_number()) r.values.emplace_back(k, v.as_number());
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+// ---- CI gating -----------------------------------------------------------
+
+const std::vector<MetricSpec>& trajectory_metrics() {
+  static const std::vector<MetricSpec> specs = {
+      {"sched_single", "schedule_us_p50", /*higher_is_better=*/false, 150.0},
+      {"sched_single", "schedule_us_p99", /*higher_is_better=*/false, 250.0},
+      {"batch_throughput", "jobs_per_sec", /*higher_is_better=*/true, 60.0},
+      {"serve_e2e", "request_us_p50", /*higher_is_better=*/false, 150.0},
+      {"serve_e2e", "request_us_p99", /*higher_is_better=*/false, 250.0},
+  };
+  return specs;
+}
+
+std::vector<MetricDelta> compare_trajectories(const std::vector<ScenarioResult>& baseline,
+                                              const std::vector<ScenarioResult>& current) {
+  auto find = [](const std::vector<ScenarioResult>& side, const char* name,
+                 const char* key) -> double {
+    for (const ScenarioResult& s : side) {
+      if (s.name == name) return s.get(key, -1.0);
+    }
+    return -1.0;
+  };
+
+  std::vector<MetricDelta> out;
+  for (const MetricSpec& spec : trajectory_metrics()) {
+    MetricDelta d;
+    d.metric = std::string(spec.scenario) + "." + spec.key;
+    d.higher_is_better = spec.higher_is_better;
+    d.tolerance_pct = spec.tolerance_pct;
+    d.baseline = find(baseline, spec.scenario, spec.key);
+    d.current = find(current, spec.scenario, spec.key);
+    if (d.baseline <= 0.0 || d.current < 0.0) {
+      d.missing = true;  // new/retired metric, or degenerate baseline: never a gate failure
+    } else {
+      d.worse_pct = spec.higher_is_better ? (1.0 - d.current / d.baseline) * 100.0
+                                          : (d.current / d.baseline - 1.0) * 100.0;
+      d.regression = d.worse_pct > d.tolerance_pct;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace tms::bench

@@ -1,0 +1,112 @@
+// The three canonical benchmark scenarios behind the perf trajectory.
+//
+// Every committed BENCH_<pr>.json point (docs/BENCHMARKS.md) is produced
+// by exactly this code, so the numbers are comparable PR over PR:
+//
+//   sched_single      TMS schedule time per loop, p50/p99 over the
+//                     figure-4 workload loops (the scheduler hot path).
+//   batch_throughput  driver::run_batch jobs/second over a pinned job
+//                     list (the tmsbatch use-case).
+//   serve_e2e         end-to-end request latency against an in-process
+//                     CompileService + SocketServer over a Unix socket
+//                     (the tmsd + loadgen use-case).
+//
+// Results are flat (key, value) lists so emission (trajectory_json),
+// parsing (scenarios_from_json) and comparison (compare_trajectories)
+// stay schema-agnostic: adding a metric to a scenario is one append
+// plus, if it should gate CI, one row in trajectory_metrics().
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tms::support {
+class JsonValue;
+}
+
+namespace tms::bench {
+
+struct ScenarioOptions {
+  // sched_single: rounds × loops individual schedule timings.
+  int sched_warmup_rounds = 1;
+  int sched_sample_rounds = 5;
+  int shapes_per_benchmark = 2;  ///< suite loops per benchmark in the pinned set
+
+  // batch_throughput: repeated run_batch calls over the pinned job list.
+  int batch_warmup = 1;
+  int batch_rounds = 3;
+  int batch_shapes_per_benchmark = 8;
+  int jobs = 0;  ///< batch worker threads; 0 = hardware_concurrency
+
+  // serve_e2e: requests against the in-process daemon.
+  int serve_warmup = 32;
+  int serve_requests = 256;
+  std::string socket_dir;  ///< scratch dir for the Unix socket; "" = ./benchgate_sock.<pid>
+};
+
+/// `--quick` preset: one round / few requests everywhere. Useful for
+/// smoke-testing the plumbing; numbers are not trajectory-grade.
+ScenarioOptions quick_options();
+
+struct ScenarioResult {
+  std::string name;
+  /// Flat ordered metrics; keys unique within a scenario.
+  std::vector<std::pair<std::string, double>> values;
+
+  double get(const std::string& key, double fallback = -1.0) const;
+};
+
+ScenarioResult run_sched_single(const ScenarioOptions& opts);
+ScenarioResult run_batch_throughput(const ScenarioOptions& opts);
+ScenarioResult run_serve_e2e(const ScenarioOptions& opts);
+
+/// All three, in canonical order.
+std::vector<ScenarioResult> run_all_scenarios(const ScenarioOptions& opts);
+
+// ---- bench-trajectory-v1 JSON -------------------------------------------
+
+/// Serialises scenarios (plus an optional embedded baseline — the
+/// pre-change measurement the current numbers claim an improvement over)
+/// into one deterministic bench-trajectory-v1 document.
+std::string trajectory_json(const std::vector<ScenarioResult>& scenarios, int pr,
+                            const std::string& baseline_label = "",
+                            const std::vector<ScenarioResult>& baseline = {});
+
+/// Reads the "scenarios" member of a parsed bench-trajectory-v1 document
+/// (or its "baseline.scenarios" when `from_baseline`). Empty on schema
+/// mismatch.
+std::vector<ScenarioResult> scenarios_from_json(const support::JsonValue& root,
+                                                bool from_baseline = false);
+
+// ---- CI gating -----------------------------------------------------------
+
+/// One gated metric: which scenario/key, which direction is better, and
+/// how much worse than baseline is tolerated before CI fails. Bands are
+/// deliberately wide — the committed snapshot and the CI runner are
+/// different machines, so the gate exists to catch structural
+/// regressions (an accidental O(n^2), a dropped cache), not 10% noise.
+struct MetricSpec {
+  const char* scenario;
+  const char* key;
+  bool higher_is_better;
+  double tolerance_pct;  ///< allowed worsening relative to baseline
+};
+const std::vector<MetricSpec>& trajectory_metrics();
+
+struct MetricDelta {
+  std::string metric;  ///< "scenario.key"
+  double baseline = 0.0;
+  double current = 0.0;
+  double worse_pct = 0.0;      ///< how much worse than baseline (negative = better)
+  double tolerance_pct = 0.0;
+  bool higher_is_better = false;
+  bool missing = false;        ///< metric absent from one side; never a failure
+  bool regression = false;
+};
+
+/// Applies trajectory_metrics() to a (baseline, current) scenario pair.
+std::vector<MetricDelta> compare_trajectories(const std::vector<ScenarioResult>& baseline,
+                                              const std::vector<ScenarioResult>& current);
+
+}  // namespace tms::bench

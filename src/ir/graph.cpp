@@ -1,6 +1,8 @@
 #include "ir/graph.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 
 #include "support/assert.hpp"
 
@@ -117,22 +119,22 @@ std::vector<NodeId> topo_order_intra(const Loop& loop) {
   for (const DepEdge& e : loop.deps()) {
     if (e.distance == 0) ++indeg[static_cast<std::size_t>(e.dst)];
   }
-  // Min-id-first worklist keeps ordering deterministic.
+  // Min-id-first worklist keeps ordering deterministic; the min-heap
+  // extracts the same node a min_element scan would, in O(log n).
   std::vector<NodeId> order;
   order.reserve(n);
-  std::vector<NodeId> ready;
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>> ready;
   for (NodeId v = 0; v < loop.num_instrs(); ++v) {
-    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push(v);
   }
   while (!ready.empty()) {
-    const auto it = std::min_element(ready.begin(), ready.end());
-    const NodeId v = *it;
-    ready.erase(it);
+    const NodeId v = ready.top();
+    ready.pop();
     order.push_back(v);
     for (std::size_t ei : loop.out_edges(v)) {
       const DepEdge& e = loop.dep(ei);
       if (e.distance != 0) continue;
-      if (--indeg[static_cast<std::size_t>(e.dst)] == 0) ready.push_back(e.dst);
+      if (--indeg[static_cast<std::size_t>(e.dst)] == 0) ready.push(e.dst);
     }
   }
   TMS_ASSERT_MSG(order.size() == n, "distance-0 subgraph must be acyclic");
@@ -157,7 +159,11 @@ int longest_dependence_path(const Loop& loop, const std::vector<int>& latency) {
 }
 
 std::vector<int> node_heights(const Loop& loop, const std::vector<int>& latency) {
-  const std::vector<NodeId> order = topo_order_intra(loop);
+  return node_heights(loop, latency, topo_order_intra(loop));
+}
+
+std::vector<int> node_heights(const Loop& loop, const std::vector<int>& latency,
+                              const std::vector<NodeId>& order) {
   std::vector<int> height(static_cast<std::size_t>(loop.num_instrs()), 0);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId v = *it;
@@ -173,7 +179,11 @@ std::vector<int> node_heights(const Loop& loop, const std::vector<int>& latency)
 }
 
 std::vector<int> node_depths(const Loop& loop, const std::vector<int>& latency) {
-  const std::vector<NodeId> order = topo_order_intra(loop);
+  return node_depths(loop, latency, topo_order_intra(loop));
+}
+
+std::vector<int> node_depths(const Loop& loop, const std::vector<int>& latency,
+                             const std::vector<NodeId>& order) {
   std::vector<int> depth(static_cast<std::size_t>(loop.num_instrs()), 0);
   for (const NodeId v : order) {
     int above = 0;

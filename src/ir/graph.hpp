@@ -52,4 +52,13 @@ std::vector<int> node_heights(const Loop& loop, const std::vector<int>& latency)
 /// before the node (exclusive of its own latency).
 std::vector<int> node_depths(const Loop& loop, const std::vector<int>& latency);
 
+/// Topo-sharing variants: callers that need several of these analyses
+/// (the schedulers need depth and height of every node) compute
+/// topo_order_intra once and pass it in instead of re-deriving it per
+/// analysis. `topo` must be exactly topo_order_intra(loop).
+std::vector<int> node_heights(const Loop& loop, const std::vector<int>& latency,
+                              const std::vector<NodeId>& topo);
+std::vector<int> node_depths(const Loop& loop, const std::vector<int>& latency,
+                             const std::vector<NodeId>& topo);
+
 }  // namespace tms::ir

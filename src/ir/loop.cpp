@@ -4,6 +4,15 @@
 
 namespace tms::ir {
 
+void Loop::reserve(int instrs, std::size_t deps) {
+  TMS_ASSERT(instrs >= 0);
+  const auto n = static_cast<std::size_t>(instrs);
+  instrs_.reserve(n);
+  out_.reserve(n);
+  in_.reserve(n);
+  deps_.reserve(deps);
+}
+
 NodeId Loop::add_instr(Opcode op, std::string name) {
   const NodeId id = static_cast<NodeId>(instrs_.size());
   if (name.empty()) {

@@ -56,6 +56,11 @@ class Loop {
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
+  /// Pre-sizes the instruction, edge, and adjacency-spine storage for a
+  /// builder about to add roughly this many instructions and edges, so
+  /// construction does not re-allocate per push.
+  void reserve(int instrs, std::size_t deps);
+
   NodeId add_instr(Opcode op, std::string name = {});
 
   /// Adds a dependence edge. Distance must be >= 0 and probability in

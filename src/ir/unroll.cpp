@@ -8,6 +8,8 @@ Loop unroll(const Loop& loop, int factor) {
   TMS_ASSERT(factor >= 1);
   TMS_ASSERT_MSG(!loop.validate().has_value(), "unroll requires a well-formed loop");
   Loop out(loop.name() + "_x" + std::to_string(factor));
+  out.reserve(loop.num_instrs() * factor,
+              loop.deps().size() * static_cast<std::size_t>(factor));
 
   for (int k = 0; k < factor; ++k) {
     for (NodeId v = 0; v < loop.num_instrs(); ++v) {

@@ -50,6 +50,7 @@ namespace tms::obs {
   X(sched_slot_reject_headroom,  "sched.slot_reject.headroom",  "slots", "slots skipped in the successor dead-zone rows at the end of the II") \
   X(sched_window_exhausted,  "sched.window_exhausted",  "events",     "nodes whose scheduling window held no feasible slot")                   \
   X(sched_ejections,         "sched.ejections",         "nodes",      "placed nodes ejected by TMS backtracking")                              \
+  X(sched_pmax_sweeps_skipped, "sched.pmax_sweeps_skipped", "sweeps",  "P_max sweeps skipped because a stricter C2-rejection-free sweep proved them identical") \
   X(check_validations,       "check.validations",       "runs",       "independent validator runs (schedules and kernel programs)")            \
   X(check_violations,        "check.violations",        "violations", "invariant violations reported by the validator")                        \
   X(codegen_lowerings,       "codegen.lowerings",       "kernels",    "schedules lowered to kernel programs")                                  \

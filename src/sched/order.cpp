@@ -111,8 +111,9 @@ std::vector<ir::NodeId> sms_node_order(const ir::Loop& loop, const machine::Mach
   TMS_TRACE_SPAN_ARG(span, obs::targ("nodes", loop.num_instrs()));
   const auto sets = sms_node_sets(loop, mach);
   const std::vector<int> lat = mach.latencies(loop);
-  const std::vector<int> height = ir::node_heights(loop, lat);
-  const std::vector<int> depth = ir::node_depths(loop, lat);
+  const std::vector<ir::NodeId> topo = ir::topo_order_intra(loop);
+  const std::vector<int> height = ir::node_heights(loop, lat, topo);
+  const std::vector<int> depth = ir::node_depths(loop, lat, topo);
 
   const auto n = static_cast<std::size_t>(loop.num_instrs());
   std::vector<bool> ordered(n, false);

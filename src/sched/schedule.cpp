@@ -18,6 +18,13 @@ Schedule::Schedule(const ir::Loop& loop, const machine::MachineModel& mach, int 
   TMS_ASSERT(ii >= 1);
 }
 
+void Schedule::reset(int ii) {
+  TMS_ASSERT(ii >= 1);
+  ii_ = ii;
+  std::fill(placed_.begin(), placed_.end(), false);
+  num_placed_ = 0;
+}
+
 int Schedule::slot(ir::NodeId v) const {
   TMS_ASSERT_MSG(placed_.at(static_cast<std::size_t>(v)), "querying slot of unplaced node");
   return slots_[static_cast<std::size_t>(v)];

@@ -29,6 +29,11 @@ class Schedule {
   /// temporary loop to a scheduler and keeping the result is an error.
   Schedule(const ir::Loop& loop, const machine::MachineModel& mach, int ii);
 
+  /// Clears every placement and re-targets the schedule at a new II,
+  /// keeping the slot storage. Equivalent to constructing afresh: stale
+  /// slot values are unobservable because slot() asserts placed_.
+  void reset(int ii);
+
   const ir::Loop& loop() const { return *loop_; }
   const machine::MachineModel& machine() const { return *mach_; }
   int ii() const { return ii_; }

@@ -4,7 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <deque>
+#include <optional>
+#include <utility>
 
 #include "cost/cost_model.hpp"
 #include "ir/graph.hpp"
@@ -66,6 +67,27 @@ struct SlotCheck {
   const char* reject = nullptr;  ///< "c_delay" or "p_max" when !ok
 };
 
+/// Reusable storage for the relaxation ladder. One workspace serves every
+/// rung of a tms_schedule call: the Schedule and MRT are reset() instead
+/// of reconstructed, the ready queue is a vector with a head index (the
+/// only push_front happens on a node that was just popped, so the slot in
+/// front of the head is always free), and the scratch vectors keep the
+/// per-slot dependence probes allocation-free. Valid for one (loop, mach)
+/// pair — reset() does not re-target the Schedule's loop.
+struct TmsWorkspace {
+  std::optional<Schedule> sched;
+  std::optional<ModuloReservationTable> mrt;
+  std::vector<ir::NodeId> queue;
+  std::size_t qhead = 0;
+  std::vector<std::size_t> reg_ps;
+  std::vector<std::size_t> mem_ps;
+  std::vector<std::size_t> tmp;
+  std::vector<std::size_t> reg_v;    ///< check_slot scratch
+  std::vector<std::size_t> mem_v;    ///< check_slot scratch
+  std::vector<std::size_t> reg_all;  ///< check_slot scratch
+  Window window;
+};
+
 /// Hot-loop tallies, flushed to the registry once per scheduling pass so
 /// the per-slot cost stays free of atomic traffic.
 struct SlotTally {
@@ -93,13 +115,13 @@ struct SlotTally {
 /// evaluated with `v` tentatively placed at `cycle`.
 SlotCheck check_slot(Schedule& ps, const machine::SpmtConfig& cfg, ir::NodeId v, int cycle,
                      int c_delay, double p_max, const std::vector<std::size_t>& reg_ps,
-                     const std::vector<std::size_t>& mem_ps) {
+                     const std::vector<std::size_t>& mem_ps, TmsWorkspace& ws) {
   const ir::Loop& loop = ps.loop();
   ps.set_slot(v, cycle);
 
   SlotCheck result;
-  std::vector<std::size_t> reg_v;
-  std::vector<std::size_t> mem_v;
+  std::vector<std::size_t>& reg_v = ws.reg_v;
+  std::vector<std::size_t>& mem_v = ws.mem_v;
   collect_new_reg_deps(ps, loop, v, reg_v);
   collect_new_mem_deps(ps, loop, v, mem_v);
 
@@ -118,7 +140,8 @@ SlotCheck check_slot(Schedule& ps, const machine::SpmtConfig& cfg, ir::NodeId v,
   // C2: only evaluated when v introduces new speculated dependences
   // (Fig. 3 line 26: M_v != {} ==> misspec frequency <= P_max).
   if (ok && !mem_v.empty() && p_max < 1.0) {
-    std::vector<std::size_t> reg_all = reg_ps;
+    std::vector<std::size_t>& reg_all = ws.reg_all;
+    reg_all.assign(reg_ps.begin(), reg_ps.end());
     reg_all.insert(reg_all.end(), reg_v.begin(), reg_v.end());
     double keep = 1.0;
     auto fold_nonpreserved = [&](const std::vector<std::size_t>& mems) {
@@ -152,24 +175,41 @@ SlotCheck check_slot(Schedule& ps, const machine::SpmtConfig& cfg, ir::NodeId v,
 /// the iterative-modulo-scheduling style of recovery, needed because
 /// thread-sensitive slot choices drift much further from the
 /// lifetime-minimal positions than SMS's ever do.
+/// `saw_c2_reject`, when non-null, is set if any candidate slot was
+/// rejected by the misspeculation-frequency check (C2) — the signal the
+/// ladder uses to prove a whole P_max sweep redundant.
 std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::MachineModel& mach,
                                        const machine::SpmtConfig& cfg, int ii, int c_delay,
                                        double p_max, const std::vector<ir::NodeId>& order,
-                                       const std::vector<int>& depth) {
-  Schedule ps(loop, mach, ii);
-  ModuloReservationTable mrt(mach, ii);
-  std::vector<std::size_t> reg_ps;  // RegDep(PS), recomputed per placement
-  std::vector<std::size_t> mem_ps;  // MemDep(PS)
-  std::vector<std::size_t> tmp;
+                                       const std::vector<int>& depth, TmsWorkspace& ws,
+                                       bool* saw_c2_reject = nullptr) {
+  if (ws.sched.has_value()) {
+    ws.sched->reset(ii);
+  } else {
+    ws.sched.emplace(loop, mach, ii);
+  }
+  if (ws.mrt.has_value()) {
+    ws.mrt->reset(ii);
+  } else {
+    ws.mrt.emplace(mach, ii);
+  }
+  Schedule& ps = *ws.sched;
+  ModuloReservationTable& mrt = *ws.mrt;
+  std::vector<std::size_t>& reg_ps = ws.reg_ps;  // RegDep(PS), recomputed per placement
+  std::vector<std::size_t>& mem_ps = ws.mem_ps;  // MemDep(PS)
+  std::vector<std::size_t>& tmp = ws.tmp;
+  reg_ps.clear();
+  mem_ps.clear();
 
-  std::deque<ir::NodeId> queue(order.begin(), order.end());
+  ws.queue.assign(order.begin(), order.end());
+  ws.qhead = 0;
   int ejections_left = 2 * loop.num_instrs() + 16;
   SlotTally tally;
 
-  while (!queue.empty()) {
-    const ir::NodeId v = queue.front();
-    queue.pop_front();
-    const Window w = scheduling_window(ps, v, depth[static_cast<std::size_t>(v)]);
+  while (ws.qhead < ws.queue.size()) {
+    const ir::NodeId v = ws.queue[ws.qhead++];
+    scheduling_window(ps, v, depth[static_cast<std::size_t>(v)], ws.window);
+    const Window& w = ws.window;
 
     // Successor headroom: a producer placed in the last rows of the II
     // strands any still-unscheduled same-iteration consumer — the
@@ -214,10 +254,14 @@ std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::Mach
                           obs::targ("row", ((c % ii) + ii) % ii), obs::targ("reason", "mrt"));
         continue;
       }
-      const SlotCheck sc = check_slot(ps, cfg, v, c, c_delay, p_max, reg_ps, mem_ps);
+      const SlotCheck sc = check_slot(ps, cfg, v, c, c_delay, p_max, reg_ps, mem_ps, ws);
       if (!sc.ok) {
-        if (sc.reject != nullptr && sc.reject[0] == 'c') ++tally.c_delay;
-        else ++tally.p_max;
+        if (sc.reject != nullptr && sc.reject[0] == 'c') {
+          ++tally.c_delay;
+        } else {
+          ++tally.p_max;
+          if (saw_c2_reject != nullptr) *saw_c2_reject = true;
+        }
         TMS_TRACE_INSTANT("sched", "slot.reject", obs::targ("node", v),
                           obs::targ("row", ((c % ii) + ii) % ii),
                           obs::targ("reason", sc.reject != nullptr ? sc.reject : "?"));
@@ -249,7 +293,7 @@ std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::Mach
           if (other == v || !ps.is_placed(other)) continue;
           mrt.remove(loop.instr(other).op, ps.slot(other));
           ps.clear_slot(other);
-          queue.push_back(other);
+          ws.queue.push_back(other);
           ++tally.ejected;
           TMS_TRACE_INSTANT("sched", "eject", obs::targ("node", v), obs::targ("victim", other));
           any = true;
@@ -267,7 +311,10 @@ std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::Mach
       // Placements changed: rebuild the inter-thread dependence sets.
       reg_ps = ps.reg_dep_set();
       mem_ps = ps.mem_dep_set();
-      queue.push_front(v);
+      // Retry v first: it was just popped, so the slot ahead of qhead is
+      // free and this is a plain deque push_front.
+      TMS_ASSERT(ws.qhead > 0);
+      ws.queue[--ws.qhead] = v;
       continue;
     }
 
@@ -292,7 +339,8 @@ std::optional<Schedule> tms_try_thresholds(const ir::Loop& loop,
   const std::vector<int> depth = ir::node_depths(loop, mach.latencies(loop));
   obs::counters().sched_attempts.add(1);
   TMS_TRACE_SPAN(span, "sched", "tms.attempt");
-  std::optional<Schedule> s = try_thresholds(loop, mach, cfg, ii, c_delay, p_max, order, depth);
+  TmsWorkspace ws;
+  std::optional<Schedule> s = try_thresholds(loop, mach, cfg, ii, c_delay, p_max, order, depth, ws);
   if (s.has_value()) {
     obs::counters().sched_attempts_feasible.add(1);
     s->normalise();
@@ -338,11 +386,21 @@ std::optional<TmsResult> tms_schedule(const ir::Loop& loop, const machine::Machi
   int plateau = 0;  // consecutive non-improving IIs at the incumbent's F
 
   // One relaxation-ladder rung: a fixed-threshold pass, traced as a span
-  // so --explain can segment the per-slot events it encloses.
-  auto attempt = [&](int ii, int cd_thr, double pm) {
+  // so --explain can segment the per-slot events it encloses. With
+  // ladder_reuse the workspace persists across rungs so every attempt
+  // recycles the same Schedule/MRT/queue storage; without it each rung
+  // constructs from scratch (the differential-testing reference).
+  TmsWorkspace shared_ws;
+  auto attempt = [&](int ii, int cd_thr, double pm, bool* saw_c2) {
     obs::counters().sched_attempts.add(1);
     TMS_TRACE_SPAN(span, "sched", "tms.attempt");
-    std::optional<Schedule> s = try_thresholds(loop, mach, cfg, ii, cd_thr, pm, order, depth);
+    std::optional<Schedule> s;
+    if (opts.ladder_reuse) {
+      s = try_thresholds(loop, mach, cfg, ii, cd_thr, pm, order, depth, shared_ws, saw_c2);
+    } else {
+      TmsWorkspace fresh;
+      s = try_thresholds(loop, mach, cfg, ii, cd_thr, pm, order, depth, fresh, saw_c2);
+    }
     if (s.has_value()) obs::counters().sched_attempts_feasible.add(1);
     TMS_TRACE_SPAN_ARG(span, obs::targ("ii", ii), obs::targ("c_delay", cd_thr),
                        obs::targ("p_max", pm), obs::targ("feasible", s.has_value() ? 1 : 0));
@@ -392,27 +450,64 @@ std::optional<TmsResult> tms_schedule(const ir::Loop& loop, const machine::Machi
       }
     };
 
+    // P_max only gates the misspeculation check (C2). If a whole sweep at
+    // some threshold produced no C2 rejection anywhere, then any looser
+    // threshold makes every slot decision — and therefore every schedule
+    // and the entire binary-search trajectory — bit-identical. The sweeps
+    // run strictest-first, so the first "clean" sweep proves all later
+    // ones redundant; they are skipped by replaying its considered
+    // schedules (so tie-breaking and P_max attribution stay exact) and
+    // charging the same pairs_tried it consumed.
+    double clean_pm = -1.0;     // threshold of the first C2-rejection-free sweep
+    int clean_bs_attempts = 0;  // its binary-search attempt count
+    std::vector<std::pair<Schedule, int>> clean_considered;  // (schedule, cd_thr), in order
+
     for (const double p_max : opts.p_max_values) {
+      if (opts.ladder_reuse && clean_pm >= 0.0 && p_max >= clean_pm) {
+        ++pairs_tried;
+        if (pairs_tried > opts.max_pair_attempts) break;
+        pairs_tried += clean_bs_attempts;
+        obs::counters().sched_pmax_sweeps_skipped.add(1);
+        TMS_TRACE_INSTANT("sched", "tms.sweep_skipped", obs::targ("ii", ii),
+                          obs::targ("p_max", p_max));
+        for (const auto& [cs, cd_thr] : clean_considered) {
+          consider(Schedule(cs), cd_thr, p_max);
+        }
+        continue;
+      }
       ++pairs_tried;
       if (pairs_tried > opts.max_pair_attempts) break;
-      std::optional<Schedule> at_ceiling = attempt(ii, cd_ceiling, p_max);
-      if (!at_ceiling.has_value()) continue;  // this (II, P_max) is infeasible outright
-      consider(std::move(*at_ceiling), cd_ceiling, p_max);
+      bool sweep_saw_c2 = false;
+      int bs_attempts = 0;
+      const bool record = opts.ladder_reuse && clean_pm < 0.0;
+      std::optional<Schedule> at_ceiling = attempt(ii, cd_ceiling, p_max, &sweep_saw_c2);
+      if (at_ceiling.has_value()) {
+        if (record) clean_considered.emplace_back(*at_ceiling, cd_ceiling);
+        consider(std::move(*at_ceiling), cd_ceiling, p_max);
 
-      // Binary search for the smallest feasible C1 threshold; every
-      // feasible point is a candidate.
-      int lo = cd_floor;
-      int hi = cd_ceiling;
-      while (lo < hi) {
-        const int mid = lo + (hi - lo) / 2;
-        ++pairs_tried;
-        std::optional<Schedule> s = attempt(ii, mid, p_max);
-        if (s.has_value()) {
-          consider(std::move(*s), mid, p_max);
-          hi = mid;
-        } else {
-          lo = mid + 1;
+        // Binary search for the smallest feasible C1 threshold; every
+        // feasible point is a candidate.
+        int lo = cd_floor;
+        int hi = cd_ceiling;
+        while (lo < hi) {
+          const int mid = lo + (hi - lo) / 2;
+          ++pairs_tried;
+          ++bs_attempts;
+          std::optional<Schedule> s = attempt(ii, mid, p_max, &sweep_saw_c2);
+          if (s.has_value()) {
+            if (record) clean_considered.emplace_back(*s, mid);
+            consider(std::move(*s), mid, p_max);
+            hi = mid;
+          } else {
+            lo = mid + 1;
+          }
         }
+      }
+      if (record && !sweep_saw_c2) {
+        clean_pm = p_max;
+        clean_bs_attempts = bs_attempts;
+      } else if (record) {
+        clean_considered.clear();
       }
     }
     plateau = ii_improved ? 0 : plateau + 1;

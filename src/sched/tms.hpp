@@ -37,6 +37,13 @@ struct TmsOptions {
   /// Lower bound on the II sweep (register-pressure wrappers raise it);
   /// 0 means start at MII.
   int ii_floor = 0;
+  /// Reuse one workspace (Schedule, MRT, queues, scratch) across the
+  /// relaxation ladder's rungs, and skip P_max sweeps that a stricter
+  /// C2-rejection-free sweep already proved identical. Both are exactly
+  /// outcome-preserving — same schedule, thresholds, and pairs_tried —
+  /// and the property suite holds this flag to account: disabling it
+  /// runs every rung from freshly constructed state as the reference.
+  bool ladder_reuse = true;
 };
 
 struct TmsResult {

@@ -8,6 +8,12 @@
 namespace tms::sched {
 
 Window scheduling_window(const Schedule& ps, ir::NodeId v, int depth_hint) {
+  Window w;
+  scheduling_window(ps, v, depth_hint, w);
+  return w;
+}
+
+void scheduling_window(const Schedule& ps, ir::NodeId v, int depth_hint, Window& out) {
   const ir::Loop& loop = ps.loop();
   const machine::MachineModel& mach = ps.machine();
   const int ii = ps.ii();
@@ -32,19 +38,19 @@ Window scheduling_window(const Schedule& ps, ir::NodeId v, int depth_hint) {
     late = std::min(late, ps.slot(e.dst) - dep_delay(mach, loop, e) + ii * e.distance);
   }
 
-  Window w;
+  out.candidates.clear();
+  out.two_sided = false;
   if (has_pred && has_succ) {
-    w.two_sided = true;
+    out.two_sided = true;
     const int hi = std::min(late, early + ii - 1);
-    for (int c = early; c <= hi; ++c) w.candidates.push_back(c);
+    for (int c = early; c <= hi; ++c) out.candidates.push_back(c);
   } else if (has_pred) {
-    for (int c = early; c <= early + ii - 1; ++c) w.candidates.push_back(c);
+    for (int c = early; c <= early + ii - 1; ++c) out.candidates.push_back(c);
   } else if (has_succ) {
-    for (int c = late; c >= late - ii + 1; --c) w.candidates.push_back(c);
+    for (int c = late; c >= late - ii + 1; --c) out.candidates.push_back(c);
   } else {
-    for (int c = depth_hint; c <= depth_hint + ii - 1; ++c) w.candidates.push_back(c);
+    for (int c = depth_hint; c <= depth_hint + ii - 1; ++c) out.candidates.push_back(c);
   }
-  return w;
 }
 
 }  // namespace tms::sched

@@ -28,4 +28,8 @@ struct Window {
 /// has been placed yet (SMS uses the node's ASAP time).
 Window scheduling_window(const Schedule& ps, ir::NodeId v, int depth_hint);
 
+/// Allocation-free variant for placement loops: refills `out` in place,
+/// reusing its candidate storage.
+void scheduling_window(const Schedule& ps, ir::NodeId v, int depth_hint, Window& out);
+
 }  // namespace tms::sched

@@ -93,6 +93,11 @@ ir::Loop build_loop(const LoopShape& shape) {
   TMS_TRACE_SPAN_ARG(span, tms::obs::targ("name", tms::obs::intern(shape.name)));
   Rng rng(shape.seed);
   Loop loop(shape.name);
+  // Instruction count is capped by target_instrs plus the trailing
+  // store/sink of the last chain; edges run roughly 2x the instructions
+  // (chain flow + addresses + feeders). Over-reserving slightly is fine.
+  loop.reserve(shape.target_instrs + 2,
+               2 * static_cast<std::size_t>(std::max(0, shape.target_instrs)) + 16);
 
   // Induction variable: the address generator of every memory stream.
   const NodeId ind = loop.add_instr(Opcode::kIAdd, "ind");

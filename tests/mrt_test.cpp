@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "sched/mrt.hpp"
 
 namespace tms::sched {
@@ -88,6 +91,99 @@ TEST(Mrt, UsageCountersTrack) {
   EXPECT_EQ(mrt.fu_used(ir::FuClass::kIAlu, 0), 1);
   EXPECT_EQ(mrt.fu_used(ir::FuClass::kMem, 0), 1);
   EXPECT_EQ(mrt.fu_used(ir::FuClass::kMem, 1), 0);
+}
+
+// ---- Differential: bitmap fast path vs the scalar reference ------------
+//
+// The bitmap MRT must answer every probe bit-for-bit like the retained
+// count-only implementation, across random machine shapes (issue width,
+// FU counts, occupancies incl. non-pipelined wrap-around) and random
+// interleavings of place/remove. Placements mirror between the two
+// tables, so any divergence pinpoints a bitmap maintenance bug.
+
+Opcode random_op(std::mt19937_64& rng) {
+  static const Opcode kOps[] = {Opcode::kIAdd, Opcode::kISub, Opcode::kIMul, Opcode::kShift,
+                                Opcode::kFAdd, Opcode::kFMul, Opcode::kLoad, Opcode::kStore,
+                                Opcode::kNop};
+  return kOps[rng() % (sizeof(kOps) / sizeof(kOps[0]))];
+}
+
+TEST(MrtDifferential, RandomisedAgainstScalarReference) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int trial = 0; trial < 200; ++trial) {
+    machine::MachineModel mach;
+    mach.set_issue_width(1 + static_cast<int>(rng() % 6));
+    mach.set_fu_count(ir::FuClass::kIAlu, static_cast<int>(rng() % 4));
+    mach.set_fu_count(ir::FuClass::kFpAdd, static_cast<int>(rng() % 3));
+    mach.set_fu_count(ir::FuClass::kFpMul, static_cast<int>(rng() % 3));
+    mach.set_fu_count(ir::FuClass::kMem, 1 + static_cast<int>(rng() % 3));
+    // Non-pipelined multiplies exercise the wrap-around range scan.
+    const int occ = 1 + static_cast<int>(rng() % 6);
+    mach.set_timing(Opcode::kFMul, {4, occ});
+
+    // IIs beyond 64 cross the bitmap's word boundary.
+    const int ii = 1 + static_cast<int>(rng() % 90);
+    ModuloReservationTable fast(mach, ii);
+    ScalarReferenceMrt ref(mach, ii);
+
+    struct Placed {
+      Opcode op;
+      int cycle;
+    };
+    std::vector<Placed> placed;
+    for (int step = 0; step < 300; ++step) {
+      if (!placed.empty() && rng() % 4 == 0) {
+        const std::size_t i = rng() % placed.size();
+        fast.remove(placed[i].op, placed[i].cycle);
+        ref.remove(placed[i].op, placed[i].cycle);
+        placed.erase(placed.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      const Opcode op = random_op(rng);
+      const int cycle = static_cast<int>(rng() % 200) - 100;  // negative cycles too
+      const bool a = fast.can_place(op, cycle);
+      const bool b = ref.can_place(op, cycle);
+      ASSERT_EQ(a, b) << "trial " << trial << " step " << step << " ii=" << ii
+                      << " op=" << static_cast<int>(op) << " cycle=" << cycle;
+      if (a) {
+        fast.place(op, cycle);
+        ref.place(op, cycle);
+        placed.push_back({op, cycle});
+      }
+    }
+    // Authoritative counts agree row by row at the end of the trial.
+    for (int r = 0; r < ii; ++r) {
+      ASSERT_EQ(fast.issue_used(r), ref.issue_used(r));
+      for (int c = 0; c < ir::kNumFuClasses; ++c) {
+        const auto fc = static_cast<ir::FuClass>(c);
+        ASSERT_EQ(fast.fu_used(fc, r), ref.fu_used(fc, r));
+      }
+    }
+  }
+}
+
+TEST(MrtDifferential, ResetMatchesFreshConstruction) {
+  std::mt19937_64 rng(0xBEEF);
+  machine::MachineModel mach;
+  ModuloReservationTable reused(mach, 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int ii = 1 + static_cast<int>(rng() % 80);
+    reused.reset(ii);
+    ModuloReservationTable fresh(mach, ii);
+    ScalarReferenceMrt ref(mach, ii);
+    for (int step = 0; step < 60; ++step) {
+      const Opcode op = random_op(rng);
+      const int cycle = static_cast<int>(rng() % 120);
+      const bool want = ref.can_place(op, cycle);
+      ASSERT_EQ(reused.can_place(op, cycle), want) << "reused, trial " << trial;
+      ASSERT_EQ(fresh.can_place(op, cycle), want) << "fresh, trial " << trial;
+      if (want) {
+        reused.place(op, cycle);
+        fresh.place(op, cycle);
+        ref.place(op, cycle);
+      }
+    }
+  }
 }
 
 }  // namespace

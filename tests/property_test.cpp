@@ -187,6 +187,30 @@ TEST_P(PropertyTest, MisspecFrequencyBoundedByModel) {
             (opts.max_reexecutions + 1) * p_ceiling + 0.02);
 }
 
+TEST_P(PropertyTest, LadderReuseMatchesScratch) {
+  // The workspace-recycling relaxation ladder (and its P_max sweep
+  // dedup) claims to be *exactly* outcome-preserving. Hold it to that:
+  // scheduling with ladder_reuse off runs every rung from freshly
+  // constructed state, and everything observable — II, slots, chosen
+  // thresholds, cost, even the attempt accounting — must be identical.
+  const ir::Loop loop = test::random_loop(GetParam());
+  sched::TmsOptions scratch;
+  scratch.ladder_reuse = false;
+  const auto fast = sched::tms_schedule(loop, mach, cfg);
+  const auto slow = sched::tms_schedule(loop, mach, cfg, scratch);
+  ASSERT_TRUE(fast.has_value() && slow.has_value());
+  EXPECT_EQ(fast->schedule.ii(), slow->schedule.ii());
+  EXPECT_EQ(fast->mii, slow->mii);
+  EXPECT_EQ(fast->c_delay_threshold, slow->c_delay_threshold);
+  EXPECT_EQ(fast->p_max, slow->p_max);
+  EXPECT_EQ(fast->f_value, slow->f_value);
+  EXPECT_EQ(fast->misspec_probability, slow->misspec_probability);
+  EXPECT_EQ(fast->pairs_tried, slow->pairs_tried);
+  for (ir::NodeId v = 0; v < loop.num_instrs(); ++v) {
+    EXPECT_EQ(fast->schedule.slot(v), slow->schedule.slot(v)) << "node " << v;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range<std::uint64_t>(5000, 5040));
 
 // ---- Edge cases that are not random -----------------------------------
