@@ -2,13 +2,17 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <thread>
 
 #include "driver/batch.hpp"
 #include "harness.hpp"
 #include "machine/machine.hpp"
 #include "machine/spmt_config.hpp"
+#include "router/cluster.hpp"
 #include "sched/tms.hpp"
 #include "serve/client.hpp"
 #include "serve/message.hpp"
@@ -64,6 +68,10 @@ ScenarioOptions quick_options() {
   o.batch_shapes_per_benchmark = 2;
   o.serve_warmup = 4;
   o.serve_requests = 16;
+  o.cluster_loops = 24;
+  o.cluster_cache_capacity = 16;
+  o.cluster_rounds = 1;
+  o.cluster_clients = 2;
   return o;
 }
 
@@ -206,8 +214,122 @@ ScenarioResult run_serve_e2e(const ScenarioOptions& opts) {
   return r;
 }
 
+ScenarioResult run_cluster_scaling(const ScenarioOptions& opts) {
+  const machine::MachineModel mach;
+
+  // Working set: the `cluster_loops` largest pinned loops (stable sort,
+  // so the set is deterministic). Big loops make a cache miss cost a
+  // real schedule rather than a socket round trip.
+  std::vector<ir::Loop> all = pinned_loops((opts.cluster_loops + 13) / 14 + 2);
+  std::stable_sort(all.begin(), all.end(), [](const ir::Loop& a, const ir::Loop& b) {
+    return a.num_instrs() > b.num_instrs();
+  });
+  const std::size_t want = static_cast<std::size_t>(std::max(opts.cluster_loops, 1));
+  if (all.size() > want) all.resize(want);
+  const std::vector<ir::Loop>& loops = all;
+  const std::size_t working_set = loops.size();
+  const std::size_t capacity = opts.cluster_cache_capacity != 0 ? opts.cluster_cache_capacity
+                                                                : working_set * 3 / 4;
+
+  std::string dir = opts.socket_dir;
+  if (dir.empty()) dir = "benchgate_sock." + std::to_string(::getpid());
+
+  const int clients = std::max(opts.cluster_clients, 1);
+  const long long measured = static_cast<long long>(opts.cluster_rounds) *
+                             static_cast<long long>(working_set);
+
+  // One topology: bring the cluster up, one warm pass over the whole
+  // working set, then time `cluster_rounds` further passes.
+  auto run_topology = [&](int backends, double& hit_rate) -> double {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    router::LocalClusterOptions copts;
+    copts.backends = backends;
+    copts.threads_per_backend = 1;
+    copts.cache_capacity = capacity;
+    // Keys are owned by exactly one shard here, so peer fill could only
+    // add probe traffic; off keeps this a pure capacity measurement.
+    copts.peer_fill = false;
+    copts.dir = dir;
+    router::LocalCluster lc(mach, copts);
+    const auto start_err = lc.start();
+    TMS_ASSERT_MSG(!start_err.has_value(), "cluster scenario: cluster failed to start");
+
+    std::atomic<long long> failures{0};
+    std::atomic<long long> hits{0};
+    auto run_pass = [&](long long nreq) {
+      std::atomic<long long> next{0};
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+          serve::Client client;
+          if (client.connect_unix(lc.router_socket()).has_value()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          for (;;) {
+            const long long k = next.fetch_add(1, std::memory_order_relaxed);
+            if (k >= nreq) break;
+            serve::Request req;
+            req.id = static_cast<std::uint64_t>(k) + 1;
+            req.scheduler = "tms";
+            req.loop = loops[static_cast<std::size_t>(k) % working_set];
+            const auto resp = client.compile(req);
+            const auto* ok = std::get_if<serve::Response>(&resp);
+            if (ok == nullptr || !ok->ok) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (ok->cache_hit) hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    };
+
+    run_pass(static_cast<long long>(working_set));  // warm pass, untimed
+    hits.store(0, std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    run_pass(measured);
+    const double seconds = elapsed_ns(start) / 1e9;
+    lc.stop();
+    fs::remove_all(dir);
+    TMS_ASSERT_MSG(failures.load() == 0, "cluster scenario had failing requests");
+    hit_rate = measured > 0
+                   ? static_cast<double>(hits.load()) / static_cast<double>(measured)
+                   : 0.0;
+    return seconds > 0.0 ? static_cast<double>(measured) / seconds : 0.0;
+  };
+
+  double hit_1 = 0.0;
+  double hit_2 = 0.0;
+  double hit_4 = 0.0;
+  const double rps_1 = run_topology(1, hit_1);
+  const double rps_2 = run_topology(2, hit_2);
+  const double rps_4 = run_topology(4, hit_4);
+
+  ScenarioResult r;
+  r.name = "cluster_scaling";
+  r.values = {
+      {"rps_1", rps_1},
+      {"rps_2", rps_2},
+      {"rps_4", rps_4},
+      {"speedup_2x", rps_1 > 0.0 ? rps_2 / rps_1 : 0.0},
+      {"speedup_4x", rps_1 > 0.0 ? rps_4 / rps_1 : 0.0},
+      {"hit_rate_1", hit_1},
+      {"hit_rate_2", hit_2},
+      {"hit_rate_4", hit_4},
+      {"loops", static_cast<double>(working_set)},
+      {"cache_capacity", static_cast<double>(capacity)},
+      {"requests_per_point", static_cast<double>(measured)},
+  };
+  return r;
+}
+
 std::vector<ScenarioResult> run_all_scenarios(const ScenarioOptions& opts) {
-  return {run_sched_single(opts), run_batch_throughput(opts), run_serve_e2e(opts)};
+  return {run_sched_single(opts), run_batch_throughput(opts), run_serve_e2e(opts),
+          run_cluster_scaling(opts)};
 }
 
 // ---- bench-trajectory-v1 JSON -------------------------------------------
@@ -276,6 +398,11 @@ const std::vector<MetricSpec>& trajectory_metrics() {
       {"batch_throughput", "jobs_per_sec", /*higher_is_better=*/true, 60.0},
       {"serve_e2e", "request_us_p50", /*higher_is_better=*/false, 150.0},
       {"serve_e2e", "request_us_p99", /*higher_is_better=*/false, 250.0},
+      // Speedups are already machine-relative ratios, so the bands can
+      // be tighter than the absolute-rate metrics — but keep them wide
+      // enough that scheduler noise on a loaded runner never trips them.
+      {"cluster_scaling", "speedup_2x", /*higher_is_better=*/true, 40.0},
+      {"cluster_scaling", "speedup_4x", /*higher_is_better=*/true, 50.0},
   };
   return specs;
 }

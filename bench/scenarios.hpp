@@ -10,6 +10,13 @@
 //   serve_e2e         end-to-end request latency against an in-process
 //                     CompileService + SocketServer over a Unix socket
 //                     (the tmsd + loadgen use-case).
+//   cluster_scaling   router::LocalCluster throughput at 1, 2 and 4
+//                     backends over a fixed working set sized to
+//                     overflow one shard's ScheduleCache but partition
+//                     cleanly across two — the headline speedup_2x /
+//                     speedup_4x numbers measure aggregate cache
+//                     capacity, which scales with shard count even on a
+//                     single-core runner (the tmsrouter use-case).
 //
 // Results are flat (key, value) lists so emission (trajectory_json),
 // parsing (scenarios_from_json) and comparison (compare_trajectories)
@@ -43,6 +50,16 @@ struct ScenarioOptions {
   int serve_warmup = 32;
   int serve_requests = 256;
   std::string socket_dir;  ///< scratch dir for the Unix socket; "" = ./benchgate_sock.<pid>
+
+  // cluster_scaling: LocalCluster at 1/2/4 backends. The working set is
+  // the `cluster_loops` largest pinned loops (miss cost = a real
+  // schedule, so it dwarfs the socket round trip); the per-shard cache
+  // bound defaults to 3/4 of that, which one shard cannot hold but two
+  // shards' caches can.
+  int cluster_loops = 640;
+  std::size_t cluster_cache_capacity = 0;  ///< per-shard entries; 0 = 3/4 of cluster_loops
+  int cluster_rounds = 2;                  ///< measured round-robin passes per topology
+  int cluster_clients = 4;
 };
 
 /// `--quick` preset: one round / few requests everywhere. Useful for
@@ -60,8 +77,9 @@ struct ScenarioResult {
 ScenarioResult run_sched_single(const ScenarioOptions& opts);
 ScenarioResult run_batch_throughput(const ScenarioOptions& opts);
 ScenarioResult run_serve_e2e(const ScenarioOptions& opts);
+ScenarioResult run_cluster_scaling(const ScenarioOptions& opts);
 
-/// All three, in canonical order.
+/// All four, in canonical order.
 std::vector<ScenarioResult> run_all_scenarios(const ScenarioOptions& opts);
 
 // ---- bench-trajectory-v1 JSON -------------------------------------------

@@ -74,7 +74,21 @@ namespace tms::obs {
   X(serve_drain_refused,     "serve.drain_refused",     "requests",   "requests refused because the server was draining")                      \
   X(serve_idle_timeouts,     "serve.idle_timeouts",     "conns",      "connections closed by the idle read timeout")                           \
   X(serve_slow_requests,     "serve.slow_requests",     "requests",   "requests over the --slow-ms threshold, logged to the slow-request log") \
-  X(serve_stats_requests,    "serve.stats_requests",    "requests",   "STATS/HEALTH side-channel snapshots served (never queued, never counted as compile requests)")
+  X(serve_stats_requests,    "serve.stats_requests",    "requests",   "STATS/HEALTH side-channel snapshots served (never queued, never counted as compile requests)") \
+  X(serve_peek_requests,     "serve.peek_requests",     "frames",     "PEEK cache probes answered on the side channel (never queued, answered during drain)") \
+  X(serve_peer_fill_hits,    "serve.peer_fill_hits",    "requests",   "local cache misses satisfied by a ring sibling's cache via PEEK")       \
+  X(serve_peer_fill_misses,  "serve.peer_fill_misses",  "requests",   "peer-fill attempts that found no sibling entry (unreachable peers included) and scheduled fresh") \
+  X(router_requests,         "router.requests",         "requests",   "compile requests accepted by the router front-end")                     \
+  X(router_responses_ok,     "router.responses_ok",     "requests",   "routed requests answered with a schedule")                              \
+  X(router_responses_error,  "router.responses_error",  "requests",   "routed requests answered with a structured error")                      \
+  X(router_retries,          "router.retries",          "requests",   "overload-driven re-sends to the same backend after sleeping its retry_after_ms hint") \
+  X(router_hedges,           "router.hedges",           "requests",   "requests moved to the next ring replica after the preferred shard stayed saturated or failed") \
+  X(router_transport_errors, "router.transport_errors", "errors",     "backend connect/send/recv failures observed while forwarding")          \
+  X(router_ejections,        "router.ejections",        "backends",   "backends ejected from rotation after consecutive health-probe failures") \
+  X(router_readmissions,     "router.readmissions",     "backends",   "ejected backends readmitted after a successful health probe")           \
+  X(router_probes,           "router.probes",           "probes",     "HEALTH probes issued by the background prober")                         \
+  X(router_probe_failures,   "router.probe_failures",   "probes",     "HEALTH probes that failed (connect error, timeout, or malformed reply)") \
+  X(router_no_backend,       "router.no_backend",       "requests",   "requests failed because every candidate backend was ejected or unreachable")
 
 /// X(field, name, unit, description) — fixed-bucket histograms
 /// (buckets 0, 1, 2, 3, 4-7, 8-15, 16-31, 32+).
@@ -91,7 +105,9 @@ namespace tms::obs {
   X(serve_latency_queue_wait, "serve.latency.queue_wait", "us",       "per-request wait between admission and the compile worker picking it up") \
   X(serve_latency_schedule,   "serve.latency.schedule",   "us",       "per-request scheduling time (cache lookup plus any fresh scheduling pass)") \
   X(serve_latency_validate,   "serve.latency.validate",   "us",       "per-request independent-validator time")                                \
-  X(serve_latency_total,      "serve.latency.total",      "us",       "per-request wall time inside CompileService::handle, admission to response")
+  X(serve_latency_total,      "serve.latency.total",      "us",       "per-request wall time inside CompileService::handle, admission to response") \
+  X(router_latency_backend,   "router.latency.backend",   "us",       "per-forward backend round-trip time, all backends (per-backend split in tmsrouter-stats-v1)") \
+  X(router_latency_total,     "router.latency.total",     "us",       "per-request wall time inside Router::handle, arrival to response")
 // clang-format on
 
 class Counter {

@@ -1,0 +1,77 @@
+#include "router/ring.hpp"
+
+#include <algorithm>
+
+#include "driver/schedule_cache.hpp"
+
+namespace tms::router {
+
+namespace {
+
+/// Splitmix64 finalizer. FNV-1a of short, similar strings ("b0#17") is
+/// far from uniform in its high bits, and ring arcs are carved by the
+/// FULL 64-bit value — without this remix a 4-backend/64-vnode ring
+/// hands one backend ~60% of the keyspace (HashRing.BalanceAcrossBackends
+/// pins the fixed spread down). Keys get the same treatment so their
+/// positions are independent of the point positions.
+std::uint64_t remix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t point_hash(const std::string& node, int i) {
+  return remix(driver::ScheduleCache::fnv1a(node + "#" + std::to_string(i)));
+}
+
+}  // namespace
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes < 1 ? 1 : vnodes) {}
+
+void HashRing::add(const std::string& node) {
+  if (node.empty() || contains(node)) return;
+  points_.reserve(points_.size() + static_cast<std::size_t>(vnodes_));
+  for (int i = 0; i < vnodes_; ++i) points_.emplace_back(point_hash(node, i), node);
+  std::sort(points_.begin(), points_.end());
+  ++nodes_;
+}
+
+void HashRing::remove(const std::string& node) {
+  const auto it = std::remove_if(points_.begin(), points_.end(),
+                                 [&](const auto& p) { return p.second == node; });
+  if (it == points_.end()) return;
+  points_.erase(it, points_.end());
+  --nodes_;
+}
+
+bool HashRing::contains(const std::string& node) const {
+  for (const auto& p : points_) {
+    if (p.second == node) return true;
+  }
+  return false;
+}
+
+std::string HashRing::primary(std::uint64_t key) const {
+  const auto owners = successors(key, 1);
+  return owners.empty() ? std::string() : owners.front();
+}
+
+std::vector<std::string> HashRing::successors(std::uint64_t key, std::size_t n) const {
+  std::vector<std::string> out;
+  if (points_.empty() || n == 0) return out;
+  const std::uint64_t h = remix(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, std::string()));
+  const std::size_t want = std::min(n, nodes_);
+  out.reserve(want);
+  for (std::size_t walked = 0; walked < points_.size() && out.size() < want; ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    const std::string& node = it->second;
+    if (std::find(out.begin(), out.end(), node) == out.end()) out.push_back(node);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace tms::router

@@ -1,0 +1,50 @@
+// Consistent-hash ring over tmsd backends, keyed by schedule-cache keys.
+//
+// Each backend contributes `vnodes` points (FNV-1a of "name#i") on a
+// 64-bit ring; a key is routed to the first point clockwise from its
+// (remixed) hash. Virtual nodes smooth the load split, and consistency
+// is the whole reason to bother: adding or removing one backend moves
+// only the keys whose arc it owned — about 1/N of them — so the other
+// shards keep their warm ScheduleCaches (router_test pins this down).
+//
+// The ring itself is static data; membership changes (add/remove) are
+// topology changes. Health-driven ejection is deliberately NOT a ring
+// operation — the Router walks successors() and skips ejected backends,
+// which keeps key movement zero when a backend bounces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tms::router {
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes = 64);
+
+  void add(const std::string& node);
+  void remove(const std::string& node);
+  bool contains(const std::string& node) const;
+
+  /// Distinct backends on the ring.
+  std::size_t size() const { return nodes_; }
+  int vnodes() const { return vnodes_; }
+
+  /// The owning backend for `key` (empty when the ring is empty).
+  std::string primary(std::uint64_t key) const;
+
+  /// Up to `n` distinct backends in ring order starting at the owner.
+  /// Replica 1 is the ring sibling — the hedge target, and the peer a
+  /// shard PEEKs after a topology change moved keys onto it.
+  std::vector<std::string> successors(std::uint64_t key, std::size_t n) const;
+
+ private:
+  int vnodes_;
+  std::size_t nodes_ = 0;
+  /// Sorted by point hash; ties broken by name so the walk is total.
+  std::vector<std::pair<std::uint64_t, std::string>> points_;
+};
+
+}  // namespace tms::router

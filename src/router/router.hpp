@@ -1,0 +1,162 @@
+// The tmsrouter core: shard selection, failover, and health tracking.
+//
+// Router implements serve::Handler, so the tmsrouter daemon is the
+// stock SocketServer transport in front of this class — same framing,
+// same STATS/HEALTH side channels, same drain semantics as tmsd. What
+// it does with a request is route instead of compute:
+//
+//   1. Key the request with driver::ScheduleCache::key — the same
+//      content hash the backends' caches use, so a loop always lands
+//      on the shard whose cache is warm for it.
+//   2. Walk the consistent-hash ring's successors, skipping ejected
+//      backends. Forward to the first candidate.
+//   3. A kOverload answer is retried on the same backend up to
+//      `retries` times (sleeping the backend's own retry_after_ms
+//      hint, clamped); if the shard stays saturated the request hedges
+//      to the next ring replica. Transport failures and kShutdown
+//      (draining backend) hedge immediately.
+//   4. Every candidate exhausted: answer kOverload if any backend said
+//      overload (the cluster is saturated, not broken), else kInternal
+//      with router.no_backend counted.
+//
+// Health: a background prober drives the existing HEALTH verb against
+// every backend each probe_interval_ms (fanned out on a
+// driver::TaskPool so one hung backend cannot stall the sweep). After
+// `eject_after` consecutive failures a backend is ejected — skipped by
+// the ring walk — and one successful probe readmits it. Forward-path
+// transport errors count toward the same consecutive-failure threshold
+// so a killed backend stops receiving traffic within a request or two,
+// not a probe period (tests/router_smoke.sh kills one mid-load and
+// requires zero client-visible failures).
+//
+// Yavits et al. frame why the router publishes what it does: the
+// synchronization (retries, hedges, probe traffic) and communication
+// (per-backend round-trip TimeHistograms vs the shard's own compute
+// time) overheads are exactly what erodes linear multicore scaling, so
+// they are first-class metrics — router.* counters in the registry and
+// a per-backend split in the tmsrouter-stats-v1 snapshot.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/job_pool.hpp"
+#include "machine/machine.hpp"
+#include "obs/counters.hpp"
+#include "router/ring.hpp"
+#include "serve/client.hpp"
+#include "serve/handler.hpp"
+
+namespace tms::router {
+
+struct RouterOptions {
+  /// Backend addresses: a Unix socket path (contains '/') or
+  /// "host:port" for loopback TCP.
+  std::vector<std::string> backends;
+  int vnodes = 64;                    ///< ring points per backend
+  int retries = 2;                    ///< extra same-backend sends on overload
+  int hedges = 2;                     ///< additional ring replicas to try
+  std::int64_t retry_sleep_cap_ms = 200;  ///< clamp on honoured retry_after_ms hints
+  int backend_timeout_ms = 30000;     ///< per-send/recv timeout on forwards
+  std::int64_t probe_interval_ms = 250;
+  int probe_timeout_ms = 2000;
+  int eject_after = 2;                ///< consecutive failures before ejection
+  int probe_threads = 0;              ///< prober fan-out; 0 = min(4, backends)
+  std::int64_t retry_after_ms = 100;  ///< hint on router-minted overload answers
+  std::size_t pool_per_backend = 16;  ///< idle connections kept per backend
+};
+
+class Router : public serve::Handler {
+ public:
+  /// `mach` must outlive the router and must match the backends' model
+  /// (the content key covers the machine description, so a mismatch
+  /// would route consistently but defeat cache affinity).
+  Router(const machine::MachineModel& mach, RouterOptions opts);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Runs one synchronous probe sweep (so a dead backend configured at
+  /// boot is ejected before the first request) and starts the
+  /// background prober. Returns a failure description, or nullopt.
+  std::optional<std::string> start();
+
+  /// Stops the prober and closes pooled connections. Idempotent.
+  void stop();
+
+  /// Refuse new requests from now on (kShutdown), like a draining
+  /// tmsd. STATS/HEALTH/PEEK side channels keep answering.
+  void begin_drain() { draining_.store(true, std::memory_order_release); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  serve::Response handle(const serve::Request& req, std::string_view peer) override;
+  std::string stats_json() const override;
+  std::string health_line() const override;
+  std::int64_t retry_after_ms() const override { return opts_.retry_after_ms; }
+
+  /// Test/introspection hooks.
+  struct BackendSnapshot {
+    std::string address;
+    bool healthy = true;
+    int consecutive_failures = 0;
+    std::uint64_t forwarded = 0;        ///< requests answered by this backend
+    std::uint64_t transport_errors = 0;
+    std::uint64_t latency_count = 0;    ///< forward round trips recorded
+    std::uint64_t latency_sum_us = 0;
+  };
+  std::vector<BackendSnapshot> backends_snapshot() const;
+  std::size_t healthy_count() const;
+  const HashRing& ring() const { return ring_; }
+  /// One synchronous probe sweep (the prober does this on a timer).
+  void probe_now();
+
+ private:
+  struct Backend {
+    std::string address;
+    std::atomic<bool> healthy{true};
+    std::atomic<int> consecutive_failures{0};
+    std::atomic<std::uint64_t> forwarded{0};
+    std::atomic<std::uint64_t> transport_errors{0};
+    obs::TimeHistogram latency;
+    std::mutex pool_mu;
+    std::vector<std::unique_ptr<serve::Client>> idle;
+  };
+
+  Backend* backend(const std::string& address);
+  const Backend* backend(const std::string& address) const;
+  /// One forward on one backend; a stale pooled connection gets one
+  /// fresh-connection retry before the error counts as a failure.
+  std::optional<serve::Response> forward(Backend& b, const serve::Request& req);
+  std::unique_ptr<serve::Client> acquire(Backend& b, std::string* error);
+  void release(Backend& b, std::unique_ptr<serve::Client> client);
+  void mark_failure(Backend& b);
+  void mark_success(Backend& b);
+  bool probe_one(Backend& b);
+  void prober_loop();
+
+  const machine::MachineModel& mach_;
+  RouterOptions opts_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  /// Probe fan-out (declared after backends_: destroyed, and therefore
+  /// drained, first).
+  std::unique_ptr<driver::TaskPool> probe_pool_;
+  std::atomic<bool> draining_{false};
+  const std::chrono::steady_clock::time_point started_;
+
+  std::mutex prober_mu_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
+};
+
+}  // namespace tms::router

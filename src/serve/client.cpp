@@ -162,6 +162,22 @@ std::optional<std::string> Client::stats(std::string& out_json) {
   return std::nullopt;
 }
 
+std::optional<std::string> Client::peek(const PeekQuery& q,
+                                        std::optional<driver::ScheduleCache::Entry>& out) {
+  auto result = roundtrip(FrameType::kPeek, serialise_peek(q));
+  if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);
+  const Frame& frame = std::get<Frame>(result);
+  if (frame.type != FrameType::kPeekReply) {
+    return std::string("unexpected frame type ") + std::string(to_string(frame.type));
+  }
+  auto parsed = parse_peek_reply(frame.payload);
+  if (auto* err = std::get_if<std::string>(&parsed)) {
+    return "bad peek-reply payload: " + *err;
+  }
+  out = std::get<std::optional<driver::ScheduleCache::Entry>>(std::move(parsed));
+  return std::nullopt;
+}
+
 std::optional<std::string> Client::health(std::string& out_line) {
   auto result = roundtrip(FrameType::kHealth, {});
   if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);

@@ -14,6 +14,7 @@
 #include <variant>
 
 #include "serve/frame.hpp"
+#include "serve/handler.hpp"
 #include "serve/message.hpp"
 
 namespace tms::serve {
@@ -57,6 +58,12 @@ class Client {
 
   /// HEALTH round trip: fills `out_line` with the one-line summary.
   std::optional<std::string> health(std::string& out_line);
+
+  /// PEEK round trip (cache peer-fill): fills `out` with the entry on a
+  /// hit, nullopt on a miss. Returns a failure description for
+  /// transport or protocol errors — which callers treat as a miss.
+  std::optional<std::string> peek(const PeekQuery& q,
+                                  std::optional<driver::ScheduleCache::Entry>& out);
 
  private:
   std::variant<Frame, std::string> roundtrip(FrameType type, std::string_view payload);

@@ -6,7 +6,7 @@ namespace tms::serve {
 
 bool frame_type_known(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kHealthReply);
+         t <= static_cast<std::uint8_t>(FrameType::kPeekReply);
 }
 
 std::string_view to_string(FrameType t) {
@@ -19,6 +19,8 @@ std::string_view to_string(FrameType t) {
     case FrameType::kStatsReply: return "stats-reply";
     case FrameType::kHealth: return "health";
     case FrameType::kHealthReply: return "health-reply";
+    case FrameType::kPeek: return "peek";
+    case FrameType::kPeekReply: return "peek-reply";
   }
   return "?";
 }

@@ -44,6 +44,12 @@ enum class FrameType : std::uint8_t {
   kStatsReply = 6,   ///< server -> client: canonical-JSON snapshot payload
   kHealth = 7,       ///< client -> server: health probe, empty payload
   kHealthReply = 8,  ///< server -> client: one-line health summary payload
+  // Cache peer-fill side channel (docs/ROUTING.md). Same contract as
+  // STATS/HEALTH (5..8): never queued, answered even while draining. A
+  // PEEK asks "do you hold this schedule-cache key?"; the reply carries
+  // the cached entry or a miss, and the asked shard never recomputes.
+  kPeek = 9,         ///< client -> server: tmsq-peek-v1 cache probe payload
+  kPeekReply = 10,   ///< server -> client: tmsq-peek-reply-v1 hit/miss payload
 };
 
 bool frame_type_known(std::uint8_t t);

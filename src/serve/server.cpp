@@ -43,8 +43,8 @@ bool send_frame(int fd, FrameType type, std::string_view payload) {
 
 }  // namespace
 
-SocketServer::SocketServer(CompileService& service, ServerOptions opts)
-    : service_(service), opts_(std::move(opts)) {}
+SocketServer::SocketServer(Handler& handler, ServerOptions opts)
+    : handler_(handler), opts_(std::move(opts)) {}
 
 SocketServer::~SocketServer() { drain(); }
 
@@ -170,7 +170,7 @@ void SocketServer::accept_loop() {
         obs::counters().serve_rejected_overload.add(1);
         const Response err =
             make_error(0, ErrorCode::kOverload, "connection limit reached",
-                       service_.options().retry_after_ms);
+                       handler_.retry_after_ms());
         send_frame(fd, FrameType::kResponse, serialise_response(err));
         ::shutdown(fd, SHUT_RDWR);
         ::close(fd);
@@ -262,10 +262,17 @@ bool SocketServer::handle_frame(int fd, const Frame& frame, const std::string& p
       // while the service drains — the monitoring path must not die
       // first during shutdown.
       obs::counters().serve_stats_requests.add(1);
-      return send_frame(fd, FrameType::kStatsReply, service_.stats_json());
+      return send_frame(fd, FrameType::kStatsReply, handler_.stats_json());
     case FrameType::kHealth:
       obs::counters().serve_stats_requests.add(1);
-      return send_frame(fd, FrameType::kHealthReply, service_.health_line());
+      return send_frame(fd, FrameType::kHealthReply, handler_.health_line());
+    case FrameType::kPeek:
+      // Cache peer-fill probe: same side-channel contract as
+      // STATS/HEALTH — answered from the cache on this thread, never
+      // queued behind compile work, and still answered while draining
+      // (a sibling mid-drain is exactly when its cache is warmest).
+      obs::counters().serve_peek_requests.add(1);
+      return send_frame(fd, FrameType::kPeekReply, handler_.peek_reply(frame.payload));
     case FrameType::kRequest: {
       auto parsed = parse_request(frame.payload);
       if (const auto* err = std::get_if<std::string>(&parsed)) {
@@ -275,13 +282,14 @@ bool SocketServer::handle_frame(int fd, const Frame& frame, const std::string& p
         const Response resp = make_error(0, ErrorCode::kParse, *err);
         return send_frame(fd, FrameType::kResponse, serialise_response(resp));
       }
-      const Response resp = service_.handle(std::get<Request>(parsed), peer);
+      const Response resp = handler_.handle(std::get<Request>(parsed), peer);
       return send_frame(fd, FrameType::kResponse, serialise_response(resp));
     }
     case FrameType::kResponse:
     case FrameType::kPong:
     case FrameType::kStatsReply:
     case FrameType::kHealthReply:
+    case FrameType::kPeekReply:
       // Clients must not send server-direction frames.
       obs::counters().serve_rejected_malformed.add(1);
       const Response resp =

@@ -1,12 +1,13 @@
-// The tmsd transport: sockets, connections, and graceful drain.
+// The tmsd/tmsrouter transport: sockets, connections, graceful drain.
 //
 // SocketServer owns the listening sockets (a Unix-domain socket always;
 // a loopback TCP socket when asked) and one thread per live connection.
 // It is a thin shell: every byte that arrives goes through FrameReader,
 // every complete request frame through message.hpp's strict parser, and
-// every parsed request through CompileService::handle() — the server
-// adds only what a transport must: accept limits, idle timeouts, and
-// orderly shutdown.
+// every parsed request through Handler::handle() — the server adds
+// only what a transport must: accept limits, idle timeouts, and
+// orderly shutdown. The Handler seam is what tmsd (CompileService) and
+// tmsrouter (router::Router) share.
 //
 // Robustness contract (exercised by tests/serve_smoke.sh):
 //   - over max_connections, a new connection is accepted, answered with
@@ -33,7 +34,7 @@
 #include <thread>
 
 #include "serve/frame.hpp"
-#include "serve/service.hpp"
+#include "serve/handler.hpp"
 
 namespace tms::serve {
 
@@ -46,8 +47,8 @@ struct ServerOptions {
 
 class SocketServer {
  public:
-  /// `service` must outlive the server.
-  SocketServer(CompileService& service, ServerOptions opts);
+  /// `handler` must outlive the server.
+  SocketServer(Handler& handler, ServerOptions opts);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -58,9 +59,9 @@ class SocketServer {
   std::optional<std::string> start();
 
   /// Stop accepting, finish in-flight requests, join every thread.
-  /// Idempotent. Does not touch the CompileService — the caller decides
-  /// when to drain that (tmsd drains the transport first, then the
-  /// service, so admitted work always completes).
+  /// Idempotent. Does not touch the handler — the caller decides when
+  /// to drain that (tmsd drains the transport first, then the service,
+  /// so admitted work always completes).
   void drain();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -86,7 +87,7 @@ class SocketServer {
   bool handle_frame(int fd, const Frame& frame, const std::string& peer);
   void reap_finished(bool join_all);
 
-  CompileService& service_;
+  Handler& handler_;
   ServerOptions opts_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};

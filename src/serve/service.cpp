@@ -120,6 +120,18 @@ std::string CompileService::stats_json() const {
   return w.str();
 }
 
+std::string CompileService::peek_reply(std::string_view payload) {
+  // A malformed probe gets a well-formed miss rather than a protocol
+  // error: the asking shard treats every non-hit identically (it just
+  // recomputes), so there is nothing useful to signal.
+  auto parsed = parse_peek(payload);
+  if (std::holds_alternative<std::string>(parsed) || cache_ == nullptr) {
+    return serialise_peek_reply(std::nullopt);
+  }
+  const PeekQuery& q = std::get<PeekQuery>(parsed);
+  return serialise_peek_reply(cache_->lookup(q.key, q.expect_instrs));
+}
+
 std::string CompileService::health_line() const {
   const bool d = draining();
   std::string out = d ? "draining" : "ok";
@@ -294,6 +306,22 @@ Response CompileService::compile(const Request& req, const std::string& request_
     }
     obs::counters().driver_cache_hits.add(sl.has_value() ? 1 : 0);
     obs::counters().driver_cache_misses.add(sl.has_value() ? 0 : 1);
+  }
+  // Local miss: before paying for a fresh scheduling pass, ask ring
+  // siblings whether one of them already computed this key (PEEK). A
+  // peer hit behaves exactly like a local cache hit — re-validated
+  // below, inserted locally so the next miss is local-warm.
+  if (!sl.has_value() && cache_ != nullptr && opts_.peer_fill) {
+    if (const auto entry = opts_.peer_fill(key, req.loop.num_instrs())) {
+      sl = from_cache(req.loop, mach_, *entry);
+    }
+    if (sl.has_value()) {
+      resp.cache_hit = true;
+      cache_->insert(key, to_entry(*sl, req.scheduler));
+      obs::counters().serve_peer_fill_hits.add(1);
+    } else {
+      obs::counters().serve_peer_fill_misses.add(1);
+    }
   }
   if (!sl.has_value()) {
     sl = schedule_fresh(req.loop, mach_, cfg, req.scheduler);

@@ -27,17 +27,29 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "driver/job_pool.hpp"
 #include "driver/schedule_cache.hpp"
 #include "machine/machine.hpp"
+#include "serve/handler.hpp"
 #include "serve/message.hpp"
 
 namespace tms::serve {
+
+/// Cache peer-fill hook: given a schedule-cache key and the expected
+/// slot count, ask ring siblings (via Client::peek) whether one of them
+/// already holds the entry. Called on compile workers, concurrently;
+/// must be thread-safe. nullopt = no sibling had it (or none are
+/// configured), and the shard schedules fresh as before.
+using PeerFillFn =
+    std::function<std::optional<driver::ScheduleCache::Entry>(std::uint64_t key,
+                                                              int expect_instrs)>;
 
 struct ServiceOptions {
   int threads = 0;                  ///< compile workers; 0 = hardware_concurrency
@@ -50,9 +62,13 @@ struct ServiceOptions {
   std::int64_t slow_ms = -1;
   /// Destination for slow-request lines; nullptr = stderr. Not owned.
   std::FILE* slow_log = nullptr;
+  /// Consulted on a local cache miss, before scheduling fresh. A hit is
+  /// validated exactly like a local cache hit and inserted into the
+  /// local cache (counted in serve.peer_fill_hits / _misses).
+  PeerFillFn peer_fill;
 };
 
-class CompileService {
+class CompileService : public Handler {
  public:
   /// `mach` must outlive the service; `cache` may be null (no caching)
   /// and is shared — the whole point — so it must outlive the service
@@ -67,7 +83,7 @@ class CompileService {
   /// feeds the slow-request log. The response always carries the
   /// request's request_id, or a server-minted "srv-<n>" when the client
   /// sent none.
-  Response handle(const Request& req, std::string_view peer = {});
+  Response handle(const Request& req, std::string_view peer = {}) override;
 
   /// Refuse new compile requests from now on; in-flight requests
   /// complete. STATS/HEALTH snapshots keep being answered.
@@ -87,11 +103,18 @@ class CompileService {
   /// uptime/queue/in-flight/drain gauges, and the full counter-registry
   /// snapshot under "observability". Cheap (no compile work, never
   /// queued) and answered even while draining.
-  std::string stats_json() const;
+  std::string stats_json() const override;
 
   /// The HEALTH payload: one line, first token "ok" or "draining",
   /// then `uptime_ms=N queue_depth=N in_flight=N draining=0|1`.
-  std::string health_line() const;
+  std::string health_line() const override;
+
+  /// The PEEK_REPLY payload: a pure cache lookup (hit or miss), never
+  /// compile work — a peer's probe must not recurse into peer-fill or
+  /// scheduling. Malformed probes answer a well-formed miss.
+  std::string peek_reply(std::string_view payload) override;
+
+  std::int64_t retry_after_ms() const override { return opts_.retry_after_ms; }
 
   /// Test hook: the underlying pool, for deterministically occupying
   /// workers (see tests/serve_test.cpp).

@@ -1,0 +1,205 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the tmsrouter sharded cluster (ISSUE acceptance,
+# run in CI under TSan/ASan/UBSan):
+#
+#   1. topology: four real tmsd backends (each with its own cache and
+#      all-to-all --peer wiring) behind one tmsrouter;
+#   2. routed == local: tmsq --router output matches `tmsc --render
+#      flat`, and the request_id echo survives the extra hop;
+#   3. peer-fill: warm one backend directly, route the same loops
+#      through the router — whichever shard owns them either has them
+#      or fills from the warm sibling; the cluster-wide
+#      serve.peer_fill_hits counter must move;
+#   4. failover: kill -9 one backend mid-load — the prober ejects it,
+#      in-flight and subsequent requests reroute, and the verified
+#      loadgen run finishes with ZERO failed requests;
+#   5. drain: SIGTERM stops the router cleanly (exit 0) and the exit
+#      summary shows the ejection.
+#
+# Usage: router_smoke.sh TMSD TMSROUTER TMSQ LOADGEN TMSC LOOPS_DIR
+set -u
+
+if [ "$#" -ne 6 ]; then
+  echo "usage: $0 TMSD TMSROUTER TMSQ LOADGEN TMSC LOOPS_DIR" >&2
+  exit 2
+fi
+TMSD=$1 TMSROUTER=$2 TMSQ=$3 LOADGEN=$4 TMSC=$5 LOOPS_DIR=$6
+
+# Relative workdir: short socket paths sidestep the sun_path limit.
+WORK=$(mktemp -d router_smoke.XXXXXX) || exit 1
+BACKENDS=4
+declare -a BACKEND_PIDS
+ROUTER_PID=""
+
+fail=0
+note() { echo "router_smoke: $*"; }
+flunk() {
+  echo "router_smoke: FAIL: $*" >&2
+  fail=1
+}
+
+cleanup() {
+  if [ -n "$ROUTER_PID" ] && kill -0 "$ROUTER_PID" 2>/dev/null; then
+    kill -KILL "$ROUTER_PID" 2>/dev/null
+    wait "$ROUTER_PID" 2>/dev/null
+  fi
+  for pid in "${BACKEND_PIDS[@]:-}"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -KILL "$pid" 2>/dev/null
+      wait "$pid" 2>/dev/null
+    fi
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_ready() {  # wait_ready SOCKET PID LOG
+  local socket=$1 pid=$2 log=$3
+  for _ in $(seq 1 100); do
+    if "$TMSQ" --socket "$socket" --ping --timeout-ms 2000 >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+      flunk "process on $socket died during startup; log follows"
+      cat "$log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  flunk "$socket never became ready"
+  return 1
+}
+
+# ------------------------------------------------------- phase 1: topology
+note "starting $BACKENDS tmsd backends with all-to-all peer wiring"
+for i in $(seq 0 $((BACKENDS - 1))); do
+  peers=()
+  for j in $(seq 0 $((BACKENDS - 1))); do
+    [ "$j" -ne "$i" ] && peers+=(--peer "$WORK/b$j.sock")
+  done
+  "$TMSD" --socket "$WORK/b$i.sock" --threads 1 --counters \
+    "${peers[@]}" >"$WORK/b$i.log" 2>&1 &
+  BACKEND_PIDS[$i]=$!
+done
+for i in $(seq 0 $((BACKENDS - 1))); do
+  wait_ready "$WORK/b$i.sock" "${BACKEND_PIDS[$i]}" "$WORK/b$i.log" || exit 1
+done
+
+note "starting tmsrouter in front"
+"$TMSROUTER" --socket "$WORK/router.sock" \
+  --backend "$WORK/b0.sock" --backend "$WORK/b1.sock" \
+  --backend "$WORK/b2.sock" --backend "$WORK/b3.sock" \
+  --probe-interval-ms 100 --counters >"$WORK/router.log" 2>&1 &
+ROUTER_PID=$!
+wait_ready "$WORK/router.sock" "$ROUTER_PID" "$WORK/router.log" || exit 1
+
+# -------------------------------------------- phase 2: routed == local + id
+note "checking routed == local for every example loop (+ id echo)"
+loops=0
+for loop in "$LOOPS_DIR"/*.loop; do
+  [ -e "$loop" ] || continue
+  loops=$((loops + 1))
+  if ! "$TMSQ" --router "$WORK/router.sock" "$loop" --quiet \
+       --request-id "rs-$loops" >"$WORK/remote.txt" 2>&1; then
+    flunk "tmsq --router failed on $loop: $(cat "$WORK/remote.txt")"
+    continue
+  fi
+  "$TMSC" "$loop" --render flat | grep -v "^TMS thresholds:" >"$WORK/local.txt"
+  if ! diff -u "$WORK/local.txt" "$WORK/remote.txt" >"$WORK/diff.txt"; then
+    flunk "routed schedule differs from local for $loop"
+    cat "$WORK/diff.txt" >&2
+  fi
+done
+if [ "$loops" -eq 0 ]; then
+  flunk "no .loop files found in $LOOPS_DIR"
+else
+  note "verified $loops loops routed == local"
+fi
+
+# ------------------------------------------------------ phase 3: peer-fill
+# Warm backend 0 directly with every example loop, then route the same
+# loops through the router. Any loop whose ring owner is NOT backend 0
+# misses locally and peer-fills from it.
+note "peer-fill: warming b0 directly, then routing the same loops"
+for loop in "$LOOPS_DIR"/*.loop; do
+  [ -e "$loop" ] || continue
+  "$TMSQ" --socket "$WORK/b0.sock" "$loop" --quiet >/dev/null 2>&1 \
+    || flunk "direct warm of b0 failed on $loop"
+done
+for loop in "$LOOPS_DIR"/*.loop; do
+  [ -e "$loop" ] || continue
+  "$TMSQ" --router "$WORK/router.sock" "$loop" --quiet >/dev/null 2>&1 \
+    || flunk "routed request failed on $loop"
+done
+
+# --------------------------------------------- phase 4: failover under load
+note "load: 4 clients x 800 verified requests (paced ~1.5s), killing b1 mid-run"
+"$LOADGEN" --socket "$WORK/router.sock" --clients 4 --requests 800 --qps 500 \
+  --verify --json "$WORK/loadgen.json" >"$WORK/loadgen.txt" 2>&1 &
+LOADGEN_PID=$!
+sleep 0.4
+note "kill -9 backend b1 (${BACKEND_PIDS[1]})"
+kill -KILL "${BACKEND_PIDS[1]}" 2>/dev/null
+wait "${BACKEND_PIDS[1]}" 2>/dev/null
+BACKEND_PIDS[1]=""
+if ! wait "$LOADGEN_PID"; then
+  flunk "loadgen failed across the backend kill; output follows"
+  cat "$WORK/loadgen.txt" >&2
+fi
+if grep -q '"failed":0' "$WORK/loadgen.json" 2>/dev/null; then
+  note "zero failed requests across the kill"
+else
+  flunk "loadgen reported failed requests (want 0)"
+  cat "$WORK/loadgen.json" >&2 || true
+fi
+
+# ----------------------------------------------------------- phase 5: drain
+note "draining the router with SIGTERM"
+kill -TERM "$ROUTER_PID" 2>/dev/null
+wait "$ROUTER_PID"
+code=$?
+ROUTER_PID=""
+if [ "$code" -ne 0 ]; then
+  flunk "router SIGTERM drain exited $code (want 0); log follows"
+  cat "$WORK/router.log" >&2
+fi
+if ! grep -q "drained" "$WORK/router.log"; then
+  flunk "drain message missing from router log"
+fi
+# The dead backend must show up ejected in the exit summary, and the
+# ejection counter must have moved.
+if ! grep -q "b1.sock: ejected" "$WORK/router.log"; then
+  flunk "router exit summary does not show b1 ejected; log follows"
+  cat "$WORK/router.log" >&2
+fi
+if ! grep -qE "router\.ejections +[1-9]" "$WORK/router.log"; then
+  flunk "router.ejections counter did not move"
+fi
+
+# Backends drain cleanly too; their counter dumps carry the peer-fill
+# evidence: at least one shard must have answered a PEEK with a hit.
+note "draining the backends"
+total_hits=0
+for i in 0 2 3; do
+  kill -TERM "${BACKEND_PIDS[$i]}" 2>/dev/null
+  wait "${BACKEND_PIDS[$i]}"
+  code=$?
+  BACKEND_PIDS[$i]=""
+  if [ "$code" -ne 0 ]; then
+    flunk "backend b$i SIGTERM drain exited $code (want 0)"
+    cat "$WORK/b$i.log" >&2
+  fi
+  hits=$(grep -oE "serve\.peer_fill_hits +[0-9]+" "$WORK/b$i.log" | grep -oE "[0-9]+$" || echo 0)
+  total_hits=$((total_hits + ${hits:-0}))
+done
+if [ "$total_hits" -gt 0 ]; then
+  note "peer-fill hits across surviving shards: $total_hits"
+else
+  flunk "no serve.peer_fill_hits anywhere (want > 0); backend logs follow"
+  for i in 0 2 3; do cat "$WORK/b$i.log" >&2; done
+fi
+
+if [ "$fail" -eq 0 ]; then
+  note "PASS"
+fi
+exit "$fail"

@@ -1,0 +1,383 @@
+// Router subsystem tests: consistent-hash ring stability and balance,
+// the PEEK peer-fill codec and its socket side channel, the in-process
+// LocalCluster end to end (verified schedules, peer-fill hit counting),
+// and health-driven ejection routing around a dead backend. The
+// real-process version of the failover story (kill -9 under load) lives
+// in tests/router_smoke.sh.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "driver/schedule_cache.hpp"
+#include "machine/machine.hpp"
+#include "machine/spmt_config.hpp"
+#include "obs/counters.hpp"
+#include "router/cluster.hpp"
+#include "router/ring.hpp"
+#include "router/router.hpp"
+#include "sched/tms.hpp"
+#include "serve/client.hpp"
+#include "serve/handler.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "workloads/kernels.hpp"
+
+namespace tms {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic pseudo-random keys (splitmix64 stream).
+std::vector<std::uint64_t> test_keys(std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    keys.push_back(z ^ (z >> 31));
+  }
+  return keys;
+}
+
+// ---- ring ----------------------------------------------------------------
+
+TEST(HashRing, AddMovesOnlyNewOwnersShare) {
+  router::HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("b" + std::to_string(i));
+  const std::vector<std::uint64_t> keys = test_keys(4096);
+
+  std::map<std::uint64_t, std::string> before;
+  for (std::uint64_t k : keys) before[k] = ring.primary(k);
+
+  ring.add("b4");
+  std::size_t moved = 0;
+  for (std::uint64_t k : keys) {
+    const std::string now = ring.primary(k);
+    if (now != before[k]) {
+      ++moved;
+      // Consistency: a key may only move TO the new backend.
+      EXPECT_EQ(now, "b4") << "key moved between pre-existing backends";
+    }
+  }
+  // Expected share is 1/5; allow generous slack around it, but a naive
+  // mod-N rehash would move ~4/5 of the keys and must fail here.
+  EXPECT_GT(moved, keys.size() / 20);
+  EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(HashRing, RemoveMovesOnlyOrphanedKeys) {
+  router::HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("b" + std::to_string(i));
+  const std::vector<std::uint64_t> keys = test_keys(4096);
+
+  std::map<std::uint64_t, std::string> before;
+  for (std::uint64_t k : keys) before[k] = ring.primary(k);
+
+  ring.remove("b2");
+  EXPECT_FALSE(ring.contains("b2"));
+  for (std::uint64_t k : keys) {
+    const std::string now = ring.primary(k);
+    if (before[k] == "b2") {
+      EXPECT_NE(now, "b2");
+    } else {
+      // Every key b2 did not own keeps its warm shard.
+      EXPECT_EQ(now, before[k]);
+    }
+  }
+}
+
+TEST(HashRing, BalanceAcrossBackends) {
+  router::HashRing ring;
+  const int n = 4;
+  for (int i = 0; i < n; ++i) ring.add("b" + std::to_string(i));
+  std::map<std::string, std::size_t> share;
+  const std::vector<std::uint64_t> keys = test_keys(16384);
+  for (std::uint64_t k : keys) ++share[ring.primary(k)];
+  ASSERT_EQ(share.size(), static_cast<std::size_t>(n));
+  for (const auto& [node, count] : share) {
+    const double frac = static_cast<double>(count) / static_cast<double>(keys.size());
+    EXPECT_GT(frac, 0.10) << node << " is starved";
+    EXPECT_LT(frac, 0.45) << node << " is overloaded";
+  }
+}
+
+TEST(HashRing, SuccessorsAreDistinctAndStartAtPrimary) {
+  router::HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.add("b" + std::to_string(i));
+  for (std::uint64_t k : test_keys(64)) {
+    const auto succ = ring.successors(k, 4);
+    ASSERT_EQ(succ.size(), 4u);
+    EXPECT_EQ(succ.front(), ring.primary(k));
+    std::set<std::string> uniq(succ.begin(), succ.end());
+    EXPECT_EQ(uniq.size(), succ.size());
+  }
+}
+
+TEST(HashRing, EmptyAndSingleNode) {
+  router::HashRing ring;
+  EXPECT_EQ(ring.primary(1234), "");
+  EXPECT_TRUE(ring.successors(1234, 3).empty());
+  ring.add("only");
+  EXPECT_EQ(ring.primary(1234), "only");
+  const auto succ = ring.successors(1234, 3);
+  ASSERT_EQ(succ.size(), 1u);
+  EXPECT_EQ(succ.front(), "only");
+}
+
+// ---- PEEK codec ----------------------------------------------------------
+
+TEST(PeekCodec, QueryRoundTrip) {
+  serve::PeekQuery q;
+  q.key = 0x0123456789abcdefull;
+  q.expect_instrs = 17;
+  const auto parsed = serve::parse_peek(serve::serialise_peek(q));
+  const auto* back = std::get_if<serve::PeekQuery>(&parsed);
+  ASSERT_NE(back, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(back->key, q.key);
+  EXPECT_EQ(back->expect_instrs, q.expect_instrs);
+}
+
+TEST(PeekCodec, MalformedQueryIsAnError) {
+  for (const char* bad : {"not-a-peek\n", "tmsq-peek-v1\nkey zz\n", ""}) {
+    const auto parsed = serve::parse_peek(bad);
+    EXPECT_NE(std::get_if<std::string>(&parsed), nullptr) << "accepted: " << bad;
+  }
+}
+
+TEST(PeekCodec, ReplyRoundTripHit) {
+  driver::ScheduleCache::Entry e;
+  e.scheduler = "tms";
+  e.ii = 7;
+  e.mii = 5;
+  e.c_delay_threshold = 3;
+  e.p_max = 2.5;
+  e.slots = {0, 1, 2, 5, 9};
+  const auto parsed = serve::parse_peek_reply(serve::serialise_peek_reply(e));
+  const auto* opt = std::get_if<std::optional<driver::ScheduleCache::Entry>>(&parsed);
+  ASSERT_NE(opt, nullptr) << std::get<std::string>(parsed);
+  ASSERT_TRUE(opt->has_value());
+  EXPECT_EQ((*opt)->scheduler, "tms");
+  EXPECT_EQ((*opt)->ii, 7);
+  EXPECT_EQ((*opt)->mii, 5);
+  EXPECT_EQ((*opt)->c_delay_threshold, 3);
+  EXPECT_DOUBLE_EQ((*opt)->p_max, 2.5);
+  EXPECT_EQ((*opt)->slots, (std::vector<int>{0, 1, 2, 5, 9}));
+}
+
+TEST(PeekCodec, ReplyRoundTripMiss) {
+  const auto parsed = serve::parse_peek_reply(serve::serialise_peek_reply(std::nullopt));
+  const auto* opt = std::get_if<std::optional<driver::ScheduleCache::Entry>>(&parsed);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_FALSE(opt->has_value());
+}
+
+TEST(PeekCodec, MalformedProbeGetsWellFormedMissFromService) {
+  const machine::MachineModel mach;
+  driver::ScheduleCache cache(64);
+  serve::CompileService service(mach, &cache, serve::ServiceOptions{});
+  // A garbage probe must never crash the side channel — the contract is
+  // a well-formed miss, so broken peers degrade to a recompute.
+  const auto parsed = serve::parse_peek_reply(service.peek_reply("complete garbage"));
+  const auto* opt = std::get_if<std::optional<driver::ScheduleCache::Entry>>(&parsed);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_FALSE(opt->has_value());
+  service.shutdown();
+}
+
+// ---- PEEK over a real socket ---------------------------------------------
+
+class RouterSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "router_test." + std::to_string(::getpid());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(RouterSocketTest, PeekHitAndMissOverSocket) {
+  const machine::MachineModel mach;
+  driver::ScheduleCache cache(1 << 10);
+  serve::CompileService service(mach, &cache, serve::ServiceOptions{});
+  serve::ServerOptions sopts;
+  sopts.unix_path = dir_ + "/peek.sock";
+  serve::SocketServer server(service, sopts);
+  ASSERT_FALSE(server.start().has_value());
+
+  std::vector<workloads::Kernel> kernels = workloads::classic_kernels();
+  const ir::Loop& loop = kernels.front().loop;
+
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(sopts.unix_path).has_value());
+  serve::Request req;
+  req.id = 1;
+  req.scheduler = "tms";
+  req.loop = loop;
+  const auto resp = client.compile(req);
+  const auto* ok = std::get_if<serve::Response>(&resp);
+  ASSERT_NE(ok, nullptr);
+  ASSERT_TRUE(ok->ok);
+
+  // The compile populated the cache; a PEEK for its key must hit and
+  // carry the same schedule.
+  machine::SpmtConfig cfg;
+  cfg.ncore = req.ncore;
+  serve::PeekQuery q;
+  q.key = driver::ScheduleCache::key(loop, mach, cfg, "tms");
+  q.expect_instrs = loop.num_instrs();
+  std::optional<driver::ScheduleCache::Entry> entry;
+  ASSERT_FALSE(client.peek(q, entry).has_value());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->ii, ok->ii);
+  EXPECT_EQ(entry->slots, ok->slots);
+
+  // Unknown key: well-formed miss.
+  q.key ^= 0xdeadbeefull;
+  entry.reset();
+  ASSERT_FALSE(client.peek(q, entry).has_value());
+  EXPECT_FALSE(entry.has_value());
+
+  client.close();
+  server.drain();
+  service.shutdown();
+}
+
+// ---- LocalCluster end to end ---------------------------------------------
+
+TEST_F(RouterSocketTest, ClusterServesVerifiedSchedules) {
+  const machine::MachineModel mach;
+  router::LocalClusterOptions opts;
+  opts.backends = 2;
+  opts.dir = dir_;
+  router::LocalCluster lc(mach, opts);
+  ASSERT_FALSE(lc.start().has_value());
+
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(lc.router_socket()).has_value());
+  const machine::SpmtConfig cfg;
+  std::uint64_t id = 0;
+  for (workloads::Kernel& k : workloads::classic_kernels()) {
+    serve::Request req;
+    req.id = ++id;
+    req.request_id = "rt-" + std::to_string(id);
+    req.scheduler = "tms";
+    req.loop = k.loop;
+    const auto resp = client.compile(req);
+    const auto* ok = std::get_if<serve::Response>(&resp);
+    ASSERT_NE(ok, nullptr) << std::get<std::string>(resp);
+    ASSERT_TRUE(ok->ok) << ok->message;
+    // The id survives the extra hop verbatim.
+    EXPECT_EQ(ok->request_id, req.request_id);
+    // Deterministic schedulers: the routed answer equals a local run.
+    const auto local = sched::tms_schedule(k.loop, mach, cfg);
+    ASSERT_TRUE(local.has_value());
+    EXPECT_EQ(ok->ii, local->schedule.ii());
+    for (int v = 0; v < k.loop.num_instrs(); ++v) {
+      EXPECT_EQ(ok->slots[static_cast<std::size_t>(v)], local->schedule.slot(v));
+    }
+  }
+  client.close();
+  lc.stop();
+}
+
+TEST_F(RouterSocketTest, PeerFillServesWarmSiblingEntry) {
+  const machine::MachineModel mach;
+  router::LocalClusterOptions opts;
+  opts.backends = 2;
+  opts.dir = dir_;
+  opts.peer_fill = true;
+  router::LocalCluster lc(mach, opts);
+  ASSERT_FALSE(lc.start().has_value());
+
+  std::vector<workloads::Kernel> kernels = workloads::classic_kernels();
+  const std::uint64_t hits_before = obs::counters().serve_peer_fill_hits.value();
+
+  // Warm shard 0 directly, then ask shard 1 directly for the same loop:
+  // shard 1 misses its own cache and must fill from its sibling.
+  for (int shard = 0; shard < 2; ++shard) {
+    serve::Client client;
+    ASSERT_FALSE(client.connect_unix(lc.backend_socket(shard)).has_value());
+    serve::Request req;
+    req.id = static_cast<std::uint64_t>(shard) + 1;
+    req.scheduler = "tms";
+    req.loop = kernels.front().loop;
+    const auto resp = client.compile(req);
+    const auto* ok = std::get_if<serve::Response>(&resp);
+    ASSERT_NE(ok, nullptr);
+    ASSERT_TRUE(ok->ok);
+    if (shard == 1) {
+      // Served from the sibling's cache: flagged as a hit even though
+      // this shard had never seen the loop.
+      EXPECT_TRUE(ok->cache_hit);
+    }
+    client.close();
+  }
+  EXPECT_GT(obs::counters().serve_peer_fill_hits.value(), hits_before);
+  lc.stop();
+}
+
+// ---- ejection ------------------------------------------------------------
+
+TEST_F(RouterSocketTest, EjectionRoutesAroundDeadBackend) {
+  const machine::MachineModel mach;
+
+  // One real backend, one address nobody listens on.
+  serve::CompileService service(mach, nullptr, serve::ServiceOptions{});
+  serve::ServerOptions sopts;
+  sopts.unix_path = dir_ + "/alive.sock";
+  serve::SocketServer server(service, sopts);
+  ASSERT_FALSE(server.start().has_value());
+
+  router::RouterOptions ropts;
+  ropts.backends = {sopts.unix_path, dir_ + "/dead.sock"};
+  ropts.probe_interval_ms = 0;  // probe on demand only
+  ropts.probe_timeout_ms = 200;
+  ropts.eject_after = 2;
+  ropts.retries = 1;
+  ropts.hedges = 1;
+  router::Router router(mach, ropts);
+  ASSERT_FALSE(router.start().has_value());
+  router.probe_now();  // second consecutive failure ejects the dead one
+  EXPECT_EQ(router.healthy_count(), 1u);
+
+  // Every kernel must be answered, including those whose ring owner is
+  // the dead backend — they hedge to the survivor.
+  std::uint64_t id = 0;
+  for (workloads::Kernel& k : workloads::classic_kernels()) {
+    serve::Request req;
+    req.id = ++id;
+    req.scheduler = "tms";
+    req.loop = k.loop;
+    const serve::Response resp = router.handle(req, "test");
+    EXPECT_TRUE(resp.ok) << resp.message;
+  }
+
+  bool saw_dead = false;
+  for (const auto& b : router.backends_snapshot()) {
+    if (b.address == ropts.backends[1]) {
+      saw_dead = true;
+      EXPECT_FALSE(b.healthy);
+    } else {
+      EXPECT_TRUE(b.healthy);
+    }
+  }
+  EXPECT_TRUE(saw_dead);
+
+  router.begin_drain();
+  router.stop();
+  server.drain();
+  service.shutdown();
+}
+
+}  // namespace
+}  // namespace tms

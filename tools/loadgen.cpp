@@ -39,8 +39,19 @@
 //                              tmsd-stats-v1 JSON and that the final
 //                              snapshot shows populated, internally
 //                              consistent serve.latency.* histograms
+//     --cluster N              instead of --socket/--tcp: bring up an
+//                              in-process N-backend cluster (router::
+//                              LocalCluster — N compile services behind
+//                              a consistent-hash tmsrouter core) and
+//                              drive its router socket; the report gains
+//                              per-shard forwarding balance. With
+//                              --expect-stats the probe goes to backend 0
+//                              directly (the router's STATS schema is
+//                              tmsrouter-stats-v1, not tmsd-stats-v1)
 //     --json PATH              also write the report as one canonical
-//                              JSON object (schema loadgen-report-v1)
+//                              JSON object (schema loadgen-report-v1);
+//                              its `topology` field says "single" or
+//                              "cluster:N"
 //
 // Exit status: 0 when every request succeeded (and the --expect flags
 // held), 1 otherwise, 2 on usage errors.
@@ -48,10 +59,12 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -60,6 +73,7 @@
 
 #include "ir/textio.hpp"
 #include "machine/machine.hpp"
+#include "router/cluster.hpp"
 #include "sched/ims.hpp"
 #include "sched/sms.hpp"
 #include "sched/tms.hpp"
@@ -74,7 +88,7 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--socket PATH | --tcp HOST:PORT) [loop files...]\n"
+               "usage: %s (--socket PATH | --tcp HOST:PORT | --cluster N) [loop files...]\n"
                "          [--clients N] [--requests N] [--qps N] [--scheduler sms|ims|tms]\n"
                "          [--ncore N] [--deadline-ms N] [--timeout-ms N] [--max-retries N]\n"
                "          [--verify] [--expect-retry-after] [--expect-stats] [--json PATH]\n",
@@ -216,6 +230,7 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool expect_retry_after = false;
   bool expect_stats = false;
+  int cluster = 0;
   std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -253,6 +268,12 @@ int main(int argc, char** argv) {
       expect_retry_after = true;
     } else if (a == "--expect-stats") {
       expect_stats = true;
+    } else if (a == "--cluster") {
+      cluster = std::atoi(next("--cluster"));
+      if (cluster < 1) {
+        std::fprintf(stderr, "--cluster requires a positive backend count\n");
+        return 2;
+      }
     } else if (a == "--json") {
       json_path = next("--json");
     } else if (!a.empty() && a[0] == '-') {
@@ -261,8 +282,9 @@ int main(int argc, char** argv) {
       files.push_back(a);
     }
   }
-  if (socket_path.empty() == tcp.empty()) {
-    std::fprintf(stderr, "exactly one of --socket / --tcp is required\n");
+  if (cluster > 0 ? !(socket_path.empty() && tcp.empty())
+                  : socket_path.empty() == tcp.empty()) {
+    std::fprintf(stderr, "exactly one of --socket / --tcp / --cluster is required\n");
     return usage(argv[0]);
   }
   if (clients < 1 || requests < 1) {
@@ -314,6 +336,30 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  // --cluster: bring up the in-process N-shard topology; the worker
+  // threads below then dial its router socket exactly as they would a
+  // remote tmsrouter. STATS probes go to backend 0 directly — the
+  // router's snapshot schema (tmsrouter-stats-v1) is not what
+  // check_stats() asserts.
+  std::unique_ptr<router::LocalCluster> lc;
+  char cluster_dir[] = "/tmp/loadgen-cluster-XXXXXX";
+  if (cluster > 0) {
+    if (::mkdtemp(cluster_dir) == nullptr) {
+      std::fprintf(stderr, "loadgen: mkdtemp: %s\n", std::strerror(errno));
+      return 1;
+    }
+    router::LocalClusterOptions copts;
+    copts.backends = cluster;
+    copts.dir = cluster_dir;
+    lc = std::make_unique<router::LocalCluster>(mach, copts);
+    if (const auto err = lc->start()) {
+      std::fprintf(stderr, "loadgen: cluster: %s\n", err->c_str());
+      return 1;
+    }
+    socket_path = lc->router_socket();
+  }
+  const std::string stats_socket = lc != nullptr ? lc->backend_socket(0) : socket_path;
 
   std::atomic<long long> next_request{0};
   std::mutex totals_mu;
@@ -444,14 +490,23 @@ int main(int argc, char** argv) {
   // it must answer promptly even with the compile queue saturated.
   std::optional<std::string> stats_err;
   if (expect_stats) {
-    stats_err = check_stats(socket_path, tcp, timeout_ms, /*require_traffic=*/false);
+    stats_err = check_stats(stats_socket, tcp, timeout_ms, /*require_traffic=*/false);
   }
   for (std::thread& t : threads) t.join();
   if (expect_stats && !stats_err.has_value()) {
-    stats_err = check_stats(socket_path, tcp, timeout_ms, /*require_traffic=*/true);
+    stats_err = check_stats(stats_socket, tcp, timeout_ms, /*require_traffic=*/true);
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+
+  // Per-shard forwarding balance, snapshotted before teardown. The
+  // ratio of the busiest to the emptiest shard is the headline number
+  // (1.0 = perfectly even).
+  std::vector<router::Router::BackendSnapshot> shards;
+  if (lc != nullptr) {
+    shards = lc->router().backends_snapshot();
+    lc->stop();
+  }
 
   std::sort(totals.latencies_ms.begin(), totals.latencies_ms.end());
   std::printf("loadgen: %lld request(s), %d client(s), %.1f ms wall (%.1f req/s)\n", requests,
@@ -476,11 +531,29 @@ int main(int argc, char** argv) {
   print_quantiles("server validate us", totals.validate_us);
   print_quantiles("server total us", totals.total_us);
   print_quantiles("network overhead ms", totals.overhead_ms);
+  if (!shards.empty()) {
+    std::uint64_t lo = UINT64_MAX;
+    std::uint64_t hi = 0;
+    for (const auto& s : shards) {
+      lo = std::min(lo, s.forwarded);
+      hi = std::max(hi, s.forwarded);
+    }
+    std::printf("  cluster: %zu backend(s), shard balance max/min %.2f\n", shards.size(),
+                lo > 0 ? static_cast<double>(hi) / static_cast<double>(lo)
+                       : static_cast<double>(hi));
+    for (const auto& s : shards) {
+      std::printf("    %s: %s, %llu forwarded, %llu transport error(s)\n", s.address.c_str(),
+                  s.healthy ? "healthy" : "ejected", (unsigned long long)s.forwarded,
+                  (unsigned long long)s.transport_errors);
+    }
+  }
 
   if (!json_path.empty()) {
     support::JsonWriter w;
     w.begin_object();
     w.member("schema", "loadgen-report-v1");
+    w.member("topology",
+             cluster > 0 ? "cluster:" + std::to_string(cluster) : std::string("single"));
     w.member("requests", static_cast<std::int64_t>(requests));
     w.member("clients", clients);
     w.member("wall_ms", wall_ms);
@@ -501,6 +574,18 @@ int main(int argc, char** argv) {
     json_quantiles(w, "total", totals.total_us);
     w.end_object();
     json_quantiles(w, "network_overhead_ms", totals.overhead_ms);
+    if (!shards.empty()) {
+      w.key("shards").begin_array();
+      for (const auto& s : shards) {
+        w.begin_object();
+        w.member("address", s.address);
+        w.member("healthy", s.healthy);
+        w.member("forwarded", s.forwarded);
+        w.member("transport_errors", s.transport_errors);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {

@@ -23,6 +23,11 @@
 //     --cache-capacity N       in-memory cache entries  (default 65536)
 //     --cache-disk-max-bytes N bound the on-disk cache  (default 0 = unbounded)
 //     --no-cache               disable the schedule cache entirely
+//     --peer PATH              Unix socket of a ring-sibling tmsd; may be
+//                              repeated. On a local cache miss the daemon
+//                              PEEKs each peer in order before scheduling
+//                              fresh (cache peer-fill, docs/ROUTING.md)
+//     --peer-timeout-ms N      per-peer PEEK send/recv timeout (default 1000)
 //     --no-validate            skip the independent validator per request
 //     --counters               print the counter table on exit
 //     --metrics-dump PATH      write Prometheus text exposition to PATH
@@ -53,11 +58,13 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "driver/schedule_cache.hpp"
 #include "machine/machine.hpp"
 #include "obs/counters.hpp"
 #include "obs/prometheus.hpp"
+#include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 
@@ -70,7 +77,8 @@ int usage(const char* argv0) {
                "usage: %s --socket PATH [--tcp-port N] [--threads N] [--queue-capacity N]\n"
                "          [--retry-after-ms N] [--max-connections N] [--idle-timeout-ms N]\n"
                "          [--cache-dir DIR] [--cache-capacity N] [--cache-disk-max-bytes N]\n"
-               "          [--no-cache] [--no-validate] [--counters]\n"
+               "          [--no-cache] [--peer PATH]... [--peer-timeout-ms N]\n"
+               "          [--no-validate] [--counters]\n"
                "          [--metrics-dump PATH] [--metrics-interval-ms N]\n"
                "          [--slow-ms N] [--slow-log PATH]\n",
                argv0);
@@ -129,6 +137,8 @@ int main(int argc, char** argv) {
   std::size_t cache_capacity = 1 << 16;
   std::uint64_t cache_disk_max_bytes = 0;
   bool use_cache = true;
+  std::vector<std::string> peers;
+  int peer_timeout_ms = 1000;
   bool print_counters = false;
   std::string metrics_dump;
   std::int64_t metrics_interval_ms = 0;
@@ -165,6 +175,10 @@ int main(int argc, char** argv) {
       cache_disk_max_bytes = std::strtoull(next("--cache-disk-max-bytes"), nullptr, 10);
     } else if (a == "--no-cache") {
       use_cache = false;
+    } else if (a == "--peer") {
+      peers.emplace_back(next("--peer"));
+    } else if (a == "--peer-timeout-ms") {
+      peer_timeout_ms = std::atoi(next("--peer-timeout-ms"));
     } else if (a == "--no-validate") {
       service_opts.validate = false;
     } else if (a == "--counters") {
@@ -215,6 +229,23 @@ int main(int argc, char** argv) {
   machine::MachineModel mach;
   std::optional<driver::ScheduleCache> cache;
   if (use_cache) cache.emplace(cache_capacity, cache_dir, cache_disk_max_bytes);
+
+  if (!peers.empty() && use_cache) {
+    // Cache peer-fill: on a local miss, PEEK each ring sibling in order
+    // (one fresh connection per probe — trivially thread-safe from the
+    // compile workers; a dead peer is a fast connect error and a miss).
+    service_opts.peer_fill = [peers, peer_timeout_ms](std::uint64_t key, int expect_instrs)
+        -> std::optional<driver::ScheduleCache::Entry> {
+      for (const std::string& peer : peers) {
+        serve::Client client;
+        if (client.connect_unix(peer, peer_timeout_ms).has_value()) continue;
+        std::optional<driver::ScheduleCache::Entry> entry;
+        if (client.peek({key, expect_instrs}, entry).has_value()) continue;
+        if (entry.has_value()) return entry;
+      }
+      return std::nullopt;
+    };
+  }
 
   serve::CompileService service(mach, cache ? &*cache : nullptr, service_opts);
   server_opts.unix_path = socket_path;

@@ -46,11 +46,13 @@
 #include "check/shrink.hpp"
 #include "check/validate.hpp"
 #include "driver/job_pool.hpp"
+#include "driver/schedule_cache.hpp"
 #include "ir/textio.hpp"
 #include "sched/ims.hpp"
 #include "sched/sms.hpp"
 #include "sched/tms.hpp"
 #include "serve/frame.hpp"
+#include "serve/handler.hpp"
 #include "serve/message.hpp"
 #include "support/rng.hpp"
 #include "workloads/builder.hpp"
@@ -246,8 +248,9 @@ std::optional<std::string> run_frames_one(std::uint64_t seed) {
       const serve::FrameType types[] = {serve::FrameType::kRequest, serve::FrameType::kResponse,
                                         serve::FrameType::kPing, serve::FrameType::kPong,
                                         serve::FrameType::kStats, serve::FrameType::kStatsReply,
-                                        serve::FrameType::kHealth, serve::FrameType::kHealthReply};
-      f.type = types[rng.bounded(8)];
+                                        serve::FrameType::kHealth, serve::FrameType::kHealthReply,
+                                        serve::FrameType::kPeek, serve::FrameType::kPeekReply};
+      f.type = types[rng.bounded(10)];
       f.payload = random_bytes(rng, rng.bounded(4096));
       stream += serve::encode_frame(f.type, f.payload);
       sent.push_back(std::move(f));
@@ -373,6 +376,53 @@ std::optional<std::string> run_frames_one(std::uint64_t seed) {
     }
     if (serve::serialise_response(std::get<serve::Response>(parsed)) != wire) {
       return std::string("response round-trip not a fixpoint");
+    }
+  }
+
+  // Property 7: the PEEK peer-fill codec round-trips (query, hit reply,
+  // miss reply), and noise fed to either parser errors instead of
+  // crashing or fabricating a hit.
+  {
+    serve::PeekQuery q;
+    q.key = rng.fork_seed();
+    q.expect_instrs = 1 + static_cast<int>(rng.bounded(512));
+    auto parsed = serve::parse_peek(serve::serialise_peek(q));
+    const auto* back = std::get_if<serve::PeekQuery>(&parsed);
+    if (back == nullptr || back->key != q.key || back->expect_instrs != q.expect_instrs) {
+      return std::string("peek query did not round-trip");
+    }
+
+    std::optional<driver::ScheduleCache::Entry> entry;
+    if (rng.chance(0.5)) {
+      driver::ScheduleCache::Entry e;
+      e.scheduler = "tms";
+      e.ii = 1 + static_cast<int>(rng.bounded(64));
+      e.mii = 1 + static_cast<int>(rng.bounded(e.ii));
+      e.c_delay_threshold = static_cast<int>(rng.bounded(20)) - 1;
+      e.p_max = rng.uniform(0.0, 1.0);
+      const std::size_t n = 1 + rng.bounded(64);
+      for (std::size_t i = 0; i < n; ++i) e.slots.push_back(static_cast<int>(rng.bounded(256)));
+      entry = std::move(e);
+    }
+    auto reply = serve::parse_peek_reply(serve::serialise_peek_reply(entry));
+    const auto* got = std::get_if<std::optional<driver::ScheduleCache::Entry>>(&reply);
+    if (got == nullptr || got->has_value() != entry.has_value()) {
+      return std::string("peek reply did not round-trip");
+    }
+    if (entry.has_value() &&
+        ((*got)->ii != entry->ii || (*got)->slots != entry->slots ||
+         (*got)->scheduler != entry->scheduler)) {
+      return std::string("peek hit reply did not round-trip");
+    }
+
+    const std::string noise = random_bytes(rng, rng.bounded(512));
+    if (std::get_if<std::string>(&(parsed = serve::parse_peek(noise))) == nullptr) {
+      return std::string("noise accepted as a peek query");
+    }
+    auto noisy_reply = serve::parse_peek_reply(noise);
+    if (const auto* hit = std::get_if<std::optional<driver::ScheduleCache::Entry>>(&noisy_reply);
+        hit != nullptr && hit->has_value()) {
+      return std::string("noise fabricated a peek hit");
     }
   }
   return std::nullopt;

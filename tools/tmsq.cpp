@@ -8,6 +8,12 @@
 // Usage:
 //   tmsq --socket PATH [<loop-file>] [options]
 //   tmsq --tcp HOST:PORT [<loop-file>] [options]
+//   tmsq --router PATH [<loop-file>] [options]
+//     --router PATH            Unix socket of a tmsrouter front-end. Same
+//                              wire protocol; tmsq additionally mints a
+//                              request_id when none was given and verifies
+//                              the echo survived the extra hop (exit-code
+//                              contract unchanged)
 //     --scheduler sms|ims|tms  (default tms)
 //     --ncore N                (default 4)
 //     --deadline-ms N          per-request deadline (0 = none)
@@ -29,6 +35,8 @@
 // Every structured error prints its full payload: code, message, the
 // echoed request_id, and retry_after_ms when the server set one. Retry
 // policy still belongs to the caller (loadgen implements one).
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,7 +55,7 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--socket PATH | --tcp HOST:PORT) [<loop-file>]\n"
+               "usage: %s (--socket PATH | --tcp HOST:PORT | --router PATH) [<loop-file>]\n"
                "          [--scheduler sms|ims|tms] [--ncore N] [--deadline-ms N]\n"
                "          [--timeout-ms N] [--request-id ID] [--ping] [--quiet]\n"
                "exit: 0 ok, 1 transport/other, 2 usage, 3 overload, 4 deadline,\n"
@@ -66,6 +74,7 @@ int main(int argc, char** argv) {
   int timeout_ms = 30000;
   bool ping = false;
   bool quiet = false;
+  bool router_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -78,6 +87,9 @@ int main(int argc, char** argv) {
     };
     if (a == "--socket") {
       socket_path = next("--socket");
+    } else if (a == "--router") {
+      socket_path = next("--router");
+      router_mode = true;
     } else if (a == "--tcp") {
       tcp = next("--tcp");
     } else if (a == "--scheduler") {
@@ -107,8 +119,13 @@ int main(int argc, char** argv) {
     }
   }
   if (socket_path.empty() == tcp.empty()) {
-    std::fprintf(stderr, "exactly one of --socket / --tcp is required\n");
+    std::fprintf(stderr, "exactly one of --socket / --tcp / --router is required\n");
     return usage(argv[0]);
+  }
+  // Through a router the request crosses two hops; a minted id makes the
+  // echo check below meaningful even when the caller didn't pass one.
+  if (router_mode && req.request_id.empty()) {
+    req.request_id = "tmsq-" + std::to_string(static_cast<long long>(::getpid()));
   }
   if (!ping && loop_file.empty()) {
     std::fprintf(stderr, "a loop file is required unless --ping\n");
@@ -160,6 +177,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   const serve::Response& resp = std::get<serve::Response>(result);
+  if (router_mode && resp.request_id != req.request_id) {
+    std::fprintf(stderr, "tmsq: request_id echo lost across the router hop: sent %s, got %s\n",
+                 req.request_id.c_str(),
+                 resp.request_id.empty() ? "(empty)" : resp.request_id.c_str());
+    return 1;
+  }
   if (!resp.ok) {
     // Full structured payload: code, message, echoed request_id, and the
     // backoff hint whenever the server set one (not only for overload).
