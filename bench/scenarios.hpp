@@ -1,4 +1,4 @@
-// The three canonical benchmark scenarios behind the perf trajectory.
+// The five canonical benchmark scenarios behind the perf trajectory.
 //
 // Every committed BENCH_<pr>.json point (docs/BENCHMARKS.md) is produced
 // by exactly this code, so the numbers are comparable PR over PR:
@@ -17,6 +17,13 @@
 //                     speedup_4x numbers measure aggregate cache
 //                     capacity, which scales with shard count even on a
 //                     single-core runner (the tmsrouter use-case).
+//   sim_scaling       wall-clock of the ncore=16/32/64 simulation sweep:
+//                     the event-driven engine (sorted store history,
+//                     timing-only fast path, parallel sweep driver)
+//                     against the retained legacy stepper at threads=1,
+//                     after asserting both produce identical SpmtStats —
+//                     the headline speedup_ncore32 tracks the simulator
+//                     rearchitecture (docs/SIMULATOR.md).
 //
 // Results are flat (key, value) lists so emission (trajectory_json),
 // parsing (scenarios_from_json) and comparison (compare_trajectories)
@@ -60,6 +67,15 @@ struct ScenarioOptions {
   std::size_t cluster_cache_capacity = 0;  ///< per-shard entries; 0 = 3/4 of cluster_loops
   int cluster_rounds = 2;                  ///< measured round-robin passes per topology
   int cluster_clients = 4;
+
+  // sim_scaling: event-driven vs legacy simulator over the ncore sweep.
+  // The workload is the Table-3 DOACROSS loops — their loads alias
+  // committed stores, so the store-history machinery (what the
+  // rearchitecture replaced) is hot — simulated for enough iterations
+  // that the legacy walker's linear per-load history scan dominates.
+  int sim_loops = 7;                 ///< Table-3 loops per sweep point (7 = all)
+  std::int64_t sim_iterations = 200000;  ///< source iterations per simulation
+  int sim_jobs = 0;  ///< event-sweep workers; 0 = JobPool default (legacy stays at 1)
 };
 
 /// `--quick` preset: one round / few requests everywhere. Useful for
@@ -78,8 +94,9 @@ ScenarioResult run_sched_single(const ScenarioOptions& opts);
 ScenarioResult run_batch_throughput(const ScenarioOptions& opts);
 ScenarioResult run_serve_e2e(const ScenarioOptions& opts);
 ScenarioResult run_cluster_scaling(const ScenarioOptions& opts);
+ScenarioResult run_sim_scaling(const ScenarioOptions& opts);
 
-/// All four, in canonical order.
+/// All five, in canonical order.
 std::vector<ScenarioResult> run_all_scenarios(const ScenarioOptions& opts);
 
 // ---- bench-trajectory-v1 JSON -------------------------------------------

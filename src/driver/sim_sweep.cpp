@@ -1,0 +1,61 @@
+#include "driver/sim_sweep.hpp"
+
+#include <exception>
+#include <memory>
+
+#include "driver/job_pool.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "spmt/address.hpp"
+
+namespace tms::driver {
+
+namespace {
+
+SimSweepOutcome run_point(const SimSweepPoint& p) {
+  SimSweepOutcome out;
+  out.name = p.name;
+  out.ncore = p.cfg.ncore;
+  try {
+    const spmt::AddressStreams streams = spmt::default_streams(p.loop, p.stream_seed);
+    const spmt::SpmtResult res = spmt::run_spmt(p.loop, p.kp, p.cfg, streams, p.sim);
+    out.stats = res.stats;
+    out.value_fingerprint = res.value_fingerprint;
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SimSweepOutcome> run_sim_sweep(const std::vector<SimSweepPoint>& points,
+                                           const SimSweepOptions& opts) {
+  TMS_TRACE_SPAN(span, "driver", "driver.sim_sweep");
+  std::vector<SimSweepOutcome> results(points.size());
+  if (!points.empty()) {
+    const int threads = opts.threads > 0 ? opts.threads : JobPool::default_threads();
+    if (threads <= 1 || points.size() == 1) {
+      for (std::size_t i = 0; i < points.size(); ++i) results[i] = run_point(points[i]);
+    } else {
+      TaskPool pool(threads, points.size());
+      std::vector<std::shared_ptr<TaskPool::Task>> tasks(points.size());
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        tasks[i] = pool.try_submit([&results, &points, i] { results[i] = run_point(points[i]); });
+        // Capacity equals the point count, so submission cannot fail; be
+        // safe anyway and run rejected points inline.
+        if (tasks[i] == nullptr) results[i] = run_point(points[i]);
+      }
+      for (const auto& t : tasks) {
+        if (t != nullptr) t->wait();
+      }
+      pool.shutdown(TaskPool::Drain::kFinishQueued);
+    }
+  }
+  obs::counters().sim_sweep_points.add(points.size());
+  TMS_TRACE_SPAN_ARG(span, obs::targ("points", static_cast<std::int64_t>(points.size())));
+  return results;
+}
+
+}  // namespace tms::driver

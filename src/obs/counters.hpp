@@ -60,6 +60,9 @@ namespace tms::obs {
   X(sim_mem_stall_cycles,    "sim.mem_stall_cycles",    "cycles",     "load cycles beyond the scheduled hit latency")                          \
   X(sim_squashed_cycles,     "sim.squashed_cycles",     "cycles",     "wasted execution plus invalidation cycles of squashed threads")         \
   X(sim_send_recv_pairs,     "sim.send_recv_pairs",     "pairs",      "dynamic SEND/RECV pairs in committed threads")                          \
+  X(sim_events,              "sim.events",              "events",     "events popped from the event-driven engine's clock queue (thread spawns, core wakes, squash retries)") \
+  X(sim_sweep_points,        "sim.sweep_points",        "points",     "(workload, config) points simulated by driver::run_sim_sweep")          \
+  X(sim_quick_estimates,     "sim.quick_estimates",     "runs",       "fast-path spmt::quick_estimate simulations (simulator-backed verify)")  \
   X(workloads_loops_built,   "workloads.loops_built",   "loops",      "loops materialised by workloads::build_loop")                           \
   X(trace_events_dropped,    "trace.events_dropped",    "events",     "trace events dropped because the ring buffer was full")                 \
   X(driver_cache_evictions_mem,  "driver.cache_evictions_mem",  "entries", "in-memory ScheduleCache entries evicted by the LRU capacity bound") \
@@ -78,6 +81,7 @@ namespace tms::obs {
   X(serve_peek_requests,     "serve.peek_requests",     "frames",     "PEEK cache probes answered on the side channel (never queued, answered during drain)") \
   X(serve_peer_fill_hits,    "serve.peer_fill_hits",    "requests",   "local cache misses satisfied by a ring sibling's cache via PEEK")       \
   X(serve_peer_fill_misses,  "serve.peer_fill_misses",  "requests",   "peer-fill attempts that found no sibling entry (unreachable peers included) and scheduled fresh") \
+  X(serve_sim_verify_failures, "serve.sim_verify_failures", "requests", "responses refused because the simulator-backed verify diverged from the sequential reference") \
   X(router_requests,         "router.requests",         "requests",   "compile requests accepted by the router front-end")                     \
   X(router_responses_ok,     "router.responses_ok",     "requests",   "routed requests answered with a schedule")                              \
   X(router_responses_error,  "router.responses_error",  "requests",   "routed requests answered with a structured error")                      \
@@ -106,6 +110,7 @@ namespace tms::obs {
   X(serve_latency_schedule,   "serve.latency.schedule",   "us",       "per-request scheduling time (cache lookup plus any fresh scheduling pass)") \
   X(serve_latency_validate,   "serve.latency.validate",   "us",       "per-request independent-validator time")                                \
   X(serve_latency_total,      "serve.latency.total",      "us",       "per-request wall time inside CompileService::handle, admission to response") \
+  X(serve_latency_sim_verify, "serve.latency.sim_verify", "us",       "per-request simulator-backed verify time (quick_estimate, --sim-verify only)") \
   X(router_latency_backend,   "router.latency.backend",   "us",       "per-forward backend round-trip time, all backends (per-backend split in tmsrouter-stats-v1)") \
   X(router_latency_total,     "router.latency.total",     "us",       "per-request wall time inside Router::handle, arrival to response")
 // clang-format on

@@ -5,12 +5,14 @@
 #include <utility>
 
 #include "check/validate.hpp"
+#include "codegen/kernel_program.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "sched/ims.hpp"
 #include "sched/postpass.hpp"
 #include "sched/sms.hpp"
 #include "sched/tms.hpp"
+#include "spmt/estimate.hpp"
 #include "support/json.hpp"
 
 namespace tms::serve {
@@ -369,6 +371,27 @@ Response CompileService::compile(const Request& req, const std::string& request_
   }
   resp.t_validate_us = us_since(validate_start);
   if (expired()) return deadline_response("after validation", resp);
+
+  // Simulator-backed verification (--sim-verify): a bounded run of the
+  // event-driven engine over the lowered kernel must commit exactly the
+  // sequential reference semantics before the response ships. The
+  // validator proves the schedule well-formed; this proves the machine
+  // executing it speculatively still produces sequential results.
+  if (opts_.sim_verify) {
+    const Clock::time_point sv_start = Clock::now();
+    const codegen::KernelProgram kp = codegen::lower_kernel(sl->schedule, cfg);
+    spmt::QuickEstimateOptions qopts;
+    qopts.iterations = opts_.sim_verify_iterations;
+    const spmt::QuickEstimate qe = spmt::quick_estimate(req.loop, kp, cfg, qopts);
+    obs::counters().serve_latency_sim_verify.record_us(
+        static_cast<std::uint64_t>(us_since(sv_start)));
+    if (!qe.semantics_ok) {
+      obs::counters().serve_sim_verify_failures.add(1);
+      return fail(ErrorCode::kValidateFail,
+                  "sim-verify: committed state diverged from the sequential reference", resp);
+    }
+    if (expired()) return deadline_response("after sim-verify", resp);
+  }
 
   resp.ok = true;
   resp.ii = sl->schedule.ii();

@@ -66,6 +66,15 @@ struct ServiceOptions {
   /// validated exactly like a local cache hit and inserted into the
   /// local cache (counted in serve.peer_fill_hits / _misses).
   PeerFillFn peer_fill;
+  /// Simulator-backed verification (tmsd --sim-verify): after the
+  /// validator passes, lower the kernel and run spmt::quick_estimate;
+  /// the response is refused (kValidateFail) unless the simulated
+  /// committed state matches the sequential reference. Time lands in
+  /// serve.latency.sim_verify, refusals in serve.sim_verify_failures.
+  bool sim_verify = false;
+  /// Iterations for the sim-verify run; 0 = quick_estimate's auto size
+  /// (max(32, 8*ncore) capped at 256).
+  std::int64_t sim_verify_iterations = 0;
 };
 
 class CompileService : public Handler {

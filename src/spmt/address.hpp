@@ -33,9 +33,14 @@ class AddressStreams {
     return static_cast<bool>(fns_.at(static_cast<std::size_t>(node)));
   }
   std::uint64_t address(ir::NodeId node, std::int64_t iteration) const {
+    return fn(node)(iteration);
+  }
+  /// The stream itself, for callers that resolve it once and call it per
+  /// iteration (the simulator hot path).
+  const Fn& fn(ir::NodeId node) const {
     const Fn& f = fns_.at(static_cast<std::size_t>(node));
     TMS_ASSERT_MSG(static_cast<bool>(f), "memory instruction lacks an address stream");
-    return f(iteration);
+    return f;
   }
 
   // ---- Stream constructors ----------------------------------------------

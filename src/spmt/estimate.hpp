@@ -1,0 +1,49 @@
+// Fast-path simulator estimate for serving-rate verification.
+//
+// quick_estimate runs the event-driven engine for a small, bounded
+// number of iterations — enough to cover the pipeline fill, a steady
+// window, and the drain — and checks the committed memory image and
+// value fingerprint against the sequential reference interpreter. It is
+// what CompileService calls for simulator-backed verification of every
+// response (`tmsd --sim-verify`), so it is sized for microseconds, not
+// the thousands of iterations an offline oracle run uses.
+#pragma once
+
+#include <cstdint>
+
+#include "codegen/kernel_program.hpp"
+#include "machine/spmt_config.hpp"
+#include "spmt/sim.hpp"
+
+namespace tms::spmt {
+
+struct QuickEstimateOptions {
+  /// Source iterations to simulate; 0 picks max(32, 8 * ncore) capped at
+  /// 256 — enough that every core commits several steady-state threads.
+  std::int64_t iterations = 0;
+  std::uint64_t stream_seed = 1;  ///< address-stream layout (default_streams)
+  /// Compare the committed memory image and value fingerprint against
+  /// run_reference; disable for timing-only probes (keeps keep_memory
+  /// off, roughly halving the work).
+  bool check_semantics = true;
+};
+
+struct QuickEstimate {
+  /// True when the speculative execution committed exactly the
+  /// sequential reference semantics (always true when check_semantics
+  /// was off — timing-only probes assert nothing).
+  bool semantics_ok = true;
+  std::int64_t iterations = 0;  ///< iterations actually simulated
+  double cycles_per_iteration = 0.0;
+  double misspec_frequency = 0.0;
+  SpmtStats stats;
+};
+
+/// Simulates `kp` for a bounded number of iterations on the event-driven
+/// engine and (optionally) differentially checks semantics against the
+/// sequential reference. Deterministic for fixed inputs.
+QuickEstimate quick_estimate(const ir::Loop& loop, const codegen::KernelProgram& kp,
+                             const machine::SpmtConfig& cfg,
+                             const QuickEstimateOptions& opts = {});
+
+}  // namespace tms::spmt

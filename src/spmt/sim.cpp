@@ -441,15 +441,26 @@ std::string trace_to_ascii(const std::vector<ThreadTrace>& trace, int max_thread
   return out;
 }
 
+SpmtResult run_spmt_legacy(const ir::Loop& loop, const codegen::KernelProgram& kp,
+                           const machine::SpmtConfig& cfg, const AddressStreams& streams,
+                           const SpmtOptions& opts) {
+  cfg.check();
+  TMS_ASSERT(opts.iterations >= 1);
+  Engine engine(loop, kp, cfg, streams, opts);
+  SpmtResult res = engine.run();
+  res.stats.spec_wait_cycles = engine.spec_wait_cycles();
+  return res;
+}
+
 SpmtResult run_spmt(const ir::Loop& loop, const codegen::KernelProgram& kp,
                     const machine::SpmtConfig& cfg, const AddressStreams& streams,
                     const SpmtOptions& opts) {
   cfg.check();
   TMS_ASSERT(opts.iterations >= 1);
   TMS_TRACE_SPAN(span, "spmt", "spmt.run");
-  Engine engine(loop, kp, cfg, streams, opts);
-  SpmtResult res = engine.run();
-  res.stats.spec_wait_cycles = engine.spec_wait_cycles();
+  SpmtResult res = opts.engine == SimEngine::kLegacyStepper
+                       ? run_spmt_legacy(loop, kp, cfg, streams, opts)
+                       : run_spmt_event(loop, kp, cfg, streams, opts);
   {
     obs::Counters& c = obs::counters();
     c.sim_runs.add(1);

@@ -1,0 +1,334 @@
+// The event-vs-legacy simulator differential guarantee
+// (docs/SIMULATOR.md): both engines must produce bit-identical
+// SpmtStats, committed memory images, value fingerprints and traces on
+// randomized workloads — through squashes, write-buffer overflow, the
+// speculation-off ablation and the timing-only fast path — plus the
+// determinism contract of the parallel sweep driver and the
+// quick_estimate fast path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/kernel_program.hpp"
+#include "driver/sim_sweep.hpp"
+#include "sched/tms.hpp"
+#include "spmt/estimate.hpp"
+#include "spmt/sim.hpp"
+#include "test_util.hpp"
+
+namespace tms {
+namespace {
+
+void expect_stats_equal(const spmt::SpmtStats& a, const spmt::SpmtStats& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.threads_committed, b.threads_committed) << what;
+  EXPECT_EQ(a.instances_executed, b.instances_executed) << what;
+  EXPECT_EQ(a.total_cycles, b.total_cycles) << what;
+  EXPECT_EQ(a.sync_stall_cycles, b.sync_stall_cycles) << what;
+  EXPECT_EQ(a.mem_stall_cycles, b.mem_stall_cycles) << what;
+  EXPECT_EQ(a.send_recv_pairs, b.send_recv_pairs) << what;
+  EXPECT_EQ(a.misspeculations, b.misspeculations) << what;
+  EXPECT_EQ(a.squashed_cycles, b.squashed_cycles) << what;
+  EXPECT_EQ(a.wb_overflow_waits, b.wb_overflow_waits) << what;
+  EXPECT_EQ(a.spec_wait_cycles, b.spec_wait_cycles) << what;
+  EXPECT_EQ(a.send_block_cycles, b.send_block_cycles) << what;
+  EXPECT_EQ(a.l1_hits, b.l1_hits) << what;
+  EXPECT_EQ(a.l1_misses, b.l1_misses) << what;
+  EXPECT_EQ(a.l2_hits, b.l2_hits) << what;
+  EXPECT_EQ(a.l2_misses, b.l2_misses) << what;
+}
+
+void expect_results_identical(const spmt::SpmtResult& ev, const spmt::SpmtResult& lg,
+                              const std::string& what) {
+  expect_stats_equal(ev.stats, lg.stats, what);
+  EXPECT_EQ(ev.value_fingerprint, lg.value_fingerprint) << what;
+  EXPECT_EQ(ev.memory, lg.memory) << what;
+  ASSERT_EQ(ev.trace.size(), lg.trace.size()) << what;
+  for (std::size_t i = 0; i < ev.trace.size(); ++i) {
+    const spmt::ThreadTrace& a = ev.trace[i];
+    const spmt::ThreadTrace& b = lg.trace[i];
+    EXPECT_EQ(a.thread, b.thread) << what << " trace " << i;
+    EXPECT_EQ(a.core, b.core) << what << " trace " << i;
+    EXPECT_EQ(a.start, b.start) << what << " trace " << i;
+    EXPECT_EQ(a.completion, b.completion) << what << " trace " << i;
+    EXPECT_EQ(a.commit_end, b.commit_end) << what << " trace " << i;
+    EXPECT_EQ(a.attempts, b.attempts) << what << " trace " << i;
+    EXPECT_EQ(a.sync_stall, b.sync_stall) << what << " trace " << i;
+    EXPECT_EQ(a.mem_stall, b.mem_stall) << what << " trace " << i;
+  }
+}
+
+/// Runs both engines on the same point and checks bit identity.
+void check_differential(const ir::Loop& loop, const codegen::KernelProgram& kp,
+                        const machine::SpmtConfig& cfg, std::uint64_t stream_seed,
+                        spmt::SpmtOptions opts, const std::string& what) {
+  const spmt::AddressStreams streams = spmt::default_streams(loop, stream_seed);
+  const spmt::SpmtResult ev = spmt::run_spmt_event(loop, kp, cfg, streams, opts);
+  const spmt::SpmtResult lg = spmt::run_spmt_legacy(loop, kp, cfg, streams, opts);
+  expect_results_identical(ev, lg, what);
+}
+
+/// The always-colliding squashy loop from oracle_test: the store sits at
+/// the end of the iteration, the dependent load of the next iteration at
+/// the start, so every younger thread squashes and re-executes.
+ir::Loop squashy_loop() {
+  ir::Loop loop("squashy");
+  const ir::NodeId st = loop.add_instr(ir::Opcode::kStore, "st");
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad, "ld");
+  loop.add_mem_flow(st, ld, /*distance=*/1, /*probability=*/1.0);
+  return loop;
+}
+
+codegen::KernelProgram squashy_kernel(const ir::Loop& loop, const machine::MachineModel& mach,
+                                      const machine::SpmtConfig& cfg) {
+  sched::Schedule s(loop, mach, 16);
+  s.set_slot(ir::NodeId{0}, 15);  // store
+  s.set_slot(ir::NodeId{1}, 0);   // load
+  EXPECT_FALSE(s.validate().has_value());
+  EXPECT_EQ(s.speculated_deps(cfg).size(), 1u);
+  return codegen::lower_kernel(s, cfg);
+}
+
+TEST(EventSim, RandomSuiteBitIdenticalAcrossCoreCounts) {
+  machine::MachineModel mach;
+  for (std::uint64_t seed : {1u, 3u, 9u, 17u, 21u, 33u}) {
+    const ir::Loop loop = test::random_loop(seed);
+    for (int ncore : {2, 4, 8, 16, 32}) {
+      machine::SpmtConfig cfg;
+      cfg.ncore = ncore;
+      const auto tms = sched::tms_schedule(loop, mach, cfg);
+      ASSERT_TRUE(tms.has_value()) << "seed " << seed;
+      const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+      spmt::SpmtOptions opts;
+      opts.iterations = 80;
+      opts.collect_trace = true;
+      check_differential(loop, kp, cfg, seed, opts,
+                         "seed " + std::to_string(seed) + " ncore " + std::to_string(ncore));
+    }
+  }
+}
+
+TEST(EventSim, SquashPathBitIdentical) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = squashy_loop();
+  const codegen::KernelProgram kp = squashy_kernel(loop, mach, cfg);
+
+  spmt::SpmtOptions opts;
+  opts.iterations = 200;
+  opts.collect_trace = true;
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 7);
+  const spmt::SpmtResult ev = spmt::run_spmt_event(loop, kp, cfg, streams, opts);
+  const spmt::SpmtResult lg = spmt::run_spmt_legacy(loop, kp, cfg, streams, opts);
+  ASSERT_GT(ev.stats.misspeculations, 0) << "squash path was not exercised";
+  expect_results_identical(ev, lg, "squashy");
+}
+
+TEST(EventSim, WriteBufferOverflowBitIdentical) {
+  // More stores per iteration than the speculation write buffer holds:
+  // every thread head-serialises, which exercises the commit-chain wait
+  // in the event machinery.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  cfg.spec_write_buffer_entries = 1;
+  ir::Loop loop("two_stores");
+  const ir::NodeId ld = loop.add_instr(ir::Opcode::kLoad, "ld");
+  const ir::NodeId m = loop.add_instr(ir::Opcode::kFMul, "m");
+  const ir::NodeId st1 = loop.add_instr(ir::Opcode::kStore, "st1");
+  const ir::NodeId st2 = loop.add_instr(ir::Opcode::kStore, "st2");
+  loop.add_reg_flow(ld, m, 0);
+  loop.add_reg_flow(m, st1, 0);
+  loop.add_reg_flow(m, st2, 0);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+  ASSERT_GT(kp.stores_per_iter, cfg.spec_write_buffer_entries);
+
+  spmt::SpmtOptions opts;
+  opts.iterations = 64;
+  opts.collect_trace = true;
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 5);
+  const spmt::SpmtResult ev = spmt::run_spmt_event(loop, kp, cfg, streams, opts);
+  const spmt::SpmtResult lg = spmt::run_spmt_legacy(loop, kp, cfg, streams, opts);
+  ASSERT_GT(ev.stats.wb_overflow_waits, 0);
+  expect_results_identical(ev, lg, "wb_overflow");
+}
+
+TEST(EventSim, SpeculationDisabledBitIdentical) {
+  machine::MachineModel mach;
+  for (std::uint64_t seed : {9u, 21u}) {
+    const ir::Loop loop = test::random_loop(seed);
+    machine::SpmtConfig cfg;
+    cfg.ncore = 8;
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(tms.has_value()) << "seed " << seed;
+    const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+    spmt::SpmtOptions opts;
+    opts.iterations = 80;
+    opts.disable_speculation = true;
+    check_differential(loop, kp, cfg, seed, opts, "spec-off seed " + std::to_string(seed));
+  }
+}
+
+TEST(EventSim, TimingOnlyModeMatchesValueModeStats) {
+  // keep_memory=false routes steady-state threads through the
+  // eventful-ops fast path; timing must not depend on functional values,
+  // so the stats must equal both the legacy timing run and the full
+  // value-tracking run.
+  machine::MachineModel mach;
+  for (std::uint64_t seed : {3u, 17u, 33u}) {
+    const ir::Loop loop = test::random_loop(seed);
+    machine::SpmtConfig cfg;
+    cfg.ncore = 16;
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(tms.has_value()) << "seed " << seed;
+    const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+    const spmt::AddressStreams streams = spmt::default_streams(loop, seed);
+
+    spmt::SpmtOptions timing;
+    timing.iterations = 120;
+    timing.keep_memory = false;
+    timing.collect_trace = true;
+    const spmt::SpmtResult ev = spmt::run_spmt_event(loop, kp, cfg, streams, timing);
+    const spmt::SpmtResult lg = spmt::run_spmt_legacy(loop, kp, cfg, streams, timing);
+    expect_results_identical(ev, lg, "timing seed " + std::to_string(seed));
+
+    spmt::SpmtOptions values = timing;
+    values.keep_memory = true;
+    const spmt::SpmtResult full = spmt::run_spmt_event(loop, kp, cfg, streams, values);
+    expect_stats_equal(ev.stats, full.stats, "timing-vs-values seed " + std::to_string(seed));
+  }
+}
+
+TEST(EventSim, SquashyTimingOnlyBitIdentical) {
+  // The fast path must also replay squashed attempts identically.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = squashy_loop();
+  const codegen::KernelProgram kp = squashy_kernel(loop, mach, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 200;
+  opts.keep_memory = false;
+  opts.collect_trace = true;
+  check_differential(loop, kp, cfg, 7, opts, "squashy-timing");
+}
+
+// ---- Parallel sweep driver ------------------------------------------------
+
+std::vector<driver::SimSweepPoint> build_sweep_points() {
+  machine::MachineModel mach;
+  std::vector<driver::SimSweepPoint> points;
+  for (std::uint64_t seed : {3u, 9u, 21u}) {
+    const ir::Loop loop = test::random_loop(seed);
+    for (int ncore : {8, 16}) {
+      machine::SpmtConfig cfg;
+      cfg.ncore = ncore;
+      const auto tms = sched::tms_schedule(loop, mach, cfg);
+      if (!tms.has_value()) continue;
+      driver::SimSweepPoint p;
+      p.name = loop.name() + ".ncore" + std::to_string(ncore);
+      p.loop = loop;
+      p.kp = codegen::lower_kernel(tms->schedule, cfg);
+      p.cfg = cfg;
+      p.sim.iterations = 64;
+      p.stream_seed = seed;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+TEST(SimSweep, DeterministicAcrossThreadCounts) {
+  const std::vector<driver::SimSweepPoint> points = build_sweep_points();
+  ASSERT_GE(points.size(), 4u);
+
+  driver::SimSweepOptions seq;
+  seq.threads = 1;
+  driver::SimSweepOptions par;
+  par.threads = 8;
+  const auto a = driver::run_sim_sweep(points, seq);
+  const auto b = driver::run_sim_sweep(points, par);
+  ASSERT_EQ(a.size(), points.size());
+  ASSERT_EQ(b.size(), points.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].ok) << a[i].name << ": " << a[i].error;
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].ncore, b[i].ncore);
+    EXPECT_EQ(a[i].ok, b[i].ok);
+    EXPECT_EQ(a[i].value_fingerprint, b[i].value_fingerprint) << a[i].name;
+    expect_stats_equal(a[i].stats, b[i].stats, a[i].name);
+  }
+}
+
+TEST(SimSweep, MatchesDirectRuns) {
+  const std::vector<driver::SimSweepPoint> points = build_sweep_points();
+  driver::SimSweepOptions opts;
+  opts.threads = 4;
+  const auto outcomes = driver::run_sim_sweep(points, opts);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const spmt::AddressStreams streams =
+        spmt::default_streams(points[i].loop, points[i].stream_seed);
+    const spmt::SpmtResult direct =
+        spmt::run_spmt(points[i].loop, points[i].kp, points[i].cfg, streams, points[i].sim);
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].name;
+    expect_stats_equal(outcomes[i].stats, direct.stats, outcomes[i].name);
+    EXPECT_EQ(outcomes[i].value_fingerprint, direct.value_fingerprint) << outcomes[i].name;
+  }
+}
+
+// ---- quick_estimate -------------------------------------------------------
+
+TEST(QuickEstimate, VerifiesScheduledKernelAtServingSize) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::random_loop(9);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+
+  const spmt::QuickEstimate qe = spmt::quick_estimate(loop, kp, cfg);
+  EXPECT_TRUE(qe.semantics_ok);
+  EXPECT_EQ(qe.iterations, 32);  // max(32, 8*4) capped at 256
+  EXPECT_GT(qe.cycles_per_iteration, 0.0);
+  EXPECT_EQ(qe.stats.threads_committed, qe.iterations + kp.stage_count - 1);
+}
+
+TEST(QuickEstimate, MatchesFullRunAtSameIterations) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  cfg.ncore = 8;
+  const ir::Loop loop = test::random_loop(21);
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+
+  spmt::QuickEstimateOptions qopts;
+  qopts.iterations = 48;
+  qopts.stream_seed = 21;
+  const spmt::QuickEstimate qe = spmt::quick_estimate(loop, kp, cfg, qopts);
+  EXPECT_TRUE(qe.semantics_ok);
+
+  spmt::SpmtOptions sim;
+  sim.iterations = 48;
+  const spmt::AddressStreams streams = spmt::default_streams(loop, 21);
+  const spmt::SpmtResult full = spmt::run_spmt(loop, kp, cfg, streams, sim);
+  expect_stats_equal(qe.stats, full.stats, "quick-vs-full");
+}
+
+TEST(QuickEstimate, SquashHeavyKernelStillSemanticallyOk) {
+  // Even an always-squashing schedule commits reference semantics; the
+  // estimate reports the (terrible) timing honestly instead of failing.
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = squashy_loop();
+  const codegen::KernelProgram kp = squashy_kernel(loop, mach, cfg);
+  spmt::QuickEstimateOptions qopts;
+  qopts.iterations = 64;
+  const spmt::QuickEstimate qe = spmt::quick_estimate(loop, kp, cfg, qopts);
+  EXPECT_TRUE(qe.semantics_ok);
+  EXPECT_GT(qe.misspec_frequency, 0.0);
+}
+
+}  // namespace
+}  // namespace tms

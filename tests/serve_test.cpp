@@ -397,6 +397,29 @@ TEST(Service, SharedCacheTurnsTheSecondRequestIntoAHit) {
   svc.shutdown();
 }
 
+TEST(Service, SimVerifyAcceptsCorrectSchedulesAndRecordsLatency) {
+  // --sim-verify: the response only ships after a bounded event-driven
+  // simulation of the lowered kernel reproduced the sequential
+  // reference. A correct schedule must pass, pay exactly one
+  // quick_estimate, and land one serve.latency.sim_verify sample.
+  machine::MachineModel mach;
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  opts.sim_verify = true;
+  opts.sim_verify_iterations = 40;
+  serve::CompileService svc(mach, nullptr, opts);
+
+  const obs::CountersSnapshot before = obs::counters_snapshot();
+  const serve::Request req = chain_request();
+  const serve::Response resp = svc.handle(req);
+  expect_valid_remote_schedule(resp, req.loop, mach);
+  const obs::CountersSnapshot d = obs::snapshot_delta(before, obs::counters_snapshot());
+  EXPECT_EQ(d.value("sim.quick_estimates"), 1u);
+  EXPECT_EQ(d.value("serve.sim_verify_failures"), 0u);
+  EXPECT_EQ(d.time_histogram_count("serve.latency.sim_verify"), 1u);
+  svc.shutdown();
+}
+
 TEST(Service, RejectsBadSchedulerAndBadNcore) {
   machine::MachineModel mach;
   serve::ServiceOptions opts;

@@ -1,7 +1,7 @@
 // benchgate — produce and gate the committed perf trajectory.
 //
 //   benchgate run [--out FILE] [--pr N] [--baseline FILE] [--quick] [--jobs N]
-//       Runs the three canonical scenarios (bench/scenarios) and writes a
+//       Runs the five canonical scenarios (bench/scenarios) and writes a
 //       bench-trajectory-v1 document. With --baseline, that file's
 //       scenarios are embedded as the "baseline" section, so a committed
 //       BENCH_<pr>.json records both the pre-change measurement and the

@@ -29,6 +29,12 @@
 //                              fresh (cache peer-fill, docs/ROUTING.md)
 //     --peer-timeout-ms N      per-peer PEEK send/recv timeout (default 1000)
 //     --no-validate            skip the independent validator per request
+//     --sim-verify             simulator-backed verification: refuse any
+//                              response whose bounded event-driven SpMT
+//                              run diverges from the sequential reference
+//                              (spmt::quick_estimate, docs/SIMULATOR.md)
+//     --sim-verify-iters N     iterations for the sim-verify run
+//                              (default 0 = auto-sized from ncore)
 //     --counters               print the counter table on exit
 //     --metrics-dump PATH      write Prometheus text exposition to PATH
 //                              on SIGUSR1 (and per --metrics-interval-ms);
@@ -78,7 +84,7 @@ int usage(const char* argv0) {
                "          [--retry-after-ms N] [--max-connections N] [--idle-timeout-ms N]\n"
                "          [--cache-dir DIR] [--cache-capacity N] [--cache-disk-max-bytes N]\n"
                "          [--no-cache] [--peer PATH]... [--peer-timeout-ms N]\n"
-               "          [--no-validate] [--counters]\n"
+               "          [--no-validate] [--sim-verify] [--sim-verify-iters N] [--counters]\n"
                "          [--metrics-dump PATH] [--metrics-interval-ms N]\n"
                "          [--slow-ms N] [--slow-log PATH]\n",
                argv0);
@@ -187,6 +193,10 @@ int main(int argc, char** argv) {
       metrics_dump = next("--metrics-dump");
     } else if (a == "--metrics-interval-ms") {
       metrics_interval_ms = std::atoll(next("--metrics-interval-ms"));
+    } else if (a == "--sim-verify") {
+      service_opts.sim_verify = true;
+    } else if (a == "--sim-verify-iters") {
+      service_opts.sim_verify_iterations = std::atoll(next("--sim-verify-iters"));
     } else if (a == "--slow-ms") {
       service_opts.slow_ms = std::atoll(next("--slow-ms"));
     } else if (a == "--slow-log") {
