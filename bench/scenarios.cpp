@@ -77,6 +77,8 @@ ScenarioOptions quick_options() {
   o.cluster_clients = 2;
   o.sim_loops = 2;
   o.sim_iterations = 400;
+  o.policy_loops = 2;
+  o.policy_iterations = 400;
   return o;
 }
 
@@ -404,9 +406,110 @@ ScenarioResult run_sim_scaling(const ScenarioOptions& opts) {
   return r;
 }
 
+ScenarioResult run_policy_compare(const ScenarioOptions& opts) {
+  const machine::MachineModel mach;
+
+  // Same DOACROSS family as sim_scaling: loop-carried register flows are
+  // what the policies price differently, so DOALL loops would show
+  // nothing but the bus charge.
+  std::vector<ir::Loop> loops;
+  for (workloads::SelectedLoop& sel : workloads::doacross_selected_loops()) {
+    loops.push_back(std::move(sel.loop));
+    if (static_cast<int>(loops.size()) >= std::max(opts.policy_loops, 1)) break;
+  }
+  TMS_ASSERT_MSG(!loops.empty(), "policy scenario: no DOACROSS loops");
+
+  struct PolicyPoint {
+    machine::AllocPolicy policy;
+    const char* key;
+  };
+  const PolicyPoint policies[] = {
+      {machine::AllocPolicy::kModulo, "modulo"},
+      {machine::AllocPolicy::kRoundRobinStride, "round_robin_stride"},
+      {machine::AllocPolicy::kLocality, "locality"},
+      {machine::AllocPolicy::kDepDistance, "dep_distance"},
+  };
+
+  ScenarioResult r;
+  r.name = "policy_compare";
+  // cycles[p][l]: simulated total cycles of loop l under policy p. Every
+  // point is scheduled fresh under its own config (the policy changes
+  // reg_comm_cycles and therefore C1), then simulated on both engines,
+  // which must agree bit-for-bit before the number counts.
+  std::vector<std::vector<double>> cycles(std::size(policies),
+                                          std::vector<double>(loops.size(), 0.0));
+  for (std::size_t pi = 0; pi < std::size(policies); ++pi) {
+    std::vector<driver::SimSweepPoint> event_points;
+    std::vector<driver::SimSweepPoint> legacy_points;
+    for (const ir::Loop& loop : loops) {
+      machine::SpmtConfig cfg;
+      cfg.ncore = opts.policy_ncore;
+      cfg.policy = policies[pi].policy;
+      // Fixed non-trivial parameters: stride 3 exercises the non-unit
+      // round-robin walk, block 4 gives locality three free forwards per
+      // bus-priced one; dep_distance derives its own block per loop.
+      cfg.policy_stride = 3;
+      cfg.policy_block = 4;
+      cfg.bus_bytes_per_transfer = opts.policy_bus_bytes;
+      const auto tms = sched::tms_schedule(loop, mach, cfg);
+      TMS_ASSERT_MSG(tms.has_value(), "policy scenario: TMS failed on a pinned loop");
+      driver::SimSweepPoint p;
+      p.name = loop.name() + "." + policies[pi].key;
+      p.loop = loop;
+      p.kp = codegen::lower_kernel(tms->schedule, cfg);
+      p.cfg = cfg;
+      p.sim.iterations = opts.policy_iterations;
+      p.sim.keep_memory = false;
+      p.sim.engine = spmt::SimEngine::kEventDriven;
+      event_points.push_back(p);
+      p.sim.engine = spmt::SimEngine::kLegacyStepper;
+      legacy_points.push_back(std::move(p));
+    }
+    driver::SimSweepOptions sweep;
+    sweep.threads = opts.sim_jobs;
+    const auto event = driver::run_sim_sweep(event_points, sweep);
+    driver::SimSweepOptions legacy_sweep;
+    legacy_sweep.threads = 1;
+    const auto legacy = driver::run_sim_sweep(legacy_points, legacy_sweep);
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      TMS_ASSERT_MSG(event[i].ok && legacy[i].ok, "policy scenario: a sweep point failed");
+      TMS_ASSERT_MSG(event[i].stats.total_cycles == legacy[i].stats.total_cycles &&
+                         event[i].stats.bus_transfers == legacy[i].stats.bus_transfers &&
+                         event[i].stats.bus_cycles == legacy[i].stats.bus_cycles,
+                     "policy scenario: engines diverged under a policy");
+      cycles[pi][i] = static_cast<double>(event[i].stats.total_cycles);
+    }
+    double total = 0.0;
+    for (const double c : cycles[pi]) total += c;
+    r.values.emplace_back(std::string("cycles_") + policies[pi].key, total);
+  }
+
+  // Headline: the best per-loop win a non-default policy posts over
+  // modulo (>1 means some loop runs strictly faster off the default),
+  // plus how many of the loops see any such win.
+  double best_vs_modulo = 0.0;
+  double wins = 0.0;
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    double best_nondefault = cycles[1][i];
+    for (std::size_t pi = 2; pi < std::size(policies); ++pi) {
+      best_nondefault = std::min(best_nondefault, cycles[pi][i]);
+    }
+    if (best_nondefault > 0.0) {
+      best_vs_modulo = std::max(best_vs_modulo, cycles[0][i] / best_nondefault);
+    }
+    if (best_nondefault < cycles[0][i]) wins += 1.0;
+  }
+  r.values.emplace_back("best_vs_modulo", best_vs_modulo);
+  r.values.emplace_back("loops_won_nondefault", wins);
+  r.values.emplace_back("loops", static_cast<double>(loops.size()));
+  r.values.emplace_back("ncore", static_cast<double>(opts.policy_ncore));
+  r.values.emplace_back("iterations", static_cast<double>(opts.policy_iterations));
+  return r;
+}
+
 std::vector<ScenarioResult> run_all_scenarios(const ScenarioOptions& opts) {
-  return {run_sched_single(opts), run_batch_throughput(opts), run_serve_e2e(opts),
-          run_cluster_scaling(opts), run_sim_scaling(opts)};
+  return {run_sched_single(opts),    run_batch_throughput(opts), run_serve_e2e(opts),
+          run_cluster_scaling(opts), run_sim_scaling(opts),      run_policy_compare(opts)};
 }
 
 // ---- bench-trajectory-v1 JSON -------------------------------------------
@@ -485,6 +588,10 @@ const std::vector<MetricSpec>& trajectory_metrics() {
       // store-history scan makes the ratio sensitive to the iteration
       // count and allocator behaviour, so the band stays generous.
       {"sim_scaling", "speedup_ncore32", /*higher_is_better=*/true, 60.0},
+      // A deterministic cycle-count ratio (no wall clocks involved), so
+      // any movement is a real model/scheduler change — but schedules may
+      // legitimately shift as the cost model evolves, hence a real band.
+      {"policy_compare", "best_vs_modulo", /*higher_is_better=*/true, 25.0},
   };
   return specs;
 }

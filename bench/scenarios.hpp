@@ -1,4 +1,4 @@
-// The five canonical benchmark scenarios behind the perf trajectory.
+// The six canonical benchmark scenarios behind the perf trajectory.
 //
 // Every committed BENCH_<pr>.json point (docs/BENCHMARKS.md) is produced
 // by exactly this code, so the numbers are comparable PR over PR:
@@ -24,6 +24,13 @@
 //                     after asserting both produce identical SpmtStats —
 //                     the headline speedup_ncore32 tracks the simulator
 //                     rearchitecture (docs/SIMULATOR.md).
+//   policy_compare    simulated cycles of the Table-3 DOACROSS loops
+//                     under each core-allocation policy (docs/POLICY.md)
+//                     at one bus-contended core count, every point
+//                     cross-checked event-vs-legacy — the headline
+//                     best_vs_modulo is the largest per-loop win any
+//                     non-default policy posts over the paper's modulo
+//                     mapping once bus transfers cost cycles.
 //
 // Results are flat (key, value) lists so emission (trajectory_json),
 // parsing (scenarios_from_json) and comparison (compare_trajectories)
@@ -76,6 +83,16 @@ struct ScenarioOptions {
   int sim_loops = 7;                 ///< Table-3 loops per sweep point (7 = all)
   std::int64_t sim_iterations = 200000;  ///< source iterations per simulation
   int sim_jobs = 0;  ///< event-sweep workers; 0 = JobPool default (legacy stays at 1)
+
+  // policy_compare: the four core-allocation policies over the same
+  // DOACROSS loops, at a core count high enough that the shared-bus
+  // charge (which scales with ncore) separates the policies' transfer
+  // volumes. stride/block are fixed inside the scenario so the committed
+  // numbers stay comparable PR over PR.
+  int policy_loops = 7;                    ///< Table-3 loops per policy (7 = all)
+  int policy_ncore = 32;                   ///< core count; bus charge scales with it
+  std::int64_t policy_iterations = 20000;  ///< source iterations per simulation
+  int policy_bus_bytes = 8;                ///< bus_bytes_per_transfer (bandwidth stays 16)
 };
 
 /// `--quick` preset: one round / few requests everywhere. Useful for
@@ -95,8 +112,9 @@ ScenarioResult run_batch_throughput(const ScenarioOptions& opts);
 ScenarioResult run_serve_e2e(const ScenarioOptions& opts);
 ScenarioResult run_cluster_scaling(const ScenarioOptions& opts);
 ScenarioResult run_sim_scaling(const ScenarioOptions& opts);
+ScenarioResult run_policy_compare(const ScenarioOptions& opts);
 
-/// All five, in canonical order.
+/// All six, in canonical order.
 std::vector<ScenarioResult> run_all_scenarios(const ScenarioOptions& opts);
 
 // ---- bench-trajectory-v1 JSON -------------------------------------------

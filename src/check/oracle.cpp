@@ -4,6 +4,7 @@
 
 #include "codegen/kernel_program.hpp"
 #include "obs/trace.hpp"
+#include "policy/policy.hpp"
 #include "spmt/address.hpp"
 #include "spmt/reference.hpp"
 #include "spmt/single_core.hpp"
@@ -124,6 +125,7 @@ OracleReport run_differential_oracle(const ir::Loop& loop, const sched::Schedule
     r.fail(ViolationKind::kTraceInconsistent, "trace has ", sim.trace.size(),
            " threads, stats committed ", sim.stats.threads_committed);
   } else if (!sim.trace.empty()) {
+    const std::unique_ptr<policy::CorePolicy> pol = policy::make_policy(cfg, loop);
     std::int64_t sync = 0;
     std::int64_t extra_attempts = 0;
     std::int64_t prev_commit = 0;
@@ -139,9 +141,10 @@ OracleReport run_differential_oracle(const ir::Loop& loop, const sched::Schedule
                " commits before its predecessor");
         break;
       }
-      if (t.core != static_cast<int>(t.thread % cfg.ncore)) {
+      if (t.core != pol->core_of(t.thread)) {
         r.fail(ViolationKind::kTraceInconsistent, "thread ", t.thread, " ran on core ", t.core,
-               ", ring places it on ", t.thread % cfg.ncore);
+               ", the ", policy::to_string(cfg.policy), " policy places it on ",
+               pol->core_of(t.thread));
         break;
       }
       prev_commit = t.commit_end;

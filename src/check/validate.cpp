@@ -199,7 +199,8 @@ CheckReport validate_schedule(const sched::Schedule& sched, const machine::SpmtC
   }
 
   // --- C1: synchronisation delays vs the C_delay threshold ----------------
-  // Recompute sync(x,y) = row(x) - row(y) + lat(x) + C_reg_com for every
+  // Recompute sync(x,y) = row(x) - row(y) + lat(x) + reg_comm_cycles()
+  // (C_reg_com plus the bus contention charge when the bus is on) for every
   // inter-thread register flow dependence (Definition 2) without going
   // through Schedule::sync_delay.
   int recomputed_c_delay = 0;
@@ -210,7 +211,7 @@ CheckReport validate_schedule(const sched::Schedule& sched, const machine::SpmtC
     if (e.distance + sched.stage(e.dst) - sched.stage(e.src) < 1) continue;
     inter_thread_regs.push_back(i);
     const int sync = sched.row(e.src) - sched.row(e.dst) +
-                     mach.latency(loop.instr(e.src).op) + cfg.c_reg_com;
+                     mach.latency(loop.instr(e.src).op) + cfg.reg_comm_cycles();
     recomputed_c_delay = std::max(recomputed_c_delay, sync);
     if (opts.c_delay_threshold >= 0 && sync > opts.c_delay_threshold) {
       c.fail(ViolationKind::kSyncDelay, "edge ", edge_name(loop, e), ": sync delay ", sync,
@@ -240,7 +241,7 @@ CheckReport validate_schedule(const sched::Schedule& sched, const machine::SpmtC
         if (sched.row(r.src) > sched.row(m.src)) continue;
         if (sched.row(r.dst) > sched.row(m.dst)) continue;
         const int sync = sched.row(r.src) - sched.row(r.dst) +
-                         mach.latency(loop.instr(r.src).op) + cfg.c_reg_com;
+                         mach.latency(loop.instr(r.src).op) + cfg.reg_comm_cycles();
         if (sync >= gap) is_preserved = true;
       }
       if (!is_preserved) keep *= 1.0 - m.probability;

@@ -59,6 +59,18 @@ void append_config(std::string& out, const machine::SpmtConfig& c) {
                 c.l2_sets, c.l2_ways, c.line_bytes, c.spec_write_buffer_entries, c.mdt_entries,
                 c.ring_queue_entries);
   out += buf;
+  // Policy and bus terms are appended only when non-default so every key
+  // minted before the policy subsystem existed stays byte-identical.
+  if (c.policy != machine::AllocPolicy::kModulo || c.policy_stride != 1 || c.policy_block != 1) {
+    std::snprintf(buf, sizeof buf, "policy %d stride %d block %d\n", static_cast<int>(c.policy),
+                  c.policy_stride, c.policy_block);
+    out += buf;
+  }
+  if (c.bus_bytes_per_transfer != 0 || c.bus_bytes_per_cycle != 16) {
+    std::snprintf(buf, sizeof buf, "bus %d/%d\n", c.bus_bytes_per_transfer,
+                  c.bus_bytes_per_cycle);
+    out += buf;
+  }
 }
 
 std::string hex_key(std::uint64_t key) {

@@ -8,9 +8,29 @@
 
 namespace tms::machine {
 
+/// Which iteration→core allocation policy the simulator (and the
+/// scheduler's communication-cost terms) assume. The paper hardcodes
+/// kModulo; the alternatives come from the thread-to-core allocation
+/// line of work (Navarro et al.) and are implemented in src/policy.
+/// The enum lives here, next to the other machine knobs, so the
+/// scheduler/cost/simulator agree on the machine without depending on
+/// the policy library; the behaviour behind each enumerator is
+/// policy::make_policy's job.
+enum class AllocPolicy {
+  kModulo,            ///< iteration k runs on core k mod ncore (paper default)
+  kRoundRobinStride,  ///< core (k * stride) mod ncore
+  kLocality,          ///< core (k / block) mod ncore: consecutive iterations share a core
+  kDepDistance,       ///< block size = dominant cross-iteration dependence distance
+};
+
 struct SpmtConfig {
   // --- Topology ---------------------------------------------------------
   int ncore = 4;  ///< the paper evaluates a quad-core ring
+
+  // --- Core allocation (src/policy, docs/POLICY.md) -----------------------
+  AllocPolicy policy = AllocPolicy::kModulo;
+  int policy_stride = 1;  ///< kRoundRobinStride: must be coprime with ncore
+  int policy_block = 1;   ///< kLocality: consecutive iterations per core
 
   // --- Per-event overheads (Table 1) -------------------------------------
   int c_spn = 3;      ///< spawn overhead C_spn
@@ -45,10 +65,36 @@ struct SpmtConfig {
   /// (backpressure); Voltron-style designs keep these queues small.
   int ring_queue_entries = 8;
 
+  // --- Shared-bus contention (Eremeev et al.) ------------------------------
+  /// Bytes one inter-core register transfer occupies on the shared bus.
+  /// 0 (the default) models a contention-free operand network — the
+  /// paper's machine — and keeps every pre-policy number byte-identical.
+  int bus_bytes_per_transfer = 0;
+  /// Shared-bus bandwidth in bytes per cycle. Only meaningful when
+  /// bus_bytes_per_transfer > 0.
+  int bus_bytes_per_cycle = 16;
+
+  bool bus_enabled() const { return bus_bytes_per_transfer > 0 && bus_bytes_per_cycle > 0; }
+
+  /// Deterministic TDMA-style contention charge per transfer: with all
+  /// ncore cores sharing the bus, a transfer's slot recurs every
+  /// ncore * bytes / bandwidth cycles (rounded up). Grows with ncore, so
+  /// mappings that avoid cross-core transfers win at high core counts.
+  int bus_transfer_cycles() const {
+    if (!bus_enabled()) return 0;
+    return (bus_bytes_per_transfer * ncore + bus_bytes_per_cycle - 1) / bus_bytes_per_cycle;
+  }
+
+  /// Effective cost of one cross-core register communication: the ring
+  /// SEND/hop/RECV latency plus the shared-bus contention charge. This —
+  /// not bare c_reg_com — is what the scheduler's C1/C2 sync terms and
+  /// the simulators' forwarding delays are built from.
+  int reg_comm_cycles() const { return c_reg_com + bus_transfer_cycles(); }
+
   // --- Scheduler-side knobs ----------------------------------------------
   /// Smallest legal C_delay: a 1-cycle producer plus the register
   /// communication (Definition 2 / line 5 of Fig. 3).
-  int min_c_delay() const { return 1 + c_reg_com; }
+  int min_c_delay() const { return 1 + reg_comm_cycles(); }
 
   /// Communication latency between producer core and the consumer core
   /// `hops` ring positions downstream (consumer of a distance-1 dependence
@@ -63,6 +109,8 @@ struct SpmtConfig {
     TMS_ASSERT(c_spn >= 0 && c_ci >= 0 && c_inv >= 0);
     TMS_ASSERT(send_cycles + hop_cycles + recv_cycles == c_reg_com);
     TMS_ASSERT(spec_write_buffer_entries > 0);
+    TMS_ASSERT(policy_stride >= 1 && policy_block >= 1);
+    TMS_ASSERT(bus_bytes_per_transfer >= 0 && bus_bytes_per_cycle >= 1);
   }
 };
 

@@ -77,7 +77,7 @@ NestEval evaluate_nest(const LoopNest& nest, const machine::MachineModel& mach,
         const double span = (pos[static_cast<std::size_t>(d.src)] -
                              pos[static_cast<std::size_t>(d.dst)]) *
                                 static_cast<double>(body) +
-                            cfg.c_reg_com;
+                            cfg.reg_comm_cycles();
         c_delay = std::max(c_delay, static_cast<int>(std::max(0.0, span)));
       } else {
         keep *= 1.0 - d.probability;

@@ -63,6 +63,10 @@ namespace tms::obs {
   X(sim_events,              "sim.events",              "events",     "events popped from the event-driven engine's clock queue (thread spawns, core wakes, squash retries)") \
   X(sim_sweep_points,        "sim.sweep_points",        "points",     "(workload, config) points simulated by driver::run_sim_sweep")          \
   X(sim_quick_estimates,     "sim.quick_estimates",     "runs",       "fast-path spmt::quick_estimate simulations (simulator-backed verify)")  \
+  X(sim_bus_transfers,       "sim.bus_transfers",       "transfers",  "cross-core register transfers charged to the shared bus by committed threads") \
+  X(sim_bus_cycles,          "sim.bus_cycles",          "cycles",     "shared-bus contention cycles added to forwarding delays (0 with the bus term off)") \
+  X(policy_instances,        "policy.instances",        "policies",   "CorePolicy instantiations via policy::make_policy")                     \
+  X(policy_nondefault,       "policy.nondefault",       "policies",   "make_policy calls that selected a non-modulo allocation policy")        \
   X(workloads_loops_built,   "workloads.loops_built",   "loops",      "loops materialised by workloads::build_loop")                           \
   X(trace_events_dropped,    "trace.events_dropped",    "events",     "trace events dropped because the ring buffer was full")                 \
   X(driver_cache_evictions_mem,  "driver.cache_evictions_mem",  "entries", "in-memory ScheduleCache entries evicted by the LRU capacity bound") \

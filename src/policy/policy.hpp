@@ -1,0 +1,72 @@
+// Pluggable iteration→core allocation policies (docs/POLICY.md).
+//
+// The paper fixes the mapping at "thread k runs on core k mod ncore" and
+// prices every cross-thread register dependence at d_ker hops of ring
+// relay. The thread-to-core allocation literature (Navarro et al.) shows
+// the mapping alone is worth double-digit percent, and a shared-bus
+// contention term (Eremeev et al.) changes which mapping wins — so both
+// become machine knobs here: machine::SpmtConfig names the policy and
+// the bus parameters, and this library turns them into behaviour.
+//
+// A CorePolicy answers exactly two questions, and both simulator engines
+// (spmt/sim.cpp, spmt/event_sim.cpp) route every placement and every
+// forwarding delay through it:
+//   core_of(k)        which core runs thread/iteration k
+//   comm_cost(d, k)   cycles (and bus transfers) to deliver a value
+//                     produced d threads upstream to consumer thread k
+//
+// The modulo policy reproduces the legacy hardcoded behaviour bit-exactly
+// when the bus term is off — enforced by tests/policy_test.cpp and the
+// golden stats pinned in tests/event_sim_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "ir/loop.hpp"
+#include "machine/spmt_config.hpp"
+
+namespace tms::policy {
+
+/// Cost of delivering one cross-thread register value to its consumer.
+struct CommCost {
+  std::int64_t delay = 0;      ///< cycles after producer completion
+  std::int64_t transfers = 0;  ///< shared-bus transfers charged
+};
+
+class CorePolicy {
+ public:
+  virtual ~CorePolicy() = default;
+  virtual machine::AllocPolicy kind() const = 0;
+
+  /// Which core runs thread/iteration k (k >= 0).
+  virtual int core_of(std::int64_t k) const = 0;
+
+  /// Delivery cost of a value produced d_ker threads upstream of
+  /// consumer thread k. delay == 0 exactly when producer and consumer
+  /// land on the same core (no SEND/RECV, no bus occupancy).
+  virtual CommCost comm_cost(int d_ker, std::int64_t k) const = 0;
+
+  /// True when comm_cost depends only on d_ker, never on k. Uniform
+  /// policies let the event engine keep its precomputed per-input costs;
+  /// non-uniform ones are queried per access.
+  virtual bool uniform() const = 0;
+};
+
+/// Most frequent cross-iteration dependence distance of `loop` (ties go
+/// to the smallest); 1 when the loop carries no cross-iteration
+/// dependence. This is kDepDistance's block size: iterations k and k-D
+/// then always share a core boundary exactly one ring hop apart.
+int dominant_dep_distance(const ir::Loop& loop);
+
+/// Policy factory. `loop` feeds kDepDistance's dominant-distance choice;
+/// the other policies ignore it. Bumps the policy.* obs counters.
+std::unique_ptr<CorePolicy> make_policy(const machine::SpmtConfig& cfg, const ir::Loop& loop);
+
+/// "modulo", "round_robin_stride", "locality", "dep_distance".
+std::string_view to_string(machine::AllocPolicy p);
+/// Inverse of to_string; false when `s` names no policy.
+bool policy_from_string(std::string_view s, machine::AllocPolicy& out);
+
+}  // namespace tms::policy

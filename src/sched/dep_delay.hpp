@@ -6,6 +6,11 @@
 // only require the consumer (writer) not to overtake the reader's issue;
 // output dependences require one cycle of separation so the later write
 // wins.
+//
+// Communication cost (SpmtConfig::reg_comm_cycles(), which folds in the
+// shared-bus contention charge when the bus term is on) never enters the
+// modulo constraint itself: it prices the C1 synchronisation-delay check
+// (Schedule::sync_delay) and the cost model, not schedule validity.
 #pragma once
 
 #include "ir/loop.hpp"

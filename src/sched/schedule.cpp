@@ -48,7 +48,7 @@ void Schedule::clear_slot(ir::NodeId v) {
 
 int Schedule::sync_delay(const ir::DepEdge& e, const machine::SpmtConfig& cfg) const {
   TMS_ASSERT(e.kind == ir::DepKind::kRegister && e.type == ir::DepType::kFlow);
-  return row(e.src) - row(e.dst) + mach_->latency(loop_->instr(e.src).op) + cfg.c_reg_com;
+  return row(e.src) - row(e.dst) + mach_->latency(loop_->instr(e.src).op) + cfg.reg_comm_cycles();
 }
 
 int Schedule::mem_gap(const ir::DepEdge& e) const {

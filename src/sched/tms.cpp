@@ -229,7 +229,7 @@ std::optional<Schedule> try_thresholds(const ir::Loop& loop, const machine::Mach
       }
       if (pending_succ) {
         headroom =
-            std::max(0, mach.latency(loop.instr(v).op) + cfg.c_reg_com - c_delay);
+            std::max(0, mach.latency(loop.instr(v).op) + cfg.reg_comm_cycles() - c_delay);
       }
     }
 
@@ -424,7 +424,7 @@ std::optional<TmsResult> tms_schedule(const ir::Loop& loop, const machine::Machi
     const int cd_floor = cfg.min_c_delay();
     // At cd_ceiling C1 can never bind: the row gap is at most II-1 and the
     // producer latency at most max_lat.
-    const int cd_ceiling = ii - 1 + max_lat + cfg.c_reg_com;
+    const int cd_ceiling = ii - 1 + max_lat + cfg.reg_comm_cycles();
 
     bool ii_improved = false;
     // Every schedule produced during the threshold search is judged by

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "ir/textio.hpp"
+#include "policy/policy.hpp"
 
 namespace tms::serve {
 
@@ -152,6 +153,28 @@ std::string serialise_request(const Request& req) {
   out += std::to_string(req.ncore);
   out += "\ndeadline_ms ";
   out += std::to_string(req.deadline_ms);
+  // Omit-when-default, like request_id: a default-policy request is
+  // byte-identical to one minted before these fields existed.
+  if (req.policy != machine::AllocPolicy::kModulo) {
+    out += "\npolicy ";
+    out += policy::to_string(req.policy);
+  }
+  if (req.policy_stride != 1) {
+    out += "\npolicy_stride ";
+    out += std::to_string(req.policy_stride);
+  }
+  if (req.policy_block != 1) {
+    out += "\npolicy_block ";
+    out += std::to_string(req.policy_block);
+  }
+  if (req.bus_bytes_per_transfer != 0) {
+    out += "\nbus_bytes_per_transfer ";
+    out += std::to_string(req.bus_bytes_per_transfer);
+  }
+  if (req.bus_bytes_per_cycle != 16) {
+    out += "\nbus_bytes_per_cycle ";
+    out += std::to_string(req.bus_bytes_per_cycle);
+  }
   out += "\nloop\n";
   out += ir::serialise_loop(req.loop);
   return out;
@@ -184,6 +207,24 @@ std::variant<Request, std::string> parse_request(std::string_view payload) {
       if (!parse_int(value, req.ncore)) return std::string("bad ncore");
     } else if (key == "deadline_ms") {
       if (!parse_i64(value, req.deadline_ms)) return std::string("bad deadline_ms");
+    } else if (key == "policy") {
+      if (!policy::policy_from_string(value, req.policy)) return std::string("bad policy");
+    } else if (key == "policy_stride") {
+      if (!parse_int(value, req.policy_stride) || req.policy_stride < 1) {
+        return std::string("bad policy_stride");
+      }
+    } else if (key == "policy_block") {
+      if (!parse_int(value, req.policy_block) || req.policy_block < 1) {
+        return std::string("bad policy_block");
+      }
+    } else if (key == "bus_bytes_per_transfer") {
+      if (!parse_int(value, req.bus_bytes_per_transfer) || req.bus_bytes_per_transfer < 0) {
+        return std::string("bad bus_bytes_per_transfer");
+      }
+    } else if (key == "bus_bytes_per_cycle") {
+      if (!parse_int(value, req.bus_bytes_per_cycle) || req.bus_bytes_per_cycle < 1) {
+        return std::string("bad bus_bytes_per_cycle");
+      }
     } else {
       return "unknown request field '" + std::string(key) + "'";
     }

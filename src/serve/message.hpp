@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ir/loop.hpp"
+#include "machine/spmt_config.hpp"
 
 namespace tms::serve {
 
@@ -35,6 +36,15 @@ struct Request {
   std::string scheduler = "tms";   ///< "sms", "ims" or "tms"
   int ncore = 4;                   ///< SpmtConfig.ncore for this request
   std::int64_t deadline_ms = 0;    ///< 0 = no deadline
+  /// Core-allocation policy and shared-bus machine terms for this request
+  /// (SpmtConfig fields of the same names). Serialised only when they
+  /// differ from the defaults, so pre-policy clients and servers keep
+  /// exchanging byte-identical payloads.
+  machine::AllocPolicy policy = machine::AllocPolicy::kModulo;
+  int policy_stride = 1;
+  int policy_block = 1;
+  int bus_bytes_per_transfer = 0;
+  int bus_bytes_per_cycle = 16;
   ir::Loop loop{"unnamed"};
 };
 

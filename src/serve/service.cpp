@@ -226,6 +226,12 @@ Response CompileService::admit(const Request& req, const std::string& request_id
   if (req.ncore < 1 || req.ncore > 1024) {
     return make_error(req.id, ErrorCode::kBadRequest, "ncore out of range");
   }
+  if (req.policy_stride < 1 || req.policy_block < 1) {
+    return make_error(req.id, ErrorCode::kBadRequest, "policy parameters out of range");
+  }
+  if (req.bus_bytes_per_transfer < 0 || req.bus_bytes_per_cycle < 1) {
+    return make_error(req.id, ErrorCode::kBadRequest, "bus parameters out of range");
+  }
 
   // Admission: never block on a full queue — answer overload right away.
   obs::counters().serve_queue_depth.record(pool_.queue_depth());
@@ -296,6 +302,16 @@ Response CompileService::compile(const Request& req, const std::string& request_
 
   machine::SpmtConfig cfg;
   cfg.ncore = req.ncore;
+  // Request fields override the server defaults only where the request
+  // deviates from the wire defaults (an omitted field parses back to the
+  // default, so "unspecified" and "explicitly default" coincide).
+  cfg.policy = req.policy != machine::AllocPolicy::kModulo ? req.policy : opts_.policy;
+  cfg.policy_stride = req.policy_stride != 1 ? req.policy_stride : opts_.policy_stride;
+  cfg.policy_block = req.policy_block != 1 ? req.policy_block : opts_.policy_block;
+  cfg.bus_bytes_per_transfer = req.bus_bytes_per_transfer != 0 ? req.bus_bytes_per_transfer
+                                                               : opts_.bus_bytes_per_transfer;
+  cfg.bus_bytes_per_cycle =
+      req.bus_bytes_per_cycle != 16 ? req.bus_bytes_per_cycle : opts_.bus_bytes_per_cycle;
 
   const Clock::time_point sched_start = Clock::now();
   std::optional<Scheduled> sl;

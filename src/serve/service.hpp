@@ -75,6 +75,15 @@ struct ServiceOptions {
   /// Iterations for the sim-verify run; 0 = quick_estimate's auto size
   /// (max(32, 8*ncore) capped at 256).
   std::int64_t sim_verify_iterations = 0;
+  /// Server-side defaults for the core-allocation policy and shared-bus
+  /// machine terms (tmsd --policy / --bus-*). A request that carries its
+  /// own non-default value overrides the corresponding default for that
+  /// request only.
+  machine::AllocPolicy policy = machine::AllocPolicy::kModulo;
+  int policy_stride = 1;
+  int policy_block = 1;
+  int bus_bytes_per_transfer = 0;
+  int bus_bytes_per_cycle = 16;
 };
 
 class CompileService : public Handler {

@@ -1,9 +1,13 @@
 // The event-driven SpMT simulator core (docs/SIMULATOR.md).
 //
 // Same execution model as the legacy walker in sim.cpp — thread k runs
-// kernel iteration k on core k mod ncore, sequential spawn/commit, ring
-// SEND/RECV, speculated memory dependences with squash + re-execute —
-// but organised around events instead of a monolithic per-thread loop:
+// kernel iteration k on the core chosen by the configured allocation
+// policy (SpmtConfig::policy via policy::make_policy; the paper default
+// is core k mod ncore), sequential spawn/commit, policy-priced register
+// forwarding (ring SEND/RECV legs plus the optional shared-bus
+// contention charge), speculated memory dependences with squash +
+// re-execute — but organised around events instead of a monolithic
+// per-thread loop:
 //
 //   * Each simulated core owns a ready queue of threads waiting for the
 //     core to drain its previous commit; a global min-heap of
@@ -44,6 +48,7 @@
 
 #include "ir/graph.hpp"
 #include "obs/counters.hpp"
+#include "policy/policy.hpp"
 #include "spmt/cache.hpp"
 #include "spmt/sim.hpp"
 #include "spmt/values.hpp"
@@ -159,6 +164,7 @@ struct WalkResult {
   std::int64_t sync_stall = 0;
   std::int64_t mem_stall = 0;
   std::int64_t send_block = 0;
+  std::int64_t bus_transfers = 0;  ///< not attempt-gated: final walk only is committed
   std::int64_t instances = 0;
   bool violated = false;
   std::int64_t detect_time = 0;
@@ -171,7 +177,8 @@ class EventEngine {
   EventEngine(const ir::Loop& loop, const codegen::KernelProgram& kp,
               const machine::SpmtConfig& cfg, const AddressStreams& streams,
               const SpmtOptions& opts)
-      : loop_(loop), kp_(kp), cfg_(cfg), opts_(opts), hier_(cfg, cfg.ncore) {
+      : loop_(loop), kp_(kp), cfg_(cfg), opts_(opts), hier_(cfg, cfg.ncore),
+        pol_(policy::make_policy(cfg, loop)), uniform_(pol_->uniform()) {
     const std::size_t ninstr = static_cast<std::size_t>(loop.num_instrs());
     const std::vector<ir::NodeId> topo = ir::topo_order_intra(loop);
     rank_.assign(ninstr, 0);
@@ -220,7 +227,14 @@ class EventEngine {
         if (in.consumer != consumer) continue;
         RegIn ri;
         ri.d_ker = in.d_ker;
-        ri.hop_cost = static_cast<std::int64_t>(in.d_ker) * cfg.c_reg_com;
+        // Uniform policies price an input once here; non-uniform ones
+        // are queried per access in step_op (the consumer thread
+        // matters, so no per-input constant exists).
+        if (uniform_) {
+          const policy::CommCost cost = pol_->comm_cost(in.d_ker, /*k=*/0);
+          ri.hop_cost = cost.delay;
+          ri.transfers = cost.transfers;
+        }
         ri.producer_stage = stage[static_cast<std::size_t>(in.producer)];
         ri.producer_wall_base =
             static_cast<std::size_t>(in.producer) * static_cast<std::size_t>(ring_);
@@ -314,7 +328,7 @@ class EventEngine {
             // Core still draining its previous commit: park the thread
             // on the core's ready queue and wake when the core frees.
             core.ready.push_back(k);
-            push_event(core.free_at, EvKind::kCoreWake, k % cfg_.ncore);
+            push_event(core.free_at, EvKind::kCoreWake, core_index(k));
           } else {
             start_thread(k, at);
           }
@@ -348,6 +362,7 @@ class EventEngine {
     }
     TMS_ASSERT(res_.stats.threads_committed == num_threads_);
 
+    res_.stats.bus_cycles = res_.stats.bus_transfers * cfg_.bus_transfer_cycles();
     res_.stats.l2_hits = hier_.l2_hits();
     res_.stats.l2_misses = hier_.l2_misses();
     for (int c = 0; c < cfg_.ncore; ++c) {
@@ -407,7 +422,8 @@ class EventEngine {
     int d_ker = 0;
     int producer_stage = 0;
     bool is_first_hop = false;
-    std::int64_t hop_cost = 0;
+    std::int64_t hop_cost = 0;   ///< uniform policies only; else queried per access
+    std::int64_t transfers = 0;  ///< bus transfers per delivery (uniform policies)
     std::size_t producer_wall_base = 0;
   };
 
@@ -437,7 +453,10 @@ class EventEngine {
     events_.push(Event{time, next_seq_++, kind, arg});
   }
 
-  Core& core_of(std::int64_t k) { return cores_[static_cast<std::size_t>(k % cfg_.ncore)]; }
+  /// The single iteration→core mapping seam: every placement decision
+  /// (spawn, wake, trace, walk) goes through the policy here.
+  int core_index(std::int64_t k) const { return pol_->core_of(k); }
+  Core& core_of(std::int64_t k) { return cores_[static_cast<std::size_t>(core_index(k))]; }
 
   void start_thread(std::int64_t k, std::int64_t earliest) {
     cur_start_ = std::max(earliest, core_of(k).free_at);
@@ -490,6 +509,7 @@ class EventEngine {
     res_.stats.sync_stall_cycles += wr.sync_stall;
     res_.stats.mem_stall_cycles += wr.mem_stall;
     res_.stats.send_block_cycles += wr.send_block;
+    res_.stats.bus_transfers += wr.bus_transfers;
     if (k >= kp_.stage_count - 1 && k < opts_.iterations) {
       res_.stats.send_recv_pairs += kp_.comm_pairs_per_iter;
     }
@@ -497,7 +517,7 @@ class EventEngine {
     if (opts_.collect_trace) {
       ThreadTrace tt;
       tt.thread = k;
-      tt.core = static_cast<int>(k % cfg_.ncore);
+      tt.core = core_index(k);
       tt.start = cur_start_;
       tt.completion = wr.completion;
       tt.commit_end = commit_end;
@@ -552,8 +572,16 @@ class EventEngine {
       const std::int64_t src_of_producer = pk - in.producer_stage;
       if (src_of_producer < 0 || src_of_producer >= n) continue;
       const std::int64_t pk_res = res_sub(k_mod, in.d_ker);
+      std::int64_t delay = in.hop_cost;
+      std::int64_t transfers = in.transfers;
+      if (!uniform_) {
+        const policy::CommCost cost = pol_->comm_cost(in.d_ker, k);
+        delay = cost.delay;
+        transfers = cost.transfers;
+      }
+      wr.bus_transfers += transfers;
       const std::int64_t avail =
-          completion_wall_[slot_at(in.producer_wall_base, pk_res)] + in.hop_cost;
+          completion_wall_[slot_at(in.producer_wall_base, pk_res)] + delay;
       if (avail > t) {
         const std::int64_t stall = avail - t;
         shift += stall;
@@ -591,9 +619,17 @@ class EventEngine {
         if (pk < 0) continue;
         const std::int64_t src_of_producer = pk - in.producer_stage;
         if (src_of_producer < 0 || src_of_producer >= n) continue;
+        std::int64_t delay = in.hop_cost;
+        std::int64_t transfers = in.transfers;
+        if (!uniform_) {
+          const policy::CommCost cost = pol_->comm_cost(in.d_ker, k);
+          delay = cost.delay;
+          transfers = cost.transfers;
+        }
+        wr.bus_transfers += transfers;
         const std::int64_t avail =
             completion_wall_[slot_at(in.producer_wall_base, res_sub(k_mod, in.d_ker))] +
-            in.hop_cost;
+            delay;
         if (avail > t) {
           const std::int64_t stall = avail - t;
           shift += stall;
@@ -670,7 +706,7 @@ class EventEngine {
     std::int64_t shift = 0;
     std::int64_t completion = start;
     const std::int64_t n = opts_.iterations;
-    const int core = static_cast<int>(k % cfg_.ncore);
+    const int core = core_index(k);
     const std::int64_t k_mod = k % ring_;
     for (const OpInfo& oi : op_info_) {
       const std::int64_t src_iter = k - oi.stage;
@@ -690,7 +726,7 @@ class EventEngine {
     WalkResult wr;
     std::int64_t shift = 0;
     std::int64_t completion = start;
-    const int core = static_cast<int>(k % cfg_.ncore);
+    const int core = core_index(k);
     const std::int64_t k_mod = k % ring_;
     for (std::size_t j = 0; j < eventful_.size(); ++j) {
       if (seg_max_[j] >= 0) completion = std::max(completion, start + shift + seg_max_[j]);
@@ -762,6 +798,8 @@ class EventEngine {
   const machine::SpmtConfig& cfg_;
   const SpmtOptions& opts_;
   MemoryHierarchy hier_;
+  std::unique_ptr<policy::CorePolicy> pol_;
+  bool uniform_ = true;
 
   std::vector<std::int64_t> rank_;
   std::vector<ir::NodeId> topo_;

@@ -8,6 +8,7 @@
 #include "ir/graph.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "policy/policy.hpp"
 #include "spmt/cache.hpp"
 #include "spmt/values.hpp"
 #include "support/assert.hpp"
@@ -29,6 +30,7 @@ struct WalkResult {
   std::int64_t sync_stall = 0;
   std::int64_t mem_stall = 0;
   std::int64_t send_block = 0;
+  std::int64_t bus_transfers = 0;  ///< not attempt-gated: final walk only is committed
   std::int64_t instances = 0;
   bool violated = false;
   std::int64_t detect_time = 0;  ///< completion of the oldest violating thread
@@ -40,7 +42,8 @@ class Engine {
  public:
   Engine(const ir::Loop& loop, const codegen::KernelProgram& kp, const machine::SpmtConfig& cfg,
          const AddressStreams& streams, const SpmtOptions& opts)
-      : loop_(loop), kp_(kp), cfg_(cfg), streams_(streams), opts_(opts), hier_(cfg, cfg.ncore) {
+      : loop_(loop), kp_(kp), cfg_(cfg), streams_(streams), opts_(opts), hier_(cfg, cfg.ncore),
+        pol_(policy::make_policy(cfg, loop)) {
     // Program-order rank within an iteration (reference interpreter order).
     const std::vector<ir::NodeId> topo = ir::topo_order_intra(loop);
     rank_.assign(static_cast<std::size_t>(loop.num_instrs()), 0);
@@ -105,7 +108,7 @@ class Engine {
 
     SpmtResult res;
     for (std::int64_t k = 0; k < num_threads; ++k) {
-      const int core = static_cast<int>(k % cfg_.ncore);
+      const int core = pol_->core_of(k);
       std::int64_t start =
           std::max(prev_start + cfg_.c_spn, free_at[static_cast<std::size_t>(core)]);
       if (kp_.stores_per_iter > cfg_.spec_write_buffer_entries) {
@@ -152,6 +155,7 @@ class Engine {
       res.stats.sync_stall_cycles += wr.sync_stall;
       res.stats.mem_stall_cycles += wr.mem_stall;
       res.stats.send_block_cycles += wr.send_block;
+      res.stats.bus_transfers += wr.bus_transfers;
       if (k >= kp_.stage_count - 1 && k < n) {
         res.stats.send_recv_pairs += kp_.comm_pairs_per_iter;
       }
@@ -170,6 +174,7 @@ class Engine {
       }
     }
 
+    res.stats.bus_cycles = res.stats.bus_transfers * cfg_.bus_transfer_cycles();
     res.stats.l2_hits = hier_.l2_hits();
     res.stats.l2_misses = hier_.l2_misses();
     for (int c = 0; c < cfg_.ncore; ++c) {
@@ -206,7 +211,7 @@ class Engine {
 
   WalkResult walk_thread(std::int64_t k, std::int64_t start, int attempt) {
     WalkResult wr;
-    const int core = static_cast<int>(k % cfg_.ncore);
+    const int core = pol_->core_of(k);
     std::int64_t shift = 0;
     std::int64_t completion = start;
     const std::int64_t n = opts_.iterations;
@@ -224,10 +229,12 @@ class Engine {
         if (pk < 0) continue;  // producer instance predates the loop: live-in
         const std::int64_t src_of_producer = pk - stage_of(in.producer);
         if (src_of_producer < 0 || src_of_producer >= n) continue;
+        const policy::CommCost cost = pol_->comm_cost(in.d_ker, k);
+        wr.bus_transfers += cost.transfers;
         const std::int64_t avail =
             completion_wall_[static_cast<std::size_t>(in.producer)]
                             [static_cast<std::size_t>(pk % static_cast<std::int64_t>(ring_))] +
-            static_cast<std::int64_t>(in.d_ker) * cfg_.c_reg_com;
+            cost.delay;
         if (avail > t) {
           const std::int64_t stall = avail - t;
           shift += stall;
@@ -271,10 +278,12 @@ class Engine {
           if (pk < 0) continue;
           const std::int64_t src_of_producer = pk - stage_of(in.producer);
           if (src_of_producer < 0 || src_of_producer >= n) continue;
+          const policy::CommCost cost = pol_->comm_cost(in.d_ker, k);
+          wr.bus_transfers += cost.transfers;
           const std::int64_t avail =
               completion_wall_[static_cast<std::size_t>(in.producer)]
                               [static_cast<std::size_t>(pk % static_cast<std::int64_t>(ring_))] +
-              static_cast<std::int64_t>(in.d_ker) * cfg_.c_reg_com;
+              cost.delay;
           if (avail > t) {
             const std::int64_t stall = avail - t;
             shift += stall;
@@ -379,6 +388,7 @@ class Engine {
   const AddressStreams& streams_;
   const SpmtOptions& opts_;
   MemoryHierarchy hier_;
+  std::unique_ptr<policy::CorePolicy> pol_;
 
   std::vector<std::int64_t> rank_;
   std::vector<int> stage_;
@@ -473,6 +483,10 @@ SpmtResult run_spmt(const ir::Loop& loop, const codegen::KernelProgram& kp,
         static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.squashed_cycles)));
     c.sim_send_recv_pairs.add(
         static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.send_recv_pairs)));
+    c.sim_bus_transfers.add(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.bus_transfers)));
+    c.sim_bus_cycles.add(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, res.stats.bus_cycles)));
   }
   TMS_TRACE_SPAN_ARG(span, obs::targ("iterations", opts.iterations),
                      obs::targ("cycles", res.stats.total_cycles),

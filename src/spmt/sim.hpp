@@ -1,11 +1,14 @@
 // The SpMT multicore simulator (Section 3's execution model).
 //
-// Thread k executes kernel iteration k of a modulo-scheduled loop on core
-// k mod ncore: for each node v, the instance of source iteration
+// Thread k executes kernel iteration k of a modulo-scheduled loop on the
+// core chosen by the configured allocation policy (SpmtConfig::policy,
+// resolved through policy::make_policy — the paper's default maps k to
+// core k mod ncore): for each node v, the instance of source iteration
 // k - stage(v) (skipped in prologue/epilogue threads). Threads are
 // spawned sequentially (C_spn apart), commit sequentially (C_ci each,
-// double-buffered write buffer), and synchronise register dependences via
-// ring SEND/RECV at C_reg_com per hop. Inter-thread memory dependences
+// double-buffered write buffer), and synchronise register dependences at
+// the policy's comm_cost — ring SEND/RECV legs plus the shared-bus
+// contention charge when the bus term is on. Inter-thread memory dependences
 // are speculated: a load that executed before the program-order-earlier
 // store it aliases with triggers a violation; the thread is squashed when
 // the older thread completes (paying C_inv) and re-executed on its core.
@@ -75,6 +78,13 @@ struct SpmtStats {
   std::int64_t wb_overflow_waits = 0;
   std::int64_t spec_wait_cycles = 0;    ///< disable_speculation serialisation
   std::int64_t send_block_cycles = 0;   ///< ring-queue backpressure on SENDs
+  /// Cross-core register transfers charged to the shared bus by committed
+  /// threads (counted even with the bus term off — it is a pure dataflow
+  /// volume; same-core forwards under locality-style policies are free).
+  std::int64_t bus_transfers = 0;
+  /// Contention cycles those transfers added to forwarding delays:
+  /// bus_transfers * SpmtConfig::bus_transfer_cycles(). 0 with the bus off.
+  std::int64_t bus_cycles = 0;
   std::uint64_t l1_hits = 0;
   std::uint64_t l1_misses = 0;
   std::uint64_t l2_hits = 0;
@@ -85,6 +95,9 @@ struct SpmtStats {
                ? static_cast<double>(misspeculations) / static_cast<double>(threads_committed)
                : 0.0;
   }
+  /// SEND/RECV execution cycles (Section 5.2's definition, priced at the
+  /// contention-free c_reg_com; bus contention is reported separately in
+  /// bus_cycles so the paper's metric stays comparable).
   std::int64_t comm_cycles(const machine::SpmtConfig& cfg) const {
     return send_recv_pairs * cfg.c_reg_com;
   }

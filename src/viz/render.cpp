@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "policy/policy.hpp"
 #include "support/assert.hpp"
 
 namespace tms::viz {
@@ -86,10 +87,11 @@ std::string render_execution(const sched::Schedule& s, const machine::SpmtConfig
   const int width = offset * (threads - 1) + ii + 4;
 
   std::ostringstream os;
+  const std::unique_ptr<policy::CorePolicy> pol = policy::make_policy(cfg, loop);
   os << "model execution of '" << loop.name() << "' on " << cfg.ncore
      << " cores (thread offset " << offset << " cycles):\n";
   for (int k = 0; k < threads; ++k) {
-    const int core = k % cfg.ncore;
+    const int core = pol->core_of(k);
     std::string line(static_cast<std::size_t>(width), ' ');
     const int start = k * offset;
     for (int c = 0; c < ii && start + c < width; ++c) {

@@ -16,6 +16,7 @@
 #include "spmt/estimate.hpp"
 #include "spmt/sim.hpp"
 #include "test_util.hpp"
+#include "workloads/kernels.hpp"
 
 namespace tms {
 namespace {
@@ -33,6 +34,8 @@ void expect_stats_equal(const spmt::SpmtStats& a, const spmt::SpmtStats& b,
   EXPECT_EQ(a.wb_overflow_waits, b.wb_overflow_waits) << what;
   EXPECT_EQ(a.spec_wait_cycles, b.spec_wait_cycles) << what;
   EXPECT_EQ(a.send_block_cycles, b.send_block_cycles) << what;
+  EXPECT_EQ(a.bus_transfers, b.bus_transfers) << what;
+  EXPECT_EQ(a.bus_cycles, b.bus_cycles) << what;
   EXPECT_EQ(a.l1_hits, b.l1_hits) << what;
   EXPECT_EQ(a.l1_misses, b.l1_misses) << what;
   EXPECT_EQ(a.l2_hits, b.l2_hits) << what;
@@ -328,6 +331,167 @@ TEST(QuickEstimate, SquashHeavyKernelStillSemanticallyOk) {
   const spmt::QuickEstimate qe = spmt::quick_estimate(loop, kp, cfg, qopts);
   EXPECT_TRUE(qe.semantics_ok);
   EXPECT_GT(qe.misspec_frequency, 0.0);
+}
+
+// Every allocation policy, bus on and off, both engines: the
+// bit-identity contract is policy-independent. ncore 32 is included
+// because that is where non-uniform policies diverge most from modulo.
+TEST(EventSim, EveryPolicyBitIdenticalAcrossEngines) {
+  machine::MachineModel mach;
+  const machine::AllocPolicy policies[] = {
+      machine::AllocPolicy::kModulo, machine::AllocPolicy::kRoundRobinStride,
+      machine::AllocPolicy::kLocality, machine::AllocPolicy::kDepDistance};
+  for (std::uint64_t seed : {3u, 17u}) {
+    const ir::Loop loop = test::random_loop(seed);
+    for (const machine::AllocPolicy pol : policies) {
+      for (int ncore : {4, 32}) {
+        for (int bus_bytes : {0, 8}) {
+          machine::SpmtConfig cfg;
+          cfg.ncore = ncore;
+          cfg.policy = pol;
+          cfg.policy_stride = 3;
+          cfg.policy_block = 2;
+          cfg.bus_bytes_per_transfer = bus_bytes;
+          const auto tms = sched::tms_schedule(loop, mach, cfg);
+          ASSERT_TRUE(tms.has_value()) << "seed " << seed;
+          const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+          spmt::SpmtOptions opts;
+          opts.iterations = 80;
+          opts.collect_trace = true;
+          check_differential(loop, kp, cfg, seed, opts,
+                             "seed " + std::to_string(seed) + " policy " +
+                                 std::to_string(static_cast<int>(pol)) + " ncore " +
+                                 std::to_string(ncore) + " bus " + std::to_string(bus_bytes));
+        }
+      }
+    }
+  }
+}
+
+// With the bus off, the modulo policy's relay pricing d_ker*(c_reg_com+0)
+// must leave every legacy stat untouched; bus_transfers is the pure
+// dataflow volume and bus_cycles stays zero.
+TEST(EventSim, BusOffModuloChargesNoBusCycles) {
+  machine::MachineModel mach;
+  machine::SpmtConfig cfg;
+  const ir::Loop loop = test::tiny_recurrence();
+  const auto tms = sched::tms_schedule(loop, mach, cfg);
+  ASSERT_TRUE(tms.has_value());
+  const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+  spmt::SpmtOptions opts;
+  opts.iterations = 100;
+  const spmt::SpmtResult r =
+      spmt::run_spmt(loop, kp, cfg, spmt::default_streams(loop, 42), opts);
+  EXPECT_GT(r.stats.bus_transfers, 0);
+  EXPECT_EQ(r.stats.bus_cycles, 0);
+}
+
+// Pinned pre-policy baseline: with the default config (modulo policy, bus
+// term off) both engines must reproduce the seed repo's stats and value
+// fingerprints bit-exactly. These rows were captured at the commit that
+// introduced the policy subsystem, from a build without it.
+TEST(GoldenStats, DefaultConfigReproducesPrePolicyBaseline) {
+  struct Row {
+    const char* name;
+    int ncore;
+    std::int64_t threads_committed, instances_executed, total_cycles, sync_stall_cycles,
+        mem_stall_cycles, send_recv_pairs, misspeculations, squashed_cycles, wb_overflow_waits,
+        spec_wait_cycles, send_block_cycles;
+    std::uint64_t l1_hits, l1_misses, l2_hits, l2_misses;
+    std::uint64_t fingerprint;
+  };
+  const Row rows[] = {
+      {"tiny_rec", 2, 401, 800, 2544, 2410, 736, 798, 0, 0, 0, 0, 0, 384u, 16u, 8u, 8u,
+       0xbd6e8767d7bf4681ull},
+      {"tiny_rec", 4, 400, 800, 2557, 6428, 928, 400, 0, 0, 0, 0, 0, 368u, 32u, 24u, 8u,
+       0xbd6e8767d7bf4681ull},
+      {"tiny_rec", 8, 400, 800, 2421, 14952, 1312, 400, 0, 0, 0, 0, 0, 336u, 64u, 56u, 8u,
+       0xbd6e8767d7bf4681ull},
+      {"tiny_doall", 2, 402, 1200, 2179, 1243, 736, 796, 0, 0, 0, 0, 0, 768u, 32u, 8u, 8u,
+       0x429979c66180cdcbull},
+      {"tiny_doall", 4, 400, 1200, 1837, 0, 928, 0, 0, 0, 0, 0, 0, 736u, 64u, 24u, 8u,
+       0x429979c66180cdcbull},
+      {"tiny_doall", 8, 400, 1200, 1745, 0, 1312, 0, 0, 0, 0, 0, 0, 672u, 128u, 56u, 8u,
+       0x429979c66180cdcbull},
+      {"hydro", 2, 405, 4000, 4223, 2669, 2208, 5530, 0, 0, 0, 0, 0, 1536u, 64u, 24u, 24u,
+       0x403e8fc347c8599bull},
+      {"hydro", 4, 403, 4000, 3915, 6765, 2784, 2779, 0, 0, 0, 0, 0, 1472u, 128u, 72u, 24u,
+       0x403e8fc347c8599bull},
+      {"hydro", 8, 400, 4000, 3450, 4178, 3936, 400, 0, 0, 0, 0, 0, 1344u, 256u, 168u, 24u,
+       0x403e8fc347c8599bull},
+      {"tridiag", 2, 401, 2400, 4849, 3402, 1472, 798, 0, 0, 0, 0, 0, 1152u, 48u, 16u, 16u,
+       0x370821164a0feecull},
+      {"tridiag", 4, 401, 2400, 4725, 12154, 1856, 798, 0, 0, 0, 0, 0, 1104u, 96u, 48u, 16u,
+       0x370821164a0feecull},
+      {"tridiag", 8, 401, 2400, 4491, 26616, 2624, 798, 0, 0, 0, 0, 1498, 1008u, 192u, 112u,
+       16u, 0x370821164a0feecull},
+      {"fir4", 2, 405, 4000, 3055, 1320, 736, 5135, 0, 0, 0, 0, 0, 768u, 32u, 8u, 8u,
+       0xbef3ad3c58f4549ull},
+      {"fir4", 4, 403, 4000, 2259, 2001, 928, 1985, 0, 0, 0, 0, 0, 736u, 64u, 24u, 8u,
+       0xbef3ad3c58f4549ull},
+      {"fir4", 8, 403, 4000, 2215, 4364, 1312, 1985, 0, 0, 0, 0, 720, 672u, 128u, 56u, 8u,
+       0xbef3ad3c58f4549ull},
+      {"scatter", 2, 402, 3200, 4412, 711, 2208, 1194, 0, 0, 0, 0, 0, 1536u, 64u, 24u, 24u,
+       0xede1c77f8ec4e7f2ull},
+      {"scatter", 4, 401, 3200, 3299, 1573, 2864, 1197, 10, 290, 0, 0, 0, 1512u, 128u, 72u,
+       25u, 0xede1c77f8ec4e7f2ull},
+      {"scatter", 8, 401, 3200, 3107, 5302, 3912, 1197, 11, 555, 0, 0, 997, 1388u, 256u, 168u,
+       25u, 0xede1c77f8ec4e7f2ull},
+      {"prop_9001", 2, 403, 11600, 6803, 2181, 2944, 5161, 0, 0, 0, 0, 0, 2304u, 96u, 32u,
+       32u, 0x273d1f805c2e9768ull},
+      {"prop_9001", 4, 403, 11600, 5368, 8029, 3712, 3176, 0, 0, 0, 0, 0, 2208u, 192u, 96u,
+       32u, 0x273d1f805c2e9768ull},
+      {"prop_9001", 8, 400, 11600, 5158, 10520, 5248, 800, 0, 0, 0, 0, 0, 2016u, 384u, 224u,
+       32u, 0x273d1f805c2e9768ull},
+  };
+
+  auto loop_by_name = [](const std::string& name) -> ir::Loop {
+    if (name == "tiny_rec") return test::tiny_recurrence();
+    if (name == "tiny_doall") return test::tiny_doall();
+    if (name == "prop_9001") return test::random_loop(9001);
+    for (workloads::Kernel& k : workloads::classic_kernels()) {
+      if (k.loop.name() == name) return std::move(k.loop);
+    }
+    ADD_FAILURE() << "no workload named " << name;
+    return ir::Loop("missing");
+  };
+
+  machine::MachineModel mach;
+  for (const Row& row : rows) {
+    const ir::Loop loop = loop_by_name(row.name);
+    machine::SpmtConfig cfg;
+    cfg.ncore = row.ncore;
+    const auto tms = sched::tms_schedule(loop, mach, cfg);
+    ASSERT_TRUE(tms.has_value()) << row.name;
+    const codegen::KernelProgram kp = codegen::lower_kernel(tms->schedule, cfg);
+    const spmt::AddressStreams streams = spmt::default_streams(loop, 42);
+    spmt::SpmtOptions opts;
+    opts.iterations = 400;
+    for (const spmt::SimEngine engine :
+         {spmt::SimEngine::kEventDriven, spmt::SimEngine::kLegacyStepper}) {
+      opts.engine = engine;
+      const spmt::SpmtResult r = spmt::run_spmt(loop, kp, cfg, streams, opts);
+      const std::string what = std::string(row.name) + " ncore " + std::to_string(row.ncore) +
+                               (engine == spmt::SimEngine::kEventDriven ? " event" : " legacy");
+      EXPECT_EQ(r.stats.threads_committed, row.threads_committed) << what;
+      EXPECT_EQ(r.stats.instances_executed, row.instances_executed) << what;
+      EXPECT_EQ(r.stats.total_cycles, row.total_cycles) << what;
+      EXPECT_EQ(r.stats.sync_stall_cycles, row.sync_stall_cycles) << what;
+      EXPECT_EQ(r.stats.mem_stall_cycles, row.mem_stall_cycles) << what;
+      EXPECT_EQ(r.stats.send_recv_pairs, row.send_recv_pairs) << what;
+      EXPECT_EQ(r.stats.misspeculations, row.misspeculations) << what;
+      EXPECT_EQ(r.stats.squashed_cycles, row.squashed_cycles) << what;
+      EXPECT_EQ(r.stats.wb_overflow_waits, row.wb_overflow_waits) << what;
+      EXPECT_EQ(r.stats.spec_wait_cycles, row.spec_wait_cycles) << what;
+      EXPECT_EQ(r.stats.send_block_cycles, row.send_block_cycles) << what;
+      EXPECT_EQ(r.stats.l1_hits, row.l1_hits) << what;
+      EXPECT_EQ(r.stats.l1_misses, row.l1_misses) << what;
+      EXPECT_EQ(r.stats.l2_hits, row.l2_hits) << what;
+      EXPECT_EQ(r.stats.l2_misses, row.l2_misses) << what;
+      EXPECT_EQ(r.value_fingerprint, row.fingerprint) << what;
+      EXPECT_EQ(r.stats.bus_cycles, 0) << what;  // bus off by default
+    }
+  }
 }
 
 }  // namespace

@@ -129,5 +129,40 @@ TEST(Oracle, RandomLoopsHoldOnLegacyEngine) {
   }
 }
 
+TEST(Oracle, EveryPolicyHoldsOnBothEngines) {
+  // Semantics (memory image, fingerprint, stats conservation, trace
+  // consistency against the policy's core map) are allocation-policy
+  // independent: the oracle must pass under every policy, with the bus
+  // term on, on both engines.
+  machine::MachineModel mach;
+  check::OracleOptions opts;
+  opts.iterations = 64;
+  const machine::AllocPolicy policies[] = {
+      machine::AllocPolicy::kModulo, machine::AllocPolicy::kRoundRobinStride,
+      machine::AllocPolicy::kLocality, machine::AllocPolicy::kDepDistance};
+  for (std::uint64_t seed : {3u, 21u}) {
+    const ir::Loop loop = test::random_loop(seed);
+    for (const machine::AllocPolicy pol : policies) {
+      machine::SpmtConfig cfg;
+      cfg.ncore = 8;
+      cfg.policy = pol;
+      cfg.policy_stride = 3;
+      cfg.policy_block = 2;
+      cfg.bus_bytes_per_transfer = 8;
+      const auto tms = sched::tms_schedule(loop, mach, cfg);
+      ASSERT_TRUE(tms.has_value()) << "seed " << seed;
+      for (const spmt::SimEngine engine :
+           {spmt::SimEngine::kEventDriven, spmt::SimEngine::kLegacyStepper}) {
+        opts.engine = engine;
+        const auto report = check::run_differential_oracle(loop, tms->schedule, cfg, opts);
+        EXPECT_TRUE(report.ok())
+            << "seed " << seed << " policy " << static_cast<int>(pol) << " engine "
+            << static_cast<int>(engine) << ":\n"
+            << report.to_string();
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tms

@@ -1,11 +1,14 @@
 // benchgate — produce and gate the committed perf trajectory.
 //
 //   benchgate run [--out FILE] [--pr N] [--baseline FILE] [--quick] [--jobs N]
-//       Runs the five canonical scenarios (bench/scenarios) and writes a
+//                 [--scenario NAME]
+//       Runs the six canonical scenarios (bench/scenarios) and writes a
 //       bench-trajectory-v1 document. With --baseline, that file's
 //       scenarios are embedded as the "baseline" section, so a committed
 //       BENCH_<pr>.json records both the pre-change measurement and the
-//       claimed improvement in one artifact.
+//       claimed improvement in one artifact. --scenario restricts the run
+//       to one scenario (repeatable) — for iterating locally; a committed
+//       trajectory always carries all six.
 //
 //   benchgate compare BASELINE CURRENT
 //       Diffs the gated metrics (scenarios.hpp trajectory_metrics) of two
@@ -37,7 +40,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: benchgate run [--out FILE] [--pr N] [--baseline FILE] [--quick] "
-               "[--jobs N]\n"
+               "[--jobs N] [--scenario NAME]\n"
                "       benchgate compare BASELINE CURRENT\n"
                "       benchgate show FILE\n");
   return 2;
@@ -86,6 +89,7 @@ int cmd_run(int argc, char** argv) {
   bench::ScenarioOptions opts;
   std::string out_path;
   std::string baseline_path;
+  std::vector<std::string> only;
   int pr = 0;
   for (int i = 2; i < argc; ++i) {
     const char* a = argv[i];
@@ -100,6 +104,8 @@ int cmd_run(int argc, char** argv) {
       if (const char* v = next()) pr = std::atoi(v); else return usage();
     } else if (std::strcmp(a, "--jobs") == 0) {
       if (const char* v = next()) opts.jobs = std::atoi(v); else return usage();
+    } else if (std::strcmp(a, "--scenario") == 0) {
+      if (const char* v = next()) only.emplace_back(v); else return usage();
     } else {
       return usage();
     }
@@ -113,7 +119,34 @@ int cmd_run(int argc, char** argv) {
     baseline_label = "pre-change measurement (" + baseline_path + ")";
   }
 
-  const std::vector<bench::ScenarioResult> scenarios = bench::run_all_scenarios(opts);
+  std::vector<bench::ScenarioResult> scenarios;
+  if (only.empty()) {
+    scenarios = bench::run_all_scenarios(opts);
+  } else {
+    using Runner = bench::ScenarioResult (*)(const bench::ScenarioOptions&);
+    const std::pair<const char*, Runner> runners[] = {
+        {"sched_single", bench::run_sched_single},
+        {"batch_throughput", bench::run_batch_throughput},
+        {"serve_e2e", bench::run_serve_e2e},
+        {"cluster_scaling", bench::run_cluster_scaling},
+        {"sim_scaling", bench::run_sim_scaling},
+        {"policy_compare", bench::run_policy_compare},
+    };
+    for (const std::string& name : only) {
+      bool found = false;
+      for (const auto& [rname, run] : runners) {
+        if (name == rname) {
+          scenarios.push_back(run(opts));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "benchgate: unknown scenario %s\n", name.c_str());
+        return usage();
+      }
+    }
+  }
   print_scenarios("benchgate scenarios:", scenarios);
 
   const std::string json = bench::trajectory_json(scenarios, pr, baseline_label, baseline);

@@ -27,6 +27,14 @@
 //     --qps N                  aggregate request rate cap (0 = unlimited)
 //     --scheduler sms|ims|tms  (default tms)
 //     --ncore N                (default 4)
+//     --policy P               core-allocation policy carried in every
+//                              request: modulo (default),
+//                              round_robin_stride, locality, dep_distance
+//     --policy-stride N        stride for round_robin_stride (default 1)
+//     --policy-block N         block size for locality        (default 1)
+//     --bus-bytes N            shared-bus bytes per register transfer
+//                              (default 0 = contention term off)
+//     --bus-bandwidth N        shared-bus bytes per cycle     (default 16)
 //     --deadline-ms N          per-request deadline (0 = none)
 //     --timeout-ms N           socket send/recv timeout (default 30000)
 //     --max-retries N          overload retries per request (default 8)
@@ -73,6 +81,7 @@
 
 #include "ir/textio.hpp"
 #include "machine/machine.hpp"
+#include "policy/policy.hpp"
 #include "router/cluster.hpp"
 #include "sched/ims.hpp"
 #include "sched/sms.hpp"
@@ -90,7 +99,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket PATH | --tcp HOST:PORT | --cluster N) [loop files...]\n"
                "          [--clients N] [--requests N] [--qps N] [--scheduler sms|ims|tms]\n"
-               "          [--ncore N] [--deadline-ms N] [--timeout-ms N] [--max-retries N]\n"
+               "          [--ncore N] [--policy NAME] [--policy-stride N] [--policy-block N]\n"
+               "          [--bus-bytes N] [--bus-bandwidth N]\n"
+               "          [--deadline-ms N] [--timeout-ms N] [--max-retries N]\n"
                "          [--verify] [--expect-retry-after] [--expect-stats] [--json PATH]\n",
                argv0);
   return 2;
@@ -224,6 +235,11 @@ int main(int argc, char** argv) {
   long long qps = 0;
   std::string scheduler = "tms";
   int ncore = 4;
+  machine::AllocPolicy policy = machine::AllocPolicy::kModulo;
+  int policy_stride = 1;
+  int policy_block = 1;
+  int bus_bytes = 0;
+  int bus_bandwidth = 16;
   long long deadline_ms = 0;
   int timeout_ms = 30000;
   int max_retries = 8;
@@ -256,6 +272,20 @@ int main(int argc, char** argv) {
       scheduler = next("--scheduler");
     } else if (a == "--ncore") {
       ncore = std::atoi(next("--ncore"));
+    } else if (a == "--policy") {
+      const char* name = next("--policy");
+      if (!policy::policy_from_string(name, policy)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", name);
+        return 2;
+      }
+    } else if (a == "--policy-stride") {
+      policy_stride = std::atoi(next("--policy-stride"));
+    } else if (a == "--policy-block") {
+      policy_block = std::atoi(next("--policy-block"));
+    } else if (a == "--bus-bytes") {
+      bus_bytes = std::atoi(next("--bus-bytes"));
+    } else if (a == "--bus-bandwidth") {
+      bus_bandwidth = std::atoi(next("--bus-bandwidth"));
     } else if (a == "--deadline-ms") {
       deadline_ms = std::atoll(next("--deadline-ms"));
     } else if (a == "--timeout-ms") {
@@ -317,6 +347,11 @@ int main(int argc, char** argv) {
   machine::MachineModel mach;
   machine::SpmtConfig cfg;
   cfg.ncore = ncore;
+  cfg.policy = policy;
+  cfg.policy_stride = policy_stride;
+  cfg.policy_block = policy_block;
+  cfg.bus_bytes_per_transfer = bus_bytes;
+  cfg.bus_bytes_per_cycle = bus_bandwidth;
   std::vector<std::optional<Expected>> expected(loops.size());
   if (verify) {
     for (std::size_t i = 0; i < loops.size(); ++i) {
@@ -402,6 +437,11 @@ int main(int argc, char** argv) {
         req.scheduler = scheduler;
         req.ncore = ncore;
         req.deadline_ms = deadline_ms;
+        req.policy = policy;
+        req.policy_stride = policy_stride;
+        req.policy_block = policy_block;
+        req.bus_bytes_per_transfer = bus_bytes;
+        req.bus_bytes_per_cycle = bus_bandwidth;
         req.loop = loops[li];
 
         const auto t0 = std::chrono::steady_clock::now();

@@ -29,6 +29,13 @@
 //                              iterations per loop        (default off)
 //     --no-validate            skip the independent schedule validator
 //     --ncore N                cores of the SpMT machine  (default 4)
+//     --policy P               core-allocation policy: modulo (default),
+//                              round_robin_stride, locality, dep_distance
+//     --policy-stride N        stride for round_robin_stride (default 1)
+//     --policy-block N         block size for locality        (default 1)
+//     --bus-bytes N            shared-bus bytes per register transfer
+//                              (default 0 = contention term off)
+//     --bus-bandwidth N        shared-bus bytes per cycle     (default 16)
 //     --seed S                 batch seed for simulation/oracle streams
 //     --quiet                  print only the summary, not the per-job table
 //     --trace PATH             record a structured trace of the run and
@@ -60,6 +67,7 @@
 #include "ir/textio.hpp"
 #include "obs/explain.hpp"
 #include "obs/trace.hpp"
+#include "policy/policy.hpp"
 #include "sched/mii.hpp"
 #include "sched/tms.hpp"
 #include "workloads/builder.hpp"
@@ -78,6 +86,8 @@ int usage(const char* argv0) {
                "          [--cache-capacity N] [--cache-disk-max-bytes N] [--no-cache]\n"
                "          [--json PATH] [--stable-json]\n"
                "          [--simulate N] [--oracle N] [--no-validate] [--ncore N] [--seed S]\n"
+               "          [--policy modulo|round_robin_stride|locality|dep_distance]\n"
+               "          [--policy-stride N] [--policy-block N] [--bus-bytes N] [--bus-bandwidth N]\n"
                "          [--quiet] [--trace PATH] [--trace-buf N] [--explain LOOP]\n",
                argv0);
   return 2;
@@ -213,6 +223,11 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool stable_json = false;
   int ncore = 4;
+  machine::AllocPolicy policy = machine::AllocPolicy::kModulo;
+  int policy_stride = 1;
+  int policy_block = 1;
+  int bus_bytes = 0;
+  int bus_bandwidth = 16;
   bool quiet = false;
   std::string trace_path;
   std::size_t trace_buf = 1u << 20;
@@ -256,6 +271,20 @@ int main(int argc, char** argv) {
       opts.validate = false;
     } else if (a == "--ncore") {
       ncore = std::atoi(next("--ncore"));
+    } else if (a == "--policy") {
+      const char* name = next("--policy");
+      if (!policy::policy_from_string(name, policy)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", name);
+        return 2;
+      }
+    } else if (a == "--policy-stride") {
+      policy_stride = std::atoi(next("--policy-stride"));
+    } else if (a == "--policy-block") {
+      policy_block = std::atoi(next("--policy-block"));
+    } else if (a == "--bus-bytes") {
+      bus_bytes = std::atoi(next("--bus-bytes"));
+    } else if (a == "--bus-bandwidth") {
+      bus_bandwidth = std::atoi(next("--bus-bandwidth"));
     } else if (a == "--seed") {
       opts.seed = std::strtoull(next("--seed"), nullptr, 10);
     } else if (a == "--quiet") {
@@ -338,6 +367,11 @@ int main(int argc, char** argv) {
   machine::MachineModel mach;
   machine::SpmtConfig cfg;
   cfg.ncore = ncore;
+  cfg.policy = policy;
+  cfg.policy_stride = policy_stride;
+  cfg.policy_block = policy_block;
+  cfg.bus_bytes_per_transfer = bus_bytes;
+  cfg.bus_bytes_per_cycle = bus_bandwidth;
 
   if (!explain_loop.empty()) {
     for (const NamedLoop& nl : loops) {

@@ -13,6 +13,13 @@
 //     --profile N               profile dependence frequencies over N
 //                               iterations and re-annotate before scheduling
 //     --registers R             register-file budget (MaxLive + copies)
+//     --policy P                core-allocation policy: modulo (default),
+//                               round_robin_stride, locality, dep_distance
+//     --policy-stride N         stride for round_robin_stride (default 1)
+//     --policy-block N          block size for locality        (default 1)
+//     --bus-bytes N             shared-bus bytes per register transfer
+//                               (default 0 = contention term off)
+//     --bus-bandwidth N         shared-bus bytes per cycle     (default 16)
 //     --remote SOCKET           schedule on a running tmsd (Unix socket
 //                               path) instead of in-process; everything
 //                               downstream (render, metrics, simulate)
@@ -29,6 +36,7 @@
 
 #include "codegen/kernel_program.hpp"
 #include "ir/textio.hpp"
+#include "policy/policy.hpp"
 #include "ir/unroll.hpp"
 #include "sched/ims.hpp"
 #include "sched/postpass.hpp"
@@ -51,6 +59,9 @@ int usage(const char* argv0) {
                "usage: %s <loop-file> [--scheduler sms|ims|tms] [--ncore N] [--unroll U]\n"
                "          [--simulate N] [--baseline N] [--render flat|kernel|exec|dot|all]\n"
                "          [--profile N] [--registers N] [--metrics]\n"
+               "          [--policy modulo|round_robin_stride|locality|dep_distance]\n"
+               "          [--policy-stride N] [--policy-block N]\n"
+               "          [--bus-bytes N] [--bus-bandwidth N]\n"
                "          [--remote SOCKET] [--deadline-ms N]\n",
                argv0);
   return 2;
@@ -71,6 +82,11 @@ int main(int argc, char** argv) {
   bool metrics = false;
   std::string remote;
   long long deadline_ms = 0;
+  machine::AllocPolicy policy = machine::AllocPolicy::kModulo;
+  int policy_stride = 1;
+  int policy_block = 1;
+  int bus_bytes = 0;
+  int bus_bandwidth = 16;
 
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
@@ -103,6 +119,20 @@ int main(int argc, char** argv) {
       remote = next("--remote");
     } else if (a == "--deadline-ms") {
       deadline_ms = std::atoll(next("--deadline-ms"));
+    } else if (a == "--policy") {
+      const char* name = next("--policy");
+      if (!policy::policy_from_string(name, policy)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", name);
+        return 2;
+      }
+    } else if (a == "--policy-stride") {
+      policy_stride = std::atoi(next("--policy-stride"));
+    } else if (a == "--policy-block") {
+      policy_block = std::atoi(next("--policy-block"));
+    } else if (a == "--bus-bytes") {
+      bus_bytes = std::atoi(next("--bus-bytes"));
+    } else if (a == "--bus-bandwidth") {
+      bus_bandwidth = std::atoi(next("--bus-bandwidth"));
     } else {
       return usage(argv[0]);
     }
@@ -124,6 +154,11 @@ int main(int argc, char** argv) {
   machine::MachineModel mach;
   machine::SpmtConfig cfg;
   cfg.ncore = ncore;
+  cfg.policy = policy;
+  cfg.policy_stride = policy_stride;
+  cfg.policy_block = policy_block;
+  cfg.bus_bytes_per_transfer = bus_bytes;
+  cfg.bus_bytes_per_cycle = bus_bandwidth;
 
   if (profile > 0) {
     const spmt::AddressStreams streams = spmt::default_streams(loop, 42);
@@ -155,6 +190,11 @@ int main(int argc, char** argv) {
     req.scheduler = scheduler;
     req.ncore = ncore;
     req.deadline_ms = deadline_ms;
+    req.policy = policy;
+    req.policy_stride = policy_stride;
+    req.policy_block = policy_block;
+    req.bus_bytes_per_transfer = bus_bytes;
+    req.bus_bytes_per_cycle = bus_bandwidth;
     req.loop = loop;
     auto result = client.compile(req);
     if (const auto* err = std::get_if<std::string>(&result)) {
@@ -254,6 +294,12 @@ int main(int argc, char** argv) {
                 static_cast<double>(sim.stats.total_cycles) / static_cast<double>(simulate),
                 (long long)sim.stats.sync_stall_cycles, (long long)sim.stats.send_recv_pairs,
                 (long long)sim.stats.misspeculations, 100.0 * sim.stats.misspec_frequency());
+    if (cfg.policy != machine::AllocPolicy::kModulo || cfg.bus_enabled()) {
+      std::printf("policy %s: bus transfers %lld, bus cycles %lld (%d cycles/transfer)\n",
+                  std::string(policy::to_string(cfg.policy)).c_str(),
+                  (long long)sim.stats.bus_transfers, (long long)sim.stats.bus_cycles,
+                  cfg.bus_transfer_cycles());
+    }
   }
   if (baseline > 0) {
     const spmt::AddressStreams streams = spmt::default_streams(loop, 42);

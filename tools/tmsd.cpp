@@ -28,6 +28,14 @@
 //                              PEEKs each peer in order before scheduling
 //                              fresh (cache peer-fill, docs/ROUTING.md)
 //     --peer-timeout-ms N      per-peer PEEK send/recv timeout (default 1000)
+//     --policy P               default core-allocation policy for requests
+//                              that don't carry their own: modulo (default),
+//                              round_robin_stride, locality, dep_distance
+//     --policy-stride N        default stride for round_robin_stride
+//     --policy-block N         default block size for locality
+//     --bus-bytes N            default shared-bus bytes per register
+//                              transfer (0 = contention term off)
+//     --bus-bandwidth N        default shared-bus bytes per cycle (16)
 //     --no-validate            skip the independent validator per request
 //     --sim-verify             simulator-backed verification: refuse any
 //                              response whose bounded event-driven SpMT
@@ -70,6 +78,7 @@
 #include "machine/machine.hpp"
 #include "obs/counters.hpp"
 #include "obs/prometheus.hpp"
+#include "policy/policy.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -84,6 +93,8 @@ int usage(const char* argv0) {
                "          [--retry-after-ms N] [--max-connections N] [--idle-timeout-ms N]\n"
                "          [--cache-dir DIR] [--cache-capacity N] [--cache-disk-max-bytes N]\n"
                "          [--no-cache] [--peer PATH]... [--peer-timeout-ms N]\n"
+               "          [--policy NAME] [--policy-stride N] [--policy-block N]\n"
+               "          [--bus-bytes N] [--bus-bandwidth N]\n"
                "          [--no-validate] [--sim-verify] [--sim-verify-iters N] [--counters]\n"
                "          [--metrics-dump PATH] [--metrics-interval-ms N]\n"
                "          [--slow-ms N] [--slow-log PATH]\n",
@@ -185,6 +196,20 @@ int main(int argc, char** argv) {
       peers.emplace_back(next("--peer"));
     } else if (a == "--peer-timeout-ms") {
       peer_timeout_ms = std::atoi(next("--peer-timeout-ms"));
+    } else if (a == "--policy") {
+      const char* name = next("--policy");
+      if (!policy::policy_from_string(name, service_opts.policy)) {
+        std::fprintf(stderr, "unknown policy '%s'\n", name);
+        return 2;
+      }
+    } else if (a == "--policy-stride") {
+      service_opts.policy_stride = std::atoi(next("--policy-stride"));
+    } else if (a == "--policy-block") {
+      service_opts.policy_block = std::atoi(next("--policy-block"));
+    } else if (a == "--bus-bytes") {
+      service_opts.bus_bytes_per_transfer = std::atoi(next("--bus-bytes"));
+    } else if (a == "--bus-bandwidth") {
+      service_opts.bus_bytes_per_cycle = std::atoi(next("--bus-bandwidth"));
     } else if (a == "--no-validate") {
       service_opts.validate = false;
     } else if (a == "--counters") {

@@ -19,6 +19,11 @@
 //           [--start-seed S]   first seed                     (default 1)
 //           [--iters N]        oracle iterations per run      (default 128)
 //           [--schedulers L]   comma list of sms,ims,tms      (default all)
+//           [--policy P]       core-allocation policy for the config grid:
+//                              random (default; one seed-dependent policy +
+//                              bus setting per seed), or a fixed name from
+//                              modulo, round_robin_stride, locality,
+//                              dep_distance (parameters still randomised)
 //           [--jobs N]         worker threads                 (default ncpu)
 //           [--out DIR]        where reproducers are written  (default .)
 //           [--inject-bug]     perturb each schedule by one cycle after
@@ -48,12 +53,14 @@
 #include "driver/job_pool.hpp"
 #include "driver/schedule_cache.hpp"
 #include "ir/textio.hpp"
+#include "policy/policy.hpp"
 #include "sched/ims.hpp"
 #include "sched/sms.hpp"
 #include "sched/tms.hpp"
 #include "serve/frame.hpp"
 #include "serve/handler.hpp"
 #include "serve/message.hpp"
+#include "support/assert.hpp"
 #include "support/rng.hpp"
 #include "workloads/builder.hpp"
 
@@ -68,6 +75,8 @@ struct FuzzOptions {
   std::vector<std::string> schedulers = {"sms", "ims", "tms"};
   int jobs = 0;  ///< 0 = hardware_concurrency
   std::string out_dir = ".";
+  /// "random", or a fixed policy name to pin the whole sweep to.
+  std::string policy = "random";
   bool inject_bug = false;
   bool frames = false;
   bool verbose = false;
@@ -94,12 +103,35 @@ workloads::LoopShape fuzz_shape(std::uint64_t seed) {
 
 /// The configuration grid one seed is swept across: the paper's quad-core
 /// baseline with a seed-dependent core count, plus a slow-interconnect
-/// variant that stresses sync-delay and ring-backpressure paths.
-std::vector<machine::SpmtConfig> config_grid(std::uint64_t seed) {
+/// variant that stresses sync-delay and ring-backpressure paths. Both
+/// entries share a seed-dependent (or pinned, --policy NAME) allocation
+/// policy and shared-bus setting, so every policy × engine combination is
+/// swept by the validator and the differential oracle. Pure in (seed,
+/// policy_mode): the shrink predicate and the reporting pass rebuild the
+/// identical grid.
+std::vector<machine::SpmtConfig> config_grid(std::uint64_t seed, const std::string& policy_mode) {
   support::Rng rng(seed ^ 0xC0FF1EULL);  // distinct stream from fuzz_shape
   machine::SpmtConfig base;
   const int cores[] = {2, 4, 8};
   base.ncore = cores[rng.bounded(3)];
+
+  // Unconditional draws keep the stream aligned between modes.
+  const machine::AllocPolicy policies[] = {
+      machine::AllocPolicy::kModulo, machine::AllocPolicy::kRoundRobinStride,
+      machine::AllocPolicy::kLocality, machine::AllocPolicy::kDepDistance};
+  const machine::AllocPolicy drawn = policies[rng.bounded(4)];
+  base.policy_stride = 1 + static_cast<int>(rng.bounded(3));
+  base.policy_block = 1 + static_cast<int>(rng.bounded(4));
+  const int bus_bytes[] = {0, 4, 8, 16};
+  base.bus_bytes_per_transfer = bus_bytes[rng.bounded(4)];
+  const int bus_bw[] = {8, 16, 32};
+  base.bus_bytes_per_cycle = bus_bw[rng.bounded(3)];
+  if (policy_mode == "random") {
+    base.policy = drawn;
+  } else {
+    [[maybe_unused]] const bool known = policy::policy_from_string(policy_mode, base.policy);
+    TMS_ASSERT(known);  // main() validated the flag
+  }
 
   machine::SpmtConfig slow = base;
   slow.send_cycles = 2;
@@ -188,7 +220,9 @@ std::string failure_signature(const std::string& msg) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seeds N] [--start-seed S] [--iters N] [--jobs N] [--out DIR]\n"
-               "          [--schedulers sms,ims,tms] [--inject-bug] [--frames] [--verbose]\n",
+               "          [--schedulers sms,ims,tms]\n"
+               "          [--policy random|modulo|round_robin_stride|locality|dep_distance]\n"
+               "          [--inject-bug] [--frames] [--verbose]\n",
                argv0);
   return 2;
 }
@@ -320,6 +354,13 @@ std::optional<std::string> run_frames_one(std::uint64_t seed) {
     req.scheduler = scheds[rng.bounded(3)];
     req.ncore = 1 + static_cast<int>(rng.bounded(16));
     req.deadline_ms = static_cast<std::int64_t>(rng.bounded(100000));
+    // Policy/bus fields are omit-when-default on the wire; mixing default
+    // and non-default draws keeps both serialisation shapes in the loop.
+    req.policy = static_cast<machine::AllocPolicy>(rng.bounded(4));
+    req.policy_stride = 1 + static_cast<int>(rng.bounded(4));
+    req.policy_block = 1 + static_cast<int>(rng.bounded(4));
+    req.bus_bytes_per_transfer = static_cast<int>(rng.bounded(3)) * 8;
+    req.bus_bytes_per_cycle = 8 << rng.bounded(3);
     req.loop = workloads::build_loop(fuzz_shape(seed));
     const std::string wire = serve::serialise_request(req);
     auto parsed = serve::parse_request(wire);
@@ -485,6 +526,8 @@ int main(int argc, char** argv) {
       opt.jobs = std::atoi(next("--jobs"));
     } else if (a == "--out") {
       opt.out_dir = next("--out");
+    } else if (a == "--policy") {
+      opt.policy = next("--policy");
     } else if (a == "--inject-bug") {
       opt.inject_bug = true;
     } else if (a == "--frames") {
@@ -498,6 +541,13 @@ int main(int argc, char** argv) {
   for (const std::string& s : opt.schedulers) {
     if (s != "sms" && s != "ims" && s != "tms") {
       std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
+      return 2;
+    }
+  }
+  if (opt.policy != "random") {
+    machine::AllocPolicy parsed;
+    if (!policy::policy_from_string(opt.policy, parsed)) {
+      std::fprintf(stderr, "unknown policy '%s'\n", opt.policy.c_str());
       return 2;
     }
   }
@@ -516,7 +566,7 @@ int main(int argc, char** argv) {
   };
   std::vector<RunSpec> specs;
   for (std::uint64_t seed = opt.start_seed; seed < opt.start_seed + opt.seeds; ++seed) {
-    const std::size_t ncfg = config_grid(seed).size();
+    const std::size_t ncfg = config_grid(seed, opt.policy).size();
     for (std::size_t c = 0; c < ncfg; ++c) {
       for (const std::string& scheduler : opt.schedulers) {
         specs.push_back({seed, c, scheduler});
@@ -532,7 +582,7 @@ int main(int argc, char** argv) {
   pool.run(specs.size(), [&](std::size_t i) {
     const RunSpec& spec = specs[i];
     const ir::Loop loop = workloads::build_loop(fuzz_shape(spec.seed));
-    const machine::SpmtConfig cfg = config_grid(spec.seed)[spec.cfg_index];
+    const machine::SpmtConfig cfg = config_grid(spec.seed, opt.policy)[spec.cfg_index];
     outcomes[i] = run_one(loop, mach, cfg, spec.scheduler, opt.iters, opt.inject_bug);
   });
 
@@ -544,16 +594,21 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const RunSpec& spec = specs[i];
     const std::optional<std::string>& failure = outcomes[i];
-    const machine::SpmtConfig cfg = config_grid(spec.seed)[spec.cfg_index];
+    const machine::SpmtConfig cfg = config_grid(spec.seed, opt.policy)[spec.cfg_index];
     if (opt.verbose) {
-      std::printf("seed %llu ncore %d %s: %s\n", (unsigned long long)spec.seed, cfg.ncore,
-                  spec.scheduler.c_str(), failure.has_value() ? "FAIL" : "ok");
+      std::printf("seed %llu ncore %d %s %s: %s\n", (unsigned long long)spec.seed, cfg.ncore,
+                  std::string(policy::to_string(cfg.policy)).c_str(), spec.scheduler.c_str(),
+                  failure.has_value() ? "FAIL" : "ok");
     }
     if (!failure.has_value()) continue;
     ++failures;
-    std::printf("FAILURE seed %llu, ncore %d, c_reg_com %d, scheduler %s:\n%s\n",
-                (unsigned long long)spec.seed, cfg.ncore, cfg.c_reg_com,
-                spec.scheduler.c_str(), failure->c_str());
+    std::printf(
+        "FAILURE seed %llu, ncore %d, c_reg_com %d, policy %s (stride %d, block %d), "
+        "bus %d/%d, scheduler %s:\n%s\n",
+        (unsigned long long)spec.seed, cfg.ncore, cfg.c_reg_com,
+        std::string(policy::to_string(cfg.policy)).c_str(), cfg.policy_stride, cfg.policy_block,
+        cfg.bus_bytes_per_transfer, cfg.bus_bytes_per_cycle, spec.scheduler.c_str(),
+        failure->c_str());
 
     // Shrink: keep dropping instructions/edges while the same pipeline
     // (same scheduler, config, injection setting) fails with the same
@@ -572,10 +627,15 @@ int main(int argc, char** argv) {
       continue;
     }
     out << "# tmsfuzz reproducer: seed " << spec.seed << ", scheduler " << spec.scheduler
-        << ", ncore " << cfg.ncore << ", c_reg_com " << cfg.c_reg_com
-        << (opt.inject_bug ? ", injected off-by-one" : "") << "\n"
+        << ", ncore " << cfg.ncore << ", c_reg_com " << cfg.c_reg_com << ", policy "
+        << policy::to_string(cfg.policy) << " (stride " << cfg.policy_stride << ", block "
+        << cfg.policy_block << "), bus " << cfg.bus_bytes_per_transfer << "/"
+        << cfg.bus_bytes_per_cycle << (opt.inject_bug ? ", injected off-by-one" : "") << "\n"
         << "# replay: tmsc <this file> --scheduler " << spec.scheduler << " --ncore "
-        << cfg.ncore << " --simulate " << opt.iters << "\n"
+        << cfg.ncore << " --policy " << policy::to_string(cfg.policy) << " --policy-stride "
+        << cfg.policy_stride << " --policy-block " << cfg.policy_block << " --bus-bytes "
+        << cfg.bus_bytes_per_transfer << " --bus-bandwidth " << cfg.bus_bytes_per_cycle
+        << " --simulate " << opt.iters << "\n"
         << ir::serialise_loop(shrunk);
     std::printf("  shrunk %d -> %d instrs, %zu -> %zu deps; reproducer: %s\n",
                 loop.num_instrs(), shrunk.num_instrs(), loop.deps().size(),
