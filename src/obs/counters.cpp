@@ -1,6 +1,9 @@
 #include "obs/counters.hpp"
 
+#include <cmath>
+
 #include "support/json.hpp"
+#include "support/json_parse.hpp"
 #include "support/table.hpp"
 
 namespace tms::obs {
@@ -161,6 +164,101 @@ CountersSnapshot snapshot_delta(const CountersSnapshot& before, const CountersSn
     d.time_histogram_sums_us[i] -= before.time_histogram_sums_us[i];
   }
   return d;
+}
+
+void snapshot_accumulate(CountersSnapshot& into, const CountersSnapshot& from) {
+  // Grow `into` to catalog shape so an accumulation into a
+  // default-constructed snapshot works.
+  const std::vector<MetricInfo>& cat = metric_catalog();
+  std::size_t n_counters = 0;
+  std::size_t n_hist = 0;
+  std::size_t n_time = 0;
+  for (const MetricInfo& m : cat) {
+    if (m.kind == MetricKind::kCounter) ++n_counters;
+    else if (m.kind == MetricKind::kHistogram) ++n_hist;
+    else ++n_time;
+  }
+  into.counters.resize(n_counters, 0);
+  into.histograms.resize(n_hist);
+  into.histogram_sums.resize(n_hist, 0);
+  into.time_histograms.resize(n_time);
+  into.time_histogram_sums_us.resize(n_time, 0);
+
+  for (std::size_t i = 0; i < into.counters.size() && i < from.counters.size(); ++i) {
+    into.counters[i] += from.counters[i];
+  }
+  for (std::size_t i = 0; i < into.histograms.size() && i < from.histograms.size(); ++i) {
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      into.histograms[i][static_cast<std::size_t>(b)] +=
+          from.histograms[i][static_cast<std::size_t>(b)];
+    }
+  }
+  for (std::size_t i = 0; i < into.histogram_sums.size() && i < from.histogram_sums.size(); ++i) {
+    into.histogram_sums[i] += from.histogram_sums[i];
+  }
+  for (std::size_t i = 0; i < into.time_histograms.size() && i < from.time_histograms.size();
+       ++i) {
+    for (int b = 0; b < TimeHistogram::kBuckets; ++b) {
+      into.time_histograms[i][static_cast<std::size_t>(b)] +=
+          from.time_histograms[i][static_cast<std::size_t>(b)];
+    }
+  }
+  for (std::size_t i = 0;
+       i < into.time_histogram_sums_us.size() && i < from.time_histogram_sums_us.size(); ++i) {
+    into.time_histogram_sums_us[i] += from.time_histogram_sums_us[i];
+  }
+}
+
+namespace {
+
+std::uint64_t json_u64(const support::JsonValue* v) {
+  if (v == nullptr || !v->is_number()) return 0;
+  const double d = v->as_number();
+  if (!(d > 0)) return 0;  // NaN and negatives read as 0
+  return static_cast<std::uint64_t>(std::llround(d));
+}
+
+}  // namespace
+
+CountersSnapshot snapshot_from_json(const support::JsonValue& v) {
+  CountersSnapshot s;
+  const std::vector<MetricInfo>& cat = metric_catalog();
+  const support::JsonValue* counters = v.find("counters");
+  const support::JsonValue* histograms = v.find("histograms");
+  const support::JsonValue* time_histograms = v.find("time_histograms");
+  for (const MetricInfo& m : cat) {
+    if (m.kind == MetricKind::kCounter) {
+      s.counters.push_back(json_u64(counters != nullptr ? counters->find(m.name) : nullptr));
+      continue;
+    }
+    const support::JsonValue* h = nullptr;
+    if (m.kind == MetricKind::kHistogram && histograms != nullptr) {
+      h = histograms->find(m.name);
+    } else if (m.kind == MetricKind::kTimeHistogram && time_histograms != nullptr) {
+      h = time_histograms->find(m.name);
+    }
+    const support::JsonValue* buckets = h != nullptr ? h->find("buckets") : nullptr;
+    if (m.kind == MetricKind::kHistogram) {
+      std::array<std::uint64_t, Histogram::kBuckets> b{};
+      if (buckets != nullptr && buckets->is_array()) {
+        for (std::size_t i = 0; i < b.size() && i < buckets->items().size(); ++i) {
+          b[i] = json_u64(&buckets->items()[i]);
+        }
+      }
+      s.histograms.push_back(b);
+      s.histogram_sums.push_back(json_u64(h != nullptr ? h->find("sum") : nullptr));
+    } else {
+      std::array<std::uint64_t, TimeHistogram::kBuckets> b{};
+      if (buckets != nullptr && buckets->is_array()) {
+        for (std::size_t i = 0; i < b.size() && i < buckets->items().size(); ++i) {
+          b[i] = json_u64(&buckets->items()[i]);
+        }
+      }
+      s.time_histograms.push_back(b);
+      s.time_histogram_sums_us.push_back(json_u64(h != nullptr ? h->find("sum_us") : nullptr));
+    }
+  }
+  return s;
 }
 
 void write_counters_json(support::JsonWriter& w, const CountersSnapshot& s) {

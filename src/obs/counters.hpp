@@ -28,6 +28,7 @@
 #include <vector>
 
 namespace tms::support {
+class JsonValue;
 class JsonWriter;
 }
 
@@ -86,6 +87,11 @@ namespace tms::obs {
   X(serve_peer_fill_hits,    "serve.peer_fill_hits",    "requests",   "local cache misses satisfied by a ring sibling's cache via PEEK")       \
   X(serve_peer_fill_misses,  "serve.peer_fill_misses",  "requests",   "peer-fill attempts that found no sibling entry (unreachable peers included) and scheduled fresh") \
   X(serve_sim_verify_failures, "serve.sim_verify_failures", "requests", "responses refused because the simulator-backed verify diverged from the sequential reference") \
+  X(serve_cluster_stats_requests, "serve.cluster_stats_requests", "requests", "CLUSTER_STATS side-channel snapshots served (never queued, answered during drain)") \
+  X(serve_flight_requests,   "serve.flight_requests",   "requests",   "FLIGHT side-channel dumps served (never queued, answered during drain)") \
+  X(serve_flight_records,    "serve.flight_records",    "records",    "per-request outcome records written into the flight-recorder ring") \
+  X(serve_flight_drops,      "serve.flight_drops",      "records",    "flight-recorder records dropped because their ring slot was contended") \
+  X(serve_flight_dumps,      "serve.flight_dumps",      "dumps",      "flight-recorder dumps written to disk (SIGUSR2, slow requests, drain)") \
   X(router_requests,         "router.requests",         "requests",   "compile requests accepted by the router front-end")                     \
   X(router_responses_ok,     "router.responses_ok",     "requests",   "routed requests answered with a schedule")                              \
   X(router_responses_error,  "router.responses_error",  "requests",   "routed requests answered with a structured error")                      \
@@ -96,7 +102,9 @@ namespace tms::obs {
   X(router_readmissions,     "router.readmissions",     "backends",   "ejected backends readmitted after a successful health probe")           \
   X(router_probes,           "router.probes",           "probes",     "HEALTH probes issued by the background prober")                         \
   X(router_probe_failures,   "router.probe_failures",   "probes",     "HEALTH probes that failed (connect error, timeout, or malformed reply)") \
-  X(router_no_backend,       "router.no_backend",       "requests",   "requests failed because every candidate backend was ejected or unreachable")
+  X(router_no_backend,       "router.no_backend",       "requests",   "requests failed because every candidate backend was ejected or unreachable") \
+  X(router_cluster_stats_fanouts, "router.cluster_stats_fanouts", "snapshots", "CLUSTER_STATS fan-outs answered by the router (one per snapshot, not per backend)") \
+  X(router_cluster_fanout_errors, "router.cluster_fanout_errors", "backends", "backends that failed to answer a CLUSTER_STATS fan-out (unreachable or malformed STATS)")
 
 /// X(field, name, unit, description) — fixed-bucket histograms
 /// (buckets 0, 1, 2, 3, 4-7, 8-15, 16-31, 32+).
@@ -237,6 +245,19 @@ CountersSnapshot counters_snapshot();
 /// work is the delta around it even in a process that has already run
 /// other batches.
 CountersSnapshot snapshot_delta(const CountersSnapshot& before, const CountersSnapshot& after);
+
+/// into += from, member-wise. Bucket-wise histogram addition is exact,
+/// so an aggregate of per-shard snapshots carries the same percentile
+/// information one process observing all the traffic would have.
+void snapshot_accumulate(CountersSnapshot& into, const CountersSnapshot& from);
+
+/// Rebuilds a snapshot from the object `write_counters_json` produced —
+/// typically parsed out of another process's STATS payload (the router
+/// aggregating its shards). Names are matched against the local
+/// catalog: unknown names are ignored and missing names read 0, so a
+/// version-skewed shard degrades to zeros instead of misaligning the
+/// vectors.
+CountersSnapshot snapshot_from_json(const support::JsonValue& v);
 
 /// Writes one JSON object value:
 /// {"counters":{name:value,...},

@@ -1,0 +1,102 @@
+// In-daemon flight recorder: a lock-free fixed-size ring of recent
+// per-request outcome records.
+//
+// Counters answer "how much, how fast, in aggregate"; the trace buffer
+// answers "where did this traced request spend its time" — but only
+// while a tracer is armed. The flight recorder fills the operational
+// gap between them: tmsd always keeps the last N requests' full outcome
+// (trace id, class features, thresholds the relaxation ladder chose,
+// per-stage micros, final status) in memory, so a SIGUSR2, a slow
+// request, or a FLIGHT verb can dump exactly what the daemon just did
+// without any prior arming. The records are also the per-class outcome
+// feed the ROADMAP's adaptive (C_delay, P_max) policy item consumes.
+//
+// Concurrency contract (runs under the CI TSan matrix):
+//   - record() never blocks and never tears: a writer CAS-claims its
+//     slot (empty|full -> busy), copies the POD record in, and
+//     release-publishes it back to full. A slot it cannot claim —
+//     another writer or a reader holds it — means the record is
+//     *dropped* and counted (serve.flight_drops), never a data race.
+//   - snapshot() CAS-claims each full slot the same way, copies it out,
+//     and republishes it; slots mid-write are simply skipped. Readers
+//     therefore see only whole records, in seq order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tms::obs {
+
+/// One request's outcome. Plain data, fixed size: strings are truncated
+/// into char arrays so a record can be copied into a ring slot with no
+/// allocation on the request path.
+struct FlightRecord {
+  /// Monotone record number (process lifetime); orders snapshots.
+  std::uint64_t seq = 0;
+  // Distributed-trace identity (zero for untraced requests) — the
+  // exemplar that links this record to a stitched cluster trace.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  char request_id[65] = {};  ///< wire request ids are <= 64 chars
+  char loop[33] = {};        ///< loop name, truncated
+  char scheduler[8] = {};    ///< "sms", "ims", "tms"
+  char outcome[16] = {};     ///< "ok" or the wire ErrorCode name
+  // Class features: what kind of request this was.
+  std::int32_t instrs = 0;
+  std::int32_t ncore = 0;
+  bool cache_hit = false;
+  // Thresholds the ladder settled on (-1 when not applicable).
+  std::int32_t ii = 0;
+  std::int32_t mii = 0;
+  std::int32_t c_delay_threshold = -1;
+  double p_max = -1.0;
+  // Per-stage micros, as echoed to the client.
+  std::int64_t t_queue_us = 0;
+  std::int64_t t_schedule_us = 0;
+  std::int64_t t_validate_us = 0;
+  std::int64_t t_total_us = 0;
+};
+
+/// Copies `s` into a FlightRecord char array, truncating to fit.
+void flight_copy(char* dst, std::size_t dst_size, std::string_view s);
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Stamps `r.seq` and stores it in the ring. Lock-free; drops (and
+  /// counts) instead of waiting when the slot is contended.
+  void record(FlightRecord r);
+
+  /// Whole records currently retained, sorted by seq ascending.
+  std::vector<FlightRecord> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  enum : std::uint32_t { kEmpty = 0, kBusy = 1, kFull = 2 };
+  struct Slot {
+    std::atomic<std::uint32_t> state{kEmpty};
+    FlightRecord rec;
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The canonical tmsd-flight-v1 dump (docs/SERVING.md): schema line,
+/// ring stats, then the retained records oldest-first.
+std::string flight_to_json(const FlightRecorder& recorder);
+
+}  // namespace tms::obs

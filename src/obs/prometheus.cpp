@@ -68,8 +68,11 @@ std::string err_at(std::size_t line_no, const std::string& what) {
   return "line " + std::to_string(line_no) + ": " + what;
 }
 
-/// Per-histogram accumulation while its sample block is being read;
-/// finalized (bucket/count/sum invariants) when the block ends.
+/// Per-histogram, per-labelset accumulation while the metric's sample
+/// block is being read; finalized (bucket/count/sum invariants) when
+/// the block ends. A cluster dump carries one labelset per shard
+/// (`{shard="..."}`), each with its own complete `le` ladder, so the
+/// linter keys blocks by the label set with `le` removed.
 struct HistogramBlock {
   std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
   bool has_sum = false;
@@ -78,9 +81,11 @@ struct HistogramBlock {
   std::size_t first_line = 0;
 };
 
-std::optional<std::string> finalize_histogram(const std::string& name, const HistogramBlock& h) {
+std::optional<std::string> finalize_histogram(const std::string& name,
+                                              const std::string& labelset,
+                                              const HistogramBlock& h) {
   const auto fail = [&](const std::string& what) {
-    return err_at(h.first_line, "histogram " + name + ": " + what);
+    return err_at(h.first_line, "histogram " + name + labelset + ": " + what);
   };
   if (h.buckets.empty()) return fail("no _bucket series");
   for (std::size_t i = 1; i < h.buckets.size(); ++i) {
@@ -96,6 +101,50 @@ std::optional<std::string> finalize_histogram(const std::string& name, const His
   return std::nullopt;
 }
 
+/// Splits a "{a="x",le="1",b="y"}" label string into the `le` value and
+/// the remaining label set (normalised back to "{...}" or ""). Returns
+/// false on a malformed set. Label values in this exposition never
+/// contain an escaped quote followed by a comma trap — values are
+/// numbers, shard labels, and le boundaries — so splitting on
+/// top-level commas outside quotes is sufficient.
+bool split_le_label(const std::string& labels, std::string& le_value, bool& has_le,
+                    std::string& rest) {
+  le_value.clear();
+  rest.clear();
+  has_le = false;
+  if (labels.empty()) return true;
+  if (labels.front() != '{' || labels.back() != '}') return false;
+  const std::string body = labels.substr(1, labels.size() - 2);
+  std::vector<std::string> pairs;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '"' && (i == 0 || body[i - 1] != '\\')) in_quotes = !in_quotes;
+    if (c == ',' && !in_quotes) {
+      pairs.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (in_quotes) return false;
+  if (!cur.empty()) pairs.push_back(cur);
+  std::string kept;
+  for (const std::string& p : pairs) {
+    if (p.rfind("le=\"", 0) == 0 && p.size() >= 5 && p.back() == '"') {
+      if (has_le) return false;  // duplicate le label
+      has_le = true;
+      le_value = p.substr(4, p.size() - 5);
+      continue;
+    }
+    if (!kept.empty()) kept += ',';
+    kept += p;
+  }
+  if (!kept.empty()) rest = "{" + kept + "}";
+  return true;
+}
+
 }  // namespace
 
 std::string prometheus_name(std::string_view metric) {
@@ -104,61 +153,111 @@ std::string prometheus_name(std::string_view metric) {
   return out;
 }
 
-std::string write_prometheus_text(const CountersSnapshot& s) {
-  const std::vector<MetricInfo>& cat = metric_catalog();
+namespace {
+
+std::string escape_label_value(std::string_view v) {
   std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Per-shard read position in a snapshot's catalog-ordered vectors.
+struct SnapshotCursor {
   std::size_t ci = 0;
   std::size_t hi = 0;
   std::size_t ti = 0;
+};
+
+/// Emits one metric's sample lines from `s` (advancing `cur` past it),
+/// with `labels` (e.g. `shard="b0"`, may be empty) on every series.
+void emit_metric_samples(std::string& out, const MetricInfo& m, const std::string& name,
+                         const CountersSnapshot& s, SnapshotCursor& cur,
+                         const std::string& labels) {
+  const auto labelled = [&](const std::string& extra) {
+    std::string l = labels;
+    if (!extra.empty()) {
+      if (!l.empty()) l += ',';
+      l += extra;
+    }
+    return l.empty() ? std::string() : "{" + l + "}";
+  };
+  if (m.kind == MetricKind::kCounter) {
+    const std::uint64_t v = cur.ci < s.counters.size() ? s.counters[cur.ci] : 0;
+    ++cur.ci;
+    out += name + labelled("") + " " + std::to_string(v) + "\n";
+    return;
+  }
+  if (m.kind == MetricKind::kHistogram) {
+    const std::array<std::uint64_t, Histogram::kBuckets> buckets =
+        cur.hi < s.histograms.size() ? s.histograms[cur.hi]
+                                     : std::array<std::uint64_t, Histogram::kBuckets>{};
+    const std::uint64_t sum = cur.hi < s.histogram_sums.size() ? s.histogram_sums[cur.hi] : 0;
+    ++cur.hi;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      cum += buckets[static_cast<std::size_t>(b)];
+      // Inclusive upper bound of bucket b: the next bucket's floor - 1.
+      const std::string le = b + 1 < Histogram::kBuckets
+                                 ? std::to_string(Histogram::bucket_floor(b + 1) - 1)
+                                 : std::string("+Inf");
+      out += name + "_bucket" + labelled("le=\"" + le + "\"") + " " + std::to_string(cum) + "\n";
+    }
+    out += name + "_sum" + labelled("") + " " + std::to_string(sum) + "\n";
+    out += name + "_count" + labelled("") + " " + std::to_string(cum) + "\n";
+    return;
+  }
+  const std::array<std::uint64_t, TimeHistogram::kBuckets> buckets =
+      cur.ti < s.time_histograms.size() ? s.time_histograms[cur.ti]
+                                        : std::array<std::uint64_t, TimeHistogram::kBuckets>{};
+  const std::uint64_t sum_us =
+      cur.ti < s.time_histogram_sums_us.size() ? s.time_histogram_sums_us[cur.ti] : 0;
+  ++cur.ti;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < TimeHistogram::kBuckets; ++b) {
+    cum += buckets[static_cast<std::size_t>(b)];
+    // Time buckets are exported in seconds; bucket b's values are all
+    // < 2^b us, so 2^b / 1e6 s is a valid inclusive upper bound.
+    const std::string le = b + 1 < TimeHistogram::kBuckets
+                               ? fmt_double(static_cast<double>(std::uint64_t{1} << b) / 1e6)
+                               : std::string("+Inf");
+    out += name + "_bucket" + labelled("le=\"" + le + "\"") + " " + std::to_string(cum) + "\n";
+  }
+  out += name + "_sum" + labelled("") + " " + fmt_double(static_cast<double>(sum_us) / 1e6) + "\n";
+  out += name + "_count" + labelled("") + " " + std::to_string(cum) + "\n";
+}
+
+}  // namespace
+
+std::string write_prometheus_text(const CountersSnapshot& s) {
+  const std::vector<MetricInfo>& cat = metric_catalog();
+  std::string out;
+  SnapshotCursor cur;
   for (const MetricInfo& m : cat) {
     const std::string name = prometheus_name(m.name);
-    if (m.kind == MetricKind::kCounter) {
-      const std::uint64_t v = ci < s.counters.size() ? s.counters[ci] : 0;
-      ++ci;
-      emit_header(out, name, "counter", m);
-      out += name + " " + std::to_string(v) + "\n";
-      continue;
+    emit_header(out, name, m.kind == MetricKind::kCounter ? "counter" : "histogram", m);
+    emit_metric_samples(out, m, name, s, cur, "");
+  }
+  return out;
+}
+
+std::string write_prometheus_text_sharded(
+    const std::vector<std::pair<std::string, CountersSnapshot>>& shards) {
+  const std::vector<MetricInfo>& cat = metric_catalog();
+  std::string out;
+  std::vector<SnapshotCursor> cursors(shards.size());
+  for (const MetricInfo& m : cat) {
+    const std::string name = prometheus_name(m.name);
+    emit_header(out, name, m.kind == MetricKind::kCounter ? "counter" : "histogram", m);
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const std::string labels = "shard=\"" + escape_label_value(shards[i].first) + "\"";
+      emit_metric_samples(out, m, name, shards[i].second, cursors[i], labels);
     }
-    if (m.kind == MetricKind::kHistogram) {
-      const std::array<std::uint64_t, Histogram::kBuckets> buckets =
-          hi < s.histograms.size() ? s.histograms[hi]
-                                   : std::array<std::uint64_t, Histogram::kBuckets>{};
-      const std::uint64_t sum = hi < s.histogram_sums.size() ? s.histogram_sums[hi] : 0;
-      ++hi;
-      emit_header(out, name, "histogram", m);
-      std::uint64_t cum = 0;
-      for (int b = 0; b < Histogram::kBuckets; ++b) {
-        cum += buckets[static_cast<std::size_t>(b)];
-        // Inclusive upper bound of bucket b: the next bucket's floor - 1.
-        const std::string le = b + 1 < Histogram::kBuckets
-                                   ? std::to_string(Histogram::bucket_floor(b + 1) - 1)
-                                   : std::string("+Inf");
-        out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
-      }
-      out += name + "_sum " + std::to_string(sum) + "\n";
-      out += name + "_count " + std::to_string(cum) + "\n";
-      continue;
-    }
-    const std::array<std::uint64_t, TimeHistogram::kBuckets> buckets =
-        ti < s.time_histograms.size() ? s.time_histograms[ti]
-                                      : std::array<std::uint64_t, TimeHistogram::kBuckets>{};
-    const std::uint64_t sum_us =
-        ti < s.time_histogram_sums_us.size() ? s.time_histogram_sums_us[ti] : 0;
-    ++ti;
-    emit_header(out, name, "histogram", m);
-    std::uint64_t cum = 0;
-    for (int b = 0; b < TimeHistogram::kBuckets; ++b) {
-      cum += buckets[static_cast<std::size_t>(b)];
-      // Time buckets are exported in seconds; bucket b's values are all
-      // < 2^b us, so 2^b / 1e6 s is a valid inclusive upper bound.
-      const std::string le =
-          b + 1 < TimeHistogram::kBuckets
-              ? fmt_double(static_cast<double>(std::uint64_t{1} << b) / 1e6)
-              : std::string("+Inf");
-      out += name + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
-    }
-    out += name + "_sum " + fmt_double(static_cast<double>(sum_us) / 1e6) + "\n";
-    out += name + "_count " + std::to_string(cum) + "\n";
   }
   return out;
 }
@@ -172,15 +271,21 @@ std::optional<std::string> lint_prometheus_text(std::string_view text) {
   std::set<std::string> series_seen;          // "name{labels}" duplicates
   std::set<std::string> closed_metrics;       // metrics whose block ended
   std::string current_metric;
-  HistogramBlock hist;
+  // One block per label set (minus `le`): a cluster dump interleaves
+  // complete per-shard histograms under one metric header.
+  std::map<std::string, HistogramBlock> hist_blocks;
 
   const auto close_current = [&]() -> std::optional<std::string> {
     if (current_metric.empty()) return std::nullopt;
     closed_metrics.insert(current_metric);
     if (types[current_metric] == "histogram") {
-      if (auto err = finalize_histogram(current_metric, hist)) return err;
+      if (hist_blocks.empty())
+        return "histogram " + current_metric + ": no _bucket series";
+      for (const auto& [labelset, block] : hist_blocks) {
+        if (auto err = finalize_histogram(current_metric, labelset, block)) return err;
+      }
     }
-    hist = HistogramBlock{};
+    hist_blocks.clear();
     current_metric.clear();
     return std::nullopt;
   };
@@ -212,7 +317,6 @@ std::optional<std::string> lint_prometheus_text(std::string_view text) {
         if (closed_metrics.count(name))
           return err_at(line_no, "metric " + name + " not grouped");
         current_metric = name;
-        hist.first_line = line_no;
       }
       if (kw == "HELP") {
         if (!helps.insert(name).second) return err_at(line_no, "duplicate HELP for " + name);
@@ -269,22 +373,26 @@ std::optional<std::string> lint_prometheus_text(std::string_view text) {
 
     if (types[base] == "histogram") {
       if (suffix.empty()) return err_at(line_no, "bare sample for histogram " + base);
+      std::string le_value;
+      std::string labelset;
+      bool has_le = false;
+      if (!split_le_label(labels, le_value, has_le, labelset))
+        return err_at(line_no, "malformed label set " + labels);
+      HistogramBlock& hist = hist_blocks[labelset];
+      if (hist.first_line == 0) hist.first_line = line_no;
       if (suffix == "_bucket") {
-        const std::string want = "le=\"";
-        const std::size_t le_pos = labels.find(want);
-        if (le_pos == std::string::npos) return err_at(line_no, "_bucket without le label");
-        const std::size_t le_end = labels.find('"', le_pos + want.size());
-        if (le_end == std::string::npos) return err_at(line_no, "malformed le label");
+        if (!has_le) return err_at(line_no, "_bucket without le label");
         double le = 0;
-        if (!parse_sample_value(labels.substr(le_pos + want.size(), le_end - le_pos - want.size()),
-                                le))
+        if (!parse_sample_value(le_value, le))
           return err_at(line_no, "unparseable le boundary");
         hist.buckets.emplace_back(le, value);
       } else if (suffix == "_sum") {
-        if (hist.has_sum) return err_at(line_no, "duplicate _sum for " + base);
+        if (has_le) return err_at(line_no, "_sum with le label");
+        if (hist.has_sum) return err_at(line_no, "duplicate _sum for " + base + labelset);
         hist.has_sum = true;
       } else {
-        if (hist.has_count) return err_at(line_no, "duplicate _count for " + base);
+        if (has_le) return err_at(line_no, "_count with le label");
+        if (hist.has_count) return err_at(line_no, "duplicate _count for " + base + labelset);
         hist.has_count = true;
         hist.count = value;
       }

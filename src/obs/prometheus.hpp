@@ -21,6 +21,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace tms::obs {
 
@@ -34,6 +36,15 @@ std::string prometheus_name(std::string_view metric);
 /// Renders the full snapshot as Prometheus text exposition (catalog
 /// order — deterministic output).
 std::string write_prometheus_text(const CountersSnapshot& s);
+
+/// Renders N labeled snapshots as one exposition — the cluster metrics
+/// dump (tmsrouter --metrics-dump). Each metric's HELP/TYPE pair is
+/// emitted once, followed by one sample set per shard carrying a
+/// `shard="<label>"` label; histogram `le` labels are ordered within
+/// each shard's block. Lints clean against `lint_prometheus_text`,
+/// which groups histogram buckets per label set.
+std::string write_prometheus_text_sharded(
+    const std::vector<std::pair<std::string, CountersSnapshot>>& shards);
 
 /// Returns an error message ("line N: ...") when `text` violates the
 /// exposition format, or nullopt when it lints clean.

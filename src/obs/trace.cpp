@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
+#include <random>
 #include <unordered_set>
 
 #include "obs/counters.hpp"
@@ -23,6 +25,7 @@ struct ThreadCtx {
 };
 
 thread_local ThreadCtx t_ctx;
+thread_local TraceContext t_trace;
 
 std::atomic<bool> g_enabled{false};
 std::atomic<std::uint64_t> g_head{0};
@@ -72,7 +75,13 @@ TraceEvent* claim() {
   return e;
 }
 
-void write_args_json(support::JsonWriter& w, const TraceEvent& e) {
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void write_args_json(support::JsonWriter& w, const TraceEvent& e, bool with_ids) {
   w.key("args").begin_object();
   for (int i = 0; i < e.nargs; ++i) {
     const TraceArg& a = e.args[i];
@@ -81,6 +90,13 @@ void write_args_json(support::JsonWriter& w, const TraceEvent& e) {
       case TraceArg::Kind::kStr: w.member(a.key, a.s != nullptr ? a.s : ""); break;
       case TraceArg::Kind::kDouble: w.member(a.key, a.d); break;
     }
+  }
+  // Distributed-trace identity, hex like the wire form. Only in the
+  // Chrome export: minted ids would break canonical byte-identity.
+  if (with_ids && e.trace_id != 0) {
+    w.member("trace_id", hex16(e.trace_id));
+    w.member("span_id", hex16(e.span_id));
+    if (e.parent_span_id != 0) w.member("parent_span_id", hex16(e.parent_span_id));
   }
   w.end_object();
 }
@@ -136,6 +152,47 @@ std::vector<TraceEvent> trace_snapshot() {
   return std::vector<TraceEvent>(buf->begin(), buf->begin() + static_cast<std::ptrdiff_t>(n));
 }
 
+std::uint64_t mint_id() {
+  // Per-process random seed + a splitmix64 walk: unique within the
+  // process by the counter, disjoint across cluster daemons by the
+  // seed, never zero (zero means "no trace").
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    std::uint64_t s = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    s ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return s != 0 ? s : 0x9e3779b97f4a7c15ull;
+  }();
+  static std::atomic<std::uint64_t> next{1};
+  for (;;) {
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull * next.fetch_add(1, std::memory_order_relaxed);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    if (x != 0) return x;
+  }
+}
+
+TraceContext current_trace_context() { return t_trace; }
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_id, std::uint64_t parent_span_id)
+    : saved_(t_trace) {
+  if (trace_id != 0) {
+    trace_id_ = trace_id;
+    span_id_ = mint_id();
+    t_trace.trace_id = trace_id;
+    t_trace.span_id = span_id_;
+    t_trace.parent_span_id = parent_span_id;
+    t_trace.adopt = true;
+  } else {
+    t_trace = TraceContext{};
+  }
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace = saved_; }
+
 const char* intern(std::string_view s) {
   static std::mutex mutex;
   static std::unordered_set<std::string>* pool = new std::unordered_set<std::string>();
@@ -153,6 +210,10 @@ void emit_instant(const char* cat, const char* name, std::initializer_list<Trace
   e->ts_us = now_us();
   e->dur_us = 0;
   e->nargs = 0;
+  // Instants hang off the innermost open span without minting an id.
+  e->trace_id = t_trace.trace_id;
+  e->span_id = 0;
+  e->parent_span_id = t_trace.span_id;
   for (const TraceArg& a : args) {
     if (e->nargs >= TraceEvent::kMaxArgs) break;
     e->args[e->nargs++] = a;
@@ -162,6 +223,24 @@ void emit_instant(const char* cat, const char* name, std::initializer_list<Trace
 SpanGuard::SpanGuard(const char* cat, const char* name) : cat_(cat), name_(name) {
   active_ = trace_on();
   if (active_) start_us_ = now_us();
+  // Distributed-trace ids are minted (or adopted) whenever the thread is
+  // inside a trace, even while the tracer is disarmed: servers echo the
+  // span id on the wire regardless of whether events are being kept.
+  if (t_trace.trace_id != 0) {
+    trace_id_ = t_trace.trace_id;
+    if (t_trace.adopt) {
+      span_id_ = t_trace.span_id;
+      parent_span_id_ = t_trace.parent_span_id;
+      t_trace.adopt = false;
+      saved_span_id_ = t_trace.span_id;
+    } else {
+      span_id_ = mint_id();
+      parent_span_id_ = t_trace.span_id;
+      saved_span_id_ = t_trace.span_id;
+      t_trace.span_id = span_id_;
+    }
+    ctx_pushed_ = true;
+  }
 }
 
 void SpanGuard::arg(const TraceArg& a) {
@@ -170,6 +249,7 @@ void SpanGuard::arg(const TraceArg& a) {
 }
 
 SpanGuard::~SpanGuard() {
+  if (ctx_pushed_) t_trace.span_id = saved_span_id_;
   if (!active_ || !trace_on()) return;
   TraceEvent* e = claim();
   if (e == nullptr) return;
@@ -178,6 +258,9 @@ SpanGuard::~SpanGuard() {
   e->phase = 'X';
   e->ts_us = start_us_;
   e->dur_us = now_us() - start_us_;
+  e->trace_id = trace_id_;
+  e->span_id = span_id_;
+  e->parent_span_id = parent_span_id_;
   e->nargs = nargs_;
   for (int i = 0; i < nargs_; ++i) e->args[i] = args_[i];
 }
@@ -209,7 +292,7 @@ std::string trace_chrome_json() {
     if (e.phase == 'X') w.member("dur", e.dur_us);
     w.member("pid", 1);
     w.member("tid", static_cast<std::int64_t>(e.tid));
-    write_args_json(w, e);
+    write_args_json(w, e, /*with_ids=*/true);
     w.end_object();
   }
   w.end_array();
@@ -241,7 +324,7 @@ std::string trace_canonical_json() {
     w.member("cat", e.cat);
     w.member("name", e.name);
     w.member("ph", std::string_view(&e.phase, 1));
-    write_args_json(w, e);
+    write_args_json(w, e, /*with_ids=*/false);
     w.end_object();
   }
   w.end_array();

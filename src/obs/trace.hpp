@@ -97,7 +97,63 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   std::int64_t ts_us = 0;   ///< start, microseconds since tracer epoch
   std::int64_t dur_us = 0;  ///< spans only
+  /// Distributed-trace identity (docs/OBSERVABILITY.md "Distributed
+  /// tracing"): zero outside any trace context. Exported in the Chrome
+  /// JSON (as hex args) but omitted from the canonical form — ids are
+  /// minted, so they would break its byte-identity contract.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
   TraceArg args[kMaxArgs];
+};
+
+/// Mints a process-unique non-zero 64-bit id for traces and spans:
+/// a splitmix64 walk from a per-process random seed, so ids minted by
+/// different daemons in a cluster do not collide when their trace
+/// buffers are stitched into one file. Thread-safe, lock-free.
+std::uint64_t mint_id();
+
+/// The current thread's distributed-trace position. trace_id == 0 means
+/// "not in a trace" — SpanGuards mint no ids and events carry zeros.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  /// Innermost open span — the parent for the next span on this thread.
+  std::uint64_t span_id = 0;
+  /// Remote parent, consumed by the first SpanGuard after a
+  /// ScopedTraceContext install (see `adopt`).
+  std::uint64_t parent_span_id = 0;
+  /// True between a ScopedTraceContext install and the first SpanGuard:
+  /// that guard *adopts* span_id (pre-minted, so it can be echoed on the
+  /// wire before the span closes) instead of minting a child.
+  bool adopt = false;
+};
+
+TraceContext current_trace_context();
+
+/// Continues a trace that started elsewhere (or roots a new one): pins
+/// the thread's trace id and pre-mints the continuation span id that the
+/// next SpanGuard on this thread will adopt, with `parent_span_id`
+/// naming the remote span it hangs under. span_id() is stable from
+/// construction, so servers can echo it in the response while the work
+/// is still running. trace_id == 0 installs the empty context (useful to
+/// keep worker threads from inheriting stale state). Always compiled —
+/// a few thread-local stores, like ScopedContext.
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(std::uint64_t trace_id, std::uint64_t parent_span_id);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+  std::uint64_t trace_id() const { return trace_id_; }
+  /// The span id the first SpanGuard in this scope records under (0 when
+  /// trace_id was 0).
+  std::uint64_t span_id() const { return span_id_; }
+
+ private:
+  TraceContext saved_;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
 };
 
 /// True when tracing support was compiled in (TMS_TRACE != 0).
@@ -156,12 +212,23 @@ class SpanGuard {
     arg(d);
   }
 
+  /// This span's distributed-trace id: minted (or adopted from the
+  /// enclosing ScopedTraceContext) at construction whenever the thread
+  /// is inside a trace — even while the tracer is disarmed, so the id
+  /// can be echoed on the wire. 0 outside any trace context.
+  std::uint64_t id() const { return span_id_; }
+
  private:
   const char* cat_;
   const char* name_;
   std::int64_t start_us_ = 0;
   bool active_ = false;
+  bool ctx_pushed_ = false;
   std::uint8_t nargs_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
+  std::uint64_t saved_span_id_ = 0;
   TraceArg args_[TraceEvent::kMaxArgs];
 };
 
@@ -188,6 +255,9 @@ class ScopedContext {
 #if TMS_TRACE
 /// Declares a scoped span `var`; emits one 'X' event when it leaves scope.
 #define TMS_TRACE_SPAN(var, cat, name) ::tms::obs::SpanGuard var(cat, name)
+/// The distributed span id of a span declared with TMS_TRACE_SPAN
+/// (0 when tracing is compiled out or the thread is not in a trace).
+#define TMS_TRACE_SPAN_ID(var) (var).id()
 /// Attaches args to a span declared with TMS_TRACE_SPAN. Args are only
 /// evaluated when the tracer is armed.
 #define TMS_TRACE_SPAN_ARG(var, ...)             \
@@ -204,6 +274,7 @@ class ScopedContext {
 #define TMS_TRACE_SPAN(var, cat, name) \
   do {                                 \
   } while (0)
+#define TMS_TRACE_SPAN_ID(var) (::std::uint64_t{0})
 #define TMS_TRACE_SPAN_ARG(var, ...) \
   do {                               \
   } while (0)

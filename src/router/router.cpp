@@ -7,7 +7,10 @@
 #include <utility>
 
 #include "driver/schedule_cache.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "support/json.hpp"
+#include "support/json_parse.hpp"
 
 namespace tms::router {
 
@@ -191,6 +194,16 @@ serve::Response Router::handle(const serve::Request& req, std::string_view /*pee
   obs::Counters& c = obs::counters();
   c.router_requests.add(1);
 
+  // Root of the cluster trace. A client-supplied context is continued;
+  // otherwise the router mints a fresh trace id, so every backend hop
+  // below is stitchable even when the client did not ask for tracing.
+  // The ids are echoed back only when the client sent a trace_id —
+  // pre-change clients never see the response fields.
+  const bool client_traced = req.trace_id != 0;
+  obs::ScopedTraceContext tctx(client_traced ? req.trace_id : obs::mint_id(),
+                               req.parent_span_id);
+  TMS_TRACE_SPAN(span, "router", "router.request");
+
   const auto finish = [&](serve::Response resp) {
     c.router_latency_total.record_us(static_cast<std::uint64_t>(us_since(start)));
     if (resp.ok) {
@@ -198,6 +211,8 @@ serve::Response Router::handle(const serve::Request& req, std::string_view /*pee
     } else {
       c.router_responses_error.add(1);
     }
+    resp.trace_id = client_traced ? tctx.trace_id() : 0;
+    resp.span_id = client_traced ? tctx.span_id() : 0;
     return resp;
   };
 
@@ -213,18 +228,36 @@ serve::Response Router::handle(const serve::Request& req, std::string_view /*pee
   const std::vector<std::string> candidates =
       ring_.successors(key, static_cast<std::size_t>(1 + std::max(0, opts_.hedges)));
 
+  // The request forwarded to backends always carries the trace context
+  // (the leg span's id becomes the backend's parent), so backend-side
+  // serve.* spans stitch under this router's leg spans in one file.
+  serve::Request fwd = req;
+  fwd.trace_id = tctx.trace_id();
+
   bool saw_overload = false;
   bool tried_any = false;
   for (const std::string& name : candidates) {
     Backend* b = backend(name);
     if (b == nullptr) continue;
     if (!b->healthy.load(std::memory_order_acquire)) continue;
+    const bool is_hedge = tried_any;
     if (tried_any) c.router_hedges.add(1);
     tried_any = true;
 
     bool hedge = false;
     for (int attempt = 0; !hedge; ++attempt) {
-      auto resp = forward(*b, req);
+      std::optional<serve::Response> resp;
+      {
+        // One span per wire attempt: first try, same-backend overload
+        // retries, and hedge legs each get their own.
+        TMS_TRACE_SPAN(leg_span, "router", "router.forward");
+        TMS_TRACE_SPAN_ARG(leg_span, obs::targ("backend", obs::intern(name)),
+                           obs::targ("attempt", attempt),
+                           obs::targ("hedge", std::int64_t{is_hedge ? 1 : 0}));
+        const std::uint64_t leg_id = TMS_TRACE_SPAN_ID(leg_span);
+        fwd.parent_span_id = leg_id != 0 ? leg_id : tctx.span_id();
+        resp = forward(*b, fwd);
+      }
       if (!resp.has_value()) {
         // Transport failure: counts toward ejection so a killed
         // backend stops receiving traffic ahead of the next probe.
@@ -365,6 +398,99 @@ std::string Router::stats_json() const {
   obs::write_counters_json(w, obs::counters_snapshot());
   w.end_object();
   return w.str();
+}
+
+std::vector<Router::ShardStats> Router::fetch_shard_stats() const {
+  // Fresh connection per backend on the probe timeout: the pooled
+  // forward connections stay dedicated to compile traffic, and one hung
+  // backend bounds the snapshot delay at probe_timeout_ms, not the
+  // 30s forward timeout. Ejected and draining backends are still asked
+  // — STATS is a side channel they keep answering.
+  std::vector<ShardStats> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) {
+    ShardStats s;
+    s.address = b->address;
+    s.healthy = b->healthy.load(std::memory_order_acquire);
+    s.consecutive_failures = b->consecutive_failures.load(std::memory_order_acquire);
+    serve::Client client;
+    if (auto err = connect_client(client, b->address, opts_.probe_timeout_ms)) {
+      s.error = std::move(*err);
+    } else if (auto err = client.stats(s.raw_json)) {
+      s.error = std::move(*err);
+    } else {
+      auto parsed = support::parse_json(s.raw_json);
+      if (auto* perr = std::get_if<std::string>(&parsed)) {
+        s.error = "malformed stats payload: " + *perr;
+        s.raw_json.clear();
+      } else {
+        const support::JsonValue& v = std::get<support::JsonValue>(parsed);
+        const support::JsonValue* observability = v.find("observability");
+        if (observability == nullptr) {
+          s.error = "stats payload has no observability section";
+          s.raw_json.clear();
+        } else {
+          s.snapshot = obs::snapshot_from_json(*observability);
+          s.ok = true;
+        }
+      }
+    }
+    if (!s.ok) obs::counters().router_cluster_fanout_errors.add(1);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Router::cluster_stats_json() const {
+  obs::counters().router_cluster_stats_fanouts.add(1);
+  const std::vector<ShardStats> shards = fetch_shard_stats();
+
+  obs::CountersSnapshot aggregate;
+  std::uint64_t shards_ok = 0;
+  for (const ShardStats& s : shards) {
+    if (!s.ok) continue;
+    ++shards_ok;
+    obs::snapshot_accumulate(aggregate, s.snapshot);
+  }
+
+  support::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "cluster-stats-v1");
+  w.member("source", "tmsrouter");
+  w.member("draining", draining());
+  w.member("shards_total", static_cast<std::uint64_t>(shards.size()));
+  w.member("shards_ok", shards_ok);
+  w.key("shards");
+  w.begin_array();
+  for (const ShardStats& s : shards) {
+    w.begin_object();
+    w.member("address", s.address);
+    w.member("healthy", s.healthy);
+    w.member("consecutive_failures", s.consecutive_failures);
+    w.member("ok", s.ok);
+    if (!s.ok) {
+      w.member("error", s.error);
+    } else {
+      w.key("stats").raw_value(s.raw_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("aggregate");
+  obs::write_counters_json(w, aggregate);
+  w.end_object();
+  return w.str();
+}
+
+std::string Router::cluster_prometheus_text() const {
+  obs::counters().router_cluster_stats_fanouts.add(1);
+  std::vector<std::pair<std::string, obs::CountersSnapshot>> labelled;
+  labelled.emplace_back("router", obs::counters_snapshot());
+  for (ShardStats& s : fetch_shard_stats()) {
+    if (!s.ok) continue;  // unreachable shards are visible in cluster_stats_json
+    labelled.emplace_back(std::move(s.address), std::move(s.snapshot));
+  }
+  return obs::write_prometheus_text_sharded(labelled);
 }
 
 std::string Router::health_line() const {

@@ -103,6 +103,24 @@ class Router : public serve::Handler {
   std::string health_line() const override;
   std::int64_t retry_after_ms() const override { return opts_.retry_after_ms; }
 
+  /// The CLUSTER_STATS payload: fans STATS out to every configured
+  /// backend (fresh connections, probe timeout, ejected backends
+  /// included — STATS is a side channel a draining shard still answers)
+  /// and merges the counter registries into one cluster-stats-v1
+  /// snapshot. Histogram merging is bucket-wise addition, which is
+  /// exact: the aggregate carries the same percentile information one
+  /// process observing all the traffic would have. Backends that fail
+  /// to answer appear with ok:false and are excluded from the
+  /// aggregate. Answered during drain, like STATS/HEALTH.
+  std::string cluster_stats_json() const override;
+
+  /// The cluster metrics dump (tmsrouter --metrics-dump): the router's
+  /// own registry plus every reachable backend's, rendered as one
+  /// Prometheus exposition with per-shard `shard="<address>"` labels
+  /// (the router is shard="router"). Lints clean against
+  /// obs::lint_prometheus_text.
+  std::string cluster_prometheus_text() const;
+
   /// Test/introspection hooks.
   struct BackendSnapshot {
     std::string address;
@@ -120,6 +138,18 @@ class Router : public serve::Handler {
   void probe_now();
 
  private:
+  /// One backend's answer to a CLUSTER_STATS fan-out.
+  struct ShardStats {
+    std::string address;
+    bool healthy = true;            ///< router's health view (prober/forwards)
+    int consecutive_failures = 0;
+    bool ok = false;                ///< this fan-out round trip succeeded
+    std::string error;              ///< when !ok: what failed
+    std::string raw_json;           ///< the backend's verbatim STATS payload
+    obs::CountersSnapshot snapshot; ///< parsed "observability" section
+  };
+  std::vector<ShardStats> fetch_shard_stats() const;
+
   struct Backend {
     std::string address;
     std::atomic<bool> healthy{true};

@@ -178,6 +178,28 @@ std::optional<std::string> Client::peek(const PeekQuery& q,
   return std::nullopt;
 }
 
+std::optional<std::string> Client::cluster_stats(std::string& out_json) {
+  auto result = roundtrip(FrameType::kClusterStats, {});
+  if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);
+  Frame& frame = std::get<Frame>(result);
+  if (frame.type != FrameType::kClusterStatsReply) {
+    return std::string("unexpected frame type ") + std::string(to_string(frame.type));
+  }
+  out_json = std::move(frame.payload);
+  return std::nullopt;
+}
+
+std::optional<std::string> Client::flight(std::string& out_json) {
+  auto result = roundtrip(FrameType::kFlight, {});
+  if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);
+  Frame& frame = std::get<Frame>(result);
+  if (frame.type != FrameType::kFlightReply) {
+    return std::string("unexpected frame type ") + std::string(to_string(frame.type));
+  }
+  out_json = std::move(frame.payload);
+  return std::nullopt;
+}
+
 std::optional<std::string> Client::health(std::string& out_line) {
   auto result = roundtrip(FrameType::kHealth, {});
   if (auto* err = std::get_if<std::string>(&result)) return std::move(*err);

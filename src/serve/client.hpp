@@ -65,6 +65,15 @@ class Client {
   std::optional<std::string> peek(const PeekQuery& q,
                                   std::optional<driver::ScheduleCache::Entry>& out);
 
+  /// CLUSTER_STATS round trip: fills `out_json` with the merged
+  /// cluster-stats-v1 snapshot (one-shard degenerate form when pointed
+  /// at a lone tmsd).
+  std::optional<std::string> cluster_stats(std::string& out_json);
+
+  /// FLIGHT round trip: fills `out_json` with the daemon's
+  /// tmsd-flight-v1 flight-recorder dump.
+  std::optional<std::string> flight(std::string& out_json);
+
  private:
   std::variant<Frame, std::string> roundtrip(FrameType type, std::string_view payload);
 

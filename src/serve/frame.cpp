@@ -6,7 +6,7 @@ namespace tms::serve {
 
 bool frame_type_known(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kRequest) &&
-         t <= static_cast<std::uint8_t>(FrameType::kPeekReply);
+         t <= static_cast<std::uint8_t>(FrameType::kFlightReply);
 }
 
 std::string_view to_string(FrameType t) {
@@ -21,6 +21,10 @@ std::string_view to_string(FrameType t) {
     case FrameType::kHealthReply: return "health-reply";
     case FrameType::kPeek: return "peek";
     case FrameType::kPeekReply: return "peek-reply";
+    case FrameType::kClusterStats: return "cluster-stats";
+    case FrameType::kClusterStatsReply: return "cluster-stats-reply";
+    case FrameType::kFlight: return "flight";
+    case FrameType::kFlightReply: return "flight-reply";
   }
   return "?";
 }

@@ -50,6 +50,16 @@ enum class FrameType : std::uint8_t {
   // the cached entry or a miss, and the asked shard never recomputes.
   kPeek = 9,         ///< client -> server: tmsq-peek-v1 cache probe payload
   kPeekReply = 10,   ///< server -> client: tmsq-peek-reply-v1 hit/miss payload
+  // Cluster-telemetry side channel (docs/ROUTING.md, docs/SERVING.md).
+  // Same inline contract as STATS/HEALTH/PEEK: never queued, answered
+  // even while draining. CLUSTER_STATS on a router fans out to every
+  // backend and merges their registries into one cluster-stats-v1
+  // snapshot; FLIGHT dumps the daemon's in-memory flight recorder as
+  // tmsd-flight-v1.
+  kClusterStats = 11,       ///< client -> server: cluster snapshot probe, empty payload
+  kClusterStatsReply = 12,  ///< server -> client: cluster-stats-v1 JSON payload
+  kFlight = 13,             ///< client -> server: flight-recorder probe, empty payload
+  kFlightReply = 14,        ///< server -> client: tmsd-flight-v1 JSON payload
 };
 
 bool frame_type_known(std::uint8_t t);

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/counters.hpp"
+#include "support/json.hpp"
+
 namespace tms::serve {
 
 namespace {
@@ -90,6 +93,44 @@ Handler::~Handler() = default;
 
 std::string Handler::peek_reply(std::string_view /*payload*/) {
   return serialise_peek_reply(std::nullopt);
+}
+
+std::string Handler::cluster_stats_json() const {
+  // Degenerate one-shard cluster: the verb answers with the same schema
+  // whether it reaches a router or a lone daemon, so tmstop --cluster
+  // can be pointed at either.
+  support::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "cluster-stats-v1");
+  w.member("source", "single");
+  w.member("draining", false);
+  w.member("shards_total", 1);
+  w.member("shards_ok", 1);
+  w.key("shards").begin_array();
+  w.begin_object();
+  w.member("address", "self");
+  w.member("healthy", true);
+  w.member("ok", true);
+  w.key("stats").raw_value(stats_json());
+  w.end_object();
+  w.end_array();
+  w.key("aggregate");
+  obs::write_counters_json(w, obs::counters_snapshot());
+  w.end_object();
+  return w.str();
+}
+
+std::string Handler::flight_json() const {
+  // Well-formed empty dump for handlers without a flight recorder.
+  support::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "tmsd-flight-v1");
+  w.member("capacity", 0);
+  w.member("recorded", 0);
+  w.member("dropped", 0);
+  w.key("records").begin_array().end_array();
+  w.end_object();
+  return w.str();
 }
 
 std::string serialise_peek(const PeekQuery& q) {

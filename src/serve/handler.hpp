@@ -52,6 +52,18 @@ class Handler {
   /// behalf; siblings are asked directly).
   virtual std::string peek_reply(std::string_view payload);
 
+  /// The CLUSTER_STATS payload. Meaningful on a router, which fans out
+  /// to every backend and merges the registries into one
+  /// cluster-stats-v1 snapshot; the default is a one-shard
+  /// degenerate snapshot wrapping stats_json(), so the verb works
+  /// (and keeps its schema) pointed directly at a tmsd.
+  virtual std::string cluster_stats_json() const;
+
+  /// The FLIGHT_REPLY payload: the handler's flight-recorder dump
+  /// (tmsd-flight-v1). The default is a well-formed empty dump —
+  /// correct for handlers that record no flights (the router).
+  virtual std::string flight_json() const;
+
   /// Backoff hint the transport attaches to connection-limit
   /// turn-aways.
   virtual std::int64_t retry_after_ms() const = 0;

@@ -89,6 +89,32 @@ void append_double(std::string& out, double v) {
   out += buf;
 }
 
+/// Trace ids travel as exactly 16 lowercase hex digits (the same shape
+/// the PEEK codec uses for cache keys).
+bool parse_hex_u64(std::string_view s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  out = v;
+  return true;
+}
+
+void append_hex16(std::string& out, std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
 /// Error messages travel on one line; fold any embedded newline.
 std::string one_line(std::string_view s) {
   std::string out(s);
@@ -175,6 +201,16 @@ std::string serialise_request(const Request& req) {
     out += "\nbus_bytes_per_cycle ";
     out += std::to_string(req.bus_bytes_per_cycle);
   }
+  // Trace context, omit-when-default like the policy fields above: an
+  // untraced request stays byte-identical to a pre-tracing one.
+  if (req.trace_id != 0) {
+    out += "\ntrace_id ";
+    append_hex16(out, req.trace_id);
+  }
+  if (req.parent_span_id != 0) {
+    out += "\nparent_span_id ";
+    append_hex16(out, req.parent_span_id);
+  }
   out += "\nloop\n";
   out += ir::serialise_loop(req.loop);
   return out;
@@ -225,6 +261,10 @@ std::variant<Request, std::string> parse_request(std::string_view payload) {
       if (!parse_int(value, req.bus_bytes_per_cycle) || req.bus_bytes_per_cycle < 1) {
         return std::string("bad bus_bytes_per_cycle");
       }
+    } else if (key == "trace_id") {
+      if (!parse_hex_u64(value, req.trace_id)) return std::string("bad trace_id");
+    } else if (key == "parent_span_id") {
+      if (!parse_hex_u64(value, req.parent_span_id)) return std::string("bad parent_span_id");
     } else {
       return "unknown request field '" + std::string(key) + "'";
     }
@@ -245,6 +285,17 @@ std::string serialise_response(const Response& resp) {
   if (!resp.request_id.empty()) {
     out += "\nrequest_id ";
     out += resp.request_id;
+  }
+  // Echoed only when the request carried trace context: clients that
+  // never send a trace_id never see these keys, so their (strict,
+  // pre-tracing) response parsers are unaffected.
+  if (resp.trace_id != 0) {
+    out += "\ntrace_id ";
+    append_hex16(out, resp.trace_id);
+    if (resp.span_id != 0) {
+      out += "\nspan_id ";
+      append_hex16(out, resp.span_id);
+    }
   }
   if (!resp.ok) {
     out += "\nstatus error\ncode ";
@@ -352,6 +403,10 @@ std::variant<Response, std::string> parse_response(std::string_view payload) {
       if (!parse_i64(value, resp.t_validate_us)) return std::string("bad t_validate_us");
     } else if (key == "t_total_us") {
       if (!parse_i64(value, resp.t_total_us)) return std::string("bad t_total_us");
+    } else if (key == "trace_id") {
+      if (!parse_hex_u64(value, resp.trace_id)) return std::string("bad trace_id");
+    } else if (key == "span_id") {
+      if (!parse_hex_u64(value, resp.span_id)) return std::string("bad span_id");
     } else if (key == "slots") {
       std::istringstream in{std::string(value)};
       std::size_t n = 0;

@@ -45,6 +45,14 @@ struct Request {
   int policy_block = 1;
   int bus_bytes_per_transfer = 0;
   int bus_bytes_per_cycle = 16;
+  /// Distributed-trace context (docs/OBSERVABILITY.md "Distributed
+  /// tracing"): a non-zero trace_id ties the server-side spans for this
+  /// request into the caller's trace, with parent_span_id naming the
+  /// span the server's work should hang under. Both serialise as 16-hex
+  /// and are omit-when-default like the policy fields, so an untraced
+  /// request is byte-identical to one minted before tracing existed.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   ir::Loop loop{"unnamed"};
 };
 
@@ -96,6 +104,14 @@ struct Response {
   std::int64_t t_schedule_us = 0;
   std::int64_t t_validate_us = 0;
   std::int64_t t_total_us = 0;
+
+  // Trace echo: set (and serialised) only when the request carried a
+  // trace_id, so clients that never send trace context never see these
+  // keys — their strict parsers keep working unchanged. span_id is the
+  // server-side span the work ran under, ready to be stitched as a
+  // child of the request's parent_span_id.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 std::string serialise_request(const Request& req);

@@ -273,6 +273,16 @@ bool SocketServer::handle_frame(int fd, const Frame& frame, const std::string& p
       // (a sibling mid-drain is exactly when its cache is warmest).
       obs::counters().serve_peek_requests.add(1);
       return send_frame(fd, FrameType::kPeekReply, handler_.peek_reply(frame.payload));
+    case FrameType::kClusterStats:
+      // Cluster telemetry joins the side channel: on a router this fans
+      // out to the backends and merges; on a daemon it answers a
+      // one-shard snapshot. Either way it is served inline and during
+      // drain — the cluster view must outlive the request path.
+      obs::counters().serve_cluster_stats_requests.add(1);
+      return send_frame(fd, FrameType::kClusterStatsReply, handler_.cluster_stats_json());
+    case FrameType::kFlight:
+      obs::counters().serve_flight_requests.add(1);
+      return send_frame(fd, FrameType::kFlightReply, handler_.flight_json());
     case FrameType::kRequest: {
       auto parsed = parse_request(frame.payload);
       if (const auto* err = std::get_if<std::string>(&parsed)) {
@@ -290,6 +300,8 @@ bool SocketServer::handle_frame(int fd, const Frame& frame, const std::string& p
     case FrameType::kStatsReply:
     case FrameType::kHealthReply:
     case FrameType::kPeekReply:
+    case FrameType::kClusterStatsReply:
+    case FrameType::kFlightReply:
       // Clients must not send server-direction frames.
       obs::counters().serve_rejected_malformed.add(1);
       const Response resp =

@@ -29,6 +29,12 @@ std::int64_t us_since(Clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count();
 }
 
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
 struct Scheduled {
   sched::Schedule schedule;
   check::CheckOptions check_opts;
@@ -134,6 +140,11 @@ std::string CompileService::peek_reply(std::string_view payload) {
   return serialise_peek_reply(cache_->lookup(q.key, q.expect_instrs));
 }
 
+std::string CompileService::flight_json() const {
+  if (opts_.flight == nullptr) return Handler::flight_json();
+  return obs::flight_to_json(*opts_.flight);
+}
+
 std::string CompileService::health_line() const {
   const bool d = draining();
   std::string out = d ? "draining" : "ok";
@@ -150,6 +161,9 @@ void CompileService::log_slow(const Request& req, const Response& resp, std::str
   w.begin_object();
   w.member("schema", "tmsd-slow-v1");
   w.member("request_id", resp.request_id);
+  // Trace exemplar: the id that finds this request in a stitched
+  // cluster trace or a flight-recorder dump.
+  if (resp.trace_id != 0) w.member("trace_id", hex16(resp.trace_id));
   w.member("peer", peer.empty() ? std::string_view("?") : peer);
   w.member("scheduler", req.scheduler);
   w.member("loop", req.loop.name());
@@ -182,6 +196,9 @@ Response CompileService::handle(const Request& req, std::string_view peer) {
   Response resp = admit(req, request_id, start, deadline, has_deadline, pipeline_ran);
   resp.id = req.id;
   resp.request_id = request_id;
+  // Echo the trace id on every outcome, including turn-aways minted in
+  // admit(); the span id is set by the pipeline when it ran.
+  resp.trace_id = req.trace_id;
   const std::int64_t total_us = us_since(start);
   resp.server_ms = ms_since(start);
 
@@ -204,9 +221,37 @@ Response CompileService::handle(const Request& req, std::string_view peer) {
   } else {
     obs::counters().serve_responses_error.add(1);
   }
+  // One flight record per pipeline run: the per-class outcome feed for
+  // the FLIGHT verb, SIGUSR2/slow-request dumps, and (next) the
+  // adaptive-threshold policy. Turn-aways that never ran the pipeline
+  // have no stage story to tell and would flood the ring under
+  // overload, so they are not recorded.
+  if (pipeline_ran && opts_.flight != nullptr) {
+    obs::FlightRecord fr;
+    fr.trace_id = resp.trace_id;
+    fr.span_id = resp.span_id;
+    obs::flight_copy(fr.request_id, sizeof fr.request_id, request_id);
+    obs::flight_copy(fr.loop, sizeof fr.loop, req.loop.name());
+    obs::flight_copy(fr.scheduler, sizeof fr.scheduler, req.scheduler);
+    obs::flight_copy(fr.outcome, sizeof fr.outcome,
+                     resp.ok ? std::string_view("ok") : to_string(resp.code));
+    fr.instrs = req.loop.num_instrs();
+    fr.ncore = req.ncore;
+    fr.cache_hit = resp.cache_hit;
+    fr.ii = resp.ii;
+    fr.mii = resp.mii;
+    fr.c_delay_threshold = resp.c_delay_threshold;
+    fr.p_max = resp.p_max;
+    fr.t_queue_us = resp.t_queue_us;
+    fr.t_schedule_us = resp.t_schedule_us;
+    fr.t_validate_us = resp.t_validate_us;
+    fr.t_total_us = resp.t_total_us;
+    opts_.flight->record(fr);
+  }
   if (opts_.slow_ms >= 0 && total_us >= opts_.slow_ms * 1000) {
     obs::counters().serve_slow_requests.add(1);
     log_slow(req, resp, peer);
+    if (opts_.on_slow) opts_.on_slow();
   }
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
   return resp;
@@ -272,13 +317,24 @@ Response CompileService::admit(const Request& req, const std::string& request_id
 Response CompileService::compile(const Request& req, const std::string& request_id,
                                  std::int64_t queue_us, Clock::time_point start,
                                  Clock::time_point deadline, bool has_deadline) const {
+  // Continue the caller's distributed trace (or run untraced when the
+  // request carried no context): every span below — and any scheduler
+  // spans nested deeper — lands in the request's trace, and the
+  // pre-minted continuation span id is echoed to the client even while
+  // the tracer is disarmed. Compile workers are long-lived pool
+  // threads, so the scope also prevents context leaking across
+  // requests.
+  obs::ScopedTraceContext tctx(req.trace_id, req.parent_span_id);
   TMS_TRACE_SPAN(span, "serve", "serve.request");
-  TMS_TRACE_SPAN_ARG(span, obs::targ("request_id", obs::intern(request_id)));
+  TMS_TRACE_SPAN_ARG(span, obs::targ("request_id", obs::intern(request_id)),
+                     obs::targ("queue_us", queue_us));
 
   Response resp;
   resp.id = req.id;
   resp.scheduler = req.scheduler;
   resp.t_queue_us = queue_us;
+  resp.trace_id = req.trace_id;
+  resp.span_id = tctx.span_id();
 
   const auto expired = [&] { return has_deadline && Clock::now() > deadline; };
   // Error responses keep the stage timings accumulated so far, so the
@@ -288,6 +344,8 @@ Response CompileService::compile(const Request& req, const std::string& request_
     e.t_queue_us = r.t_queue_us;
     e.t_schedule_us = r.t_schedule_us;
     e.t_validate_us = r.t_validate_us;
+    e.trace_id = r.trace_id;
+    e.span_id = r.span_id;
     return e;
   };
   const auto deadline_response = [&](const char* stage, const Response& r) {
@@ -316,40 +374,46 @@ Response CompileService::compile(const Request& req, const std::string& request_
   const Clock::time_point sched_start = Clock::now();
   std::optional<Scheduled> sl;
   std::uint64_t key = 0;
-  if (cache_ != nullptr) {
-    key = driver::ScheduleCache::key(req.loop, mach_, cfg, req.scheduler);
-    if (const auto entry = cache_->lookup(key, req.loop.num_instrs())) {
-      sl = from_cache(req.loop, mach_, *entry);
-      resp.cache_hit = sl.has_value();
-    }
-    obs::counters().driver_cache_hits.add(sl.has_value() ? 1 : 0);
-    obs::counters().driver_cache_misses.add(sl.has_value() ? 0 : 1);
-  }
-  // Local miss: before paying for a fresh scheduling pass, ask ring
-  // siblings whether one of them already computed this key (PEEK). A
-  // peer hit behaves exactly like a local cache hit — re-validated
-  // below, inserted locally so the next miss is local-warm.
-  if (!sl.has_value() && cache_ != nullptr && opts_.peer_fill) {
-    if (const auto entry = opts_.peer_fill(key, req.loop.num_instrs())) {
-      sl = from_cache(req.loop, mach_, *entry);
-    }
-    if (sl.has_value()) {
-      resp.cache_hit = true;
-      cache_->insert(key, to_entry(*sl, req.scheduler));
-      obs::counters().serve_peer_fill_hits.add(1);
-    } else {
-      obs::counters().serve_peer_fill_misses.add(1);
-    }
-  }
-  if (!sl.has_value()) {
-    sl = schedule_fresh(req.loop, mach_, cfg, req.scheduler);
-    if (!sl.has_value()) {
-      resp.t_schedule_us = us_since(sched_start);
-      return fail(ErrorCode::kScheduleFail, req.scheduler + " found no schedule", resp);
-    }
+  {
+    TMS_TRACE_SPAN(sched_span, "serve", "serve.schedule");
     if (cache_ != nullptr) {
-      cache_->insert(key, to_entry(*sl, req.scheduler));
-      obs::counters().driver_schedules_cached.add(1);
+      key = driver::ScheduleCache::key(req.loop, mach_, cfg, req.scheduler);
+      if (const auto entry = cache_->lookup(key, req.loop.num_instrs())) {
+        sl = from_cache(req.loop, mach_, *entry);
+        resp.cache_hit = sl.has_value();
+      }
+      obs::counters().driver_cache_hits.add(sl.has_value() ? 1 : 0);
+      obs::counters().driver_cache_misses.add(sl.has_value() ? 0 : 1);
+    }
+    // Local miss: before paying for a fresh scheduling pass, ask ring
+    // siblings whether one of them already computed this key (PEEK). A
+    // peer hit behaves exactly like a local cache hit — re-validated
+    // below, inserted locally so the next miss is local-warm.
+    if (!sl.has_value() && cache_ != nullptr && opts_.peer_fill) {
+      TMS_TRACE_SPAN(pf_span, "serve", "serve.peer_fill");
+      if (const auto entry = opts_.peer_fill(key, req.loop.num_instrs())) {
+        sl = from_cache(req.loop, mach_, *entry);
+      }
+      if (sl.has_value()) {
+        resp.cache_hit = true;
+        cache_->insert(key, to_entry(*sl, req.scheduler));
+        obs::counters().serve_peer_fill_hits.add(1);
+      } else {
+        obs::counters().serve_peer_fill_misses.add(1);
+      }
+      TMS_TRACE_SPAN_ARG(pf_span,
+                         obs::targ("hit", std::int64_t{sl.has_value() ? 1 : 0}));
+    }
+    if (!sl.has_value()) {
+      sl = schedule_fresh(req.loop, mach_, cfg, req.scheduler);
+      if (!sl.has_value()) {
+        resp.t_schedule_us = us_since(sched_start);
+        return fail(ErrorCode::kScheduleFail, req.scheduler + " found no schedule", resp);
+      }
+      if (cache_ != nullptr) {
+        cache_->insert(key, to_entry(*sl, req.scheduler));
+        obs::counters().driver_schedules_cached.add(1);
+      }
     }
   }
   resp.t_schedule_us = us_since(sched_start);
@@ -359,6 +423,7 @@ Response CompileService::compile(const Request& req, const std::string& request_
   // corruption), mirroring the batch driver's contract.
   const Clock::time_point validate_start = Clock::now();
   if (opts_.validate || resp.cache_hit) {
+    TMS_TRACE_SPAN(val_span, "serve", "serve.validate");
     const check::CheckReport valid =
         check::validate_schedule(sl->schedule, cfg, sl->check_opts);
     if (!valid.ok()) {
@@ -394,6 +459,7 @@ Response CompileService::compile(const Request& req, const std::string& request_
   // validator proves the schedule well-formed; this proves the machine
   // executing it speculatively still produces sequential results.
   if (opts_.sim_verify) {
+    TMS_TRACE_SPAN(sv_span, "serve", "serve.sim_verify");
     const Clock::time_point sv_start = Clock::now();
     const codegen::KernelProgram kp = codegen::lower_kernel(sl->schedule, cfg);
     spmt::QuickEstimateOptions qopts;

@@ -37,6 +37,7 @@
 #include "driver/job_pool.hpp"
 #include "driver/schedule_cache.hpp"
 #include "machine/machine.hpp"
+#include "obs/flight.hpp"
 #include "serve/handler.hpp"
 #include "serve/message.hpp"
 
@@ -84,6 +85,15 @@ struct ServiceOptions {
   int policy_block = 1;
   int bus_bytes_per_transfer = 0;
   int bus_bytes_per_cycle = 16;
+  /// Flight recorder the service writes one outcome record into per
+  /// pipeline run (docs/SERVING.md, tmsd-flight-v1). Not owned; nullptr
+  /// disables recording and makes the FLIGHT verb answer an empty dump.
+  obs::FlightRecorder* flight = nullptr;
+  /// Invoked (on the connection thread, after the slow log line) for
+  /// every request at or over slow_ms. tmsd uses it to dump the flight
+  /// recorder next to the metrics dump; rate limiting is the callee's
+  /// job. Must be thread-safe.
+  std::function<void()> on_slow;
 };
 
 class CompileService : public Handler {
@@ -131,6 +141,10 @@ class CompileService : public Handler {
   /// compile work — a peer's probe must not recurse into peer-fill or
   /// scheduling. Malformed probes answer a well-formed miss.
   std::string peek_reply(std::string_view payload) override;
+
+  /// The FLIGHT_REPLY payload: the flight recorder's tmsd-flight-v1
+  /// dump (well-formed empty dump when no recorder is attached).
+  std::string flight_json() const override;
 
   std::int64_t retry_after_ms() const override { return opts_.retry_after_ms; }
 

@@ -65,6 +65,12 @@ JsonWriter& JsonWriter::value(std::string_view v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  comma_if_needed();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(bool v) {
   comma_if_needed();
   out_ += v ? "true" : "false";

@@ -37,6 +37,12 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value_null();
 
+  /// Splices `json` — which must already be one serialised JSON value —
+  /// in as the next value, verbatim. Used to embed a snapshot another
+  /// process emitted (e.g. a backend's STATS payload inside the
+  /// router's cluster-stats-v1) without a parse/re-serialise round trip.
+  JsonWriter& raw_value(std::string_view json);
+
   /// Convenience: key + value in one call.
   template <typename T>
   JsonWriter& member(std::string_view k, T&& v) {

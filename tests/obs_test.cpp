@@ -13,9 +13,11 @@
 #include "obs/counters.hpp"
 #include "obs/doc_sync.hpp"
 #include "obs/explain.hpp"
+#include "obs/flight.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "support/json.hpp"
+#include "support/json_parse.hpp"
 
 namespace tms {
 namespace {
@@ -221,6 +223,184 @@ TEST(Prometheus, LinterCatchesBrokenExpositions) {
       "tms_h_bucket{le=\"1\"} 1\ntms_h_bucket{le=\"+Inf\"} 2\ntms_h_sum 3\ntms_h_count 2\n";
   const auto err = obs::lint_prometheus_text(good);
   EXPECT_FALSE(err.has_value()) << *err;
+}
+
+TEST(Prometheus, ShardedWriterLintsCleanWithOneHeaderPerMetric) {
+  // The merged cluster exposition: one HELP/TYPE header per metric,
+  // then one sample set per shard label. The linter's per-labelset
+  // histogram blocks are exactly what makes this legal.
+  obs::counters().serve_requests.add(1);
+  obs::counters().serve_latency_total.record_us(100);
+  const obs::CountersSnapshot s = obs::counters_snapshot();
+  const std::string text = obs::write_prometheus_text_sharded(
+      {{"router", s}, {"/tmp/b0.sock", s}, {"/tmp/b1.sock", s}});
+
+  const auto err = obs::lint_prometheus_text(text);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_NE(text.find("shard=\"router\""), std::string::npos);
+  EXPECT_NE(text.find("shard=\"/tmp/b0.sock\""), std::string::npos);
+  EXPECT_NE(text.find("shard=\"/tmp/b1.sock\""), std::string::npos);
+  // Every sample carries a shard label; headers appear exactly once.
+  std::size_t help_total = 0;
+  for (std::size_t at = text.find("# HELP tms_serve_requests ");
+       at != std::string::npos; at = text.find("# HELP tms_serve_requests ", at + 1)) {
+    ++help_total;
+  }
+  EXPECT_EQ(help_total, 1u);
+}
+
+TEST(Prometheus, LinterRejectsPerLabelsetHistogramViolationsInShardedDumps) {
+  // A second shard restarting its le ladder is fine (different
+  // labelset); the same shard emitting a second _sum is not.
+  const char* good =
+      "# HELP tms_h h\n# TYPE tms_h histogram\n"
+      "tms_h_bucket{shard=\"a\",le=\"1\"} 1\ntms_h_bucket{shard=\"a\",le=\"+Inf\"} 1\n"
+      "tms_h_sum{shard=\"a\"} 1\ntms_h_count{shard=\"a\"} 1\n"
+      "tms_h_bucket{shard=\"b\",le=\"1\"} 2\ntms_h_bucket{shard=\"b\",le=\"+Inf\"} 2\n"
+      "tms_h_sum{shard=\"b\"} 2\ntms_h_count{shard=\"b\"} 2\n";
+  const auto ok = obs::lint_prometheus_text(good);
+  EXPECT_FALSE(ok.has_value()) << *ok;
+
+  const char* dup_sum =
+      "# HELP tms_h h\n# TYPE tms_h histogram\n"
+      "tms_h_bucket{shard=\"a\",le=\"+Inf\"} 1\n"
+      "tms_h_sum{shard=\"a\"} 1\ntms_h_sum{shard=\"a\",extra=\"\"} 1\n"
+      "tms_h_count{shard=\"a\"} 1\n";
+  // Same labelset twice is a duplicate series; a *different* labelset's
+  // sum lands in its own block and then fails for missing buckets.
+  EXPECT_TRUE(obs::lint_prometheus_text(dup_sum).has_value());
+
+  const char* le_backwards_within_shard =
+      "# HELP tms_h h\n# TYPE tms_h histogram\n"
+      "tms_h_bucket{shard=\"a\",le=\"2\"} 1\ntms_h_bucket{shard=\"a\",le=\"1\"} 1\n"
+      "tms_h_bucket{shard=\"a\",le=\"+Inf\"} 1\n"
+      "tms_h_sum{shard=\"a\"} 1\ntms_h_count{shard=\"a\"} 1\n";
+  EXPECT_TRUE(obs::lint_prometheus_text(le_backwards_within_shard).has_value());
+}
+
+// ------------------------------------------------------- flight recorder
+
+TEST(Flight, RingRetainsTheLastCapacityRecordsInSeqOrder) {
+  obs::FlightRecorder rec(4);
+  for (int i = 0; i < 6; ++i) {
+    obs::FlightRecord r;
+    obs::flight_copy(r.request_id, sizeof r.request_id, "req-" + std::to_string(i));
+    r.t_total_us = i;
+    rec.record(r);
+  }
+  EXPECT_EQ(rec.recorded(), 6u);
+  EXPECT_EQ(rec.dropped(), 0u) << "uncontended writes never drop";
+  const std::vector<obs::FlightRecord> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 1; i < snap.size(); ++i) EXPECT_LT(snap[i - 1].seq, snap[i].seq);
+  EXPECT_STREQ(snap.back().request_id, "req-5");
+  EXPECT_STREQ(snap.front().request_id, "req-2") << "oldest retained after wrap";
+}
+
+TEST(Flight, CopyTruncatesOverlongStringsWithTermination) {
+  char buf[8];
+  obs::flight_copy(buf, sizeof buf, "0123456789abcdef");
+  EXPECT_STREQ(buf, "0123456");
+  obs::flight_copy(buf, sizeof buf, "ok");
+  EXPECT_STREQ(buf, "ok");
+}
+
+TEST(Flight, DumpIsCanonicalTmsdFlightV1Json) {
+  obs::FlightRecorder rec(8);
+  obs::FlightRecord r;
+  r.trace_id = 0xABCULL;
+  r.span_id = 0xDEFULL;
+  obs::flight_copy(r.request_id, sizeof r.request_id, "fr-1");
+  obs::flight_copy(r.scheduler, sizeof r.scheduler, "tms");
+  obs::flight_copy(r.outcome, sizeof r.outcome, "ok");
+  r.instrs = 5;
+  r.ncore = 4;
+  r.ii = 3;
+  r.mii = 2;
+  r.t_total_us = 123;
+  rec.record(r);
+
+  const std::string json = obs::flight_to_json(rec);
+  const auto parsed = support::parse_json(json);
+  const auto* v = std::get_if<support::JsonValue>(&parsed);
+  ASSERT_NE(v, nullptr) << std::get<std::string>(parsed);
+  const auto* schema = v->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "tmsd-flight-v1");
+  EXPECT_NE(v->find("capacity"), nullptr);
+  EXPECT_NE(v->find("recorded"), nullptr);
+  EXPECT_NE(v->find("dropped"), nullptr);
+  const auto* records = v->find("records");
+  ASSERT_NE(records, nullptr);
+  // Trace ids render as 16-char lowercase hex, like the wire fields.
+  EXPECT_NE(json.find("\"0000000000000abc\""), std::string::npos);
+  EXPECT_NE(json.find("\"fr-1\""), std::string::npos);
+}
+
+TEST(Counters, SnapshotAccumulateIsBucketwiseExactAndResizesItsTarget) {
+  // The cluster aggregation primitive: accumulating two shard deltas
+  // into a default-constructed snapshot must equal one process having
+  // observed all the traffic — exact counters, exact buckets, exact
+  // sums. Deltas keep the test independent of whatever earlier tests
+  // put in the process-wide registry.
+  const obs::CountersSnapshot t0 = obs::counters_snapshot();
+  obs::counters().serve_requests.add(3);
+  obs::counters().serve_latency_total.record_us(5);
+  obs::counters().serve_latency_total.record_us(1000);
+  const obs::CountersSnapshot shard_a = obs::snapshot_delta(t0, obs::counters_snapshot());
+
+  const obs::CountersSnapshot t1 = obs::counters_snapshot();
+  obs::counters().serve_requests.add(4);
+  obs::counters().serve_latency_total.record_us(5);
+  obs::counters().sched_ii_minus_mii.record(2);
+  const obs::CountersSnapshot shard_b = obs::snapshot_delta(t1, obs::counters_snapshot());
+
+  obs::CountersSnapshot agg;  // starts empty: accumulate must shape it
+  obs::snapshot_accumulate(agg, shard_a);
+  obs::snapshot_accumulate(agg, shard_b);
+
+  EXPECT_EQ(agg.value("serve.requests"), 7u);
+  EXPECT_EQ(agg.time_histogram_count("serve.latency.total"), 3u);
+  EXPECT_EQ(agg.time_histogram_sum_us("serve.latency.total"), 1010u);
+  const auto buckets = agg.time_histogram("serve.latency.total");
+  EXPECT_EQ(buckets[obs::TimeHistogram::bucket_of_us(5)], 2u);
+  EXPECT_EQ(buckets[obs::TimeHistogram::bucket_of_us(1000)], 1u);
+  // Count-shaped histograms merge the same way.
+  const std::size_t hist_index = [] {
+    std::size_t i = 0;
+    for (const obs::MetricInfo& m : obs::metric_catalog()) {
+      if (m.kind != obs::MetricKind::kHistogram) continue;
+      if (std::string_view(m.name) == "sched.ii_minus_mii") return i;
+      ++i;
+    }
+    return i;
+  }();
+  EXPECT_EQ(agg.histograms[hist_index][obs::Histogram::bucket_of(2)], 1u);
+  EXPECT_EQ(agg.histogram_sums[hist_index], 2u);
+}
+
+TEST(Counters, SnapshotFromJsonRoundTripsExactly) {
+  // What the router does per shard: parse the backend's STATS JSON back
+  // into a snapshot. Round-tripping through write_counters_json must be
+  // lossless for every vector.
+  const obs::CountersSnapshot t0 = obs::counters_snapshot();
+  obs::counters().serve_responses_ok.add(11);
+  obs::counters().serve_queue_depth.record(3);
+  obs::counters().serve_latency_schedule.record_us(42);
+  const obs::CountersSnapshot s = obs::snapshot_delta(t0, obs::counters_snapshot());
+
+  support::JsonWriter w;
+  obs::write_counters_json(w, s);
+  const auto parsed = support::parse_json(w.str());
+  const auto* v = std::get_if<support::JsonValue>(&parsed);
+  ASSERT_NE(v, nullptr) << std::get<std::string>(parsed);
+  const obs::CountersSnapshot back = obs::snapshot_from_json(*v);
+
+  EXPECT_EQ(back.counters, s.counters);
+  EXPECT_EQ(back.histograms, s.histograms);
+  EXPECT_EQ(back.histogram_sums, s.histogram_sums);
+  EXPECT_EQ(back.time_histograms, s.time_histograms);
+  EXPECT_EQ(back.time_histogram_sums_us, s.time_histogram_sums_us);
 }
 
 // ------------------------------------------------------------- doc-sync
@@ -441,6 +621,65 @@ TEST_F(TraceTest, InternReturnsStablePointers) {
   const char* b = obs::intern(std::string("loop_") + "alpha");
   EXPECT_EQ(a, b);
   EXPECT_STREQ(a, "loop_alpha");
+}
+
+// -------------------------------------------- distributed trace context
+
+TEST(TraceIds, MintedIdsAreNonZeroAndUnique) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4096; ++i) {
+    const std::uint64_t id = obs::mint_id();
+    EXPECT_NE(id, 0u) << "zero means 'no trace' on the wire";
+    EXPECT_TRUE(seen.insert(id).second) << "minted ids must be process-unique";
+  }
+}
+
+TEST_F(TraceTest, ScopedContextIsAdoptedByTheFirstSpanAndChildrenNest) {
+  obs::trace_enable(64);
+  const std::uint64_t remote_trace = obs::mint_id();
+  const std::uint64_t remote_parent = obs::mint_id();
+  std::uint64_t continuation = 0;
+  {
+    obs::ScopedTraceContext tctx(remote_trace, remote_parent);
+    continuation = tctx.span_id();
+    EXPECT_NE(continuation, 0u) << "pre-minted so it can be echoed before the span closes";
+    TMS_TRACE_SPAN(s, "t", "serve.request");
+    { TMS_TRACE_SPAN(c, "t", "serve.schedule"); }
+  }
+  const std::vector<obs::TraceEvent> evs = obs::trace_snapshot();
+  ASSERT_EQ(evs.size(), 2u);
+  // Spans close inside-out: the child lands first.
+  EXPECT_STREQ(evs[0].name, "serve.schedule");
+  EXPECT_EQ(evs[0].trace_id, remote_trace);
+  EXPECT_EQ(evs[0].parent_span_id, continuation) << "children hang under the adopted span";
+  EXPECT_STREQ(evs[1].name, "serve.request");
+  EXPECT_EQ(evs[1].trace_id, remote_trace);
+  EXPECT_EQ(evs[1].span_id, continuation) << "first span adopts the pre-minted id";
+  EXPECT_EQ(evs[1].parent_span_id, remote_parent) << "stitched to the remote caller's span";
+}
+
+TEST_F(TraceTest, EmptyContextRecordsZeroIdsAndChromeJsonCarriesHex) {
+  obs::trace_enable(64);
+  {
+    obs::ScopedTraceContext tctx(0, 0);
+    EXPECT_EQ(tctx.span_id(), 0u);
+    TMS_TRACE_SPAN(s, "t", "untraced");
+  }
+  {
+    obs::ScopedTraceContext tctx(0x12abULL, 0);
+    TMS_TRACE_SPAN(s, "t", "traced");
+  }
+  const std::vector<obs::TraceEvent> evs = obs::trace_snapshot();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].trace_id, 0u);
+  EXPECT_EQ(evs[0].span_id, 0u);
+  EXPECT_EQ(evs[1].trace_id, 0x12abULL);
+  const std::string chrome = obs::trace_chrome_json();
+  EXPECT_NE(chrome.find("00000000000012ab"), std::string::npos)
+      << "chrome export must carry the hex ids for stitching";
+  // The canonical form omits minted ids (they would break byte-identity).
+  const std::string canonical = obs::trace_canonical_json();
+  EXPECT_EQ(canonical.find("00000000000012ab"), std::string::npos);
 }
 
 // -------------------------------------------------------------- explain

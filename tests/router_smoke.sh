@@ -13,17 +13,28 @@
 #   4. failover: kill -9 one backend mid-load — the prober ejects it,
 #      in-flight and subsequent requests reroute, and the verified
 #      loadgen run finishes with ZERO failed requests;
-#   5. drain: SIGTERM stops the router cleanly (exit 0) and the exit
+#   5. cluster telemetry: the router's merged Prometheus dump
+#      (--cluster-metrics-dump, one sample set per shard="...") passes
+#      promlint; with b1 dead, CLUSTER_STATS still answers and `tmstop
+#      --cluster` renders 3/4 shards ok with the dead one UNREACHABLE;
+#      SIGUSR2 makes b0 dump its flight ring as tmsd-flight-v1; when
+#      tracing is compiled in, one `loadgen --cluster` run writes a
+#      stitched Chrome trace (router spans parenting backend spans).
+#      The trace, flight dump, and cluster exposition are copied to
+#      ARTIFACT_DIR for CI upload;
+#   6. drain: SIGTERM stops the router cleanly (exit 0) and the exit
 #      summary shows the ejection.
 #
-# Usage: router_smoke.sh TMSD TMSROUTER TMSQ LOADGEN TMSC LOOPS_DIR
+# Usage: router_smoke.sh TMSD TMSROUTER TMSQ LOADGEN TMSC LOOPS_DIR \
+#                        TMSTOP PROMLINT TRACE_ON ARTIFACT_DIR
 set -u
 
-if [ "$#" -ne 6 ]; then
-  echo "usage: $0 TMSD TMSROUTER TMSQ LOADGEN TMSC LOOPS_DIR" >&2
+if [ "$#" -ne 10 ]; then
+  echo "usage: $0 TMSD TMSROUTER TMSQ LOADGEN TMSC LOOPS_DIR TMSTOP PROMLINT TRACE_ON ARTIFACT_DIR" >&2
   exit 2
 fi
 TMSD=$1 TMSROUTER=$2 TMSQ=$3 LOADGEN=$4 TMSC=$5 LOOPS_DIR=$6
+TMSTOP=$7 PROMLINT=$8 TRACE_ON=$9 ARTIFACT_DIR=${10}
 
 # Relative workdir: short socket paths sidestep the sun_path limit.
 WORK=$(mktemp -d router_smoke.XXXXXX) || exit 1
@@ -77,8 +88,11 @@ for i in $(seq 0 $((BACKENDS - 1))); do
   for j in $(seq 0 $((BACKENDS - 1))); do
     [ "$j" -ne "$i" ] && peers+=(--peer "$WORK/b$j.sock")
   done
+  extra=()
+  # b0 carries the flight recorder under test: SIGUSR2 dumps its ring.
+  [ "$i" -eq 0 ] && extra+=(--flight-dump "$WORK/flight-b0.json")
   "$TMSD" --socket "$WORK/b$i.sock" --threads 1 --counters \
-    "${peers[@]}" >"$WORK/b$i.log" 2>&1 &
+    "${peers[@]}" "${extra[@]}" >"$WORK/b$i.log" 2>&1 &
   BACKEND_PIDS[$i]=$!
 done
 for i in $(seq 0 $((BACKENDS - 1))); do
@@ -89,7 +103,8 @@ note "starting tmsrouter in front"
 "$TMSROUTER" --socket "$WORK/router.sock" \
   --backend "$WORK/b0.sock" --backend "$WORK/b1.sock" \
   --backend "$WORK/b2.sock" --backend "$WORK/b3.sock" \
-  --probe-interval-ms 100 --counters >"$WORK/router.log" 2>&1 &
+  --probe-interval-ms 100 --counters \
+  --cluster-metrics-dump "$WORK/cluster.prom" >"$WORK/router.log" 2>&1 &
 ROUTER_PID=$!
 wait_ready "$WORK/router.sock" "$ROUTER_PID" "$WORK/router.log" || exit 1
 
@@ -153,7 +168,100 @@ else
   cat "$WORK/loadgen.json" >&2 || true
 fi
 
-# ----------------------------------------------------------- phase 5: drain
+# ----------------------------------------- phase 5: cluster telemetry
+# 5a. CLUSTER_STATS keeps answering with b1 dead: wait for the prober
+# to eject it, then `tmstop --cluster` must render 3/4 shards ok with
+# the dead shard marked UNREACHABLE.
+note "tmstop --cluster against the router with b1 dead"
+ejected=0
+for _ in $(seq 1 50); do
+  if "$TMSTOP" --socket "$WORK/router.sock" --cluster --count 1 \
+       >"$WORK/cluster.txt" 2>&1 && grep -q "shards 3/4 ok" "$WORK/cluster.txt"; then
+    ejected=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$ejected" -ne 1 ]; then
+  flunk "tmstop --cluster never saw 3/4 shards ok; last output follows"
+  cat "$WORK/cluster.txt" >&2
+else
+  grep -q "UNREACHABLE" "$WORK/cluster.txt" \
+    || flunk "dead shard not rendered UNREACHABLE by tmstop --cluster"
+  grep -q "aggregate: requests" "$WORK/cluster.txt" \
+    || flunk "tmstop --cluster missing the aggregate line"
+fi
+
+# 5b. Merged cluster exposition: SIGUSR1 makes the router fan STATS to
+# the live backends and write one per-shard-labelled dump, which must
+# pass the shared exposition linter (per-labelset `le` checks).
+note "SIGUSR1 router -> merged cluster exposition -> promlint"
+kill -USR1 "$ROUTER_PID" 2>/dev/null
+prom_ok=0
+for _ in $(seq 1 50); do
+  [ -s "$WORK/cluster.prom" ] && { prom_ok=1; break; }
+  sleep 0.1
+done
+if [ "$prom_ok" -ne 1 ]; then
+  flunk "router never wrote the cluster metrics dump"
+else
+  "$PROMLINT" "$WORK/cluster.prom" >"$WORK/promlint.txt" 2>&1 \
+    || { flunk "promlint rejected the merged cluster dump"; cat "$WORK/promlint.txt" >&2; }
+  grep -q 'shard="router"' "$WORK/cluster.prom" \
+    || flunk "cluster dump missing the router's own shard=\"router\" samples"
+  grep -q 'shard="'"$WORK"'/b0.sock"' "$WORK/cluster.prom" \
+    || flunk "cluster dump missing per-backend shard labels"
+fi
+
+# 5c. Flight recorder: SIGUSR2 makes b0 dump its ring of recently
+# completed requests as tmsd-flight-v1.
+note "SIGUSR2 b0 -> flight dump"
+kill -USR2 "${BACKEND_PIDS[0]}" 2>/dev/null
+flight_ok=0
+for _ in $(seq 1 50); do
+  [ -s "$WORK/flight-b0.json" ] && { flight_ok=1; break; }
+  sleep 0.1
+done
+if [ "$flight_ok" -ne 1 ]; then
+  flunk "b0 never wrote the flight dump"
+else
+  grep -q '"schema":"tmsd-flight-v1"' "$WORK/flight-b0.json" \
+    || flunk "flight dump missing the tmsd-flight-v1 schema tag"
+  grep -q '"outcome":"ok"' "$WORK/flight-b0.json" \
+    || flunk "flight dump has no completed-ok request record"
+fi
+
+# 5d. Stitched cluster trace (tracing builds only): one loadgen
+# --cluster run writes a Chrome trace where router.forward legs parent
+# the backends' serve.request spans.
+if [ "$TRACE_ON" = "1" ]; then
+  note "loadgen --cluster 4 --trace-out -> stitched Chrome trace"
+  if ! "$LOADGEN" --cluster 4 --clients 4 --requests 60 \
+       --trace-out "$WORK/cluster-trace.json" >"$WORK/trace-run.txt" 2>&1; then
+    flunk "loadgen --cluster --trace-out failed; output follows"
+    cat "$WORK/trace-run.txt" >&2
+  else
+    for span in router.request router.forward serve.request; do
+      grep -q "\"$span\"" "$WORK/cluster-trace.json" \
+        || flunk "stitched trace missing $span spans"
+    done
+    grep -q '"serve.peer_fill"' "$WORK/cluster-trace.json" \
+      || flunk "stitched trace has no peer-fill span"
+  fi
+else
+  note "tracing compiled out; skipping the stitched-trace phase"
+fi
+
+# Keep the telemetry artifacts where CI can upload them.
+if [ -n "$ARTIFACT_DIR" ]; then
+  mkdir -p "$ARTIFACT_DIR"
+  for f in cluster.prom flight-b0.json cluster-trace.json; do
+    [ -e "$WORK/$f" ] && cp "$WORK/$f" "$ARTIFACT_DIR/$f"
+  done
+  note "artifacts copied to $ARTIFACT_DIR"
+fi
+
+# ----------------------------------------------------------- phase 6: drain
 note "draining the router with SIGTERM"
 kill -TERM "$ROUTER_PID" 2>/dev/null
 wait "$ROUTER_PID"

@@ -17,6 +17,7 @@
 #include "machine/machine.hpp"
 #include "machine/spmt_config.hpp"
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "router/cluster.hpp"
 #include "router/ring.hpp"
 #include "router/router.hpp"
@@ -25,6 +26,7 @@
 #include "serve/handler.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "support/json_parse.hpp"
 #include "workloads/kernels.hpp"
 
 namespace tms {
@@ -377,6 +379,229 @@ TEST_F(RouterSocketTest, EjectionRoutesAroundDeadBackend) {
   router.stop();
   server.drain();
   service.shutdown();
+}
+
+// ---- CLUSTER_STATS aggregation -------------------------------------------
+
+TEST_F(RouterSocketTest, ClusterStatsAggregateIsTheExactSumOfItsShards) {
+  const machine::MachineModel mach;
+  router::LocalClusterOptions opts;
+  opts.backends = 2;
+  opts.dir = dir_;
+  router::LocalCluster lc(mach, opts);
+  ASSERT_FALSE(lc.start().has_value());
+
+  // Put some traffic through so counters and latency buckets are
+  // non-trivial before the snapshot.
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(lc.router_socket()).has_value());
+  std::uint64_t id = 0;
+  for (workloads::Kernel& k : workloads::classic_kernels()) {
+    serve::Request req;
+    req.id = ++id;
+    req.scheduler = "tms";
+    req.loop = k.loop;
+    const auto resp = client.compile(req);
+    const auto* ok = std::get_if<serve::Response>(&resp);
+    ASSERT_NE(ok, nullptr) << std::get<std::string>(resp);
+    ASSERT_TRUE(ok->ok) << ok->message;
+  }
+
+  std::string payload;
+  ASSERT_FALSE(client.cluster_stats(payload).has_value());
+  const auto parsed = support::parse_json(payload);
+  const auto* v = std::get_if<support::JsonValue>(&parsed);
+  ASSERT_NE(v, nullptr) << std::get<std::string>(parsed);
+  ASSERT_NE(v->find("schema"), nullptr);
+  EXPECT_EQ(v->find("schema")->as_string(), "cluster-stats-v1");
+  EXPECT_EQ(v->find("source")->as_string(), "tmsrouter");
+  EXPECT_EQ(v->find("shards_total")->as_number(), 2.0);
+  EXPECT_EQ(v->find("shards_ok")->as_number(), 2.0);
+
+  // The acceptance contract: the aggregate equals the bucket-wise sum
+  // of the per-shard registries carried in the same reply — counters,
+  // every histogram bucket, and the exact sums.
+  const auto* shards = v->find("shards");
+  ASSERT_NE(shards, nullptr);
+  obs::CountersSnapshot sum;
+  std::size_t shards_seen = 0;
+  for (const auto& shard : shards->items()) {
+    ASSERT_NE(shard.find("ok"), nullptr);
+    ASSERT_TRUE(shard.find("ok")->as_bool());
+    const auto* observability = shard.find_path("stats.observability");
+    ASSERT_NE(observability, nullptr);
+    obs::snapshot_accumulate(sum, obs::snapshot_from_json(*observability));
+    ++shards_seen;
+  }
+  EXPECT_EQ(shards_seen, 2u);
+  const auto* aggregate = v->find("aggregate");
+  ASSERT_NE(aggregate, nullptr);
+  const obs::CountersSnapshot agg = obs::snapshot_from_json(*aggregate);
+  EXPECT_EQ(agg.counters, sum.counters);
+  EXPECT_EQ(agg.histograms, sum.histograms);
+  EXPECT_EQ(agg.histogram_sums, sum.histogram_sums);
+  EXPECT_EQ(agg.time_histograms, sum.time_histograms);
+  EXPECT_EQ(agg.time_histogram_sums_us, sum.time_histogram_sums_us);
+  EXPECT_GE(agg.value("serve.requests"), static_cast<std::uint64_t>(id))
+      << "the traffic above must be visible in the aggregate";
+
+  client.close();
+  lc.stop();
+}
+
+TEST_F(RouterSocketTest, ClusterStatsAnswersWhileDrainingAndReportsDeadShards) {
+  const machine::MachineModel mach;
+
+  serve::CompileService service(mach, nullptr, serve::ServiceOptions{});
+  serve::ServerOptions sopts;
+  sopts.unix_path = dir_ + "/alive.sock";
+  serve::SocketServer server(service, sopts);
+  ASSERT_FALSE(server.start().has_value());
+
+  router::RouterOptions ropts;
+  ropts.backends = {sopts.unix_path, dir_ + "/dead.sock"};
+  ropts.probe_interval_ms = 0;
+  ropts.probe_timeout_ms = 200;
+  ropts.eject_after = 2;
+  router::Router router(mach, ropts);
+  ASSERT_FALSE(router.start().has_value());
+  router.probe_now();
+  EXPECT_EQ(router.healthy_count(), 1u);
+
+  serve::ServerOptions rsopts;
+  rsopts.unix_path = dir_ + "/router.sock";
+  serve::SocketServer rserver(router, rsopts);
+  ASSERT_FALSE(rserver.start().has_value());
+
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(rsopts.unix_path).has_value());
+  router.begin_drain();
+
+  // Compiles are refused mid-drain; CLUSTER_STATS is a side channel and
+  // must keep answering, with the ejected shard reported ok:false.
+  serve::Request req;
+  req.id = 1;
+  req.scheduler = "tms";
+  req.loop = workloads::classic_kernels().front().loop;
+  const auto refused = client.compile(req);
+  const auto* r = std::get_if<serve::Response>(&refused);
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->ok);
+  EXPECT_EQ(r->code, serve::ErrorCode::kShutdown);
+
+  std::string payload;
+  ASSERT_FALSE(client.cluster_stats(payload).has_value());
+  const auto parsed = support::parse_json(payload);
+  const auto* v = std::get_if<support::JsonValue>(&parsed);
+  ASSERT_NE(v, nullptr) << std::get<std::string>(parsed);
+  EXPECT_TRUE(v->find("draining")->as_bool());
+  EXPECT_EQ(v->find("shards_total")->as_number(), 2.0);
+  EXPECT_EQ(v->find("shards_ok")->as_number(), 1.0);
+  bool saw_dead = false;
+  for (const auto& shard : v->find("shards")->items()) {
+    if (shard.find("address")->as_string() == ropts.backends[1]) {
+      saw_dead = true;
+      EXPECT_FALSE(shard.find("ok")->as_bool());
+      EXPECT_FALSE(shard.find("healthy")->as_bool());
+      EXPECT_NE(shard.find("error"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_dead);
+
+  client.close();
+  rserver.drain();
+  router.stop();
+  server.drain();
+  service.shutdown();
+}
+
+// ---- distributed tracing across the router hop ---------------------------
+
+TEST_F(RouterSocketTest, HedgedPeerFilledRequestYieldsOneStitchedTrace) {
+  if (!obs::trace_compiled()) GTEST_SKIP() << "built with TMS_TRACE=0";
+  const machine::MachineModel mach;
+  router::LocalClusterOptions opts;
+  opts.backends = 2;
+  opts.dir = dir_;
+  opts.peer_fill = true;
+  router::LocalCluster lc(mach, opts);
+  ASSERT_FALSE(lc.start().has_value());
+
+  serve::Client client;
+  ASSERT_FALSE(client.connect_unix(lc.router_socket()).has_value());
+
+  // Warm the ring owner via the router, then identify it by its
+  // forwarded count.
+  serve::Request req;
+  req.id = 1;
+  req.scheduler = "tms";
+  req.loop = workloads::classic_kernels().front().loop;
+  {
+    const auto resp = client.compile(req);
+    const auto* ok = std::get_if<serve::Response>(&resp);
+    ASSERT_NE(ok, nullptr);
+    ASSERT_TRUE(ok->ok) << ok->message;
+  }
+  int owner = -1;
+  for (const auto& b : lc.router().backends_snapshot()) {
+    if (b.forwarded != 1) continue;
+    for (int i = 0; i < lc.backends(); ++i) {
+      if (lc.backend_socket(i) == b.address) owner = i;
+    }
+  }
+  ASSERT_GE(owner, 0);
+
+  // Drain the owner: the repeat request is answered kShutdown there,
+  // hedges to the replica, misses its cold cache, and peer-fills the
+  // PEEK side channel the draining owner still serves.
+  lc.service(owner).begin_drain();
+  obs::trace_enable(1 << 12);
+  req.id = 2;
+  req.trace_id = obs::mint_id();
+  const auto resp = client.compile(req);
+  const auto* ok = std::get_if<serve::Response>(&resp);
+  ASSERT_NE(ok, nullptr);
+  ASSERT_TRUE(ok->ok) << ok->message;
+  EXPECT_TRUE(ok->cache_hit) << "the replica must have peer-filled from the owner";
+  EXPECT_EQ(ok->trace_id, req.trace_id) << "traced clients get their id echoed";
+  client.close();
+  lc.stop();
+
+  // One buffer holds the whole path. Walk the spans of this trace:
+  // router.request roots it, the hedge adds a second forward leg, and
+  // the replica's serve.request hangs under one of the legs with its
+  // peer-fill span inside.
+  const std::vector<obs::TraceEvent> evs = obs::trace_snapshot();
+  obs::trace_disable();
+  std::vector<obs::TraceEvent> mine;
+  for (const obs::TraceEvent& e : evs) {
+    if (e.trace_id == req.trace_id) mine.push_back(e);
+  }
+  std::set<std::uint64_t> forward_spans;
+  std::uint64_t root_span = 0;
+  bool saw_hedge_leg = false;
+  bool saw_peer_fill = false;
+  std::uint64_t serve_parent = 0;
+  for (const obs::TraceEvent& e : mine) {
+    const std::string name = e.name;
+    if (name == "router.request") root_span = e.span_id;
+    if (name == "router.forward") {
+      forward_spans.insert(e.span_id);
+      for (int a = 0; a < e.nargs; ++a) {
+        if (std::string_view(e.args[a].key) == "hedge" && e.args[a].i == 1) {
+          saw_hedge_leg = true;
+        }
+      }
+    }
+    if (name == "serve.request") serve_parent = e.parent_span_id;
+    if (name == "serve.peer_fill") saw_peer_fill = true;
+  }
+  EXPECT_NE(root_span, 0u) << "router must root the trace";
+  EXPECT_GE(forward_spans.size(), 2u) << "owner leg + hedge leg";
+  EXPECT_TRUE(saw_hedge_leg);
+  EXPECT_TRUE(saw_peer_fill) << "the replica's peer-fill span joins the same trace";
+  EXPECT_TRUE(forward_spans.count(serve_parent))
+      << "the backend's serve.request span must hang under a forward leg";
 }
 
 }  // namespace

@@ -14,7 +14,11 @@
 #      round-trips during the load run (loadgen --expect-stats), tmstop
 #      watches the same run and must observe a non-zero request rate
 #      between consecutive snapshots, the slow log captures canonical
-#      JSON lines, and the final --metrics-dump exposition lands.
+#      JSON lines, and the final --metrics-dump exposition lands;
+#   6. tracing: tmsq --trace-out writes a tmsq-trace-v1 summary whose
+#      minted trace id the server echoes and the slow log carries as an
+#      exemplar — with the exit-code contract unchanged, even when the
+#      summary path is unwritable.
 #
 # Usage: serve_smoke.sh TMSD TMSQ LOADGEN TMSC TMSTOP LOOPS_DIR
 set -u
@@ -134,6 +138,33 @@ if [ -n "$one_loop" ]; then
   elif ! grep -q "request_id=smoke-req.1" "$WORK/echo.txt"; then
     flunk "tmsq summary did not echo request_id=smoke-req.1"
     cat "$WORK/echo.txt" >&2
+  fi
+fi
+
+note "tmsq --trace-out: summary written, ids echoed, exit codes unchanged"
+if [ -n "$one_loop" ]; then
+  "$TMSQ" --socket "$SOCKET" "$one_loop" --quiet --trace-out "$WORK/trace.json"
+  code=$?
+  if [ "$code" -ne 0 ]; then
+    flunk "tmsq --trace-out changed the success exit code (got $code, want 0)"
+  elif ! grep -q '"schema":"tmsq-trace-v1"' "$WORK/trace.json" 2>/dev/null; then
+    flunk "tmsq --trace-out did not write a tmsq-trace-v1 summary"
+  elif ! grep -q '"echoed":true' "$WORK/trace.json"; then
+    flunk "server did not echo the minted trace id"
+    cat "$WORK/trace.json" >&2
+  else
+    # --slow-ms 0 logs every request: the slow line for this request
+    # must carry the same trace id as the client-side summary
+    # (exemplar contract, docs/OBSERVABILITY.md).
+    tid=$(grep -o '"trace_id":"[0-9a-f]*"' "$WORK/trace.json" | head -n 1)
+    if [ -n "$tid" ] && ! grep -q "$tid" "$SLOWLOG"; then
+      flunk "slow log does not carry the tmsq trace id $tid"
+    fi
+  fi
+  # An unwritable --trace-out warns but must not change the exit code.
+  if ! "$TMSQ" --socket "$SOCKET" "$one_loop" --quiet \
+       --trace-out "$WORK/no-such-dir/trace.json" >/dev/null 2>&1; then
+    flunk "unwritable --trace-out changed the success exit code"
   fi
 fi
 

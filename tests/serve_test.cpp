@@ -995,6 +995,99 @@ TEST(Server, StatsSnapshotsAreMonotonic) {
   EXPECT_GE(after, before + 1.0) << "counters in consecutive snapshots must be monotone";
 }
 
+// ---------------------------------------------------- distributed tracing
+
+TEST(Message, UntracedRequestSerialisesByteIdenticallyToPreTraceWire) {
+  // The trace fields are omit-when-default: a request that carries no
+  // trace context must produce the exact bytes a pre-trace client sent,
+  // so old servers parse it and content hashes over the payload agree.
+  serve::Request req = chain_request();
+  req.request_id = "pin-1";
+  const std::string bytes = serve::serialise_request(req);
+  EXPECT_EQ(bytes.find("trace_id"), std::string::npos);
+  EXPECT_EQ(bytes.find("parent_span_id"), std::string::npos);
+
+  // And adding trace context must not disturb any other line.
+  serve::Request traced = req;
+  traced.trace_id = 0x0123456789abcdefULL;
+  traced.parent_span_id = 0xfedcba9876543210ULL;
+  std::string traced_bytes = serve::serialise_request(traced);
+  EXPECT_NE(traced_bytes.find("trace_id 0123456789abcdef\n"), std::string::npos);
+  EXPECT_NE(traced_bytes.find("parent_span_id fedcba9876543210\n"), std::string::npos);
+  // Removing exactly the two trace lines recovers the untraced bytes.
+  for (const char* key : {"trace_id ", "parent_span_id "}) {
+    const std::size_t at = traced_bytes.find(key);
+    ASSERT_NE(at, std::string::npos);
+    traced_bytes.erase(at, traced_bytes.find('\n', at) - at + 1);
+  }
+  EXPECT_EQ(traced_bytes, bytes);
+}
+
+TEST(Message, TraceContextRoundTripsAndParsesAsZeroWhenAbsent) {
+  serve::Request req = chain_request();
+  req.trace_id = 0xABCDULL;
+  req.parent_span_id = 0x1ULL;
+  const auto parsed = serve::parse_request(serve::serialise_request(req));
+  const auto* out = std::get_if<serve::Request>(&parsed);
+  ASSERT_NE(out, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(out->trace_id, 0xABCDULL);
+  EXPECT_EQ(out->parent_span_id, 0x1ULL);
+
+  const auto untraced = serve::parse_request(serve::serialise_request(chain_request()));
+  const auto* u = std::get_if<serve::Request>(&untraced);
+  ASSERT_NE(u, nullptr);
+  EXPECT_EQ(u->trace_id, 0u);
+  EXPECT_EQ(u->parent_span_id, 0u);
+}
+
+TEST(Message, ResponseEchoesTraceOnlyWhenTheRequestCarriedIt) {
+  serve::Response resp;
+  resp.id = 9;
+  resp.ok = true;
+  resp.scheduler = "tms";
+  resp.ii = 2;
+  resp.mii = 2;
+  resp.slots = {0, 1};
+  const std::string untraced = serve::serialise_response(resp);
+  EXPECT_EQ(untraced.find("trace_id"), std::string::npos);
+  EXPECT_EQ(untraced.find("span_id"), std::string::npos)
+      << "a pre-trace client must never see trace keys";
+
+  resp.trace_id = 0x1111ULL;
+  resp.span_id = 0x2222ULL;
+  const auto parsed = serve::parse_response(serve::serialise_response(resp));
+  const auto* out = std::get_if<serve::Response>(&parsed);
+  ASSERT_NE(out, nullptr) << std::get<std::string>(parsed);
+  EXPECT_EQ(out->trace_id, 0x1111ULL);
+  EXPECT_EQ(out->span_id, 0x2222ULL);
+}
+
+TEST(Service, TraceContextDoesNotChangeTheScheduleCacheKey) {
+  // Same loop, same config, one request untraced and one traced: the
+  // second must hit the cache entry the first created (the content key
+  // ignores trace context), and only the traced one gets an echo.
+  machine::MachineModel mach;
+  driver::ScheduleCache cache(64);
+  serve::ServiceOptions opts;
+  opts.threads = 1;
+  serve::CompileService svc(mach, &cache, opts);
+
+  const serve::Response first = svc.handle(chain_request());
+  ASSERT_TRUE(first.ok) << first.message;
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.trace_id, 0u);
+  EXPECT_EQ(first.span_id, 0u);
+
+  serve::Request traced = chain_request();
+  traced.trace_id = 0xFEEDULL;
+  const serve::Response second = svc.handle(traced);
+  ASSERT_TRUE(second.ok) << second.message;
+  EXPECT_TRUE(second.cache_hit) << "trace context must not perturb the cache key";
+  EXPECT_EQ(second.trace_id, 0xFEEDULL) << "traced requests get their id echoed";
+  EXPECT_NE(second.span_id, 0u) << "the serve.request span id rides the response";
+  svc.shutdown();
+}
+
 TEST(Server, StartFailsOnAnOverlongSocketPath) {
   machine::MachineModel mach;
   serve::ServiceOptions sopts;

@@ -60,6 +60,16 @@
 //                              JSON object (schema loadgen-report-v1);
 //                              its `topology` field says "single" or
 //                              "cluster:N"
+//     --trace-out FILE         arm the in-process tracer for the run and
+//                              write the Chrome trace-event JSON to FILE
+//                              afterwards. Every request is sent with a
+//                              minted trace id. Under --cluster the
+//                              router core and all N backends live in
+//                              this process, so the file is the stitched
+//                              cluster trace: router.request spans with
+//                              their router.forward legs parenting each
+//                              backend's serve.* spans
+//                              (docs/OBSERVABILITY.md)
 //
 // Exit status: 0 when every request succeeded (and the --expect flags
 // held), 1 otherwise, 2 on usage errors.
@@ -81,6 +91,7 @@
 
 #include "ir/textio.hpp"
 #include "machine/machine.hpp"
+#include "obs/trace.hpp"
 #include "policy/policy.hpp"
 #include "router/cluster.hpp"
 #include "sched/ims.hpp"
@@ -102,7 +113,8 @@ int usage(const char* argv0) {
                "          [--ncore N] [--policy NAME] [--policy-stride N] [--policy-block N]\n"
                "          [--bus-bytes N] [--bus-bandwidth N]\n"
                "          [--deadline-ms N] [--timeout-ms N] [--max-retries N]\n"
-               "          [--verify] [--expect-retry-after] [--expect-stats] [--json PATH]\n",
+               "          [--verify] [--expect-retry-after] [--expect-stats] [--json PATH]\n"
+               "          [--trace-out FILE]\n",
                argv0);
   return 2;
 }
@@ -248,6 +260,7 @@ int main(int argc, char** argv) {
   bool expect_stats = false;
   int cluster = 0;
   std::string json_path;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -306,6 +319,8 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--json") {
       json_path = next("--json");
+    } else if (a == "--trace-out") {
+      trace_out = next("--trace-out");
     } else if (!a.empty() && a[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -377,6 +392,11 @@ int main(int argc, char** argv) {
   // remote tmsrouter. STATS probes go to backend 0 directly — the
   // router's snapshot schema (tmsrouter-stats-v1) is not what
   // check_stats() asserts.
+  // --trace-out: arm the process-wide tracer before anything can emit a
+  // span. Under --cluster the router core and every backend service run
+  // in this process, so one buffer captures the whole stitched path.
+  if (!trace_out.empty()) obs::trace_enable();
+
   std::unique_ptr<router::LocalCluster> lc;
   char cluster_dir[] = "/tmp/loadgen-cluster-XXXXXX";
   if (cluster > 0) {
@@ -443,6 +463,9 @@ int main(int argc, char** argv) {
         req.bus_bytes_per_transfer = bus_bytes;
         req.bus_bytes_per_cycle = bus_bandwidth;
         req.loop = loops[li];
+        // Traced runs act as the trace root: the server echoes this id
+        // and its spans carry it, so the dump stitches per request.
+        if (!trace_out.empty()) req.trace_id = obs::mint_id();
 
         const auto t0 = std::chrono::steady_clock::now();
         bool settled = false;
@@ -546,6 +569,22 @@ int main(int argc, char** argv) {
   if (lc != nullptr) {
     shards = lc->router().backends_snapshot();
     lc->stop();
+  }
+
+  // Trace dump after teardown so in-flight spans have closed.
+  if (!trace_out.empty()) {
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write %s: %s\n", trace_out.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    const std::string json = obs::trace_chrome_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("loadgen: wrote %zu trace event(s) to %s (%zu dropped)\n",
+                obs::trace_event_count(), trace_out.c_str(), obs::trace_dropped());
   }
 
   std::sort(totals.latencies_ms.begin(), totals.latencies_ms.end());

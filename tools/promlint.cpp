@@ -2,10 +2,15 @@
 //
 // Runs the same linter tmsd applies to its own --metrics-dump output
 // (obs::lint_prometheus_text: grouping, TYPE-before-samples, strictly
-// increasing `le` labels, non-decreasing cumulative buckets, trailing
-// +Inf, _count == +Inf, duplicate series). CI points this at a dump
-// from a live daemon so the exposition contract is enforced end to end,
-// not just in unit tests.
+// increasing `le` labels *per labelset*, non-decreasing cumulative
+// buckets, trailing +Inf, _count == +Inf, duplicate HELP/TYPE/series).
+// Histogram checks key on the sample's labels minus `le`, so the merged
+// per-shard exposition from `tmsrouter --cluster-metrics-dump` — one
+// sample set per shard="<address>" under a single HELP/TYPE header —
+// lints through the same rules as a single daemon's dump. CI points
+// this at dumps from a live daemon and a live router-fronted cluster so
+// the exposition contract is enforced end to end, not just in unit
+// tests.
 //
 // Usage: promlint FILE     ("-" reads stdin)
 // Exit status: 0 clean, 1 lint error (printed as FILE:line: message),

@@ -53,20 +53,31 @@
 //                              off); counted in serve.slow_requests
 //     --slow-log PATH          append slow-request lines to PATH instead
 //                              of stderr
+//     --flight-size N          flight-recorder ring capacity: the last N
+//                              requests' full outcome records, always on
+//                              (default 256; docs/SERVING.md)
+//     --flight-dump PATH       write the tmsd-flight-v1 dump to PATH on
+//                              SIGUSR2, on each slow request (rate
+//                              limited to ~1/s), and at drain; written
+//                              atomically via rename. Without a PATH,
+//                              SIGUSR2 prints the dump to stderr
 //
 // Lifecycle: on SIGTERM or SIGINT the daemon stops accepting, answers
 // already-connected clients' in-flight requests, drains the compile
 // queue, and exits 0. A second signal during drain exits immediately
-// (code 130). SIGUSR1 never exits — it only triggers a metrics dump.
-// Readiness is signalled by the "tmsd: listening on ..." line on stdout
-// (flushed before the first accept). Live introspection needs no signal
-// at all: the STATS/HEALTH protocol verbs answer on any connection,
+// (code 130). SIGUSR1 never exits — it only triggers a metrics dump;
+// SIGUSR2 likewise only dumps the flight recorder. Readiness is
+// signalled by the "tmsd: listening on ..." line on stdout (flushed
+// before the first accept). Live introspection needs no signal at all:
+// the STATS/HEALTH/FLIGHT protocol verbs answer on any connection,
 // even mid-drain (see docs/SERVING.md).
 #include <poll.h>
 #include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,6 +88,7 @@
 #include "driver/schedule_cache.hpp"
 #include "machine/machine.hpp"
 #include "obs/counters.hpp"
+#include "obs/flight.hpp"
 #include "obs/prometheus.hpp"
 #include "policy/policy.hpp"
 #include "serve/client.hpp"
@@ -97,7 +109,8 @@ int usage(const char* argv0) {
                "          [--bus-bytes N] [--bus-bandwidth N]\n"
                "          [--no-validate] [--sim-verify] [--sim-verify-iters N] [--counters]\n"
                "          [--metrics-dump PATH] [--metrics-interval-ms N]\n"
-               "          [--slow-ms N] [--slow-log PATH]\n",
+               "          [--slow-ms N] [--slow-log PATH]\n"
+               "          [--flight-size N] [--flight-dump PATH]\n",
                argv0);
   return 2;
 }
@@ -108,6 +121,7 @@ int usage(const char* argv0) {
 int g_signal_pipe[2] = {-1, -1};
 volatile sig_atomic_t g_signal_count = 0;
 volatile sig_atomic_t g_dump_requested = 0;
+volatile sig_atomic_t g_flight_requested = 0;
 
 void on_signal(int) {
   g_signal_count = static_cast<sig_atomic_t>(g_signal_count + 1);
@@ -117,6 +131,12 @@ void on_signal(int) {
 
 void on_sigusr1(int) {
   g_dump_requested = 1;
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void on_sigusr2(int) {
+  g_flight_requested = 1;
   const char byte = 1;
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
@@ -143,6 +163,31 @@ void dump_metrics(const std::string& path) {
   }
 }
 
+/// tmsd-flight-v1 dump -> temp file -> rename (or stderr when no path is
+/// configured, so a bare SIGUSR2 still surfaces the ring).
+void dump_flight(const std::string& path, const obs::FlightRecorder& recorder) {
+  const std::string text = obs::flight_to_json(recorder);
+  if (path.empty()) {
+    std::fprintf(stderr, "%s\n", text.c_str());
+    obs::counters().serve_flight_dumps.add(1);
+    return;
+  }
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "tmsd: cannot write %s: %s\n", tmp.c_str(), std::strerror(errno));
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "tmsd: rename %s: %s\n", path.c_str(), std::strerror(errno));
+    return;
+  }
+  obs::counters().serve_flight_dumps.add(1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,6 +205,8 @@ int main(int argc, char** argv) {
   std::string metrics_dump;
   std::int64_t metrics_interval_ms = 0;
   std::string slow_log_path;
+  std::size_t flight_size = 256;
+  std::string flight_dump;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -226,6 +273,10 @@ int main(int argc, char** argv) {
       service_opts.slow_ms = std::atoll(next("--slow-ms"));
     } else if (a == "--slow-log") {
       slow_log_path = next("--slow-log");
+    } else if (a == "--flight-size") {
+      flight_size = std::strtoull(next("--flight-size"), nullptr, 10);
+    } else if (a == "--flight-dump") {
+      flight_dump = next("--flight-dump");
     } else {
       return usage(argv[0]);
     }
@@ -248,6 +299,10 @@ int main(int argc, char** argv) {
   sa_usr1.sa_handler = on_sigusr1;
   ::sigemptyset(&sa_usr1.sa_mask);
   ::sigaction(SIGUSR1, &sa_usr1, nullptr);
+  struct sigaction sa_usr2 {};
+  sa_usr2.sa_handler = on_sigusr2;
+  ::sigemptyset(&sa_usr2.sa_mask);
+  ::sigaction(SIGUSR2, &sa_usr2, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
   std::FILE* slow_log_file = nullptr;
@@ -264,6 +319,28 @@ int main(int argc, char** argv) {
   machine::MachineModel mach;
   std::optional<driver::ScheduleCache> cache;
   if (use_cache) cache.emplace(cache_capacity, cache_dir, cache_disk_max_bytes);
+
+  // The flight recorder is always on (the FLIGHT verb and SIGUSR2 need
+  // no opt-in); --flight-size only resizes the ring. A configured
+  // --flight-dump additionally snapshots the ring on every slow request,
+  // rate limited so a burst of slow requests costs one dump per second.
+  obs::FlightRecorder flight(flight_size == 0 ? 1 : flight_size);
+  service_opts.flight = &flight;
+  std::atomic<std::int64_t> last_slow_dump_ms{-1000000};
+  if (!flight_dump.empty()) {
+    service_opts.on_slow = [&flight, &flight_dump, &last_slow_dump_ms]() {
+      const std::int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                      std::chrono::steady_clock::now().time_since_epoch())
+                                      .count();
+      std::int64_t prev = last_slow_dump_ms.load(std::memory_order_relaxed);
+      if (now_ms - prev < 1000) return;
+      if (!last_slow_dump_ms.compare_exchange_strong(prev, now_ms,
+                                                     std::memory_order_relaxed)) {
+        return;  // another slow request is dumping right now
+      }
+      dump_flight(flight_dump, flight);
+    };
+  }
 
   if (!peers.empty() && use_cache) {
     // Cache peer-fill: on a local miss, PEEK each ring sibling in order
@@ -315,11 +392,18 @@ int main(int argc, char** argv) {
     if (r > 0 && (pfd.revents & POLLIN) != 0) {
       char buf[16];
       [[maybe_unused]] const ssize_t n = ::read(g_signal_pipe[0], buf, sizeof buf);
+      bool handled = false;
       if (g_dump_requested != 0 && g_signal_count == 0) {
         g_dump_requested = 0;
         if (!metrics_dump.empty()) dump_metrics(metrics_dump);
-        continue;
+        handled = true;
       }
+      if (g_flight_requested != 0 && g_signal_count == 0) {
+        g_flight_requested = 0;
+        dump_flight(flight_dump, flight);
+        handled = true;
+      }
+      if (handled) continue;
       break;
     }
     if (r < 0) break;
@@ -347,8 +431,10 @@ int main(int argc, char** argv) {
   if (print_counters) {
     std::printf("%s", obs::counters_to_text(obs::counters_snapshot()).c_str());
   }
-  // Final exposition so a scrape after shutdown sees the complete tally.
+  // Final exposition so a scrape after shutdown sees the complete tally,
+  // and a last flight dump so the final requests' records survive exit.
   if (!metrics_dump.empty()) dump_metrics(metrics_dump);
+  if (!flight_dump.empty()) dump_flight(flight_dump, flight);
   if (slow_log_file != nullptr) std::fclose(slow_log_file);
   std::printf("tmsd: drained, exiting\n");
   return 0;

@@ -21,6 +21,12 @@
 //     --request-id ID          end-to-end request id ([A-Za-z0-9._:-],
 //                              <= 64 chars); echoed by the server and
 //                              attached to its trace span
+//     --trace-out FILE         mint a trace id, send it with the request,
+//                              and write the server-echoed span summary
+//                              (tmsq-trace-v1 JSON) to FILE. The ids tie
+//                              this invocation to the server's own trace
+//                              dump (docs/OBSERVABILITY.md). Exit codes
+//                              are unchanged
 //     --ping                   liveness probe instead of a request
 //     --quiet                  suppress the "remote:" summary line
 //
@@ -45,8 +51,10 @@
 
 #include "ir/textio.hpp"
 #include "machine/machine.hpp"
+#include "obs/trace.hpp"
 #include "sched/schedule.hpp"
 #include "serve/client.hpp"
+#include "support/json.hpp"
 #include "viz/render.hpp"
 
 using namespace tms;
@@ -57,11 +65,48 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket PATH | --tcp HOST:PORT | --router PATH) [<loop-file>]\n"
                "          [--scheduler sms|ims|tms] [--ncore N] [--deadline-ms N]\n"
-               "          [--timeout-ms N] [--request-id ID] [--ping] [--quiet]\n"
+               "          [--timeout-ms N] [--request-id ID] [--trace-out FILE]\n"
+               "          [--ping] [--quiet]\n"
                "exit: 0 ok, 1 transport/other, 2 usage, 3 overload, 4 deadline,\n"
                "      5 parse/bad-request\n",
                argv0);
   return 2;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Best-effort: a failure to write the summary warns but never changes
+/// the exit code (the contract scripts dispatch on).
+void write_trace_summary(const std::string& path, const tms::serve::Request& req,
+                         const tms::serve::Response& resp) {
+  tms::support::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "tmsq-trace-v1");
+  w.member("trace_id", hex16(req.trace_id));
+  w.member("span_id", hex16(resp.span_id));
+  w.member("request_id", resp.request_id);
+  w.member("ok", resp.ok);
+  if (!resp.ok) w.member("code", std::string(tms::serve::to_string(resp.code)));
+  w.member("echoed", resp.trace_id == req.trace_id);
+  w.member("t_queue_us", resp.t_queue_us);
+  w.member("t_schedule_us", resp.t_schedule_us);
+  w.member("t_validate_us", resp.t_validate_us);
+  w.member("t_total_us", resp.t_total_us);
+  w.member("server_ms", resp.server_ms);
+  w.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "tmsq: cannot write --trace-out %s\n", path.c_str());
+    return;
+  }
+  const std::string json = w.str();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 }  // namespace
@@ -75,6 +120,7 @@ int main(int argc, char** argv) {
   bool ping = false;
   bool quiet = false;
   bool router_mode = false;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -106,6 +152,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --request-id (1..64 chars of [A-Za-z0-9._:-])\n");
         return 2;
       }
+    } else if (a == "--trace-out") {
+      trace_out = next("--trace-out");
     } else if (a == "--ping") {
       ping = true;
     } else if (a == "--quiet") {
@@ -170,6 +218,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   req.loop = std::get<ir::Loop>(std::move(parsed));
+  if (!trace_out.empty()) req.trace_id = obs::mint_id();
 
   auto result = client.compile(req);
   if (const auto* terr = std::get_if<std::string>(&result)) {
@@ -177,6 +226,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const serve::Response& resp = std::get<serve::Response>(result);
+  if (!trace_out.empty()) write_trace_summary(trace_out, req, resp);
   if (router_mode && resp.request_id != req.request_id) {
     std::fprintf(stderr, "tmsq: request_id echo lost across the router hop: sent %s, got %s\n",
                  req.request_id.c_str(),

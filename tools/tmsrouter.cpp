@@ -34,16 +34,25 @@
 //     --idle-timeout-ms N      close idle client connections (default
 //                              30000, 0 = never)
 //     --counters               print the counter table on exit
-//     --metrics-dump PATH      write Prometheus text exposition to PATH
-//                              on SIGUSR1 (and per --metrics-interval-ms)
+//     --metrics-dump PATH      write the router's own Prometheus text
+//                              exposition to PATH on SIGUSR1 (and per
+//                              --metrics-interval-ms)
+//     --cluster-metrics-dump PATH
+//                              write the merged cluster exposition to
+//                              PATH on the same triggers: the router's
+//                              registry plus every reachable backend's,
+//                              one sample set per shard="<address>"
+//                              label (the router is shard="router").
+//                              Each dump fans STATS out to all backends
 //     --metrics-interval-ms N  also dump every N ms (0 = signal-only)
 //
 // Lifecycle mirrors tmsd: SIGTERM/SIGINT stops accepting, answers
 // in-flight requests, and exits 0; a second signal aborts (130);
 // SIGUSR1 only dumps metrics. Readiness is the "tmsrouter: listening
 // on ..." line. STATS answers a tmsrouter-stats-v1 snapshot (per-backend
-// health and latency plus the counter registry) — note the schema
-// differs from tmsd's, so point tmstop at the backends, not the router.
+// health and latency plus the counter registry); CLUSTER_STATS answers
+// the merged cluster-stats-v1 aggregate, which is what `tmstop
+// --cluster` renders (docs/ROUTING.md).
 #include <poll.h>
 #include <signal.h>
 #include <unistd.h>
@@ -73,7 +82,8 @@ int usage(const char* argv0) {
                "          [--retry-sleep-cap-ms N] [--backend-timeout-ms N]\n"
                "          [--probe-interval-ms N] [--probe-timeout-ms N] [--eject-after N]\n"
                "          [--retry-after-ms N] [--max-connections N] [--idle-timeout-ms N]\n"
-               "          [--counters] [--metrics-dump PATH] [--metrics-interval-ms N]\n",
+               "          [--counters] [--metrics-dump PATH] [--cluster-metrics-dump PATH]\n"
+               "          [--metrics-interval-ms N]\n",
                argv0);
   return 2;
 }
@@ -94,8 +104,9 @@ void on_sigusr1(int) {
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
-void dump_metrics(const std::string& path) {
-  const std::string text = obs::write_prometheus_text(obs::counters_snapshot());
+/// Lint + temp file + rename, shared by the single-process and merged
+/// cluster expositions.
+void write_exposition(const std::string& path, const std::string& text) {
   if (const auto err = obs::lint_prometheus_text(text)) {
     std::fprintf(stderr, "tmsrouter: metrics exposition failed its own lint: %s\n",
                  err->c_str());
@@ -113,6 +124,10 @@ void dump_metrics(const std::string& path) {
   }
 }
 
+void dump_metrics(const std::string& path) {
+  write_exposition(path, obs::write_prometheus_text(obs::counters_snapshot()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,6 +137,7 @@ int main(int argc, char** argv) {
   serve::ServerOptions server_opts;
   bool print_counters = false;
   std::string metrics_dump;
+  std::string cluster_metrics_dump;
   std::int64_t metrics_interval_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -165,6 +181,8 @@ int main(int argc, char** argv) {
       print_counters = true;
     } else if (a == "--metrics-dump") {
       metrics_dump = next("--metrics-dump");
+    } else if (a == "--cluster-metrics-dump") {
+      cluster_metrics_dump = next("--cluster-metrics-dump");
     } else if (a == "--metrics-interval-ms") {
       metrics_interval_ms = std::atoll(next("--metrics-interval-ms"));
     } else {
@@ -216,15 +234,21 @@ int main(int argc, char** argv) {
               router.healthy_count());
   std::fflush(stdout);
 
+  const auto dump_all = [&]() {
+    if (!metrics_dump.empty()) dump_metrics(metrics_dump);
+    if (!cluster_metrics_dump.empty()) {
+      write_exposition(cluster_metrics_dump, router.cluster_prometheus_text());
+    }
+  };
+  const bool any_dump = !metrics_dump.empty() || !cluster_metrics_dump.empty();
   const int poll_timeout =
-      !metrics_dump.empty() && metrics_interval_ms > 0 ? static_cast<int>(metrics_interval_ms)
-                                                       : -1;
+      any_dump && metrics_interval_ms > 0 ? static_cast<int>(metrics_interval_ms) : -1;
   for (;;) {
     pollfd pfd{g_signal_pipe[0], POLLIN, 0};
     const int r = ::poll(&pfd, 1, poll_timeout);
     if (r < 0 && errno == EINTR) continue;
     if (r == 0) {
-      if (!metrics_dump.empty()) dump_metrics(metrics_dump);
+      dump_all();
       continue;
     }
     if (r > 0 && (pfd.revents & POLLIN) != 0) {
@@ -232,7 +256,7 @@ int main(int argc, char** argv) {
       [[maybe_unused]] const ssize_t n = ::read(g_signal_pipe[0], buf, sizeof buf);
       if (g_dump_requested != 0 && g_signal_count == 0) {
         g_dump_requested = 0;
-        if (!metrics_dump.empty()) dump_metrics(metrics_dump);
+        dump_all();
         continue;
       }
       break;
@@ -261,6 +285,8 @@ int main(int argc, char** argv) {
   if (print_counters) {
     std::printf("%s", obs::counters_to_text(obs::counters_snapshot()).c_str());
   }
+  // Final router-only exposition; the cluster dump would need live
+  // backends, which may already be gone at this point.
   if (!metrics_dump.empty()) dump_metrics(metrics_dump);
   std::printf("tmsrouter: drained, exiting\n");
   return 0;

@@ -12,6 +12,10 @@
 // STATS answers even while the daemon is draining, so tmstop keeps
 // rendering right up to the moment the socket closes.
 //
+// A daemon restart between polls makes every monotonic counter jump
+// backwards; rates clamp to zero for that tick and the block carries a
+// "[restart]" marker instead of nonsense negative (or huge) rates.
+//
 // Usage:
 //   tmstop (--socket PATH | --tcp HOST:PORT) [options]
 //     --interval-ms N   poll interval (default 1000)
@@ -20,6 +24,11 @@
 //     --expect-traffic  exit 1 unless some pair of consecutive snapshots
 //                       showed a positive request rate (used by the
 //                       smoke test to prove live numbers, not zeros)
+//     --cluster         poll CLUSTER_STATS instead of STATS: point at a
+//                       tmsrouter and render the merged aggregate
+//                       percentiles plus one line per shard (latency,
+//                       health, ejection state). Works against a lone
+//                       tmsd too (degenerate one-shard cluster)
 //     --no-clear        never emit ANSI clear codes, even on a TTY
 //
 // Exit status: 0 on a clean finish (count reached, or the server closed
@@ -48,7 +57,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--socket PATH | --tcp HOST:PORT)\n"
-               "          [--interval-ms N] [--count N] [--expect-traffic] [--no-clear]\n",
+               "          [--interval-ms N] [--count N] [--expect-traffic] [--cluster]\n"
+               "          [--no-clear]\n",
                argv0);
   return 2;
 }
@@ -77,6 +87,36 @@ double num_or_zero(const support::JsonValue* v) {
   return v != nullptr && v->is_number() ? v->as_number() : 0.0;
 }
 
+/// Fills the counter scalars and stage histograms from an
+/// "observability"-shaped object (counters / time_histograms members) —
+/// shared between the per-daemon STATS payload and the cluster
+/// aggregate, which is written by the same JSON emitter.
+std::optional<std::string> fill_from_observability(const support::JsonValue& obs,
+                                                   Snapshot& out) {
+  const auto* counters = obs.find("counters");
+  if (counters == nullptr || !counters->is_object()) return std::string("missing counters");
+  out.requests = num_or_zero(counters->find("serve.requests"));
+  out.responses_ok = num_or_zero(counters->find("serve.responses_ok"));
+  out.responses_error = num_or_zero(counters->find("serve.responses_error"));
+  out.overload = num_or_zero(counters->find("serve.rejected_overload"));
+  out.cache_hits = num_or_zero(counters->find("driver.cache_hits"));
+  out.cache_misses = num_or_zero(counters->find("driver.cache_misses"));
+  const auto* th = obs.find("time_histograms");
+  if (th == nullptr || !th->is_object()) return std::string("missing time_histograms");
+  for (int s = 0; s < 4; ++s) {
+    const auto* hist = th->find(kStageNames[s]);
+    const auto* buckets = hist != nullptr ? hist->find("buckets") : nullptr;
+    if (buckets == nullptr || !buckets->is_array()) {
+      return std::string("missing histogram ") + kStageNames[s];
+    }
+    out.stages[static_cast<std::size_t>(s)].clear();
+    for (const auto& b : buckets->items()) {
+      out.stages[static_cast<std::size_t>(s)].push_back(num_or_zero(&b));
+    }
+  }
+  return std::nullopt;
+}
+
 /// Parses the tmsd-stats-v1 payload. Returns a failure description on
 /// anything structurally off — tmstop treats that as a server bug.
 std::optional<std::string> parse_snapshot(const std::string& payload, Snapshot& out) {
@@ -94,28 +134,72 @@ std::optional<std::string> parse_snapshot(const std::string& payload, Snapshot& 
   out.draining = draining != nullptr && draining->is_bool() && draining->as_bool();
   const auto* obs = root.find("observability");
   if (obs == nullptr || !obs->is_object()) return std::string("missing observability object");
-  const auto* counters = obs->find("counters");
-  if (counters == nullptr || !counters->is_object()) return std::string("missing counters");
-  out.requests = num_or_zero(counters->find("serve.requests"));
-  out.responses_ok = num_or_zero(counters->find("serve.responses_ok"));
-  out.responses_error = num_or_zero(counters->find("serve.responses_error"));
-  out.overload = num_or_zero(counters->find("serve.rejected_overload"));
-  out.cache_hits = num_or_zero(counters->find("driver.cache_hits"));
-  out.cache_misses = num_or_zero(counters->find("driver.cache_misses"));
-  const auto* th = obs->find("time_histograms");
-  if (th == nullptr || !th->is_object()) return std::string("missing time_histograms");
-  for (int s = 0; s < 4; ++s) {
-    const auto* hist = th->find(kStageNames[s]);
-    const auto* buckets = hist != nullptr ? hist->find("buckets") : nullptr;
-    if (buckets == nullptr || !buckets->is_array()) {
-      return std::string("missing histogram ") + kStageNames[s];
+  return fill_from_observability(*obs, out);
+}
+
+/// One shard row of a cluster-stats-v1 snapshot.
+struct ClusterShard {
+  std::string address;
+  bool healthy = true;
+  bool ok = false;
+  std::string error;
+  Snapshot snap;  ///< only meaningful when ok
+};
+
+/// Parses the cluster-stats-v1 payload: the merged aggregate into
+/// `aggregate` (uptime/queue fields stay zero — they do not aggregate)
+/// and one ClusterShard per shards[] entry.
+std::optional<std::string> parse_cluster(const std::string& payload, Snapshot& aggregate,
+                                         std::vector<ClusterShard>& shards,
+                                         bool& source_router, bool& draining) {
+  auto parsed = support::parse_json(payload);
+  if (const auto* err = std::get_if<std::string>(&parsed)) return *err;
+  const auto& root = std::get<support::JsonValue>(parsed);
+  const auto* schema = root.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->as_string() != "cluster-stats-v1") {
+    return std::string("missing schema cluster-stats-v1");
+  }
+  const auto* source = root.find("source");
+  source_router = source != nullptr && source->is_string() && source->as_string() == "tmsrouter";
+  const auto* d = root.find("draining");
+  draining = d != nullptr && d->is_bool() && d->as_bool();
+  const auto* agg = root.find("aggregate");
+  if (agg == nullptr || !agg->is_object()) return std::string("missing aggregate object");
+  if (auto err = fill_from_observability(*agg, aggregate)) return err;
+  const auto* arr = root.find("shards");
+  if (arr == nullptr || !arr->is_array()) return std::string("missing shards array");
+  shards.clear();
+  for (const auto& item : arr->items()) {
+    ClusterShard s;
+    const auto* address = item.find("address");
+    if (address != nullptr && address->is_string()) s.address = address->as_string();
+    const auto* healthy = item.find("healthy");
+    s.healthy = healthy == nullptr || !healthy->is_bool() || healthy->as_bool();
+    const auto* ok = item.find("ok");
+    s.ok = ok != nullptr && ok->is_bool() && ok->as_bool();
+    if (!s.ok) {
+      const auto* error = item.find("error");
+      if (error != nullptr && error->is_string()) s.error = error->as_string();
+    } else {
+      const auto* stats = item.find("stats");
+      const auto* obs = stats != nullptr ? stats->find("observability") : nullptr;
+      if (obs == nullptr || !obs->is_object()) {
+        return "shard " + s.address + ": missing observability object";
+      }
+      if (auto err = fill_from_observability(*obs, s.snap)) {
+        return "shard " + s.address + ": " + *err;
+      }
     }
-    out.stages[static_cast<std::size_t>(s)].clear();
-    for (const auto& b : buckets->items()) {
-      out.stages[static_cast<std::size_t>(s)].push_back(num_or_zero(&b));
-    }
+    shards.push_back(std::move(s));
   }
   return std::nullopt;
+}
+
+/// A monotonic counter moving backwards between polls means the daemon
+/// restarted; one marker beats four nonsense rates.
+bool restarted_since(const Snapshot& prev, const Snapshot& cur) {
+  return cur.requests < prev.requests || cur.responses_ok < prev.responses_ok ||
+         cur.responses_error < prev.responses_error || cur.overload < prev.overload;
 }
 
 /// Quantile estimate from log2-microsecond buckets: the upper edge
@@ -152,20 +236,27 @@ double rate(double prev, double cur, double dt_s) {
 }
 
 void render(const Snapshot& cur, const Snapshot* prev, double dt_s, const std::string& health,
-            bool clear) {
+            bool clear, bool restarted) {
   if (clear) std::printf("\033[H\033[2J");
   std::printf("tmstop: %s\n", health.c_str());
   const double hits_total = cur.cache_hits + cur.cache_misses;
   std::printf("  requests %.0f  ok %.0f  errors %.0f  overload %.0f  cache hit %.1f%%\n",
               cur.requests, cur.responses_ok, cur.responses_error, cur.overload,
               hits_total > 0 ? 100.0 * cur.cache_hits / hits_total : 0.0);
-  if (prev != nullptr) {
+  if (prev != nullptr && restarted) {
+    // The counters moved backwards: the daemon restarted between polls.
+    // Every rate this tick is 0 by definition, not by arithmetic.
+    std::printf("  rates/s: requests 0.0  ok 0.0  errors 0.0  overload rejects 0.0 [restart]\n");
+  } else if (prev != nullptr) {
     std::printf("  rates/s: requests %.1f  ok %.1f  errors %.1f  overload rejects %.1f\n",
                 rate(prev->requests, cur.requests, dt_s),
                 rate(prev->responses_ok, cur.responses_ok, dt_s),
                 rate(prev->responses_error, cur.responses_error, dt_s),
                 rate(prev->overload, cur.overload, dt_s));
   }
+  // Histogram deltas against a restarted daemon's buckets would be
+  // nonsense too — fall back to the fresh lifetime buckets.
+  if (restarted) prev = nullptr;
   for (int s = 0; s < 4; ++s) {
     const auto& lifetime = cur.stages[static_cast<std::size_t>(s)];
     // Prefer the delta histogram (what happened since the last tick);
@@ -193,6 +284,60 @@ void render(const Snapshot& cur, const Snapshot* prev, double dt_s, const std::s
   std::fflush(stdout);
 }
 
+void render_cluster(const Snapshot& aggregate, const std::vector<ClusterShard>& shards,
+                    const Snapshot* prev, double dt_s, const std::string& health, bool clear,
+                    bool restarted, bool source_router, bool draining) {
+  if (clear) std::printf("\033[H\033[2J");
+  std::size_t shards_ok = 0;
+  for (const ClusterShard& s : shards) {
+    if (s.ok) ++shards_ok;
+  }
+  std::printf("tmstop: cluster via %s  shards %zu/%zu ok%s  (%s)\n",
+              source_router ? "tmsrouter" : "single tmsd", shards_ok, shards.size(),
+              draining ? "  [draining]" : "", health.c_str());
+  const double hits_total = aggregate.cache_hits + aggregate.cache_misses;
+  std::printf("  aggregate: requests %.0f  ok %.0f  errors %.0f  overload %.0f  cache hit %.1f%%\n",
+              aggregate.requests, aggregate.responses_ok, aggregate.responses_error,
+              aggregate.overload, hits_total > 0 ? 100.0 * aggregate.cache_hits / hits_total : 0.0);
+  if (prev != nullptr && restarted) {
+    std::printf("  rates/s: requests 0.0  ok 0.0  errors 0.0 [restart]\n");
+  } else if (prev != nullptr) {
+    std::printf("  rates/s: requests %.1f  ok %.1f  errors %.1f\n",
+                rate(prev->requests, aggregate.requests, dt_s),
+                rate(prev->responses_ok, aggregate.responses_ok, dt_s),
+                rate(prev->responses_error, aggregate.responses_error, dt_s));
+  }
+  // Aggregate per-stage percentiles (lifetime — the merged buckets are
+  // an exact bucket-wise sum of the shards', so these quantiles carry
+  // real cluster-wide information, not an average of averages).
+  for (int s = 0; s < 4; ++s) {
+    const auto& buckets = aggregate.stages[static_cast<std::size_t>(s)];
+    double count = 0;
+    for (const double b : buckets) count += b;
+    std::printf("  %-10s n=%.0f  p50 %s  p90 %s  p99 %s\n", kStageLabels[s], count,
+                fmt_us(quantile_us(buckets, 0.50)).c_str(),
+                fmt_us(quantile_us(buckets, 0.90)).c_str(),
+                fmt_us(quantile_us(buckets, 0.99)).c_str());
+  }
+  for (const ClusterShard& s : shards) {
+    if (!s.ok) {
+      std::printf("  shard %-24s %s  UNREACHABLE%s%s\n", s.address.c_str(),
+                  s.healthy ? "healthy" : "EJECTED", s.error.empty() ? "" : ": ",
+                  s.error.c_str());
+      continue;
+    }
+    const auto& total = s.snap.stages[3];  // serve.latency.total
+    double count = 0;
+    for (const double b : total) count += b;
+    std::printf("  shard %-24s %s  requests %.0f  p50 %s  p90 %s  p99 %s\n", s.address.c_str(),
+                s.healthy ? "healthy" : "EJECTED", s.snap.requests,
+                fmt_us(quantile_us(total, 0.50)).c_str(),
+                fmt_us(quantile_us(total, 0.90)).c_str(),
+                fmt_us(quantile_us(total, 0.99)).c_str());
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -201,6 +346,7 @@ int main(int argc, char** argv) {
   long long interval_ms = 1000;
   long long count = 0;
   bool expect_traffic = false;
+  bool cluster = false;
   bool no_clear = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -222,6 +368,8 @@ int main(int argc, char** argv) {
       count = std::atoll(next("--count"));
     } else if (a == "--expect-traffic") {
       expect_traffic = true;
+    } else if (a == "--cluster") {
+      cluster = true;
     } else if (a == "--no-clear") {
       no_clear = true;
     } else {
@@ -262,14 +410,15 @@ int main(int argc, char** argv) {
   auto last_poll = std::chrono::steady_clock::now();
   for (;;) {
     std::string payload;
-    if (const auto err = client.stats(payload)) {
+    const auto poll_err = cluster ? client.cluster_stats(payload) : client.stats(payload);
+    if (poll_err.has_value()) {
       // Server went away: a clean end for an unbounded watch that got
       // at least one snapshot, an error for a bounded one cut short.
       if (count == 0 && polls > 0) {
-        std::printf("tmstop: server closed (%s)\n", err->c_str());
+        std::printf("tmstop: server closed (%s)\n", poll_err->c_str());
         break;
       }
-      std::fprintf(stderr, "tmstop: stats: %s\n", err->c_str());
+      std::fprintf(stderr, "tmstop: stats: %s\n", poll_err->c_str());
       return 1;
     }
     std::string health;
@@ -284,7 +433,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     Snapshot cur;
-    if (const auto err = parse_snapshot(payload, cur)) {
+    std::vector<ClusterShard> shards;
+    bool source_router = false;
+    bool cluster_draining = false;
+    if (cluster) {
+      if (const auto err = parse_cluster(payload, cur, shards, source_router,
+                                         cluster_draining)) {
+        std::fprintf(stderr, "tmstop: bad cluster-stats payload: %s\n", err->c_str());
+        return 1;
+      }
+    } else if (const auto err = parse_snapshot(payload, cur)) {
       std::fprintf(stderr, "tmstop: bad stats payload: %s\n", err->c_str());
       return 1;
     }
@@ -292,7 +450,13 @@ int main(int argc, char** argv) {
     const double dt_s = std::chrono::duration<double>(now - last_poll).count();
     last_poll = now;
     if (have_prev && cur.requests > prev.requests) saw_traffic = true;
-    render(cur, have_prev ? &prev : nullptr, dt_s, health, clear);
+    const bool restarted = have_prev && restarted_since(prev, cur);
+    if (cluster) {
+      render_cluster(cur, shards, have_prev ? &prev : nullptr, dt_s, health, clear, restarted,
+                     source_router, cluster_draining);
+    } else {
+      render(cur, have_prev ? &prev : nullptr, dt_s, health, clear, restarted);
+    }
     prev = std::move(cur);
     have_prev = true;
     ++polls;
